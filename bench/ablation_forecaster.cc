@@ -1,0 +1,77 @@
+// §7 ablation: "we are eager to explore different stochastic network
+// models ... to see whether it is possible to perform much better than
+// Sprout if a protocol has more accurate forecasts."
+//
+// Runs the full Sprout protocol with five interchangeable forecasters —
+// the paper's Bayesian Cox filter, the EWMA ablation, online (σ, λz)
+// model averaging, a learned regime-switching MMPP, and a model-free
+// empirical-quantile window — on two contrasting links, plus a confidence
+// sweep for the MMPP model (whose honest caution is far stronger than the
+// Cox model's at 95%).
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sprout;
+
+  std::cout << "=== §7 ablation: alternative stochastic forecasters ===\n\n";
+
+  for (const char* network : {"Verizon LTE", "T-Mobile 3G (UMTS)"}) {
+    for (const LinkDirection dir :
+         {LinkDirection::kDownlink, LinkDirection::kUplink}) {
+      const LinkPreset& link = find_link_preset(network, dir);
+      std::cout << "--- " << link.name() << " ---\n";
+      TableWriter t({"Forecaster", "Throughput (kbps)",
+                     "Self-inflicted delay (ms)", "Utilization"});
+      for (const SchemeId s : forecaster_schemes()) {
+        const ExperimentResult r =
+            run_experiment(bench::base_config(s, link));
+        t.row()
+            .cell(to_string(s))
+            .cell(r.throughput_kbps, 0)
+            .cell(r.self_inflicted_delay_ms, 0)
+            .cell(r.utilization, 2);
+      }
+      t.print(std::cout);
+      std::cout << "\n";
+    }
+  }
+
+  // The MMPP model's 95% caution is dominated by its learned global jumps
+  // (the trace CAN crash to near-zero, so a 95%-safe forecast is tiny).
+  // Sweeping its confidence knob shows the usable frontier, mirroring the
+  // paper's Figure 9 for the alternative model.
+  std::cout << "--- Sprout-MMPP confidence sweep (Verizon LTE downlink) ---\n";
+  {
+    const LinkPreset& link =
+        find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+    TableWriter t({"Confidence", "Throughput (kbps)",
+                   "Self-inflicted delay (ms)"});
+    for (const double confidence : {95.0, 75.0, 50.0, 25.0, 5.0}) {
+      ExperimentConfig c = bench::base_config(SchemeId::kSproutMmpp, link);
+      c.sprout_confidence = confidence;
+      const ExperimentResult r = run_experiment(c);
+      t.row()
+          .cell(format_double(confidence, 0) + "%")
+          .cell(r.throughput_kbps, 0)
+          .cell(r.self_inflicted_delay_ms, 0);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout <<
+      "\nFindings this bench documents:\n"
+      "  * The Cox model's LOCAL diffusion is load-bearing: models that\n"
+      "    admit global rate jumps (MMPP trained on the trace's own\n"
+      "    regime switches) produce honest but brutal 95% caution.\n"
+      "  * Online model averaging (Sprout-Adaptive) selects a larger sigma\n"
+      "    than the paper's frozen 200 on these traces and buys lower delay\n"
+      "    at a throughput cost; on quiet links it converges to small sigma\n"
+      "    (see core_adaptive_test).\n"
+      "  * The model-free empirical window needs censored samples treated\n"
+      "    as right-censored order statistics to bootstrap at all\n"
+      "    (alt_models.cc), and still trails the parametric forecasters.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Independent-substrate check: do the paper's results survive on traces
+// that do NOT come from the Cox process Sprout's filter assumes?
+//
+// The §2.1 proportional-fair cell (link/pf_cell.h) generates per-user
+// delivery traces from first principles — fading channels, Shannon-capped
+// rates, PF scheduling, contention from other users.  This bench runs the
+// headline schemes over a PF-cell user's downlink (with another user's
+// trace as the uplink) and prints the Figure-7-style comparison.  If the
+// orderings match the Cox-trace results, the reproduction's conclusions
+// are not an artifact of generator/model match — addressing the same
+// concern DESIGN.md §4 raises about synthetic traces.
+#include <iostream>
+
+#include "bench_common.h"
+#include "link/pf_cell.h"
+#include "runner/experiment.h"
+#include "trace/analysis.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sprout;
+
+  std::cout << "=== Ablation: schemes over the proportional-fair cell "
+               "(first-principles traces) ===\n\n";
+
+  // Four users contend; user 0's trace is our downlink, user 1's the
+  // feedback path.  (Ideally the runner would take arbitrary traces; it
+  // takes presets, so this bench wires the experiment by hand, mirroring
+  // run_experiment's topology.)
+  PfCellParams cell_params;
+  cell_params.num_users = 4;
+  PfCell cell(cell_params, 21);
+  const Duration run_time = bench::run_seconds();
+  const auto traces = cell.run(run_time + sec(2));
+
+  std::cout << "Cell: " << cell_params.num_users << " users, "
+            << cell_params.bandwidth_hz / 1e6 << " MHz shared.  User-0 trace: "
+            << traces[0].average_rate_kbps() << " kbps avg, dynamic range "
+            << rate_dynamic_range(traces[0], sec(1)) << "x at 1 s windows\n\n";
+
+  // The runner consumes presets, so register the PF traces as a transient
+  // preset is not possible without file I/O; instead this bench reuses the
+  // low-level pieces directly via run_experiment_on_traces-equivalent
+  // wiring in runner/experiment.cc.  To keep the comparison honest we
+  // write the traces to disk in mahimahi format and read them back — the
+  // same path a user with real captures would take.
+  const std::string fwd_path = "/tmp/sprout_pfcell_down.trace";
+  const std::string rev_path = "/tmp/sprout_pfcell_up.trace";
+  write_trace_file(traces[0], fwd_path);
+  write_trace_file(traces[1], rev_path);
+  const Trace fwd = read_trace_file(fwd_path);
+  const Trace rev = read_trace_file(rev_path);
+
+  TableWriter t({"Scheme", "Throughput (kbps)", "Self-inflicted delay (ms)",
+                 "Utilization"});
+  for (const SchemeId scheme :
+       {SchemeId::kSprout, SchemeId::kSproutEwma, SchemeId::kSkype,
+        SchemeId::kCubic, SchemeId::kVegas, SchemeId::kCubicCodel}) {
+    FileTraceExperimentConfig c;
+    c.scheme = scheme;
+    c.forward_trace = fwd;
+    c.reverse_trace = rev;
+    c.run_time = run_time;
+    c.warmup = run_time / 4;
+    const ExperimentResult r = run_experiment_on_traces(c);
+    t.row()
+        .cell(to_string(scheme))
+        .cell(r.throughput_kbps, 0)
+        .cell(r.self_inflicted_delay_ms, 0)
+        .cell(r.utilization, 2);
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nReading (measured): the paper's ORDERINGS survive — Sprout has\n"
+         "the lowest delay, Sprout-EWMA roughly doubles Sprout's\n"
+         "throughput, Cubic saturates the link behind tens of seconds of\n"
+         "queue, and CoDel rescues Cubic's delay by >10x.  The ABSOLUTE\n"
+         "utilizations collapse for every 20 ms-tick scheme, though: a\n"
+         "PF-scheduled user's arrivals at tick granularity are bimodal\n"
+         "(zero when other users win the slot, ~2x the model's 1000 pkt/s\n"
+         "grid ceiling during its slot runs), which the Cox-model filter\n"
+         "reads as constant outage risk.  Slot-scheduled links are a\n"
+         "genuinely harsher regime than the paper's Poisson model — the\n"
+         "orderings are robust to it; the utilization numbers are not.\n";
+  return 0;
+}

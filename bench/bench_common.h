@@ -1,0 +1,33 @@
+// Shared knobs for the figure/table harnesses.
+//
+// Every bench regenerates one of the paper's tables or figures on the
+// synthetic traces.  SPROUT_BENCH_SECONDS overrides the per-run simulated
+// duration (default 120 s, metrics skip the first quarter), letting CI use
+// quick runs and a full reproduction use the paper's ~17 minutes.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "runner/experiment.h"
+
+namespace sprout::bench {
+
+inline Duration run_seconds() {
+  if (const char* env = std::getenv("SPROUT_BENCH_SECONDS")) {
+    const int s = std::atoi(env);
+    if (s >= 20) return sec(s);
+  }
+  return sec(120);
+}
+
+inline ExperimentConfig base_config(SchemeId scheme, const LinkPreset& link) {
+  ExperimentConfig c;
+  c.scheme = scheme;
+  c.link = link;
+  c.run_time = run_seconds();
+  c.warmup = c.run_time / 4;
+  return c;
+}
+
+}  // namespace sprout::bench

@@ -1,0 +1,62 @@
+// Figure 2: interarrival-time distribution of a saturated downlink, with
+// the heavy (flicker-noise) tail and its power-law fit (paper: t^-3.27).
+//
+// Uses the simulated Saturator against the Verizon-LTE-like ground-truth
+// process, exactly as the paper produced its traces.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "trace/saturator.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sprout;
+
+  const LinkPreset& preset =
+      find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  SaturatorConfig config;
+  config.run_time = std::max(bench::run_seconds() * 4, sec(480));
+  std::cout << "=== Figure 2: interarrival times on a saturated "
+            << preset.name() << " (synthetic), "
+            << to_seconds(config.run_time) << " s of saturation ===\n\n";
+
+  const SaturatorResult r = run_saturator(preset.params, config, 20130415);
+  const std::vector<Duration> gaps = r.trace.interarrivals();
+
+  LogHistogram hist(0.1, 10000.0, 50);  // 0.1 ms .. 10 s
+  double within_20ms = 0;
+  for (Duration g : gaps) {
+    const double ms = to_millis(g);
+    hist.add(std::max(ms, 0.05));
+    if (ms <= 20.0) within_20ms += 1.0;
+  }
+
+  TableWriter t({"interarrival (ms)", "percent of interarrivals"});
+  std::vector<double> tail_x, tail_y;
+  for (int b = 0; b < hist.bins(); ++b) {
+    if (hist.count(b) == 0) continue;
+    t.row().cell(hist.bin_center(b), 2).cell(hist.percent(b), 4);
+    if (hist.bin_center(b) > 20.0) {  // the fat tail beyond 20 ms
+      tail_x.push_back(hist.bin_center(b));
+      tail_y.push_back(hist.percent(b));
+    }
+  }
+  t.print(std::cout);
+
+  const PowerLawFit fit = fit_power_law(tail_x, tail_y);
+  std::cout << "\npackets captured: " << gaps.size() + 1 << "\n"
+            << "fraction of interarrivals within 20 ms: "
+            << format_double(100.0 * within_20ms /
+                                 static_cast<double>(gaps.size()),
+                             2)
+            << "% (paper: 99.99%)\n"
+            << "power-law tail fit (>20 ms): t^" << format_double(fit.slope, 2)
+            << " (paper: t^-3.27)\n"
+            << "mean saturated rate: " << format_double(r.observed_rate_kbps, 0)
+            << " kbps; saturator RTT mean "
+            << format_double(r.mean_rtt_ms, 0) << " ms\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 7: throughput vs self-inflicted delay of every scheme, one chart
+// per link (4 networks x downlink/uplink).  Better is up (throughput) and
+// to the right-in-the-paper's-reversed-axis, i.e. LOWER delay here.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sprout;
+
+  std::cout << "=== Figure 7: throughput vs self-inflicted delay, per link "
+               "===\n(per-run "
+            << to_seconds(bench::run_seconds())
+            << " s; paper shape: Sprout lowest delay at competitive "
+               "throughput;\n Sprout-EWMA/Cubic highest throughput; video "
+               "apps low throughput AND high delay)\n\n";
+
+  for (const LinkPreset& link : all_link_presets()) {
+    std::cout << "--- " << link.name() << " ---\n";
+    TableWriter t({"Scheme", "Throughput (kbps)", "Self-inflicted delay (ms)",
+                   "Utilization"});
+    for (const SchemeId scheme : figure7_schemes()) {
+      const ExperimentResult r =
+          run_experiment(bench::base_config(scheme, link));
+      t.row()
+          .cell(to_string(scheme))
+          .cell(r.throughput_kbps, 0)
+          .cell(r.self_inflicted_delay_ms, 0)
+          .cell(r.utilization, 2);
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 9: sweeping the forecast's confidence parameter (95/75/50/25/5%)
+// on the T-Mobile 3G (UMTS) uplink traces out a throughput-delay frontier;
+// other schemes are printed for reference.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sprout;
+
+  const LinkPreset& link =
+      find_link_preset("T-Mobile 3G (UMTS)", LinkDirection::kUplink);
+  std::cout << "=== Figure 9: confidence sweep on the " << link.name()
+            << " ===\n\n";
+
+  TableWriter t({"Scheme", "Throughput (kbps)", "Self-inflicted delay (ms)"});
+  for (const double confidence : {95.0, 75.0, 50.0, 25.0, 5.0}) {
+    ExperimentConfig c = bench::base_config(SchemeId::kSprout, link);
+    c.sprout_confidence = confidence;
+    const ExperimentResult r = run_experiment(c);
+    t.row()
+        .cell("Sprout (" + format_double(confidence, 0) + "%)")
+        .cell(r.throughput_kbps, 0)
+        .cell(r.self_inflicted_delay_ms, 0);
+  }
+  for (const SchemeId scheme :
+       {SchemeId::kSproutEwma, SchemeId::kCubic, SchemeId::kVegas,
+        SchemeId::kLedbat, SchemeId::kSkype}) {
+    const ExperimentResult r = run_experiment(bench::base_config(scheme, link));
+    t.row()
+        .cell(to_string(scheme))
+        .cell(r.throughput_kbps, 0)
+        .cell(r.self_inflicted_delay_ms, 0);
+  }
+  t.print(std::cout);
+  std::cout << "\n(paper shape: lowering confidence moves along a frontier of "
+               "more throughput, more delay.)\n";
+  return 0;
+}

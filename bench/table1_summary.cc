@@ -1,0 +1,106 @@
+// The introduction's two summary tables: average relative throughput
+// ("speedup") and self-inflicted-delay reduction of Sprout (Table 1) and
+// Sprout-EWMA (Table 2) versus every other scheme, averaged over all four
+// networks in both directions.
+#include <iostream>
+#include <map>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sprout;
+
+struct Avg {
+  double throughput = 0.0;  // mean over links of per-link throughput ratio
+  double delay = 0.0;
+  double abs_delay_ms = 0.0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace sprout;
+
+  std::vector<SchemeId> schemes = {SchemeId::kSprout, SchemeId::kSproutEwma};
+  for (SchemeId s : table1_schemes()) schemes.push_back(s);
+
+  std::cout << "=== Intro tables: average speedup & delay reduction over all "
+               "8 links ===\n(per-run "
+            << to_seconds(bench::run_seconds()) << " s simulated)\n\n";
+
+  // scheme -> link -> result
+  std::map<SchemeId, std::vector<ExperimentResult>> results;
+  for (const SchemeId scheme : schemes) {
+    for (const LinkPreset& link : all_link_presets()) {
+      results[scheme].push_back(
+          run_experiment(bench::base_config(scheme, link)));
+    }
+    std::cerr << "ran " << to_string(scheme) << "\n";  // progress to stderr
+  }
+
+  auto relative_to = [&](SchemeId baseline) {
+    // Per the paper: the ratios are averaged across links, and the absolute
+    // delay column is the scheme's own average self-inflicted delay.
+    std::map<SchemeId, Avg> avgs;
+    const auto& base = results[baseline];
+    for (const SchemeId scheme : schemes) {
+      Avg a;
+      const auto& rs = results[scheme];
+      for (std::size_t i = 0; i < rs.size(); ++i) {
+        a.throughput += base[i].throughput_kbps /
+                        std::max(1.0, rs[i].throughput_kbps);
+        a.delay += rs[i].self_inflicted_delay_ms /
+                   std::max(1.0, base[i].self_inflicted_delay_ms);
+        a.abs_delay_ms += rs[i].self_inflicted_delay_ms;
+      }
+      const double n = static_cast<double>(rs.size());
+      a.throughput /= n;
+      a.delay /= n;
+      a.abs_delay_ms /= n;
+      avgs[scheme] = a;
+    }
+    return avgs;
+  };
+
+  {
+    const auto avgs = relative_to(SchemeId::kSprout);
+    std::cout << "--- Table 1: versus Sprout ---\n";
+    TableWriter t({"App/protocol", "Avg. speedup vs scheme",
+                   "Delay reduction", "(from avg. delay)"});
+    for (const SchemeId scheme : schemes) {
+      const Avg& a = avgs.at(scheme);
+      t.row()
+          .cell(to_string(scheme))
+          .cell(format_double(a.throughput, 2) + "x")
+          .cell(format_double(a.delay, 1) + "x")
+          .cell(format_double(a.abs_delay_ms / 1000.0, 2) + " s");
+    }
+    t.print(std::cout);
+    std::cout << "(paper: Skype 2.2x/7.9x, Hangout 4.4x/7.2x, Facetime "
+                 "1.9x/8.7x, Compound 1.3x/4.8x,\n Vegas 1.1x/2.1x, LEDBAT "
+                 "1.0x/2.8x, Cubic 0.91x/79x, Cubic-CoDel 0.70x/1.6x)\n\n";
+  }
+
+  {
+    const auto avgs = relative_to(SchemeId::kSproutEwma);
+    std::cout << "--- Table 2: versus Sprout-EWMA ---\n";
+    TableWriter t({"Protocol", "Avg. speedup vs scheme", "Delay reduction",
+                   "(from avg. delay)"});
+    for (const SchemeId scheme :
+         {SchemeId::kSproutEwma, SchemeId::kSprout, SchemeId::kCubic,
+          SchemeId::kCubicCodel}) {
+      const Avg& a = avgs.at(scheme);
+      t.row()
+          .cell(to_string(scheme))
+          .cell(format_double(a.throughput, 2) + "x")
+          .cell(format_double(a.delay, 2) + "x")
+          .cell(format_double(a.abs_delay_ms / 1000.0, 2) + " s");
+    }
+    t.print(std::cout);
+    std::cout << "(paper: Sprout 2.0x/0.60x, Cubic 1.8x/48x, Cubic-CoDel "
+                 "1.3x/0.95x)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// §5.6 loss-resilience table: Sprout over the Verizon LTE traces with 0%,
+// 5% and 10% Bernoulli packet loss in each direction.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sprout;
+
+  std::cout << "=== §5.6: Sprout loss resilience on Verizon LTE ===\n\n";
+  TableWriter t({"Direction", "Loss", "Throughput (kbps)",
+                 "Self-inflicted delay (ms)"});
+  for (const LinkDirection dir :
+       {LinkDirection::kDownlink, LinkDirection::kUplink}) {
+    const LinkPreset& link = find_link_preset("Verizon LTE", dir);
+    for (const double loss : {0.0, 0.05, 0.10}) {
+      ExperimentConfig c = bench::base_config(SchemeId::kSprout, link);
+      c.loss_rate = loss;
+      const ExperimentResult r = run_experiment(c);
+      t.row()
+          .cell(to_string(dir))
+          .cell(format_double(loss * 100.0, 0) + "%")
+          .cell(r.throughput_kbps, 0)
+          .cell(r.self_inflicted_delay_ms, 0);
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\n(paper: downlink 4741/3971/2768 kbps at 73/60/58 ms; uplink "
+               "3703/2598/1163 kbps at 332/378/314 ms —\n throughput degrades "
+               "gracefully, delay stays bounded.)\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// §5.7 table: a TCP Cubic bulk download competing with a Skype call on the
+// Verizon LTE link, directly vs through SproutTunnel.
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace sprout;
+
+  std::cout << "=== §5.7: SproutTunnel isolating competing flows (Verizon "
+               "LTE) ===\n\n";
+
+  TunnelContentionConfig config;
+  config.run_time = bench::run_seconds();
+  config.warmup = config.run_time / 4;
+
+  config.via_tunnel = false;
+  const TunnelContentionResult direct = run_tunnel_contention(config);
+  config.via_tunnel = true;
+  const TunnelContentionResult tunneled = run_tunnel_contention(config);
+
+  auto pct_change = [](double from, double to) {
+    return from > 0 ? 100.0 * (to - from) / from : 0.0;
+  };
+
+  TableWriter t({"Metric", "Direct", "via Sprout", "Change"});
+  t.row()
+      .cell("Cubic throughput (kbps)")
+      .cell(direct.cubic_throughput_kbps, 0)
+      .cell(tunneled.cubic_throughput_kbps, 0)
+      .cell(format_double(
+                pct_change(direct.cubic_throughput_kbps,
+                           tunneled.cubic_throughput_kbps),
+                0) +
+            "%");
+  t.row()
+      .cell("Skype throughput (kbps)")
+      .cell(direct.skype_throughput_kbps, 0)
+      .cell(tunneled.skype_throughput_kbps, 0)
+      .cell(format_double(
+                pct_change(direct.skype_throughput_kbps,
+                           tunneled.skype_throughput_kbps),
+                0) +
+            "%");
+  t.row()
+      .cell("Skype 95% delay (s)")
+      .cell(direct.skype_delay95_ms / 1000.0, 2)
+      .cell(tunneled.skype_delay95_ms / 1000.0, 2)
+      .cell(format_double(
+                pct_change(direct.skype_delay95_ms, tunneled.skype_delay95_ms),
+                0) +
+            "%");
+  t.print(std::cout);
+  std::cout << "\n(paper: Cubic 8336 -> 3776 kbps (-55%); Skype 78 -> 490 "
+               "kbps (+528%); Skype 95% delay 6.0 s -> 0.17 s (-97%).\n The "
+               "shape to check: the tunnel rescues the interactive flow's "
+               "delay and throughput at a bulk-throughput cost.)\n";
+  return 0;
+}

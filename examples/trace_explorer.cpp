@@ -1,0 +1,86 @@
+// Trace tooling: generate the synthetic cellular traces, export them in the
+// mahimahi-compatible format (one ms-timestamp per line), and summarize any
+// trace file's statistics.
+//
+//   $ ./trace_explorer list
+//   $ ./trace_explorer export <network> <downlink|uplink> <seconds> <file>
+//   $ ./trace_explorer info <file>
+//
+// Exported files drop straight into mahimahi's mm-link or any Cellsim-
+// compatible tool; real captured traces can be inspected with `info`.
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "trace/presets.h"
+#include "trace/trace.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sprout;
+
+int list_presets() {
+  TableWriter t({"Network", "Direction", "Mean rate (kbps)", "Max (kbps)"});
+  for (const LinkPreset& p : all_link_presets()) {
+    t.row()
+        .cell(p.network)
+        .cell(to_string(p.direction))
+        .cell(p.params.mean_rate_pps * 12.0, 0)
+        .cell(p.params.max_rate_pps * 12.0, 0);
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int export_trace(const std::string& network, const std::string& dir,
+                 int seconds, const std::string& path) {
+  const LinkDirection direction =
+      dir == "uplink" ? LinkDirection::kUplink : LinkDirection::kDownlink;
+  const LinkPreset& preset = find_link_preset(network, direction);
+  const Trace trace = preset_trace(preset, sec(seconds));
+  write_trace_file(trace, path);
+  std::cout << "wrote " << trace.size() << " delivery opportunities ("
+            << format_double(trace.average_rate_kbps(), 0) << " kbps avg) to "
+            << path << "\n";
+  return 0;
+}
+
+int info(const std::string& path) {
+  const Trace trace = read_trace_file(path);
+  RunningStats gaps;
+  Duration longest = Duration::zero();
+  for (Duration g : trace.interarrivals()) {
+    gaps.add(to_millis(g));
+    longest = std::max(longest, g);
+  }
+  std::cout << "opportunities: " << trace.size() << "\n"
+            << "duration:      " << to_seconds(trace.duration()) << " s\n"
+            << "average rate:  " << format_double(trace.average_rate_kbps(), 1)
+            << " kbps\n"
+            << "interarrival:  mean " << format_double(gaps.mean(), 2)
+            << " ms, sd " << format_double(gaps.stddev(), 2) << " ms, max "
+            << format_double(to_millis(longest), 0) << " ms\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "list") == 0) {
+    return list_presets();
+  }
+  if (argc >= 6 && std::strcmp(argv[1], "export") == 0) {
+    return export_trace(argv[2], argv[3], std::atoi(argv[4]), argv[5]);
+  }
+  if (argc >= 3 && std::strcmp(argv[1], "info") == 0) {
+    return info(argv[2]);
+  }
+  std::cerr << "usage:\n"
+            << "  trace_explorer list\n"
+            << "  trace_explorer export <network> <downlink|uplink> <seconds> "
+               "<file>\n"
+            << "  trace_explorer info <file>\n";
+  return 2;
+}

@@ -1,0 +1,55 @@
+// SproutTunnel demo (§4.3, §5.7): a bulk TCP Cubic download and a Skype
+// call share a cellular downlink, with and without the tunnel mediating.
+//
+//   $ ./tunnel_demo [seconds]
+//
+// Without the tunnel, both flows share the carrier's per-user queue and
+// Cubic's standing queue destroys the call's interactivity.  Through
+// SproutTunnel, each flow gets its own queue at the tunnel endpoints,
+// round-robin service, and forecast-bounded buffering.
+#include <cstdlib>
+#include <iostream>
+
+#include "runner/experiment.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sprout;
+
+  const int seconds = argc > 1 ? std::atoi(argv[1]) : 120;
+
+  TunnelContentionConfig config;
+  config.run_time = sec(seconds);
+  config.warmup = sec(seconds / 4);
+
+  std::cout << "Cubic download + Skype call sharing the Verizon LTE "
+               "(synthetic) link, "
+            << seconds << " s\n\n";
+
+  config.via_tunnel = false;
+  const TunnelContentionResult direct = run_tunnel_contention(config);
+  config.via_tunnel = true;
+  const TunnelContentionResult tunneled = run_tunnel_contention(config);
+
+  TableWriter t({"Metric", "Direct", "via SproutTunnel"});
+  t.row()
+      .cell("Cubic throughput (kbps)")
+      .cell(direct.cubic_throughput_kbps, 0)
+      .cell(tunneled.cubic_throughput_kbps, 0);
+  t.row()
+      .cell("Skype throughput (kbps)")
+      .cell(direct.skype_throughput_kbps, 0)
+      .cell(tunneled.skype_throughput_kbps, 0);
+  t.row()
+      .cell("Skype 95% delay (ms)")
+      .cell(direct.skype_delay95_ms, 0)
+      .cell(tunneled.skype_delay95_ms, 0);
+  t.row()
+      .cell("Cubic 95% delay (ms)")
+      .cell(direct.cubic_delay95_ms, 0)
+      .cell(tunneled.cubic_delay95_ms, 0);
+  t.print(std::cout);
+  std::cout << "\nThe tunnel should rescue the call's delay (paper: 6.0 s -> "
+               "0.17 s) at a cost to bulk throughput.\n";
+  return 0;
+}

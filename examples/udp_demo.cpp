@@ -1,0 +1,68 @@
+// Real-time Sprout over actual UDP sockets (loopback).
+//
+//   $ ./udp_demo [seconds]
+//
+// Runs a bulk-transfer Sprout session between two endpoints on 127.0.0.1
+// inside one event loop — the same core protocol code the simulator
+// validates, ticking on real wall-clock timers and moving real datagrams.
+// Prints a once-per-second report of the receiver's inferred link rate and
+// the payload throughput achieved.
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+
+#include "net/event_loop.h"
+#include "net/udp_endpoint.h"
+
+int main(int argc, char** argv) {
+  using namespace sprout;
+  using namespace sprout::net;
+
+  const int seconds = argc > 1 ? std::atoi(argv[1]) : 5;
+
+  EventLoop loop;
+  SproutParams params;
+  BulkDataSource bulk;
+  SproutUdpEndpoint sender_ep(loop, params, &bulk);
+  SproutUdpEndpoint receiver_ep(loop, params, nullptr);
+  sender_ep.set_peer(SocketAddress::v4("127.0.0.1", receiver_ep.local_port()));
+  receiver_ep.set_peer(SocketAddress::v4("127.0.0.1", sender_ep.local_port()));
+
+  std::cout << "Sprout over UDP loopback: " << sender_ep.local_port()
+            << " -> " << receiver_ep.local_port() << " for " << seconds
+            << " s\n\n";
+
+  sender_ep.start();
+  receiver_ep.start();
+
+  ByteCount last_bytes = 0;
+  int report = 0;
+  std::function<void()> report_fn = [&] {
+    ++report;
+    const ByteCount bytes = receiver_ep.payload_bytes_received();
+    std::cout << "t=" << report << "s  payload throughput "
+              << kbps(bytes - last_bytes, sec(1)) << " kbit/s"
+              << "  (receiver estimates link at "
+              << receiver_ep.receiver().estimated_rate_pps()
+              << " pkt/s; datagrams rx " << receiver_ep.datagrams_received()
+              << ")\n";
+    last_bytes = bytes;
+    if (report < seconds) loop.schedule_after(sec(1), report_fn);
+  };
+  loop.schedule_after(sec(1), report_fn);
+
+  loop.run_for(sec(seconds) + msec(50));
+
+  std::cout << "\nTotal payload delivered: "
+            << receiver_ep.payload_bytes_received() / 1000 << " kB  ("
+            << sender_ep.datagrams_sent() << " datagrams sent, "
+            << receiver_ep.malformed_datagrams() << " malformed)\n"
+            << "The receiver's rate estimate pins at the model's "
+            << params.max_rate_pps
+            << " pkt/s grid ceiling (it is designed\nfor ~11 Mbit/s cellular "
+               "links); actual loopback throughput can run higher because\n"
+               "the real queue drains faster than the cautious forecast and "
+               "every feedback packet\nre-anchors the sender's "
+               "queue-occupancy estimate at empty.\n";
+  return 0;
+}

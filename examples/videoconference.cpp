@@ -1,0 +1,64 @@
+// Compare every scheme for an interactive videoconference on one link.
+//
+//   $ ./videoconference [network] [downlink|uplink] [seconds]
+//
+// e.g.  ./videoconference "T-Mobile 3G (UMTS)" uplink 120
+//
+// Prints the Figure-7-style row for each scheme on the chosen link, ranked
+// by self-inflicted delay — the metric that decides whether a call is
+// usable.
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "runner/experiment.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace sprout;
+
+  const std::string network = argc > 1 ? argv[1] : "Verizon LTE";
+  const LinkDirection direction =
+      argc > 2 && std::string(argv[2]) == "uplink" ? LinkDirection::kUplink
+                                                   : LinkDirection::kDownlink;
+  const int seconds = argc > 3 ? std::atoi(argv[3]) : 120;
+
+  ExperimentConfig config;
+  config.link = find_link_preset(network, direction);
+  config.run_time = sec(seconds);
+  config.warmup = sec(seconds / 4);
+
+  std::cout << "Interactive-use comparison on " << config.link.name()
+            << " (synthetic), " << seconds << " s\n\n";
+
+  struct Row {
+    SchemeId scheme;
+    ExperimentResult result;
+  };
+  std::vector<Row> rows;
+  for (const SchemeId scheme : figure7_schemes()) {
+    config.scheme = scheme;
+    rows.push_back({scheme, run_experiment(config)});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.result.self_inflicted_delay_ms < b.result.self_inflicted_delay_ms;
+  });
+
+  TableWriter t({"Rank", "Scheme", "Self-inflicted delay (ms)",
+                 "Throughput (kbps)", "Utilization"});
+  std::int64_t rank = 1;
+  for (const Row& row : rows) {
+    t.row()
+        .cell(rank++)
+        .cell(to_string(row.scheme))
+        .cell(row.result.self_inflicted_delay_ms, 0)
+        .cell(row.result.throughput_kbps, 0)
+        .cell(row.result.utilization, 2);
+  }
+  t.print(std::cout);
+  std::cout << "\nFor a usable call you want the top of this table to also "
+               "carry enough bits for video\n(paper §5.2: Sprout should rank "
+               "first or nearly so on delay at competitive throughput).\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+#include "app/omniscient.h"
+
+#include <cassert>
+
+namespace sprout {
+
+OmniscientSender::OmniscientSender(Simulator& sim, const Trace& trace,
+                                   Duration propagation_delay,
+                                   std::int64_t flow_id)
+    : sim_(sim),
+      trace_(trace),
+      propagation_delay_(propagation_delay),
+      flow_id_(flow_id) {}
+
+void OmniscientSender::start(TimePoint start, TimePoint end) {
+  assert(network_ != nullptr && "attach_network before start");
+  // Find the first opportunity whose send time is still in the future.
+  std::size_t idx = 0;
+  while (trace_.opportunity(idx) - propagation_delay_ < start) ++idx;
+  schedule_from(idx, end);
+}
+
+void OmniscientSender::schedule_from(std::size_t index, TimePoint end) {
+  const TimePoint opportunity = trace_.opportunity(index);
+  if (opportunity >= end) return;
+  // Arrive one microsecond before the opportunity fires so the queue holds
+  // exactly one packet for an instant and never builds a backlog.
+  const TimePoint send_at = opportunity - propagation_delay_ - usec(1);
+  sim_.at(send_at, [this, index, end] {
+    Packet p;
+    p.flow_id = flow_id_;
+    p.size = kMtuBytes;
+    p.sent_at = sim_.now();
+    network_->receive(std::move(p));
+    ++packets_sent_;
+    schedule_from(index + 1, end);
+  });
+}
+
+}  // namespace sprout

@@ -1,0 +1,41 @@
+// The "omniscient" protocol of §5.1: knows the trace in advance and times
+// each packet to reach the link queue exactly when a delivery opportunity
+// fires, so nothing ever queues.  It achieves 100% utilization and defines
+// the baseline whose 95% end-to-end delay is subtracted to obtain the
+// self-inflicted delay.  Used to cross-validate the closed-form baseline in
+// metrics/flow_metrics.h.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "trace/trace.h"
+
+namespace sprout {
+
+class OmniscientSender {
+ public:
+  OmniscientSender(Simulator& sim, const Trace& trace,
+                   Duration propagation_delay, std::int64_t flow_id);
+
+  void attach_network(PacketSink& out) { network_ = &out; }
+
+  // Schedules sends so packets sit at the queue head at each opportunity in
+  // [start, end).
+  void start(TimePoint start, TimePoint end);
+
+  [[nodiscard]] std::int64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  void schedule_from(std::size_t index, TimePoint end);
+
+  Simulator& sim_;
+  const Trace& trace_;
+  Duration propagation_delay_;
+  std::int64_t flow_id_;
+  PacketSink* network_ = nullptr;
+  std::int64_t packets_sent_ = 0;
+};
+
+}  // namespace sprout

@@ -1,0 +1,69 @@
+#include "app/onoff_app.h"
+
+#include <cassert>
+
+namespace sprout {
+
+OnOffApp::OnOffApp(Simulator& sim, OnOffProfile profile, std::uint64_t seed)
+    : sim_(sim), profile_(profile), rng_(seed) {
+  assert(profile_.on_rate_kbps > 0.0);
+  assert(profile_.frame_interval > Duration::zero());
+}
+
+Duration OnOffApp::draw(Duration mean) {
+  if (!profile_.randomize) return mean;
+  const double mean_s = to_seconds(mean);
+  assert(mean_s > 0.0);
+  return from_seconds(rng_.exponential(1.0 / mean_s));
+}
+
+void OnOffApp::start() {
+  assert(!started_);
+  started_ = true;
+  toggle();  // begin with a talkspurt at t = now
+}
+
+void OnOffApp::toggle() {
+  if (!on_) {
+    on_ = true;
+    ++epoch_;
+    current_ = Burst{sim_.now(), TimePoint{}, 0};
+    frame(epoch_);
+    sim_.after(draw(profile_.on_duration), [this] { toggle(); });
+  } else {
+    on_ = false;
+    current_.end = sim_.now();
+    bursts_.push_back(current_);
+    sim_.after(draw(profile_.off_duration), [this] { toggle(); });
+  }
+}
+
+void OnOffApp::frame(std::uint64_t epoch) {
+  if (!on_ || epoch != epoch_) return;
+  const ByteCount frame_bytes =
+      bytes_at_kbps(profile_.on_rate_kbps, profile_.frame_interval);
+  queue_.offer(frame_bytes);
+  offered_ += frame_bytes;
+  current_.bytes += frame_bytes;
+  sim_.after(profile_.frame_interval, [this, epoch] { frame(epoch); });
+}
+
+std::vector<BurstDrain> burst_drain_lags(
+    const std::vector<OnOffApp::Burst>& bursts,
+    const std::vector<std::pair<TimePoint, ByteCount>>& delivered) {
+  std::vector<BurstDrain> out;
+  out.reserve(bursts.size());
+  ByteCount target = 0;
+  std::size_t i = 0;
+  for (const OnOffApp::Burst& burst : bursts) {
+    target += burst.bytes;
+    // Samples are time-ordered with nondecreasing byte counts; walk
+    // forward to the first one covering this burst's cumulative target.
+    while (i < delivered.size() && delivered[i].second < target) ++i;
+    if (i == delivered.size()) break;  // never fully drained
+    out.push_back({burst, delivered[i].first, delivered[i].first - burst.end});
+  }
+  return out;
+}
+
+}  // namespace sprout

@@ -1,0 +1,96 @@
+// Non-saturating on-off application over Sprout — the §7 transient study.
+//
+// §7: "The accuracy of Sprout's forecasts depends on whether the
+// application is providing offered load sufficient to saturate the link.
+// For applications that switch intermittently on and off ... the transient
+// behavior of Sprout's forecasts (e.g. ramp-up time) becomes more
+// important.  We did not evaluate any non-saturating applications in this
+// paper or attempt to measure or optimize Sprout's startup time from
+// idle."
+//
+// OnOffApp alternates talkspurts (frames offered at `on_rate_kbps` every
+// `frame_interval`) with silences, feeding a QueueDataSource a Sprout
+// sender pulls from.  Every burst is logged so a harness can measure how
+// long after the talkspurt ended its bytes finished arriving (the "drain
+// lag") — during an idle period only heartbeats keep the receiver's filter
+// fed, so the first frames of a new talkspurt ride a stale, cautious
+// forecast.  bench/fig_rampup sweeps the silence length to measure
+// exactly that.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/source.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace sprout {
+
+struct OnOffProfile {
+  double on_rate_kbps = 1500.0;
+  Duration frame_interval = msec(33);
+  Duration on_duration = sec(2);
+  Duration off_duration = sec(2);
+  // Deterministic periods by default; with randomize=true, ON/OFF lengths
+  // are exponential with the above means (a classic talkspurt model).
+  bool randomize = false;
+};
+
+class OnOffApp {
+ public:
+  OnOffApp(Simulator& sim, OnOffProfile profile, std::uint64_t seed = 1);
+
+  // The source to attach to a SproutEndpoint.
+  [[nodiscard]] DataSource& source() { return queue_; }
+
+  void start();
+
+  [[nodiscard]] bool on() const { return on_; }
+  [[nodiscard]] ByteCount total_offered() const { return offered_; }
+
+  struct Burst {
+    TimePoint start{};
+    TimePoint end{};       // when the talkspurt stopped offering data
+    ByteCount bytes = 0;   // total offered during the talkspurt
+  };
+  // Completed talkspurts, in time order (the in-progress one is excluded).
+  [[nodiscard]] const std::vector<Burst>& bursts() const { return bursts_; }
+
+ private:
+  void frame(std::uint64_t epoch);
+  void toggle();
+  [[nodiscard]] Duration draw(Duration mean);
+
+  Simulator& sim_;
+  OnOffProfile profile_;
+  Rng rng_;
+  QueueDataSource queue_;
+  bool started_ = false;
+  bool on_ = false;
+  // Each talkspurt gets a fresh epoch so a frame event left pending across
+  // a short silence cannot revive as a second frame chain.
+  std::uint64_t epoch_ = 0;
+  ByteCount offered_ = 0;
+  Burst current_{};
+  std::vector<Burst> bursts_;
+};
+
+// Drain lag of each completed talkspurt: how long after the app stopped
+// offering data its last byte reached the receiver.  `delivered` is a
+// time-ordered sampling of the receiver's cumulative payload-stream byte
+// count (e.g. SproutReceiver::received_or_lost_bytes() polled on a timer).
+// Bursts whose bytes never fully arrive within the samples are omitted.
+struct BurstDrain {
+  OnOffApp::Burst burst{};
+  TimePoint completed{};
+  Duration lag{};  // completed - burst.end
+};
+
+[[nodiscard]] std::vector<BurstDrain> burst_drain_lags(
+    const std::vector<OnOffApp::Burst>& bursts,
+    const std::vector<std::pair<TimePoint, ByteCount>>& delivered);
+
+}  // namespace sprout

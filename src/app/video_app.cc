@@ -1,0 +1,158 @@
+#include "app/video_app.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sprout {
+
+VideoProfile skype_profile() {
+  VideoProfile p;
+  p.name = "Skype";
+  p.min_rate_kbps = 100.0;
+  p.max_rate_kbps = 5000.0;  // "Skype uses up to 5 Mbps" (§5.2 footnote)
+  p.start_rate_kbps = 500.0;
+  p.adapt_interval = msec(1500);
+  p.reaction_lag = msec(3000);
+  p.increase_factor = 1.15;
+  p.decrease_factor = 0.60;
+  p.loss_threshold = 0.05;
+  p.delay_threshold_ms = 350.0;
+  return p;
+}
+
+VideoProfile facetime_profile() {
+  VideoProfile p;
+  p.name = "Facetime";
+  p.min_rate_kbps = 100.0;
+  p.max_rate_kbps = 2500.0;
+  p.start_rate_kbps = 400.0;
+  p.adapt_interval = msec(1200);
+  p.reaction_lag = msec(2500);
+  p.increase_factor = 1.20;
+  p.decrease_factor = 0.65;
+  p.loss_threshold = 0.08;
+  p.delay_threshold_ms = 400.0;
+  return p;
+}
+
+VideoProfile hangout_profile() {
+  VideoProfile p;
+  p.name = "Hangout";
+  p.min_rate_kbps = 64.0;
+  p.max_rate_kbps = 1800.0;
+  p.start_rate_kbps = 300.0;
+  p.adapt_interval = msec(2000);
+  p.reaction_lag = msec(3500);
+  p.increase_factor = 1.10;
+  p.decrease_factor = 0.60;
+  p.loss_threshold = 0.05;
+  p.delay_threshold_ms = 300.0;
+  return p;
+}
+
+VideoSender::VideoSender(Simulator& sim, VideoProfile profile,
+                         std::int64_t flow_id)
+    : sim_(sim),
+      profile_(std::move(profile)),
+      flow_id_(flow_id),
+      rate_kbps_(profile_.start_rate_kbps) {}
+
+void VideoSender::start() {
+  assert(network_ != nullptr && "attach_network before start");
+  sim_.after(profile_.frame_interval, [this] { send_frame(); });
+  sim_.after(profile_.adapt_interval, [this] { adapt(); });
+}
+
+void VideoSender::send_frame() {
+  ByteCount frame_bytes = bytes_at_kbps(rate_kbps_, profile_.frame_interval);
+  while (frame_bytes > 0) {
+    const ByteCount chunk = std::min(frame_bytes, profile_.max_packet_bytes);
+    Packet p;
+    p.flow_id = flow_id_;
+    p.size = chunk;
+    p.seq = next_seq_++;
+    p.sent_at = sim_.now();
+    p.echo = sim_.now();
+    network_->receive(std::move(p));
+    ++packets_sent_;
+    frame_bytes -= chunk;
+  }
+  sim_.after(profile_.frame_interval, [this] { send_frame(); });
+}
+
+void VideoSender::receive(Packet&& report) {
+  // meta carries loss fraction in ppm; ack carries mean OWD in microseconds.
+  Report r;
+  r.at = sim_.now();
+  r.loss_fraction = static_cast<double>(report.meta) / 1e6;
+  r.owd_ms = static_cast<double>(report.ack) / 1000.0;
+  reports_.push_back(r);
+  while (reports_.size() > 64) reports_.pop_front();
+}
+
+void VideoSender::adapt() {
+  // Act only on information old enough to have "settled" — this lag is the
+  // sluggishness the paper observed in all three applications.
+  const TimePoint cutoff = sim_.now() - profile_.reaction_lag;
+  const Report* usable = nullptr;
+  for (const Report& r : reports_) {
+    if (r.at <= cutoff) usable = &r;
+  }
+  if (usable != nullptr) {
+    const bool congested = usable->loss_fraction > profile_.loss_threshold ||
+                           usable->owd_ms > profile_.delay_threshold_ms;
+    if (congested) {
+      rate_kbps_ *= profile_.decrease_factor;
+    } else {
+      rate_kbps_ *= profile_.increase_factor;
+    }
+    rate_kbps_ = std::clamp(rate_kbps_, profile_.min_rate_kbps,
+                            profile_.max_rate_kbps);
+  }
+  sim_.after(profile_.adapt_interval, [this] { adapt(); });
+}
+
+VideoReceiver::VideoReceiver(Simulator& sim, std::int64_t flow_id,
+                             VideoReportConfig config)
+    : sim_(sim), flow_id_(flow_id), config_(config) {}
+
+void VideoReceiver::start() {
+  assert(report_path_ != nullptr && "attach_report_path before start");
+  sim_.after(config_.interval, [this] { send_report(); });
+}
+
+void VideoReceiver::receive(Packet&& p) {
+  ++received_;
+  ++window_received_;
+  if (window_first_seq_ < 0) window_first_seq_ = p.seq;
+  window_max_seq_ = std::max(window_max_seq_, p.seq);
+  window_owd_sum_ms_ += to_millis(sim_.now() - p.sent_at);
+}
+
+void VideoReceiver::send_report() {
+  double loss = 0.0;
+  double owd_ms = 0.0;
+  if (window_received_ > 0) {
+    const std::int64_t expected = window_max_seq_ - window_first_seq_ + 1;
+    loss = expected > 0
+               ? 1.0 - static_cast<double>(window_received_) /
+                           static_cast<double>(expected)
+               : 0.0;
+    owd_ms = window_owd_sum_ms_ / static_cast<double>(window_received_);
+    Packet report;
+    report.flow_id = flow_id_;
+    report.size = config_.report_bytes;
+    report.sent_at = sim_.now();
+    report.meta = static_cast<std::int64_t>(std::max(0.0, loss) * 1e6);
+    report.ack = static_cast<std::int64_t>(owd_ms * 1000.0);
+    report_path_->receive(std::move(report));
+  }
+  window_received_ = 0;
+  window_first_seq_ = -1;
+  window_max_seq_ = -1;
+  window_owd_sum_ms_ = 0.0;
+  sim_.after(config_.interval, [this] { send_report(); });
+}
+
+}  // namespace sprout

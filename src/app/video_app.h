@@ -1,0 +1,111 @@
+// Behavioral models of the closed-source interactive applications the paper
+// measured (Skype, Apple Facetime, Google Hangout).
+//
+// The paper characterizes these programs' transport behaviour (§1, §5.2):
+// they pick a sending rate, raise it slowly while reports look healthy, and
+// react to deterioration only after a multi-second lag — so they overshoot
+// when the link rate collapses and build multi-second standing queues.  The
+// model here reproduces exactly that control loop: a fixed-cadence encoder
+// (frames every 33 ms, split into MTU packets) plus a reactive controller
+// driven by receiver reports (loss fraction + one-way delay) that are acted
+// on only after `reaction_lag`.  Per-app profiles set the rate bounds and
+// aggressiveness to the qualitative shapes of Figure 7.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace sprout {
+
+struct VideoProfile {
+  std::string name;
+  double min_rate_kbps = 100.0;
+  double max_rate_kbps = 5000.0;
+  double start_rate_kbps = 500.0;
+  Duration frame_interval = msec(33);
+  Duration adapt_interval = msec(1500);  // how often the rate is reconsidered
+  Duration reaction_lag = msec(3000);    // age a report must reach to be used
+  double increase_factor = 1.15;
+  double decrease_factor = 0.60;
+  double loss_threshold = 0.05;          // fraction lost triggering decrease
+  double delay_threshold_ms = 350.0;     // OWD triggering decrease
+  ByteCount max_packet_bytes = kMtuBytes;  // reduced when tunneled
+};
+
+// Presets matched to the paper's observations (Skype up to 5 Mb/s; Facetime
+// similar envelope but lower ceiling; Hangout the most conservative).
+[[nodiscard]] VideoProfile skype_profile();
+[[nodiscard]] VideoProfile facetime_profile();
+[[nodiscard]] VideoProfile hangout_profile();
+
+class VideoSender : public PacketSink {
+ public:
+  VideoSender(Simulator& sim, VideoProfile profile, std::int64_t flow_id);
+
+  void attach_network(PacketSink& out) { network_ = &out; }
+  void start();
+
+  // Receiver reports arrive here over the reverse path.
+  void receive(Packet&& report) override;
+
+  [[nodiscard]] double current_rate_kbps() const { return rate_kbps_; }
+  [[nodiscard]] std::int64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  void send_frame();
+  void adapt();
+
+  Simulator& sim_;
+  VideoProfile profile_;
+  std::int64_t flow_id_;
+  PacketSink* network_ = nullptr;
+  double rate_kbps_;
+  std::int64_t next_seq_ = 0;
+  std::int64_t packets_sent_ = 0;
+
+  struct Report {
+    TimePoint at;
+    double loss_fraction;
+    double owd_ms;
+  };
+  std::deque<Report> reports_;
+};
+
+struct VideoReportConfig {
+  Duration interval = sec(1);
+  ByteCount report_bytes = 100;
+};
+
+class VideoReceiver : public PacketSink {
+ public:
+  VideoReceiver(Simulator& sim, std::int64_t flow_id,
+                VideoReportConfig config = {});
+
+  void attach_report_path(PacketSink& out) { report_path_ = &out; }
+  void start();
+
+  void receive(Packet&& p) override;
+
+  [[nodiscard]] std::int64_t packets_received() const { return received_; }
+
+ private:
+  void send_report();
+
+  Simulator& sim_;
+  std::int64_t flow_id_;
+  VideoReportConfig config_;
+  PacketSink* report_path_ = nullptr;
+
+  std::int64_t received_ = 0;
+  std::int64_t window_received_ = 0;
+  std::int64_t window_first_seq_ = -1;
+  std::int64_t window_max_seq_ = -1;
+  double window_owd_sum_ms_ = 0.0;
+};
+
+}  // namespace sprout

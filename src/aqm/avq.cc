@@ -1,0 +1,60 @@
+#include "aqm/avq.h"
+
+#include <algorithm>
+
+namespace sprout {
+
+AvqPolicy::AvqPolicy(AvqParams params)
+    : params_(params),
+      vc_bps_(params.initial_capacity_bps),
+      link_bps_(params.initial_capacity_bps) {}
+
+bool AvqPolicy::admit(const LinkQueue& queue, const Packet& arriving,
+                      TimePoint now) {
+  (void)queue;
+  const double b = static_cast<double>(arriving.size);
+
+  double dt = 0.0;
+  if (has_arrival_) dt = to_seconds(now - last_arrival_);
+  has_arrival_ = true;
+  last_arrival_ = now;
+
+  // Drain the virtual queue at the virtual capacity since the last arrival.
+  vq_bytes_ = std::max(0.0, vq_bytes_ - vc_bps_ / 8.0 * dt);
+
+  bool admitted = true;
+  if (vq_bytes_ + b > static_cast<double>(params_.virtual_buffer_bytes)) {
+    ++drops_;
+    admitted = false;
+  } else {
+    vq_bytes_ += b;
+  }
+
+  // Token-bucket capacity adaptation (drop the arrival's bytes only when it
+  // was admitted — the paper updates with the admitted load lambda).
+  vc_bps_ += params_.alpha * params_.gamma * link_bps_ * dt;
+  if (admitted) vc_bps_ -= params_.alpha * b * 8.0;
+  vc_bps_ = std::clamp(vc_bps_, 0.0, link_bps_);
+
+  return admitted;
+}
+
+std::optional<Packet> AvqPolicy::dequeue(LinkQueue& queue, TimePoint now) {
+  auto p = queue.pop();
+  if (p.has_value()) measure_capacity(p->size, now);
+  return p;
+}
+
+void AvqPolicy::measure_capacity(ByteCount bytes, TimePoint now) {
+  if (window_start_ == TimePoint{}) window_start_ = now;
+  window_bytes_ += bytes;
+  const Duration span = now - window_start_;
+  if (span >= params_.rate_window) {
+    link_bps_ = static_cast<double>(window_bytes_) * 8.0 / to_seconds(span);
+    link_bps_ = std::max(link_bps_, 1e3);  // avoid a dead virtual clock
+    window_start_ = now;
+    window_bytes_ = 0;
+  }
+}
+
+}  // namespace sprout

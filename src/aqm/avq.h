@@ -1,0 +1,61 @@
+// Adaptive Virtual Queue (Kunniyur & Srikant, SIGCOMM 2001) — the paper's
+// related-work AQM [14].
+//
+// AVQ runs a fictitious queue whose service rate C~ is a fraction gamma of
+// the measured link rate; arriving packets that would overflow the virtual
+// buffer are dropped from the real queue.  C~ adapts with the token-bucket
+// differential equation  d C~/dt = alpha (gamma C - lambda), implemented at
+// each arrival exactly as in the paper's pseudocode:
+//   VQ <- max(VQ - C~ (t - s), 0)             // drain since last arrival
+//   if VQ + b > B: drop else VQ <- VQ + b
+//   C~ <- clamp(C~ + alpha gamma C (t - s) - alpha b, 0, C)
+//
+// The cellular twist: C (the link rate) is itself time-varying, so the
+// emulation feeds AVQ a windowed measurement of recent delivery rate rather
+// than a configured constant — exactly the difficulty §2.1 predicts for
+// rate-parameterized AQMs.
+#pragma once
+
+#include <cstdint>
+
+#include "aqm/aqm.h"
+
+namespace sprout {
+
+struct AvqParams {
+  double gamma = 0.98;       // desired utilization
+  double alpha = 0.15;       // adaptation gain
+  ByteCount virtual_buffer_bytes = 100 * kMtuBytes;
+  // Initial estimate of link capacity, refined online from dequeues.
+  double initial_capacity_bps = 5e6;
+  Duration rate_window = msec(500);
+};
+
+class AvqPolicy : public AqmPolicy {
+ public:
+  explicit AvqPolicy(AvqParams params = {});
+
+  bool admit(const LinkQueue& queue, const Packet& arriving,
+             TimePoint now) override;
+  std::optional<Packet> dequeue(LinkQueue& queue, TimePoint now) override;
+
+  [[nodiscard]] double virtual_capacity_bps() const { return vc_bps_; }
+  [[nodiscard]] double virtual_queue_bytes() const { return vq_bytes_; }
+  [[nodiscard]] std::int64_t drops() const { return drops_; }
+
+ private:
+  void measure_capacity(ByteCount bytes, TimePoint now);
+
+  AvqParams params_;
+  double vq_bytes_ = 0.0;
+  double vc_bps_;          // virtual capacity C~
+  double link_bps_;        // measured link capacity C
+  TimePoint last_arrival_{};
+  bool has_arrival_ = false;
+  // Windowed delivery measurement.
+  TimePoint window_start_{};
+  ByteCount window_bytes_ = 0;
+  std::int64_t drops_ = 0;
+};
+
+}  // namespace sprout

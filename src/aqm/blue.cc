@@ -1,0 +1,40 @@
+#include "aqm/blue.h"
+
+namespace sprout {
+
+void BluePolicy::maybe_raise(TimePoint now) {
+  if (has_update_ && now - last_update_ < params_.freeze_time) return;
+  p_ = std::min(1.0, p_ + params_.increment);
+  last_update_ = now;
+  has_update_ = true;
+}
+
+void BluePolicy::maybe_lower(TimePoint now) {
+  if (has_update_ && now - last_update_ < params_.freeze_time) return;
+  p_ = std::max(0.0, p_ - params_.decrement);
+  last_update_ = now;
+  has_update_ = true;
+}
+
+bool BluePolicy::admit(const LinkQueue& queue, const Packet& arriving,
+                       TimePoint now) {
+  if (queue.bytes() + arriving.size > params_.high_water_bytes) {
+    maybe_raise(now);
+  }
+  if (p_ > 0.0 && rng_.bernoulli(p_)) {
+    ++drops_;
+    return false;
+  }
+  return true;
+}
+
+std::optional<Packet> BluePolicy::dequeue(LinkQueue& queue, TimePoint now) {
+  if (queue.empty()) {
+    // Link idle: the queue emptied, so the drop probability is too high.
+    maybe_lower(now);
+    return std::nullopt;
+  }
+  return queue.pop();
+}
+
+}  // namespace sprout

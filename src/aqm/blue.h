@@ -1,0 +1,50 @@
+// BLUE active queue management (Feng, Shin, Kandlur & Saha, IEEE/ACM ToN
+// 2002) — the paper's related-work AQM [6].
+//
+// BLUE keeps a single drop probability p and adjusts it on events rather
+// than queue averages: a queue overflow (or queue above a high-water mark)
+// raises p by `increment`; an empty link lowers it by `decrement`.  Updates
+// are rate-limited by `freeze_time` so p settles instead of oscillating.
+#pragma once
+
+#include <cstdint>
+
+#include "aqm/aqm.h"
+#include "util/rng.h"
+
+namespace sprout {
+
+struct BlueParams {
+  // Mark/raise when the backlog exceeds this many bytes (stand-in for the
+  // original's physical buffer overflow; the emulated queue is unbounded).
+  ByteCount high_water_bytes = 100 * kMtuBytes;
+  double increment = 0.02;   // d1: on congestion
+  double decrement = 0.002;  // d2 << d1: on idle link
+  Duration freeze_time = msec(100);
+};
+
+class BluePolicy : public AqmPolicy {
+ public:
+  BluePolicy(BlueParams params, std::uint64_t seed)
+      : params_(params), rng_(seed) {}
+
+  bool admit(const LinkQueue& queue, const Packet& arriving,
+             TimePoint now) override;
+  std::optional<Packet> dequeue(LinkQueue& queue, TimePoint now) override;
+
+  [[nodiscard]] double drop_probability() const { return p_; }
+  [[nodiscard]] std::int64_t drops() const { return drops_; }
+
+ private:
+  void maybe_raise(TimePoint now);
+  void maybe_lower(TimePoint now);
+
+  BlueParams params_;
+  Rng rng_;
+  double p_ = 0.0;
+  TimePoint last_update_{};
+  bool has_update_ = false;
+  std::int64_t drops_ = 0;
+};
+
+}  // namespace sprout

@@ -1,0 +1,88 @@
+#include "aqm/codel.h"
+
+#include <cmath>
+
+namespace sprout {
+
+namespace {
+constexpr TimePoint kUnset{};
+}
+
+TimePoint CodelPolicy::control_law(TimePoint t) const {
+  const double spacing_us = static_cast<double>(
+                                params_.interval.count()) /
+                            std::sqrt(static_cast<double>(count_));
+  return t + usec(static_cast<std::int64_t>(spacing_us));
+}
+
+CodelPolicy::DodequeResult CodelPolicy::dodeque(LinkQueue& queue,
+                                                TimePoint now) {
+  DodequeResult r;
+  r.packet = queue.pop();
+  if (!r.packet.has_value()) {
+    first_above_time_ = kUnset;
+    return r;
+  }
+  const Duration sojourn = now - r.packet->enqueued_at;
+  if (sojourn < params_.target || queue.bytes() <= params_.mtu) {
+    // Went below target (or queue nearly empty): restart the clock.
+    first_above_time_ = kUnset;
+  } else {
+    if (first_above_time_ == kUnset) {
+      first_above_time_ = now + params_.interval;
+    } else if (now >= first_above_time_) {
+      r.ok_to_drop = true;
+    }
+  }
+  return r;
+}
+
+std::optional<Packet> CodelPolicy::dequeue(LinkQueue& queue, TimePoint now) {
+  DodequeResult r = dodeque(queue, now);
+  if (!r.packet.has_value()) {
+    dropping_ = false;
+    return std::nullopt;
+  }
+  if (dropping_) {
+    if (!r.ok_to_drop) {
+      dropping_ = false;
+    } else {
+      while (dropping_ && now >= drop_next_) {
+        ++drops_;
+        queue.note_policy_drop();
+        ++count_;
+        r = dodeque(queue, now);
+        if (!r.packet.has_value()) {
+          dropping_ = false;
+          return std::nullopt;
+        }
+        if (!r.ok_to_drop) {
+          dropping_ = false;
+        } else {
+          drop_next_ = control_law(drop_next_);
+        }
+      }
+    }
+  } else if (r.ok_to_drop) {
+    // Enter dropping state: drop this packet, deliver the next.
+    ++drops_;
+    queue.note_policy_drop();
+    r = dodeque(queue, now);
+    dropping_ = true;
+    // If we were dropping recently, resume at a faster rate rather than
+    // relearning from scratch (the "count" memory).
+    if (now - drop_next_ < params_.interval) {
+      count_ = count_ > 2 ? count_ - 2 : 1;
+    } else {
+      count_ = 1;
+    }
+    drop_next_ = control_law(now);
+    if (!r.packet.has_value()) {
+      dropping_ = false;
+      return std::nullopt;
+    }
+  }
+  return std::move(r.packet);
+}
+
+}  // namespace sprout

@@ -1,0 +1,48 @@
+// CoDel ("controlled delay") active queue management.
+//
+// Implementation of the dequeue-side state machine from Nichols & Jacobson,
+// "Controlling Queue Delay", ACM Queue 10(5), 2012 (the paper's [17]) —
+// the same pseudocode the authors added to Cellsim.  Packets are dropped at
+// dequeue when their sojourn time has stayed above `target` for at least an
+// `interval`, with drop spacing decreasing as interval/sqrt(count).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "aqm/aqm.h"
+
+namespace sprout {
+
+struct CodelParams {
+  Duration target = msec(5);      // acceptable standing-queue delay
+  Duration interval = msec(100);  // sliding window for the minimum sojourn
+  ByteCount mtu = kMtuBytes;      // exit dropping below one MTU backlog
+};
+
+class CodelPolicy : public AqmPolicy {
+ public:
+  explicit CodelPolicy(CodelParams params = {}) : params_(params) {}
+
+  std::optional<Packet> dequeue(LinkQueue& queue, TimePoint now) override;
+
+  [[nodiscard]] std::int64_t drops() const { return drops_; }
+  [[nodiscard]] bool dropping() const { return dropping_; }
+
+ private:
+  struct DodequeResult {
+    std::optional<Packet> packet;
+    bool ok_to_drop = false;
+  };
+  DodequeResult dodeque(LinkQueue& queue, TimePoint now);
+  [[nodiscard]] TimePoint control_law(TimePoint t) const;
+
+  CodelParams params_;
+  TimePoint first_above_time_{};  // epoch value doubles as "unset"
+  TimePoint drop_next_{};
+  std::int64_t count_ = 0;
+  bool dropping_ = false;
+  std::int64_t drops_ = 0;
+};
+
+}  // namespace sprout

@@ -1,0 +1,71 @@
+#include "aqm/pie.h"
+
+#include <algorithm>
+
+namespace sprout {
+
+void PiePolicy::update(const LinkQueue& queue, TimePoint now) {
+  if (!armed_) {
+    armed_ = true;
+    next_update_ = now + params_.update_interval;
+    return;
+  }
+  if (now < next_update_) return;
+  next_update_ = now + params_.update_interval;
+
+  // Little's law: delay = backlog / departure rate.
+  if (depart_rate_Bps_ > 1.0) {
+    est_delay_ms_ =
+        static_cast<double>(queue.bytes()) / depart_rate_Bps_ * 1000.0;
+  } else if (queue.empty()) {
+    est_delay_ms_ = 0.0;
+  }
+
+  const double target_ms = to_millis(params_.target);
+  double dp = params_.alpha * (est_delay_ms_ - target_ms) / 1000.0 +
+              params_.beta * (est_delay_ms_ - last_delay_ms_) / 1000.0;
+
+  // RFC 8033 §4.2: scale the step down while p is small so the controller
+  // can creep out of the noise floor without oscillating.
+  if (p_ < 0.000001) dp /= 2048.0;
+  else if (p_ < 0.00001) dp /= 512.0;
+  else if (p_ < 0.0001) dp /= 128.0;
+  else if (p_ < 0.001) dp /= 32.0;
+  else if (p_ < 0.01) dp /= 8.0;
+  else if (p_ < 0.1) dp /= 2.0;
+
+  p_ = std::clamp(p_ + dp, 0.0, 1.0);
+
+  // Exponential decay when the queue has emptied.
+  if (est_delay_ms_ <= 0.0 && last_delay_ms_ <= 0.0) p_ *= 0.98;
+  last_delay_ms_ = est_delay_ms_;
+}
+
+bool PiePolicy::admit(const LinkQueue& queue, const Packet& arriving,
+                      TimePoint now) {
+  update(queue, now);
+  if (queue.bytes() + arriving.size <= params_.bypass_bytes) return true;
+  if (p_ > 0.0 && rng_.bernoulli(p_)) {
+    ++drops_;
+    return false;
+  }
+  return true;
+}
+
+std::optional<Packet> PiePolicy::dequeue(LinkQueue& queue, TimePoint now) {
+  auto p = queue.pop();
+  if (p.has_value()) {
+    if (rate_window_start_ == TimePoint{}) rate_window_start_ = now;
+    rate_window_bytes_ += p->size;
+    const Duration span = now - rate_window_start_;
+    if (span >= msec(100)) {
+      depart_rate_Bps_ =
+          static_cast<double>(rate_window_bytes_) / to_seconds(span);
+      rate_window_start_ = now;
+      rate_window_bytes_ = 0;
+    }
+  }
+  return p;
+}
+
+}  // namespace sprout

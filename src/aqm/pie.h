@@ -1,0 +1,59 @@
+// PIE — Proportional Integral controller Enhanced (Pan et al., RFC 8033).
+//
+// A contemporary of CoDel with the same goal (control queueing *delay*, not
+// length) but an enqueue-side design: every `update_interval` the drop
+// probability p moves by  alpha (delay - target) + beta (delay - last_delay),
+// where the queuing delay is estimated from backlog / measured departure
+// rate (Little's law).  Included as the natural third point next to CoDel
+// in the in-network comparison of §5.4: it shows the papers' conclusions
+// are about *in-network vs end-to-end*, not about CoDel specifically.
+#pragma once
+
+#include <cstdint>
+
+#include "aqm/aqm.h"
+#include "util/rng.h"
+
+namespace sprout {
+
+struct PieParams {
+  Duration target = msec(20);           // reference queueing delay
+  Duration update_interval = msec(30);  // controller period
+  double alpha = 0.125;                 // proportional gain (per second err)
+  double beta = 1.25;                   // derivative-ish gain
+  ByteCount mean_packet_bytes = kMtuBytes;
+  // Below this backlog PIE stops dropping entirely (RFC 8033 §4.2 bypass).
+  ByteCount bypass_bytes = 2 * kMtuBytes;
+};
+
+class PiePolicy : public AqmPolicy {
+ public:
+  PiePolicy(PieParams params, std::uint64_t seed)
+      : params_(params), rng_(seed) {}
+
+  bool admit(const LinkQueue& queue, const Packet& arriving,
+             TimePoint now) override;
+  std::optional<Packet> dequeue(LinkQueue& queue, TimePoint now) override;
+
+  [[nodiscard]] double drop_probability() const { return p_; }
+  [[nodiscard]] double estimated_delay_ms() const { return est_delay_ms_; }
+  [[nodiscard]] std::int64_t drops() const { return drops_; }
+
+ private:
+  void update(const LinkQueue& queue, TimePoint now);
+
+  PieParams params_;
+  Rng rng_;
+  double p_ = 0.0;
+  double est_delay_ms_ = 0.0;
+  double last_delay_ms_ = 0.0;
+  // Departure-rate measurement (bytes per second over recent dequeues).
+  double depart_rate_Bps_ = 0.0;
+  TimePoint rate_window_start_{};
+  ByteCount rate_window_bytes_ = 0;
+  TimePoint next_update_{};
+  bool armed_ = false;
+  std::int64_t drops_ = 0;
+};
+
+}  // namespace sprout

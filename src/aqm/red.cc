@@ -1,0 +1,36 @@
+#include "aqm/red.h"
+
+namespace sprout {
+
+bool RedPolicy::admit(const LinkQueue& queue, const Packet& arriving,
+                      TimePoint now) {
+  (void)arriving;
+  (void)now;
+  avg_ = (1.0 - params_.queue_weight) * avg_ +
+         params_.queue_weight * static_cast<double>(queue.bytes());
+  if (avg_ < params_.min_threshold_bytes) {
+    since_last_drop_ = 0;
+    return true;
+  }
+  if (avg_ >= params_.max_threshold_bytes) {
+    ++drops_;
+    since_last_drop_ = 0;
+    return false;
+  }
+  // Linear ramp of the base drop probability between the thresholds,
+  // spread out by the count since the last drop (gentle RED).
+  const double fraction = (avg_ - params_.min_threshold_bytes) /
+                          (params_.max_threshold_bytes - params_.min_threshold_bytes);
+  const double base = params_.max_drop_probability * fraction;
+  const double denom = 1.0 - static_cast<double>(since_last_drop_) * base;
+  const double p = denom > 0.0 ? base / denom : 1.0;
+  ++since_last_drop_;
+  if (rng_.bernoulli(p)) {
+    ++drops_;
+    since_last_drop_ = 0;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sprout

@@ -1,0 +1,40 @@
+// Random Early Detection (Floyd & Jacobson 1993) — the paper's related-work
+// AQM baseline.  Included as an ablation extra: §6 argues RED-family schemes
+// are hard to parameterize on fast-varying links, which the ablation bench
+// demonstrates against CoDel.
+#pragma once
+
+#include <cstdint>
+
+#include "aqm/aqm.h"
+#include "util/rng.h"
+
+namespace sprout {
+
+struct RedParams {
+  double min_threshold_bytes = 30.0 * 1500.0;
+  double max_threshold_bytes = 90.0 * 1500.0;
+  double max_drop_probability = 0.1;
+  double queue_weight = 0.002;  // EWMA weight for the average queue size
+};
+
+class RedPolicy : public AqmPolicy {
+ public:
+  RedPolicy(RedParams params, std::uint64_t seed)
+      : params_(params), rng_(seed) {}
+
+  bool admit(const LinkQueue& queue, const Packet& arriving,
+             TimePoint now) override;
+
+  [[nodiscard]] double average_queue_bytes() const { return avg_; }
+  [[nodiscard]] std::int64_t drops() const { return drops_; }
+
+ private:
+  RedParams params_;
+  Rng rng_;
+  double avg_ = 0.0;
+  std::int64_t since_last_drop_ = 0;
+  std::int64_t drops_ = 0;
+};
+
+}  // namespace sprout

@@ -1,0 +1,54 @@
+#include "cc/compound.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sprout {
+
+void CompoundCC::on_ack(const AckEvent& ev) {
+  loss_window_.on_ack(ev);
+
+  const double rtt_s = std::max(1e-4, to_seconds(ev.rtt));
+  base_rtt_s_ = std::min(base_rtt_s_, rtt_s);
+  epoch_min_rtt_s_ = std::min(epoch_min_rtt_s_, rtt_s);
+  if (!epoch_started_) {
+    epoch_started_ = true;
+    epoch_end_ = ev.now + from_seconds(rtt_s);
+    return;
+  }
+  if (ev.now < epoch_end_) return;
+
+  const double win = cwnd_packets();
+  const double expected = win / base_rtt_s_;
+  const double actual = win / epoch_min_rtt_s_;
+  const double diff = (expected - actual) * base_rtt_s_;
+
+  if (diff < params_.gamma) {
+    // Delay headroom: binomial growth alpha * win^k (minus Reno's +1 that
+    // the loss window already contributed this RTT).
+    dwnd_ += std::max(0.0, params_.alpha * std::pow(win, params_.k) - 1.0);
+  } else {
+    // Backlog building: drain it from the delay window, and — the part
+    // that matters on lossless deep-buffer cellular paths — stop the loss
+    // window's slow start.  Without this, a bufferbloated link that never
+    // drops lets Reno double forever and Compound degenerates into Cubic's
+    // behaviour (we measured exactly that: identical Table-1 rows).
+    // Deployed CTCP avoids it because its delay signal gates growth.
+    dwnd_ = std::max(0.0, dwnd_ - params_.zeta * diff);
+    loss_window_.exit_slow_start();
+  }
+  epoch_min_rtt_s_ = 1e9;
+  epoch_end_ = ev.now + from_seconds(rtt_s);
+}
+
+void CompoundCC::on_packet_loss(TimePoint now) {
+  loss_window_.on_packet_loss(now);
+  dwnd_ = std::max(0.0, dwnd_ * (1.0 - params_.beta));
+}
+
+void CompoundCC::on_timeout(TimePoint now) {
+  loss_window_.on_timeout(now);
+  dwnd_ = 0.0;
+}
+
+}  // namespace sprout

@@ -1,0 +1,44 @@
+// Compound TCP (Tan, Song, Zhang, Sridharan — INFOCOM 2006), the Windows
+// default the paper tested.  The window is the sum of a Reno-style loss
+// window and a delay-scaled window dwnd that grows binomially while the
+// estimated backlog stays below gamma and retreats when it exceeds it.
+#pragma once
+
+#include "cc/congestion_control.h"
+#include "cc/reno.h"
+
+namespace sprout {
+
+struct CompoundParams {
+  double alpha = 0.125;  // dwnd growth scale
+  double beta = 0.5;     // dwnd multiplicative decrease on loss
+  double k = 0.75;       // dwnd growth exponent
+  double gamma = 30.0;   // backlog threshold (packets)
+  double zeta = 1.0;     // backlog drain factor
+};
+
+class CompoundCC : public CongestionControl {
+ public:
+  explicit CompoundCC(CompoundParams params = {}) : params_(params) {}
+
+  void on_ack(const AckEvent& ev) override;
+  void on_packet_loss(TimePoint now) override;
+  void on_timeout(TimePoint now) override;
+
+  [[nodiscard]] double cwnd_packets() const override {
+    return loss_window_.cwnd_packets() + dwnd_;
+  }
+  [[nodiscard]] const char* name() const override { return "Compound"; }
+  [[nodiscard]] double dwnd() const { return dwnd_; }
+
+ private:
+  CompoundParams params_;
+  RenoCC loss_window_;
+  double dwnd_ = 0.0;
+  double base_rtt_s_ = 1e9;
+  double epoch_min_rtt_s_ = 1e9;
+  TimePoint epoch_end_{};
+  bool epoch_started_ = false;
+};
+
+}  // namespace sprout

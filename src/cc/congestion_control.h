@@ -1,0 +1,38 @@
+// Pluggable congestion-control interface for the TCP machinery.
+//
+// The paper compares Sprout against TCP Cubic (Linux default), TCP Vegas,
+// Compound TCP (Windows default) and LEDBAT (µTP).  Each is implemented as
+// a control law over this interface and driven by cc/tcp_endpoint.*, which
+// supplies acks (with RTT and one-way-delay samples), loss signals, and
+// timeouts.  Windows are in MSS-sized packets.
+#pragma once
+
+#include "util/units.h"
+
+namespace sprout {
+
+struct AckEvent {
+  TimePoint now{};
+  Duration rtt{};            // sender-measured round trip
+  Duration one_way_delay{};  // receiver-measured (for LEDBAT)
+  std::int64_t newly_acked = 0;  // packets cumulatively acked by this ack
+  std::int64_t inflight = 0;     // packets outstanding after this ack
+};
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  virtual void on_ack(const AckEvent& ev) = 0;
+
+  // Loss inferred from duplicate acks (fast retransmit).
+  virtual void on_packet_loss(TimePoint now) = 0;
+
+  // Retransmission timeout: collapse to one segment.
+  virtual void on_timeout(TimePoint now) = 0;
+
+  [[nodiscard]] virtual double cwnd_packets() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+}  // namespace sprout

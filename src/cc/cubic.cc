@@ -1,0 +1,68 @@
+#include "cc/cubic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sprout {
+
+double CubicCC::w_cubic(double t_seconds) const {
+  const double dt = t_seconds - k_;
+  return params_.c * dt * dt * dt + w_max_;
+}
+
+void CubicCC::on_ack(const AckEvent& ev) {
+  const double rtt_s = std::max(1e-3, to_seconds(ev.rtt));
+  srtt_s_ = 0.875 * srtt_s_ + 0.125 * rtt_s;
+
+  for (std::int64_t i = 0; i < ev.newly_acked; ++i) {
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;
+      continue;
+    }
+    if (!epoch_valid_) {
+      epoch_start_ = ev.now;
+      epoch_valid_ = true;
+      if (w_max_ < cwnd_) {
+        // No loss since we exceeded the old maximum: anchor here.
+        w_max_ = cwnd_;
+        k_ = 0.0;
+      } else {
+        k_ = std::cbrt(w_max_ * (1.0 - params_.beta) / params_.c);
+      }
+      w_est_ = cwnd_;
+    }
+    const double t = to_seconds(ev.now - epoch_start_);
+    // Target one RTT ahead, per the RFC's window-increase rule.
+    const double target = w_cubic(t + srtt_s_);
+    if (target > cwnd_) {
+      cwnd_ += (target - cwnd_) / cwnd_;
+    } else {
+      cwnd_ += 0.01 / cwnd_;  // minimal growth in the concave plateau
+    }
+    // TCP-friendly region: never slower than Reno's AIMD average.
+    w_est_ += 3.0 * (1.0 - params_.beta) / (1.0 + params_.beta) / cwnd_;
+    cwnd_ = std::max(cwnd_, std::min(w_est_, w_max_ * 2.0));
+  }
+}
+
+void CubicCC::on_packet_loss(TimePoint) {
+  if (params_.fast_convergence && cwnd_ < w_max_) {
+    // Window never recovered: release bandwidth faster.
+    w_max_ = cwnd_ * (1.0 + params_.beta) / 2.0;
+  } else {
+    w_max_ = cwnd_;
+  }
+  cwnd_ = std::max(2.0, cwnd_ * params_.beta);
+  ssthresh_ = cwnd_;
+  k_ = std::cbrt(w_max_ * (1.0 - params_.beta) / params_.c);
+  epoch_valid_ = false;
+}
+
+void CubicCC::on_timeout(TimePoint) {
+  w_max_ = cwnd_;
+  ssthresh_ = std::max(2.0, cwnd_ * params_.beta);
+  cwnd_ = 1.0;
+  epoch_valid_ = false;
+}
+
+}  // namespace sprout

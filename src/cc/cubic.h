@@ -1,0 +1,43 @@
+// TCP Cubic (Ha, Rhee, Xu 2008; RFC 8312 constants) — Linux's default and
+// the paper's main TCP baseline.  Window growth is a cubic function of time
+// since the last loss, anchored at the pre-loss window W_max, with the
+// standard TCP-friendly (Reno-tracking) region and fast convergence.
+#pragma once
+
+#include "cc/congestion_control.h"
+
+namespace sprout {
+
+struct CubicParams {
+  double c = 0.4;       // cubic scaling constant
+  double beta = 0.7;    // multiplicative decrease factor
+  bool fast_convergence = true;
+};
+
+class CubicCC : public CongestionControl {
+ public:
+  explicit CubicCC(CubicParams params = {}) : params_(params) {}
+
+  void on_ack(const AckEvent& ev) override;
+  void on_packet_loss(TimePoint now) override;
+  void on_timeout(TimePoint now) override;
+
+  [[nodiscard]] double cwnd_packets() const override { return cwnd_; }
+  [[nodiscard]] const char* name() const override { return "Cubic"; }
+  [[nodiscard]] double w_max() const { return w_max_; }
+
+ private:
+  [[nodiscard]] double w_cubic(double t_seconds) const;
+
+  CubicParams params_;
+  double cwnd_ = 2.0;
+  double ssthresh_ = 1e9;
+  double w_max_ = 0.0;
+  double k_ = 0.0;               // time to regain w_max
+  TimePoint epoch_start_{};      // set on first ack after a loss
+  bool epoch_valid_ = false;
+  double w_est_ = 0.0;           // Reno-friendly estimate
+  double srtt_s_ = 0.1;          // smoothed RTT for the friendly region
+};
+
+}  // namespace sprout

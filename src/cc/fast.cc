@@ -1,0 +1,38 @@
+#include "cc/fast.h"
+
+#include <algorithm>
+
+namespace sprout {
+
+void FastCC::on_ack(const AckEvent& ev) {
+  const double rtt_s = std::max(1e-4, to_seconds(ev.rtt));
+  base_rtt_s_ = std::min(base_rtt_s_, rtt_s);
+  // FAST uses a smoothed RTT in the window law (the paper's implementation
+  // averages over a window of acks; an EWMA keeps the same time constant).
+  srtt_s_ = srtt_s_ == 0.0 ? rtt_s : 0.875 * srtt_s_ + 0.125 * rtt_s;
+
+  if (!has_update_time_) {
+    has_update_time_ = true;
+    next_update_ = ev.now + params_.update_interval;
+    return;
+  }
+  if (ev.now < next_update_) return;
+  next_update_ = ev.now + params_.update_interval;
+
+  const double target =
+      (1.0 - params_.gamma) * cwnd_ +
+      params_.gamma * (base_rtt_s_ / srtt_s_ * cwnd_ + params_.alpha);
+  cwnd_ = std::max(2.0, std::min(2.0 * cwnd_, target));
+}
+
+void FastCC::on_packet_loss(TimePoint) {
+  // FAST is delay-based; on loss it halves like conventional TCP.
+  cwnd_ = std::max(2.0, cwnd_ / 2.0);
+}
+
+void FastCC::on_timeout(TimePoint) {
+  cwnd_ = 2.0;
+  srtt_s_ = 0.0;
+}
+
+}  // namespace sprout

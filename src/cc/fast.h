@@ -1,0 +1,39 @@
+// FAST TCP (Jin, Wei & Low, INFOCOM 2004) — the paper's §6 cites FAST as a
+// delay-based end-to-end algorithm; this is the periodic window law
+//   w <- min(2w, (1 - gamma) w + gamma (baseRTT/RTT * w + alpha))
+// applied once per update interval.  alpha is the target number of packets
+// buffered in the path (FAST's sole tuning knob); gamma the smoothing gain.
+#pragma once
+
+#include "cc/congestion_control.h"
+
+namespace sprout {
+
+struct FastParams {
+  double alpha = 20.0;          // target queued packets along the path
+  double gamma = 0.5;           // update smoothing in (0, 1]
+  Duration update_interval = msec(20);  // spec: fixed period, not per-ack
+};
+
+class FastCC : public CongestionControl {
+ public:
+  explicit FastCC(FastParams params = {}) : params_(params) {}
+
+  void on_ack(const AckEvent& ev) override;
+  void on_packet_loss(TimePoint now) override;
+  void on_timeout(TimePoint now) override;
+
+  [[nodiscard]] double cwnd_packets() const override { return cwnd_; }
+  [[nodiscard]] const char* name() const override { return "FAST"; }
+  [[nodiscard]] double base_rtt_s() const { return base_rtt_s_; }
+
+ private:
+  FastParams params_;
+  double cwnd_ = 2.0;
+  double base_rtt_s_ = 1e9;
+  double srtt_s_ = 0.0;
+  TimePoint next_update_{};
+  bool has_update_time_ = false;
+};
+
+}  // namespace sprout

@@ -1,0 +1,292 @@
+#include "cc/gcc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sprout {
+
+// ---------------------------------------------------------------- grouping
+
+std::optional<ArrivalDelta> InterArrivalGrouper::on_packet(TimePoint sent_at,
+                                                           TimePoint arrived_at,
+                                                           ByteCount size) {
+  if (!current_.valid) {
+    current_ = {sent_at, sent_at, arrived_at, static_cast<double>(size), true};
+    return std::nullopt;
+  }
+  if (sent_at - current_.first_send <= burst_window_) {
+    // Same burst: extend the group.  Arrival time of a group is the arrival
+    // of its last packet, send time the send of its last packet.
+    current_.last_send = std::max(current_.last_send, sent_at);
+    current_.last_arrival = std::max(current_.last_arrival, arrived_at);
+    current_.size_bytes += static_cast<double>(size);
+    return std::nullopt;
+  }
+
+  std::optional<ArrivalDelta> delta;
+  if (previous_.valid) {
+    ArrivalDelta d;
+    d.arrival_delta_ms = to_millis(current_.last_arrival - previous_.last_arrival);
+    d.send_delta_ms = to_millis(current_.last_send - previous_.last_send);
+    d.size_delta_bytes = current_.size_bytes - previous_.size_bytes;
+    // Reordered groups carry no usable timing signal.
+    if (d.send_delta_ms > 0.0) delta = d;
+  }
+  previous_ = current_;
+  current_ = {sent_at, sent_at, arrived_at, static_cast<double>(size), true};
+  return delta;
+}
+
+void InterArrivalGrouper::reset() {
+  current_ = {};
+  previous_ = {};
+}
+
+// ------------------------------------------------------------------ filter
+
+ArrivalFilter::ArrivalFilter(ArrivalFilterParams params)
+    : params_(params),
+      p00_(params.p0_capacity),
+      p01_(0.0),
+      p11_(params.p0_gradient) {}
+
+double ArrivalFilter::update(const ArrivalDelta& delta) {
+  // Measurement: d = h' x + v with h = [dL, 1], x = [1/C, m].
+  const double h0 = delta.size_delta_bytes;
+  const double d = delta.arrival_delta_ms - delta.send_delta_ms;
+
+  // Predict: x constant, P += Q.
+  p00_ += params_.q_capacity;
+  p11_ += params_.q_gradient;
+
+  const double predicted = h0 * inv_c_ + m_;
+  double residual = d - predicted;
+
+  // Innovation variance s = h P h' + R.
+  const double ph0 = p00_ * h0 + p01_;
+  const double ph1 = p01_ * h0 + p11_;
+  const double s = h0 * ph0 + ph1 + var_noise_;
+
+  // Update the noise estimate from the residual, then clamp outliers so a
+  // single multi-second gap (an outage) does not blow up the state.
+  const double sigma = std::sqrt(std::max(s, 1e-9));
+  var_noise_ = (1.0 - params_.noise_gain) * var_noise_ +
+               params_.noise_gain * residual * residual;
+  var_noise_ = std::clamp(var_noise_, 1e-3, 1e5);
+  const double limit = params_.outlier_sigmas * sigma;
+  residual = std::clamp(residual, -limit, limit);
+
+  // Gain K = P h' / s; state and covariance update.
+  const double k0 = ph0 / s;
+  const double k1 = ph1 / s;
+  inv_c_ += k0 * residual;
+  m_ += k1 * residual;
+
+  const double new_p00 = p00_ - k0 * (h0 * p00_ + p01_);
+  const double new_p01 = p01_ - k0 * (h0 * p01_ + p11_);
+  const double new_p11 = p11_ - k1 * (h0 * p01_ + p11_);
+  p00_ = std::max(new_p00, 1e-12);
+  p01_ = new_p01;
+  p11_ = std::max(new_p11, 1e-12);
+
+  // A negative 1/C is unphysical (it would mean bigger packets arrive
+  // sooner); keep the capacity component non-negative.
+  inv_c_ = std::max(inv_c_, 0.0);
+
+  ++updates_;
+  return m_;
+}
+
+double ArrivalFilter::capacity_estimate_kbps() const {
+  if (inv_c_ <= 1e-9) return 0.0;
+  // inv_c_ is ms per byte: C = 1/inv_c_ bytes/ms = 8/inv_c_ bits/ms.
+  return 8.0 / inv_c_;  // kbit/s
+}
+
+// ---------------------------------------------------------------- detector
+
+const char* to_string(BandwidthUsage u) {
+  switch (u) {
+    case BandwidthUsage::kNormal: return "normal";
+    case BandwidthUsage::kOverusing: return "overusing";
+    case BandwidthUsage::kUnderusing: return "underusing";
+  }
+  return "unknown";
+}
+
+OveruseDetector::OveruseDetector(OveruseDetectorParams params)
+    : params_(params), threshold_(params.initial_threshold_ms) {}
+
+BandwidthUsage OveruseDetector::detect(double offset_ms, TimePoint now) {
+  if (offset_ms > threshold_) {
+    if (!in_overuse_region_) {
+      in_overuse_region_ = true;
+      overuse_start_ = now;
+    }
+    // Overuse requires persistence and a non-falling gradient: a single
+    // spiky measurement is not a standing queue.
+    if (now - overuse_start_ >= params_.overuse_time_threshold &&
+        offset_ms >= prev_offset_) {
+      state_ = BandwidthUsage::kOverusing;
+    }
+  } else {
+    in_overuse_region_ = false;
+    state_ = offset_ms < -threshold_ ? BandwidthUsage::kUnderusing
+                                     : BandwidthUsage::kNormal;
+  }
+  adapt_threshold(offset_ms, now);
+  prev_offset_ = offset_ms;
+  return state_;
+}
+
+void OveruseDetector::adapt_threshold(double offset_ms, TimePoint now) {
+  if (!has_last_update_) {
+    has_last_update_ = true;
+    last_update_ = now;
+    return;
+  }
+  const double dt_ms = std::min(to_millis(now - last_update_), 100.0);
+  last_update_ = now;
+  const double k = std::fabs(offset_ms) > threshold_ ? params_.gain_up
+                                                     : params_.gain_down;
+  threshold_ += dt_ms * k * (std::fabs(offset_ms) - threshold_);
+  threshold_ = std::clamp(threshold_, params_.min_threshold_ms,
+                          params_.max_threshold_ms);
+}
+
+// ----------------------------------------------------------- rate measure
+
+void RateEstimator::on_packet(TimePoint arrival, ByteCount size) {
+  samples_.emplace_back(arrival, size);
+  window_bytes_ += size;
+  evict(arrival);
+}
+
+void RateEstimator::evict(TimePoint now) const {
+  while (!samples_.empty() && samples_.front().first < now - window_) {
+    window_bytes_ -= samples_.front().second;
+    samples_.pop_front();
+  }
+}
+
+std::optional<double> RateEstimator::rate_kbps(TimePoint now) const {
+  evict(now);
+  if (samples_.size() < 2) return std::nullopt;
+  const Duration span = now - samples_.front().first;
+  if (span <= Duration::zero()) return std::nullopt;
+  return kbps(window_bytes_, span);
+}
+
+// -------------------------------------------------------------------- AIMD
+
+AimdRateController::AimdRateController(AimdParams params)
+    : params_(params), rate_kbps_(params.start_rate_kbps) {}
+
+void AimdRateController::transition(BandwidthUsage signal) {
+  // Signal-driven state machine from the draft:
+  //   OVERUSE forces DECREASE from any state.
+  //   UNDERUSE forces HOLD (the queues are draining; wait).
+  //   NORMAL lets the controller move HOLD -> INCREASE; DECREASE -> HOLD.
+  switch (signal) {
+    case BandwidthUsage::kOverusing:
+      state_ = State::kDecrease;
+      break;
+    case BandwidthUsage::kUnderusing:
+      state_ = State::kHold;
+      break;
+    case BandwidthUsage::kNormal:
+      if (state_ == State::kHold) {
+        state_ = State::kIncrease;
+      } else if (state_ == State::kDecrease) {
+        state_ = State::kHold;
+      }
+      break;
+  }
+}
+
+double AimdRateController::update(BandwidthUsage signal,
+                                  std::optional<double> incoming_kbps,
+                                  TimePoint now) {
+  transition(signal);
+  decreased_ = false;
+
+  double dt_s = 0.0;
+  if (has_last_update_) {
+    dt_s = std::clamp(to_seconds(now - last_update_), 0.0, 1.0);
+  }
+  has_last_update_ = true;
+  last_update_ = now;
+
+  switch (state_) {
+    case State::kHold:
+      break;
+    case State::kIncrease: {
+      // Near the estimated capacity knee, grow additively (about one packet
+      // per response time); far from it, multiplicatively at <= 8 %/s.
+      const bool near_knee =
+          avg_max_kbps_ > 0.0 && incoming_kbps.has_value() &&
+          std::fabs(*incoming_kbps - avg_max_kbps_) <=
+              params_.convergence_sigmas *
+                  std::sqrt(var_max_ * avg_max_kbps_ * avg_max_kbps_);
+      if (near_knee) {
+        const double packets_per_response =
+            params_.additive_packet_bytes * 8.0 / 1000.0 /
+            std::max(to_seconds(params_.response_time), 1e-3);
+        rate_kbps_ += packets_per_response * dt_s;
+      } else {
+        rate_kbps_ *= std::pow(1.08, dt_s);
+      }
+      break;
+    }
+    case State::kDecrease: {
+      if (incoming_kbps.has_value()) {
+        rate_kbps_ = params_.beta * *incoming_kbps;
+        // Track the running mean/relative-variance of R_hat at decreases:
+        // this is the controller's memory of where the link saturates.
+        if (avg_max_kbps_ < 0.0) {
+          avg_max_kbps_ = *incoming_kbps;
+        } else {
+          const double alpha = 0.05;
+          const double norm = std::max(avg_max_kbps_, 1.0);
+          const double err = (*incoming_kbps - avg_max_kbps_) / norm;
+          avg_max_kbps_ += alpha * (*incoming_kbps - avg_max_kbps_);
+          var_max_ = (1 - alpha) * var_max_ + alpha * err * err;
+          var_max_ = std::clamp(var_max_, 0.01, 2.5);
+        }
+      } else {
+        rate_kbps_ *= params_.beta;
+      }
+      decreased_ = true;
+      state_ = State::kHold;
+      break;
+    }
+  }
+
+  // A_r may not exceed 1.5x the measured incoming rate: the cap that keeps
+  // the estimate from running away when the link is not saturated.
+  if (incoming_kbps.has_value()) {
+    rate_kbps_ = std::min(rate_kbps_, 1.5 * *incoming_kbps);
+  }
+  rate_kbps_ = std::clamp(rate_kbps_, params_.min_rate_kbps,
+                          params_.max_rate_kbps);
+  return rate_kbps_;
+}
+
+// -------------------------------------------------------------------- loss
+
+LossBasedController::LossBasedController(LossControllerParams params)
+    : params_(params), rate_kbps_(params.start_rate_kbps) {}
+
+double LossBasedController::on_report(double loss_fraction) {
+  const double p = std::clamp(loss_fraction, 0.0, 1.0);
+  if (p > params_.high_loss) {
+    rate_kbps_ *= (1.0 - 0.5 * p);
+  } else if (p < params_.low_loss) {
+    rate_kbps_ = rate_kbps_ * 1.05 + 1.0;  // +1 kbps floor step
+  }
+  rate_kbps_ = std::clamp(rate_kbps_, params_.min_rate_kbps,
+                          params_.max_rate_kbps);
+  return rate_kbps_;
+}
+
+}  // namespace sprout

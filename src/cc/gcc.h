@@ -1,0 +1,246 @@
+// Google Congestion Control (GCC) for real-time media — the paper's [15].
+//
+// §6 of the paper: "Google has proposed a congestion-control scheme for the
+// WebRTC system that uses an arrival-time filter at the receiver, along
+// with other congestion signals ... We plan to investigate this system and
+// assess it on the same metrics as the other schemes in our evaluation."
+// This module is that promised comparison, implemented from
+// draft-alvestrand-rtcweb-congestion-03 (2012), the revision the paper
+// cites.
+//
+// The algorithm splits in two:
+//   receiver side — an arrival-time Kalman filter estimates the one-way
+//     queuing-delay gradient m(i); an over-use detector with an adaptive
+//     threshold turns m(i) into {UNDERUSE, NORMAL, OVERUSE} signals; an
+//     AIMD remote-rate controller converts signals plus the measured
+//     incoming rate R_hat into a receiver rate cap A_r (fed back as REMB).
+//   sender side — a loss-based controller adjusts the sending estimate A_s
+//     from the reported loss fraction; the pacer sends at min(A_s, A_r).
+//
+// Everything stateful is a plain class with explicit inputs so the control
+// laws are unit-testable without the simulator; cc/gcc_endpoint.* wires
+// them to packets.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "util/units.h"
+
+namespace sprout {
+
+// One inter-group delta measurement: the change in arrival spacing versus
+// send spacing between consecutive packet groups, d(i) = dt_arrival -
+// dt_send, plus the group-size change dL(i) used by the capacity state.
+struct ArrivalDelta {
+  double arrival_delta_ms = 0.0;
+  double send_delta_ms = 0.0;
+  double size_delta_bytes = 0.0;
+};
+
+// Groups packets into send-time bursts and emits one ArrivalDelta per
+// completed group pair.  The draft filters per "frame" / packet group:
+// packets sent within `burst_window` of the group's first packet belong to
+// the same group (a pacer emits a frame as a burst of MTU packets).
+class InterArrivalGrouper {
+ public:
+  explicit InterArrivalGrouper(Duration burst_window = msec(5))
+      : burst_window_(burst_window) {}
+
+  // Feeds one packet; returns a delta when `sent_at` starts a new group and
+  // a previous complete group pair exists.
+  std::optional<ArrivalDelta> on_packet(TimePoint sent_at, TimePoint arrived_at,
+                                        ByteCount size);
+
+  void reset();
+
+ private:
+  struct Group {
+    TimePoint first_send{};
+    TimePoint last_send{};
+    TimePoint last_arrival{};
+    double size_bytes = 0.0;
+    bool valid = false;
+  };
+
+  Duration burst_window_;
+  Group current_{};
+  Group previous_{};
+};
+
+// Kalman filter over the state [1/C, m]: measured delta
+//   d(i) = dL(i)/C + m(i) + v(i)
+// where C is the bottleneck capacity, m the queuing-delay gradient, and v
+// zero-mean measurement noise whose variance is estimated online.  Offsets
+// are in milliseconds.
+struct ArrivalFilterParams {
+  // Process noise (per update) for [1/C, m].  The capacity component drifts
+  // far slower than the gradient, as in the draft.
+  double q_capacity = 1e-10;
+  double q_gradient = 1e-2;
+  // Initial state covariance.
+  double p0_capacity = 1e-4;
+  double p0_gradient = 1e-1;
+  // EWMA gain for the measurement-noise variance estimate.
+  double noise_gain = 0.05;
+  // Outlier rejection: deltas more than this many noise std-devs from the
+  // prediction update the noise estimate but are clamped for the state.
+  double outlier_sigmas = 3.0;
+};
+
+class ArrivalFilter {
+ public:
+  explicit ArrivalFilter(ArrivalFilterParams params = {});
+
+  // Processes one measurement and returns the updated gradient estimate
+  // m(i) in milliseconds (per group).
+  double update(const ArrivalDelta& delta);
+
+  [[nodiscard]] double offset_ms() const { return m_; }
+  [[nodiscard]] double inverse_capacity_ms_per_byte() const { return inv_c_; }
+  // Capacity estimate implied by the filter state (kbit/s); 0 if unknown.
+  [[nodiscard]] double capacity_estimate_kbps() const;
+  [[nodiscard]] double noise_variance() const { return var_noise_; }
+  [[nodiscard]] std::int64_t num_updates() const { return updates_; }
+
+ private:
+  ArrivalFilterParams params_;
+  double inv_c_ = 0.0;  // ms per byte
+  double m_ = 0.0;      // ms
+  // Symmetric 2x2 covariance.
+  double p00_, p01_, p11_;
+  double var_noise_ = 10.0;
+  std::int64_t updates_ = 0;
+};
+
+enum class BandwidthUsage { kNormal, kOverusing, kUnderusing };
+
+[[nodiscard]] const char* to_string(BandwidthUsage u);
+
+// Compares the filtered gradient against an adaptive threshold γ(t).
+// OVERUSE is signalled only after the gradient has stayed above γ for
+// `overuse_time_threshold` and is not falling; the threshold itself adapts
+// toward |m| (fast up, slow down) so the detector stays sensitive when the
+// gradient is quiet and tolerant when it is noisy.
+struct OveruseDetectorParams {
+  double initial_threshold_ms = 12.5;
+  double min_threshold_ms = 6.0;
+  double max_threshold_ms = 600.0;
+  double gain_up = 0.01;      // k_u: applied when |m| > γ
+  double gain_down = 0.00018; // k_d: applied when |m| <= γ
+  Duration overuse_time_threshold = msec(10);
+};
+
+class OveruseDetector {
+ public:
+  explicit OveruseDetector(OveruseDetectorParams params = {});
+
+  BandwidthUsage detect(double offset_ms, TimePoint now);
+
+  [[nodiscard]] double threshold_ms() const { return threshold_; }
+  [[nodiscard]] BandwidthUsage state() const { return state_; }
+
+ private:
+  void adapt_threshold(double offset_ms, TimePoint now);
+
+  OveruseDetectorParams params_;
+  double threshold_;
+  BandwidthUsage state_ = BandwidthUsage::kNormal;
+  double prev_offset_ = 0.0;
+  TimePoint overuse_start_{};
+  bool in_overuse_region_ = false;
+  TimePoint last_update_{};
+  bool has_last_update_ = false;
+};
+
+// Sliding-window estimate of the incoming bitrate R_hat (the draft measures
+// over a ~0.5 s window).
+class RateEstimator {
+ public:
+  explicit RateEstimator(Duration window = msec(500)) : window_(window) {}
+
+  void on_packet(TimePoint arrival, ByteCount size);
+  // Rate over the window ending at `now`, in kbit/s; nullopt until at least
+  // two packets span a measurable interval.
+  [[nodiscard]] std::optional<double> rate_kbps(TimePoint now) const;
+
+ private:
+  void evict(TimePoint now) const;
+
+  Duration window_;
+  mutable std::deque<std::pair<TimePoint, ByteCount>> samples_;
+  mutable ByteCount window_bytes_ = 0;
+};
+
+// The remote-rate AIMD controller: turns {signal, R_hat} into the receiver
+// rate cap A_r.  Multiplicative increase (≤8%/s) far from the observed
+// capacity, additive (about one packet per response time) near it;
+// multiplicative decrease A_r = β·R_hat on over-use.
+struct AimdParams {
+  double beta = 0.85;
+  double start_rate_kbps = 300.0;
+  double min_rate_kbps = 10.0;
+  double max_rate_kbps = 30000.0;
+  // "Near convergence" = R_hat within this many std-devs of the running
+  // average of the R_hat values seen at past decreases.
+  double convergence_sigmas = 3.0;
+  Duration response_time = msec(200);  // RTT proxy + detector delay
+  double additive_packet_bytes = 1200.0;
+};
+
+class AimdRateController {
+ public:
+  explicit AimdRateController(AimdParams params = {});
+
+  // Feeds one detector signal with the current incoming-rate measurement.
+  // Returns the updated A_r in kbit/s.
+  double update(BandwidthUsage signal, std::optional<double> incoming_kbps,
+                TimePoint now);
+
+  [[nodiscard]] double rate_kbps() const { return rate_kbps_; }
+  // True when the last update was a decrease — the draft sends REMB
+  // feedback immediately in that case rather than waiting for the timer.
+  [[nodiscard]] bool decreased_last_update() const { return decreased_; }
+
+ private:
+  enum class State { kHold, kIncrease, kDecrease };
+  void transition(BandwidthUsage signal);
+
+  AimdParams params_;
+  State state_ = State::kIncrease;
+  double rate_kbps_;
+  bool decreased_ = false;
+  TimePoint last_update_{};
+  bool has_last_update_ = false;
+  // Running mean/variance of R_hat at decrease events ("link capacity at
+  // the knee"), for the multiplicative/additive switch.
+  double avg_max_kbps_ = -1.0;
+  double var_max_ = 0.4;  // relative variance, as in the draft
+};
+
+// Sender-side loss-based controller (§3.3 of the draft): the sending
+// estimate A_s reacts only to the loss fraction reported in feedback.
+struct LossControllerParams {
+  double start_rate_kbps = 300.0;
+  double min_rate_kbps = 10.0;
+  double max_rate_kbps = 30000.0;
+  double high_loss = 0.10;  // above: multiplicative decrease
+  double low_loss = 0.02;   // below: gentle increase
+};
+
+class LossBasedController {
+ public:
+  explicit LossBasedController(LossControllerParams params = {});
+
+  // Feeds one feedback report's loss fraction; returns updated A_s (kbps).
+  double on_report(double loss_fraction);
+
+  [[nodiscard]] double rate_kbps() const { return rate_kbps_; }
+
+ private:
+  LossControllerParams params_;
+  double rate_kbps_;
+};
+
+}  // namespace sprout

@@ -1,0 +1,112 @@
+#include "cc/gcc_endpoint.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sprout {
+
+GccSender::GccSender(Simulator& sim, GccProfile profile, std::int64_t flow_id)
+    : sim_(sim),
+      profile_(profile),
+      flow_id_(flow_id),
+      loss_({profile.start_rate_kbps, profile.min_rate_kbps,
+             profile.max_rate_kbps}),
+      remb_kbps_(profile.start_rate_kbps) {}
+
+void GccSender::start() {
+  assert(network_ != nullptr && "attach_network before start");
+  sim_.after(profile_.frame_interval, [this] { send_frame(); });
+}
+
+double GccSender::target_rate_kbps() const {
+  return std::clamp(std::min(loss_.rate_kbps(), remb_kbps_),
+                    profile_.min_rate_kbps, profile_.max_rate_kbps);
+}
+
+void GccSender::send_frame() {
+  ByteCount frame_bytes =
+      bytes_at_kbps(target_rate_kbps(), profile_.frame_interval);
+  while (frame_bytes > 0) {
+    const ByteCount chunk = std::min(frame_bytes, profile_.max_packet_bytes);
+    Packet p;
+    p.flow_id = flow_id_;
+    p.size = chunk;
+    p.seq = next_seq_++;
+    p.sent_at = sim_.now();
+    network_->receive(std::move(p));
+    ++packets_sent_;
+    frame_bytes -= chunk;
+  }
+  sim_.after(profile_.frame_interval, [this] { send_frame(); });
+}
+
+void GccSender::receive(Packet&& feedback) {
+  remb_kbps_ = static_cast<double>(feedback.meta) / 1000.0;
+  const double loss_fraction = static_cast<double>(feedback.ack) / 1e6;
+  loss_.on_report(loss_fraction);
+}
+
+GccReceiver::GccReceiver(Simulator& sim, GccProfile profile,
+                         std::int64_t flow_id)
+    : sim_(sim),
+      profile_(profile),
+      flow_id_(flow_id),
+      aimd_({.beta = 0.85,
+             .start_rate_kbps = profile.start_rate_kbps,
+             .min_rate_kbps = profile.min_rate_kbps,
+             .max_rate_kbps = profile.max_rate_kbps,
+             .convergence_sigmas = 3.0,
+             .response_time = msec(200),
+             .additive_packet_bytes =
+                 static_cast<double>(profile.max_packet_bytes)}) {}
+
+void GccReceiver::start() {
+  assert(feedback_path_ != nullptr && "attach_feedback_path before start");
+  sim_.after(profile_.feedback_interval, [this] { feedback_timer(); });
+}
+
+void GccReceiver::feedback_timer() {
+  send_feedback();
+  sim_.after(profile_.feedback_interval, [this] { feedback_timer(); });
+}
+
+void GccReceiver::receive(Packet&& p) {
+  ++received_;
+  ++window_received_;
+  if (window_first_seq_ < 0) window_first_seq_ = p.seq;
+  window_max_seq_ = std::max(window_max_seq_, p.seq);
+
+  incoming_rate_.on_packet(sim_.now(), p.size);
+  const auto delta = grouper_.on_packet(p.sent_at, sim_.now(), p.size);
+  if (delta.has_value()) {
+    const double offset = filter_.update(*delta);
+    const BandwidthUsage usage = detector_.detect(offset, sim_.now());
+    aimd_.update(usage, incoming_rate_.rate_kbps(sim_.now()), sim_.now());
+    if (aimd_.decreased_last_update()) {
+      send_feedback();  // REMB goes out immediately on a decrease
+    }
+  }
+}
+
+void GccReceiver::send_feedback() {
+  double loss = 0.0;
+  if (window_received_ > 0 && window_max_seq_ >= window_first_seq_) {
+    const std::int64_t expected = window_max_seq_ - window_first_seq_ + 1;
+    loss = 1.0 - static_cast<double>(window_received_) /
+                     static_cast<double>(expected);
+    loss = std::max(0.0, loss);
+  }
+  Packet fb;
+  fb.flow_id = flow_id_;
+  fb.size = profile_.feedback_bytes;
+  fb.sent_at = sim_.now();
+  fb.meta = static_cast<std::int64_t>(aimd_.rate_kbps() * 1000.0);
+  fb.ack = static_cast<std::int64_t>(loss * 1e6);
+  feedback_path_->receive(std::move(fb));
+
+  window_received_ = 0;
+  window_first_seq_ = -1;
+  window_max_seq_ = -1;
+}
+
+}  // namespace sprout

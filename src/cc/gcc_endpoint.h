@@ -1,0 +1,94 @@
+// Simulation endpoints for Google Congestion Control (cc/gcc.h).
+//
+// GccSender paces encoder frames (every 33 ms, split into MTU packets) at
+// min(A_s, A_r) like a WebRTC video sender; GccReceiver runs the arrival
+// filter -> over-use detector -> AIMD pipeline per received group and sends
+// REMB-style feedback (A_r plus the interval's loss fraction) every 500 ms,
+// or immediately after a decrease.
+//
+// Feedback wire convention (scratch header fields, like the video apps):
+//   meta = A_r in bit/s;  ack = loss fraction in ppm.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/gcc.h"
+#include "sim/packet.h"
+#include "sim/simulator.h"
+
+namespace sprout {
+
+struct GccProfile {
+  double min_rate_kbps = 50.0;
+  double max_rate_kbps = 20000.0;
+  double start_rate_kbps = 300.0;
+  Duration frame_interval = msec(33);
+  Duration feedback_interval = msec(500);
+  ByteCount max_packet_bytes = kMtuBytes;
+  ByteCount feedback_bytes = 80;
+};
+
+class GccSender : public PacketSink {
+ public:
+  GccSender(Simulator& sim, GccProfile profile, std::int64_t flow_id);
+
+  void attach_network(PacketSink& out) { network_ = &out; }
+  void start();
+
+  // REMB feedback from the receiver arrives here.
+  void receive(Packet&& feedback) override;
+
+  [[nodiscard]] double target_rate_kbps() const;
+  [[nodiscard]] double loss_estimate_kbps() const { return loss_.rate_kbps(); }
+  [[nodiscard]] double remb_kbps() const { return remb_kbps_; }
+  [[nodiscard]] std::int64_t packets_sent() const { return packets_sent_; }
+
+ private:
+  void send_frame();
+
+  Simulator& sim_;
+  GccProfile profile_;
+  std::int64_t flow_id_;
+  PacketSink* network_ = nullptr;
+  LossBasedController loss_;
+  double remb_kbps_;
+  std::int64_t next_seq_ = 0;
+  std::int64_t packets_sent_ = 0;
+};
+
+class GccReceiver : public PacketSink {
+ public:
+  GccReceiver(Simulator& sim, GccProfile profile, std::int64_t flow_id);
+
+  void attach_feedback_path(PacketSink& out) { feedback_path_ = &out; }
+  void start();
+
+  void receive(Packet&& p) override;
+
+  [[nodiscard]] double remote_rate_kbps() const { return aimd_.rate_kbps(); }
+  [[nodiscard]] BandwidthUsage usage() const { return detector_.state(); }
+  [[nodiscard]] const ArrivalFilter& filter() const { return filter_; }
+  [[nodiscard]] std::int64_t packets_received() const { return received_; }
+
+ private:
+  void feedback_timer();
+  void send_feedback();
+
+  Simulator& sim_;
+  GccProfile profile_;
+  std::int64_t flow_id_;
+  PacketSink* feedback_path_ = nullptr;
+
+  InterArrivalGrouper grouper_;
+  ArrivalFilter filter_;
+  OveruseDetector detector_;
+  RateEstimator incoming_rate_;
+  AimdRateController aimd_;
+
+  std::int64_t received_ = 0;
+  std::int64_t window_received_ = 0;
+  std::int64_t window_first_seq_ = -1;
+  std::int64_t window_max_seq_ = -1;
+};
+
+}  // namespace sprout

@@ -1,0 +1,60 @@
+#include "cc/ledbat.h"
+
+#include <algorithm>
+
+namespace sprout {
+
+LedbatCC::LedbatCC(LedbatParams params) : params_(params) {
+  history_.fill(1e9);
+}
+
+double LedbatCC::base_delay_s() const {
+  double base = 1e9;
+  const int used = std::max(1, history_used_);
+  for (int i = 0; i < used && i < static_cast<int>(history_.size()); ++i) {
+    base = std::min(base, history_[static_cast<std::size_t>(i)]);
+  }
+  return base;
+}
+
+void LedbatCC::roll_history(TimePoint now) {
+  if (!started_) {
+    started_ = true;
+    minute_start_ = now;
+    history_used_ = 1;
+    return;
+  }
+  while (now - minute_start_ >= sec(60)) {
+    // Shift a new bucket in (newest at index 0).
+    for (std::size_t i = history_.size() - 1; i > 0; --i) {
+      history_[i] = history_[i - 1];
+    }
+    history_[0] = 1e9;
+    minute_start_ += sec(60);
+    history_used_ = std::min(history_used_ + 1,
+                             std::min<int>(params_.base_history_minutes,
+                                           static_cast<int>(history_.size())));
+  }
+}
+
+void LedbatCC::on_ack(const AckEvent& ev) {
+  roll_history(ev.now);
+  const double owd_s = to_seconds(ev.one_way_delay);
+  history_[0] = std::min(history_[0], owd_s);
+
+  const double queuing_delay = owd_s - base_delay_s();
+  const double target = to_seconds(params_.target);
+  const double off_target = (target - queuing_delay) / target;
+  cwnd_ += params_.gain * off_target *
+           static_cast<double>(ev.newly_acked) / cwnd_;
+  // RFC 6817: clamp decrease and keep a minimum window.
+  cwnd_ = std::max(2.0, cwnd_);
+}
+
+void LedbatCC::on_packet_loss(TimePoint) {
+  cwnd_ = std::max(2.0, cwnd_ / 2.0);
+}
+
+void LedbatCC::on_timeout(TimePoint) { cwnd_ = 2.0; }
+
+}  // namespace sprout

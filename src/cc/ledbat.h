@@ -1,0 +1,43 @@
+// LEDBAT (RFC 6817), the low-extra-delay background transport used by µTP.
+// A one-way-delay controller: it maintains a base (minimum) delay estimate
+// and gains or sheds window proportionally to how far the current queuing
+// delay sits from the 100 ms target.
+#pragma once
+
+#include <array>
+
+#include "cc/congestion_control.h"
+
+namespace sprout {
+
+struct LedbatParams {
+  Duration target = msec(100);
+  double gain = 1.0;
+  // Base delay is the minimum over this many one-minute history buckets.
+  int base_history_minutes = 10;
+};
+
+class LedbatCC : public CongestionControl {
+ public:
+  explicit LedbatCC(LedbatParams params = {});
+
+  void on_ack(const AckEvent& ev) override;
+  void on_packet_loss(TimePoint now) override;
+  void on_timeout(TimePoint now) override;
+
+  [[nodiscard]] double cwnd_packets() const override { return cwnd_; }
+  [[nodiscard]] const char* name() const override { return "LEDBAT"; }
+  [[nodiscard]] double base_delay_s() const;
+
+ private:
+  void roll_history(TimePoint now);
+
+  LedbatParams params_;
+  double cwnd_ = 2.0;
+  std::array<double, 16> history_{};  // per-minute minimums, seconds
+  int history_used_ = 0;
+  TimePoint minute_start_{};
+  bool started_ = false;
+};
+
+}  // namespace sprout

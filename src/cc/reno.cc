@@ -1,0 +1,27 @@
+#include "cc/reno.h"
+
+#include <algorithm>
+
+namespace sprout {
+
+void RenoCC::on_ack(const AckEvent& ev) {
+  for (std::int64_t i = 0; i < ev.newly_acked; ++i) {
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;  // slow start: exponential growth
+    } else {
+      cwnd_ += 1.0 / cwnd_;  // congestion avoidance: +1 MSS per RTT
+    }
+  }
+}
+
+void RenoCC::on_packet_loss(TimePoint) {
+  ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+  cwnd_ = ssthresh_;
+}
+
+void RenoCC::on_timeout(TimePoint) {
+  ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+  cwnd_ = 1.0;
+}
+
+}  // namespace sprout

@@ -1,0 +1,32 @@
+// NewReno-style AIMD (Jacobson 1988; the paper's "early TCP variants").
+// Also the loss-window component reused by Compound TCP.
+#pragma once
+
+#include <algorithm>
+
+#include "cc/congestion_control.h"
+
+namespace sprout {
+
+class RenoCC : public CongestionControl {
+ public:
+  void on_ack(const AckEvent& ev) override;
+  void on_packet_loss(TimePoint now) override;
+  void on_timeout(TimePoint now) override;
+
+  [[nodiscard]] double cwnd_packets() const override { return cwnd_; }
+  [[nodiscard]] const char* name() const override { return "NewReno"; }
+  [[nodiscard]] double ssthresh() const { return ssthresh_; }
+  [[nodiscard]] bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+  // Leaves slow start without a loss event (used by Compound, whose delay
+  // signal detects queue build-up that a lossless deep-buffer path never
+  // converts into drops).
+  void exit_slow_start() { ssthresh_ = std::min(ssthresh_, cwnd_); }
+
+ private:
+  double cwnd_ = 2.0;
+  double ssthresh_ = 1e9;
+};
+
+}  // namespace sprout

@@ -1,0 +1,138 @@
+#include "cc/tcp_endpoint.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sprout {
+
+namespace {
+constexpr Duration kMinRto = msec(200);
+constexpr Duration kMaxRto = sec(60);
+constexpr ByteCount kAckBytes = 40;
+}  // namespace
+
+TcpSender::TcpSender(Simulator& sim, std::unique_ptr<CongestionControl> cc,
+                     std::int64_t flow_id, ByteCount mss)
+    : sim_(sim), cc_(std::move(cc)), flow_id_(flow_id), mss_(mss) {
+  assert(cc_ != nullptr);
+}
+
+void TcpSender::start() {
+  assert(network_ != nullptr && "attach_network before start");
+  try_send();
+}
+
+void TcpSender::update_rtt(Duration sample) {
+  const double r = static_cast<double>(sample.count());
+  if (!have_rtt_) {
+    srtt_us_ = r;
+    rttvar_us_ = r / 2.0;
+    have_rtt_ = true;
+  } else {
+    rttvar_us_ = 0.75 * rttvar_us_ + 0.25 * std::abs(srtt_us_ - r);
+    srtt_us_ = 0.875 * srtt_us_ + 0.125 * r;
+  }
+  const auto rto_us = static_cast<std::int64_t>(srtt_us_ + 4.0 * rttvar_us_);
+  rto_ = std::clamp(Duration{rto_us}, kMinRto, kMaxRto);
+}
+
+void TcpSender::receive(Packet&& ack) {
+  if (ack.ack > una_) {
+    const std::int64_t newly = ack.ack - una_;
+    una_ = ack.ack;
+    dupacks_ = 0;
+    const Duration rtt = sim_.now() - ack.echo;
+    update_rtt(rtt);
+    if (in_recovery_ && una_ > recover_) in_recovery_ = false;
+    AckEvent ev;
+    ev.now = sim_.now();
+    ev.rtt = rtt;
+    ev.one_way_delay = usec(ack.meta);
+    ev.newly_acked = newly;
+    ev.inflight = next_seq_ - una_;
+    cc_->on_ack(ev);
+    arm_rto();  // fresh data acked: restart the retransmission timer
+  } else if (next_seq_ > una_) {
+    ++dupacks_;
+    if (dupacks_ == 3 && !in_recovery_) {
+      in_recovery_ = true;
+      recover_ = next_seq_ - 1;
+      cc_->on_packet_loss(sim_.now());
+      send_segment(una_);  // fast retransmit
+      ++retransmits_;
+    }
+  }
+  try_send();
+}
+
+void TcpSender::try_send() {
+  const auto cwnd = static_cast<std::int64_t>(
+      std::max(1.0, std::floor(cc_->cwnd_packets())));
+  while (next_seq_ - una_ < cwnd) {
+    send_segment(next_seq_);
+    ++next_seq_;
+  }
+  if (next_seq_ > una_ && !rto_armed_) arm_rto();
+}
+
+void TcpSender::send_segment(std::int64_t seq) {
+  Packet p;
+  p.flow_id = flow_id_;
+  p.size = mss_;
+  p.seq = seq;
+  p.sent_at = sim_.now();
+  p.echo = sim_.now();
+  network_->receive(std::move(p));
+  ++packets_sent_;
+}
+
+void TcpSender::arm_rto() {
+  ++rto_generation_;
+  rto_armed_ = true;
+  const std::uint64_t gen = rto_generation_;
+  sim_.after(rto_, [this, gen] { on_rto(gen); });
+}
+
+void TcpSender::on_rto(std::uint64_t generation) {
+  if (generation != rto_generation_) return;  // superseded by newer arm
+  rto_armed_ = false;
+  if (next_seq_ == una_) return;  // nothing outstanding
+  ++timeouts_;
+  cc_->on_timeout(sim_.now());
+  rto_ = std::min(rto_ * 2, kMaxRto);  // Karn backoff
+  dupacks_ = 0;
+  in_recovery_ = false;
+  // Go-back-N: resend from the first unacked segment.
+  next_seq_ = una_;
+  try_send();
+}
+
+TcpReceiver::TcpReceiver(Simulator& sim, std::int64_t flow_id)
+    : sim_(sim), flow_id_(flow_id) {}
+
+void TcpReceiver::receive(Packet&& p) {
+  if (p.seq == next_expected_) {
+    ++next_expected_;
+    while (!out_of_order_.empty() &&
+           *out_of_order_.begin() == next_expected_) {
+      out_of_order_.erase(out_of_order_.begin());
+      ++next_expected_;
+    }
+  } else if (p.seq > next_expected_) {
+    out_of_order_.insert(p.seq);
+  } else {
+    ++duplicates_;
+  }
+  assert(ack_path_ != nullptr && "attach_ack_path before traffic");
+  Packet ack;
+  ack.flow_id = flow_id_;
+  ack.size = kAckBytes;
+  ack.ack = next_expected_;
+  ack.echo = p.echo;
+  ack.sent_at = sim_.now();
+  ack.meta = (sim_.now() - p.sent_at).count();  // one-way delay, µs
+  ack_path_->receive(std::move(ack));
+}
+
+}  // namespace sprout

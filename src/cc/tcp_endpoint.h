@@ -1,0 +1,90 @@
+// Minimal but real TCP machinery driving the pluggable congestion
+// controllers over the emulated link: MSS-sized segments, cumulative acks,
+// RTT estimation per RFC 6298, duplicate-ack fast retransmit, and
+// exponential-backoff retransmission timeouts (go-back-N recovery, which is
+// sufficient and conservative for a FIFO emulated path).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+
+#include "cc/congestion_control.h"
+#include "sim/packet.h"
+#include "sim/simulator.h"
+
+namespace sprout {
+
+class TcpSender : public PacketSink {
+ public:
+  TcpSender(Simulator& sim, std::unique_ptr<CongestionControl> cc,
+            std::int64_t flow_id, ByteCount mss = kMtuBytes);
+
+  void attach_network(PacketSink& out) { network_ = &out; }
+  void start();
+
+  // Acks arrive here (from the reverse-direction link).
+  void receive(Packet&& ack) override;
+
+  [[nodiscard]] const CongestionControl& congestion_control() const {
+    return *cc_;
+  }
+  [[nodiscard]] std::int64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] std::int64_t retransmits() const { return retransmits_; }
+  [[nodiscard]] std::int64_t timeouts() const { return timeouts_; }
+
+ private:
+  void try_send();
+  void send_segment(std::int64_t seq);
+  void arm_rto();
+  void on_rto(std::uint64_t generation);
+  void update_rtt(Duration sample);
+
+  Simulator& sim_;
+  std::unique_ptr<CongestionControl> cc_;
+  std::int64_t flow_id_;
+  ByteCount mss_;
+  PacketSink* network_ = nullptr;
+
+  std::int64_t next_seq_ = 0;  // next new segment number
+  std::int64_t una_ = 0;       // oldest unacknowledged segment
+  int dupacks_ = 0;
+  bool in_recovery_ = false;
+  std::int64_t recover_ = 0;
+
+  // RFC 6298 state (microseconds).
+  double srtt_us_ = 0.0;
+  double rttvar_us_ = 0.0;
+  bool have_rtt_ = false;
+  Duration rto_ = msec(1000);
+  std::uint64_t rto_generation_ = 0;
+  bool rto_armed_ = false;
+
+  std::int64_t packets_sent_ = 0;
+  std::int64_t retransmits_ = 0;
+  std::int64_t timeouts_ = 0;
+};
+
+// Acks every arriving segment with the cumulative next-expected sequence,
+// echoing the segment's timestamp and reporting the measured one-way delay.
+class TcpReceiver : public PacketSink {
+ public:
+  TcpReceiver(Simulator& sim, std::int64_t flow_id);
+
+  void attach_ack_path(PacketSink& out) { ack_path_ = &out; }
+
+  void receive(Packet&& p) override;
+
+  [[nodiscard]] std::int64_t next_expected() const { return next_expected_; }
+  [[nodiscard]] std::int64_t duplicate_segments() const { return duplicates_; }
+
+ private:
+  Simulator& sim_;
+  std::int64_t flow_id_;
+  PacketSink* ack_path_ = nullptr;
+  std::int64_t next_expected_ = 0;
+  std::set<std::int64_t> out_of_order_;
+  std::int64_t duplicates_ = 0;
+};
+
+}  // namespace sprout

@@ -1,0 +1,56 @@
+#include "cc/vegas.h"
+
+#include <algorithm>
+
+namespace sprout {
+
+void VegasCC::on_ack(const AckEvent& ev) {
+  const double rtt_s = std::max(1e-4, to_seconds(ev.rtt));
+  base_rtt_s_ = std::min(base_rtt_s_, rtt_s);
+  epoch_min_rtt_s_ = std::min(epoch_min_rtt_s_, rtt_s);
+
+  if (!epoch_started_) {
+    epoch_started_ = true;
+    epoch_end_ = ev.now + from_seconds(rtt_s);
+    return;
+  }
+  if (ev.now < epoch_end_) return;
+
+  // One RTT's worth of samples gathered: run the Vegas update.
+  const double expected = cwnd_ / base_rtt_s_;
+  const double actual = cwnd_ / epoch_min_rtt_s_;
+  const double diff = (expected - actual) * base_rtt_s_;  // backlog packets
+
+  if (slow_start_) {
+    if (diff > params_.gamma) {
+      slow_start_ = false;
+      cwnd_ = std::max(2.0, cwnd_ - diff);  // shed the standing queue
+    } else if (grow_this_epoch_) {
+      cwnd_ *= 2.0;  // double every other RTT
+    }
+    grow_this_epoch_ = !grow_this_epoch_;
+  } else {
+    if (diff < params_.alpha) {
+      cwnd_ += 1.0;
+    } else if (diff > params_.beta) {
+      cwnd_ = std::max(2.0, cwnd_ - 1.0);
+    }
+  }
+  epoch_min_rtt_s_ = 1e9;
+  epoch_end_ = ev.now + from_seconds(std::max(1e-3, epoch_min_rtt_s_ == 1e9
+                                                        ? rtt_s
+                                                        : epoch_min_rtt_s_));
+}
+
+void VegasCC::on_packet_loss(TimePoint) {
+  cwnd_ = std::max(2.0, cwnd_ / 2.0);
+  slow_start_ = false;
+}
+
+void VegasCC::on_timeout(TimePoint) {
+  cwnd_ = 2.0;
+  slow_start_ = true;
+  grow_this_epoch_ = true;
+}
+
+}  // namespace sprout

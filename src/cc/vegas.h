@@ -1,0 +1,40 @@
+// TCP Vegas (Brakmo & Peterson 1994) — the paper's delay-based baseline.
+// Once per RTT, compares the expected rate (cwnd/baseRTT) with the actual
+// rate (cwnd/RTT); keeps the backlog estimate diff = (expected-actual) *
+// baseRTT between alpha and beta packets.
+#pragma once
+
+#include "cc/congestion_control.h"
+
+namespace sprout {
+
+struct VegasParams {
+  double alpha = 2.0;  // grow below this backlog (packets)
+  double beta = 4.0;   // shrink above this backlog
+  double gamma = 1.0;  // leave slow start above this backlog
+};
+
+class VegasCC : public CongestionControl {
+ public:
+  explicit VegasCC(VegasParams params = {}) : params_(params) {}
+
+  void on_ack(const AckEvent& ev) override;
+  void on_packet_loss(TimePoint now) override;
+  void on_timeout(TimePoint now) override;
+
+  [[nodiscard]] double cwnd_packets() const override { return cwnd_; }
+  [[nodiscard]] const char* name() const override { return "Vegas"; }
+  [[nodiscard]] double base_rtt_s() const { return base_rtt_s_; }
+
+ private:
+  VegasParams params_;
+  double cwnd_ = 2.0;
+  bool slow_start_ = true;
+  double base_rtt_s_ = 1e9;
+  double epoch_min_rtt_s_ = 1e9;
+  TimePoint epoch_end_{};
+  bool epoch_started_ = false;
+  bool grow_this_epoch_ = true;  // Vegas doubles every OTHER RTT in slow start
+};
+
+}  // namespace sprout

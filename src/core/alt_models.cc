@@ -1,0 +1,314 @@
+#include "core/alt_models.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "util/poisson.h"
+
+namespace sprout {
+
+// ------------------------------------------------------------------- MMPP
+
+MmppForecastStrategy::MmppForecastStrategy(const SproutParams& params,
+                                           MmppParams mmpp)
+    : params_(params), mmpp_(mmpp) {
+  assert(mmpp_.num_states >= 2);
+  const int k = mmpp_.num_states;
+  rates_.reserve(static_cast<std::size_t>(k));
+  rates_.push_back(0.0);  // outage regime
+  const double lo = mmpp_.min_rate_fraction * params_.max_rate_pps;
+  const double hi = params_.max_rate_pps;
+  for (int i = 0; i < k - 1; ++i) {
+    const double t = k == 2 ? 1.0 : static_cast<double>(i) / (k - 2);
+    rates_.push_back(lo * std::pow(hi / lo, t));
+  }
+  belief_.assign(static_cast<std::size_t>(k), 1.0 / k);
+  counts_.resize(static_cast<std::size_t>(k) * static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      double c;
+      if (i == j) {
+        c = mmpp_.self_pseudocount;
+      } else {
+        // Locality: fading walks through neighbouring regimes; rare global
+        // jumps (outage onset) keep a small floor.
+        c = mmpp_.cross_pseudocount *
+                std::exp(-std::abs(i - j) / mmpp_.locality_decay) +
+            mmpp_.jump_pseudocount;
+      }
+      counts_[static_cast<std::size_t>(i) * k + static_cast<std::size_t>(j)] = c;
+    }
+  }
+}
+
+double MmppForecastStrategy::transition_probability(int from, int to) const {
+  const int k = num_states();
+  const double* row = &counts_[static_cast<std::size_t>(from) * k];
+  const double sum = std::accumulate(row, row + k, 0.0);
+  return row[to] / sum;
+}
+
+int MmppForecastStrategy::map_state() const {
+  return static_cast<int>(
+      std::max_element(belief_.begin(), belief_.end()) - belief_.begin());
+}
+
+std::vector<double> MmppForecastStrategy::evolve_once(
+    const std::vector<double>& b) const {
+  const int k = num_states();
+  std::vector<double> next(static_cast<std::size_t>(k), 0.0);
+  for (int i = 0; i < k; ++i) {
+    const double bi = b[static_cast<std::size_t>(i)];
+    if (bi <= 0.0) continue;
+    const double* row = &counts_[static_cast<std::size_t>(i) * k];
+    const double sum = std::accumulate(row, row + k, 0.0);
+    for (int j = 0; j < k; ++j) {
+      next[static_cast<std::size_t>(j)] += bi * row[j] / sum;
+    }
+  }
+  return next;
+}
+
+void MmppForecastStrategy::advance_tick() { belief_ = evolve_once(belief_); }
+
+void MmppForecastStrategy::observe(int packets) {
+  observe_impl(packets, /*censored=*/false);
+}
+
+void MmppForecastStrategy::observe_lower_bound(int packets) {
+  observe_impl(packets, /*censored=*/true);
+}
+
+void MmppForecastStrategy::observe_impl(int packets, bool censored) {
+  const double tau = params_.tick_seconds();
+  double max_w = kNegInf;
+  std::vector<double> logw(belief_.size(), kNegInf);
+  for (std::size_t i = 0; i < belief_.size(); ++i) {
+    if (belief_[i] <= 0.0) continue;
+    const double mean = rates_[i] * tau;
+    const double loglik = censored ? poisson_log_survival(packets, mean)
+                                   : poisson_log_pmf(packets, mean);
+    logw[i] = std::log(belief_[i]) + loglik;
+    max_w = std::max(max_w, logw[i]);
+  }
+  if (max_w == kNegInf) {
+    std::fill(belief_.begin(), belief_.end(), 1.0 / num_states());
+    return;
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < belief_.size(); ++i) {
+    belief_[i] = logw[i] == kNegInf ? 0.0 : std::exp(logw[i] - max_w);
+    sum += belief_[i];
+  }
+  for (double& b : belief_) b /= sum;
+
+  // Online transition learning: count the MAP-state jump (hard-EM on the
+  // hidden chain; the sticky Dirichlet prior keeps early rows sane).
+  // Censored ticks barely move the belief, so counting them would flood
+  // the diagonal with self-loops at whatever state the sender idled in.
+  if (!censored) {
+    const int cur = map_state();
+    if (prev_map_state_ >= 0) {
+      counts_[static_cast<std::size_t>(prev_map_state_) * num_states() +
+              static_cast<std::size_t>(cur)] += 1.0;
+    }
+    prev_map_state_ = cur;
+  }
+}
+
+double MmppForecastStrategy::belief_rate_quantile(const std::vector<double>& b,
+                                                  double percentile) const {
+  // States are rate-ascending, so the quantile is a prefix-sum walk.
+  const double target = percentile / 100.0;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    cum += b[i];
+    if (cum >= target) return rates_[i];
+  }
+  return rates_.back();
+}
+
+int MmppForecastStrategy::mixture_count_quantile(const std::vector<double>& b,
+                                                 int horizon,
+                                                 double target) const {
+  // Smallest n with Σ_s b_s · P[Poisson(r_s·h·τ) <= n] >= target.  K is
+  // small (16), so the CDF mixture is evaluated directly inside a binary
+  // search; the upper bracket doubles until it covers the target.
+  const double tau = params_.tick_seconds();
+  auto mix_cdf = [&](int n) {
+    double acc = 0.0;
+    for (std::size_t s = 0; s < b.size(); ++s) {
+      if (b[s] <= 0.0) continue;
+      acc += b[s] * poisson_cdf(n, rates_[s] * tau * horizon);
+    }
+    return acc;
+  };
+  if (mix_cdf(0) >= target) return 0;
+  int hi = 16;
+  while (mix_cdf(hi) < target && hi < 1 << 20) hi *= 2;
+  int lo = 0;
+  while (lo + 1 < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (mix_cdf(mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+DeliveryForecast MmppForecastStrategy::make_forecast(TimePoint now) const {
+  DeliveryForecast f;
+  f.origin = now;
+  f.tick = params_.tick;
+  f.cumulative_bytes.reserve(
+      static_cast<std::size_t>(params_.forecast_horizon_ticks));
+  const double percentile = params_.forecast_percentile();
+  std::vector<double> evolved = belief_;
+  ByteCount floor = 0;
+  for (int h = 1; h <= params_.forecast_horizon_ticks; ++h) {
+    evolved = evolve_once(evolved);
+    int packets = 0;
+    if (mmpp_.count_noise_in_forecast) {
+      packets = mixture_count_quantile(evolved, h, percentile / 100.0);
+    } else {
+      const double rate = belief_rate_quantile(evolved, percentile);
+      packets = static_cast<int>(rate * params_.tick_seconds() *
+                                 static_cast<double>(h));
+    }
+    ByteCount bytes = static_cast<ByteCount>(packets) * params_.mtu;
+    bytes = std::max(bytes, floor);
+    floor = bytes;
+    f.cumulative_bytes.push_back(bytes);
+  }
+  return f;
+}
+
+double MmppForecastStrategy::estimated_rate_pps() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < belief_.size(); ++i) m += belief_[i] * rates_[i];
+  return m;
+}
+
+// -------------------------------------------------------------- empirical
+
+EmpiricalForecastStrategy::EmpiricalForecastStrategy(
+    const SproutParams& params, EmpiricalParams empirical)
+    : params_(params), empirical_(empirical) {
+  assert(empirical_.window_ticks > 0);
+}
+
+void EmpiricalForecastStrategy::push(Sample s) {
+  window_.push_back(s);
+  while (static_cast<int>(window_.size()) > empirical_.window_ticks) {
+    window_.pop_front();
+  }
+}
+
+void EmpiricalForecastStrategy::observe(int packets) {
+  push({packets, false});
+}
+
+void EmpiricalForecastStrategy::observe_lower_bound(int packets) {
+  push({packets, true});
+}
+
+double EmpiricalForecastStrategy::max_packets_per_tick() const {
+  return params_.max_rate_pps * params_.tick_seconds();
+}
+
+double EmpiricalForecastStrategy::h_sum_quantile(int h,
+                                                 double percentile) const {
+  // Sliding sums of h consecutive ticks: the empirical distribution of
+  // "how much the link delivered over any recent h-tick stretch".  A sum
+  // containing a censored tick is itself right-censored (the link would
+  // have delivered at least that much), so it sorts at the physical cap:
+  // censored history can raise the cautious quantile but never lower it.
+  // This is what lets the strategy bootstrap — a sender-limited stretch
+  // reads as "unknown but high", not "slow link".
+  const int n = static_cast<int>(window_.size());
+  assert(n >= h);
+  const double cap = max_packets_per_tick() * h;
+  std::vector<double> sums;
+  sums.reserve(static_cast<std::size_t>(n - h + 1));
+  double acc = 0.0;
+  int censored_in_window = 0;
+  for (int i = 0; i < n; ++i) {
+    const Sample& in = window_[static_cast<std::size_t>(i)];
+    acc += in.count;
+    censored_in_window += in.censored ? 1 : 0;
+    if (i >= h) {
+      const Sample& out = window_[static_cast<std::size_t>(i - h)];
+      acc -= out.count;
+      censored_in_window -= out.censored ? 1 : 0;
+    }
+    if (i >= h - 1) sums.push_back(censored_in_window > 0 ? cap : acc);
+  }
+  const double idx = percentile / 100.0 * (static_cast<double>(sums.size()) - 1);
+  const auto k = static_cast<std::size_t>(idx);
+  std::nth_element(sums.begin(), sums.begin() + static_cast<long>(k),
+                   sums.end());
+  return sums[k];
+}
+
+DeliveryForecast EmpiricalForecastStrategy::make_forecast(
+    TimePoint now) const {
+  DeliveryForecast f;
+  f.origin = now;
+  f.tick = params_.tick;
+  f.cumulative_bytes.reserve(
+      static_cast<std::size_t>(params_.forecast_horizon_ticks));
+  const int n = static_cast<int>(window_.size());
+  const double percentile = params_.forecast_percentile();
+
+  double cold_mean = 0.0;
+  if (n > 0 && n < empirical_.min_samples) {
+    for (const Sample& s : window_) cold_mean += s.count;
+    cold_mean /= n;
+  }
+
+  ByteCount floor = 0;
+  for (int h = 1; h <= params_.forecast_horizon_ticks; ++h) {
+    double packets = 0.0;
+    if (n >= empirical_.min_samples && n >= h) {
+      packets = h_sum_quantile(h, percentile);
+    } else if (n > 0) {
+      packets = cold_mean * h;  // cold start: no caution yet
+    }
+    ByteCount bytes =
+        static_cast<ByteCount>(packets) * params_.mtu;
+    bytes = std::max(bytes, floor);
+    floor = bytes;
+    f.cumulative_bytes.push_back(bytes);
+  }
+  return f;
+}
+
+double EmpiricalForecastStrategy::estimated_rate_pps() const {
+  // Point estimate from uncensored ticks only (censored counts measure the
+  // offered load, not the link).
+  double sum = 0.0;
+  int n = 0;
+  for (const Sample& s : window_) {
+    if (s.censored) continue;
+    sum += s.count;
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  return sum / n / params_.tick_seconds();
+}
+
+std::unique_ptr<ForecastStrategy> make_mmpp_strategy(const SproutParams& p,
+                                                     MmppParams m) {
+  return std::make_unique<MmppForecastStrategy>(p, m);
+}
+
+std::unique_ptr<ForecastStrategy> make_empirical_strategy(
+    const SproutParams& p, EmpiricalParams e) {
+  return std::make_unique<EmpiricalForecastStrategy>(p, e);
+}
+
+}  // namespace sprout

@@ -1,0 +1,147 @@
+// Alternative stochastic link models (§7: "we are eager to explore
+// different stochastic network models, including ones trained on empirical
+// variations in cellular link speed, to see whether it is possible to
+// perform much better than Sprout if a protocol has more accurate
+// forecasts").
+//
+// Two alternatives to the Brownian-λ Cox model, both pluggable into
+// SproutEndpoint through the ForecastStrategy interface:
+//
+//  * MmppForecastStrategy — a Markov-modulated Poisson process: the link
+//    sits in one of K discrete rate regimes and jumps between them with a
+//    transition matrix *learned online* from regime co-occurrence (MAP
+//    state counting with a sticky Dirichlet prior).  Where the paper's
+//    model says "rates drift", MMPP says "rates switch" — which matches
+//    the regime structure (idle / slow / fast / outage) visible in
+//    cellular traces.
+//
+//  * EmpiricalForecastStrategy — model-free: keeps a sliding window of
+//    recent per-tick delivery counts and forecasts the cautious quantile
+//    of *observed h-tick sums* ("trained on empirical variations" in the
+//    most literal sense).  Sliding sums preserve the short-range
+//    correlation a parametric model may miss; the cost is a cold start and
+//    blindness to never-yet-seen regimes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/params.h"
+#include "core/strategy.h"
+
+namespace sprout {
+
+struct MmppParams {
+  // Number of rate regimes, including the outage state at rate 0.  Rates
+  // are log-spaced between min_rate_fraction*max and max (plus the 0 state)
+  // so slow regimes get resolution where proportional error matters.
+  int num_states = 16;
+  double min_rate_fraction = 0.005;
+  // Dirichlet pseudo-counts for the learned transition rows: heavy self
+  // mass = sticky regimes (the paper's sticky outages, generalized), and
+  // cross mass decaying with regime distance — channel fading moves the
+  // rate through neighbouring regimes, not in uniform global jumps.  A
+  // uniform jump prior makes the forecast's left tail absorb outage mass
+  // at every horizon, which starves the window (measured in
+  // bench/ablation_forecaster).
+  double self_pseudocount = 50.0;
+  double cross_pseudocount = 0.5;   // at distance 1, then exp decay
+  double locality_decay = 2.0;      // e-folding distance (in states)
+  double jump_pseudocount = 0.02;   // floor for arbitrary jumps (outages)
+  // Like the base model: forecast from the rate-quantile by default; the
+  // Poisson counting-noise variant is kept for ablation.
+  bool count_noise_in_forecast = false;
+};
+
+class MmppForecastStrategy : public ForecastStrategy {
+ public:
+  MmppForecastStrategy(const SproutParams& params, MmppParams mmpp = {});
+
+  void advance_tick() override;
+  void observe(int packets) override;
+  void observe_lower_bound(int packets) override;
+  [[nodiscard]] DeliveryForecast make_forecast(TimePoint now) const override;
+  [[nodiscard]] double estimated_rate_pps() const override;
+
+  [[nodiscard]] int num_states() const {
+    return static_cast<int>(rates_.size());
+  }
+  [[nodiscard]] double state_rate_pps(int s) const {
+    return rates_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] const std::vector<double>& belief() const { return belief_; }
+  // Learned one-tick transition probability (row-normalized counts).
+  [[nodiscard]] double transition_probability(int from, int to) const;
+  [[nodiscard]] int map_state() const;
+
+ private:
+  void observe_impl(int packets, bool censored);
+  [[nodiscard]] std::vector<double> evolve_once(
+      const std::vector<double>& b) const;
+  [[nodiscard]] double belief_rate_quantile(const std::vector<double>& b,
+                                            double percentile) const;
+  [[nodiscard]] int mixture_count_quantile(const std::vector<double>& b,
+                                           int horizon, double target) const;
+
+  SproutParams params_;
+  MmppParams mmpp_;
+  std::vector<double> rates_;   // regime rates, ascending, rates_[0] == 0
+  std::vector<double> belief_;  // posterior over regimes, sums to 1
+  std::vector<double> counts_;  // row-major transition counts (with prior)
+  int prev_map_state_ = -1;
+};
+
+struct EmpiricalParams {
+  // Window of per-tick counts the forecaster "trains" on (1500 ticks of
+  // 20 ms = 30 s of history).
+  int window_ticks = 1500;
+  // Below this many samples the strategy is in cold start and forecasts
+  // from the sample mean without caution (matching EWMA's optimism so the
+  // protocol can bootstrap itself).
+  int min_samples = 25;
+};
+
+class EmpiricalForecastStrategy : public ForecastStrategy {
+ public:
+  EmpiricalForecastStrategy(const SproutParams& params,
+                            EmpiricalParams empirical = {});
+
+  void advance_tick() override {}
+  void observe(int packets) override;
+  // Censored ticks bound the rate only from below; the window admits them
+  // only when they would raise the forecast (mirror of the EWMA rule).
+  void observe_lower_bound(int packets) override;
+  [[nodiscard]] DeliveryForecast make_forecast(TimePoint now) const override;
+  [[nodiscard]] double estimated_rate_pps() const override;
+
+  [[nodiscard]] std::size_t samples() const { return window_.size(); }
+
+ private:
+  // One tick's delivery count.  A censored sample means the sender offered
+  // only `count` packets and the link took them all: the true deliverable
+  // count is >= count (right-censored).  In the cautious-quantile order
+  // statistics a censored h-sum sorts at the physical link cap — it can
+  // raise the forecast, never drag it toward the offered load.
+  struct Sample {
+    int count = 0;
+    bool censored = false;
+  };
+
+  void push(Sample s);
+  // The cautious percentile of sums of `h` consecutive window counts.
+  [[nodiscard]] double h_sum_quantile(int h, double percentile) const;
+  [[nodiscard]] double max_packets_per_tick() const;
+
+  SproutParams params_;
+  EmpiricalParams empirical_;
+  std::deque<Sample> window_;
+};
+
+std::unique_ptr<ForecastStrategy> make_mmpp_strategy(const SproutParams& p,
+                                                     MmppParams m = {});
+std::unique_ptr<ForecastStrategy> make_empirical_strategy(
+    const SproutParams& p, EmpiricalParams e = {});
+
+}  // namespace sprout

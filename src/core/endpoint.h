@@ -1,0 +1,83 @@
+// A full Sprout session endpoint.
+//
+// Each endpoint runs BOTH halves of the protocol, as in the paper (Fig. 3:
+// "a Sprout session maintains this model separately in each direction"):
+// a receiver inferring the incoming link's rate and forecasting deliveries,
+// and a sender pacing data out of the attached source under the window
+// computed from the peer's forecast.  Every outgoing packet piggybacks the
+// local receiver's latest forecast; when the sender is idle the heartbeat
+// doubles as the feedback packet.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/params.h"
+#include "core/receiver.h"
+#include "core/sender.h"
+#include "core/source.h"
+#include "core/strategy.h"
+#include "sim/packet.h"
+#include "sim/simulator.h"
+
+namespace sprout {
+
+enum class SproutVariant {
+  kBayesian,   // the paper's filter + cautious forecast
+  kEwma,       // §5.3 ablation: smoothed rate, no caution
+  kAdaptive,   // §3.1 extension: online model averaging over (σ, λz)
+  kMmpp,       // §7 extension: regime-switching (MMPP) link model
+  kEmpirical,  // §7 extension: windowed empirical-quantile forecasts
+};
+
+class SproutEndpoint : public PacketSink {
+ public:
+  // `source` may be null (pure receiver/feedback endpoint).
+  SproutEndpoint(Simulator& sim, const SproutParams& params,
+                 SproutVariant variant, std::int64_t flow_id,
+                 DataSource* source);
+
+  SproutEndpoint(const SproutEndpoint&) = delete;
+  SproutEndpoint& operator=(const SproutEndpoint&) = delete;
+
+  // Where outgoing packets go (the link ingress).  Must be set before
+  // start().
+  void attach_network(PacketSink& out) { network_ = &out; }
+
+  // Begins the 20 ms tick loop.  `phase` offsets this endpoint's tick
+  // boundaries; real peers' clocks are never phase-locked, and a simulated
+  // metronome alignment creates knife-edge observation artifacts.
+  void start(Duration phase = Duration::zero());
+
+  // Packets arriving from the network.
+  void receive(Packet&& p) override;
+
+  // Delivery hook for encapsulated client packets (SproutTunnel egress).
+  void set_tunnel_delivery(std::function<void(Packet&&)> fn) {
+    tunnel_delivery_ = std::move(fn);
+  }
+
+  [[nodiscard]] const SproutReceiver& receiver() const { return receiver_; }
+  [[nodiscard]] const SproutSender& sender() const { return sender_; }
+  [[nodiscard]] std::int64_t malformed_packets() const { return malformed_; }
+
+ private:
+  void tick();
+  void emit(SproutWireMessage&& msg, ByteCount wire_size);
+  [[nodiscard]] static std::unique_ptr<ForecastStrategy> make_strategy(
+      const SproutParams& params, SproutVariant variant);
+
+  Simulator& sim_;
+  SproutParams params_;
+  SproutReceiver receiver_;
+  SproutSender sender_;
+  DataSource* source_;
+  PacketSink* network_ = nullptr;
+  std::function<void(Packet&&)> tunnel_delivery_;
+  std::int64_t flow_id_;
+  std::int64_t malformed_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace sprout

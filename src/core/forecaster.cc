@@ -1,0 +1,107 @@
+#include "core/forecaster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/poisson.h"
+
+namespace sprout {
+
+ByteCount DeliveryForecast::cumulative_at(int t) const {
+  if (t <= 0 || cumulative_bytes.empty()) return 0;
+  const int idx = std::min(t, ticks()) - 1;
+  return cumulative_bytes[static_cast<std::size_t>(idx)];
+}
+
+DeliveryForecaster::DeliveryForecaster(const SproutParams& params)
+    : params_(params), transitions_(params) {
+  const int counts = params_.max_count + 1;
+  cdf_.resize(static_cast<std::size_t>(params_.forecast_horizon_ticks));
+  for (int h = 1; h <= params_.forecast_horizon_ticks; ++h) {
+    std::vector<double>& table = cdf_[static_cast<std::size_t>(h - 1)];
+    table.resize(static_cast<std::size_t>(params_.num_bins) *
+                 static_cast<std::size_t>(counts));
+    for (int bin = 0; bin < params_.num_bins; ++bin) {
+      const double mean =
+          params_.bin_rate(bin) * params_.tick_seconds() * static_cast<double>(h);
+      double* row = &table[static_cast<std::size_t>(bin) *
+                           static_cast<std::size_t>(counts)];
+      // Forward recurrence over n; identical math to poisson_cdf but filling
+      // the whole row in one pass.
+      double term = std::exp(-mean);
+      double sum = term;
+      row[0] = std::min(sum, 1.0);
+      for (int n = 1; n < counts; ++n) {
+        term *= mean / static_cast<double>(n);
+        sum += term;
+        row[n] = std::min(sum, 1.0);
+      }
+    }
+  }
+}
+
+double DeliveryForecaster::mixture_cdf(const RateDistribution& dist,
+                                       int horizon, int count) const {
+  const int counts = params_.max_count + 1;
+  const std::vector<double>& table = cdf_[static_cast<std::size_t>(horizon - 1)];
+  double acc = 0.0;
+  for (int bin = 0; bin < params_.num_bins; ++bin) {
+    const double p = dist.probability(bin);
+    if (p <= 0.0) continue;
+    acc += p * table[static_cast<std::size_t>(bin) *
+                         static_cast<std::size_t>(counts) +
+                     static_cast<std::size_t>(count)];
+  }
+  return acc;
+}
+
+int DeliveryForecaster::quantile_packets(const RateDistribution& dist,
+                                         int horizon) const {
+  assert(horizon >= 1 && horizon <= params_.forecast_horizon_ticks);
+  const double target = params_.forecast_percentile() / 100.0;
+  if (!params_.count_noise_in_forecast) {
+    // Quantile over the rate posterior alone: the cautious rate times the
+    // horizon.  See SproutParams::count_noise_in_forecast.
+    const double rate = dist.quantile(params_, params_.forecast_percentile());
+    return static_cast<int>(rate * params_.tick_seconds() *
+                            static_cast<double>(horizon));
+  }
+  // Smallest n with mixture CDF >= target.  The CDF is nondecreasing in n,
+  // so binary search over [0, max_count].
+  int lo = 0;
+  int hi = params_.max_count;
+  if (mixture_cdf(dist, horizon, 0) >= target) return 0;
+  while (lo + 1 < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (mixture_cdf(dist, horizon, mid) >= target) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+DeliveryForecast DeliveryForecaster::forecast(const RateDistribution& current,
+                                              TimePoint now) const {
+  DeliveryForecast f;
+  f.origin = now;
+  f.tick = params_.tick;
+  f.cumulative_bytes.reserve(
+      static_cast<std::size_t>(params_.forecast_horizon_ticks));
+  RateDistribution evolved = current;
+  ByteCount floor = 0;
+  for (int h = 1; h <= params_.forecast_horizon_ticks; ++h) {
+    transitions_.evolve(evolved);
+    const int packets = quantile_packets(evolved, h);
+    ByteCount bytes = static_cast<ByteCount>(packets) * params_.mtu;
+    // Cumulative deliveries cannot decrease with a longer horizon.
+    bytes = std::max(bytes, floor);
+    floor = bytes;
+    f.cumulative_bytes.push_back(bytes);
+  }
+  return f;
+}
+
+}  // namespace sprout

@@ -1,0 +1,62 @@
+// The cautious packet-delivery forecast (§3.3).
+//
+// Given the posterior over λ, the receiver predicts — at a configurable
+// confidence, 95% by default — a lower bound on the cumulative number of
+// packets the link will deliver at each of the next `forecast_horizon_ticks`
+// ticks.  Per the paper: the distribution is evolved forward WITHOUT
+// observation to each tick, and at each tick the cumulative-delivery
+// distribution is the λ-mixture of Poisson(λ·h·τ) laws; the forecast takes
+// its (100-confidence)th percentile.  Poisson CDF tables for every
+// (bin, horizon) pair are precomputed at startup, so the runtime cost per
+// horizon is a weighted sum over bins inside a binary search (the paper's
+// "only work at runtime is to take a weighted sum over each λ").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/params.h"
+#include "core/rate_model.h"
+
+namespace sprout {
+
+// A cumulative delivery forecast: entry h-1 is the cautious cumulative
+// byte count deliverable within (h) ticks of `origin`.
+struct DeliveryForecast {
+  TimePoint origin{};
+  Duration tick{};
+  std::vector<ByteCount> cumulative_bytes;  // nondecreasing
+
+  [[nodiscard]] int ticks() const {
+    return static_cast<int>(cumulative_bytes.size());
+  }
+  // Cumulative bytes by the END of tick index t (t in [0, ticks()]),
+  // where index 0 means "now" (zero bytes).  t beyond the horizon clamps.
+  [[nodiscard]] ByteCount cumulative_at(int t) const;
+};
+
+class DeliveryForecaster {
+ public:
+  explicit DeliveryForecaster(const SproutParams& params);
+
+  // Produces the forecast for the posterior `current`, evolving a private
+  // copy forward tick by tick.  `now` stamps the forecast origin.
+  [[nodiscard]] DeliveryForecast forecast(const RateDistribution& current,
+                                          TimePoint now) const;
+
+  // The (100-confidence)th percentile of the cumulative-delivery mixture at
+  // horizon h (1-based), in packets.  Exposed for tests and ablations.
+  [[nodiscard]] int quantile_packets(const RateDistribution& dist,
+                                     int horizon) const;
+
+ private:
+  [[nodiscard]] double mixture_cdf(const RateDistribution& dist, int horizon,
+                                   int count) const;
+
+  SproutParams params_;
+  TransitionMatrix transitions_;
+  // cdf_[h-1][bin * (max_count+1) + n] = P[Poisson(λ_bin · h·τ) <= n]
+  std::vector<std::vector<double>> cdf_;
+};
+
+}  // namespace sprout

@@ -1,0 +1,184 @@
+#include "core/rate_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "util/poisson.h"
+
+namespace sprout {
+
+namespace {
+
+// Standard normal CDF.
+double phi(double x) { return 0.5 * (1.0 + std::erf(x / std::sqrt(2.0))); }
+
+}  // namespace
+
+RateDistribution::RateDistribution(int num_bins)
+    : p_(static_cast<std::size_t>(num_bins)) {
+  assert(num_bins >= 2);
+  reset_uniform();
+}
+
+void RateDistribution::reset_uniform() {
+  std::fill(p_.begin(), p_.end(), 1.0 / static_cast<double>(p_.size()));
+}
+
+bool RateDistribution::is_normalized(double tol) const {
+  const double sum = std::accumulate(p_.begin(), p_.end(), 0.0);
+  return std::abs(sum - 1.0) <= tol;
+}
+
+void RateDistribution::normalize() {
+  const double sum = std::accumulate(p_.begin(), p_.end(), 0.0);
+  assert(sum > 0.0);
+  for (double& v : p_) v /= sum;
+}
+
+double RateDistribution::mean(const SproutParams& params) const {
+  double m = 0.0;
+  for (int i = 0; i < num_bins(); ++i) m += p_[i] * params.bin_rate(i);
+  return m;
+}
+
+double RateDistribution::quantile(const SproutParams& params,
+                                  double percentile) const {
+  assert(percentile >= 0.0 && percentile <= 100.0);
+  const double target = percentile / 100.0;
+  double cum = 0.0;
+  for (int i = 0; i < num_bins(); ++i) {
+    cum += p_[i];
+    if (cum >= target) return params.bin_rate(i);
+  }
+  return params.bin_rate(num_bins() - 1);
+}
+
+TransitionMatrix::TransitionMatrix(const SproutParams& params)
+    : n_(static_cast<std::size_t>(params.num_bins)),
+      m_(n_ * n_, 0.0),
+      scratch_(n_) {
+  const double s =
+      params.sigma_pps_per_sqrt_s * std::sqrt(params.tick_seconds());
+  assert(s > 0.0);
+  const double bin_width = params.bin_rate(1) - params.bin_rate(0);
+
+  // Gaussian step discretized over bin cells, with a REFLECTING boundary at
+  // zero: rates cannot be negative, and the distinguished outage state must
+  // not act as a probability sink under pure diffusion (its cell is only
+  // ~bin_width/2 wide while the per-tick σ is ~7 bins; absorbing the whole
+  // sub-zero tail there would drag any unobserved belief into "outage").
+  // Mass that would land below zero is folded back to +|x|.  The top cell
+  // absorbs the upper tail (the paper caps rates at 1000 packets/s).
+  auto gaussian_row = [&](double center, double* row) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      const double lo =
+          j == 0 ? 0.0 : params.bin_rate(static_cast<int>(j)) - bin_width / 2;
+      const double hi = j + 1 == n_
+                            ? 1e30
+                            : params.bin_rate(static_cast<int>(j)) + bin_width / 2;
+      const double direct = phi((hi - center) / s) - phi((lo - center) / s);
+      const double reflected = phi((-lo - center) / s) - phi((-hi - center) / s);
+      row[j] = direct + reflected;
+    }
+  };
+
+  for (std::size_t i = 1; i < n_; ++i) {
+    gaussian_row(params.bin_rate(static_cast<int>(i)), &m_[i * n_]);
+  }
+
+  // Outage row (λ = 0): sticky.  With probability exp(-λz τ) the outage
+  // holds (stay in bin 0); otherwise the rate escapes into λ > 0, spread as
+  // the positive half of the Brownian step (renormalized), so the expected
+  // outage duration is exactly 1/λz.
+  const double escape = 1.0 - std::exp(-params.outage_escape_rate_per_s *
+                                       params.tick_seconds());
+  std::vector<double> esc_row(n_, 0.0);
+  gaussian_row(0.0, esc_row.data());
+  esc_row[0] = 0.0;  // escaped: must leave the outage bin
+  const double esc_sum = std::accumulate(esc_row.begin(), esc_row.end(), 0.0);
+  assert(esc_sum > 0.0);
+  m_[0] = 1.0 - escape;
+  for (std::size_t j = 1; j < n_; ++j) {
+    m_[j] = escape * esc_row[j] / esc_sum;
+  }
+
+  // Each row must be a probability distribution.
+  for (std::size_t i = 0; i < n_; ++i) {
+    double sum = std::accumulate(&m_[i * n_], &m_[(i + 1) * n_], 0.0);
+    assert(std::abs(sum - 1.0) < 1e-9);
+    for (std::size_t j = 0; j < n_; ++j) m_[i * n_ + j] /= sum;
+  }
+}
+
+void TransitionMatrix::evolve(RateDistribution& dist) const {
+  assert(static_cast<std::size_t>(dist.num_bins()) == n_);
+  std::fill(scratch_.begin(), scratch_.end(), 0.0);
+  const std::vector<double>& p = dist.probabilities();
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double pi = p[i];
+    if (pi <= 0.0) continue;
+    const double* row = &m_[i * n_];
+    for (std::size_t j = 0; j < n_; ++j) {
+      scratch_[j] += pi * row[j];
+    }
+  }
+  dist.mutable_probabilities() = scratch_;
+}
+
+SproutBayesFilter::SproutBayesFilter(const SproutParams& params)
+    : params_(params),
+      transitions_(params),
+      dist_(params.num_bins),
+      log_prior_(static_cast<std::size_t>(params.num_bins)) {}
+
+void SproutBayesFilter::evolve() { transitions_.evolve(dist_); }
+
+void SproutBayesFilter::observe(int packets, double fraction) {
+  observe_impl(packets, fraction, /*censored=*/false);
+}
+
+void SproutBayesFilter::observe_at_least(int packets, double fraction) {
+  observe_impl(packets, fraction, /*censored=*/true);
+}
+
+void SproutBayesFilter::observe_impl(int packets, double fraction,
+                                     bool censored) {
+  assert(packets >= 0);
+  assert(fraction > 0.0 && fraction <= 1.0);
+  const double tau = params_.tick_seconds() * fraction;
+  std::vector<double>& p = dist_.mutable_probabilities();
+  // Log-space update avoids underflow when the observation is far from a
+  // bin's mean (e.g. 150 packets against λτ = 0.1).
+  double max_w = kNegInf;
+  for (int i = 0; i < dist_.num_bins(); ++i) {
+    const double prior = p[static_cast<std::size_t>(i)];
+    if (prior <= 0.0) {
+      log_prior_[static_cast<std::size_t>(i)] = kNegInf;
+      continue;
+    }
+    const double mean = params_.bin_rate(i) * tau;
+    // A censored tick ("the queue went empty: at least k could have been
+    // delivered") uses the survival function, which only rules out rates
+    // too slow to have produced k — it never caps the rate from above.
+    const double loglik = censored ? poisson_log_survival(packets, mean)
+                                   : poisson_log_pmf(packets, mean);
+    const double w = std::log(prior) + loglik;
+    log_prior_[static_cast<std::size_t>(i)] = w;
+    max_w = std::max(max_w, w);
+  }
+  // Degenerate posterior (can only happen from a zero-probability state):
+  // fall back to the uniform prior rather than divide by zero.
+  if (max_w == kNegInf) {
+    dist_.reset_uniform();
+    return;
+  }
+  for (int i = 0; i < dist_.num_bins(); ++i) {
+    const double w = log_prior_[static_cast<std::size_t>(i)];
+    p[static_cast<std::size_t>(i)] = w == kNegInf ? 0.0 : std::exp(w - max_w);
+  }
+  dist_.normalize();
+}
+
+}  // namespace sprout

@@ -1,0 +1,94 @@
+// Bayesian inference over the link's hidden packet-delivery rate (§3.1-3.2).
+//
+// The link is modeled as a doubly-stochastic Poisson process: the rate λ
+// wanders in Brownian motion (noise power σ) except that λ = 0 (outage) is
+// sticky, escaped at rate λz.  λ is discretized into `num_bins` values and
+// the posterior is a probability vector updated every tick:
+//   1. evolve:    p <- p * TransitionMatrix   (precomputed Gaussian kernel)
+//   2. observe:   p_i *= Poisson(k; λ_i τ)    (done in log space)
+//   3. normalize: p /= Σ p
+#pragma once
+
+#include <vector>
+
+#include "core/params.h"
+
+namespace sprout {
+
+// Discrete probability distribution over the rate bins.
+class RateDistribution {
+ public:
+  explicit RateDistribution(int num_bins);
+
+  // Uniform prior ("at program startup, all values of λ equally probable").
+  void reset_uniform();
+
+  [[nodiscard]] int num_bins() const { return static_cast<int>(p_.size()); }
+  [[nodiscard]] double probability(int i) const { return p_[i]; }
+  [[nodiscard]] const std::vector<double>& probabilities() const { return p_; }
+  [[nodiscard]] std::vector<double>& mutable_probabilities() { return p_; }
+
+  // Distribution sanity: sums to one within tolerance.
+  [[nodiscard]] bool is_normalized(double tol = 1e-9) const;
+  void normalize();
+
+  // Posterior summaries (rates in packets/s given the params' bin mapping).
+  [[nodiscard]] double mean(const SproutParams& params) const;
+  [[nodiscard]] double quantile(const SproutParams& params, double percentile) const;
+
+ private:
+  std::vector<double> p_;
+};
+
+// Precomputed one-tick evolution kernel.
+class TransitionMatrix {
+ public:
+  explicit TransitionMatrix(const SproutParams& params);
+
+  // p <- p * M (in place via scratch buffer).
+  void evolve(RateDistribution& dist) const;
+
+  [[nodiscard]] double entry(int from, int to) const {
+    return m_[static_cast<std::size_t>(from) * n_ + static_cast<std::size_t>(to)];
+  }
+  [[nodiscard]] int num_bins() const { return static_cast<int>(n_); }
+
+ private:
+  std::size_t n_;
+  std::vector<double> m_;  // row-major: m_[from][to]
+  mutable std::vector<double> scratch_;
+};
+
+// The full filter: evolve / observe / normalize.
+class SproutBayesFilter {
+ public:
+  explicit SproutBayesFilter(const SproutParams& params);
+
+  // Step 1: Brownian evolution across one tick.
+  void evolve();
+
+  // Steps 2+3: Bayesian update on `packets` observed during a tick covering
+  // `fraction` of the tick length (1.0 = full tick), then renormalize.
+  void observe(int packets, double fraction = 1.0);
+
+  // Censored update for a SENDER-LIMITED tick: the link delivered everything
+  // offered, so the count is only a lower bound on what was deliverable.
+  // Uses P[X >= packets] instead of P[X = packets].
+  void observe_at_least(int packets, double fraction = 1.0);
+
+  [[nodiscard]] const RateDistribution& distribution() const { return dist_; }
+  [[nodiscard]] const SproutParams& params() const { return params_; }
+  [[nodiscard]] double mean_rate_pps() const { return dist_.mean(params_); }
+
+  void reset() { dist_.reset_uniform(); }
+
+ private:
+  void observe_impl(int packets, double fraction, bool censored);
+
+  SproutParams params_;
+  TransitionMatrix transitions_;
+  RateDistribution dist_;
+  std::vector<double> log_prior_;  // scratch for the log-space update
+};
+
+}  // namespace sprout

@@ -1,0 +1,78 @@
+#include "core/receiver.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sprout {
+
+SproutReceiver::SproutReceiver(const SproutParams& params,
+                               std::unique_ptr<ForecastStrategy> strategy)
+    : params_(params), strategy_(std::move(strategy)) {
+  assert(strategy_ != nullptr);
+}
+
+void SproutReceiver::on_packet(const SproutWireMessage& msg,
+                               ByteCount wire_bytes, TimePoint now) {
+  tick_bytes_ += wire_bytes;
+  payload_received_ += msg.header.payload_bytes;
+  // Everything before this packet's sequence range is decidable now: the
+  // emulated path is FIFO, so bytes below seqno either arrived already or
+  // are lost; the throwaway number additionally covers reordering networks.
+  received_or_lost_ = std::max(
+      {received_or_lost_, msg.header.seqno + wire_bytes, msg.header.throwaway});
+  // Only the MOST RECENT packet's declaration matters (§3.2): a mid-flight
+  // packet (time-to-next zero) clears any earlier end-of-flight promise, so
+  // ticks that end inside a flight are observed normally.  Declarations get
+  // 25% slack: the promised packet still has to cross a jittery queue, and
+  // a promise expiring knife-edge at a tick boundary must not turn an
+  // in-flight packet into a spurious "zero deliverable" observation.
+  blackout_until_ =
+      msg.header.time_to_next_us > 0
+          ? now + usec(msg.header.time_to_next_us +
+                       msg.header.time_to_next_us / 4)
+          : now;
+  if ((msg.header.flags & SproutHeader::kFlagSenderLimited) == 0) {
+    tick_saw_backlogged_packet_ = true;
+  }
+}
+
+void SproutReceiver::tick(TimePoint now) {
+  strategy_->advance_tick();
+  const ByteCount pending = carry_bytes_ + tick_bytes_;
+  auto consume = [&]() -> int {
+    const int packets = static_cast<int>(pending / params_.mtu);
+    carry_bytes_ = pending % params_.mtu;
+    return packets;
+  };
+  if (tick_bytes_ == 0) {
+    // Silence.  Under an unexpired time-to-next declaration it means the
+    // network queue is simply empty (§3.2) — skip; otherwise it is genuine
+    // outage evidence.
+    if (blackout_until_ > now) {
+      ++ticks_skipped_;
+    } else {
+      consume();
+      strategy_->observe(0);
+      ++ticks_observed_;
+    }
+  } else if (tick_saw_backlogged_packet_) {
+    // At least one packet was sent while the sender believed bytes were
+    // queued in the network: arrivals this tick were LINK-limited, so the
+    // count is an exact reading of the delivery rate.
+    strategy_->observe(consume());
+    ++ticks_observed_;
+  } else {
+    // Every arrival was sender-limited (pipe believed empty): the link
+    // delivered everything offered, so the count only bounds the rate from
+    // below (censored observation).  Without this distinction the filter
+    // pins the belief at the offered rate and the 95%-cautious window can
+    // never climb back after an underestimate.
+    strategy_->observe_lower_bound(consume());
+    ++ticks_observed_;
+  }
+  tick_bytes_ = 0;
+  tick_saw_backlogged_packet_ = false;
+  forecast_ = strategy_->make_forecast(now);
+}
+
+}  // namespace sprout

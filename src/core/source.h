@@ -1,0 +1,67 @@
+// Data sources feeding a Sprout sender.
+//
+// The sender pulls: each time the window opens it asks the source for up to
+// `max` bytes.  A bulk source always fills the window (the saturating
+// workload of the paper's main evaluation); the tunnel and the video apps
+// provide queue-backed sources.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/packet.h"
+#include "util/units.h"
+
+namespace sprout {
+
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+
+  // Hands the sender up to `max` bytes; returns how many were provided.
+  virtual ByteCount pull(ByteCount max) = 0;
+
+  // Whether data is waiting right now (drives heartbeat-vs-data decisions).
+  [[nodiscard]] virtual bool has_data() const = 0;
+
+  // Invoked after the sender builds the wire packet whose payload holds the
+  // bytes most recently pulled; a tunnel source attaches the encapsulated
+  // client packets here.  Default: payload is anonymous bulk data.
+  virtual void fill(Packet& wire_packet, ByteCount payload_bytes) {
+    (void)wire_packet;
+    (void)payload_bytes;
+  }
+};
+
+// Always-backlogged source.
+class BulkDataSource : public DataSource {
+ public:
+  ByteCount pull(ByteCount max) override {
+    pulled_ += max;
+    return max;
+  }
+  [[nodiscard]] bool has_data() const override { return true; }
+  [[nodiscard]] ByteCount total_pulled() const { return pulled_; }
+
+ private:
+  ByteCount pulled_ = 0;
+};
+
+// A byte bucket filled by an application (used by the tunnel and the
+// rate-limited example apps).
+class QueueDataSource : public DataSource {
+ public:
+  void offer(ByteCount bytes) { queued_ += bytes; }
+
+  ByteCount pull(ByteCount max) override {
+    const ByteCount take = std::min(max, queued_);
+    queued_ -= take;
+    return take;
+  }
+  [[nodiscard]] bool has_data() const override { return queued_ > 0; }
+  [[nodiscard]] ByteCount queued() const { return queued_; }
+
+ private:
+  ByteCount queued_ = 0;
+};
+
+}  // namespace sprout

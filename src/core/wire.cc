@@ -1,0 +1,128 @@
+#include "core/wire.h"
+
+#include <cstring>
+
+namespace sprout {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 8 + 4 + 8 + 4;
+constexpr std::size_t kForecastFixed = 8 + 8 + 4 + 1;
+constexpr std::size_t kMaxForecastTicks = 64;
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+template <typename T>
+void put_le(std::vector<std::uint8_t>& out, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<std::uint8_t>(static_cast<std::uint64_t>(v) >> (8 * i)));
+  }
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  std::uint8_t u8() {
+    if (pos_ + 1 > bytes_.size()) return fail<std::uint8_t>();
+    return bytes_[pos_++];
+  }
+
+  template <typename T>
+  T le() {
+    if (pos_ + sizeof(T) > bytes_.size()) return fail<T>();
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<std::uint64_t>(bytes_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return static_cast<T>(v);
+  }
+
+ private:
+  template <typename T>
+  T fail() {
+    ok_ = false;
+    return T{};
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+ByteCount serialized_size(const SproutWireMessage& msg) {
+  ByteCount size = kHeaderSize;
+  if (msg.forecast.has_value()) {
+    size += kForecastFixed + 4 * msg.forecast->cumulative_bytes.size();
+  }
+  return size;
+}
+
+std::vector<std::uint8_t> serialize(const SproutWireMessage& msg) {
+  std::vector<std::uint8_t> out;
+  out.reserve(static_cast<std::size_t>(serialized_size(msg)));
+  put_le<std::uint32_t>(out, SproutHeader::kMagic);
+  put_u8(out, SproutHeader::kVersion);
+  std::uint8_t flags = msg.header.flags;
+  if (msg.forecast.has_value()) {
+    flags |= SproutHeader::kFlagHasForecast;
+  } else {
+    flags &= static_cast<std::uint8_t>(~SproutHeader::kFlagHasForecast);
+  }
+  put_u8(out, flags);
+  put_le<std::int64_t>(out, msg.header.seqno);
+  put_le<std::int32_t>(out, msg.header.payload_bytes);
+  put_le<std::int64_t>(out, msg.header.throwaway);
+  put_le<std::uint32_t>(out, msg.header.time_to_next_us);
+  if (msg.forecast.has_value()) {
+    const ForecastBlock& f = *msg.forecast;
+    put_le<std::int64_t>(out, f.received_or_lost_bytes);
+    put_le<std::int64_t>(out, f.origin_us);
+    put_le<std::uint32_t>(out, f.tick_us);
+    put_u8(out, static_cast<std::uint8_t>(f.cumulative_bytes.size()));
+    for (std::uint32_t v : f.cumulative_bytes) {
+      put_le<std::uint32_t>(out, v);
+    }
+  }
+  return out;
+}
+
+std::optional<SproutWireMessage> parse(std::span<const std::uint8_t> bytes) {
+  Cursor c(bytes);
+  if (c.le<std::uint32_t>() != SproutHeader::kMagic) return std::nullopt;
+  if (c.u8() != SproutHeader::kVersion) return std::nullopt;
+  SproutWireMessage msg;
+  msg.header.flags = c.u8();
+  msg.header.seqno = c.le<std::int64_t>();
+  msg.header.payload_bytes = c.le<std::int32_t>();
+  msg.header.throwaway = c.le<std::int64_t>();
+  msg.header.time_to_next_us = c.le<std::uint32_t>();
+  if (!c.ok()) return std::nullopt;
+  if (msg.header.payload_bytes < 0) return std::nullopt;
+  if (msg.header.flags & SproutHeader::kFlagHasForecast) {
+    ForecastBlock f;
+    f.received_or_lost_bytes = c.le<std::int64_t>();
+    f.origin_us = c.le<std::int64_t>();
+    f.tick_us = c.le<std::uint32_t>();
+    const std::uint8_t n = c.u8();
+    if (!c.ok() || n > kMaxForecastTicks) return std::nullopt;
+    f.cumulative_bytes.reserve(n);
+    for (std::uint8_t i = 0; i < n; ++i) {
+      f.cumulative_bytes.push_back(c.le<std::uint32_t>());
+    }
+    if (!c.ok()) return std::nullopt;
+    // The forecast must be nondecreasing; reject corrupted blocks.
+    for (std::size_t i = 1; i < f.cumulative_bytes.size(); ++i) {
+      if (f.cumulative_bytes[i] < f.cumulative_bytes[i - 1]) return std::nullopt;
+    }
+    msg.forecast = std::move(f);
+  }
+  return msg;
+}
+
+}  // namespace sprout

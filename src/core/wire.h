@@ -1,0 +1,68 @@
+// Sprout wire format (§3.4).
+//
+// Every packet carries: a sequence number counting bytes sent so far, a
+// "throwaway number" (the sequence offset of the most recent packet sent
+// more than 10 ms earlier — everything below it is received-or-lost
+// decidable on arrival), and the sender's declared time-to-next-packet so
+// an empty queue is not mistaken for an outage.  The receiver piggybacks
+// its forecast: cumulative cautious delivery bytes for each coming tick,
+// plus the total bytes it has received or written off.
+//
+// Layout is explicit little-endian with bounds-checked parsing; malformed
+// input yields nullopt, never UB.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/units.h"
+
+namespace sprout {
+
+struct SproutHeader {
+  static constexpr std::uint32_t kMagic = 0x53505254u;  // "SPRT"
+  static constexpr std::uint8_t kVersion = 1;
+
+  static constexpr std::uint8_t kFlagHasForecast = 0x01;
+  static constexpr std::uint8_t kFlagHeartbeat = 0x02;
+  // The sender believes the network pipe is (about to be) empty: everything
+  // unacknowledged is accounted for by packets still in flight.  Ticks made
+  // up entirely of such packets are SENDER-limited, so the receiver treats
+  // their byte count as a lower bound on the link rate (censored
+  // observation) instead of an exact reading.
+  static constexpr std::uint8_t kFlagSenderLimited = 0x04;
+
+  std::uint8_t flags = 0;
+  std::int64_t seqno = 0;          // bytes sent before this packet
+  std::int32_t payload_bytes = 0;  // application bytes carried
+  std::int64_t throwaway = 0;      // received-or-lost boundary
+  std::uint32_t time_to_next_us = 0;
+};
+
+struct ForecastBlock {
+  std::int64_t received_or_lost_bytes = 0;
+  std::int64_t origin_us = 0;   // receiver clock when computed
+  std::uint32_t tick_us = 0;
+  std::vector<std::uint32_t> cumulative_bytes;  // one entry per tick
+};
+
+struct SproutWireMessage {
+  SproutHeader header;
+  std::optional<ForecastBlock> forecast;
+};
+
+// Serialized size of the header/forecast portions (the app payload itself
+// is simulated, not materialized, so the packet's wire size is
+// serialized_size + header.payload_bytes).
+[[nodiscard]] ByteCount serialized_size(const SproutWireMessage& msg);
+
+[[nodiscard]] std::vector<std::uint8_t> serialize(const SproutWireMessage& msg);
+
+// Bounds-checked parse; nullopt on truncation, bad magic/version, or an
+// oversized forecast.
+[[nodiscard]] std::optional<SproutWireMessage> parse(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace sprout

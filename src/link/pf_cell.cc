@@ -1,0 +1,102 @@
+#include "link/pf_cell.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sprout {
+
+PfCell::PfCell(PfCellParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  assert(params_.num_users >= 1);
+  assert(params_.slot > Duration::zero());
+  users_.resize(static_cast<std::size_t>(params_.num_users));
+  byte_credit_.assign(users_.size(), 0);
+  opportunities_.resize(users_.size());
+  // Start each user at an independent draw from the fading stationary
+  // distribution so the cell does not begin phase-locked.
+  for (PfUserState& u : users_) {
+    u.snr_db = rng_.normal(params_.mean_snr_db, params_.snr_stddev_db);
+    u.avg_rate_bps = 1.0;
+  }
+}
+
+void PfCell::fade(PfUserState& user) {
+  // Ornstein-Uhlenbeck on SNR(dB): mean-reverting with stationary stddev
+  // snr_stddev_db.  dS = -a (S - mean) dt + sigma dW with sigma chosen so
+  // the stationary variance matches.
+  const double dt = to_seconds(params_.slot);
+  const double a = params_.snr_reversion_per_s;
+  const double stationary_sd = params_.snr_stddev_db;
+  const double step_sd = stationary_sd * std::sqrt(2.0 * a * dt);
+  user.snr_db += -a * (user.snr_db - params_.mean_snr_db) * dt +
+                 rng_.normal(0.0, step_sd);
+}
+
+double PfCell::instantaneous_rate_bps(int u) const {
+  const PfUserState& user = users_[static_cast<std::size_t>(u)];
+  const double snr_linear = std::pow(10.0, user.snr_db / 10.0);
+  const double efficiency = std::min(std::log2(1.0 + snr_linear),
+                                     params_.max_spectral_efficiency);
+  return params_.bandwidth_hz * efficiency;
+}
+
+int PfCell::step() {
+  for (PfUserState& u : users_) fade(u);
+
+  // Proportional-fair rule: serve argmax r_u / R_u.
+  int winner = 0;
+  double best = -1.0;
+  for (int u = 0; u < num_users(); ++u) {
+    const double metric =
+        instantaneous_rate_bps(u) /
+        std::max(users_[static_cast<std::size_t>(u)].avg_rate_bps, 1.0);
+    if (metric > best) {
+      best = metric;
+      winner = u;
+    }
+  }
+
+  const double dt = to_seconds(params_.slot);
+  const ByteCount slot_bytes = static_cast<ByteCount>(
+      instantaneous_rate_bps(winner) * dt / 8.0);
+
+  // EWMA with the PF window's time constant: R <- (1-b) R + b r served,
+  // where unserved users decay toward zero service.
+  const double beta = dt / to_seconds(params_.pf_window);
+  for (int u = 0; u < num_users(); ++u) {
+    PfUserState& user = users_[static_cast<std::size_t>(u)];
+    const double served_bps =
+        u == winner ? static_cast<double>(slot_bytes) * 8.0 / dt : 0.0;
+    user.avg_rate_bps = (1.0 - beta) * user.avg_rate_bps + beta * served_bps;
+    user.avg_rate_bps = std::max(user.avg_rate_bps, 1.0);
+  }
+
+  PfUserState& w = users_[static_cast<std::size_t>(winner)];
+  w.bytes_served += slot_bytes;
+  ++w.slots_served;
+
+  // Emit one delivery opportunity per completed MTU.
+  byte_credit_[static_cast<std::size_t>(winner)] += slot_bytes;
+  while (byte_credit_[static_cast<std::size_t>(winner)] >= kMtuBytes) {
+    byte_credit_[static_cast<std::size_t>(winner)] -= kMtuBytes;
+    opportunities_[static_cast<std::size_t>(winner)].push_back(now_);
+  }
+
+  now_ += params_.slot;
+  return winner;
+}
+
+std::vector<Trace> PfCell::run(Duration duration) {
+  const TimePoint end = now_ + duration;
+  while (now_ < end) step();
+  std::vector<Trace> traces;
+  traces.reserve(users_.size());
+  for (std::vector<TimePoint>& opp : opportunities_) {
+    traces.emplace_back(std::move(opp), now_.time_since_epoch());
+    opp.clear();
+  }
+  return traces;
+}
+
+}  // namespace sprout

@@ -1,0 +1,52 @@
+#include "metrics/timeseries.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sprout {
+
+std::vector<SeriesPoint> throughput_delay_series(const FlowMetrics& metrics,
+                                                 TimePoint from, TimePoint to,
+                                                 Duration bin) {
+  assert(bin > Duration::zero() && to > from);
+  const std::size_t nbins = static_cast<std::size_t>((to - from + bin - usec(1)) / bin);
+  std::vector<ByteCount> bytes(nbins, 0);
+  std::vector<double> max_delay(nbins, 0.0);
+  std::vector<double> sum_delay(nbins, 0.0);
+  std::vector<std::int64_t> count(nbins, 0);
+  for (const DeliveryRecord& r : metrics.records()) {
+    if (r.received_at < from || r.received_at >= to) continue;
+    const auto idx = static_cast<std::size_t>((r.received_at - from) / bin);
+    bytes[idx] += r.size;
+    const double d = to_millis(r.received_at - r.sent_at);
+    max_delay[idx] = std::max(max_delay[idx], d);
+    sum_delay[idx] += d;
+    ++count[idx];
+  }
+  std::vector<SeriesPoint> series(nbins);
+  for (std::size_t i = 0; i < nbins; ++i) {
+    series[i].time_s =
+        to_seconds((from - TimePoint{}) + bin * static_cast<std::int64_t>(i));
+    series[i].throughput_kbps = kbps(bytes[i], bin);
+    series[i].max_delay_ms = max_delay[i];
+    series[i].mean_delay_ms =
+        count[i] > 0 ? sum_delay[i] / static_cast<double>(count[i]) : 0.0;
+  }
+  return series;
+}
+
+std::vector<SeriesPoint> capacity_series(const Trace& trace, TimePoint from,
+                                         TimePoint to, Duration bin) {
+  assert(bin > Duration::zero() && to > from);
+  std::vector<SeriesPoint> series;
+  for (TimePoint t = from; t < to; t += bin) {
+    const TimePoint end = std::min(t + bin, to);
+    SeriesPoint p;
+    p.time_s = to_seconds(t - TimePoint{});
+    p.throughput_kbps = kbps(trace.deliverable_bytes(t, end), end - t);
+    series.push_back(p);
+  }
+  return series;
+}
+
+}  // namespace sprout

@@ -1,0 +1,29 @@
+// Time-binned series capture for the paper's time-series plots (Figure 1).
+#pragma once
+
+#include <vector>
+
+#include "metrics/flow_metrics.h"
+#include "trace/trace.h"
+#include "util/units.h"
+
+namespace sprout {
+
+struct SeriesPoint {
+  double time_s = 0.0;
+  double throughput_kbps = 0.0;
+  double max_delay_ms = 0.0;   // worst per-packet delay inside the bin
+  double mean_delay_ms = 0.0;
+};
+
+// Bins a flow's delivery records into fixed windows.
+[[nodiscard]] std::vector<SeriesPoint> throughput_delay_series(
+    const FlowMetrics& metrics, TimePoint from, TimePoint to, Duration bin);
+
+// Capacity series of a trace: deliverable kbit/s per bin (Fig. 1 "Capacity").
+[[nodiscard]] std::vector<SeriesPoint> capacity_series(const Trace& trace,
+                                                       TimePoint from,
+                                                       TimePoint to,
+                                                       Duration bin);
+
+}  // namespace sprout

@@ -1,0 +1,92 @@
+#include "net/event_loop.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <system_error>
+
+namespace sprout::net {
+
+EventLoop::EventLoop() : epoch_(std::chrono::steady_clock::now()) {}
+
+TimePoint EventLoop::now() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return TimePoint{} +
+         std::chrono::duration_cast<Duration>(elapsed);
+}
+
+void EventLoop::watch_readable(int fd, Callback cb) {
+  readable_[fd] = std::move(cb);
+}
+
+void EventLoop::unwatch(int fd) { readable_.erase(fd); }
+
+EventLoop::TimerId EventLoop::schedule_at(TimePoint t, Callback cb) {
+  const TimerId id = next_timer_id_++;
+  timers_.push({t, id});
+  timer_callbacks_[id] = std::move(cb);
+  return id;
+}
+
+void EventLoop::cancel(TimerId id) { timer_callbacks_.erase(id); }
+
+void EventLoop::fire_due_timers() {
+  const TimePoint t = now();
+  while (!timers_.empty() && timers_.top().at <= t) {
+    const Timer timer = timers_.top();
+    timers_.pop();
+    const auto it = timer_callbacks_.find(timer.id);
+    if (it == timer_callbacks_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second);
+    timer_callbacks_.erase(it);
+    cb();
+  }
+}
+
+int EventLoop::poll_timeout_ms(TimePoint deadline, bool bounded) const {
+  // Wake for the nearest timer or the run_for deadline, capped so a stray
+  // cancellation cannot park the loop forever.
+  TimePoint wake = bounded ? deadline : now() + sec(1);
+  if (!timers_.empty()) wake = std::min(wake, timers_.top().at);
+  const auto until = wake - now();
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(until);
+  return static_cast<int>(std::clamp<std::int64_t>(ms.count(), 0, 1000));
+}
+
+void EventLoop::run_until(TimePoint deadline, bool bounded) {
+  running_ = true;
+  while (running_) {
+    if (bounded && now() >= deadline) break;
+    fire_due_timers();
+    if (!running_) break;
+
+    std::vector<pollfd> fds;
+    fds.reserve(readable_.size());
+    for (const auto& [fd, cb] : readable_) {
+      fds.push_back({fd, POLLIN, 0});
+    }
+    const int timeout = poll_timeout_ms(deadline, bounded);
+    const int rc = ::poll(fds.data(), fds.size(), timeout);
+    ++iterations_;
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(), "poll");
+    }
+    for (const pollfd& p : fds) {
+      if ((p.revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+      const auto it = readable_.find(p.fd);
+      if (it != readable_.end()) it->second();
+    }
+    fire_due_timers();
+  }
+  running_ = false;
+}
+
+void EventLoop::run() { run_until(TimePoint{}, /*bounded=*/false); }
+
+void EventLoop::run_for(Duration d) {
+  run_until(now() + d, /*bounded=*/true);
+}
+
+}  // namespace sprout::net

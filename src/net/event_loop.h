@@ -1,0 +1,73 @@
+// Single-threaded poll(2) event loop for the real-time endpoints.
+//
+// Translates wall-clock time into the library's TimePoint domain (epoch =
+// loop construction) so the core protocol classes — which are pure
+// functions of TimePoint — run unchanged over real sockets.  Readable-fd
+// callbacks plus one-shot timers; nothing more is needed to host Sprout's
+// 20 ms tick and a UDP socket.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "util/units.h"
+
+namespace sprout::net {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+  using TimerId = std::uint64_t;
+
+  EventLoop();
+
+  // Current time in the library's TimePoint domain (monotonic, starts at
+  // zero when the loop is constructed).
+  [[nodiscard]] TimePoint now() const;
+
+  // Invokes `cb` whenever `fd` is readable.  One callback per fd.
+  void watch_readable(int fd, Callback cb);
+  void unwatch(int fd);
+
+  // One-shot timers; scheduling in the past fires on the next iteration.
+  TimerId schedule_at(TimePoint t, Callback cb);
+  TimerId schedule_after(Duration d, Callback cb) {
+    return schedule_at(now() + d, cb);
+  }
+  void cancel(TimerId id);
+
+  // Runs until stop() or, with run_for, until the deadline passes.
+  void run();
+  void run_for(Duration d);
+  void stop() { running_ = false; }
+
+  [[nodiscard]] std::uint64_t iterations() const { return iterations_; }
+
+ private:
+  struct Timer {
+    TimePoint at;
+    TimerId id;
+    bool operator>(const Timer& other) const {
+      if (at != other.at) return at > other.at;
+      return id > other.id;
+    }
+  };
+
+  void run_until(TimePoint deadline, bool bounded);
+  void fire_due_timers();
+  [[nodiscard]] int poll_timeout_ms(TimePoint deadline, bool bounded) const;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::map<int, Callback> readable_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timers_;
+  std::map<TimerId, Callback> timer_callbacks_;  // erased on cancel/fire
+  TimerId next_timer_id_ = 1;
+  bool running_ = false;
+  std::uint64_t iterations_ = 0;
+};
+
+}  // namespace sprout::net

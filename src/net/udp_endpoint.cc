@@ -1,0 +1,84 @@
+#include "net/udp_endpoint.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sprout::net {
+
+SproutUdpEndpoint::SproutUdpEndpoint(EventLoop& loop,
+                                     const SproutParams& params,
+                                     DataSource* source,
+                                     std::uint16_t bind_port)
+    : loop_(loop),
+      params_(params),
+      receiver_(params, make_bayesian_strategy(params)),
+      sender_(params,
+              [this](SproutWireMessage&& msg, ByteCount wire) {
+                emit(std::move(msg), wire);
+              }),
+      source_(source) {
+  socket_.bind_loopback(bind_port);
+}
+
+void SproutUdpEndpoint::start() {
+  assert(peer_.has_value() && "set_peer before start");
+  assert(!started_);
+  started_ = true;
+  loop_.watch_readable(socket_.fd(), [this] { on_readable(); });
+  loop_.schedule_after(params_.tick, [this] { tick(); });
+}
+
+void SproutUdpEndpoint::tick() {
+  receiver_.tick(loop_.now());
+  sender_.tick(loop_.now(), [this](ByteCount max) {
+    return source_ != nullptr ? source_->pull(max) : 0;
+  });
+  loop_.schedule_after(params_.tick, [this] { tick(); });
+}
+
+void SproutUdpEndpoint::emit(SproutWireMessage&& msg, ByteCount wire_size) {
+  const DeliveryForecast& f = receiver_.latest_forecast();
+  if (f.ticks() > 0) {
+    ForecastBlock block;
+    block.received_or_lost_bytes = receiver_.received_or_lost_bytes();
+    block.origin_us = f.origin.time_since_epoch().count();
+    block.tick_us = static_cast<std::uint32_t>(f.tick.count());
+    block.cumulative_bytes.reserve(f.cumulative_bytes.size());
+    for (ByteCount b : f.cumulative_bytes) {
+      block.cumulative_bytes.push_back(
+          static_cast<std::uint32_t>(std::min<ByteCount>(b, 0xffffffff)));
+    }
+    msg.forecast = std::move(block);
+  }
+  std::vector<std::uint8_t> datagram = serialize(msg);
+  // Materialize the app payload as padding: the datagram's length on the
+  // wire is what the receiver byte-accounts, exactly like Packet::size in
+  // the simulator.
+  if (static_cast<ByteCount>(datagram.size()) < wire_size) {
+    datagram.resize(static_cast<std::size_t>(wire_size), 0);
+  }
+  if (socket_.send_to(datagram, *peer_) > 0) ++sent_;
+}
+
+void SproutUdpEndpoint::on_readable() {
+  // Drain everything waiting; the loop edge-triggers us once per poll.
+  while (auto dgram = socket_.receive()) {
+    if (peer_.has_value() && !(dgram->from == *peer_)) {
+      ++foreign_;
+      continue;
+    }
+    const std::optional<SproutWireMessage> msg = parse(dgram->data);
+    if (!msg.has_value()) {
+      ++malformed_;
+      continue;
+    }
+    ++received_;
+    receiver_.on_packet(*msg, static_cast<ByteCount>(dgram->data.size()),
+                        loop_.now());
+    if (msg->forecast.has_value()) {
+      sender_.on_forecast(*msg->forecast, loop_.now());
+    }
+  }
+}
+
+}  // namespace sprout::net

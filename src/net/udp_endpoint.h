@@ -1,0 +1,81 @@
+// A real-time Sprout endpoint over UDP (the deployment shape of §3).
+//
+// Reuses the exact protocol classes the simulator validates —
+// SproutReceiver, SproutSender, the wire format — and swaps the emulated
+// network for a UdpSocket driven by an EventLoop: the 20 ms tick is a loop
+// timer, arrivals are socket reads, and the app-payload bytes the sim only
+// accounts for are materialized as zero padding after the header (parse()
+// ignores trailing bytes, so the datagram length IS the wire size).
+//
+// Like the simulated endpoint, each SproutUdpEndpoint runs BOTH protocol
+// halves (Fig. 3: the model is maintained separately in each direction):
+// attach a DataSource to send data; leave it null for a feedback-only
+// peer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/params.h"
+#include "core/receiver.h"
+#include "core/sender.h"
+#include "core/source.h"
+#include "core/strategy.h"
+#include "net/event_loop.h"
+#include "net/udp_socket.h"
+
+namespace sprout::net {
+
+class SproutUdpEndpoint {
+ public:
+  // `source` may be null (pure receiver).  Binds to an ephemeral loopback
+  // port by default; call local_port() to learn it.
+  SproutUdpEndpoint(EventLoop& loop, const SproutParams& params,
+                    DataSource* source, std::uint16_t bind_port = 0);
+
+  SproutUdpEndpoint(const SproutUdpEndpoint&) = delete;
+  SproutUdpEndpoint& operator=(const SproutUdpEndpoint&) = delete;
+
+  [[nodiscard]] std::uint16_t local_port() const {
+    return socket_.local_port();
+  }
+
+  // Fixes the peer; packets from other sources are counted and dropped.
+  void set_peer(const SocketAddress& peer) { peer_ = peer; }
+
+  // Starts the 20 ms tick loop and the socket watch.
+  void start();
+
+  // Delivered app-payload bytes (for throughput accounting in tests/demos).
+  [[nodiscard]] ByteCount payload_bytes_received() const {
+    return receiver_.payload_bytes_received();
+  }
+  [[nodiscard]] const SproutReceiver& receiver() const { return receiver_; }
+  [[nodiscard]] const SproutSender& sender() const { return sender_; }
+  [[nodiscard]] std::int64_t datagrams_received() const { return received_; }
+  [[nodiscard]] std::int64_t datagrams_sent() const { return sent_; }
+  [[nodiscard]] std::int64_t malformed_datagrams() const { return malformed_; }
+  [[nodiscard]] std::int64_t foreign_datagrams() const { return foreign_; }
+
+ private:
+  void tick();
+  void on_readable();
+  void emit(SproutWireMessage&& msg, ByteCount wire_size);
+
+  EventLoop& loop_;
+  SproutParams params_;
+  UdpSocket socket_;
+  SproutReceiver receiver_;
+  SproutSender sender_;
+  DataSource* source_;
+  std::optional<SocketAddress> peer_;
+  bool started_ = false;
+  std::int64_t received_ = 0;
+  std::int64_t sent_ = 0;
+  std::int64_t malformed_ = 0;
+  std::int64_t foreign_ = 0;
+};
+
+}  // namespace sprout::net

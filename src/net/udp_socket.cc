@@ -1,0 +1,132 @@
+#include "net/udp_socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace sprout::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_in to_sockaddr(const SocketAddress& addr) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(addr.port);
+  sa.sin_addr.s_addr = htonl(addr.ip);
+  return sa;
+}
+
+SocketAddress from_sockaddr(const sockaddr_in& sa) {
+  SocketAddress addr;
+  addr.ip = ntohl(sa.sin_addr.s_addr);
+  addr.port = ntohs(sa.sin_port);
+  return addr;
+}
+
+}  // namespace
+
+SocketAddress SocketAddress::v4(const std::string& dotted_quad,
+                                std::uint16_t port) {
+  in_addr parsed{};
+  if (inet_pton(AF_INET, dotted_quad.c_str(), &parsed) != 1) {
+    throw std::invalid_argument("not an IPv4 address: " + dotted_quad);
+  }
+  SocketAddress addr;
+  addr.ip = ntohl(parsed.s_addr);
+  addr.port = port;
+  return addr;
+}
+
+std::string SocketAddress::to_string() const {
+  in_addr raw{};
+  raw.s_addr = htonl(ip);
+  char buf[INET_ADDRSTRLEN] = {};
+  inet_ntop(AF_INET, &raw, buf, sizeof(buf));
+  return std::string(buf) + ":" + std::to_string(port);
+}
+
+UdpSocket::UdpSocket() {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd_ < 0) throw_errno("socket");
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void UdpSocket::bind_loopback(std::uint16_t port) {
+  sockaddr_in sa = to_sockaddr({INADDR_LOOPBACK, port});
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    throw_errno("bind");
+  }
+}
+
+void UdpSocket::bind_any(std::uint16_t port) {
+  sockaddr_in sa = to_sockaddr({INADDR_ANY, port});
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    throw_errno("bind");
+  }
+}
+
+std::uint16_t UdpSocket::local_port() const {
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  return ntohs(sa.sin_port);
+}
+
+std::size_t UdpSocket::send_to(std::span<const std::uint8_t> data,
+                               const SocketAddress& to) {
+  sockaddr_in sa = to_sockaddr(to);
+  const ssize_t n =
+      ::sendto(fd_, data.data(), data.size(), 0,
+               reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  if (n < 0) {
+    if (errno == EWOULDBLOCK || errno == EAGAIN) return 0;
+    throw_errno("sendto");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+std::optional<Datagram> UdpSocket::receive(std::size_t max_size) {
+  Datagram dgram;
+  dgram.data.resize(max_size);
+  sockaddr_in sa{};
+  socklen_t len = sizeof(sa);
+  const ssize_t n = ::recvfrom(fd_, dgram.data.data(), dgram.data.size(), 0,
+                               reinterpret_cast<sockaddr*>(&sa), &len);
+  if (n < 0) {
+    if (errno == EWOULDBLOCK || errno == EAGAIN) return std::nullopt;
+    throw_errno("recvfrom");
+  }
+  dgram.data.resize(static_cast<std::size_t>(n));
+  dgram.from = from_sockaddr(sa);
+  return dgram;
+}
+
+}  // namespace sprout::net

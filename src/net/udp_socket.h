@@ -1,0 +1,68 @@
+// RAII IPv4 UDP socket for the real-time Sprout endpoints (net/).
+//
+// The simulator proves the algorithms; this thin, exception-safe wrapper
+// carries the same wire bytes over real sockets so the library is usable
+// outside the lab (examples/udp_demo, net_udp_test run over loopback).
+// Deliberately minimal: IPv4 + non-blocking datagrams, nothing else.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace sprout::net {
+
+// A resolved IPv4 endpoint (host-order fields; conversion is internal).
+struct SocketAddress {
+  std::uint32_t ip = 0;  // host byte order
+  std::uint16_t port = 0;
+
+  // Parses a dotted-quad such as "127.0.0.1".  Throws std::invalid_argument
+  // on garbage (this is a config-time operation, not a data path).
+  static SocketAddress v4(const std::string& dotted_quad, std::uint16_t port);
+
+  [[nodiscard]] std::string to_string() const;
+  friend bool operator==(const SocketAddress&, const SocketAddress&) = default;
+};
+
+struct Datagram {
+  std::vector<std::uint8_t> data;
+  SocketAddress from;
+};
+
+// Move-only owner of a UDP socket file descriptor.
+class UdpSocket {
+ public:
+  // Creates a non-blocking IPv4 UDP socket; throws std::system_error.
+  UdpSocket();
+  ~UdpSocket();
+
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  // Binds to the loopback interface; port 0 picks an ephemeral port.
+  void bind_loopback(std::uint16_t port = 0);
+  // Binds to all interfaces.
+  void bind_any(std::uint16_t port);
+
+  [[nodiscard]] std::uint16_t local_port() const;
+  [[nodiscard]] int fd() const { return fd_; }
+
+  // Sends one datagram; returns bytes sent.  A full socket buffer
+  // (EWOULDBLOCK) returns 0 — Sprout is loss-tolerant, dropping here is the
+  // same as dropping in the first queue.  Other errors throw.
+  std::size_t send_to(std::span<const std::uint8_t> data,
+                      const SocketAddress& to);
+
+  // Non-blocking receive; nullopt when no datagram is waiting.
+  std::optional<Datagram> receive(std::size_t max_size = 65536);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace sprout::net

@@ -1,0 +1,125 @@
+// The experiment harness: wires a scheme across an emulated cellular link
+// pair and measures the paper's §5.1 metrics.  Every bench binary and the
+// integration tests are built on run_experiment().
+//
+// Topology (data flowing in the preset's direction):
+//
+//   sender endpoint --> Cellsim(data trace) --> [metrics] --> receiver
+//        ^                                                        |
+//        +---------- Cellsim(reverse trace) <-- feedback/acks ----+
+//
+// Both directions use the same network's traces (e.g. "Verizon LTE
+// downlink" carries the data, "Verizon LTE uplink" the feedback), a 20 ms
+// propagation delay each way (40 ms minimum RTT), and optional Bernoulli
+// loss and CoDel, exactly as in §4.2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "metrics/timeseries.h"
+#include "runner/schemes.h"
+#include "trace/presets.h"
+#include "util/units.h"
+
+namespace sprout {
+
+struct ExperimentConfig {
+  SchemeId scheme = SchemeId::kSprout;
+  LinkPreset link;                  // data direction; feedback uses the twin
+  Duration run_time = sec(300);
+  Duration warmup = sec(60);        // skipped by all metrics (§5.1)
+  Duration propagation_delay = msec(20);
+  double loss_rate = 0.0;           // each-way Bernoulli loss (§5.6)
+  double sprout_confidence = 95.0;  // Figure 9 sweeps this
+  std::uint64_t seed = 42;
+  bool capture_series = false;      // fill ExperimentResult::series (Fig. 1)
+  Duration series_bin = msec(500);
+};
+
+struct ExperimentResult {
+  double throughput_kbps = 0.0;
+  double delay95_ms = 0.0;              // scheme's 95% end-to-end delay
+  double omniscient_delay95_ms = 0.0;   // baseline on the same trace
+  double self_inflicted_delay_ms = 0.0; // the paper's headline delay metric
+  double mean_delay_ms = 0.0;
+  double capacity_kbps = 0.0;
+  double utilization = 0.0;             // throughput / capacity
+  std::int64_t packets_delivered = 0;
+  std::int64_t link_drops = 0;
+  std::vector<SeriesPoint> series;           // scheme (if captured)
+  std::vector<SeriesPoint> capacity_series;  // link (if captured)
+};
+
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+// The same experiment over caller-supplied traces (e.g. real captures read
+// with read_trace_file, or link/pf_cell.h output) instead of the synthetic
+// presets.  This is the drop-in path for users with their own mahimahi-
+// format recordings.
+struct FileTraceExperimentConfig {
+  SchemeId scheme = SchemeId::kSprout;
+  Trace forward_trace;              // data direction
+  Trace reverse_trace;              // feedback/ack direction
+  Duration run_time = sec(300);
+  Duration warmup = sec(60);
+  Duration propagation_delay = msec(20);
+  double loss_rate = 0.0;
+  double sprout_confidence = 95.0;
+  std::uint64_t seed = 42;
+  bool capture_series = false;
+  Duration series_bin = msec(500);
+};
+
+[[nodiscard]] ExperimentResult run_experiment_on_traces(
+    const FileTraceExperimentConfig& config);
+
+// §5.7: Cubic bulk transfer + Skype videoconference sharing the Verizon LTE
+// downlink, directly or through SproutTunnel.
+struct TunnelContentionConfig {
+  std::string network = "Verizon LTE";
+  bool via_tunnel = false;
+  Duration run_time = sec(300);
+  Duration warmup = sec(60);
+  Duration propagation_delay = msec(20);
+  std::uint64_t seed = 42;
+};
+
+struct TunnelContentionResult {
+  double cubic_throughput_kbps = 0.0;
+  double skype_throughput_kbps = 0.0;
+  double skype_delay95_ms = 0.0;  // 95% end-to-end delay of the Skype flow
+  double cubic_delay95_ms = 0.0;
+};
+
+[[nodiscard]] TunnelContentionResult run_tunnel_contention(
+    const TunnelContentionConfig& config);
+
+// §7 extension: "We have not evaluated the performance of multiple Sprouts
+// sharing a queue."  Runs `num_flows` identical sender/receiver pairs of
+// one scheme through a SINGLE emulated cellular queue in each direction
+// (the situation the paper's per-user-queue assumption excludes) and
+// reports per-flow shares, Jain fairness, and the delay everyone pays.
+struct SharedQueueConfig {
+  SchemeId scheme = SchemeId::kSprout;
+  int num_flows = 2;
+  LinkPreset link;  // data direction; feedback uses the twin
+  Duration run_time = sec(300);
+  Duration warmup = sec(60);
+  Duration propagation_delay = msec(20);
+  std::uint64_t seed = 42;
+};
+
+struct SharedQueueResult {
+  std::vector<double> flow_throughput_kbps;   // one per flow
+  std::vector<double> flow_delay95_ms;        // 95% end-to-end delay per flow
+  double aggregate_throughput_kbps = 0.0;
+  double jain_index = 1.0;                    // fairness of throughput shares
+  double max_delay95_ms = 0.0;
+  double capacity_kbps = 0.0;
+  double aggregate_utilization = 0.0;
+};
+
+[[nodiscard]] SharedQueueResult run_shared_queue(const SharedQueueConfig& config);
+
+}  // namespace sprout

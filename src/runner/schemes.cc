@@ -1,0 +1,64 @@
+#include "runner/schemes.h"
+
+namespace sprout {
+
+std::string to_string(SchemeId id) {
+  switch (id) {
+    case SchemeId::kSprout: return "Sprout";
+    case SchemeId::kSproutEwma: return "Sprout-EWMA";
+    case SchemeId::kSkype: return "Skype";
+    case SchemeId::kFacetime: return "Facetime";
+    case SchemeId::kHangout: return "Hangout";
+    case SchemeId::kCubic: return "Cubic";
+    case SchemeId::kVegas: return "Vegas";
+    case SchemeId::kCompound: return "Compound";
+    case SchemeId::kLedbat: return "LEDBAT";
+    case SchemeId::kCubicCodel: return "Cubic-CoDel";
+    case SchemeId::kOmniscient: return "Omniscient";
+    case SchemeId::kGcc: return "GCC (WebRTC)";
+    case SchemeId::kFast: return "FAST";
+    case SchemeId::kCubicPie: return "Cubic-PIE";
+    case SchemeId::kSproutAdaptive: return "Sprout-Adaptive";
+    case SchemeId::kSproutMmpp: return "Sprout-MMPP";
+    case SchemeId::kSproutEmpirical: return "Sprout-Empirical";
+  }
+  return "unknown";
+}
+
+const std::vector<SchemeId>& figure7_schemes() {
+  static const std::vector<SchemeId> schemes = {
+      SchemeId::kSprout,  SchemeId::kSproutEwma, SchemeId::kSkype,
+      SchemeId::kFacetime, SchemeId::kHangout,   SchemeId::kCubic,
+      SchemeId::kVegas,   SchemeId::kCompound,   SchemeId::kLedbat,
+  };
+  return schemes;
+}
+
+const std::vector<SchemeId>& table1_schemes() {
+  static const std::vector<SchemeId> schemes = {
+      SchemeId::kSkype,  SchemeId::kHangout,  SchemeId::kFacetime,
+      SchemeId::kCompound, SchemeId::kVegas,  SchemeId::kLedbat,
+      SchemeId::kCubic,  SchemeId::kCubicCodel,
+  };
+  return schemes;
+}
+
+const std::vector<SchemeId>& extension_schemes() {
+  static const std::vector<SchemeId> schemes = {
+      SchemeId::kGcc,
+      SchemeId::kFast,
+      SchemeId::kCubicPie,
+  };
+  return schemes;
+}
+
+const std::vector<SchemeId>& forecaster_schemes() {
+  static const std::vector<SchemeId> schemes = {
+      SchemeId::kSprout,          SchemeId::kSproutEwma,
+      SchemeId::kSproutAdaptive,  SchemeId::kSproutMmpp,
+      SchemeId::kSproutEmpirical,
+  };
+  return schemes;
+}
+
+}  // namespace sprout

@@ -1,0 +1,47 @@
+// The scheme registry: every transport the paper evaluates, by id.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sprout {
+
+enum class SchemeId {
+  kSprout,
+  kSproutEwma,
+  kSkype,
+  kFacetime,
+  kHangout,
+  kCubic,
+  kVegas,
+  kCompound,
+  kLedbat,
+  kCubicCodel,
+  kOmniscient,
+  // Extensions beyond the paper's Figure 7 set:
+  kGcc,      // Google/WebRTC congestion control — the comparison §6 promises
+  kFast,     // FAST TCP (§6 related work)
+  kCubicPie, // Cubic over PIE AQM (in-network alternative to CoDel)
+  // §3.1/§7 forecaster extensions (Sprout protocol, different models):
+  kSproutAdaptive,   // online model averaging over (σ, λz)
+  kSproutMmpp,       // regime-switching (MMPP) link model
+  kSproutEmpirical,  // windowed empirical-quantile forecasts
+};
+
+[[nodiscard]] std::string to_string(SchemeId id);
+
+// The nine schemes plotted in Figure 7 (omniscient is the metric baseline,
+// not a plotted point).
+[[nodiscard]] const std::vector<SchemeId>& figure7_schemes();
+
+// Schemes in the introduction's Table 1 comparison (everything vs Sprout).
+[[nodiscard]] const std::vector<SchemeId>& table1_schemes();
+
+// Extension schemes evaluated beyond the paper (GCC, FAST, Cubic-PIE).
+[[nodiscard]] const std::vector<SchemeId>& extension_schemes();
+
+// The forecaster family: Sprout variants differing only in the stochastic
+// model behind the forecast (bench/ablation_forecaster).
+[[nodiscard]] const std::vector<SchemeId>& forecaster_schemes();
+
+}  // namespace sprout

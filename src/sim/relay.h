@@ -1,0 +1,56 @@
+// Small plumbing sinks used to wire experiment topologies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "sim/packet.h"
+
+namespace sprout {
+
+// Breaks construction-order cycles: links need their egress sink at
+// construction time, endpoints need the link.  Point the relay at the real
+// target once it exists.
+class RelaySink : public PacketSink {
+ public:
+  void set_target(PacketSink& target) { target_ = &target; }
+
+  void receive(Packet&& p) override {
+    if (target_ != nullptr) {
+      target_->receive(std::move(p));
+    } else {
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] std::int64_t dropped() const { return dropped_; }
+
+ private:
+  PacketSink* target_ = nullptr;
+  std::int64_t dropped_ = 0;
+};
+
+// Routes packets by flow id (shared-queue experiments, §5.7).
+class DemuxSink : public PacketSink {
+ public:
+  void route(std::int64_t flow_id, PacketSink& sink) {
+    routes_[flow_id] = &sink;
+  }
+
+  void receive(Packet&& p) override {
+    const auto it = routes_.find(p.flow_id);
+    if (it != routes_.end()) {
+      it->second->receive(std::move(p));
+    } else {
+      ++unrouted_;
+    }
+  }
+
+  [[nodiscard]] std::int64_t unrouted() const { return unrouted_; }
+
+ private:
+  std::map<std::int64_t, PacketSink*> routes_;
+  std::int64_t unrouted_ = 0;
+};
+
+}  // namespace sprout

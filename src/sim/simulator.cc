@@ -1,0 +1,34 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace sprout {
+
+void Simulator::at(TimePoint t, Callback fn) {
+  assert(t >= now_ && "cannot schedule events in the past");
+  assert(fn && "null event callback");
+  events_.push(Event{t, next_order_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (events_.empty()) return false;
+  // priority_queue::top returns const&; the callback must be moved out
+  // before pop, so copy the small fields and move the function.
+  Event ev = std::move(const_cast<Event&>(events_.top()));
+  events_.pop();
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run_until(TimePoint t) {
+  while (!events_.empty() && events_.top().time <= t) {
+    step();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace sprout

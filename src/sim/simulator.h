@@ -1,0 +1,59 @@
+// Deterministic single-threaded discrete-event simulator.
+//
+// Events fire in (time, insertion-order) order, so runs are exactly
+// reproducible for a fixed seed.  All components hold a reference to the
+// Simulator and schedule their own callbacks; there is no global state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/units.h"
+
+namespace sprout {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  // Schedules `fn` at absolute time `t` (must not be in the past).
+  void at(TimePoint t, Callback fn);
+
+  // Schedules `fn` after a relative delay.
+  void after(Duration d, Callback fn) { at(now_ + d, std::move(fn)); }
+
+  // Runs the next pending event; returns false if none remain.
+  bool step();
+
+  // Runs all events with time <= t, then advances the clock to t.
+  void run_until(TimePoint t);
+
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    TimePoint time;
+    std::uint64_t order;  // tie-break: FIFO among same-time events
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.order > b.order;
+    }
+  };
+
+  TimePoint now_{};
+  std::uint64_t next_order_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace sprout

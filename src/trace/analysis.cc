@@ -1,0 +1,113 @@
+#include "trace/analysis.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sprout {
+
+std::vector<RatePoint> windowed_rate(const Trace& trace, Duration window) {
+  std::vector<RatePoint> out;
+  if (trace.empty() || window <= Duration::zero()) return out;
+  const TimePoint end = TimePoint{} + trace.duration();
+  for (TimePoint t{}; t < end; t += window) {
+    const TimePoint hi = std::min(t + window, end);
+    const ByteCount bytes = trace.deliverable_bytes(t, hi);
+    out.push_back({t, kbps(bytes, hi - t)});
+  }
+  return out;
+}
+
+std::vector<Outage> find_outages(const Trace& trace, Duration min_gap) {
+  std::vector<Outage> out;
+  const std::vector<TimePoint>& opp = trace.opportunities();
+  for (std::size_t i = 1; i < opp.size(); ++i) {
+    const Duration gap = opp[i] - opp[i - 1];
+    if (gap >= min_gap) out.push_back({opp[i - 1], gap});
+  }
+  return out;
+}
+
+InterarrivalSummary summarize_interarrivals(const Trace& trace) {
+  InterarrivalSummary s;
+  const std::vector<Duration> gaps = trace.interarrivals();
+  if (gaps.empty()) return s;
+
+  PercentileEstimator pct;
+  RunningStats stats;
+  std::int64_t within = 0;
+  for (const Duration g : gaps) {
+    const double ms = to_millis(g);
+    pct.add(ms);
+    stats.add(ms);
+    if (ms <= 20.0) ++within;
+  }
+  s.count = static_cast<std::int64_t>(gaps.size());
+  s.mean_ms = stats.mean();
+  s.p50_ms = pct.percentile(50.0);
+  s.p99_ms = pct.percentile(99.0);
+  s.max_ms = stats.max();
+  s.fraction_within_20ms =
+      static_cast<double>(within) / static_cast<double>(gaps.size());
+
+  // Tail fit beyond 20 ms, on a log-log histogram (Figure 2's method).
+  if (s.max_ms > 40.0) {
+    LogHistogram hist(20.0, std::max(s.max_ms, 21.0), 24);
+    for (const Duration g : gaps) {
+      const double ms = to_millis(g);
+      if (ms > 20.0) hist.add(ms);
+    }
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < hist.bins(); ++i) {
+      if (hist.count(i) == 0) continue;
+      xs.push_back(hist.bin_center(i));
+      // Density, not raw count: divide by bin width so the log-log slope
+      // estimates the pdf exponent.
+      ys.push_back(static_cast<double>(hist.count(i)) /
+                   (hist.bin_hi(i) - hist.bin_lo(i)));
+    }
+    if (xs.size() >= 3) s.tail_exponent = fit_power_law(xs, ys).slope;
+  }
+  return s;
+}
+
+std::vector<double> rate_autocorrelation(const Trace& trace, Duration window,
+                                         int max_lag) {
+  std::vector<double> acf;
+  const std::vector<RatePoint> series = windowed_rate(trace, window);
+  const int n = static_cast<int>(series.size());
+  if (n < 2 || max_lag < 0) return acf;
+
+  double mean = 0.0;
+  for (const RatePoint& p : series) mean += p.rate_kbps;
+  mean /= n;
+  double var = 0.0;
+  for (const RatePoint& p : series) {
+    var += (p.rate_kbps - mean) * (p.rate_kbps - mean);
+  }
+  if (var <= 0.0) {
+    acf.assign(static_cast<std::size_t>(std::min(max_lag, n - 1)) + 1, 1.0);
+    return acf;
+  }
+  for (int lag = 0; lag <= std::min(max_lag, n - 1); ++lag) {
+    double acc = 0.0;
+    for (int i = 0; i + lag < n; ++i) {
+      acc += (series[static_cast<std::size_t>(i)].rate_kbps - mean) *
+             (series[static_cast<std::size_t>(i + lag)].rate_kbps - mean);
+    }
+    acf.push_back(acc / var);
+  }
+  return acf;
+}
+
+double rate_dynamic_range(const Trace& trace, Duration window) {
+  const std::vector<RatePoint> series = windowed_rate(trace, window);
+  if (series.empty()) return 0.0;
+  PercentileEstimator pct;
+  for (const RatePoint& p : series) pct.add(p.rate_kbps);
+  const double lo = pct.percentile(5.0);
+  const double hi = pct.percentile(95.0);
+  return lo > 0.0 ? hi / lo : hi;  // a p5 of zero (outages) reports hi
+}
+
+}  // namespace sprout

@@ -1,0 +1,67 @@
+// Offline analysis of delivery-opportunity traces.
+//
+// The paper characterizes cellular links through exactly these lenses:
+// the interarrival distribution and its flicker-noise tail (Figure 2, the
+// "99.99% within 20 ms" statistic), multi-second outages (§2.1), and rate
+// variability across time scales ("varied up and down by almost an order
+// of magnitude within one second", §2.2).  This module computes those
+// statistics for any trace — synthetic or captured — so generator
+// calibration and Figure 2 reproduction share one implementation.
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/stats.h"
+#include "util/units.h"
+
+namespace sprout {
+
+// Deliverable rate per fixed window, assuming one MTU per opportunity.
+struct RatePoint {
+  TimePoint at{};       // window start
+  double rate_kbps = 0.0;
+};
+
+[[nodiscard]] std::vector<RatePoint> windowed_rate(const Trace& trace,
+                                                   Duration window);
+
+// A delivery gap of at least `min_gap` (the paper's "occasional multi-
+// second outages").
+struct Outage {
+  TimePoint start{};
+  Duration duration{};
+};
+
+[[nodiscard]] std::vector<Outage> find_outages(const Trace& trace,
+                                               Duration min_gap);
+
+// Figure 2 summary statistics of the interarrival distribution.
+struct InterarrivalSummary {
+  std::int64_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  // Fraction of interarrivals within 20 ms of the previous packet (the
+  // paper reports 99.99% on the saturated Verizon LTE downlink).
+  double fraction_within_20ms = 0.0;
+  // Power-law exponent of the tail beyond 20 ms (the paper fits t^-3.27);
+  // 0 when the tail has too few samples to fit.
+  double tail_exponent = 0.0;
+};
+
+[[nodiscard]] InterarrivalSummary summarize_interarrivals(const Trace& trace);
+
+// Lag-k autocorrelation of the windowed rate series; quantifies how fast
+// link knowledge decays (the reason §3.1 models λ as varying, and the
+// quantity Sprout's σ encodes).  Lag 0 is 1 by definition.
+[[nodiscard]] std::vector<double> rate_autocorrelation(const Trace& trace,
+                                                       Duration window,
+                                                       int max_lag);
+
+// Ratio of the p95 to p5 windowed rate — the "order of magnitude within
+// seconds" variability statistic of §2.2.  Returns 0 if the trace is empty.
+[[nodiscard]] double rate_dynamic_range(const Trace& trace, Duration window);
+
+}  // namespace sprout

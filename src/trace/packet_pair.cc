@@ -1,0 +1,62 @@
+#include "trace/packet_pair.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace sprout {
+
+std::vector<double> packet_pair_estimates(const Trace& trace) {
+  std::vector<double> out;
+  const std::vector<Duration> gaps = trace.interarrivals();
+  out.reserve(gaps.size());
+  for (const Duration g : gaps) {
+    if (g <= Duration::zero()) continue;  // same-ms opportunities: no signal
+    out.push_back(kbps(kMtuBytes, g));
+  }
+  return out;
+}
+
+std::vector<double> packet_pair_median_of(const std::vector<double>& estimates,
+                                          int group) {
+  std::vector<double> out;
+  if (group < 1) return out;
+  for (std::size_t i = 0; i + static_cast<std::size_t>(group) <= estimates.size();
+       i += static_cast<std::size_t>(group)) {
+    std::vector<double> chunk(estimates.begin() + static_cast<long>(i),
+                              estimates.begin() + static_cast<long>(i) +
+                                  group);
+    const std::size_t mid = chunk.size() / 2;
+    std::nth_element(chunk.begin(), chunk.begin() + static_cast<long>(mid),
+                     chunk.end());
+    out.push_back(chunk[mid]);
+  }
+  return out;
+}
+
+EstimatorQuality evaluate_estimates(const std::vector<double>& estimates,
+                                    double true_rate_kbps) {
+  EstimatorQuality q;
+  if (estimates.empty()) return q;
+  RunningStats stats;
+  PercentileEstimator pct;
+  std::int64_t close = 0;
+  for (const double e : estimates) {
+    stats.add(e);
+    pct.add(e);
+    if (true_rate_kbps > 0.0 &&
+        std::fabs(e - true_rate_kbps) <= 0.25 * true_rate_kbps) {
+      ++close;
+    }
+  }
+  q.mean_kbps = stats.mean();
+  q.cov = q.mean_kbps > 0.0 ? stats.stddev() / q.mean_kbps : 0.0;
+  q.p10_kbps = pct.percentile(10.0);
+  q.p90_kbps = pct.percentile(90.0);
+  q.fraction_within_25pct =
+      static_cast<double>(close) / static_cast<double>(estimates.size());
+  return q;
+}
+
+}  // namespace sprout

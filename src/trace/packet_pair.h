@@ -1,0 +1,49 @@
+// Packet-pair bandwidth estimation, and why it fails on cellular links.
+//
+// §3.1: "Even in the middle of the night ... packet arrivals on a
+// saturated link do not follow an observable isochronicity.  This is a
+// roadblock for packet-pair techniques [13] and other schemes to measure
+// the available throughput."
+//
+// Keshav's packet-pair method infers the bottleneck rate from the
+// dispersion of two back-to-back packets: rate = size / gap.  On a
+// constant-rate (isochronous) bottleneck every pair reports the true rate.
+// On a Poisson service process the gaps are exponential — the estimator's
+// coefficient of variation is 1 regardless of sample count per pair, so
+// individual estimates span orders of magnitude and even aggressive
+// smoothing lags the true rate badly.  bench/claim_packetpair quantifies
+// the claim; trace_packet_pair_test pins the statistics.
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/units.h"
+
+namespace sprout {
+
+// Rate estimates (kbit/s) from consecutive delivery-opportunity gaps of a
+// saturated link: estimate_i = MTU / (opp_{i+1} - opp_i).  This is the
+// best case for packet-pair — the sender keeps the queue backlogged, so
+// every dispersion is a genuine service-time sample.
+[[nodiscard]] std::vector<double> packet_pair_estimates(const Trace& trace);
+
+// The same estimator smoothed the way deployed tools do: the median of
+// non-overlapping groups of `group` consecutive estimates.
+[[nodiscard]] std::vector<double> packet_pair_median_of(
+    const std::vector<double>& estimates, int group);
+
+// Summary of estimator quality against a known true rate.
+struct EstimatorQuality {
+  double mean_kbps = 0.0;
+  double cov = 0.0;          // coefficient of variation (stddev / mean)
+  double p10_kbps = 0.0;
+  double p90_kbps = 0.0;
+  // Fraction of estimates within +/-25% of the true rate.
+  double fraction_within_25pct = 0.0;
+};
+
+[[nodiscard]] EstimatorQuality evaluate_estimates(
+    const std::vector<double>& estimates, double true_rate_kbps);
+
+}  // namespace sprout

@@ -1,0 +1,73 @@
+#include "trace/presets.h"
+
+#include <stdexcept>
+
+namespace sprout {
+
+std::string to_string(LinkDirection d) {
+  return d == LinkDirection::kDownlink ? "downlink" : "uplink";
+}
+
+namespace {
+
+// Rates below are in MTU-sized packets/s: 1 pps = 12 kbit/s at 1500 bytes.
+// mean/max chosen to land on the axes of the paper's Figure 7 charts;
+// volatility and outage behaviour give the order-of-magnitude-per-second
+// swings of Figure 1.
+CellProcessParams make_params(double mean_kbps, double max_kbps,
+                              double rel_volatility, double outage_interval_s,
+                              double outage_min_s) {
+  CellProcessParams p;
+  p.mean_rate_pps = mean_kbps / 12.0;
+  p.max_rate_pps = max_kbps / 12.0;
+  p.volatility_pps = rel_volatility * p.mean_rate_pps;
+  p.reversion_per_s = 0.25;
+  p.outage_hazard_per_s = 1.0 / outage_interval_s;
+  p.outage_min_s = outage_min_s;
+  p.outage_alpha = 2.0;
+  return p;
+}
+
+std::vector<LinkPreset> build_presets() {
+  std::vector<LinkPreset> presets;
+  //                        network            mean   max   vol  outage  min-out
+  presets.push_back({"Verizon LTE", LinkDirection::kDownlink,
+                     make_params(6200, 11000, 0.55, 120.0, 0.25), 1001});
+  presets.push_back({"Verizon LTE", LinkDirection::kUplink,
+                     make_params(4400, 9000, 0.50, 150.0, 0.25), 1002});
+  presets.push_back({"Verizon 3G (1xEV-DO)", LinkDirection::kDownlink,
+                     make_params(500, 900, 0.45, 90.0, 0.40), 1003});
+  presets.push_back({"Verizon 3G (1xEV-DO)", LinkDirection::kUplink,
+                     make_params(560, 900, 0.40, 110.0, 0.40), 1004});
+  presets.push_back({"AT&T LTE", LinkDirection::kDownlink,
+                     make_params(3400, 6500, 0.60, 100.0, 0.25), 1005});
+  presets.push_back({"AT&T LTE", LinkDirection::kUplink,
+                     make_params(900, 2000, 0.55, 120.0, 0.30), 1006});
+  presets.push_back({"T-Mobile 3G (UMTS)", LinkDirection::kDownlink,
+                     make_params(1300, 2500, 0.55, 90.0, 0.35), 1007});
+  presets.push_back({"T-Mobile 3G (UMTS)", LinkDirection::kUplink,
+                     make_params(950, 1700, 0.50, 110.0, 0.35), 1008});
+  return presets;
+}
+
+}  // namespace
+
+const std::vector<LinkPreset>& all_link_presets() {
+  static const std::vector<LinkPreset> presets = build_presets();
+  return presets;
+}
+
+const LinkPreset& find_link_preset(const std::string& network,
+                                   LinkDirection direction) {
+  for (const LinkPreset& p : all_link_presets()) {
+    if (p.network == network && p.direction == direction) return p;
+  }
+  throw std::out_of_range("no such link preset: " + network + " " +
+                          to_string(direction));
+}
+
+Trace preset_trace(const LinkPreset& preset, Duration duration) {
+  return generate_trace(preset.params, duration, preset.seed);
+}
+
+}  // namespace sprout

@@ -1,0 +1,45 @@
+// Per-network presets for the paper's eight traced links.
+//
+// The paper captured ~17 minutes each from Verizon LTE, Verizon 3G
+// (1xEV-DO), AT&T LTE and T-Mobile 3G (UMTS), in both directions.  The
+// captures themselves are not bundled here; these presets parameterize the
+// synthetic Cox-process generator (trace/synthetic.h) so each link matches
+// the corresponding network's scale and variability as reported in the
+// paper (Figure 7 axes, §5.6 throughput table).  Seeds are fixed: every
+// build regenerates byte-identical traces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/synthetic.h"
+#include "trace/trace.h"
+
+namespace sprout {
+
+enum class LinkDirection { kDownlink, kUplink };
+
+[[nodiscard]] std::string to_string(LinkDirection d);
+
+struct LinkPreset {
+  std::string network;      // e.g. "Verizon LTE"
+  LinkDirection direction;
+  CellProcessParams params;
+  std::uint64_t seed;
+
+  [[nodiscard]] std::string name() const {
+    return network + " " + to_string(direction);
+  }
+};
+
+// All eight links, in the order Figure 7 presents them.
+[[nodiscard]] const std::vector<LinkPreset>& all_link_presets();
+
+// Lookup by network name and direction; throws std::out_of_range if absent.
+[[nodiscard]] const LinkPreset& find_link_preset(const std::string& network,
+                                                 LinkDirection direction);
+
+// Generates (deterministically) the delivery trace for a preset.
+[[nodiscard]] Trace preset_trace(const LinkPreset& preset, Duration duration);
+
+}  // namespace sprout

@@ -1,0 +1,72 @@
+// Simulated Saturator (paper §4.1).
+//
+// The paper's Saturator keeps a cellular link backlogged so the recorded
+// packet-delivery times are the ground truth of every opportunity the link
+// offered.  Here the "cellular link" is a live CellRateProcess draining a
+// queue; the Saturator endpoint runs the paper's algorithm — adjust the
+// in-flight window N to keep observed RTT within [750 ms, 3000 ms] — and
+// records delivery times into a Trace.  Feedback returns over a separate
+// low-delay path (the paper's second "feedback phone", ~20 ms).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/packet.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+#include "trace/trace.h"
+#include "util/units.h"
+
+namespace sprout {
+
+// One direction of a live (not trace-driven) cellular link: an unbounded
+// FIFO drained by the hidden Poisson process.  Each delivery releases one
+// queued packet and reports the instant to `on_delivery`.
+class GroundTruthLink : public PacketSink {
+ public:
+  using DeliveryRecorder = std::function<void(TimePoint)>;
+
+  GroundTruthLink(Simulator& sim, const CellProcessParams& params,
+                  std::uint64_t seed, PacketSink& out,
+                  DeliveryRecorder on_delivery);
+
+  void receive(Packet&& p) override;
+
+  [[nodiscard]] std::size_t queue_packets() const { return queue_.size(); }
+
+ private:
+  void start_step();
+  void deliver_one();
+
+  Simulator& sim_;
+  CellRateProcess process_;
+  Rng rng_;
+  PacketSink& out_;
+  DeliveryRecorder on_delivery_;
+  std::deque<Packet> queue_;
+};
+
+struct SaturatorConfig {
+  Duration rtt_floor = msec(750);    // below: raise the window
+  Duration rtt_ceiling = msec(3000); // above: shrink the window
+  Duration feedback_delay = msec(20);
+  Duration run_time = sec(60);
+  std::int64_t initial_window = 10;
+};
+
+struct SaturatorResult {
+  Trace trace;                 // recorded delivery opportunities
+  double observed_rate_kbps = 0.0;
+  double mean_rtt_ms = 0.0;
+  std::int64_t final_window = 0;
+  double fraction_rtt_in_band = 0.0;  // time RTT spent inside [floor, ceiling]
+};
+
+// Runs the Saturator against a fresh link drawn from `params`.
+SaturatorResult run_saturator(const CellProcessParams& params,
+                              const SaturatorConfig& config,
+                              std::uint64_t seed);
+
+}  // namespace sprout

@@ -1,0 +1,82 @@
+#include "trace/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sprout {
+
+CellRateProcess::CellRateProcess(const CellProcessParams& params,
+                                 std::uint64_t seed)
+    : params_(params), rng_(seed), rate_(params.mean_rate_pps) {
+  assert(params_.mean_rate_pps > 0.0);
+  assert(params_.max_rate_pps >= params_.mean_rate_pps);
+  assert(params_.volatility_pps >= 0.0);
+  assert(params_.step > Duration::zero());
+}
+
+double CellRateProcess::advance() {
+  const double dt = to_seconds(params_.step);
+  if (in_outage_) {
+    outage_left_s_ -= dt;
+    if (outage_left_s_ <= 0.0) {
+      in_outage_ = false;
+      rate_ = resume_rate_;
+    }
+    return current_pps();
+  }
+  // Outage entry: Bernoulli per step with the configured hazard.
+  if (rng_.bernoulli(params_.outage_hazard_per_s * dt)) {
+    in_outage_ = true;
+    // Pareto(min, alpha) via inverse CDF.
+    const double u = std::max(rng_.uniform(), 1e-12);
+    outage_left_s_ =
+        params_.outage_min_s * std::pow(u, -1.0 / params_.outage_alpha);
+    // Links often come back weaker than they went down; resume at a
+    // uniformly drawn fraction of the pre-outage rate.
+    resume_rate_ = std::max(1.0, rate_ * rng_.uniform(0.25, 1.0));
+    return 0.0;
+  }
+  // Ornstein-Uhlenbeck step: pull toward the mean plus Brownian noise.
+  const double pull = params_.reversion_per_s * (params_.mean_rate_pps - rate_) * dt;
+  const double noise = params_.volatility_pps * std::sqrt(dt) * rng_.normal(0.0, 1.0);
+  rate_ += pull + noise;
+  // Reflect at the boundaries.
+  if (rate_ < 0.0) rate_ = -rate_;
+  if (rate_ > params_.max_rate_pps) rate_ = 2.0 * params_.max_rate_pps - rate_;
+  rate_ = std::clamp(rate_, 0.0, params_.max_rate_pps);
+  return current_pps();
+}
+
+Trace generate_trace(const CellProcessParams& params, Duration duration,
+                     std::uint64_t seed) {
+  assert(duration > Duration::zero());
+  CellRateProcess process(params, seed);
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);  // separate stream for placement
+  std::vector<TimePoint> opportunities;
+  const double dt = to_seconds(params.step);
+  opportunities.reserve(static_cast<std::size_t>(
+      params.mean_rate_pps * to_seconds(duration) * 1.2));
+  std::vector<double> offsets;
+  for (TimePoint t{}; t < TimePoint{} + duration; t += params.step) {
+    const double rate = process.advance();
+    const std::int64_t count = rng.poisson(rate * dt);
+    if (count == 0) continue;
+    offsets.clear();
+    for (std::int64_t i = 0; i < count; ++i) {
+      offsets.push_back(rng.uniform(0.0, dt));
+    }
+    std::sort(offsets.begin(), offsets.end());
+    for (double off : offsets) {
+      opportunities.push_back(t + from_seconds(off));
+    }
+  }
+  // Guarantee non-emptiness so downstream consumers need no special case:
+  // an all-outage trace is not a useful experiment.
+  if (opportunities.empty()) {
+    opportunities.push_back(TimePoint{} + duration / 2);
+  }
+  return Trace{std::move(opportunities), duration};
+}
+
+}  // namespace sprout

@@ -1,0 +1,72 @@
+// Synthetic cellular-link generator (substitute for the paper's captures).
+//
+// The paper models a cellular link as a doubly-stochastic (Cox) process:
+// MTU-sized delivery opportunities arrive as a Poisson process whose hidden
+// rate λ(t) wanders in Brownian motion and has "sticky" outages (§3.1,
+// Fig. 2 and 3).  We generate traces from exactly that family, with two
+// deliberate mismatches from Sprout's own inference model so results are
+// not an artifact of model match:
+//   * λ(t) mean-reverts (Ornstein-Uhlenbeck) instead of wandering freely,
+//     keeping the long-run rate near a per-network target, and
+//   * outage durations are Pareto (heavy-tailed), matching the flicker-noise
+//     (t^-3.27) interarrival tail of Figure 2, not the exponential escape
+//     Sprout assumes.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/trace.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace sprout {
+
+struct CellProcessParams {
+  // Long-run target of the hidden rate, in MTU-sized packets per second.
+  double mean_rate_pps = 400.0;
+  // Brownian noise power, packets/s per sqrt(s).
+  double volatility_pps = 200.0;
+  // Ornstein-Uhlenbeck pull toward mean_rate_pps, per second.
+  double reversion_per_s = 0.25;
+  // Hard ceiling (reflection) on the hidden rate.
+  double max_rate_pps = 1000.0;
+  // Hazard of entering a full outage (λ -> 0), per second.
+  double outage_hazard_per_s = 1.0 / 90.0;
+  // Outage durations are Pareto(min, alpha): heavy-tailed, "sticky".
+  double outage_min_s = 0.25;
+  double outage_alpha = 2.0;
+  // Simulation step for the hidden-rate process.
+  Duration step = msec(20);
+};
+
+// The hidden λ(t), advanced step by step.  Exposed (rather than private to
+// the generator) so tests can check the generator against its own ground
+// truth and so the Saturator can run against a live process.
+class CellRateProcess {
+ public:
+  CellRateProcess(const CellProcessParams& params, std::uint64_t seed);
+
+  // Advances one `params.step` and returns the rate holding in that step.
+  double advance();
+
+  [[nodiscard]] double current_pps() const { return in_outage_ ? 0.0 : rate_; }
+  [[nodiscard]] bool in_outage() const { return in_outage_; }
+  [[nodiscard]] const CellProcessParams& params() const { return params_; }
+
+ private:
+  CellProcessParams params_;
+  Rng rng_;
+  double rate_;
+  bool in_outage_ = false;
+  double outage_left_s_ = 0.0;
+  double resume_rate_ = 0.0;
+};
+
+// Samples a delivery-opportunity trace of the given duration directly from
+// the hidden process: per step, a Poisson count of opportunities placed
+// uniformly within the step (the exact conditional law of a Poisson
+// process given its count).
+Trace generate_trace(const CellProcessParams& params, Duration duration,
+                     std::uint64_t seed);
+
+}  // namespace sprout

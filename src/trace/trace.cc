@@ -1,0 +1,101 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <stdexcept>
+
+namespace sprout {
+
+Trace::Trace(std::vector<TimePoint> opportunities, Duration duration)
+    : opportunities_(std::move(opportunities)), duration_(duration) {
+  assert(std::is_sorted(opportunities_.begin(), opportunities_.end()));
+  if (!opportunities_.empty()) {
+    assert(opportunities_.back().time_since_epoch() <= duration_);
+  }
+  assert(duration_ > Duration::zero());
+}
+
+TimePoint Trace::opportunity(std::size_t i) const {
+  assert(!opportunities_.empty());
+  const std::size_t n = opportunities_.size();
+  const std::size_t wraps = i / n;
+  const std::size_t idx = i % n;
+  return opportunities_[idx] + duration_ * static_cast<std::int64_t>(wraps);
+}
+
+double Trace::average_rate_kbps() const {
+  return kbps(static_cast<ByteCount>(opportunities_.size()) * kMtuBytes,
+              duration_);
+}
+
+ByteCount Trace::deliverable_bytes(TimePoint from, TimePoint to) const {
+  if (opportunities_.empty() || to <= from) return 0;
+  // Count opportunities in [from, to) with wraparound.
+  auto count_in_base = [&](TimePoint a, TimePoint b) -> std::int64_t {
+    // a, b within [epoch, epoch + duration)
+    const auto lo = std::lower_bound(opportunities_.begin(), opportunities_.end(), a);
+    const auto hi = std::lower_bound(opportunities_.begin(), opportunities_.end(), b);
+    return hi - lo;
+  };
+  const auto epoch = TimePoint{};
+  std::int64_t count = 0;
+  // Full periods covered.
+  const std::int64_t per_period = static_cast<std::int64_t>(opportunities_.size());
+  auto wrap = [&](TimePoint t) {
+    const auto since = t.time_since_epoch();
+    const auto rem = Duration{since.count() % duration_.count()};
+    return std::pair{since.count() / duration_.count(), epoch + rem};
+  };
+  auto [from_period, from_rem] = wrap(from);
+  auto [to_period, to_rem] = wrap(to);
+  count += (to_period - from_period) * per_period;
+  count += count_in_base(epoch, to_rem);
+  count -= count_in_base(epoch, from_rem);
+  return count * kMtuBytes;
+}
+
+std::vector<Duration> Trace::interarrivals() const {
+  std::vector<Duration> gaps;
+  if (opportunities_.size() < 2) return gaps;
+  gaps.reserve(opportunities_.size() - 1);
+  for (std::size_t i = 1; i < opportunities_.size(); ++i) {
+    gaps.push_back(opportunities_[i] - opportunities_[i - 1]);
+  }
+  return gaps;
+}
+
+Trace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  std::vector<TimePoint> opportunities;
+  std::int64_t ms_value = 0;
+  std::int64_t last = 0;
+  while (in >> ms_value) {
+    if (ms_value < last) {
+      throw std::runtime_error("trace timestamps not sorted in " + path);
+    }
+    last = ms_value;
+    opportunities.push_back(TimePoint{} + msec(ms_value));
+  }
+  if (opportunities.empty()) {
+    throw std::runtime_error("empty trace file: " + path);
+  }
+  // Nominal duration: round the last timestamp up to the next millisecond so
+  // that the final opportunity is inside the repeating window.
+  const Duration duration = msec(last + 1);
+  return Trace{std::move(opportunities), duration};
+}
+
+void write_trace_file(const Trace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write trace file: " + path);
+  for (const TimePoint& t : trace.opportunities()) {
+    out << std::chrono::duration_cast<std::chrono::milliseconds>(
+               t.time_since_epoch())
+               .count()
+        << '\n';
+  }
+}
+
+}  // namespace sprout

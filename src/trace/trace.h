@@ -1,0 +1,61 @@
+// Delivery-opportunity traces.
+//
+// A trace is the paper's ground truth for one direction of a cellular link:
+// a sorted list of instants at which the link could transmit one MTU-sized
+// (1500-byte) burst.  File format is one integer millisecond timestamp per
+// line — the same format the authors released with Cellsim and later
+// mahimahi, so real captured traces drop in unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace sprout {
+
+class Trace {
+ public:
+  Trace() = default;
+
+  // `opportunities` must be sorted ascending.  `duration` is the nominal
+  // length of the recording (>= last opportunity); when the emulator runs
+  // past the end, the trace repeats with this period.
+  Trace(std::vector<TimePoint> opportunities, Duration duration);
+
+  [[nodiscard]] const std::vector<TimePoint>& opportunities() const {
+    return opportunities_;
+  }
+  [[nodiscard]] Duration duration() const { return duration_; }
+  [[nodiscard]] bool empty() const { return opportunities_.empty(); }
+  [[nodiscard]] std::size_t size() const { return opportunities_.size(); }
+
+  // The i-th delivery opportunity with wraparound: for i >= size(), the
+  // trace repeats shifted by duration().  This is how mahimahi loops traces.
+  [[nodiscard]] TimePoint opportunity(std::size_t i) const;
+
+  // Average deliverable rate over the whole recording, in kbit/s, assuming
+  // each opportunity is worth one MTU.
+  [[nodiscard]] double average_rate_kbps() const;
+
+  // Bytes deliverable in [from, to) assuming each opportunity is one MTU;
+  // handles wraparound.  Used to compute link capacity/utilization.
+  [[nodiscard]] ByteCount deliverable_bytes(TimePoint from, TimePoint to) const;
+
+  // Interarrival gaps between consecutive opportunities (for Figure 2).
+  [[nodiscard]] std::vector<Duration> interarrivals() const;
+
+ private:
+  std::vector<TimePoint> opportunities_;
+  Duration duration_{};
+};
+
+// Reads a mahimahi-format trace file (one ms-timestamp per line; repeated
+// timestamps mean multiple MTic opportunities in the same millisecond).
+// Throws std::runtime_error on malformed input.
+Trace read_trace_file(const std::string& path);
+
+// Writes in the same format.
+void write_trace_file(const Trace& trace, const std::string& path);
+
+}  // namespace sprout

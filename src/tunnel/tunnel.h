@@ -1,0 +1,114 @@
+// SproutTunnel (§4.3): carries arbitrary client flows over a Sprout session
+// across the cellular link.
+//
+// Each endpoint keeps one queue per client flow and fills the Sprout window
+// in round-robin fashion among flows with pending data.  The total bytes
+// buffered across all flows are limited to the Sprout sender's estimate of
+// what the link can deliver over the remaining life of the current forecast;
+// beyond that, packets are dropped from the HEAD of the LONGEST queue — the
+// paper's dynamic traffic-shaping rule that adapts buffering to predicted
+// channel conditions.
+//
+// Because tunnel framing adds the Sprout header, client packets may be at
+// most `client_mtu()` bytes (the tunnel advertises a reduced MTU, as real
+// tunnels do).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "core/endpoint.h"
+#include "core/source.h"
+#include "sim/packet.h"
+#include "sim/simulator.h"
+
+namespace sprout {
+
+struct TunnelConfig {
+  // Floor for the buffering bound while no forecast exists yet.
+  ByteCount min_buffer_bytes = 20 * kMtuBytes;
+};
+
+// The round-robin, forecast-bounded multiplexer behind a tunnel endpoint.
+class TunnelDataSource : public DataSource {
+ public:
+  explicit TunnelDataSource(TunnelConfig config) : config_(config) {}
+
+  // Client packet entering the tunnel.  Applies the buffering bound.
+  void offer(Packet&& p);
+
+  // DataSource interface (driven by the Sprout sender).
+  ByteCount pull(ByteCount max) override;
+  [[nodiscard]] bool has_data() const override;
+  void fill(Packet& wire_packet, ByteCount payload_bytes) override;
+
+  // Wired post-construction: where the buffering bound comes from.
+  void set_bound_provider(std::function<ByteCount()> provider) {
+    bound_provider_ = std::move(provider);
+  }
+
+  [[nodiscard]] ByteCount queued_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::int64_t dropped_packets() const { return dropped_; }
+
+ private:
+  void enforce_bound();
+
+  TunnelConfig config_;
+  std::function<ByteCount()> bound_provider_;
+  std::map<std::int64_t, std::deque<Packet>> queues_;  // by client flow id
+  std::map<std::int64_t, ByteCount> queue_bytes_;
+  ByteCount total_bytes_ = 0;
+  std::int64_t dropped_ = 0;
+  std::int64_t rr_cursor_ = 0;  // round-robin position (flow id ordering)
+  std::deque<std::vector<Packet>> pending_fills_;  // groups awaiting fill()
+};
+
+// One end of the tunnel: a Sprout endpoint plus the multiplexer.
+class TunnelEndpoint {
+ public:
+  TunnelEndpoint(Simulator& sim, const SproutParams& params,
+                 SproutVariant variant, std::int64_t tunnel_flow_id,
+                 TunnelConfig config = {});
+
+  // The cellular link's egress should deliver into network_sink(); our
+  // Sprout packets leave via attach_network().
+  void attach_network(PacketSink& link_ingress);
+  [[nodiscard]] PacketSink& network_sink() { return sprout_; }
+
+  // Clients push packets here; classification is by Packet::flow_id.
+  [[nodiscard]] PacketSink& ingress() { return ingress_sink_; }
+
+  // Where decapsulated client packets are delivered on THIS side.
+  void set_egress(std::int64_t client_flow_id, PacketSink& sink);
+
+  void start();
+
+  // Largest client packet the tunnel can carry in one Sprout frame.
+  [[nodiscard]] ByteCount client_mtu() const;
+
+  [[nodiscard]] const SproutEndpoint& sprout() const { return sprout_; }
+  [[nodiscard]] const TunnelDataSource& mux() const { return source_; }
+
+ private:
+  class IngressSink : public PacketSink {
+   public:
+    explicit IngressSink(TunnelEndpoint& owner) : owner_(owner) {}
+    void receive(Packet&& p) override { owner_.source_.offer(std::move(p)); }
+
+   private:
+    TunnelEndpoint& owner_;
+  };
+
+  void deliver(Packet&& client);
+
+  Simulator& sim_;
+  SproutParams params_;
+  TunnelDataSource source_;
+  SproutEndpoint sprout_;
+  IngressSink ingress_sink_;
+  std::map<std::int64_t, PacketSink*> egress_;
+  std::int64_t undeliverable_ = 0;
+};
+
+}  // namespace sprout

@@ -1,0 +1,92 @@
+#include "util/poisson.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace sprout {
+
+namespace {
+
+// Cached log-factorials; grown on demand.  Read-mostly after warmup.
+const double* log_factorial_table(int max_k) {
+  static std::vector<double> table{0.0};  // log(0!) = 0
+  while (static_cast<int>(table.size()) <= max_k) {
+    const double k = static_cast<double>(table.size());
+    table.push_back(table.back() + std::log(k));
+  }
+  return table.data();
+}
+
+}  // namespace
+
+double log_factorial(int k) {
+  assert(k >= 0);
+  if (k < 1024) return log_factorial_table(1023)[k];
+  return std::lgamma(static_cast<double>(k) + 1.0);
+}
+
+double poisson_log_pmf(int k, double mean) {
+  assert(k >= 0);
+  assert(mean >= 0.0);
+  if (mean == 0.0) return k == 0 ? 0.0 : kNegInf;
+  return static_cast<double>(k) * std::log(mean) - mean - log_factorial(k);
+}
+
+double poisson_pmf(int k, double mean) { return std::exp(poisson_log_pmf(k, mean)); }
+
+double poisson_cdf(int k, double mean) {
+  assert(mean >= 0.0);
+  if (k < 0) return 0.0;
+  if (mean == 0.0) return 1.0;
+  // Forward recurrence: term_{i} = term_{i-1} * mean / i, starting at e^-mean.
+  double term = std::exp(-mean);
+  double sum = term;
+  for (int i = 1; i <= k; ++i) {
+    term *= mean / static_cast<double>(i);
+    sum += term;
+  }
+  return sum < 1.0 ? sum : 1.0;
+}
+
+double poisson_log_survival(int k, double mean) {
+  assert(k >= 0);
+  assert(mean >= 0.0);
+  if (k == 0) return 0.0;  // P[X >= 0] = 1
+  if (mean == 0.0) return kNegInf;
+  const double below = poisson_cdf(k - 1, mean);
+  if (below < 0.999) {
+    return std::log1p(-below);
+  }
+  // Deep upper tail (mean << k): sum the tail from pmf(k); terms decay
+  // geometrically once j > mean, so a few iterations suffice.
+  const double log_first = poisson_log_pmf(k, mean);
+  double tail = 1.0;  // in units of pmf(k)
+  double term = 1.0;
+  for (int j = k + 1; j < k + 200; ++j) {
+    term *= mean / static_cast<double>(j);
+    tail += term;
+    if (term < 1e-16 * tail) break;
+  }
+  return log_first + std::log(tail);
+}
+
+int poisson_quantile(double p, double mean) {
+  assert(p >= 0.0 && p < 1.0);
+  assert(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  double term = std::exp(-mean);
+  double sum = term;
+  int k = 0;
+  // Hard upper bound keeps malformed inputs from looping forever; for the
+  // rates Sprout handles the loop exits after O(mean) iterations.
+  const int limit = static_cast<int>(mean + 20.0 * std::sqrt(mean) + 200.0);
+  while (sum < p && k < limit) {
+    ++k;
+    term *= mean / static_cast<double>(k);
+    sum += term;
+  }
+  return k;
+}
+
+}  // namespace sprout

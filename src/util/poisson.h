@@ -1,0 +1,36 @@
+// Numerically careful Poisson distribution math.
+//
+// Sprout's Bayesian observation step multiplies bin probabilities by Poisson
+// likelihoods whose linear-space values underflow for plausible rates
+// (e.g. exp(-160)), so all pmf work is done in log space, and cumulative
+// quantities are built by stable iterative summation.
+#pragma once
+
+#include <limits>
+
+namespace sprout {
+
+inline constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+// log(k!) via lgamma; exact to double precision for all k >= 0.
+double log_factorial(int k);
+
+// log P[X = k] for X ~ Poisson(mean).  mean == 0 is the outage case:
+// returns 0 (probability 1) for k == 0 and -inf for k > 0.
+double poisson_log_pmf(int k, double mean);
+
+// P[X = k].
+double poisson_pmf(int k, double mean);
+
+// P[X <= k], by forward summation of pmf terms (stable for mean <~ 700,
+// far above anything Sprout's 11 Mbps / 160 ms horizon produces).
+double poisson_cdf(int k, double mean);
+
+// Smallest k such that P[X <= k] >= p.  p in [0, 1).
+int poisson_quantile(double p, double mean);
+
+// log P[X >= k]: the censored-observation likelihood ("at least k arrived").
+// Computed stably for both tails.
+double poisson_log_survival(int k, double mean);
+
+}  // namespace sprout

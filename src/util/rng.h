@@ -1,0 +1,55 @@
+// Deterministic, seedable random number generation for simulations.
+//
+// Every stochastic component takes an explicit Rng (or a seed) so that whole
+// experiments are reproducible from a single root seed.  No global RNG state
+// (C++ Core Guidelines I.2: avoid non-const global variables).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace sprout {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_(seed) {}
+
+  // Uniform in [0, 1).
+  double uniform() { return unit_(gen_); }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(gen_);
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Exponential with the given rate (mean 1/rate).  rate must be > 0.
+  double exponential(double rate) {
+    return std::exponential_distribution<double>{rate}(gen_);
+  }
+
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>{mean, stddev}(gen_);
+  }
+
+  // Poisson draw; returns 0 for non-positive means.
+  std::int64_t poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    return std::poisson_distribution<std::int64_t>{mean}(gen_);
+  }
+
+  // Derives an independent child seed; lets components fork their own streams.
+  std::uint64_t fork_seed() {
+    return std::uniform_int_distribution<std::uint64_t>{}(gen_);
+  }
+
+ private:
+  std::mt19937_64 gen_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace sprout

@@ -1,0 +1,159 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sprout {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double PercentileEstimator::percentile(double p) {
+  assert(p >= 0.0 && p <= 100.0);
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void RampFunctionPercentile::add_ramp(double start, double length) {
+  if (length <= 0.0) return;
+  ramps_.push_back({start, length});
+  total_ += length;
+}
+
+double RampFunctionPercentile::time_at_or_below(double v) const {
+  double t = 0.0;
+  for (const Ramp& r : ramps_) {
+    t += std::clamp(v - r.start, 0.0, r.length);
+  }
+  return t;
+}
+
+double RampFunctionPercentile::percentile(double p) const {
+  assert(p >= 0.0 && p <= 100.0);
+  if (ramps_.empty()) return 0.0;
+  const double target = p / 100.0 * total_;
+  double lo = ramps_.front().start;
+  double hi = ramps_.front().start + ramps_.front().length;
+  for (const Ramp& r : ramps_) {
+    lo = std::min(lo, r.start);
+    hi = std::max(hi, r.start + r.length);
+  }
+  // time_at_or_below is continuous and nondecreasing in v: bisect.
+  for (int iter = 0; iter < 100 && hi - lo > 1e-9; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (time_at_or_below(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double RampFunctionPercentile::mean() const {
+  if (total_ <= 0.0) return 0.0;
+  double area = 0.0;
+  for (const Ramp& r : ramps_) {
+    area += (r.start + 0.5 * r.length) * r.length;
+  }
+  return area / total_;
+}
+
+LogHistogram::LogHistogram(double min_value, double max_value, int bins)
+    : log_min_(std::log10(min_value)),
+      log_max_(std::log10(max_value)),
+      counts_(static_cast<std::size_t>(bins), 0) {
+  assert(min_value > 0.0 && max_value > min_value && bins > 0);
+}
+
+void LogHistogram::add(double x) {
+  ++total_;
+  if (x <= 0.0) return;
+  const double lx = std::log10(x);
+  const double frac = (lx - log_min_) / (log_max_ - log_min_);
+  // Below-range values must not truncate toward bin 0.
+  if (frac < 0.0 || frac >= 1.0) return;
+  const auto idx = static_cast<std::size_t>(
+      frac * static_cast<double>(counts_.size()));
+  if (idx < counts_.size()) ++counts_[idx];
+}
+
+double LogHistogram::bin_lo(int i) const {
+  const double n = static_cast<double>(counts_.size());
+  return std::pow(10.0, log_min_ + (log_max_ - log_min_) * i / n);
+}
+
+double LogHistogram::bin_hi(int i) const { return bin_lo(i + 1); }
+
+double LogHistogram::bin_center(int i) const {
+  return std::sqrt(bin_lo(i) * bin_hi(i));
+}
+
+double LogHistogram::percent(int i) const {
+  if (total_ == 0) return 0.0;
+  return 100.0 * static_cast<double>(counts_[static_cast<std::size_t>(i)]) /
+         static_cast<double>(total_);
+}
+
+PowerLawFit fit_power_law(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size());
+  PowerLawFit fit;
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0.0 || y[i] <= 0.0) continue;
+    const double lx = std::log10(x[i]);
+    const double ly = std::log10(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return fit;
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  fit.slope = (dn * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / dn;
+  return fit;
+}
+
+double jain_fairness(const std::vector<double>& shares) {
+  if (shares.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : shares) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(shares.size()) * sum_sq);
+}
+
+}  // namespace sprout

@@ -1,0 +1,115 @@
+// Statistics helpers used by the metrics module and the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sprout {
+
+// Single-pass mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::int64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Collects samples and answers percentile queries (linear interpolation
+// between closest ranks). Sorting is deferred until the first query.
+class PercentileEstimator {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+
+  // p in [0, 100].
+  [[nodiscard]] double percentile(double p);
+  [[nodiscard]] double median() { return percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+// Percentile of a piecewise-linear function of time whose segments are unit
+// ramps: each segment starts at value `start` and rises at 1 s/s for
+// `length` seconds.  This is exactly the shape of the paper's instantaneous
+// end-to-end-delay signal (footnote 7), so percentiles computed here are
+// exact, not sampled.
+class RampFunctionPercentile {
+ public:
+  // Records that the function took values [start, start + length) over a
+  // span of `length` seconds.  Zero/negative lengths are ignored.
+  void add_ramp(double start, double length);
+
+  [[nodiscard]] bool empty() const { return ramps_.empty(); }
+  [[nodiscard]] double total_time() const { return total_; }
+
+  // Value v such that the function was <= v for a fraction p/100 of the time.
+  [[nodiscard]] double percentile(double p) const;
+
+  // Time-average of the function.
+  [[nodiscard]] double mean() const;
+
+ private:
+  [[nodiscard]] double time_at_or_below(double v) const;
+
+  struct Ramp {
+    double start;
+    double length;
+  };
+  std::vector<Ramp> ramps_;
+  double total_ = 0.0;
+};
+
+// Fixed-width histogram over log10(x); used for the Figure 2 interarrival
+// distribution (log-log plot with a power-law tail).
+class LogHistogram {
+ public:
+  LogHistogram(double min_value, double max_value, int bins);
+
+  void add(double x);
+
+  [[nodiscard]] int bins() const { return static_cast<int>(counts_.size()); }
+  [[nodiscard]] double bin_center(int i) const;  // geometric center
+  [[nodiscard]] double bin_lo(int i) const;
+  [[nodiscard]] double bin_hi(int i) const;
+  [[nodiscard]] std::int64_t count(int i) const { return counts_[i]; }
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  // Percent of all samples falling in bin i.
+  [[nodiscard]] double percent(int i) const;
+
+ private:
+  double log_min_;
+  double log_max_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+// Least-squares fit of log10(y) = intercept + slope * log10(x).
+// Returns {slope, intercept}. Used to recover Figure 2's t^-3.27 tail.
+struct PowerLawFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+};
+PowerLawFit fit_power_law(const std::vector<double>& x, const std::vector<double>& y);
+
+// Jain's fairness index (Σx)² / (n·Σx²): 1.0 when all shares are equal,
+// 1/n when one flow takes everything.  Used by the multi-Sprout
+// shared-queue experiments.  Returns 1.0 for empty or all-zero inputs.
+[[nodiscard]] double jain_fairness(const std::vector<double>& shares);
+
+}  // namespace sprout

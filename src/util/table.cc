@@ -1,0 +1,77 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace sprout {
+
+std::string format_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+TableWriter& TableWriter::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TableWriter& TableWriter::cell(const std::string& value) {
+  rows_.back().push_back(value);
+  return *this;
+}
+
+TableWriter& TableWriter::cell(const char* value) {
+  return cell(std::string{value});
+}
+
+TableWriter& TableWriter::cell(double value, int precision) {
+  return cell(format_double(value, precision));
+}
+
+TableWriter& TableWriter::cell(std::int64_t value) {
+  return cell(std::to_string(value));
+}
+
+void TableWriter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string{};
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << v;
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::size_t rule = 0;
+  for (std::size_t w : widths) rule += w + 2;
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TableWriter::write_tsv(std::ostream& os) const {
+  auto tsv_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << '\t';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  tsv_row(headers_);
+  for (const auto& row : rows_) tsv_row(row);
+}
+
+}  // namespace sprout

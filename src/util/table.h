@@ -1,0 +1,39 @@
+// Aligned plain-text table output for the benchmark harness.
+//
+// Every bench binary regenerates one of the paper's tables or figures; this
+// writer produces the same rows/series in a stable, diffable layout and can
+// mirror the data to a TSV file for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sprout {
+
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> headers);
+
+  // Begins a new row; subsequent cell() calls fill it left to right.
+  TableWriter& row();
+  TableWriter& cell(const std::string& value);
+  TableWriter& cell(const char* value);
+  TableWriter& cell(double value, int precision = 2);
+  TableWriter& cell(std::int64_t value);
+
+  // Renders the table with padded columns.
+  void print(std::ostream& os) const;
+
+  // Tab-separated dump (header row first); convenient for gnuplot.
+  void write_tsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats `value` with fixed precision (helper shared with bench output).
+std::string format_double(double value, int precision = 2);
+
+}  // namespace sprout

@@ -1,0 +1,62 @@
+// Strong types and conversion helpers for time and data quantities.
+//
+// All simulation time is kept as integer microseconds via <chrono>, which
+// gives overflow-checked-at-compile-time arithmetic and keeps unit mistakes
+// out of the interfaces (C++ Core Guidelines I.4: strong types over raw ints).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sprout {
+
+// Clock of the discrete-event simulation.  Epoch is the start of a run.
+struct SimClock {
+  using rep = std::int64_t;
+  using period = std::micro;
+  using duration = std::chrono::microseconds;
+  using time_point = std::chrono::time_point<SimClock>;
+  static constexpr bool is_steady = true;
+};
+
+using Duration = SimClock::duration;
+using TimePoint = SimClock::time_point;
+
+constexpr Duration usec(std::int64_t n) { return std::chrono::microseconds{n}; }
+constexpr Duration msec(std::int64_t n) { return std::chrono::milliseconds{n}; }
+constexpr Duration sec(std::int64_t n) { return std::chrono::seconds{n}; }
+
+// Converts a duration to floating-point seconds (for rate arithmetic only;
+// never store time as double).
+constexpr double to_seconds(Duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+constexpr double to_millis(Duration d) {
+  return std::chrono::duration<double, std::milli>(d).count();
+}
+
+// Builds a duration from floating-point seconds, rounding to microseconds.
+constexpr Duration from_seconds(double s) {
+  return std::chrono::duration_cast<Duration>(std::chrono::duration<double>(s));
+}
+
+// Byte counts are signed so that subtraction of counters is safe
+// (C++ Core Guidelines ES.106: don't use unsigned to avoid negative values).
+using ByteCount = std::int64_t;
+
+// The paper works in MTU-sized packets of 1500 bytes throughout.
+inline constexpr ByteCount kMtuBytes = 1500;
+
+// Average rate in kilobits per second of `bytes` delivered over `elapsed`.
+constexpr double kbps(ByteCount bytes, Duration elapsed) {
+  const double s = to_seconds(elapsed);
+  return s > 0 ? static_cast<double>(bytes) * 8.0 / 1000.0 / s : 0.0;
+}
+
+// Bytes sent in `elapsed` at a given rate in kilobits per second.
+constexpr ByteCount bytes_at_kbps(double rate_kbps, Duration elapsed) {
+  return static_cast<ByteCount>(rate_kbps * 1000.0 / 8.0 * to_seconds(elapsed));
+}
+
+}  // namespace sprout

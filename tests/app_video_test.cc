@@ -1,0 +1,144 @@
+#include "app/video_app.h"
+
+#include <gtest/gtest.h>
+
+#include "link/cellsim.h"
+#include "metrics/flow_metrics.h"
+#include "sim/relay.h"
+#include "trace/synthetic.h"
+
+namespace sprout {
+namespace {
+
+CellProcessParams steady(double pps) {
+  CellProcessParams p;
+  p.mean_rate_pps = pps;
+  p.max_rate_pps = pps * 2;
+  p.volatility_pps = 0.0;
+  p.outage_hazard_per_s = 0.0;
+  return p;
+}
+
+TEST(VideoProfiles, MatchPaperEnvelope) {
+  EXPECT_NEAR(skype_profile().max_rate_kbps, 5000.0, 1e-9);  // §5.2 footnote
+  EXPECT_LT(hangout_profile().max_rate_kbps, skype_profile().max_rate_kbps);
+  EXPECT_GT(skype_profile().reaction_lag, sec(1));  // sluggish by design
+}
+
+TEST(VideoSender, SendsFramesAtConfiguredRate) {
+  Simulator sim;
+  struct Counter : PacketSink {
+    ByteCount bytes = 0;
+    int packets = 0;
+    void receive(Packet&& p) override {
+      bytes += p.size;
+      ++packets;
+    }
+  } sink;
+  VideoProfile profile = skype_profile();
+  profile.start_rate_kbps = 1000.0;
+  VideoSender tx(sim, profile, 1);
+  tx.attach_network(sink);
+  tx.start();
+  sim.run_until(TimePoint{} + sec(1));
+  // Before any adaptation kicks in, ~1000 kbps = 125000 bytes/s.
+  EXPECT_NEAR(static_cast<double>(sink.bytes), 125000.0, 20000.0);
+  EXPECT_GT(sink.packets, 25);  // one or more packets per 33 ms frame
+}
+
+TEST(VideoSender, LargeFramesSplitAtPacketLimit) {
+  Simulator sim;
+  struct Sizes : PacketSink {
+    std::vector<ByteCount> sizes;
+    void receive(Packet&& p) override { sizes.push_back(p.size); }
+  } sink;
+  VideoProfile profile = skype_profile();
+  profile.start_rate_kbps = 4000.0;  // ~16.5 kB per frame
+  profile.max_packet_bytes = 1200;
+  VideoSender tx(sim, profile, 1);
+  tx.attach_network(sink);
+  tx.start();
+  sim.run_until(TimePoint{} + msec(200));
+  ASSERT_FALSE(sink.sizes.empty());
+  for (ByteCount s : sink.sizes) EXPECT_LE(s, 1200);
+}
+
+TEST(VideoReceiver, ReportsLossFraction) {
+  Simulator sim;
+  struct ReportSink : PacketSink {
+    std::vector<Packet> reports;
+    void receive(Packet&& p) override { reports.push_back(std::move(p)); }
+  } reports;
+  VideoReceiver rx(sim, 1);
+  rx.attach_report_path(reports);
+  rx.start();
+  // Deliver seq 0..9 but drop half (odd seqs never arrive).
+  sim.after(msec(100), [&] {
+    for (std::int64_t s = 0; s < 10; s += 2) {
+      Packet p;
+      p.seq = s;
+      p.size = 1000;
+      p.sent_at = sim.now() - msec(30);
+      rx.receive(std::move(p));
+    }
+  });
+  sim.run_until(TimePoint{} + msec(1100));
+  ASSERT_FALSE(reports.reports.empty());
+  // 5 of expected 9 received -> loss ~0.444; meta is ppm.
+  const double loss = static_cast<double>(reports.reports[0].meta) / 1e6;
+  EXPECT_NEAR(loss, 4.0 / 9.0, 0.01);
+}
+
+TEST(VideoApp, AdaptsDownUnderCongestionAndBackUp) {
+  // Run the Skype model over a link far slower than its start rate: the
+  // rate must come down after the reaction lag; then, on a fast link, the
+  // rate must climb.
+  Simulator sim;
+  RelaySink fwd_egress, rev_egress;
+  CellsimLink fwd_link(sim, generate_trace(steady(30.0), sec(41), 61), {},
+                       fwd_egress);  // 360 kbps
+  CellsimLink rev_link(sim, generate_trace(steady(100.0), sec(41), 62), {},
+                       rev_egress);
+  VideoProfile profile = skype_profile();
+  profile.start_rate_kbps = 2000.0;
+  VideoSender tx(sim, profile, 1);
+  VideoReceiver rx(sim, 1);
+  tx.attach_network(fwd_link);
+  rx.attach_report_path(rev_link);
+  MeasuredSink measured(sim, rx);
+  fwd_egress.set_target(measured);
+  rev_egress.set_target(tx);
+  tx.start();
+  rx.start();
+  sim.run_until(TimePoint{} + sec(40));
+  EXPECT_LT(tx.current_rate_kbps(), 2000.0);
+}
+
+TEST(VideoApp, OvershootCreatesStandingQueue) {
+  // The paper's Figure 1 phenomenon: a reactive app on a slow link builds
+  // multi-second queues before it reacts.
+  Simulator sim;
+  RelaySink fwd_egress, rev_egress;
+  CellsimLink fwd_link(sim, generate_trace(steady(20.0), sec(31), 63), {},
+                       fwd_egress);  // 240 kbps
+  CellsimLink rev_link(sim, generate_trace(steady(100.0), sec(31), 64), {},
+                       rev_egress);
+  VideoProfile profile = skype_profile();
+  profile.start_rate_kbps = 1500.0;
+  VideoSender tx(sim, profile, 1);
+  VideoReceiver rx(sim, 1);
+  tx.attach_network(fwd_link);
+  rx.attach_report_path(rev_link);
+  MeasuredSink measured(sim, rx);
+  fwd_egress.set_target(measured);
+  rev_egress.set_target(tx);
+  tx.start();
+  rx.start();
+  sim.run_until(TimePoint{} + sec(30));
+  const double d95 = measured.metrics().delay_percentile_ms(
+      95.0, TimePoint{} + sec(5), TimePoint{} + sec(30));
+  EXPECT_GT(d95, 1000.0);  // seconds of self-inflicted queueing
+}
+
+}  // namespace
+}  // namespace sprout

@@ -1,0 +1,70 @@
+#include "aqm/red.h"
+
+#include <gtest/gtest.h>
+
+namespace sprout {
+namespace {
+
+Packet mtu_packet() {
+  Packet p;
+  p.size = kMtuBytes;
+  return p;
+}
+
+TEST(Red, AdmitsEverythingWhenQueueSmall) {
+  RedPolicy red(RedParams{}, 1);
+  LinkQueue q;
+  for (int i = 0; i < 20; ++i) {
+    Packet p = mtu_packet();
+    EXPECT_TRUE(red.admit(q, p, TimePoint{}));
+    q.push(std::move(p));
+  }
+  EXPECT_EQ(red.drops(), 0);
+}
+
+TEST(Red, DropsProbabilisticallyBetweenThresholds) {
+  RedParams params;
+  params.min_threshold_bytes = 10.0 * kMtuBytes;
+  params.max_threshold_bytes = 20.0 * kMtuBytes;
+  params.queue_weight = 1.0;  // no smoothing: avg == instantaneous
+  RedPolicy red(params, 7);
+  LinkQueue q;
+  for (int i = 0; i < 15; ++i) q.push(mtu_packet());
+  int admitted = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    Packet p = mtu_packet();
+    if (red.admit(q, p, TimePoint{})) ++admitted;
+  }
+  EXPECT_GT(admitted, 0);
+  EXPECT_LT(admitted, trials);
+}
+
+TEST(Red, ForcesDropAboveMaxThreshold) {
+  RedParams params;
+  params.min_threshold_bytes = 2.0 * kMtuBytes;
+  params.max_threshold_bytes = 5.0 * kMtuBytes;
+  params.queue_weight = 1.0;
+  RedPolicy red(params, 3);
+  LinkQueue q;
+  for (int i = 0; i < 10; ++i) q.push(mtu_packet());
+  Packet p = mtu_packet();
+  EXPECT_FALSE(red.admit(q, p, TimePoint{}));
+  EXPECT_GE(red.drops(), 1);
+}
+
+TEST(Red, AverageTracksQueueWithSmoothing) {
+  RedParams params;
+  params.queue_weight = 0.5;
+  RedPolicy red(params, 5);
+  LinkQueue q;
+  for (int i = 0; i < 4; ++i) q.push(mtu_packet());
+  Packet p = mtu_packet();
+  red.admit(q, p, TimePoint{});
+  red.admit(q, p, TimePoint{});
+  EXPECT_GT(red.average_queue_bytes(), 0.0);
+  EXPECT_LE(red.average_queue_bytes(), 4.0 * kMtuBytes);
+}
+
+}  // namespace
+}  // namespace sprout

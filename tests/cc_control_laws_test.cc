@@ -1,0 +1,299 @@
+#include <cmath>
+// Unit tests of the congestion-control laws in isolation (no network).
+#include <gtest/gtest.h>
+
+#include "cc/compound.h"
+#include "cc/cubic.h"
+#include "cc/fast.h"
+#include "cc/ledbat.h"
+#include "cc/reno.h"
+#include "cc/vegas.h"
+
+namespace sprout {
+namespace {
+
+AckEvent ack(std::int64_t t_ms, double rtt_ms, std::int64_t n = 1,
+             double owd_ms = -1.0) {
+  AckEvent ev;
+  ev.now = TimePoint{} + msec(t_ms);
+  ev.rtt = msec(static_cast<std::int64_t>(rtt_ms));
+  ev.one_way_delay = msec(static_cast<std::int64_t>(owd_ms < 0 ? rtt_ms / 2 : owd_ms));
+  ev.newly_acked = n;
+  ev.inflight = 10;
+  return ev;
+}
+
+TEST(Reno, SlowStartDoublesPerRtt) {
+  RenoCC cc;
+  const double start = cc.cwnd_packets();
+  // Acking cwnd packets in slow start doubles the window.
+  cc.on_ack(ack(10, 100, static_cast<std::int64_t>(start)));
+  EXPECT_DOUBLE_EQ(cc.cwnd_packets(), 2.0 * start);
+}
+
+TEST(Reno, CongestionAvoidanceAddsOnePerRtt) {
+  RenoCC cc;
+  cc.on_packet_loss(TimePoint{});  // exit slow start; ssthresh = cwnd/2
+  const double w = cc.cwnd_packets();
+  cc.on_ack(ack(10, 100, static_cast<std::int64_t>(w)));
+  EXPECT_NEAR(cc.cwnd_packets(), w + 1.0, 0.3);
+}
+
+TEST(Reno, LossHalvesTimeoutResets) {
+  RenoCC cc;
+  for (int i = 0; i < 6; ++i) cc.on_ack(ack(i, 100, 4));
+  const double w = cc.cwnd_packets();
+  cc.on_packet_loss(TimePoint{});
+  EXPECT_NEAR(cc.cwnd_packets(), w / 2.0, 1e-9);
+  cc.on_timeout(TimePoint{});
+  EXPECT_DOUBLE_EQ(cc.cwnd_packets(), 1.0);
+}
+
+TEST(Cubic, GrowsTowardWmaxThenPlateaus) {
+  CubicCC cc;
+  // Grow, lose at ~100 packets, then watch the concave approach to w_max.
+  for (int i = 0; i < 200 && cc.cwnd_packets() < 100; ++i) {
+    cc.on_ack(ack(i * 10, 100, 2));
+  }
+  const double peak = cc.cwnd_packets();
+  cc.on_packet_loss(TimePoint{} + sec(3));
+  EXPECT_NEAR(cc.cwnd_packets(), peak * 0.7, 1.0);  // beta = 0.7
+  EXPECT_NEAR(cc.w_max(), peak, 1.0);
+  // Subsequent growth is initially slower than slow start but positive.
+  const double after_loss = cc.cwnd_packets();
+  for (int i = 0; i < 50; ++i) {
+    cc.on_ack(ack(3000 + i * 20, 100, 1));
+  }
+  EXPECT_GT(cc.cwnd_packets(), after_loss);
+  EXPECT_LT(cc.cwnd_packets(), peak * 1.5);
+}
+
+TEST(Cubic, FastConvergenceLowersWmaxOnBackToBackLosses) {
+  CubicCC cc;
+  for (int i = 0; i < 300 && cc.cwnd_packets() < 80; ++i) {
+    cc.on_ack(ack(i * 10, 100, 2));
+  }
+  cc.on_packet_loss(TimePoint{} + sec(4));
+  const double wmax1 = cc.w_max();
+  cc.on_packet_loss(TimePoint{} + sec(5));
+  EXPECT_LT(cc.w_max(), wmax1);
+}
+
+TEST(Cubic, TimeoutCollapsesToOne) {
+  CubicCC cc;
+  for (int i = 0; i < 20; ++i) cc.on_ack(ack(i * 10, 100, 2));
+  cc.on_timeout(TimePoint{} + sec(1));
+  EXPECT_DOUBLE_EQ(cc.cwnd_packets(), 1.0);
+}
+
+TEST(Vegas, StableWhenBacklogInBand) {
+  VegasCC cc;
+  // base RTT 100 ms; cwnd such that diff stays between alpha and beta.
+  cc.on_ack(ack(0, 100));
+  // Feed an RTT consistent with ~3 packets of backlog: diff = w(1-b/r)* ...
+  for (int t = 1; t < 50; ++t) {
+    const double w = cc.cwnd_packets();
+    // rtt so that (expected-actual)*base = 3: rtt = base*w/(w-3)
+    const double rtt = 100.0 * w / std::max(1.0, w - 3.0);
+    cc.on_ack(ack(t * 120, rtt));
+  }
+  const double w1 = cc.cwnd_packets();
+  for (int t = 50; t < 60; ++t) {
+    const double w = cc.cwnd_packets();
+    const double rtt = 100.0 * w / std::max(1.0, w - 3.0);
+    cc.on_ack(ack(t * 120, rtt));
+  }
+  EXPECT_NEAR(cc.cwnd_packets(), w1, 2.0);
+}
+
+TEST(Vegas, ShrinksWhenQueueBuilds) {
+  VegasCC cc;
+  cc.on_packet_loss(TimePoint{});  // leave slow start
+  // Establish a low base RTT first, and let the window grow a bit.
+  for (int t = 0; t < 30; ++t) cc.on_ack(ack(t * 120, 100.0));
+  const double grown = cc.cwnd_packets();
+  // Now the queue builds: RTT inflates 5x => backlog estimate far above
+  // beta => one-packet decrease per epoch.
+  for (int t = 30; t < 70; ++t) cc.on_ack(ack(t * 600, 500.0));
+  EXPECT_LT(cc.cwnd_packets(), grown);
+}
+
+TEST(Vegas, TracksBaseRtt) {
+  VegasCC cc;
+  cc.on_ack(ack(0, 150));
+  cc.on_ack(ack(200, 80));
+  cc.on_ack(ack(400, 120));
+  EXPECT_NEAR(cc.base_rtt_s(), 0.08, 1e-9);
+}
+
+TEST(Compound, DelayWindowGrowsWithHeadroom) {
+  CompoundCC cc;
+  // Low constant RTT: diff stays near zero -> dwnd grows binomially.
+  for (int t = 0; t < 100; ++t) {
+    cc.on_ack(ack(t * 110, 100, 2));
+  }
+  EXPECT_GT(cc.dwnd(), 0.0);
+  EXPECT_GT(cc.cwnd_packets(), 10.0);
+}
+
+TEST(Compound, DelayWindowRetreatsOnQueueing) {
+  CompoundCC cc;
+  for (int t = 0; t < 100; ++t) cc.on_ack(ack(t * 110, 100, 2));
+  const double dwnd_peak = cc.dwnd();
+  // RTT quadruples: estimated backlog explodes past gamma.
+  for (int t = 100; t < 140; ++t) cc.on_ack(ack(t * 110, 400, 2));
+  EXPECT_LT(cc.dwnd(), dwnd_peak);
+}
+
+TEST(Compound, LossShrinksBothComponents) {
+  CompoundCC cc;
+  for (int t = 0; t < 100; ++t) cc.on_ack(ack(t * 110, 100, 2));
+  const double w = cc.cwnd_packets();
+  cc.on_packet_loss(TimePoint{} + sec(12));
+  EXPECT_LT(cc.cwnd_packets(), w);
+  cc.on_timeout(TimePoint{} + sec(13));
+  EXPECT_DOUBLE_EQ(cc.dwnd(), 0.0);
+}
+
+TEST(Ledbat, GrowsWhenBelowTarget) {
+  LedbatCC cc;
+  // OWD equal to base: queuing delay 0 -> grow at ~GAIN per RTT.
+  double prev = cc.cwnd_packets();
+  for (int t = 0; t < 50; ++t) {
+    cc.on_ack(ack(t * 100, 100, 1, /*owd_ms=*/50));
+  }
+  EXPECT_GT(cc.cwnd_packets(), prev);
+}
+
+TEST(Ledbat, ConvergesAroundTarget) {
+  LedbatCC cc;
+  cc.on_ack(ack(0, 100, 1, 50));  // establishes base delay 50 ms
+  // Queuing delay exactly at the 100 ms target: off_target = 0.
+  const double w0 = cc.cwnd_packets();
+  for (int t = 1; t < 30; ++t) {
+    cc.on_ack(ack(t * 100, 100, 1, 150));
+  }
+  EXPECT_NEAR(cc.cwnd_packets(), w0, 0.5);
+}
+
+TEST(Ledbat, ShrinksAboveTargetAndOnLoss) {
+  LedbatCC cc;
+  cc.on_ack(ack(0, 100, 1, 50));
+  for (int t = 1; t < 20; ++t) cc.on_ack(ack(t * 100, 100, 1, 50));
+  const double grown = cc.cwnd_packets();
+  // 400 ms of queueing: strongly negative off_target.
+  for (int t = 20; t < 40; ++t) cc.on_ack(ack(t * 100, 100, 1, 450));
+  EXPECT_LT(cc.cwnd_packets(), grown);
+  cc.on_packet_loss(TimePoint{});
+  cc.on_timeout(TimePoint{});
+  EXPECT_DOUBLE_EQ(cc.cwnd_packets(), 2.0);
+}
+
+TEST(Ledbat, BaseDelayUsesHistoryMinimum) {
+  LedbatCC cc;
+  cc.on_ack(ack(0, 100, 1, 80));
+  EXPECT_NEAR(cc.base_delay_s(), 0.08, 1e-9);
+  cc.on_ack(ack(100, 100, 1, 60));
+  EXPECT_NEAR(cc.base_delay_s(), 0.06, 1e-9);
+  cc.on_ack(ack(200, 100, 1, 90));
+  EXPECT_NEAR(cc.base_delay_s(), 0.06, 1e-9);
+}
+
+// Property: every controller keeps a sane window under a random ack storm.
+template <typename CC>
+void random_storm() {
+  CC cc;
+  std::uint64_t x = 88172645463325252ull;
+  auto rnd = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return static_cast<double>(x % 1000) / 1000.0;
+  };
+  for (int t = 0; t < 3000; ++t) {
+    const double r = rnd();
+    if (r < 0.02) {
+      cc.on_packet_loss(TimePoint{} + msec(t * 10));
+    } else if (r < 0.025) {
+      cc.on_timeout(TimePoint{} + msec(t * 10));
+    } else {
+      cc.on_ack(ack(t * 10, 50.0 + 400.0 * rnd(), 1, 25.0 + 300.0 * rnd()));
+    }
+    ASSERT_GE(cc.cwnd_packets(), 1.0);
+    ASSERT_LT(cc.cwnd_packets(), 1e7);
+    ASSERT_FALSE(std::isnan(cc.cwnd_packets()));
+  }
+}
+
+TEST(AllControllers, SurviveRandomAckStorm) {
+  random_storm<RenoCC>();
+  random_storm<CubicCC>();
+  random_storm<VegasCC>();
+  random_storm<CompoundCC>();
+  random_storm<LedbatCC>();
+  random_storm<FastCC>();
+}
+
+// ------------------------------------------------------------------- FAST
+
+TEST(Fast, GrowsTowardAlphaBacklogEquilibrium) {
+  // At equilibrium w = baseRTT/RTT * w + alpha, i.e. the window keeps alpha
+  // packets queued.  With RTT == baseRTT (empty queue) the update is
+  // w <- w + gamma * alpha each period: steady growth.
+  FastCC cc({.alpha = 20.0, .gamma = 0.5, .update_interval = msec(20)});
+  const double w0 = cc.cwnd_packets();
+  for (int t = 0; t < 50; ++t) cc.on_ack(ack(t * 25, 100));
+  EXPECT_GT(cc.cwnd_packets(), w0 + 100.0);
+}
+
+TEST(Fast, ShrinksWhenRttInflatesBeyondAlphaBacklog) {
+  FastCC cc({.alpha = 10.0, .gamma = 0.5, .update_interval = msec(20)});
+  for (int t = 0; t < 100; ++t) cc.on_ack(ack(t * 25, 100));
+  const double grown = cc.cwnd_packets();
+  // RTT now 5x baseRTT: the implied backlog far exceeds alpha, so the
+  // window law contracts (slowly, via the smoothed RTT).
+  for (int t = 100; t < 400; ++t) cc.on_ack(ack(t * 25, 500));
+  EXPECT_LT(cc.cwnd_packets(), grown);
+}
+
+TEST(Fast, NeverMoreThanDoublesPerUpdate) {
+  FastCC cc({.alpha = 1e6, .gamma = 1.0, .update_interval = msec(20)});
+  double prev = cc.cwnd_packets();
+  for (int t = 0; t < 20; ++t) {
+    cc.on_ack(ack(t * 25, 100));
+    EXPECT_LE(cc.cwnd_packets(), 2.0 * prev + 1e-9);
+    prev = cc.cwnd_packets();
+  }
+}
+
+TEST(Fast, EquilibriumWindowKeepsAlphaPacketsQueued) {
+  // Feed a self-consistent loop: RTT = baseRTT * (1 + backlog/cwnd) with
+  // backlog = cwnd - capacity*baseRTT.  The fixed point is backlog = alpha.
+  const double base_rtt_ms = 100.0;
+  const double capacity_pkts_per_ms = 0.5;  // BDP = 50 packets
+  FastParams p{.alpha = 20.0, .gamma = 0.5, .update_interval = msec(20)};
+  FastCC cc(p);
+  double rtt_ms = base_rtt_ms;
+  for (int t = 0; t < 3000; ++t) {
+    cc.on_ack(ack(t * 25, rtt_ms));
+    const double bdp = capacity_pkts_per_ms * base_rtt_ms;
+    const double backlog = std::max(0.0, cc.cwnd_packets() - bdp);
+    rtt_ms = base_rtt_ms + backlog / capacity_pkts_per_ms;
+  }
+  const double final_backlog =
+      cc.cwnd_packets() - capacity_pkts_per_ms * base_rtt_ms;
+  EXPECT_NEAR(final_backlog, p.alpha, p.alpha * 0.25);
+}
+
+TEST(Fast, LossHalvesAndTimeoutResets) {
+  FastCC cc;
+  for (int t = 0; t < 100; ++t) cc.on_ack(ack(t * 25, 100));
+  const double w = cc.cwnd_packets();
+  cc.on_packet_loss(TimePoint{});
+  EXPECT_NEAR(cc.cwnd_packets(), w / 2.0, 1e-9);
+  cc.on_timeout(TimePoint{});
+  EXPECT_DOUBLE_EQ(cc.cwnd_packets(), 2.0);
+}
+
+}  // namespace
+}  // namespace sprout

@@ -1,0 +1,154 @@
+// TCP machinery over the emulated link.
+#include "cc/tcp_endpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "cc/cubic.h"
+#include "cc/reno.h"
+#include "cc/vegas.h"
+#include "link/cellsim.h"
+#include "metrics/flow_metrics.h"
+#include "sim/relay.h"
+#include "trace/synthetic.h"
+
+namespace sprout {
+namespace {
+
+CellProcessParams steady(double pps) {
+  CellProcessParams p;
+  p.mean_rate_pps = pps;
+  p.max_rate_pps = pps * 2;
+  p.volatility_pps = 0.0;
+  p.outage_hazard_per_s = 0.0;
+  return p;
+}
+
+struct TcpSession {
+  Simulator sim;
+  RelaySink fwd_egress, rev_egress;
+  CellsimLink fwd_link, rev_link;
+  TcpSender tx;
+  TcpReceiver rx;
+  MeasuredSink measured;
+
+  TcpSession(std::unique_ptr<CongestionControl> cc, double pps, Duration run,
+             double loss = 0.0)
+      : fwd_link(sim, generate_trace(steady(pps), run + sec(1), 51),
+                 CellsimConfig{msec(20), loss, kMtuBytes, 9},
+                 fwd_egress),
+        rev_link(sim, generate_trace(steady(pps), run + sec(1), 52), {},
+                 rev_egress),
+        tx(sim, std::move(cc), 1),
+        rx(sim, 1),
+        measured(sim, rx) {
+    tx.attach_network(fwd_link);
+    rx.attach_ack_path(rev_link);
+    fwd_egress.set_target(measured);
+    rev_egress.set_target(tx);
+    tx.start();
+    sim.run_until(TimePoint{} + run);
+  }
+};
+
+TEST(TcpMachinery, ReceiverAcksCumulatively) {
+  Simulator sim;
+  TcpReceiver rx(sim, 1);
+  struct AckSink : PacketSink {
+    std::vector<std::int64_t> acks;
+    void receive(Packet&& p) override { acks.push_back(p.ack); }
+  } acks;
+  rx.attach_ack_path(acks);
+  for (std::int64_t seq : {0, 1, 3, 2, 4}) {
+    Packet p;
+    p.seq = seq;
+    p.size = kMtuBytes;
+    p.sent_at = sim.now();
+    rx.receive(std::move(p));
+  }
+  // Acks: 1, 2, 2 (hole at 2), 4 (hole filled + buffered 3), 5.
+  EXPECT_EQ(acks.acks, (std::vector<std::int64_t>{1, 2, 2, 4, 5}));
+  EXPECT_EQ(rx.next_expected(), 5);
+}
+
+TEST(TcpMachinery, DuplicateSegmentsCounted) {
+  Simulator sim;
+  TcpReceiver rx(sim, 1);
+  struct Sink : PacketSink {
+    void receive(Packet&&) override {}
+  } sink;
+  rx.attach_ack_path(sink);
+  for (std::int64_t seq : {0, 1, 0, 1}) {
+    Packet p;
+    p.seq = seq;
+    p.size = kMtuBytes;
+    rx.receive(std::move(p));
+  }
+  EXPECT_EQ(rx.duplicate_segments(), 2);
+}
+
+TEST(TcpMachinery, CubicFillsASteadyLink) {
+  TcpSession s(std::make_unique<CubicCC>(), 300.0, sec(30));
+  const double thr = s.measured.metrics().throughput_kbps(
+      TimePoint{} + sec(5), TimePoint{} + sec(30));
+  // 300 pps = 3600 kbps; an unbounded queue lets Cubic use ~all of it.
+  EXPECT_GT(thr, 3200.0);
+}
+
+TEST(TcpMachinery, CubicBuildsABigQueueOnUnboundedBuffer) {
+  TcpSession s(std::make_unique<CubicCC>(), 300.0, sec(30));
+  const double d95 = s.measured.metrics().delay_percentile_ms(
+      95.0, TimePoint{} + sec(5), TimePoint{} + sec(30));
+  // Bufferbloat: delay far above propagation (the paper's core complaint).
+  EXPECT_GT(d95, 500.0);
+}
+
+TEST(TcpMachinery, VegasKeepsDelayLowerThanCubic) {
+  TcpSession cubic(std::make_unique<CubicCC>(), 300.0, sec(30));
+  TcpSession vegas(std::make_unique<VegasCC>(), 300.0, sec(30));
+  const TimePoint from = TimePoint{} + sec(5);
+  const TimePoint to = TimePoint{} + sec(30);
+  EXPECT_LT(vegas.measured.metrics().delay_percentile_ms(95.0, from, to),
+            cubic.measured.metrics().delay_percentile_ms(95.0, from, to));
+}
+
+TEST(TcpMachinery, RecoversFromLoss) {
+  TcpSession s(std::make_unique<RenoCC>(), 300.0, sec(30), /*loss=*/0.02);
+  const double thr = s.measured.metrics().throughput_kbps(
+      TimePoint{} + sec(5), TimePoint{} + sec(30));
+  EXPECT_GT(thr, 300.0);             // still moving data
+  EXPECT_GT(s.tx.retransmits(), 0);  // and actually retransmitting
+}
+
+TEST(TcpMachinery, TimeoutPathWorksThroughTotalBlackout) {
+  // A link that dies at t=5s for good: the sender must hit RTOs, not spin.
+  Simulator sim;
+  std::vector<TimePoint> opp;
+  for (int i = 1; i <= 2500; ++i) opp.push_back(TimePoint{} + msec(i * 2));
+  RelaySink fwd_egress, rev_egress;
+  CellsimLink fwd_link(sim, Trace{std::move(opp), sec(20)}, {}, fwd_egress);
+  CellsimLink rev_link(sim, generate_trace(steady(500.0), sec(21), 3), {},
+                       rev_egress);
+  TcpSender tx(sim, std::make_unique<RenoCC>(), 1);
+  TcpReceiver rx(sim, 1);
+  tx.attach_network(fwd_link);
+  rx.attach_ack_path(rev_link);
+  MeasuredSink measured(sim, rx);
+  fwd_egress.set_target(measured);
+  rev_egress.set_target(tx);
+  tx.start();
+  sim.run_until(TimePoint{} + sec(20));
+  EXPECT_GT(tx.timeouts(), 0);
+  EXPECT_LT(tx.congestion_control().cwnd_packets(), 4.0);
+}
+
+TEST(TcpMachinery, RttEstimatorSeesPropagationFloor) {
+  TcpSession s(std::make_unique<VegasCC>(), 300.0, sec(10));
+  const auto& vegas =
+      static_cast<const VegasCC&>(s.tx.congestion_control());
+  // Min RTT cannot be below 40 ms (20 ms each way).
+  EXPECT_GE(vegas.base_rtt_s(), 0.040 - 1e-6);
+  EXPECT_LT(vegas.base_rtt_s(), 0.2);
+}
+
+}  // namespace
+}  // namespace sprout

@@ -1,0 +1,339 @@
+// Unit tests for the §7 alternative stochastic forecasters
+// (core/alt_models.h): the regime-switching MMPP model and the model-free
+// empirical-quantile forecaster.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "core/alt_models.h"
+
+namespace sprout {
+namespace {
+
+SproutParams base_params() { return {}; }
+
+template <typename RateFn>
+void drive(ForecastStrategy& s, RateFn rate_fn, int ticks,
+           unsigned seed = 42) {
+  std::mt19937_64 gen(seed);
+  const double tau = base_params().tick_seconds();
+  for (int t = 0; t < ticks; ++t) {
+    s.advance_tick();
+    const double rate = rate_fn(t);
+    if (rate <= 0.0) {
+      s.observe(0);
+    } else {
+      std::poisson_distribution<int> d(rate * tau);
+      s.observe(d(gen));
+    }
+  }
+}
+
+// ------------------------------------------------------------------- MMPP
+
+TEST(Mmpp, StateGridIsAscendingWithOutageAtZero) {
+  MmppForecastStrategy s(base_params());
+  EXPECT_DOUBLE_EQ(s.state_rate_pps(0), 0.0);
+  for (int i = 1; i < s.num_states(); ++i) {
+    EXPECT_GT(s.state_rate_pps(i), s.state_rate_pps(i - 1));
+  }
+  EXPECT_NEAR(s.state_rate_pps(s.num_states() - 1),
+              base_params().max_rate_pps, 1e-6);
+}
+
+TEST(Mmpp, BeliefStaysNormalized) {
+  MmppForecastStrategy s(base_params());
+  drive(s, [](int t) { return (t / 100) % 2 == 0 ? 50.0 : 700.0; }, 1000);
+  double sum = 0.0;
+  for (const double b : s.belief()) {
+    EXPECT_GE(b, 0.0);
+    sum += b;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Mmpp, TransitionRowsAreStochastic) {
+  MmppForecastStrategy s(base_params());
+  drive(s, [](int t) { return (t / 100) % 2 == 0 ? 50.0 : 700.0; }, 500);
+  for (int i = 0; i < s.num_states(); ++i) {
+    double row = 0.0;
+    for (int j = 0; j < s.num_states(); ++j) {
+      const double p = s.transition_probability(i, j);
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      row += p;
+    }
+    EXPECT_NEAR(row, 1.0, 1e-9);
+  }
+}
+
+TEST(Mmpp, PriorFavorsSelfTransitions) {
+  MmppForecastStrategy s(base_params());
+  for (int i = 0; i < s.num_states(); ++i) {
+    for (int j = 0; j < s.num_states(); ++j) {
+      if (i == j) continue;
+      EXPECT_GT(s.transition_probability(i, i),
+                s.transition_probability(i, j));
+    }
+  }
+}
+
+TEST(Mmpp, PriorFavorsLocalJumps) {
+  MmppForecastStrategy s(base_params());
+  // Before any learning, a one-state hop must be likelier than a far jump.
+  EXPECT_GT(s.transition_probability(8, 9), s.transition_probability(8, 15));
+}
+
+TEST(Mmpp, MapStateTracksTheRate) {
+  MmppForecastStrategy s(base_params());
+  drive(s, [](int) { return 500.0; }, 500);
+  const double mapped = s.state_rate_pps(s.map_state());
+  EXPECT_GT(mapped, 250.0);
+  EXPECT_LT(mapped, 1000.0);
+}
+
+TEST(Mmpp, LearnsStickyRegimesFromSwitchingTrace) {
+  MmppForecastStrategy s(base_params());
+  // 10-second regimes: transitions out of the occupied regime should stay
+  // local.  (When the true rate straddles two grid states, the MAP state
+  // flips between those neighbours, so locality — not the single diagonal
+  // entry — is the learned-stickiness invariant.)
+  drive(s, [](int t) { return (t / 500) % 2 == 0 ? 80.0 : 800.0; }, 5000);
+  const int map = s.map_state();
+  double local = s.transition_probability(map, map);
+  if (map > 0) local += s.transition_probability(map, map - 1);
+  if (map + 1 < s.num_states()) local += s.transition_probability(map, map + 1);
+  EXPECT_GT(local, 0.9);
+}
+
+TEST(Mmpp, EstimatedRateTracksTruth) {
+  MmppForecastStrategy s(base_params());
+  drive(s, [](int) { return 600.0; }, 800);
+  EXPECT_NEAR(s.estimated_rate_pps(), 600.0, 120.0);
+}
+
+TEST(Mmpp, ForecastMonotoneInHorizon) {
+  MmppForecastStrategy s(base_params());
+  drive(s, [](int) { return 400.0; }, 500);
+  const DeliveryForecast f = s.make_forecast(TimePoint{});
+  for (int h = 1; h < f.ticks(); ++h) {
+    EXPECT_LE(f.cumulative_at(h), f.cumulative_at(h + 1));
+  }
+}
+
+TEST(Mmpp, OutageCollapsesForecastToZero) {
+  MmppForecastStrategy s(base_params());
+  drive(s, [](int) { return 400.0; }, 300);
+  // 2 seconds of zero deliveries on saturated ticks: an outage.
+  drive(s, [](int) { return 0.0; }, 100);
+  const DeliveryForecast f = s.make_forecast(TimePoint{});
+  EXPECT_EQ(f.cumulative_at(8), 0);
+}
+
+TEST(Mmpp, CensoredTicksDoNotDragBeliefDown) {
+  MmppForecastStrategy s(base_params());
+  drive(s, [](int) { return 500.0; }, 500);
+  const double before = s.estimated_rate_pps();
+  for (int t = 0; t < 100; ++t) {
+    s.advance_tick();
+    s.observe_lower_bound(0);  // pure heartbeat ticks
+  }
+  EXPECT_GT(s.estimated_rate_pps(), 0.5 * before);
+}
+
+TEST(Mmpp, CountNoiseVariantIsMoreCautious) {
+  SproutParams p = base_params();
+  MmppParams with_noise;
+  with_noise.count_noise_in_forecast = true;
+  MmppForecastStrategy cautious(p, with_noise);
+  MmppForecastStrategy plain(p);
+  std::mt19937_64 gen(3);
+  const double tau = p.tick_seconds();
+  for (int t = 0; t < 500; ++t) {
+    std::poisson_distribution<int> d(400.0 * tau);
+    const int k = d(gen);
+    cautious.advance_tick();
+    cautious.observe(k);
+    plain.advance_tick();
+    plain.observe(k);
+  }
+  EXPECT_LE(cautious.make_forecast(TimePoint{}).cumulative_at(1),
+            plain.make_forecast(TimePoint{}).cumulative_at(1));
+}
+
+// -------------------------------------------------------------- empirical
+
+TEST(Empirical, ForecastZeroWithNoHistory) {
+  EmpiricalForecastStrategy s(base_params());
+  const DeliveryForecast f = s.make_forecast(TimePoint{});
+  EXPECT_EQ(f.cumulative_at(8), 0);
+}
+
+TEST(Empirical, ColdStartUsesSampleMean) {
+  EmpiricalForecastStrategy s(base_params());
+  // 10 samples of exactly 8 packets — below min_samples, so the forecast
+  // is mean-based: 8 packets per tick, uncautious.
+  for (int t = 0; t < 10; ++t) {
+    s.advance_tick();
+    s.observe(8);
+  }
+  const DeliveryForecast f = s.make_forecast(TimePoint{});
+  EXPECT_EQ(f.cumulative_at(1), 8 * kMtuBytes);
+}
+
+TEST(Empirical, QuantileForecastIsCautiousUnderVariance) {
+  SproutParams p = base_params();
+  EmpiricalForecastStrategy s(p);
+  // Alternating 0 and 16: mean 8/tick, but the 5th percentile of 1-tick
+  // sums is 0.
+  for (int t = 0; t < 200; ++t) {
+    s.advance_tick();
+    s.observe(t % 2 == 0 ? 0 : 16);
+  }
+  const DeliveryForecast f = s.make_forecast(TimePoint{});
+  EXPECT_EQ(f.cumulative_at(1), 0);
+  // But 2-tick sums are all 16: caution recovers at longer horizons.
+  EXPECT_GE(f.cumulative_at(2), 16 * kMtuBytes);
+}
+
+TEST(Empirical, SlidingSumsPreserveCorrelation) {
+  SproutParams p = base_params();
+  EmpiricalForecastStrategy s(p);
+  // Bursty: 8 ticks of 12 then 8 ticks of 0, repeated.  Any 8-tick stretch
+  // delivers at least... the worst window is all zeros -> 5th pct small;
+  // an IID model with the same mean would forecast much more.  This
+  // documents that the empirical model sees the correlation.
+  for (int t = 0; t < 512; ++t) {
+    s.advance_tick();
+    s.observe((t / 8) % 2 == 0 ? 12 : 0);
+  }
+  const DeliveryForecast f = s.make_forecast(TimePoint{});
+  // The 5th percentile 8-tick sum is one of the all-zero stretches.
+  EXPECT_LE(f.cumulative_at(8), 12 * kMtuBytes);
+}
+
+TEST(Empirical, WindowEvictsOldSamples) {
+  SproutParams p = base_params();
+  EmpiricalParams ep;
+  ep.window_ticks = 100;
+  EmpiricalForecastStrategy s(p, ep);
+  for (int t = 0; t < 300; ++t) {
+    s.advance_tick();
+    s.observe(5);
+  }
+  EXPECT_EQ(s.samples(), 100u);
+  // Rate collapses; within one window the old regime is forgotten.
+  for (int t = 0; t < 100; ++t) {
+    s.advance_tick();
+    s.observe(0);
+  }
+  const DeliveryForecast f = s.make_forecast(TimePoint{});
+  EXPECT_EQ(f.cumulative_at(8), 0);
+}
+
+TEST(Empirical, CensoredHistoryRaisesNotLowersTheForecast) {
+  SproutParams p = base_params();
+  EmpiricalForecastStrategy with_censored(p);
+  EmpiricalForecastStrategy without(p);
+  for (int t = 0; t < 200; ++t) {
+    with_censored.advance_tick();
+    without.advance_tick();
+    without.observe(10);
+    // Same history but every 4th tick was sender-limited at 1 packet.
+    if (t % 4 == 0) {
+      with_censored.observe_lower_bound(1);
+    } else {
+      with_censored.observe(10);
+    }
+  }
+  EXPECT_GE(with_censored.make_forecast(TimePoint{}).cumulative_at(8),
+            without.make_forecast(TimePoint{}).cumulative_at(8));
+}
+
+TEST(Empirical, AllCensoredWindowForecastsTheLinkCap) {
+  SproutParams p = base_params();
+  EmpiricalForecastStrategy s(p);
+  for (int t = 0; t < 100; ++t) {
+    s.advance_tick();
+    s.observe_lower_bound(2);
+  }
+  // Everything is "at least 2": the cautious quantile must sit at the
+  // physical cap, letting the sender probe upward.
+  const DeliveryForecast f = s.make_forecast(TimePoint{});
+  const ByteCount cap_per_tick = static_cast<ByteCount>(
+      p.max_rate_pps * p.tick_seconds() * static_cast<double>(p.mtu));
+  EXPECT_GE(f.cumulative_at(1), cap_per_tick / 2);
+}
+
+TEST(Empirical, EstimatedRateIgnoresCensoredTicks) {
+  SproutParams p = base_params();
+  EmpiricalForecastStrategy s(p);
+  for (int t = 0; t < 100; ++t) {
+    s.advance_tick();
+    if (t % 2 == 0) {
+      s.observe(10);  // 500 pps uncensored
+    } else {
+      s.observe_lower_bound(0);  // idle sender ticks
+    }
+  }
+  EXPECT_NEAR(s.estimated_rate_pps(), 500.0, 1e-9);
+}
+
+TEST(Empirical, ForecastMonotoneInHorizon) {
+  EmpiricalForecastStrategy s(base_params());
+  std::mt19937_64 gen(11);
+  for (int t = 0; t < 400; ++t) {
+    s.advance_tick();
+    std::poisson_distribution<int> d(7.0);
+    s.observe(d(gen));
+  }
+  const DeliveryForecast f = s.make_forecast(TimePoint{});
+  for (int h = 1; h < f.ticks(); ++h) {
+    EXPECT_LE(f.cumulative_at(h), f.cumulative_at(h + 1));
+  }
+}
+
+// Both alternative models and both baseline strategies satisfy the shared
+// strategy contract; sweep them together.
+class AllStrategies : public ::testing::TestWithParam<int> {};
+
+std::unique_ptr<ForecastStrategy> make_strategy(int which) {
+  const SproutParams p;
+  switch (which) {
+    case 0: return make_bayesian_strategy(p);
+    case 1: return make_ewma_strategy(p);
+    case 2: return make_mmpp_strategy(p);
+    case 3: return make_empirical_strategy(p);
+    default: return nullptr;
+  }
+}
+
+TEST_P(AllStrategies, ForecastsAreNonnegativeMonotoneAndSized) {
+  auto s = make_strategy(GetParam());
+  std::mt19937_64 gen(17);
+  for (int t = 0; t < 300; ++t) {
+    s->advance_tick();
+    std::poisson_distribution<int> d(6.0);
+    if (t % 7 == 0) {
+      s->observe_lower_bound(d(gen));
+    } else {
+      s->observe(d(gen));
+    }
+  }
+  const DeliveryForecast f = s->make_forecast(TimePoint{} + sec(1));
+  EXPECT_EQ(f.ticks(), SproutParams{}.forecast_horizon_ticks);
+  ByteCount prev = 0;
+  for (int h = 1; h <= f.ticks(); ++h) {
+    EXPECT_GE(f.cumulative_at(h), prev);
+    prev = f.cumulative_at(h);
+  }
+  EXPECT_GE(s->estimated_rate_pps(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(StrategyContract, AllStrategies,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace sprout

@@ -1,0 +1,163 @@
+// End-to-end Sprout session over ideal and impaired links.
+#include "core/endpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "core/source.h"
+#include "link/cellsim.h"
+#include "metrics/flow_metrics.h"
+#include "sim/relay.h"
+#include "sim/simulator.h"
+#include "trace/synthetic.h"
+
+namespace sprout {
+namespace {
+
+CellProcessParams steady(double pps) {
+  CellProcessParams p;
+  p.mean_rate_pps = pps;
+  p.max_rate_pps = std::max(pps * 2.0, 100.0);
+  p.volatility_pps = 0.0;
+  p.outage_hazard_per_s = 0.0;
+  return p;
+}
+
+struct Session {
+  Simulator sim;
+  RelaySink fwd_egress, rev_egress;
+  CellsimLink fwd_link, rev_link;
+  BulkDataSource bulk;
+  SproutEndpoint tx, rx;
+  MeasuredSink measured;
+
+  Session(double fwd_pps, SproutVariant variant, Duration run,
+          const SproutParams& params = {})
+      : fwd_link(sim, generate_trace(steady(fwd_pps), run + sec(1), 31), {},
+                 fwd_egress),
+        rev_link(sim, generate_trace(steady(fwd_pps), run + sec(1), 32), {},
+                 rev_egress),
+        tx(sim, params, variant, 1, &bulk),
+        rx(sim, params, variant, 1, nullptr),
+        measured(sim, rx) {
+    tx.attach_network(fwd_link);
+    rx.attach_network(rev_link);
+    fwd_egress.set_target(measured);
+    rev_egress.set_target(tx);
+    tx.start();
+    rx.start(msec(7));
+    sim.run_until(TimePoint{} + run);
+  }
+};
+
+TEST(SproutEndpoint, AchievesGoodUtilizationOnSteadyLink) {
+  Session s(500.0, SproutVariant::kBayesian, sec(30));
+  const double thr = s.measured.metrics().throughput_kbps(
+      TimePoint{} + sec(5), TimePoint{} + sec(30));
+  EXPECT_GT(thr, 0.45 * 6000.0);  // at least 45% of a 6 Mbps link
+  EXPECT_EQ(s.tx.malformed_packets(), 0);
+  EXPECT_EQ(s.rx.malformed_packets(), 0);
+}
+
+TEST(SproutEndpoint, KeepsDelayNearTolerance) {
+  Session s(500.0, SproutVariant::kBayesian, sec(30));
+  const double d95 = s.measured.metrics().delay_percentile_ms(
+      95.0, TimePoint{} + sec(5), TimePoint{} + sec(30));
+  // Tolerance is 100 ms of queueing + 20 ms propagation + slack.
+  EXPECT_LT(d95, 250.0);
+  EXPECT_GE(d95, 20.0);  // can't beat propagation
+}
+
+TEST(SproutEndpoint, EwmaVariantGetsMoreThroughput) {
+  Session cautious(500.0, SproutVariant::kBayesian, sec(30));
+  Session ewma(500.0, SproutVariant::kEwma, sec(30));
+  const TimePoint from = TimePoint{} + sec(5);
+  const TimePoint to = TimePoint{} + sec(30);
+  EXPECT_GE(ewma.measured.metrics().throughput_kbps(from, to),
+            cautious.measured.metrics().throughput_kbps(from, to));
+}
+
+TEST(SproutEndpoint, WorksOnSlowLink) {
+  Session s(40.0, SproutVariant::kBayesian, sec(30));  // 480 kbps 3G-ish
+  const double thr = s.measured.metrics().throughput_kbps(
+      TimePoint{} + sec(5), TimePoint{} + sec(30));
+  EXPECT_GT(thr, 100.0);
+  const double d95 = s.measured.metrics().delay_percentile_ms(
+      95.0, TimePoint{} + sec(5), TimePoint{} + sec(30));
+  EXPECT_LT(d95, 800.0);
+}
+
+TEST(SproutEndpoint, SurvivesMidRunOutage) {
+  // Build a trace with a 3-second hole; Sprout must stop sending (bounded
+  // queue) and recover afterwards.
+  Simulator sim;
+  std::vector<TimePoint> opp;
+  for (int i = 1; i <= 5000; ++i) {
+    const TimePoint t = TimePoint{} + msec(i * 2);  // 500 pps
+    const bool in_hole = t >= TimePoint{} + sec(4) && t < TimePoint{} + sec(7);
+    if (!in_hole) opp.push_back(t);
+  }
+  RelaySink fwd_egress, rev_egress;
+  CellsimLink fwd_link(sim, Trace{std::move(opp), sec(10) + sec(1)}, {},
+                       fwd_egress);
+  CellsimLink rev_link(sim, generate_trace(steady(500.0), sec(11), 33), {},
+                       rev_egress);
+  SproutParams params;
+  BulkDataSource bulk;
+  SproutEndpoint tx(sim, params, SproutVariant::kBayesian, 1, &bulk);
+  SproutEndpoint rx(sim, params, SproutVariant::kBayesian, 1, nullptr);
+  tx.attach_network(fwd_link);
+  rx.attach_network(rev_link);
+  MeasuredSink measured(sim, rx);
+  fwd_egress.set_target(measured);
+  rev_egress.set_target(tx);
+  tx.start();
+  rx.start(msec(7));
+  sim.run_until(TimePoint{} + sec(10));
+
+  // During the outage the sender must have stopped: the standing queue at
+  // the link is bounded (not thousands of packets).
+  EXPECT_LT(fwd_link.queue_packets(), 400u);
+  // And throughput after the outage recovered.
+  const double post = measured.metrics().throughput_kbps(
+      TimePoint{} + msec(7500), TimePoint{} + sec(10));
+  EXPECT_GT(post, 1000.0);
+}
+
+TEST(SproutEndpoint, FeedbackOnlyPeerSendsHeartbeats) {
+  Session s(500.0, SproutVariant::kBayesian, sec(5));
+  // The receiving endpoint has no data source, yet its feedback stream
+  // must flow (tx needs forecasts): tx has a forecast.
+  EXPECT_TRUE(s.tx.sender().has_forecast());
+  EXPECT_GT(s.rx.receiver().received_or_lost_bytes(), 0);
+}
+
+TEST(SproutEndpoint, LossDoesNotCollapseSession) {
+  Simulator sim;
+  RelaySink fwd_egress, rev_egress;
+  CellsimConfig lossy;
+  lossy.loss_rate = 0.05;
+  lossy.seed = 77;
+  CellsimLink fwd_link(sim, generate_trace(steady(500.0), sec(31), 41), lossy,
+                       fwd_egress);
+  CellsimLink rev_link(sim, generate_trace(steady(500.0), sec(31), 42), lossy,
+                       rev_egress);
+  SproutParams params;
+  BulkDataSource bulk;
+  SproutEndpoint tx(sim, params, SproutVariant::kBayesian, 1, &bulk);
+  SproutEndpoint rx(sim, params, SproutVariant::kBayesian, 1, nullptr);
+  tx.attach_network(fwd_link);
+  rx.attach_network(rev_link);
+  MeasuredSink measured(sim, rx);
+  fwd_egress.set_target(measured);
+  rev_egress.set_target(tx);
+  tx.start();
+  rx.start(msec(7));
+  sim.run_until(TimePoint{} + sec(30));
+  const double thr = measured.metrics().throughput_kbps(TimePoint{} + sec(5),
+                                                        TimePoint{} + sec(30));
+  // §5.6: throughput diminishes under loss but stays useful.
+  EXPECT_GT(thr, 1000.0);
+}
+
+}  // namespace
+}  // namespace sprout

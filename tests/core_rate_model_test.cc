@@ -1,0 +1,182 @@
+#include "core/rate_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sprout {
+namespace {
+
+SproutParams small_params() {
+  SproutParams p;
+  p.num_bins = 64;  // faster tests, same math
+  return p;
+}
+
+TEST(RateDistribution, UniformPriorAtStartup) {
+  RateDistribution d(256);
+  EXPECT_TRUE(d.is_normalized());
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_DOUBLE_EQ(d.probability(i), 1.0 / 256.0);
+  }
+}
+
+TEST(RateDistribution, MeanAndQuantileOfUniform) {
+  SproutParams p;
+  RateDistribution d(p.num_bins);
+  EXPECT_NEAR(d.mean(p), 500.0, 2.5);       // mid of [0, 1000]
+  EXPECT_NEAR(d.quantile(p, 50.0), 500.0, 5.0);
+  EXPECT_LT(d.quantile(p, 5.0), 60.0);
+  EXPECT_GT(d.quantile(p, 95.0), 940.0);
+}
+
+TEST(TransitionMatrix, RowsAreStochastic) {
+  const SproutParams p = small_params();
+  TransitionMatrix m(p);
+  for (int i = 0; i < p.num_bins; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < p.num_bins; ++j) sum += m.entry(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "row " << i;
+  }
+}
+
+TEST(TransitionMatrix, OutageIsSticky) {
+  const SproutParams p = small_params();
+  TransitionMatrix m(p);
+  // Staying probability = exp(-λz τ) = exp(-0.02) ≈ 0.980.
+  EXPECT_NEAR(m.entry(0, 0), std::exp(-1.0 * 0.02), 1e-9);
+}
+
+TEST(TransitionMatrix, DiffusionDoesNotSinkIntoOutage) {
+  // The reflecting boundary: a mid-range rate must put (essentially) no
+  // mass into the outage bin in one tick.
+  const SproutParams p = small_params();
+  TransitionMatrix m(p);
+  EXPECT_LT(m.entry(p.num_bins / 2, 0), 1e-12);
+}
+
+TEST(TransitionMatrix, EvolutionPreservesNormalization) {
+  const SproutParams p = small_params();
+  TransitionMatrix m(p);
+  RateDistribution d(p.num_bins);
+  for (int t = 0; t < 500; ++t) m.evolve(d);
+  EXPECT_TRUE(d.is_normalized(1e-6));
+}
+
+TEST(TransitionMatrix, EvolutionSpreadsAConcentratedBelief) {
+  const SproutParams p = small_params();
+  TransitionMatrix m(p);
+  RateDistribution d(p.num_bins);
+  auto& probs = d.mutable_probabilities();
+  std::fill(probs.begin(), probs.end(), 0.0);
+  probs[32] = 1.0;
+  const double before = d.quantile(p, 95.0) - d.quantile(p, 5.0);
+  m.evolve(d);
+  m.evolve(d);
+  const double after = d.quantile(p, 95.0) - d.quantile(p, 5.0);
+  EXPECT_GT(after, before);
+  // Mean roughly preserved away from the boundaries.
+  EXPECT_NEAR(d.mean(p), p.bin_rate(32), 25.0);
+}
+
+TEST(BayesFilter, ObservationConcentratesAtTrueRate) {
+  SproutParams p;  // full 256 bins
+  SproutBayesFilter f(p);
+  // True rate 500 pps -> 10 packets per 20 ms tick.
+  for (int t = 0; t < 50; ++t) {
+    f.evolve();
+    f.observe(10);
+  }
+  EXPECT_NEAR(f.mean_rate_pps(), 500.0, 60.0);
+  EXPECT_TRUE(f.distribution().is_normalized(1e-6));
+}
+
+TEST(BayesFilter, ZeroObservationsDriveBeliefToOutage) {
+  SproutParams p;
+  SproutBayesFilter f(p);
+  for (int t = 0; t < 30; ++t) {
+    f.evolve();
+    f.observe(10);
+  }
+  for (int t = 0; t < 50; ++t) {
+    f.evolve();
+    f.observe(0);
+  }
+  EXPECT_LT(f.mean_rate_pps(), 50.0);
+}
+
+TEST(BayesFilter, RecoversAfterOutage) {
+  SproutParams p;
+  SproutBayesFilter f(p);
+  for (int t = 0; t < 50; ++t) {
+    f.evolve();
+    f.observe(0);
+  }
+  EXPECT_LT(f.mean_rate_pps(), 30.0);
+  for (int t = 0; t < 30; ++t) {
+    f.evolve();
+    f.observe(8);  // 400 pps
+  }
+  EXPECT_NEAR(f.mean_rate_pps(), 400.0, 80.0);
+}
+
+TEST(BayesFilter, CensoredObservationNeverLowersBelief) {
+  SproutParams p;
+  SproutBayesFilter locked(p);
+  for (int t = 0; t < 50; ++t) {
+    locked.evolve();
+    locked.observe(10);
+  }
+  const double before = locked.mean_rate_pps();
+  // "At least 2 packets" is consistent with 500 pps: must not drag down.
+  for (int t = 0; t < 20; ++t) {
+    locked.evolve();
+    locked.observe_at_least(2);
+  }
+  EXPECT_GT(locked.mean_rate_pps(), before - 50.0);
+}
+
+TEST(BayesFilter, CensoredObservationRulesOutSlowRates) {
+  SproutParams p;
+  SproutBayesFilter f(p);
+  // From the uniform prior, "at least 10 per tick" kills the slow half.
+  f.evolve();
+  f.observe_at_least(10);
+  EXPECT_LT(f.distribution().probability(0), 1e-6);
+  EXPECT_GT(f.mean_rate_pps(), 400.0);
+}
+
+TEST(BayesFilter, ExtremeObservationDoesNotUnderflow) {
+  SproutParams p;
+  SproutBayesFilter f(p);
+  // Concentrate near zero, then observe a huge count.
+  for (int t = 0; t < 60; ++t) {
+    f.evolve();
+    f.observe(0);
+  }
+  f.evolve();
+  f.observe(150);  // ~7500 pps equivalent: off the grid but must be handled
+  EXPECT_TRUE(f.distribution().is_normalized(1e-6));
+  EXPECT_GT(f.mean_rate_pps(), 400.0);
+}
+
+// Property sweep: the filter locks onto a range of true rates.
+class FilterLockSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FilterLockSweep, LocksWithinTwoBins) {
+  const int per_tick = GetParam();
+  SproutParams p;
+  SproutBayesFilter f(p);
+  for (int t = 0; t < 80; ++t) {
+    f.evolve();
+    f.observe(per_tick);
+  }
+  const double true_rate = per_tick / p.tick_seconds();
+  EXPECT_NEAR(f.mean_rate_pps(), true_rate, std::max(40.0, true_rate * 0.15));
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, FilterLockSweep,
+                         ::testing::Values(1, 2, 5, 10, 15, 19));
+
+}  // namespace
+}  // namespace sprout

@@ -1,0 +1,130 @@
+#include "core/receiver.h"
+
+#include <gtest/gtest.h>
+
+namespace sprout {
+namespace {
+
+class ReceiverTest : public ::testing::Test {
+ protected:
+  SproutParams params_;
+  SproutReceiver make() {
+    return SproutReceiver(params_, make_bayesian_strategy(params_));
+  }
+
+  static SproutWireMessage data_msg(std::int64_t seqno, ByteCount wire,
+                                    std::uint32_t ttn_us = 0,
+                                    bool sender_limited = false) {
+    SproutWireMessage m;
+    m.header.seqno = seqno;
+    m.header.payload_bytes = static_cast<std::int32_t>(wire - 96);
+    m.header.time_to_next_us = ttn_us;
+    if (sender_limited) m.header.flags |= SproutHeader::kFlagSenderLimited;
+    return m;
+  }
+};
+
+TEST_F(ReceiverTest, TracksReceivedOrLostFromSeqnos) {
+  SproutReceiver r = make();
+  r.on_packet(data_msg(0, 1500), 1500, TimePoint{} + msec(1));
+  EXPECT_EQ(r.received_or_lost_bytes(), 1500);
+  // A gap: packet covering [3000, 4500) arrives; [1500,3000) is lost but
+  // decidable on a FIFO path.
+  r.on_packet(data_msg(3000, 1500), 1500, TimePoint{} + msec(2));
+  EXPECT_EQ(r.received_or_lost_bytes(), 4500);
+}
+
+TEST_F(ReceiverTest, ThrowawayAdvancesAccounting) {
+  SproutReceiver r = make();
+  SproutWireMessage m = data_msg(100000, 1500);
+  m.header.throwaway = 99000;
+  r.on_packet(m, 1500, TimePoint{} + msec(1));
+  EXPECT_EQ(r.received_or_lost_bytes(), 101500);
+  // Throwaway alone can also advance it (covers reordering networks).
+  SproutWireMessage m2 = data_msg(0, 1500);
+  m2.header.throwaway = 200000;
+  r.on_packet(m2, 1500, TimePoint{} + msec(2));
+  EXPECT_EQ(r.received_or_lost_bytes(), 200000);
+}
+
+TEST_F(ReceiverTest, BackloggedTicksAreObserved) {
+  SproutReceiver r = make();
+  TimePoint now{};
+  // 60 ticks of 10 unflagged (link-limited) packets each.
+  for (int t = 0; t < 60; ++t) {
+    for (int i = 0; i < 10; ++i) {
+      now += msec(2);
+      r.on_packet(data_msg(t * 15000 + i * 1500, 1500), 1500, now);
+    }
+    r.tick(TimePoint{} + msec((t + 1) * 20));
+    now = TimePoint{} + msec((t + 1) * 20);
+  }
+  EXPECT_EQ(r.ticks_observed(), 60);
+  EXPECT_NEAR(r.estimated_rate_pps(), 500.0, 80.0);
+}
+
+TEST_F(ReceiverTest, SilenceUnderPromiseIsSkipped) {
+  SproutReceiver r = make();
+  // One packet promising the next in 20 ms, then silence for one tick.
+  r.on_packet(data_msg(0, 1500, /*ttn_us=*/20000), 1500, TimePoint{} + msec(19));
+  r.tick(TimePoint{} + msec(20));   // observed (bytes arrived)
+  r.tick(TimePoint{} + msec(40));   // silent but under promise (+25% slack)
+  EXPECT_EQ(r.ticks_skipped(), 1);
+}
+
+TEST_F(ReceiverTest, SilenceAfterExpiredPromiseIsOutageEvidence) {
+  SproutReceiver r = make();
+  r.on_packet(data_msg(0, 1500, /*ttn_us=*/20000), 1500, TimePoint{} + msec(1));
+  r.tick(TimePoint{} + msec(20));
+  const double before = r.estimated_rate_pps();
+  // Promise expired at ~26 ms; ticks at 40,60,...  are genuine silence.
+  for (int t = 2; t <= 40; ++t) r.tick(TimePoint{} + msec(t * 20));
+  EXPECT_LT(r.estimated_rate_pps(), before);
+  EXPECT_LT(r.estimated_rate_pps(), 60.0);
+}
+
+TEST_F(ReceiverTest, SenderLimitedTicksDoNotDragBeliefDown) {
+  SproutReceiver r = make();
+  TimePoint now{};
+  // Lock at 10/tick with unflagged traffic.
+  for (int t = 0; t < 60; ++t) {
+    for (int i = 0; i < 10; ++i) {
+      now += msec(2);
+      r.on_packet(data_msg(t * 15000 + i * 1500, 1500), 1500, now);
+    }
+    now = TimePoint{} + msec((t + 1) * 20);
+    r.tick(now);
+  }
+  const double locked = r.estimated_rate_pps();
+  // Then 50 ticks of sender-limited single packets.
+  std::int64_t seq = 60 * 15000;
+  for (int t = 60; t < 110; ++t) {
+    r.on_packet(data_msg(seq, 1500, 0, /*sender_limited=*/true), 1500,
+                TimePoint{} + msec(t * 20 + 5));
+    seq += 1500;
+    r.tick(TimePoint{} + msec((t + 1) * 20));
+  }
+  EXPECT_GT(r.estimated_rate_pps(), locked * 0.6);
+}
+
+TEST_F(ReceiverTest, SubMtuCarriesAcrossTicks) {
+  SproutReceiver r = make();
+  // Two 800-byte packets in consecutive ticks: the second tick observes the
+  // carried full MTU.
+  r.on_packet(data_msg(0, 800), 800, TimePoint{} + msec(5));
+  r.tick(TimePoint{} + msec(20));
+  r.on_packet(data_msg(800, 800), 800, TimePoint{} + msec(25));
+  r.tick(TimePoint{} + msec(40));
+  EXPECT_EQ(r.ticks_observed(), 2);
+}
+
+TEST_F(ReceiverTest, ForecastRefreshesEveryTick) {
+  SproutReceiver r = make();
+  EXPECT_EQ(r.latest_forecast().ticks(), 0);
+  r.tick(TimePoint{} + msec(20));
+  EXPECT_EQ(r.latest_forecast().ticks(), params_.forecast_horizon_ticks);
+  EXPECT_EQ(r.latest_forecast().origin, TimePoint{} + msec(20));
+}
+
+}  // namespace
+}  // namespace sprout

@@ -1,0 +1,197 @@
+#include "core/sender.h"
+
+#include <gtest/gtest.h>
+
+namespace sprout {
+namespace {
+
+struct Emitted {
+  SproutWireMessage msg;
+  ByteCount wire;
+};
+
+class SenderTest : public ::testing::Test {
+ protected:
+  SproutParams params_;
+  std::vector<Emitted> out_;
+
+  SproutSender make() {
+    return SproutSender(params_, [this](SproutWireMessage&& m, ByteCount w) {
+      out_.push_back({std::move(m), w});
+    });
+  }
+
+  ForecastBlock forecast(std::int64_t origin_ms, ByteCount per_tick,
+                         ByteCount received_or_lost) {
+    ForecastBlock b;
+    b.origin_us = origin_ms * 1000;
+    b.tick_us = 20000;
+    b.received_or_lost_bytes = received_or_lost;
+    ByteCount cum = 0;
+    for (int h = 0; h < 8; ++h) {
+      cum += per_tick;
+      b.cumulative_bytes.push_back(static_cast<std::uint32_t>(cum));
+    }
+    return b;
+  }
+
+  static std::function<ByteCount(ByteCount)> bulk() {
+    return [](ByteCount max) { return max; };
+  }
+};
+
+TEST_F(SenderTest, StartupWindowBeforeAnyForecast) {
+  SproutSender s = make();
+  EXPECT_FALSE(s.has_forecast());
+  EXPECT_EQ(s.window_bytes(TimePoint{}), 20 * kMtuBytes);
+  s.tick(TimePoint{} + msec(20), bulk());
+  // A 20-packet flight went out.
+  EXPECT_EQ(out_.size(), 20u);
+  EXPECT_EQ(s.bytes_sent(), 20 * kMtuBytes);
+}
+
+TEST_F(SenderTest, SequenceNumbersCountBytes) {
+  SproutSender s = make();
+  s.tick(TimePoint{} + msec(20), bulk());
+  ASSERT_GE(out_.size(), 2u);
+  EXPECT_EQ(out_[0].msg.header.seqno, 0);
+  EXPECT_EQ(out_[1].msg.header.seqno, out_[0].wire);
+}
+
+TEST_F(SenderTest, TimeToNextZeroForAllButLast) {
+  SproutSender s = make();
+  s.tick(TimePoint{} + msec(20), bulk());
+  for (std::size_t i = 0; i + 1 < out_.size(); ++i) {
+    EXPECT_EQ(out_[i].msg.header.time_to_next_us, 0u) << i;
+  }
+  EXPECT_EQ(out_.back().msg.header.time_to_next_us, 20000u);
+}
+
+TEST_F(SenderTest, WindowFollowsForecastMinusQueue) {
+  SproutSender s = make();
+  const TimePoint now = TimePoint{} + msec(100);
+  // Forecast from 80 ms: 15000 bytes/tick, receiver has everything (queue
+  // empty).  Position at 100 ms is 1 tick; lookahead 5 more.
+  s.on_forecast(forecast(80, 15000, 0), now);
+  EXPECT_TRUE(s.has_forecast());
+  // window = F[6] - F[1] - queue_est; queue_est = 0 - credits = 0.
+  EXPECT_EQ(s.window_bytes(now), 5 * 15000);
+}
+
+TEST_F(SenderTest, QueueEstimateSuppressesWindow) {
+  SproutSender s = make();
+  // Send 20 packets first (30000 bytes).
+  s.tick(TimePoint{} + msec(20), bulk());
+  const TimePoint now = TimePoint{} + msec(40);
+  // Receiver saw nothing: everything still queued.
+  s.on_forecast(forecast(20, 3000, 0), now);
+  // Drain credit for 1 elapsed tick (3000) applies on the next tick() call;
+  // window = F[6]-F[1] (15000) minus queue(30000 - credit).
+  EXPECT_LT(s.window_bytes(now), 0);
+  s.tick(now, bulk());
+  // Window shut: heartbeat only.
+  EXPECT_EQ(out_.back().msg.header.flags & SproutHeader::kFlagHeartbeat,
+            SproutHeader::kFlagHeartbeat);
+}
+
+TEST_F(SenderTest, DrainCreditsStartAtForecastOrigin) {
+  SproutSender s = make();
+  s.tick(TimePoint{} + msec(20), bulk());  // 30000 bytes out
+  // Forecast originated 40 ms ago; per-tick drain 15000; receiver counted
+  // 0 bytes at origin.  Two ticks of drain (30000) must be credited when
+  // the sender's tick advances, leaving queue ~0.
+  const TimePoint now = TimePoint{} + msec(60);
+  s.on_forecast(forecast(20, 15000, 0), now);
+  out_.clear();
+  s.tick(now, bulk());
+  EXPECT_GT(out_.size(), 1u);  // window opened thanks to origin-based credit
+}
+
+TEST_F(SenderTest, StaleForecastIgnored) {
+  SproutSender s = make();
+  const TimePoint now = TimePoint{} + msec(100);
+  s.on_forecast(forecast(80, 15000, 0), now);
+  const ByteCount w = s.window_bytes(now);
+  s.on_forecast(forecast(60, 1500, 0), now);  // older origin: ignored
+  EXPECT_EQ(s.window_bytes(now), w);
+}
+
+TEST_F(SenderTest, HeartbeatsWhenIdle) {
+  SproutSender s = make();
+  const TimePoint now = TimePoint{} + msec(100);
+  s.on_forecast(forecast(80, 15000, 0), now);
+  // App has nothing to send.
+  auto dry = [](ByteCount) -> ByteCount { return 0; };
+  s.tick(now, dry);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_TRUE(out_[0].msg.header.flags & SproutHeader::kFlagHeartbeat);
+  EXPECT_EQ(out_[0].wire, params_.heartbeat_bytes);
+  EXPECT_EQ(out_[0].msg.header.time_to_next_us, 20000u);
+}
+
+TEST_F(SenderTest, ProbeBurstAfterSustainedShutWindow) {
+  SproutSender s = make();
+  TimePoint now = TimePoint{} + msec(100);
+  // Forecast of zero deliveries: window stays shut.
+  s.on_forecast(forecast(80, 0, 0), now);
+  int data_packets = 0;
+  for (int t = 0; t < 12; ++t) {
+    now += msec(20);
+    out_.clear();
+    s.tick(now, bulk());
+    for (const Emitted& e : out_) {
+      if (!(e.msg.header.flags & SproutHeader::kFlagHeartbeat)) ++data_packets;
+    }
+  }
+  // The zero-window probe must have fired at least once.
+  EXPECT_GT(data_packets, 0);
+}
+
+TEST_F(SenderTest, ThrowawayLagsTenMilliseconds) {
+  SproutSender s = make();
+  s.tick(TimePoint{} + msec(20), bulk());
+  const ByteCount sent_at_20 = s.bytes_sent();
+  out_.clear();
+  // 15 ms later: the throwaway must point at (or before) the end of the
+  // first flight, which was sent more than 10 ms ago.
+  s.on_forecast(forecast(20, 15000, sent_at_20), TimePoint{} + msec(35));
+  s.tick(TimePoint{} + msec(35), bulk());
+  ASSERT_FALSE(out_.empty());
+  const std::int64_t throwaway = out_[0].msg.header.throwaway;
+  EXPECT_GT(throwaway, 0);
+  EXPECT_LE(throwaway, sent_at_20);
+}
+
+TEST_F(SenderTest, SenderLimitedFlagReflectsConfirmedBacklog) {
+  SproutSender s = make();
+  s.tick(TimePoint{} + msec(20), bulk());  // 30000 bytes at t=20
+  out_.clear();
+  // Origin 60 ms, receiver saw everything sent before 40 ms => no backlog.
+  ForecastBlock all_received = forecast(60, 15000, s.bytes_sent());
+  s.on_forecast(all_received, TimePoint{} + msec(80));
+  s.tick(TimePoint{} + msec(80), bulk());
+  ASSERT_FALSE(out_.empty());
+  EXPECT_TRUE(out_[0].msg.header.flags & SproutHeader::kFlagSenderLimited);
+
+  // Now a forecast showing the receiver saw nothing: confirmed backlog.
+  out_.clear();
+  ForecastBlock nothing_received = forecast(100, 15000, 0);
+  s.on_forecast(nothing_received, TimePoint{} + msec(120));
+  s.tick(TimePoint{} + msec(120), bulk());
+  ASSERT_FALSE(out_.empty());
+  EXPECT_FALSE(out_[0].msg.header.flags & SproutHeader::kFlagSenderLimited);
+}
+
+TEST_F(SenderTest, ForecastLifeBytes) {
+  SproutSender s = make();
+  EXPECT_EQ(s.forecast_life_bytes(TimePoint{}), 0);
+  const TimePoint now = TimePoint{} + msec(100);
+  s.on_forecast(forecast(80, 1000, 0), now);
+  // Position 1 of 8: seven ticks of life remain.
+  EXPECT_EQ(s.forecast_life_bytes(now), 7 * 1000);
+  EXPECT_EQ(s.forecast_life_bytes(now + msec(60)), 4 * 1000);
+  EXPECT_EQ(s.forecast_life_bytes(now + msec(400)), 0);
+}
+
+}  // namespace
+}  // namespace sprout

@@ -1,0 +1,213 @@
+#include "core/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/rng.h"
+
+namespace sprout {
+namespace {
+
+SproutWireMessage sample_message() {
+  SproutWireMessage msg;
+  msg.header.seqno = 123456789;
+  msg.header.payload_bytes = 1404;
+  msg.header.throwaway = 123000000;
+  msg.header.time_to_next_us = 20000;
+  msg.header.flags = SproutHeader::kFlagHeartbeat | SproutHeader::kFlagSenderLimited;
+  ForecastBlock f;
+  f.received_or_lost_bytes = 987654321;
+  f.origin_us = 55'000'000;
+  f.tick_us = 20000;
+  f.cumulative_bytes = {1500, 3000, 4500, 6000, 9000, 9000, 10500, 12000};
+  msg.forecast = std::move(f);
+  return msg;
+}
+
+TEST(Wire, RoundTripWithForecast) {
+  const SproutWireMessage msg = sample_message();
+  const auto bytes = serialize(msg);
+  EXPECT_EQ(static_cast<ByteCount>(bytes.size()), serialized_size(msg));
+  const auto parsed = parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header.seqno, msg.header.seqno);
+  EXPECT_EQ(parsed->header.payload_bytes, msg.header.payload_bytes);
+  EXPECT_EQ(parsed->header.throwaway, msg.header.throwaway);
+  EXPECT_EQ(parsed->header.time_to_next_us, msg.header.time_to_next_us);
+  EXPECT_TRUE(parsed->header.flags & SproutHeader::kFlagHeartbeat);
+  EXPECT_TRUE(parsed->header.flags & SproutHeader::kFlagSenderLimited);
+  ASSERT_TRUE(parsed->forecast.has_value());
+  EXPECT_EQ(parsed->forecast->received_or_lost_bytes, 987654321);
+  EXPECT_EQ(parsed->forecast->origin_us, 55'000'000);
+  EXPECT_EQ(parsed->forecast->cumulative_bytes,
+            msg.forecast->cumulative_bytes);
+}
+
+TEST(Wire, RoundTripWithoutForecast) {
+  SproutWireMessage msg;
+  msg.header.seqno = 42;
+  msg.header.payload_bytes = 0;
+  const auto bytes = serialize(msg);
+  const auto parsed = parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->forecast.has_value());
+  EXPECT_EQ(parsed->header.seqno, 42);
+}
+
+TEST(Wire, ForecastFlagManagedBySerializer) {
+  SproutWireMessage msg;
+  msg.header.flags = SproutHeader::kFlagHasForecast;  // lies: no block
+  const auto bytes = serialize(msg);
+  const auto parsed = parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->forecast.has_value());
+}
+
+TEST(Wire, RejectsBadMagicAndVersion) {
+  auto bytes = serialize(sample_message());
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_FALSE(parse(bad_magic).has_value());
+  auto bad_version = bytes;
+  bad_version[4] = 99;
+  EXPECT_FALSE(parse(bad_version).has_value());
+}
+
+TEST(Wire, RejectsTruncationAtEveryLength) {
+  const auto bytes = serialize(sample_message());
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const auto parsed = parse(std::span(bytes.data(), len));
+    EXPECT_FALSE(parsed.has_value()) << "length " << len;
+  }
+}
+
+TEST(Wire, RejectsNegativePayload) {
+  auto bytes = serialize(sample_message());
+  // payload_bytes is at offset 4+1+1+8 = 14, little endian i32.
+  bytes[14] = 0xff;
+  bytes[15] = 0xff;
+  bytes[16] = 0xff;
+  bytes[17] = 0xff;  // -1
+  EXPECT_FALSE(parse(bytes).has_value());
+}
+
+TEST(Wire, RejectsDecreasingForecast) {
+  SproutWireMessage msg = sample_message();
+  msg.forecast->cumulative_bytes = {3000, 1500};
+  const auto bytes = serialize(msg);
+  EXPECT_FALSE(parse(bytes).has_value());
+}
+
+TEST(Wire, EmptyForecastBlockIsValid) {
+  SproutWireMessage msg = sample_message();
+  msg.forecast->cumulative_bytes.clear();
+  const auto parsed = parse(serialize(msg));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->forecast.has_value());
+  EXPECT_TRUE(parsed->forecast->cumulative_bytes.empty());
+}
+
+TEST(Wire, FuzzRandomBytesNeverCrash) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<std::uint8_t> junk(
+        static_cast<std::size_t>(rng.uniform_int(0, 120)));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    (void)parse(junk);  // must not crash or UB; result irrelevant
+  }
+  SUCCEED();
+}
+
+TEST(Wire, FuzzBitFlipsNeverCrash) {
+  Rng rng(7);
+  const auto good = serialize(sample_message());
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto bytes = good;
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(bytes.size()) - 1));
+    bytes[idx] ^= static_cast<std::uint8_t>(1 << rng.uniform_int(0, 7));
+    const auto parsed = parse(bytes);
+    if (parsed.has_value() && parsed->forecast.has_value()) {
+      // Whatever parsed must still satisfy the invariant.
+      const auto& c = parsed->forecast->cumulative_bytes;
+      for (std::size_t i = 1; i < c.size(); ++i) EXPECT_GE(c[i], c[i - 1]);
+    }
+  }
+}
+
+TEST(Wire, FuzzRandomizedRoundTripIsIdentity) {
+  // Property: encode∘decode is the identity on every well-formed message,
+  // across randomized field values including extremes.
+  Rng rng(13);
+  for (int trial = 0; trial < 3000; ++trial) {
+    SproutWireMessage msg;
+    msg.header.flags = rng.bernoulli(0.3) ? SproutHeader::kFlagHeartbeat : 0;
+    if (rng.bernoulli(0.3)) msg.header.flags |= SproutHeader::kFlagSenderLimited;
+    msg.header.seqno = rng.bernoulli(0.1)
+                           ? std::numeric_limits<std::int64_t>::max()
+                           : rng.uniform_int(0, 1'000'000'000);
+    msg.header.payload_bytes = static_cast<std::int32_t>(
+        rng.bernoulli(0.1) ? 0 : rng.uniform_int(0, 1500));
+    msg.header.throwaway = rng.uniform_int(0, 1'000'000'000);
+    msg.header.time_to_next_us = static_cast<std::uint32_t>(
+        rng.bernoulli(0.1) ? 0xffffffffu : rng.uniform_int(0, 1'000'000));
+    if (rng.bernoulli(0.7)) {
+      ForecastBlock f;
+      f.received_or_lost_bytes = rng.uniform_int(0, 1'000'000'000);
+      f.origin_us = rng.uniform_int(0, 1'000'000'000);
+      f.tick_us = static_cast<std::uint32_t>(rng.uniform_int(1, 100'000));
+      const int n = static_cast<int>(rng.uniform_int(0, 16));
+      std::uint32_t cum = 0;
+      for (int i = 0; i < n; ++i) {
+        cum += static_cast<std::uint32_t>(rng.uniform_int(0, 100'000));
+        f.cumulative_bytes.push_back(cum);
+      }
+      msg.forecast = std::move(f);
+    }
+
+    const auto bytes = serialize(msg);
+    ASSERT_EQ(static_cast<ByteCount>(bytes.size()), serialized_size(msg));
+    const auto parsed = parse(bytes);
+    ASSERT_TRUE(parsed.has_value()) << "trial " << trial;
+    EXPECT_EQ(parsed->header.seqno, msg.header.seqno);
+    EXPECT_EQ(parsed->header.payload_bytes, msg.header.payload_bytes);
+    EXPECT_EQ(parsed->header.throwaway, msg.header.throwaway);
+    EXPECT_EQ(parsed->header.time_to_next_us, msg.header.time_to_next_us);
+    EXPECT_EQ(parsed->header.flags & SproutHeader::kFlagHeartbeat,
+              msg.header.flags & SproutHeader::kFlagHeartbeat);
+    EXPECT_EQ(parsed->header.flags & SproutHeader::kFlagSenderLimited,
+              msg.header.flags & SproutHeader::kFlagSenderLimited);
+    ASSERT_EQ(parsed->forecast.has_value(), msg.forecast.has_value());
+    if (msg.forecast.has_value()) {
+      EXPECT_EQ(parsed->forecast->received_or_lost_bytes,
+                msg.forecast->received_or_lost_bytes);
+      EXPECT_EQ(parsed->forecast->origin_us, msg.forecast->origin_us);
+      EXPECT_EQ(parsed->forecast->tick_us, msg.forecast->tick_us);
+      EXPECT_EQ(parsed->forecast->cumulative_bytes,
+                msg.forecast->cumulative_bytes);
+    }
+  }
+}
+
+TEST(Wire, FuzzTrailingPaddingIsIgnored) {
+  // The real-UDP endpoint pads datagrams to the wire size; parse must read
+  // the same message regardless of padding length.
+  Rng rng(17);
+  const SproutWireMessage msg = sample_message();
+  const auto base = serialize(msg);
+  for (int pad = 0; pad < 64; ++pad) {
+    auto bytes = base;
+    for (int i = 0; i < pad; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 255)));
+    }
+    const auto parsed = parse(bytes);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->header.seqno, msg.header.seqno);
+  }
+}
+
+}  // namespace
+}  // namespace sprout

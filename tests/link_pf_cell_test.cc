@@ -1,0 +1,132 @@
+// Tests for the proportional-fair multi-user cell (link/pf_cell.h): the
+// §2.1 base-station scheduling substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "link/pf_cell.h"
+#include "trace/analysis.h"
+
+namespace sprout {
+namespace {
+
+TEST(PfCell, SlotsAdvanceTheClock) {
+  PfCell cell({}, 1);
+  EXPECT_EQ(cell.now(), TimePoint{});
+  cell.step();
+  EXPECT_EQ(cell.now(), TimePoint{} + msec(1));
+}
+
+TEST(PfCell, EqualUsersGetEqualLongRunService) {
+  PfCellParams p;
+  p.num_users = 4;
+  PfCell cell(p, 7);
+  // Fades persist for seconds (reversion 0.4/s), so per-user luck averages
+  // out slowly; 6 minutes gives ~150 independent fade periods.
+  const auto traces = cell.run(sec(360));
+  ASSERT_EQ(traces.size(), 4u);
+  double min_rate = 1e18;
+  double max_rate = 0.0;
+  for (const Trace& t : traces) {
+    const double r = t.average_rate_kbps();
+    min_rate = std::min(min_rate, r);
+    max_rate = std::max(max_rate, r);
+    EXPECT_GT(r, 0.0);
+  }
+  EXPECT_LT(max_rate / min_rate, 1.35);
+}
+
+TEST(PfCell, StrongerUserGetsMoreThroughputButNotEverything) {
+  // One user with a 12 dB advantage: PF should give it more bytes (it is
+  // cheaper to serve) while still scheduling the weak users regularly —
+  // that is the "proportional" in proportional fair.
+  PfCellParams p;
+  p.num_users = 2;
+  PfCell cell(p, 3);
+  // Bias user 0's channel upward by lifting its state between steps.
+  // (Cheaper than parameterizing per-user SNR; 1200 s of 1 ms slots.)
+  std::int64_t user0_slots = 0;
+  std::int64_t slots = 0;
+  for (int i = 0; i < 120'000; ++i) {
+    const int winner = cell.step();
+    ++slots;
+    if (winner == 0) ++user0_slots;
+    // Re-bias after fading: emulate a user parked next to the tower.
+    const_cast<PfUserState&>(cell.user(0)).snr_db =
+        std::max(cell.user(0).snr_db, 18.0);
+  }
+  const double share0 = static_cast<double>(user0_slots) /
+                        static_cast<double>(slots);
+  // PF equalizes SLOT shares for stationary channels; the strong user wins
+  // on bytes-per-slot, not slot count.
+  EXPECT_GT(share0, 0.30);
+  EXPECT_LT(share0, 0.70);
+  EXPECT_GT(static_cast<double>(cell.user(0).bytes_served),
+            1.5 * static_cast<double>(cell.user(1).bytes_served));
+}
+
+TEST(PfCell, TracesAreSortedAndNonEmpty) {
+  PfCell cell({}, 5);
+  const auto traces = cell.run(sec(30));
+  for (const Trace& t : traces) {
+    ASSERT_FALSE(t.empty());
+    const auto& opp = t.opportunities();
+    for (std::size_t i = 1; i < opp.size(); ++i) {
+      EXPECT_LE(opp[i - 1], opp[i]);
+    }
+    EXPECT_GE(t.duration(), opp.back().time_since_epoch());
+  }
+}
+
+TEST(PfCell, DeterministicForSeed) {
+  PfCellParams p;
+  PfCell a(p, 11);
+  PfCell b(p, 11);
+  const auto ta = a.run(sec(10));
+  const auto tb = b.run(sec(10));
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t u = 0; u < ta.size(); ++u) {
+    EXPECT_EQ(ta[u].opportunities(), tb[u].opportunities());
+  }
+  PfCell c(p, 12);
+  const auto tc = c.run(sec(10));
+  EXPECT_NE(ta[0].size(), tc[0].size());
+}
+
+TEST(PfCell, SpectralEfficiencyIsCapped) {
+  PfCellParams p;
+  p.num_users = 1;
+  p.mean_snr_db = 60.0;  // absurdly good channel
+  p.snr_stddev_db = 0.5;
+  PfCell cell(p, 1);
+  cell.step();
+  EXPECT_LE(cell.instantaneous_rate_bps(0),
+            p.bandwidth_hz * p.max_spectral_efficiency + 1.0);
+}
+
+TEST(PfCell, PerUserRateVariesLikeACellularLink) {
+  // The paper's §2.1 point: scheduling + fading + contention produce the
+  // rate variability Sprout must handle.  A PF user's trace should show a
+  // wide dynamic range at 1 s windows — like the Cox-generated presets.
+  PfCellParams p;
+  p.num_users = 4;
+  PfCell cell(p, 9);
+  const auto traces = cell.run(sec(180));
+  const double range = rate_dynamic_range(traces[0], sec(1));
+  EXPECT_GT(range, 2.0);
+}
+
+TEST(PfCell, MoreUsersMeansLessPerUserThroughput) {
+  auto user0_rate = [](int n) {
+    PfCellParams p;
+    p.num_users = n;
+    PfCell cell(p, 13);
+    return cell.run(sec(60))[0].average_rate_kbps();
+  };
+  const double solo = user0_rate(1);
+  const double shared = user0_rate(8);
+  EXPECT_GT(solo, 3.0 * shared);
+}
+
+}  // namespace
+}  // namespace sprout

@@ -1,0 +1,151 @@
+// Cross-scheme property sweeps: invariants that must hold for EVERY scheme
+// on EVERY link, regardless of calibration.
+#include <cctype>
+
+#include <gtest/gtest.h>
+
+#include "runner/experiment.h"
+
+namespace sprout {
+namespace {
+
+struct Case {
+  SchemeId scheme;
+  const char* network;
+  LinkDirection direction;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string s = to_string(info.param.scheme) + "_" +
+                  std::string(info.param.network) + "_" +
+                  to_string(info.param.direction);
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s;
+}
+
+class SchemeLinkSweep : public ::testing::TestWithParam<Case> {
+ protected:
+  static ExperimentResult run(const Case& c, std::uint64_t seed = 42) {
+    ExperimentConfig config;
+    config.scheme = c.scheme;
+    config.link = find_link_preset(c.network, c.direction);
+    config.run_time = sec(45);
+    config.warmup = sec(15);
+    config.seed = seed;
+    return run_experiment(config);
+  }
+};
+
+TEST_P(SchemeLinkSweep, InvariantsHold) {
+  const ExperimentResult r = run(GetParam());
+  // Conservation: cannot beat the link's capacity.
+  EXPECT_LE(r.throughput_kbps, r.capacity_kbps * 1.001);
+  EXPECT_GE(r.throughput_kbps, 0.0);
+  // Physics: cannot beat the omniscient delay baseline.
+  EXPECT_GE(r.delay95_ms, r.omniscient_delay95_ms - 1e-6);
+  EXPECT_GE(r.self_inflicted_delay_ms, 0.0);
+  // Omniscient baseline itself must be at least the propagation delay.
+  EXPECT_GE(r.omniscient_delay95_ms, 20.0);
+  // Liveness: every scheme moves SOME data on every link.
+  EXPECT_GT(r.packets_delivered, 0);
+  EXPECT_GT(r.throughput_kbps, 5.0);
+}
+
+TEST_P(SchemeLinkSweep, DeterministicAcrossRuns) {
+  const ExperimentResult a = run(GetParam());
+  const ExperimentResult b = run(GetParam());
+  EXPECT_DOUBLE_EQ(a.throughput_kbps, b.throughput_kbps);
+  EXPECT_DOUBLE_EQ(a.delay95_ms, b.delay95_ms);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SchemeLinkSweep,
+    ::testing::Values(
+        Case{SchemeId::kSprout, "Verizon LTE", LinkDirection::kDownlink},
+        Case{SchemeId::kSprout, "Verizon 3G (1xEV-DO)", LinkDirection::kUplink},
+        Case{SchemeId::kSprout, "T-Mobile 3G (UMTS)", LinkDirection::kDownlink},
+        Case{SchemeId::kSproutEwma, "AT&T LTE", LinkDirection::kUplink},
+        Case{SchemeId::kSproutEwma, "Verizon 3G (1xEV-DO)",
+             LinkDirection::kDownlink},
+        Case{SchemeId::kCubic, "T-Mobile 3G (UMTS)", LinkDirection::kUplink},
+        Case{SchemeId::kCubicCodel, "Verizon LTE", LinkDirection::kUplink},
+        Case{SchemeId::kVegas, "AT&T LTE", LinkDirection::kDownlink},
+        Case{SchemeId::kCompound, "Verizon LTE", LinkDirection::kDownlink},
+        Case{SchemeId::kLedbat, "T-Mobile 3G (UMTS)",
+             LinkDirection::kDownlink},
+        Case{SchemeId::kSkype, "AT&T LTE", LinkDirection::kDownlink},
+        Case{SchemeId::kHangout, "Verizon LTE", LinkDirection::kDownlink},
+        Case{SchemeId::kFacetime, "T-Mobile 3G (UMTS)",
+             LinkDirection::kDownlink},
+        Case{SchemeId::kOmniscient, "Verizon 3G (1xEV-DO)",
+             LinkDirection::kDownlink},
+        // Extension schemes obey the same physics.
+        Case{SchemeId::kGcc, "Verizon LTE", LinkDirection::kDownlink},
+        Case{SchemeId::kGcc, "T-Mobile 3G (UMTS)", LinkDirection::kUplink},
+        Case{SchemeId::kFast, "AT&T LTE", LinkDirection::kDownlink},
+        Case{SchemeId::kCubicPie, "Verizon LTE", LinkDirection::kUplink},
+        Case{SchemeId::kSproutAdaptive, "Verizon LTE",
+             LinkDirection::kDownlink},
+        Case{SchemeId::kSproutMmpp, "AT&T LTE", LinkDirection::kUplink},
+        Case{SchemeId::kSproutEmpirical, "Verizon 3G (1xEV-DO)",
+             LinkDirection::kDownlink}),
+    case_name);
+
+// Seed robustness: the paper-shape conclusions must not hinge on one seed.
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, SproutBeatsCubicOnDelayForEverySeed) {
+  ExperimentConfig config;
+  config.link = find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  config.run_time = sec(45);
+  config.warmup = sec(15);
+  config.seed = GetParam();
+  config.scheme = SchemeId::kSprout;
+  const ExperimentResult sprout = run_experiment(config);
+  config.scheme = SchemeId::kCubic;
+  const ExperimentResult cubic = run_experiment(config);
+  EXPECT_LT(sprout.self_inflicted_delay_ms,
+            cubic.self_inflicted_delay_ms / 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 7u, 42u, 1337u, 99991u));
+
+// Every forecaster variant preserves the protocol's delay discipline: on
+// the same link and seed, no Sprout variant's self-inflicted delay comes
+// within a factor of 4 of Cubic's.
+class VariantSweep : public ::testing::TestWithParam<SchemeId> {};
+
+TEST_P(VariantSweep, KeepsDelayFarBelowCubic) {
+  ExperimentConfig config;
+  config.link = find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  config.run_time = sec(30);
+  config.warmup = sec(10);
+  config.scheme = GetParam();
+  const ExperimentResult variant = run_experiment(config);
+  config.scheme = SchemeId::kCubic;
+  const ExperimentResult cubic = run_experiment(config);
+  EXPECT_LT(variant.self_inflicted_delay_ms,
+            cubic.self_inflicted_delay_ms / 4.0)
+      << to_string(GetParam());
+  EXPECT_GT(variant.throughput_kbps, 5.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Forecasters, VariantSweep,
+    ::testing::Values(SchemeId::kSprout, SchemeId::kSproutEwma,
+                      SchemeId::kSproutAdaptive, SchemeId::kSproutMmpp,
+                      SchemeId::kSproutEmpirical),
+    [](const ::testing::TestParamInfo<SchemeId>& info) {
+      std::string s = to_string(info.param);
+      for (char& c : s) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return s;
+    });
+
+}  // namespace
+}  // namespace sprout

@@ -1,0 +1,213 @@
+#include "runner/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace sprout {
+namespace {
+
+ExperimentConfig quick(SchemeId scheme) {
+  ExperimentConfig c;
+  c.scheme = scheme;
+  c.link = find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  c.run_time = sec(40);
+  c.warmup = sec(10);
+  return c;
+}
+
+TEST(Schemes, NamesAreUnique) {
+  std::set<std::string> names;
+  for (SchemeId s : figure7_schemes()) names.insert(to_string(s));
+  EXPECT_EQ(names.size(), figure7_schemes().size());
+  EXPECT_EQ(to_string(SchemeId::kCubicCodel), "Cubic-CoDel");
+}
+
+TEST(Experiment, ResultsAreDeterministicForSeed) {
+  const ExperimentResult a = run_experiment(quick(SchemeId::kSprout));
+  const ExperimentResult b = run_experiment(quick(SchemeId::kSprout));
+  EXPECT_DOUBLE_EQ(a.throughput_kbps, b.throughput_kbps);
+  EXPECT_DOUBLE_EQ(a.delay95_ms, b.delay95_ms);
+}
+
+TEST(Experiment, MetricsAreInternallyConsistent) {
+  const ExperimentResult r = run_experiment(quick(SchemeId::kSprout));
+  EXPECT_GT(r.throughput_kbps, 0.0);
+  EXPECT_GT(r.capacity_kbps, r.throughput_kbps * 0.9);
+  EXPECT_NEAR(r.utilization, r.throughput_kbps / r.capacity_kbps, 1e-9);
+  EXPECT_GE(r.delay95_ms, r.omniscient_delay95_ms - 1e-6);
+  EXPECT_NEAR(r.self_inflicted_delay_ms,
+              r.delay95_ms - r.omniscient_delay95_ms, 1e-6);
+  EXPECT_GT(r.packets_delivered, 0);
+}
+
+TEST(Experiment, OmniscientSchemeHasZeroSelfInflictedDelay) {
+  const ExperimentResult r = run_experiment(quick(SchemeId::kOmniscient));
+  EXPECT_NEAR(r.self_inflicted_delay_ms, 0.0, 3.0);
+  EXPECT_GT(r.utilization, 0.97);
+}
+
+TEST(Experiment, SeriesCaptureProducesAlignedSeries) {
+  ExperimentConfig c = quick(SchemeId::kSproutEwma);
+  c.capture_series = true;
+  const ExperimentResult r = run_experiment(c);
+  EXPECT_FALSE(r.series.empty());
+  EXPECT_EQ(r.series.size(), r.capacity_series.size());
+  double series_sum = 0.0;
+  for (const SeriesPoint& p : r.series) series_sum += p.throughput_kbps;
+  EXPECT_GT(series_sum, 0.0);
+}
+
+TEST(Experiment, LossConfigReducesThroughput) {
+  ExperimentConfig clean = quick(SchemeId::kSprout);
+  ExperimentConfig lossy = clean;
+  lossy.loss_rate = 0.10;
+  const double t_clean = run_experiment(clean).throughput_kbps;
+  const double t_lossy = run_experiment(lossy).throughput_kbps;
+  EXPECT_LT(t_lossy, t_clean);
+  EXPECT_GT(t_lossy, 0.05 * t_clean);  // degraded, not dead (§5.6)
+}
+
+TEST(Experiment, ConfidenceSweepTradesDelayForThroughput) {
+  ExperimentConfig cautious = quick(SchemeId::kSprout);
+  cautious.link = find_link_preset("T-Mobile 3G (UMTS)", LinkDirection::kUplink);
+  ExperimentConfig aggressive = cautious;
+  aggressive.sprout_confidence = 5.0;
+  const ExperimentResult r95 = run_experiment(cautious);
+  const ExperimentResult r5 = run_experiment(aggressive);
+  // Figure 9: lower confidence => more throughput, more delay.
+  EXPECT_GE(r5.throughput_kbps, r95.throughput_kbps * 0.95);
+  EXPECT_GE(r5.delay95_ms, r95.delay95_ms * 0.8);
+}
+
+TEST(Experiment, UplinkAndDownlinkAreDistinct) {
+  ExperimentConfig down = quick(SchemeId::kCubic);
+  ExperimentConfig up = down;
+  up.link = find_link_preset("Verizon LTE", LinkDirection::kUplink);
+  const ExperimentResult rd = run_experiment(down);
+  const ExperimentResult ru = run_experiment(up);
+  EXPECT_NE(rd.capacity_kbps, ru.capacity_kbps);
+}
+
+// --- extension schemes (GCC / FAST / Cubic-PIE), evaluated end-to-end ---
+
+TEST(ExtensionSchemes, GccMovesTrafficWithBoundedDelay) {
+  const ExperimentResult r = run_experiment(quick(SchemeId::kGcc));
+  // GCC is reactive (delay-gradient): it should move real traffic but is
+  // expected to trail Sprout on both axes over a fast-varying link.
+  EXPECT_GT(r.throughput_kbps, 100.0);
+  EXPECT_LT(r.self_inflicted_delay_ms, 10'000.0);
+}
+
+TEST(ExtensionSchemes, GccTrailsSproutOnDelay) {
+  const ExperimentResult gcc = run_experiment(quick(SchemeId::kGcc));
+  const ExperimentResult sprout = run_experiment(quick(SchemeId::kSprout));
+  EXPECT_GT(gcc.self_inflicted_delay_ms, sprout.self_inflicted_delay_ms);
+}
+
+TEST(ExtensionSchemes, FastSaturatesTheLink) {
+  const ExperimentResult r = run_experiment(quick(SchemeId::kFast));
+  EXPECT_GT(r.utilization, 0.7);
+  // Delay-based: far below Cubic's tens of seconds.
+  EXPECT_LT(r.self_inflicted_delay_ms, 5'000.0);
+}
+
+TEST(ExtensionSchemes, PieControlsCubicDelayLikeCodel) {
+  const ExperimentResult cubic = run_experiment(quick(SchemeId::kCubic));
+  const ExperimentResult pie = run_experiment(quick(SchemeId::kCubicPie));
+  // In-network delay control: PIE must cut Cubic's delay by a large factor
+  // (the §5.4 story, with PIE standing in for CoDel).
+  EXPECT_LT(pie.self_inflicted_delay_ms, cubic.self_inflicted_delay_ms / 4.0);
+  EXPECT_GT(pie.throughput_kbps, cubic.throughput_kbps * 0.3);
+}
+
+TEST(ExtensionSchemes, AllExtensionSchemesAreDeterministic) {
+  for (const SchemeId s : extension_schemes()) {
+    ExperimentConfig c = quick(s);
+    c.run_time = sec(20);
+    c.warmup = sec(5);
+    const ExperimentResult a = run_experiment(c);
+    const ExperimentResult b = run_experiment(c);
+    EXPECT_DOUBLE_EQ(a.throughput_kbps, b.throughput_kbps)
+        << to_string(s);
+    EXPECT_DOUBLE_EQ(a.delay95_ms, b.delay95_ms) << to_string(s);
+  }
+}
+
+// --- §7 extension: multiple flows sharing one queue ---
+
+SharedQueueConfig shared_quick(SchemeId scheme, int flows) {
+  SharedQueueConfig c;
+  c.scheme = scheme;
+  c.num_flows = flows;
+  c.link = find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  c.run_time = sec(40);
+  c.warmup = sec(10);
+  return c;
+}
+
+TEST(SharedQueue, SingleFlowMatchesShapeOfDedicatedRun) {
+  const SharedQueueResult shared =
+      run_shared_queue(shared_quick(SchemeId::kSprout, 1));
+  ASSERT_EQ(shared.flow_throughput_kbps.size(), 1u);
+  EXPECT_GT(shared.flow_throughput_kbps[0], 100.0);
+  EXPECT_NEAR(shared.jain_index, 1.0, 1e-9);
+}
+
+TEST(SharedQueue, SymmetricSproutsShareFairly) {
+  const SharedQueueResult r =
+      run_shared_queue(shared_quick(SchemeId::kSprout, 4));
+  ASSERT_EQ(r.flow_throughput_kbps.size(), 4u);
+  for (const double tput : r.flow_throughput_kbps) EXPECT_GT(tput, 0.0);
+  EXPECT_GT(r.jain_index, 0.75);
+}
+
+TEST(SharedQueue, SproutsKeepDelayFarBelowCubics) {
+  const SharedQueueResult sprouts =
+      run_shared_queue(shared_quick(SchemeId::kSprout, 2));
+  const SharedQueueResult cubics =
+      run_shared_queue(shared_quick(SchemeId::kCubic, 2));
+  EXPECT_LT(sprouts.max_delay95_ms, cubics.max_delay95_ms / 4.0);
+}
+
+TEST(SharedQueue, AggregateNeverExceedsCapacity) {
+  for (const int n : {1, 2, 4}) {
+    const SharedQueueResult r =
+        run_shared_queue(shared_quick(SchemeId::kSproutEwma, n));
+    EXPECT_LE(r.aggregate_utilization, 1.02) << n << " flows";
+  }
+}
+
+TEST(SharedQueue, DeterministicForSeed) {
+  const SharedQueueResult a =
+      run_shared_queue(shared_quick(SchemeId::kSprout, 2));
+  const SharedQueueResult b =
+      run_shared_queue(shared_quick(SchemeId::kSprout, 2));
+  ASSERT_EQ(a.flow_throughput_kbps.size(), b.flow_throughput_kbps.size());
+  for (std::size_t i = 0; i < a.flow_throughput_kbps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flow_throughput_kbps[i], b.flow_throughput_kbps[i]);
+  }
+}
+
+TEST(SharedQueue, RejectsInvalidConfigs) {
+  EXPECT_THROW(run_shared_queue(shared_quick(SchemeId::kSprout, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(run_shared_queue(shared_quick(SchemeId::kOmniscient, 2)),
+               std::invalid_argument);
+}
+
+TEST(TunnelContention, RunsBothModes) {
+  TunnelContentionConfig direct;
+  direct.run_time = sec(40);
+  direct.warmup = sec(10);
+  const TunnelContentionResult d = run_tunnel_contention(direct);
+  EXPECT_GT(d.cubic_throughput_kbps, 0.0);
+  EXPECT_GT(d.skype_throughput_kbps, 0.0);
+
+  TunnelContentionConfig tunneled = direct;
+  tunneled.via_tunnel = true;
+  const TunnelContentionResult t = run_tunnel_contention(tunneled);
+  EXPECT_GT(t.cubic_throughput_kbps, 0.0);
+  EXPECT_GT(t.skype_throughput_kbps, 0.0);
+}
+
+}  // namespace
+}  // namespace sprout

@@ -1,0 +1,126 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/packet.h"
+#include "sim/relay.h"
+
+namespace sprout {
+namespace {
+
+TEST(Simulator, StartsAtEpoch) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), TimePoint{});
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(TimePoint{} + msec(30), [&] { order.push_back(3); });
+  sim.at(TimePoint{} + msec(10), [&] { order.push_back(1); });
+  sim.at(TimePoint{} + msec(20), [&] { order.push_back(2); });
+  sim.run_until(TimePoint{} + msec(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SameTimeEventsFireFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  const TimePoint t = TimePoint{} + msec(5);
+  for (int i = 0; i < 10; ++i) {
+    sim.at(t, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until(t);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  Simulator sim;
+  sim.run_until(TimePoint{} + sec(5));
+  EXPECT_EQ(sim.now(), TimePoint{} + sec(5));
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsPending) {
+  Simulator sim;
+  bool fired = false;
+  sim.at(TimePoint{} + sec(2), [&] { fired = true; });
+  sim.run_until(TimePoint{} + sec(1));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_until(TimePoint{} + sec(2));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) sim.after(msec(10), chain);
+  };
+  sim.after(msec(10), chain);
+  sim.run_until(TimePoint{} + sec(1));
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.events_processed(), 5u);
+}
+
+TEST(Simulator, ClockIsEventTimeDuringCallback) {
+  Simulator sim;
+  TimePoint seen{};
+  sim.at(TimePoint{} + msec(42), [&] { seen = sim.now(); });
+  sim.run_until(TimePoint{} + sec(1));
+  EXPECT_EQ(seen, TimePoint{} + msec(42));
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(RelaySink, ForwardsOnceTargeted) {
+  Simulator sim;
+  RelaySink relay;
+  Packet p;
+  p.size = 100;
+  relay.receive(std::move(p));  // no target yet
+  EXPECT_EQ(relay.dropped(), 1);
+
+  struct Counter : PacketSink {
+    int n = 0;
+    void receive(Packet&&) override { ++n; }
+  } counter;
+  relay.set_target(counter);
+  Packet q;
+  q.size = 100;
+  relay.receive(std::move(q));
+  EXPECT_EQ(counter.n, 1);
+  EXPECT_EQ(relay.dropped(), 1);
+}
+
+TEST(DemuxSink, RoutesByFlowId) {
+  struct Counter : PacketSink {
+    int n = 0;
+    void receive(Packet&&) override { ++n; }
+  } a, b;
+  DemuxSink demux;
+  demux.route(1, a);
+  demux.route(2, b);
+  for (int i = 0; i < 3; ++i) {
+    Packet p;
+    p.flow_id = i % 2 == 0 ? 1 : 2;
+    p.size = 10;
+    demux.receive(std::move(p));
+  }
+  Packet stray;
+  stray.flow_id = 99;
+  stray.size = 10;
+  demux.receive(std::move(stray));
+  EXPECT_EQ(a.n, 2);
+  EXPECT_EQ(b.n, 1);
+  EXPECT_EQ(demux.unrouted(), 1);
+}
+
+}  // namespace
+}  // namespace sprout

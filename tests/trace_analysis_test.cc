@@ -1,0 +1,175 @@
+// Unit tests for trace/analysis.h (trace statistics) and
+// trace/packet_pair.h (the §3.1 packet-pair roadblock).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/analysis.h"
+#include "trace/packet_pair.h"
+#include "trace/presets.h"
+#include "trace/synthetic.h"
+#include "util/rng.h"
+
+namespace sprout {
+namespace {
+
+// An isochronous trace: one opportunity every `gap_ms`, for `seconds`.
+Trace isochronous(std::int64_t gap_ms, int seconds) {
+  std::vector<TimePoint> opp;
+  for (std::int64_t t = 0; t < seconds * 1000; t += gap_ms) {
+    opp.push_back(TimePoint{} + msec(t));
+  }
+  return Trace(std::move(opp), sec(seconds));
+}
+
+// A saturated Poisson trace at `rate_pps`.
+Trace poisson_trace(double rate_pps, int seconds, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TimePoint> opp;
+  double t = 0.0;
+  while (t < seconds) {
+    t += rng.exponential(rate_pps);
+    if (t < seconds) opp.push_back(TimePoint{} + from_seconds(t));
+  }
+  return Trace(std::move(opp), sec(seconds));
+}
+
+// --------------------------------------------------------------- analysis
+
+TEST(WindowedRate, ConstantLinkIsFlat) {
+  // 10 ms gaps = 100 pkt/s = 1200 kbit/s.
+  const Trace t = isochronous(10, 10);
+  const auto series = windowed_rate(t, sec(1));
+  ASSERT_EQ(series.size(), 10u);
+  for (const RatePoint& p : series) EXPECT_NEAR(p.rate_kbps, 1200.0, 15.0);
+}
+
+TEST(WindowedRate, EmptyTraceYieldsNothing) {
+  EXPECT_TRUE(windowed_rate(Trace{}, sec(1)).empty());
+}
+
+TEST(FindOutages, DetectsInjectedGap) {
+  std::vector<TimePoint> opp;
+  for (int t = 0; t < 1000; t += 10) opp.push_back(TimePoint{} + msec(t));
+  // 3-second hole.
+  for (int t = 4000; t < 5000; t += 10) opp.push_back(TimePoint{} + msec(t));
+  const Trace trace(std::move(opp), sec(5));
+  const auto outages = find_outages(trace, sec(1));
+  ASSERT_EQ(outages.size(), 1u);
+  EXPECT_EQ(outages[0].start, TimePoint{} + msec(990));
+  EXPECT_EQ(outages[0].duration, msec(3010));
+}
+
+TEST(FindOutages, CleanLinkHasNone) {
+  EXPECT_TRUE(find_outages(isochronous(10, 10), msec(100)).empty());
+}
+
+TEST(InterarrivalSummary, IsochronousLink) {
+  const InterarrivalSummary s = summarize_interarrivals(isochronous(10, 10));
+  EXPECT_NEAR(s.mean_ms, 10.0, 0.1);
+  EXPECT_NEAR(s.p50_ms, 10.0, 0.1);
+  EXPECT_DOUBLE_EQ(s.fraction_within_20ms, 1.0);
+  EXPECT_DOUBLE_EQ(s.tail_exponent, 0.0);  // no tail to fit
+}
+
+TEST(InterarrivalSummary, SyntheticCellularMatchesFigure2Shape) {
+  const LinkPreset& preset =
+      find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  const Trace t = preset_trace(preset, sec(300));
+  const InterarrivalSummary s = summarize_interarrivals(t);
+  // The paper: 99.99% of interarrivals within 20 ms, heavy tail beyond,
+  // power-law decay.  Our generator reproduces the shape.
+  EXPECT_GT(s.fraction_within_20ms, 0.99);
+  EXPECT_GT(s.max_ms, 200.0);
+  EXPECT_LT(s.tail_exponent, -1.0);
+}
+
+TEST(RateAutocorrelation, LagZeroIsOneAndDecays) {
+  const LinkPreset& preset =
+      find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  const Trace t = preset_trace(preset, sec(120));
+  const auto acf = rate_autocorrelation(t, msec(200), 30);
+  ASSERT_GE(acf.size(), 31u);
+  EXPECT_NEAR(acf[0], 1.0, 1e-9);
+  // Rate knowledge decays: far lags correlate less than near lags.
+  EXPECT_LT(acf[30], acf[1]);
+  EXPECT_GT(acf[1], 0.2);  // but is not white noise either
+}
+
+TEST(RateDynamicRange, CapturesOrderOfMagnitudeVariability) {
+  EXPECT_NEAR(rate_dynamic_range(isochronous(10, 10), sec(1)), 1.0, 0.1);
+  const LinkPreset& preset =
+      find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  const Trace t = preset_trace(preset, sec(300));
+  // §2.2: "capacity varied up and down by almost an order of magnitude".
+  EXPECT_GT(rate_dynamic_range(t, sec(1)), 3.0);
+}
+
+// ------------------------------------------------------------ packet-pair
+
+TEST(PacketPair, ExactOnIsochronousLink) {
+  const Trace t = isochronous(10, 10);
+  const auto est = packet_pair_estimates(t);
+  ASSERT_FALSE(est.empty());
+  const EstimatorQuality q = evaluate_estimates(est, 1200.0);
+  EXPECT_NEAR(q.mean_kbps, 1200.0, 1.0);
+  EXPECT_LT(q.cov, 0.01);
+  EXPECT_GT(q.fraction_within_25pct, 0.999);
+}
+
+TEST(PacketPair, PoissonLinkEstimatesScatterAcrossAnOrderOfMagnitude) {
+  // 500 pkt/s Poisson = 6000 kbit/s true rate.  With exponential gaps the
+  // estimate MTU/gap has closed-form percentiles: p10 = truth/ln(10) ≈
+  // 0.434·truth and p90 = truth/ln(10/9) ≈ 9.49·truth — a 22x spread.
+  // (1/gap has infinite moments, so the sample CoV is large and unstable;
+  // the percentiles are the robust statement of the §3.1 roadblock.)
+  const Trace t = poisson_trace(500.0, 60, 9);
+  const auto est = packet_pair_estimates(t);
+  const EstimatorQuality q = evaluate_estimates(est, 6000.0);
+  EXPECT_LT(q.fraction_within_25pct, 0.35);
+  EXPECT_NEAR(q.p10_kbps, 6000.0 / std::log(10.0), 300.0);
+  EXPECT_NEAR(q.p90_kbps, 6000.0 / std::log(10.0 / 9.0), 3000.0);
+  EXPECT_GT(q.p90_kbps / q.p10_kbps, 10.0);
+  EXPECT_GT(q.cov, 1.0);
+}
+
+TEST(PacketPair, MedianSmoothingHelpsButStaysBiased) {
+  const Trace t = poisson_trace(500.0, 60, 10);
+  const auto raw = packet_pair_estimates(t);
+  const auto smoothed = packet_pair_median_of(raw, 9);
+  const EstimatorQuality q_raw = evaluate_estimates(raw, 6000.0);
+  const EstimatorQuality q_med = evaluate_estimates(smoothed, 6000.0);
+  EXPECT_LT(q_med.cov, q_raw.cov);
+  // The median of 1/Exponential estimates the rate with a known bias
+  // (median of gap is ln2/λ, so median estimate is λ/ln2 ≈ 1.44λ).
+  EXPECT_GT(q_med.mean_kbps, 1.2 * 6000.0);
+}
+
+TEST(PacketPair, SyntheticCellularIsWorseThanPurePoisson) {
+  const LinkPreset& preset =
+      find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  const Trace cell = preset_trace(preset, sec(120));
+  const double true_rate = cell.average_rate_kbps();
+  const EstimatorQuality q =
+      evaluate_estimates(packet_pair_estimates(cell), true_rate);
+  // Rate variation on top of Poisson noise: even fewer estimates land
+  // near the average rate.
+  EXPECT_LT(q.fraction_within_25pct, 0.35);
+}
+
+TEST(PacketPair, MedianGroupingEdgeCases) {
+  EXPECT_TRUE(packet_pair_median_of({1.0, 2.0}, 0).empty());
+  EXPECT_TRUE(packet_pair_median_of({}, 3).empty());
+  const auto one = packet_pair_median_of({5.0, 1.0, 9.0}, 3);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 5.0);
+}
+
+TEST(EvaluateEstimates, EmptyInputIsZeroed) {
+  const EstimatorQuality q = evaluate_estimates({}, 100.0);
+  EXPECT_EQ(q.mean_kbps, 0.0);
+  EXPECT_EQ(q.cov, 0.0);
+}
+
+}  // namespace
+}  // namespace sprout

@@ -1,0 +1,102 @@
+#include "trace/saturator.h"
+
+#include <gtest/gtest.h>
+
+namespace sprout {
+namespace {
+
+CellProcessParams lte_like() {
+  CellProcessParams p;
+  p.mean_rate_pps = 300.0;
+  p.max_rate_pps = 600.0;
+  p.volatility_pps = 100.0;
+  p.outage_hazard_per_s = 1.0 / 60.0;
+  return p;
+}
+
+TEST(GroundTruthLink, DeliversQueuedPackets) {
+  Simulator sim;
+  struct Counter : PacketSink {
+    int n = 0;
+    void receive(Packet&&) override { ++n; }
+  } sink;
+  int recorded = 0;
+  CellProcessParams p;
+  p.mean_rate_pps = 500.0;
+  p.max_rate_pps = 1000.0;
+  p.volatility_pps = 0.0;
+  p.outage_hazard_per_s = 0.0;
+  GroundTruthLink link(sim, p, 1, sink, [&](TimePoint) { ++recorded; });
+  for (int i = 0; i < 100; ++i) {
+    Packet pkt;
+    pkt.size = kMtuBytes;
+    link.receive(std::move(pkt));
+  }
+  sim.run_until(TimePoint{} + sec(1));
+  // 100 packets at 500 pps should all drain within a second.
+  EXPECT_EQ(sink.n, 100);
+  EXPECT_EQ(recorded, 100);
+  EXPECT_EQ(link.queue_packets(), 0u);
+}
+
+TEST(GroundTruthLink, WastesOpportunitiesWhenIdle) {
+  Simulator sim;
+  struct Counter : PacketSink {
+    int n = 0;
+    void receive(Packet&&) override { ++n; }
+  } sink;
+  int recorded = 0;
+  CellProcessParams p;
+  p.mean_rate_pps = 500.0;
+  p.max_rate_pps = 1000.0;
+  p.volatility_pps = 0.0;
+  p.outage_hazard_per_s = 0.0;
+  GroundTruthLink link(sim, p, 1, sink, [&](TimePoint) { ++recorded; });
+  sim.run_until(TimePoint{} + sec(1));
+  // Nothing enqueued: nothing delivered, nothing recorded.
+  EXPECT_EQ(sink.n, 0);
+  EXPECT_EQ(recorded, 0);
+}
+
+TEST(Saturator, KeepsRttInBand) {
+  SaturatorConfig config;
+  config.run_time = sec(120);
+  const SaturatorResult r = run_saturator(lte_like(), config, 21);
+  // After convergence the paper's band is [750, 3000] ms; the time-average
+  // should sit inside it and most acks should be in-band.
+  EXPECT_GT(r.mean_rtt_ms, 500.0);
+  EXPECT_LT(r.mean_rtt_ms, 3500.0);
+  EXPECT_GT(r.fraction_rtt_in_band, 0.5);
+}
+
+TEST(Saturator, RecoveredTraceMatchesLinkRate) {
+  SaturatorConfig config;
+  config.run_time = sec(120);
+  const CellProcessParams p = lte_like();
+  const SaturatorResult r = run_saturator(p, config, 22);
+  // The saturated recording IS the ground truth of deliverable rate:
+  // 300 pps * 12 = 3600 kbps nominal, modulo outages and volatility.
+  EXPECT_GT(r.observed_rate_kbps, 0.5 * p.mean_rate_pps * 12.0);
+  EXPECT_LT(r.observed_rate_kbps, 1.3 * p.mean_rate_pps * 12.0);
+  EXPECT_GT(r.trace.size(), 1000u);
+}
+
+TEST(Saturator, WindowGrowsUntilBacklogged) {
+  // Deterministic steady link so the final window is not at the mercy of a
+  // just-ended outage.
+  CellProcessParams steady;
+  steady.mean_rate_pps = 300.0;
+  steady.max_rate_pps = 600.0;
+  steady.volatility_pps = 0.0;
+  steady.outage_hazard_per_s = 0.0;
+  SaturatorConfig config;
+  config.run_time = sec(60);
+  config.initial_window = 2;
+  const SaturatorResult r = run_saturator(steady, config, 23);
+  // 750 ms of queueing at 300 pps needs a window of hundreds of packets.
+  EXPECT_GT(r.final_window, 50);
+  EXPECT_GT(r.mean_rtt_ms, 300.0);
+}
+
+}  // namespace
+}  // namespace sprout

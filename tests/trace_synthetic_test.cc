@@ -1,0 +1,157 @@
+#include "trace/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/presets.h"
+
+namespace sprout {
+namespace {
+
+CellProcessParams steady(double pps) {
+  CellProcessParams p;
+  p.mean_rate_pps = pps;
+  p.max_rate_pps = pps * 2;
+  p.volatility_pps = 0.0;
+  p.outage_hazard_per_s = 0.0;
+  return p;
+}
+
+TEST(CellRateProcess, SteadyProcessHoldsMean) {
+  CellRateProcess proc(steady(100.0), 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(proc.advance(), 100.0);
+  }
+}
+
+TEST(CellRateProcess, StaysWithinBounds) {
+  CellProcessParams p;
+  p.mean_rate_pps = 300.0;
+  p.max_rate_pps = 500.0;
+  p.volatility_pps = 400.0;  // violent
+  p.outage_hazard_per_s = 0.0;
+  CellRateProcess proc(p, 7);
+  for (int i = 0; i < 20000; ++i) {
+    const double r = proc.advance();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 500.0);
+  }
+}
+
+TEST(CellRateProcess, MeanReversionKeepsLongRunAverage) {
+  CellProcessParams p;
+  p.mean_rate_pps = 200.0;
+  p.max_rate_pps = 1000.0;
+  p.volatility_pps = 100.0;
+  p.reversion_per_s = 0.5;
+  p.outage_hazard_per_s = 0.0;
+  CellRateProcess proc(p, 11);
+  double sum = 0.0;
+  const int steps = 100000;  // 2000 simulated seconds
+  for (int i = 0; i < steps; ++i) sum += proc.advance();
+  EXPECT_NEAR(sum / steps, 200.0, 40.0);
+}
+
+TEST(CellRateProcess, OutagesHappenAndEnd) {
+  CellProcessParams p;
+  p.mean_rate_pps = 200.0;
+  p.max_rate_pps = 400.0;
+  p.volatility_pps = 50.0;
+  p.outage_hazard_per_s = 0.5;  // frequent for the test
+  p.outage_min_s = 0.1;
+  CellRateProcess proc(p, 3);
+  int outage_steps = 0;
+  int transitions = 0;
+  bool prev = false;
+  for (int i = 0; i < 50000; ++i) {
+    proc.advance();
+    if (proc.in_outage()) ++outage_steps;
+    if (proc.in_outage() != prev) ++transitions;
+    prev = proc.in_outage();
+  }
+  EXPECT_GT(outage_steps, 0);
+  EXPECT_GT(transitions, 10);        // enters AND leaves repeatedly
+  EXPECT_LT(outage_steps, 50000);    // not permanently dead
+}
+
+TEST(GenerateTrace, DeterministicForSeed) {
+  const CellProcessParams p = steady(150.0);
+  const Trace a = generate_trace(p, sec(10), 42);
+  const Trace b = generate_trace(p, sec(10), 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.opportunities()[i], b.opportunities()[i]);
+  }
+  const Trace c = generate_trace(p, sec(10), 43);
+  EXPECT_NE(a.size(), c.size());
+}
+
+TEST(GenerateTrace, RateMatchesProcess) {
+  const Trace t = generate_trace(steady(250.0), sec(60), 5);
+  // 250 pps * 12 kbit = 3000 kbps; Poisson noise over 60 s is ~±2%.
+  EXPECT_NEAR(t.average_rate_kbps(), 3000.0, 150.0);
+}
+
+TEST(GenerateTrace, SortedAndWithinDuration) {
+  const Trace t = generate_trace(steady(100.0), sec(5), 9);
+  TimePoint prev{};
+  for (const TimePoint& o : t.opportunities()) {
+    EXPECT_GE(o, prev);
+    EXPECT_LE(o, TimePoint{} + sec(5));
+    prev = o;
+  }
+}
+
+TEST(GenerateTrace, NeverEmpty) {
+  CellProcessParams p = steady(0.001);  // essentially silent
+  const Trace t = generate_trace(p, sec(1), 2);
+  EXPECT_FALSE(t.empty());
+}
+
+TEST(Presets, AllEightLinksExist) {
+  const auto& presets = all_link_presets();
+  ASSERT_EQ(presets.size(), 8u);
+  int down = 0, up = 0;
+  for (const LinkPreset& p : presets) {
+    if (p.direction == LinkDirection::kDownlink) ++down;
+    if (p.direction == LinkDirection::kUplink) ++up;
+  }
+  EXPECT_EQ(down, 4);
+  EXPECT_EQ(up, 4);
+}
+
+TEST(Presets, LookupByNameAndDirection) {
+  const LinkPreset& p =
+      find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  EXPECT_EQ(p.name(), "Verizon LTE downlink");
+  EXPECT_THROW((void)find_link_preset("Nonexistent", LinkDirection::kUplink),
+               std::out_of_range);
+}
+
+TEST(Presets, TraceRatesMatchNetworkScale) {
+  // LTE downlink should be several times faster than 3G downlink.
+  const Trace lte = preset_trace(
+      find_link_preset("Verizon LTE", LinkDirection::kDownlink), sec(120));
+  const Trace evdo = preset_trace(
+      find_link_preset("Verizon 3G (1xEV-DO)", LinkDirection::kDownlink),
+      sec(120));
+  EXPECT_GT(lte.average_rate_kbps(), 3.0 * evdo.average_rate_kbps());
+  EXPECT_GT(evdo.average_rate_kbps(), 100.0);
+}
+
+class PresetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PresetSweep, TraceIsUsable) {
+  const LinkPreset& p = all_link_presets()[static_cast<std::size_t>(GetParam())];
+  const Trace t = preset_trace(p, sec(30));
+  EXPECT_GT(t.size(), 100u);
+  // Mean rate within a factor of two of the configured target (the process
+  // is stochastic with outages, so only a loose check is meaningful).
+  const double expected_kbps = p.params.mean_rate_pps * 12.0;
+  EXPECT_GT(t.average_rate_kbps(), expected_kbps * 0.5);
+  EXPECT_LT(t.average_rate_kbps(), expected_kbps * 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLinks, PresetSweep, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace sprout

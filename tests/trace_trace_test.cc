@@ -1,0 +1,111 @@
+#include "trace/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace sprout {
+namespace {
+
+Trace make_trace(std::initializer_list<std::int64_t> ms, std::int64_t dur_ms) {
+  std::vector<TimePoint> opp;
+  for (std::int64_t m : ms) opp.push_back(TimePoint{} + msec(m));
+  return Trace{std::move(opp), msec(dur_ms)};
+}
+
+TEST(Trace, BasicAccessors) {
+  const Trace t = make_trace({10, 20, 50}, 100);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_EQ(t.duration(), msec(100));
+}
+
+TEST(Trace, AverageRate) {
+  // 3 MTU in 100 ms = 30 MTU/s = 30*12000 bits/s = 360 kbps.
+  const Trace t = make_trace({10, 20, 50}, 100);
+  EXPECT_NEAR(t.average_rate_kbps(), 360.0, 1e-9);
+}
+
+TEST(Trace, OpportunityWrapsAround) {
+  const Trace t = make_trace({10, 20, 50}, 100);
+  EXPECT_EQ(t.opportunity(0), TimePoint{} + msec(10));
+  EXPECT_EQ(t.opportunity(2), TimePoint{} + msec(50));
+  // Second period: shifted by the duration.
+  EXPECT_EQ(t.opportunity(3), TimePoint{} + msec(110));
+  EXPECT_EQ(t.opportunity(5), TimePoint{} + msec(150));
+  EXPECT_EQ(t.opportunity(7), TimePoint{} + msec(220));
+}
+
+TEST(Trace, DeliverableBytesWithinOnePeriod) {
+  const Trace t = make_trace({10, 20, 50}, 100);
+  EXPECT_EQ(t.deliverable_bytes(TimePoint{}, TimePoint{} + msec(100)),
+            3 * kMtuBytes);
+  EXPECT_EQ(t.deliverable_bytes(TimePoint{} + msec(15), TimePoint{} + msec(30)),
+            1 * kMtuBytes);
+  EXPECT_EQ(t.deliverable_bytes(TimePoint{} + msec(60), TimePoint{} + msec(90)),
+            0);
+}
+
+TEST(Trace, DeliverableBytesAcrossPeriods) {
+  const Trace t = make_trace({10, 20, 50}, 100);
+  // Two full periods.
+  EXPECT_EQ(t.deliverable_bytes(TimePoint{}, TimePoint{} + msec(200)),
+            6 * kMtuBytes);
+  // From 60 ms to 130 ms: nothing in [60,100), then 10,20 of next period.
+  EXPECT_EQ(t.deliverable_bytes(TimePoint{} + msec(60), TimePoint{} + msec(130)),
+            2 * kMtuBytes);
+}
+
+TEST(Trace, Interarrivals) {
+  const Trace t = make_trace({10, 20, 50}, 100);
+  const auto gaps = t.interarrivals();
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_EQ(gaps[0], msec(10));
+  EXPECT_EQ(gaps[1], msec(30));
+}
+
+TEST(TraceFile, RoundTrip) {
+  const Trace t = make_trace({0, 3, 3, 7, 1500}, 1501);
+  const std::string path = ::testing::TempDir() + "/trace_roundtrip.txt";
+  write_trace_file(t, path);
+  const Trace back = read_trace_file(path);
+  ASSERT_EQ(back.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_EQ(back.opportunities()[i], t.opportunities()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, RepeatedTimestampsAreMultipleOpportunities) {
+  const std::string path = ::testing::TempDir() + "/trace_repeat.txt";
+  {
+    std::ofstream out(path);
+    out << "5\n5\n5\n9\n";
+  }
+  const Trace t = read_trace_file(path);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.opportunities()[0], t.opportunities()[2]);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsUnsortedInput) {
+  const std::string path = ::testing::TempDir() + "/trace_unsorted.txt";
+  {
+    std::ofstream out(path);
+    out << "10\n5\n";
+  }
+  EXPECT_THROW(read_trace_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, RejectsMissingAndEmpty) {
+  EXPECT_THROW(read_trace_file("/nonexistent/trace.txt"), std::runtime_error);
+  const std::string path = ::testing::TempDir() + "/trace_empty.txt";
+  { std::ofstream out(path); }
+  EXPECT_THROW(read_trace_file(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sprout

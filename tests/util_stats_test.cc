@@ -1,0 +1,181 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sprout {
+namespace {
+
+TEST(RunningStats, Basics) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(PercentileEstimator, ExactOnSmallSets) {
+  PercentileEstimator p;
+  for (double x : {10.0, 20.0, 30.0, 40.0, 50.0}) p.add(x);
+  EXPECT_DOUBLE_EQ(p.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.percentile(50.0), 30.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100.0), 50.0);
+  EXPECT_DOUBLE_EQ(p.percentile(25.0), 20.0);
+}
+
+TEST(PercentileEstimator, InterpolatesBetweenRanks) {
+  PercentileEstimator p;
+  p.add(0.0);
+  p.add(10.0);
+  EXPECT_DOUBLE_EQ(p.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(p.percentile(75.0), 7.5);
+}
+
+TEST(PercentileEstimator, AddAfterQueryResorts) {
+  PercentileEstimator p;
+  p.add(1.0);
+  p.add(3.0);
+  EXPECT_DOUBLE_EQ(p.median(), 2.0);
+  p.add(100.0);
+  EXPECT_DOUBLE_EQ(p.median(), 3.0);
+}
+
+TEST(RampFunctionPercentile, SingleRamp) {
+  RampFunctionPercentile f;
+  // Value rises from 0 to 10 over 10 seconds: percentile p is p/10.
+  f.add_ramp(0.0, 10.0);
+  EXPECT_NEAR(f.percentile(50.0), 5.0, 1e-6);
+  EXPECT_NEAR(f.percentile(95.0), 9.5, 1e-6);
+  EXPECT_NEAR(f.mean(), 5.0, 1e-9);
+}
+
+TEST(RampFunctionPercentile, TwoRampsWeightedByDuration) {
+  RampFunctionPercentile f;
+  f.add_ramp(0.0, 1.0);   // values [0,1) for 1s
+  f.add_ramp(10.0, 3.0);  // values [10,13) for 3s
+  // 25% of time below 1.0; median falls inside the second ramp.
+  EXPECT_NEAR(f.percentile(25.0), 1.0, 1e-5);
+  EXPECT_NEAR(f.percentile(50.0), 11.0, 1e-5);
+  EXPECT_NEAR(f.percentile(100.0), 13.0, 1e-4);
+  EXPECT_NEAR(f.mean(), (0.5 * 1.0 + 11.5 * 3.0) / 4.0, 1e-9);
+}
+
+TEST(RampFunctionPercentile, IgnoresEmptyRamps) {
+  RampFunctionPercentile f;
+  f.add_ramp(5.0, 0.0);
+  f.add_ramp(5.0, -1.0);
+  EXPECT_TRUE(f.empty());
+  EXPECT_DOUBLE_EQ(f.percentile(95.0), 0.0);
+}
+
+TEST(RampFunctionPercentile, MatchesSampledReference) {
+  // Compare the exact computation against brute-force sampling.
+  RampFunctionPercentile f;
+  PercentileEstimator sampled;
+  Rng rng(7);
+  double starts[] = {0.02, 0.5, 0.1, 2.0, 0.04};
+  double lens[] = {0.3, 1.2, 0.08, 4.0, 0.9};
+  for (int i = 0; i < 5; ++i) {
+    f.add_ramp(starts[i], lens[i]);
+    const int samples = static_cast<int>(lens[i] * 10000);
+    for (int s = 0; s < samples; ++s) {
+      sampled.add(starts[i] + rng.uniform() * lens[i]);
+    }
+  }
+  for (double p : {5.0, 50.0, 95.0}) {
+    EXPECT_NEAR(f.percentile(p), sampled.percentile(p), 0.05) << "p " << p;
+  }
+}
+
+TEST(LogHistogram, BinsAndPercents) {
+  LogHistogram h(1.0, 1000.0, 3);  // decades: [1,10), [10,100), [100,1000)
+  h.add(2.0);
+  h.add(5.0);
+  h.add(50.0);
+  h.add(500.0);
+  EXPECT_EQ(h.total(), 4);
+  EXPECT_EQ(h.count(0), 2);
+  EXPECT_EQ(h.count(1), 1);
+  EXPECT_EQ(h.count(2), 1);
+  EXPECT_DOUBLE_EQ(h.percent(0), 50.0);
+  EXPECT_NEAR(h.bin_lo(1), 10.0, 1e-9);
+  EXPECT_NEAR(h.bin_hi(1), 100.0, 1e-9);
+  EXPECT_NEAR(h.bin_center(1), std::sqrt(10.0 * 100.0), 1e-6);
+}
+
+TEST(LogHistogram, OutOfRangeCountsTowardTotalOnly) {
+  LogHistogram h(1.0, 10.0, 2);
+  h.add(0.5);
+  h.add(20.0);
+  h.add(2.0);
+  EXPECT_EQ(h.total(), 3);
+  EXPECT_EQ(h.count(0) + h.count(1), 1);
+}
+
+TEST(PowerLawFit, RecoversKnownExponent) {
+  // y = 3 x^-2.5 exactly.
+  std::vector<double> x, y;
+  for (double v = 1.0; v < 100.0; v *= 1.5) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, -2.5));
+  }
+  const PowerLawFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.slope, -2.5, 1e-9);
+  EXPECT_NEAR(std::pow(10.0, fit.intercept), 3.0, 1e-6);
+}
+
+TEST(PowerLawFit, IgnoresNonPositivePoints) {
+  std::vector<double> x = {1.0, 0.0, 10.0, -5.0, 100.0};
+  std::vector<double> y = {1.0, 5.0, 0.1, 2.0, 0.01};
+  const PowerLawFit fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.slope, -1.0, 1e-9);
+}
+
+TEST(PowerLawFit, DegenerateInputsReturnZero) {
+  std::vector<double> x = {1.0};
+  std::vector<double> y = {2.0};
+  const PowerLawFit fit = fit_power_law(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+TEST(JainFairness, EqualSharesScoreOne) {
+  EXPECT_DOUBLE_EQ(jain_fairness({5.0, 5.0, 5.0, 5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({1.0}), 1.0);
+}
+
+TEST(JainFairness, MonopolyScoresOneOverN) {
+  EXPECT_DOUBLE_EQ(jain_fairness({10.0, 0.0, 0.0, 0.0}), 0.25);
+}
+
+TEST(JainFairness, IsScaleInvariant) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b;
+  for (const double v : a) b.push_back(1000.0 * v);
+  EXPECT_NEAR(jain_fairness(a), jain_fairness(b), 1e-12);
+}
+
+TEST(JainFairness, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0.0, 0.0}), 1.0);
+}
+
+TEST(JainFairness, OrderIndependent) {
+  EXPECT_DOUBLE_EQ(jain_fairness({1.0, 9.0}), jain_fairness({9.0, 1.0}));
+  // Two-flow 1:9 split: (10)^2 / (2 * 82) = 100/164.
+  EXPECT_NEAR(jain_fairness({1.0, 9.0}), 100.0 / 164.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sprout

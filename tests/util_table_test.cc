@@ -1,0 +1,48 @@
+#include "util/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace sprout {
+namespace {
+
+TEST(TableWriter, AlignsColumns) {
+  TableWriter t({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 1);
+  t.row().cell("b").cell(22.25, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("22.25"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableWriter, TsvRoundTrip) {
+  TableWriter t({"a", "b", "c"});
+  t.row().cell(std::int64_t{1}).cell(std::int64_t{2}).cell(std::int64_t{3});
+  std::ostringstream os;
+  t.write_tsv(os);
+  EXPECT_EQ(os.str(), "a\tb\tc\n1\t2\t3\n");
+}
+
+TEST(TableWriter, ShortRowsPadWithEmpty) {
+  TableWriter t({"x", "y"});
+  t.row().cell("only");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(2.0, 0), "2");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace sprout
