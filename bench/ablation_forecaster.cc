@@ -18,25 +18,37 @@ int main() {
 
   std::cout << "=== §7 ablation: alternative stochastic forecasters ===\n\n";
 
+  // links x forecaster variants as one parallel sweep.
+  std::vector<const LinkPreset*> links;
   for (const char* network : {"Verizon LTE", "T-Mobile 3G (UMTS)"}) {
     for (const LinkDirection dir :
          {LinkDirection::kDownlink, LinkDirection::kUplink}) {
-      const LinkPreset& link = find_link_preset(network, dir);
-      std::cout << "--- " << link.name() << " ---\n";
-      TableWriter t({"Forecaster", "Throughput (kbps)",
-                     "Self-inflicted delay (ms)", "Utilization"});
-      for (const SchemeId s : forecaster_schemes()) {
-        const ExperimentResult r =
-            run_experiment(bench::base_config(s, link));
-        t.row()
-            .cell(to_string(s))
-            .cell(r.throughput_kbps, 0)
-            .cell(r.self_inflicted_delay_ms, 0)
-            .cell(r.utilization, 2);
-      }
-      t.print(std::cout);
-      std::cout << "\n";
+      links.push_back(&find_link_preset(network, dir));
     }
+  }
+  std::vector<ScenarioSpec> specs;
+  for (const LinkPreset* link : links) {
+    for (const SchemeId s : forecaster_schemes()) {
+      specs.push_back(bench::base_spec(s, *link));
+    }
+  }
+  const std::vector<ScenarioResult> results = bench::sweep(specs);
+
+  std::size_t cell = 0;
+  for (const LinkPreset* link : links) {
+    std::cout << "--- " << link->name() << " ---\n";
+    TableWriter t({"Forecaster", "Throughput (kbps)",
+                   "Self-inflicted delay (ms)", "Utilization"});
+    for (const SchemeId s : forecaster_schemes()) {
+      const ScenarioResult& r = results[cell++];
+      t.row()
+          .cell(to_string(s))
+          .cell(r.throughput_kbps(), 0)
+          .cell(r.self_inflicted_delay_ms(), 0)
+          .cell(r.utilization(), 2);
+    }
+    t.print(std::cout);
+    std::cout << "\n";
   }
 
   // The MMPP model's 95% caution is dominated by its learned global jumps
@@ -47,16 +59,23 @@ int main() {
   {
     const LinkPreset& link =
         find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+    const std::vector<double> confidences = {95.0, 75.0, 50.0, 25.0, 5.0};
+    std::vector<ScenarioSpec> sweep_specs;
+    for (const double confidence : confidences) {
+      ScenarioSpec c = bench::base_spec(SchemeId::kSproutMmpp, link);
+      c.sprout_confidence = confidence;
+      sweep_specs.push_back(c);
+    }
+    const std::vector<ScenarioResult> sweep_results =
+        bench::sweep(sweep_specs);
     TableWriter t({"Confidence", "Throughput (kbps)",
                    "Self-inflicted delay (ms)"});
-    for (const double confidence : {95.0, 75.0, 50.0, 25.0, 5.0}) {
-      ExperimentConfig c = bench::base_config(SchemeId::kSproutMmpp, link);
-      c.sprout_confidence = confidence;
-      const ExperimentResult r = run_experiment(c);
+    for (std::size_t i = 0; i < confidences.size(); ++i) {
+      const ScenarioResult& r = sweep_results[i];
       t.row()
-          .cell(format_double(confidence, 0) + "%")
-          .cell(r.throughput_kbps, 0)
-          .cell(r.self_inflicted_delay_ms, 0);
+          .cell(format_double(confidences[i], 0) + "%")
+          .cell(r.throughput_kbps(), 0)
+          .cell(r.self_inflicted_delay_ms(), 0);
     }
     t.print(std::cout);
   }

@@ -24,9 +24,7 @@ int main() {
                "(first-principles traces) ===\n\n";
 
   // Four users contend; user 0's trace is our downlink, user 1's the
-  // feedback path.  (Ideally the runner would take arbitrary traces; it
-  // takes presets, so this bench wires the experiment by hand, mirroring
-  // run_experiment's topology.)
+  // feedback path.
   PfCellParams cell_params;
   cell_params.num_users = 4;
   PfCell cell(cell_params, 21);
@@ -38,36 +36,38 @@ int main() {
             << traces[0].average_rate_kbps() << " kbps avg, dynamic range "
             << rate_dynamic_range(traces[0], sec(1)) << "x at 1 s windows\n\n";
 
-  // The runner consumes presets, so register the PF traces as a transient
-  // preset is not possible without file I/O; instead this bench reuses the
-  // low-level pieces directly via run_experiment_on_traces-equivalent
-  // wiring in runner/experiment.cc.  To keep the comparison honest we
-  // write the traces to disk in mahimahi format and read them back — the
-  // same path a user with real captures would take.
+  // To keep the comparison honest we write the traces to disk in mahimahi
+  // format and run over LinkSpec::trace_files — the same path a user with
+  // real captures would take.  The sweep's shared cache parses each file
+  // once for the whole scheme grid.
   const std::string fwd_path = "/tmp/sprout_pfcell_down.trace";
   const std::string rev_path = "/tmp/sprout_pfcell_up.trace";
   write_trace_file(traces[0], fwd_path);
   write_trace_file(traces[1], rev_path);
-  const Trace fwd = read_trace_file(fwd_path);
-  const Trace rev = read_trace_file(rev_path);
+
+  const std::vector<SchemeId> schemes = {
+      SchemeId::kSprout, SchemeId::kSproutEwma, SchemeId::kSkype,
+      SchemeId::kCubic,  SchemeId::kVegas,      SchemeId::kCubicCodel};
+  std::vector<ScenarioSpec> specs;
+  for (const SchemeId scheme : schemes) {
+    ScenarioSpec c;
+    c.scheme = scheme;
+    c.link = LinkSpec::trace_files(fwd_path, rev_path);
+    c.run_time = run_time;
+    c.warmup = run_time / 4;
+    specs.push_back(c);
+  }
+  const std::vector<ScenarioResult> results = bench::sweep(specs);
 
   TableWriter t({"Scheme", "Throughput (kbps)", "Self-inflicted delay (ms)",
                  "Utilization"});
-  for (const SchemeId scheme :
-       {SchemeId::kSprout, SchemeId::kSproutEwma, SchemeId::kSkype,
-        SchemeId::kCubic, SchemeId::kVegas, SchemeId::kCubicCodel}) {
-    FileTraceExperimentConfig c;
-    c.scheme = scheme;
-    c.forward_trace = fwd;
-    c.reverse_trace = rev;
-    c.run_time = run_time;
-    c.warmup = run_time / 4;
-    const ExperimentResult r = run_experiment_on_traces(c);
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    const ScenarioResult& r = results[i];
     t.row()
-        .cell(to_string(scheme))
-        .cell(r.throughput_kbps, 0)
-        .cell(r.self_inflicted_delay_ms, 0)
-        .cell(r.utilization, 2);
+        .cell(to_string(schemes[i]))
+        .cell(r.throughput_kbps(), 0)
+        .cell(r.self_inflicted_delay_ms(), 0)
+        .cell(r.utilization(), 2);
   }
   t.print(std::cout);
 

@@ -4,12 +4,20 @@
 // synthetic traces.  SPROUT_BENCH_SECONDS overrides the per-run simulated
 // duration (default 120 s, metrics skip the first quarter), letting CI use
 // quick runs and a full reproduction use the paper's ~17 minutes.
+//
+// All benches build on the scenario engine: base_spec()/shared_spec()/
+// tunnel_spec() are the one canonical configuration path, and grid benches
+// hand their specs to a SweepRunner so independent cells run concurrently
+// (sweep() preserves input order and is bit-identical to a serial loop).
 #pragma once
 
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "runner/experiment.h"
+#include "runner/scenario.h"
+#include "runner/sweep.h"
 
 namespace sprout::bench {
 
@@ -21,13 +29,34 @@ inline Duration run_seconds() {
   return sec(120);
 }
 
-inline ExperimentConfig base_config(SchemeId scheme, const LinkPreset& link) {
-  ExperimentConfig c;
-  c.scheme = scheme;
-  c.link = link;
-  c.run_time = run_seconds();
-  c.warmup = c.run_time / 4;
-  return c;
+// Applies the bench-wide duration policy to any spec.
+inline ScenarioSpec with_bench_times(ScenarioSpec spec) {
+  spec.run_time = run_seconds();
+  spec.warmup = spec.run_time / 4;
+  return spec;
+}
+
+// One flow of `scheme` over a preset link (the Figure 7 cell shape).
+inline ScenarioSpec base_spec(SchemeId scheme, const LinkPreset& link) {
+  return with_bench_times(single_flow_scenario(scheme, link));
+}
+
+// N flows of `scheme` commingled in one queue (the §7 extension shape).
+inline ScenarioSpec shared_spec(SchemeId scheme, int num_flows,
+                                const LinkPreset& link) {
+  return with_bench_times(shared_queue_scenario(scheme, num_flows, link));
+}
+
+// Cubic + Skype contending on a network, direct or tunneled (§5.7).
+inline ScenarioSpec tunnel_spec(bool via_tunnel,
+                                const std::string& network = "Verizon LTE") {
+  return with_bench_times(tunnel_scenario(network, via_tunnel));
+}
+
+// Runs a grid of independent cells on all cores, in input order.
+inline std::vector<ScenarioResult> sweep(const std::vector<ScenarioSpec>& specs) {
+  SweepRunner runner;
+  return runner.run(specs);
 }
 
 }  // namespace sprout::bench

@@ -19,7 +19,7 @@ int main() {
                "95% probability.\n\n";
 
   for (const SchemeId scheme : {SchemeId::kSkype, SchemeId::kSprout}) {
-    ExperimentConfig c = bench::base_config(scheme, link);
+    ScenarioSpec c = bench::base_spec(scheme, link);
     c.run_time = std::max(c.run_time, sec(80));
     c.warmup = sec(10);
     c.capture_series = true;

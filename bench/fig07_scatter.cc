@@ -1,6 +1,8 @@
 // Figure 7: throughput vs self-inflicted delay of every scheme, one chart
 // per link (4 networks x downlink/uplink).  Better is up (throughput) and
 // to the right-in-the-paper's-reversed-axis, i.e. LOWER delay here.
+//
+// The 9 schemes x 8 links grid runs as one parallel sweep.
 #include <iostream>
 
 #include "bench_common.h"
@@ -16,18 +18,26 @@ int main() {
                "throughput;\n Sprout-EWMA/Cubic highest throughput; video "
                "apps low throughput AND high delay)\n\n";
 
+  std::vector<ScenarioSpec> specs;
+  for (const LinkPreset& link : all_link_presets()) {
+    for (const SchemeId scheme : figure7_schemes()) {
+      specs.push_back(bench::base_spec(scheme, link));
+    }
+  }
+  const std::vector<ScenarioResult> results = bench::sweep(specs);
+
+  std::size_t cell = 0;
   for (const LinkPreset& link : all_link_presets()) {
     std::cout << "--- " << link.name() << " ---\n";
     TableWriter t({"Scheme", "Throughput (kbps)", "Self-inflicted delay (ms)",
                    "Utilization"});
     for (const SchemeId scheme : figure7_schemes()) {
-      const ExperimentResult r =
-          run_experiment(bench::base_config(scheme, link));
+      const ScenarioResult& r = results[cell++];
       t.row()
           .cell(to_string(scheme))
-          .cell(r.throughput_kbps, 0)
-          .cell(r.self_inflicted_delay_ms, 0)
-          .cell(r.utilization, 2);
+          .cell(r.throughput_kbps(), 0)
+          .cell(r.self_inflicted_delay_ms(), 0)
+          .cell(r.utilization(), 2);
     }
     t.print(std::cout);
     std::cout << '\n';

@@ -1,6 +1,9 @@
 // Figure 8: average utilization vs average self-inflicted delay of Sprout,
 // Sprout-EWMA, Cubic and Cubic-over-CoDel, averaged over the eight links.
+//
+// The 4 schemes x 8 links grid runs as one parallel sweep.
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "util/table.h"
@@ -8,20 +11,31 @@
 int main() {
   using namespace sprout;
 
+  const std::vector<SchemeId> schemes = {SchemeId::kSprout,
+                                         SchemeId::kSproutEwma,
+                                         SchemeId::kCubic,
+                                         SchemeId::kCubicCodel};
+
+  std::vector<ScenarioSpec> specs;
+  for (const SchemeId scheme : schemes) {
+    for (const LinkPreset& link : all_link_presets()) {
+      specs.push_back(bench::base_spec(scheme, link));
+    }
+  }
+  const std::vector<ScenarioResult> results = bench::sweep(specs);
+
   std::cout << "=== Figure 8: average utilization and delay across all 8 "
                "links ===\n\n";
   TableWriter t({"Scheme", "Avg utilization (%)",
                  "Avg self-inflicted delay (ms)"});
-  for (const SchemeId scheme :
-       {SchemeId::kSprout, SchemeId::kSproutEwma, SchemeId::kCubic,
-        SchemeId::kCubicCodel}) {
+  std::size_t cell = 0;
+  for (const SchemeId scheme : schemes) {
     double util = 0.0;
     double delay = 0.0;
-    for (const LinkPreset& link : all_link_presets()) {
-      const ExperimentResult r =
-          run_experiment(bench::base_config(scheme, link));
-      util += r.utilization;
-      delay += r.self_inflicted_delay_ms;
+    for (std::size_t i = 0; i < all_link_presets().size(); ++i) {
+      const ScenarioResult& r = results[cell++];
+      util += r.utilization();
+      delay += r.self_inflicted_delay_ms();
     }
     const double n = static_cast<double>(all_link_presets().size());
     t.row()

@@ -1,7 +1,12 @@
 // Figure 9: sweeping the forecast's confidence parameter (95/75/50/25/5%)
 // on the T-Mobile 3G (UMTS) uplink traces out a throughput-delay frontier;
 // other schemes are printed for reference.
+//
+// The confidence sweep and the reference schemes run as one parallel
+// sweep; the forecaster CDF tables are shared across cells (the tables do
+// not depend on the confidence, only the query percentile does).
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "util/table.h"
@@ -14,24 +19,37 @@ int main() {
   std::cout << "=== Figure 9: confidence sweep on the " << link.name()
             << " ===\n\n";
 
-  TableWriter t({"Scheme", "Throughput (kbps)", "Self-inflicted delay (ms)"});
-  for (const double confidence : {95.0, 75.0, 50.0, 25.0, 5.0}) {
-    ExperimentConfig c = bench::base_config(SchemeId::kSprout, link);
+  const std::vector<double> confidences = {95.0, 75.0, 50.0, 25.0, 5.0};
+  const std::vector<SchemeId> references = {
+      SchemeId::kSproutEwma, SchemeId::kCubic, SchemeId::kVegas,
+      SchemeId::kLedbat, SchemeId::kSkype};
+
+  std::vector<ScenarioSpec> specs;
+  for (const double confidence : confidences) {
+    ScenarioSpec c = bench::base_spec(SchemeId::kSprout, link);
     c.sprout_confidence = confidence;
-    const ExperimentResult r = run_experiment(c);
+    specs.push_back(c);
+  }
+  for (const SchemeId scheme : references) {
+    specs.push_back(bench::base_spec(scheme, link));
+  }
+  const std::vector<ScenarioResult> results = bench::sweep(specs);
+
+  TableWriter t({"Scheme", "Throughput (kbps)", "Self-inflicted delay (ms)"});
+  std::size_t cell = 0;
+  for (const double confidence : confidences) {
+    const ScenarioResult& r = results[cell++];
     t.row()
         .cell("Sprout (" + format_double(confidence, 0) + "%)")
-        .cell(r.throughput_kbps, 0)
-        .cell(r.self_inflicted_delay_ms, 0);
+        .cell(r.throughput_kbps(), 0)
+        .cell(r.self_inflicted_delay_ms(), 0);
   }
-  for (const SchemeId scheme :
-       {SchemeId::kSproutEwma, SchemeId::kCubic, SchemeId::kVegas,
-        SchemeId::kLedbat, SchemeId::kSkype}) {
-    const ExperimentResult r = run_experiment(bench::base_config(scheme, link));
+  for (const SchemeId scheme : references) {
+    const ScenarioResult& r = results[cell++];
     t.row()
         .cell(to_string(scheme))
-        .cell(r.throughput_kbps, 0)
-        .cell(r.self_inflicted_delay_ms, 0);
+        .cell(r.throughput_kbps(), 0)
+        .cell(r.self_inflicted_delay_ms(), 0);
   }
   t.print(std::cout);
   std::cout << "\n(paper shape: lowering confidence moves along a frontier of "

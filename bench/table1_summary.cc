@@ -30,14 +30,23 @@ int main() {
                "8 links ===\n(per-run "
             << to_seconds(bench::run_seconds()) << " s simulated)\n\n";
 
-  // scheme -> link -> result
-  std::map<SchemeId, std::vector<ExperimentResult>> results;
+  // The whole scheme x link grid as one parallel sweep, then regrouped
+  // per scheme in input order.
+  std::vector<ScenarioSpec> specs;
   for (const SchemeId scheme : schemes) {
     for (const LinkPreset& link : all_link_presets()) {
-      results[scheme].push_back(
-          run_experiment(bench::base_config(scheme, link)));
+      specs.push_back(bench::base_spec(scheme, link));
     }
-    std::cerr << "ran " << to_string(scheme) << "\n";  // progress to stderr
+  }
+  const std::vector<ScenarioResult> cells = bench::sweep(specs);
+
+  // scheme -> link -> result
+  std::map<SchemeId, std::vector<ScenarioResult>> results;
+  std::size_t cell = 0;
+  for (const SchemeId scheme : schemes) {
+    for (std::size_t i = 0; i < all_link_presets().size(); ++i) {
+      results[scheme].push_back(cells[cell++]);
+    }
   }
 
   auto relative_to = [&](SchemeId baseline) {
@@ -49,11 +58,11 @@ int main() {
       Avg a;
       const auto& rs = results[scheme];
       for (std::size_t i = 0; i < rs.size(); ++i) {
-        a.throughput += base[i].throughput_kbps /
-                        std::max(1.0, rs[i].throughput_kbps);
-        a.delay += rs[i].self_inflicted_delay_ms /
-                   std::max(1.0, base[i].self_inflicted_delay_ms);
-        a.abs_delay_ms += rs[i].self_inflicted_delay_ms;
+        a.throughput += base[i].throughput_kbps() /
+                        std::max(1.0, rs[i].throughput_kbps());
+        a.delay += rs[i].self_inflicted_delay_ms() /
+                   std::max(1.0, base[i].self_inflicted_delay_ms());
+        a.abs_delay_ms += rs[i].self_inflicted_delay_ms();
       }
       const double n = static_cast<double>(rs.size());
       a.throughput /= n;

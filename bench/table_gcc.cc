@@ -33,21 +33,30 @@ int main() {
   };
   std::vector<Totals> totals(schemes.size());
 
+  // The link x scheme grid as one parallel sweep.
+  std::vector<ScenarioSpec> specs;
+  for (const LinkPreset& link : all_link_presets()) {
+    for (const SchemeId scheme : schemes) {
+      specs.push_back(bench::base_spec(scheme, link));
+    }
+  }
+  const std::vector<ScenarioResult> results = bench::sweep(specs);
+
+  std::size_t cell = 0;
   for (const LinkPreset& link : all_link_presets()) {
     std::cout << "--- " << link.name() << " ---\n";
     TableWriter t({"Scheme", "Throughput (kbps)", "Self-inflicted delay (ms)",
                    "Utilization"});
     for (std::size_t i = 0; i < schemes.size(); ++i) {
-      ExperimentConfig c = bench::base_config(schemes[i], link);
-      const ExperimentResult r = run_experiment(c);
-      totals[i].tput_sum += r.throughput_kbps;
-      totals[i].delay_sum += r.self_inflicted_delay_ms;
+      const ScenarioResult& r = results[cell++];
+      totals[i].tput_sum += r.throughput_kbps();
+      totals[i].delay_sum += r.self_inflicted_delay_ms();
       ++totals[i].n;
       t.row()
           .cell(to_string(schemes[i]))
-          .cell(r.throughput_kbps, 0)
-          .cell(r.self_inflicted_delay_ms, 0)
-          .cell(r.utilization, 2);
+          .cell(r.throughput_kbps(), 0)
+          .cell(r.self_inflicted_delay_ms(), 0)
+          .cell(r.utilization(), 2);
     }
     t.print(std::cout);
     std::cout << "\n";

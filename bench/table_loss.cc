@@ -9,20 +9,32 @@ int main() {
   using namespace sprout;
 
   std::cout << "=== §5.6: Sprout loss resilience on Verizon LTE ===\n\n";
-  TableWriter t({"Direction", "Loss", "Throughput (kbps)",
-                 "Self-inflicted delay (ms)"});
+
+  // direction x loss grid as one parallel sweep.
+  std::vector<ScenarioSpec> specs;
   for (const LinkDirection dir :
        {LinkDirection::kDownlink, LinkDirection::kUplink}) {
     const LinkPreset& link = find_link_preset("Verizon LTE", dir);
     for (const double loss : {0.0, 0.05, 0.10}) {
-      ExperimentConfig c = bench::base_config(SchemeId::kSprout, link);
+      ScenarioSpec c = bench::base_spec(SchemeId::kSprout, link);
       c.loss_rate = loss;
-      const ExperimentResult r = run_experiment(c);
+      specs.push_back(c);
+    }
+  }
+  const std::vector<ScenarioResult> results = bench::sweep(specs);
+
+  TableWriter t({"Direction", "Loss", "Throughput (kbps)",
+                 "Self-inflicted delay (ms)"});
+  std::size_t cell = 0;
+  for (const LinkDirection dir :
+       {LinkDirection::kDownlink, LinkDirection::kUplink}) {
+    for (const double loss : {0.0, 0.05, 0.10}) {
+      const ScenarioResult& r = results[cell++];
       t.row()
           .cell(to_string(dir))
           .cell(format_double(loss * 100.0, 0) + "%")
-          .cell(r.throughput_kbps, 0)
-          .cell(r.self_inflicted_delay_ms, 0);
+          .cell(r.throughput_kbps(), 0)
+          .cell(r.self_inflicted_delay_ms(), 0);
     }
   }
   t.print(std::cout);

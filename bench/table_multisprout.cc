@@ -26,19 +26,27 @@ int main() {
   const LinkPreset& link =
       find_link_preset("Verizon LTE", LinkDirection::kDownlink);
 
-  for (const SchemeId scheme :
-       {SchemeId::kSprout, SchemeId::kSproutEwma, SchemeId::kCubic}) {
+  const std::vector<SchemeId> schemes = {SchemeId::kSprout,
+                                         SchemeId::kSproutEwma,
+                                         SchemeId::kCubic};
+  const std::vector<int> flow_counts = {1, 2, 4, 8};
+
+  // scheme x flow-count grid as one parallel sweep.
+  std::vector<ScenarioSpec> specs;
+  for (const SchemeId scheme : schemes) {
+    for (const int n : flow_counts) {
+      specs.push_back(bench::shared_spec(scheme, n, link));
+    }
+  }
+  const std::vector<ScenarioResult> results = bench::sweep(specs);
+
+  std::size_t cell = 0;
+  for (const SchemeId scheme : schemes) {
     std::cout << "--- " << to_string(scheme) << " ---\n";
     TableWriter t({"Flows", "Aggregate (kbps)", "Utilization", "Jain index",
                    "Worst flow delay95 (ms)"});
-    for (const int n : {1, 2, 4, 8}) {
-      SharedQueueConfig c;
-      c.scheme = scheme;
-      c.num_flows = n;
-      c.link = link;
-      c.run_time = bench::run_seconds();
-      c.warmup = c.run_time / 4;
-      const SharedQueueResult r = run_shared_queue(c);
+    for (const int n : flow_counts) {
+      const ScenarioResult& r = results[cell++];
       t.row()
           .cell(static_cast<std::int64_t>(n))
           .cell(r.aggregate_throughput_kbps, 0)

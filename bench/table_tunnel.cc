@@ -11,14 +11,10 @@ int main() {
   std::cout << "=== §5.7: SproutTunnel isolating competing flows (Verizon "
                "LTE) ===\n\n";
 
-  TunnelContentionConfig config;
-  config.run_time = bench::run_seconds();
-  config.warmup = config.run_time / 4;
-
-  config.via_tunnel = false;
-  const TunnelContentionResult direct = run_tunnel_contention(config);
-  config.via_tunnel = true;
-  const TunnelContentionResult tunneled = run_tunnel_contention(config);
+  const TunnelContentionResult direct =
+      run_tunnel_contention(bench::tunnel_spec(false));
+  const TunnelContentionResult tunneled =
+      run_tunnel_contention(bench::tunnel_spec(true));
 
   auto pct_change = [](double from, double to) {
     return from > 0 ? 100.0 * (to - from) / from : 0.0;

@@ -11,6 +11,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "runner/experiment.h"
 
@@ -51,11 +52,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  FileTraceExperimentConfig config;
+  ScenarioSpec config;
   config.scheme = it->second;
+  double forward_avg_kbps = 0.0;
   try {
-    config.forward_trace = read_trace_file(argv[1]);
-    config.reverse_trace = read_trace_file(argv[2]);
+    Trace forward = read_trace_file(argv[1]);
+    Trace reverse = read_trace_file(argv[2]);
+    forward_avg_kbps = forward.average_rate_kbps();
+    config.link = LinkSpec::traces(std::move(forward), std::move(reverse));
   } catch (const std::exception& e) {
     std::cerr << "cannot load traces: " << e.what() << "\n";
     return 1;
@@ -65,11 +69,10 @@ int main(int argc, char** argv) {
   config.warmup = sec(seconds / 4);
 
   std::cout << "Running " << to_string(config.scheme) << " for " << seconds
-            << " s over " << argv[1] << " ("
-            << config.forward_trace.average_rate_kbps()
+            << " s over " << argv[1] << " (" << forward_avg_kbps
             << " kbps avg) with feedback over " << argv[2] << "\n\n";
 
-  const ExperimentResult r = run_experiment_on_traces(config);
+  const ExperimentResult r = run_experiment(config);
   std::cout << "  throughput            " << r.throughput_kbps << " kbit/s\n"
             << "  link capacity         " << r.capacity_kbps << " kbit/s  ("
             << 100.0 * r.utilization << "% utilized)\n"

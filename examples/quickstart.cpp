@@ -5,7 +5,7 @@
 //   $ ./quickstart [seconds]
 //
 // This is the smallest end-to-end use of the library: pick a link preset,
-// fill in an ExperimentConfig, call run_experiment().
+// fill in a ScenarioSpec, call run_experiment().
 #include <cstdlib>
 #include <iostream>
 
@@ -17,8 +17,8 @@ int main(int argc, char** argv) {
 
   const int seconds = argc > 1 ? std::atoi(argv[1]) : 120;
 
-  ExperimentConfig config;
-  config.link = find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  ScenarioSpec config;
+  config.link = LinkSpec::preset("Verizon LTE", LinkDirection::kDownlink);
   config.run_time = sec(seconds);
   config.warmup = sec(std::min(60, seconds / 2));
 

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
 
   const int seconds = argc > 1 ? std::atoi(argv[1]) : 120;
 
-  TunnelContentionConfig config;
+  ScenarioSpec config = tunnel_scenario("Verizon LTE", false);
   config.run_time = sec(seconds);
   config.warmup = sec(seconds / 4);
 
@@ -26,9 +26,8 @@ int main(int argc, char** argv) {
                "(synthetic) link, "
             << seconds << " s\n\n";
 
-  config.via_tunnel = false;
   const TunnelContentionResult direct = run_tunnel_contention(config);
-  config.via_tunnel = true;
+  config.topology.via_tunnel = true;
   const TunnelContentionResult tunneled = run_tunnel_contention(config);
 
   TableWriter t({"Metric", "Direct", "via SproutTunnel"});

@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
                                                    : LinkDirection::kDownlink;
   const int seconds = argc > 3 ? std::atoi(argv[3]) : 120;
 
-  ExperimentConfig config;
-  config.link = find_link_preset(network, direction);
+  ScenarioSpec config;
+  config.link = LinkSpec::preset(network, direction);
   config.run_time = sec(seconds);
   config.warmup = sec(seconds / 4);
 

@@ -1,30 +1,41 @@
 #include "core/forecaster.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <tuple>
 
 #include "util/poisson.h"
 
 namespace sprout {
 
-ByteCount DeliveryForecast::cumulative_at(int t) const {
-  if (t <= 0 || cumulative_bytes.empty()) return 0;
-  const int idx = std::min(t, ticks()) - 1;
-  return cumulative_bytes[static_cast<std::size_t>(idx)];
+namespace {
+
+// The SproutParams fields the CDF tables depend on.  Confidence, σ and λz
+// do NOT appear: the percentile is applied at query time and the transition
+// kernel is separate, so e.g. a Figure-9 confidence sweep shares one table.
+using TableKey = std::tuple<int, double, std::int64_t, int, int>;
+
+TableKey table_key(const SproutParams& params) {
+  return {params.num_bins, params.max_rate_pps, params.tick.count(),
+          params.forecast_horizon_ticks, params.max_count};
 }
 
-DeliveryForecaster::DeliveryForecaster(const SproutParams& params)
-    : params_(params), transitions_(params) {
-  const int counts = params_.max_count + 1;
-  cdf_.resize(static_cast<std::size_t>(params_.forecast_horizon_ticks));
-  for (int h = 1; h <= params_.forecast_horizon_ticks; ++h) {
-    std::vector<double>& table = cdf_[static_cast<std::size_t>(h - 1)];
-    table.resize(static_cast<std::size_t>(params_.num_bins) *
+std::shared_ptr<const ForecastTableCache::Tables> build_tables(
+    const SproutParams& params) {
+  auto tables = std::make_shared<ForecastTableCache::Tables>();
+  const int counts = params.max_count + 1;
+  tables->resize(static_cast<std::size_t>(params.forecast_horizon_ticks));
+  for (int h = 1; h <= params.forecast_horizon_ticks; ++h) {
+    std::vector<double>& table = (*tables)[static_cast<std::size_t>(h - 1)];
+    table.resize(static_cast<std::size_t>(params.num_bins) *
                  static_cast<std::size_t>(counts));
-    for (int bin = 0; bin < params_.num_bins; ++bin) {
+    for (int bin = 0; bin < params.num_bins; ++bin) {
       const double mean =
-          params_.bin_rate(bin) * params_.tick_seconds() * static_cast<double>(h);
+          params.bin_rate(bin) * params.tick_seconds() * static_cast<double>(h);
       double* row = &table[static_cast<std::size_t>(bin) *
                            static_cast<std::size_t>(counts)];
       // Forward recurrence over n; identical math to poisson_cdf but filling
@@ -39,12 +50,73 @@ DeliveryForecaster::DeliveryForecaster(const SproutParams& params)
       }
     }
   }
+  return tables;
 }
+
+std::mutex& cache_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<TableKey, std::shared_ptr<const ForecastTableCache::Tables>>&
+cache_map() {
+  static std::map<TableKey, std::shared_ptr<const ForecastTableCache::Tables>>
+      m;
+  return m;
+}
+
+std::atomic<std::int64_t> g_table_hits{0};
+std::atomic<std::int64_t> g_table_misses{0};
+
+}  // namespace
+
+std::shared_ptr<const ForecastTableCache::Tables> ForecastTableCache::get(
+    const SproutParams& params) {
+  // Building under the lock serializes first construction per key, which is
+  // exactly the "build once per distinct SproutParams" guarantee a parallel
+  // sweep wants; hits only pay a map lookup.
+  std::lock_guard<std::mutex> lock(cache_mutex());
+  auto& map = cache_map();
+  const TableKey key = table_key(params);
+  const auto it = map.find(key);
+  if (it != map.end()) {
+    g_table_hits.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  g_table_misses.fetch_add(1, std::memory_order_relaxed);
+  auto tables = build_tables(params);
+  map.emplace(key, tables);
+  return tables;
+}
+
+std::int64_t ForecastTableCache::hits() {
+  return g_table_hits.load(std::memory_order_relaxed);
+}
+
+std::int64_t ForecastTableCache::misses() {
+  return g_table_misses.load(std::memory_order_relaxed);
+}
+
+void ForecastTableCache::reset_counters() {
+  g_table_hits.store(0, std::memory_order_relaxed);
+  g_table_misses.store(0, std::memory_order_relaxed);
+}
+
+ByteCount DeliveryForecast::cumulative_at(int t) const {
+  if (t <= 0 || cumulative_bytes.empty()) return 0;
+  const int idx = std::min(t, ticks()) - 1;
+  return cumulative_bytes[static_cast<std::size_t>(idx)];
+}
+
+DeliveryForecaster::DeliveryForecaster(const SproutParams& params)
+    : params_(params),
+      transitions_(params),
+      cdf_(ForecastTableCache::get(params)) {}
 
 double DeliveryForecaster::mixture_cdf(const RateDistribution& dist,
                                        int horizon, int count) const {
   const int counts = params_.max_count + 1;
-  const std::vector<double>& table = cdf_[static_cast<std::size_t>(horizon - 1)];
+  const std::vector<double>& table = (*cdf_)[static_cast<std::size_t>(horizon - 1)];
   double acc = 0.0;
   for (int bin = 0; bin < params_.num_bins; ++bin) {
     const double p = dist.probability(bin);

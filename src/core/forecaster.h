@@ -13,12 +13,35 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/params.h"
 #include "core/rate_model.h"
 
 namespace sprout {
+
+// Process-wide cache of the precomputed Poisson CDF tables, keyed by the
+// SproutParams fields that determine them (bins, rate grid, tick, horizon,
+// table size).  The tables are immutable once built and safely shared
+// across endpoints and threads, so a sweep of N simulations with the same
+// parameters builds the tables once instead of 2N times (each run has at
+// least a sender-side and a receiver-side forecaster).  Hit/miss counters
+// make the reuse observable in tests and benches.
+class ForecastTableCache {
+ public:
+  // cdf[h-1][bin * (max_count+1) + n] = P[Poisson(λ_bin · h·τ) <= n]
+  using Tables = std::vector<std::vector<double>>;
+
+  // Returns the table set for `params`, building it on first use.
+  // Thread-safe; a given key is only ever built once per process.
+  [[nodiscard]] static std::shared_ptr<const Tables> get(
+      const SproutParams& params);
+
+  [[nodiscard]] static std::int64_t hits();
+  [[nodiscard]] static std::int64_t misses();
+  static void reset_counters();
+};
 
 // A cumulative delivery forecast: entry h-1 is the cautious cumulative
 // byte count deliverable within (h) ticks of `origin`.
@@ -55,8 +78,8 @@ class DeliveryForecaster {
 
   SproutParams params_;
   TransitionMatrix transitions_;
-  // cdf_[h-1][bin * (max_count+1) + n] = P[Poisson(λ_bin · h·τ) <= n]
-  std::vector<std::vector<double>> cdf_;
+  // Shared, immutable CDF tables from the ForecastTableCache.
+  std::shared_ptr<const ForecastTableCache::Tables> cdf_;
 };
 
 }  // namespace sprout

@@ -1,501 +1,67 @@
 #include "runner/experiment.h"
 
-#include <cassert>
-#include <memory>
 #include <stdexcept>
-
-#include "app/omniscient.h"
-#include "app/video_app.h"
-#include "aqm/codel.h"
-#include "aqm/pie.h"
-#include "cc/compound.h"
-#include "cc/cubic.h"
-#include "cc/fast.h"
-#include "cc/gcc_endpoint.h"
-#include "cc/ledbat.h"
-#include "cc/tcp_endpoint.h"
-#include "cc/vegas.h"
-#include "core/endpoint.h"
-#include "core/source.h"
-#include "link/cellsim.h"
-#include "metrics/flow_metrics.h"
-#include "sim/relay.h"
-#include "sim/simulator.h"
-#include "tunnel/tunnel.h"
-#include "util/rng.h"
-#include "util/stats.h"
 
 namespace sprout {
 
 namespace {
 
-LinkDirection opposite(LinkDirection d) {
-  return d == LinkDirection::kDownlink ? LinkDirection::kUplink
-                                       : LinkDirection::kDownlink;
-}
-
-std::unique_ptr<CongestionControl> make_cc(SchemeId id) {
-  switch (id) {
-    case SchemeId::kCubic:
-    case SchemeId::kCubicCodel:
-    case SchemeId::kCubicPie:
-      return std::make_unique<CubicCC>();
-    case SchemeId::kVegas:
-      return std::make_unique<VegasCC>();
-    case SchemeId::kCompound:
-      return std::make_unique<CompoundCC>();
-    case SchemeId::kLedbat:
-      return std::make_unique<LedbatCC>();
-    case SchemeId::kFast:
-      return std::make_unique<FastCC>();
-    default:
-      throw std::invalid_argument("not a TCP scheme: " + to_string(id));
-  }
-}
-
-VideoProfile video_profile_for(SchemeId id) {
-  switch (id) {
-    case SchemeId::kSkype: return skype_profile();
-    case SchemeId::kFacetime: return facetime_profile();
-    case SchemeId::kHangout: return hangout_profile();
-    default:
-      throw std::invalid_argument("not a video scheme: " + to_string(id));
+void require_topology(const ScenarioSpec& spec, TopologySpec::Kind kind,
+                      const char* view) {
+  if (spec.topology.kind != kind) {
+    throw std::invalid_argument(std::string(view) +
+                                " requires a matching topology in the spec");
   }
 }
 
 }  // namespace
 
-ExperimentResult run_experiment(const ExperimentConfig& config) {
-  // Traces: data direction + its twin for feedback.  Generate slightly past
-  // the run time so the final window is fully covered.
-  const LinkPreset& fwd_preset = config.link;
-  const LinkPreset& rev_preset =
-      find_link_preset(fwd_preset.network, opposite(fwd_preset.direction));
-  FileTraceExperimentConfig on_traces;
-  on_traces.scheme = config.scheme;
-  on_traces.forward_trace = preset_trace(fwd_preset, config.run_time + sec(2));
-  on_traces.reverse_trace = preset_trace(rev_preset, config.run_time + sec(2));
-  on_traces.run_time = config.run_time;
-  on_traces.warmup = config.warmup;
-  on_traces.propagation_delay = config.propagation_delay;
-  on_traces.loss_rate = config.loss_rate;
-  on_traces.sprout_confidence = config.sprout_confidence;
-  on_traces.seed = config.seed;
-  on_traces.capture_series = config.capture_series;
-  on_traces.series_bin = config.series_bin;
-  return run_experiment_on_traces(on_traces);
-}
-
-ExperimentResult run_experiment_on_traces(
-    const FileTraceExperimentConfig& config) {
-  Simulator sim;
-  Rng seeder(config.seed);
-
-  Trace fwd_trace = config.forward_trace;
-  Trace rev_trace = config.reverse_trace;
-
-  CellsimConfig fwd_cfg;
-  fwd_cfg.propagation_delay = config.propagation_delay;
-  fwd_cfg.loss_rate = config.loss_rate;
-  fwd_cfg.seed = seeder.fork_seed();
-  CellsimConfig rev_cfg = fwd_cfg;
-  rev_cfg.seed = seeder.fork_seed();
-
-  std::unique_ptr<AqmPolicy> fwd_policy;
-  std::unique_ptr<AqmPolicy> rev_policy;
-  if (config.scheme == SchemeId::kCubicCodel) {
-    fwd_policy = std::make_unique<CodelPolicy>();
-    rev_policy = std::make_unique<CodelPolicy>();
-  } else if (config.scheme == SchemeId::kCubicPie) {
-    fwd_policy = std::make_unique<PiePolicy>(PieParams{}, seeder.fork_seed());
-    rev_policy = std::make_unique<PiePolicy>(PieParams{}, seeder.fork_seed());
-  }
-
-  RelaySink fwd_egress;
-  RelaySink rev_egress;
-  CellsimLink fwd_link(sim, std::move(fwd_trace), fwd_cfg, fwd_egress,
-                       std::move(fwd_policy));
-  CellsimLink rev_link(sim, std::move(rev_trace), rev_cfg, rev_egress,
-                       std::move(rev_policy));
-
-  // Scheme wiring.  The owned objects must outlive the simulation run.
-  std::unique_ptr<MeasuredSink> measured;
-  std::unique_ptr<BulkDataSource> bulk;
-  std::unique_ptr<SproutEndpoint> sprout_tx;
-  std::unique_ptr<SproutEndpoint> sprout_rx;
-  std::unique_ptr<TcpSender> tcp_tx;
-  std::unique_ptr<TcpReceiver> tcp_rx;
-  std::unique_ptr<VideoSender> video_tx;
-  std::unique_ptr<VideoReceiver> video_rx;
-  std::unique_ptr<GccSender> gcc_tx;
-  std::unique_ptr<GccReceiver> gcc_rx;
-  std::unique_ptr<OmniscientSender> omni;
-
-  switch (config.scheme) {
-    case SchemeId::kSprout:
-    case SchemeId::kSproutEwma:
-    case SchemeId::kSproutAdaptive:
-    case SchemeId::kSproutMmpp:
-    case SchemeId::kSproutEmpirical: {
-      SproutParams params;
-      params.confidence_percent = config.sprout_confidence;
-      SproutVariant variant = SproutVariant::kBayesian;
-      switch (config.scheme) {
-        case SchemeId::kSproutEwma: variant = SproutVariant::kEwma; break;
-        case SchemeId::kSproutAdaptive:
-          variant = SproutVariant::kAdaptive;
-          break;
-        case SchemeId::kSproutMmpp: variant = SproutVariant::kMmpp; break;
-        case SchemeId::kSproutEmpirical:
-          variant = SproutVariant::kEmpirical;
-          break;
-        default: break;
-      }
-      bulk = std::make_unique<BulkDataSource>();
-      sprout_tx =
-          std::make_unique<SproutEndpoint>(sim, params, variant, 1, bulk.get());
-      sprout_rx =
-          std::make_unique<SproutEndpoint>(sim, params, variant, 1, nullptr);
-      sprout_tx->attach_network(fwd_link);
-      sprout_rx->attach_network(rev_link);
-      measured = std::make_unique<MeasuredSink>(sim, *sprout_rx);
-      fwd_egress.set_target(*measured);
-      rev_egress.set_target(*sprout_tx);
-      sprout_tx->start();
-      sprout_rx->start(params.tick * 7 / 20);  // de-phase the peer clocks
-      break;
-    }
-    case SchemeId::kSkype:
-    case SchemeId::kFacetime:
-    case SchemeId::kHangout: {
-      video_tx = std::make_unique<VideoSender>(
-          sim, video_profile_for(config.scheme), 1);
-      video_rx = std::make_unique<VideoReceiver>(sim, 1);
-      video_tx->attach_network(fwd_link);
-      video_rx->attach_report_path(rev_link);
-      measured = std::make_unique<MeasuredSink>(sim, *video_rx);
-      fwd_egress.set_target(*measured);
-      rev_egress.set_target(*video_tx);
-      video_tx->start();
-      video_rx->start();
-      break;
-    }
-    case SchemeId::kGcc: {
-      gcc_tx = std::make_unique<GccSender>(sim, GccProfile{}, 1);
-      gcc_rx = std::make_unique<GccReceiver>(sim, GccProfile{}, 1);
-      gcc_tx->attach_network(fwd_link);
-      gcc_rx->attach_feedback_path(rev_link);
-      measured = std::make_unique<MeasuredSink>(sim, *gcc_rx);
-      fwd_egress.set_target(*measured);
-      rev_egress.set_target(*gcc_tx);
-      gcc_tx->start();
-      gcc_rx->start();
-      break;
-    }
-    case SchemeId::kCubic:
-    case SchemeId::kCubicCodel:
-    case SchemeId::kCubicPie:
-    case SchemeId::kVegas:
-    case SchemeId::kCompound:
-    case SchemeId::kFast:
-    case SchemeId::kLedbat: {
-      tcp_tx = std::make_unique<TcpSender>(sim, make_cc(config.scheme), 1);
-      tcp_rx = std::make_unique<TcpReceiver>(sim, 1);
-      tcp_tx->attach_network(fwd_link);
-      tcp_rx->attach_ack_path(rev_link);
-      measured = std::make_unique<MeasuredSink>(sim, *tcp_rx);
-      fwd_egress.set_target(*measured);
-      rev_egress.set_target(*tcp_tx);
-      tcp_tx->start();
-      break;
-    }
-    case SchemeId::kOmniscient: {
-      omni = std::make_unique<OmniscientSender>(
-          sim, fwd_link.trace(), config.propagation_delay, 1);
-      omni->attach_network(fwd_link);
-      measured = std::make_unique<MeasuredSink>(sim);
-      fwd_egress.set_target(*measured);
-      omni->start(TimePoint{}, TimePoint{} + config.run_time);
-      break;
-    }
-  }
-
-  sim.run_until(TimePoint{} + config.run_time);
-
-  const TimePoint from = TimePoint{} + config.warmup;
-  const TimePoint to = TimePoint{} + config.run_time;
-  const FlowMetrics& m = measured->metrics();
-
+ExperimentResult run_experiment(const ScenarioSpec& spec,
+                                ScenarioCache* cache) {
+  require_topology(spec, TopologySpec::Kind::kSingleFlow, "run_experiment");
+  ScenarioResult s = run_scenario(spec, cache);
   ExperimentResult r;
-  r.throughput_kbps = m.throughput_kbps(from, to);
-  r.delay95_ms = m.delay_percentile_ms(95.0, from, to);
-  r.omniscient_delay95_ms = omniscient_delay_percentile_ms(
-      fwd_link.trace(), 95.0, from, to, config.propagation_delay);
-  r.self_inflicted_delay_ms =
-      std::max(0.0, r.delay95_ms - r.omniscient_delay95_ms);
-  r.mean_delay_ms = m.mean_delay_ms(from, to);
-  r.capacity_kbps = link_capacity_kbps(fwd_link.trace(), from, to);
-  r.utilization =
-      r.capacity_kbps > 0.0 ? r.throughput_kbps / r.capacity_kbps : 0.0;
-  r.packets_delivered = fwd_link.delivered_packets();
-  r.link_drops = fwd_link.random_drops() + fwd_link.queue_drops();
-  if (config.capture_series) {
-    r.series = throughput_delay_series(m, TimePoint{}, to, config.series_bin);
-    r.capacity_series =
-        capacity_series(fwd_link.trace(), TimePoint{}, to, config.series_bin);
-  }
+  r.throughput_kbps = s.throughput_kbps();
+  r.delay95_ms = s.delay95_ms();
+  r.omniscient_delay95_ms = s.omniscient_delay95_ms;
+  r.self_inflicted_delay_ms = s.self_inflicted_delay_ms();
+  r.mean_delay_ms = s.mean_delay_ms();
+  r.capacity_kbps = s.capacity_kbps;
+  r.utilization = s.utilization();
+  r.packets_delivered = s.packets_delivered;
+  r.link_drops = s.link_drops;
+  if (!s.flows.empty()) r.series = std::move(s.flows.front().series);
+  r.capacity_series = std::move(s.capacity_series);
   return r;
 }
 
-SharedQueueResult run_shared_queue(const SharedQueueConfig& config) {
-  if (config.num_flows < 1) {
-    throw std::invalid_argument("shared-queue experiment needs >= 1 flow");
-  }
-  Simulator sim;
-  Rng seeder(config.seed);
-
-  const LinkPreset& fwd_preset = config.link;
-  const LinkPreset& rev_preset =
-      find_link_preset(fwd_preset.network, opposite(fwd_preset.direction));
-  Trace fwd_trace = preset_trace(fwd_preset, config.run_time + sec(2));
-  Trace rev_trace = preset_trace(rev_preset, config.run_time + sec(2));
-
-  CellsimConfig fwd_cfg;
-  fwd_cfg.propagation_delay = config.propagation_delay;
-  fwd_cfg.seed = seeder.fork_seed();
-  CellsimConfig rev_cfg = fwd_cfg;
-  rev_cfg.seed = seeder.fork_seed();
-
-  RelaySink fwd_egress;
-  RelaySink rev_egress;
-  CellsimLink fwd_link(sim, std::move(fwd_trace), fwd_cfg, fwd_egress);
-  CellsimLink rev_link(sim, std::move(rev_trace), rev_cfg, rev_egress);
-
-  DemuxSink fwd_demux;  // data arriving at the receivers
-  DemuxSink rev_demux;  // feedback arriving at the senders
-  fwd_egress.set_target(fwd_demux);
-  rev_egress.set_target(rev_demux);
-
-  // Per-flow endpoint state.  All flows run the same scheme and share both
-  // queues; flow ids demux them at the egress.
-  struct Flow {
-    std::unique_ptr<BulkDataSource> bulk;
-    std::unique_ptr<SproutEndpoint> sprout_tx;
-    std::unique_ptr<SproutEndpoint> sprout_rx;
-    std::unique_ptr<TcpSender> tcp_tx;
-    std::unique_ptr<TcpReceiver> tcp_rx;
-    std::unique_ptr<VideoSender> video_tx;
-    std::unique_ptr<VideoReceiver> video_rx;
-    std::unique_ptr<GccSender> gcc_tx;
-    std::unique_ptr<GccReceiver> gcc_rx;
-    std::unique_ptr<MeasuredSink> measured;
-  };
-  std::vector<Flow> flows(static_cast<std::size_t>(config.num_flows));
-
-  for (int f = 0; f < config.num_flows; ++f) {
-    Flow& flow = flows[static_cast<std::size_t>(f)];
-    const std::int64_t id = f + 1;
-    switch (config.scheme) {
-      case SchemeId::kSprout:
-      case SchemeId::kSproutEwma:
-      case SchemeId::kSproutAdaptive:
-      case SchemeId::kSproutMmpp:
-      case SchemeId::kSproutEmpirical: {
-        SproutParams params;
-        SproutVariant variant = SproutVariant::kBayesian;
-        switch (config.scheme) {
-          case SchemeId::kSproutEwma: variant = SproutVariant::kEwma; break;
-          case SchemeId::kSproutAdaptive:
-            variant = SproutVariant::kAdaptive;
-            break;
-          case SchemeId::kSproutMmpp: variant = SproutVariant::kMmpp; break;
-          case SchemeId::kSproutEmpirical:
-            variant = SproutVariant::kEmpirical;
-            break;
-          default: break;
-        }
-        flow.bulk = std::make_unique<BulkDataSource>();
-        flow.sprout_tx = std::make_unique<SproutEndpoint>(
-            sim, params, variant, id, flow.bulk.get());
-        flow.sprout_rx = std::make_unique<SproutEndpoint>(sim, params, variant,
-                                                          id, nullptr);
-        flow.sprout_tx->attach_network(fwd_link);
-        flow.sprout_rx->attach_network(rev_link);
-        flow.measured = std::make_unique<MeasuredSink>(sim, *flow.sprout_rx);
-        fwd_demux.route(id, *flow.measured);
-        rev_demux.route(id, *flow.sprout_tx);
-        // Real peers are never phase-locked: stagger every clock in the
-        // fleet (13 and 7 are coprime with 20, spreading phases evenly).
-        flow.sprout_tx->start(params.tick * ((f * 13) % 20) / 20);
-        flow.sprout_rx->start(params.tick * ((f * 13 + 7) % 20) / 20);
-        break;
-      }
-      case SchemeId::kCubic:
-      case SchemeId::kVegas:
-      case SchemeId::kCompound:
-      case SchemeId::kLedbat:
-      case SchemeId::kFast: {
-        flow.tcp_tx = std::make_unique<TcpSender>(sim, make_cc(config.scheme), id);
-        flow.tcp_rx = std::make_unique<TcpReceiver>(sim, id);
-        flow.tcp_tx->attach_network(fwd_link);
-        flow.tcp_rx->attach_ack_path(rev_link);
-        flow.measured = std::make_unique<MeasuredSink>(sim, *flow.tcp_rx);
-        fwd_demux.route(id, *flow.measured);
-        rev_demux.route(id, *flow.tcp_tx);
-        flow.tcp_tx->start();
-        break;
-      }
-      case SchemeId::kSkype:
-      case SchemeId::kFacetime:
-      case SchemeId::kHangout: {
-        flow.video_tx = std::make_unique<VideoSender>(
-            sim, video_profile_for(config.scheme), id);
-        flow.video_rx = std::make_unique<VideoReceiver>(sim, id);
-        flow.video_tx->attach_network(fwd_link);
-        flow.video_rx->attach_report_path(rev_link);
-        flow.measured = std::make_unique<MeasuredSink>(sim, *flow.video_rx);
-        fwd_demux.route(id, *flow.measured);
-        rev_demux.route(id, *flow.video_tx);
-        flow.video_tx->start();
-        flow.video_rx->start();
-        break;
-      }
-      case SchemeId::kGcc: {
-        flow.gcc_tx = std::make_unique<GccSender>(sim, GccProfile{}, id);
-        flow.gcc_rx = std::make_unique<GccReceiver>(sim, GccProfile{}, id);
-        flow.gcc_tx->attach_network(fwd_link);
-        flow.gcc_rx->attach_feedback_path(rev_link);
-        flow.measured = std::make_unique<MeasuredSink>(sim, *flow.gcc_rx);
-        fwd_demux.route(id, *flow.measured);
-        rev_demux.route(id, *flow.gcc_tx);
-        flow.gcc_tx->start();
-        flow.gcc_rx->start();
-        break;
-      }
-      default:
-        throw std::invalid_argument("scheme not supported in shared-queue: " +
-                                    to_string(config.scheme));
-    }
-  }
-
-  sim.run_until(TimePoint{} + config.run_time);
-
-  const TimePoint from = TimePoint{} + config.warmup;
-  const TimePoint to = TimePoint{} + config.run_time;
+SharedQueueResult run_shared_queue(const ScenarioSpec& spec,
+                                   ScenarioCache* cache) {
+  require_topology(spec, TopologySpec::Kind::kSharedQueue, "run_shared_queue");
+  const ScenarioResult s = run_scenario(spec, cache);
   SharedQueueResult r;
-  for (const Flow& flow : flows) {
-    const FlowMetrics& m = flow.measured->metrics();
-    r.flow_throughput_kbps.push_back(m.throughput_kbps(from, to));
-    r.flow_delay95_ms.push_back(m.delay_percentile_ms(95.0, from, to));
-    r.aggregate_throughput_kbps += r.flow_throughput_kbps.back();
-    r.max_delay95_ms = std::max(r.max_delay95_ms, r.flow_delay95_ms.back());
+  for (const FlowResult& f : s.flows) {
+    r.flow_throughput_kbps.push_back(f.throughput_kbps);
+    r.flow_delay95_ms.push_back(f.delay95_ms);
   }
-  r.jain_index = jain_fairness(r.flow_throughput_kbps);
-  r.capacity_kbps = link_capacity_kbps(fwd_link.trace(), from, to);
-  r.aggregate_utilization =
-      r.capacity_kbps > 0.0 ? r.aggregate_throughput_kbps / r.capacity_kbps
-                            : 0.0;
+  r.aggregate_throughput_kbps = s.aggregate_throughput_kbps;
+  r.jain_index = s.jain_index;
+  r.max_delay95_ms = s.max_delay95_ms;
+  r.capacity_kbps = s.capacity_kbps;
+  r.aggregate_utilization = s.aggregate_utilization;
   return r;
 }
 
-TunnelContentionResult run_tunnel_contention(
-    const TunnelContentionConfig& config) {
-  Simulator sim;
-  Rng seeder(config.seed);
-
-  const LinkPreset& down_preset =
-      find_link_preset(config.network, LinkDirection::kDownlink);
-  const LinkPreset& up_preset =
-      find_link_preset(config.network, LinkDirection::kUplink);
-  Trace down_trace = preset_trace(down_preset, config.run_time + sec(2));
-  Trace up_trace = preset_trace(up_preset, config.run_time + sec(2));
-
-  CellsimConfig down_cfg;
-  down_cfg.propagation_delay = config.propagation_delay;
-  down_cfg.seed = seeder.fork_seed();
-  CellsimConfig up_cfg = down_cfg;
-  up_cfg.seed = seeder.fork_seed();
-
-  RelaySink down_egress;
-  RelaySink up_egress;
-  CellsimLink down_link(sim, std::move(down_trace), down_cfg, down_egress);
-  CellsimLink up_link(sim, std::move(up_trace), up_cfg, up_egress);
-
-  constexpr std::int64_t kCubicFlow = 1;
-  constexpr std::int64_t kSkypeFlow = 2;
-
-  // Client endpoints (server side sends; mobile side receives).
-  std::unique_ptr<TunnelEndpoint> server_tunnel;
-  std::unique_ptr<TunnelEndpoint> mobile_tunnel;
-
-  ByteCount client_mtu = kMtuBytes;
-  if (config.via_tunnel) {
-    SproutParams params;
-    server_tunnel = std::make_unique<TunnelEndpoint>(
-        sim, params, SproutVariant::kBayesian, 100);
-    mobile_tunnel = std::make_unique<TunnelEndpoint>(
-        sim, params, SproutVariant::kBayesian, 100);
-    client_mtu = server_tunnel->client_mtu();
-  }
-
-  TcpSender tcp_tx(sim, std::make_unique<CubicCC>(), kCubicFlow, client_mtu);
-  TcpReceiver tcp_rx(sim, kCubicFlow);
-  VideoProfile skype = skype_profile();
-  skype.max_packet_bytes = client_mtu;
-  VideoSender video_tx(sim, skype, kSkypeFlow);
-  VideoReceiver video_rx(sim, kSkypeFlow);
-
-  MeasuredSink measured_cubic(sim, tcp_rx);
-  MeasuredSink measured_skype(sim, video_rx);
-
-  DemuxSink down_demux;  // traffic arriving at the mobile
-  down_demux.route(kCubicFlow, measured_cubic);
-  down_demux.route(kSkypeFlow, measured_skype);
-  DemuxSink up_demux;  // feedback arriving at the server
-  up_demux.route(kCubicFlow, tcp_tx);
-  up_demux.route(kSkypeFlow, video_tx);
-
-  if (config.via_tunnel) {
-    server_tunnel->attach_network(down_link);
-    mobile_tunnel->attach_network(up_link);
-    down_egress.set_target(mobile_tunnel->network_sink());
-    up_egress.set_target(server_tunnel->network_sink());
-    // Server-side clients feed the tunnel; mobile-side egress demuxes.
-    tcp_tx.attach_network(server_tunnel->ingress());
-    video_tx.attach_network(server_tunnel->ingress());
-    mobile_tunnel->set_egress(kCubicFlow, measured_cubic);
-    mobile_tunnel->set_egress(kSkypeFlow, measured_skype);
-    // Feedback from the mobile side rides the tunnel back.
-    tcp_rx.attach_ack_path(mobile_tunnel->ingress());
-    video_rx.attach_report_path(mobile_tunnel->ingress());
-    server_tunnel->set_egress(kCubicFlow, tcp_tx);
-    server_tunnel->set_egress(kSkypeFlow, video_tx);
-    server_tunnel->start();
-    mobile_tunnel->start();
-  } else {
-    tcp_tx.attach_network(down_link);
-    video_tx.attach_network(down_link);
-    down_egress.set_target(down_demux);
-    tcp_rx.attach_ack_path(up_link);
-    video_rx.attach_report_path(up_link);
-    up_egress.set_target(up_demux);
-  }
-
-  tcp_tx.start();
-  video_tx.start();
-  video_rx.start();
-
-  sim.run_until(TimePoint{} + config.run_time);
-
-  const TimePoint from = TimePoint{} + config.warmup;
-  const TimePoint to = TimePoint{} + config.run_time;
+TunnelContentionResult run_tunnel_contention(const ScenarioSpec& spec,
+                                             ScenarioCache* cache) {
+  require_topology(spec, TopologySpec::Kind::kTunnelContention,
+                   "run_tunnel_contention");
+  const ScenarioResult s = run_scenario(spec, cache);
   TunnelContentionResult r;
-  r.cubic_throughput_kbps = measured_cubic.metrics().throughput_kbps(from, to);
-  r.skype_throughput_kbps = measured_skype.metrics().throughput_kbps(from, to);
-  r.skype_delay95_ms =
-      measured_skype.metrics().delay_percentile_ms(95.0, from, to);
-  r.cubic_delay95_ms =
-      measured_cubic.metrics().delay_percentile_ms(95.0, from, to);
+  r.cubic_throughput_kbps = s.flows.at(0).throughput_kbps;
+  r.cubic_delay95_ms = s.flows.at(0).delay95_ms;
+  r.skype_throughput_kbps = s.flows.at(1).throughput_kbps;
+  r.skype_delay95_ms = s.flows.at(1).delay95_ms;
   return r;
 }
 

@@ -1,41 +1,26 @@
-// The experiment harness: wires a scheme across an emulated cellular link
-// pair and measures the paper's §5.1 metrics.  Every bench binary and the
-// integration tests are built on run_experiment().
+// Thin, paper-shaped views over the unified scenario engine
+// (runner/scenario.h).  Each call narrows a ScenarioResult to the result
+// vocabulary of one of the paper's experiment families:
 //
-// Topology (data flowing in the preset's direction):
+//   * run_experiment        — one flow on dedicated queues (§5.1-§5.6)
+//   * run_shared_queue      — N flows commingled in ONE queue (§7)
+//   * run_tunnel_contention — Cubic + Skype, direct or tunneled (§5.7)
 //
-//   sender endpoint --> Cellsim(data trace) --> [metrics] --> receiver
-//        ^                                                        |
-//        +---------- Cellsim(reverse trace) <-- feedback/acks ----+
-//
-// Both directions use the same network's traces (e.g. "Verizon LTE
-// downlink" carries the data, "Verizon LTE uplink" the feedback), a 20 ms
-// propagation delay each way (40 ms minimum RTT), and optional Bernoulli
-// loss and CoDel, exactly as in §4.2.
+// All topology wiring, scheme construction (runner/registry.h) and metric
+// computation live in run_scenario(); these wrappers only check that the
+// spec's topology matches the requested view and repackage the fields.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "metrics/timeseries.h"
+#include "runner/scenario.h"
 #include "runner/schemes.h"
 #include "trace/presets.h"
 #include "util/units.h"
 
 namespace sprout {
-
-struct ExperimentConfig {
-  SchemeId scheme = SchemeId::kSprout;
-  LinkPreset link;                  // data direction; feedback uses the twin
-  Duration run_time = sec(300);
-  Duration warmup = sec(60);        // skipped by all metrics (§5.1)
-  Duration propagation_delay = msec(20);
-  double loss_rate = 0.0;           // each-way Bernoulli loss (§5.6)
-  double sprout_confidence = 95.0;  // Figure 9 sweeps this
-  std::uint64_t seed = 42;
-  bool capture_series = false;      // fill ExperimentResult::series (Fig. 1)
-  Duration series_bin = msec(500);
-};
 
 struct ExperimentResult {
   double throughput_kbps = 0.0;
@@ -51,64 +36,10 @@ struct ExperimentResult {
   std::vector<SeriesPoint> capacity_series;  // link (if captured)
 };
 
-[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
-
-// The same experiment over caller-supplied traces (e.g. real captures read
-// with read_trace_file, or link/pf_cell.h output) instead of the synthetic
-// presets.  This is the drop-in path for users with their own mahimahi-
-// format recordings.
-struct FileTraceExperimentConfig {
-  SchemeId scheme = SchemeId::kSprout;
-  Trace forward_trace;              // data direction
-  Trace reverse_trace;              // feedback/ack direction
-  Duration run_time = sec(300);
-  Duration warmup = sec(60);
-  Duration propagation_delay = msec(20);
-  double loss_rate = 0.0;
-  double sprout_confidence = 95.0;
-  std::uint64_t seed = 42;
-  bool capture_series = false;
-  Duration series_bin = msec(500);
-};
-
-[[nodiscard]] ExperimentResult run_experiment_on_traces(
-    const FileTraceExperimentConfig& config);
-
-// §5.7: Cubic bulk transfer + Skype videoconference sharing the Verizon LTE
-// downlink, directly or through SproutTunnel.
-struct TunnelContentionConfig {
-  std::string network = "Verizon LTE";
-  bool via_tunnel = false;
-  Duration run_time = sec(300);
-  Duration warmup = sec(60);
-  Duration propagation_delay = msec(20);
-  std::uint64_t seed = 42;
-};
-
-struct TunnelContentionResult {
-  double cubic_throughput_kbps = 0.0;
-  double skype_throughput_kbps = 0.0;
-  double skype_delay95_ms = 0.0;  // 95% end-to-end delay of the Skype flow
-  double cubic_delay95_ms = 0.0;
-};
-
-[[nodiscard]] TunnelContentionResult run_tunnel_contention(
-    const TunnelContentionConfig& config);
-
-// §7 extension: "We have not evaluated the performance of multiple Sprouts
-// sharing a queue."  Runs `num_flows` identical sender/receiver pairs of
-// one scheme through a SINGLE emulated cellular queue in each direction
-// (the situation the paper's per-user-queue assumption excludes) and
-// reports per-flow shares, Jain fairness, and the delay everyone pays.
-struct SharedQueueConfig {
-  SchemeId scheme = SchemeId::kSprout;
-  int num_flows = 2;
-  LinkPreset link;  // data direction; feedback uses the twin
-  Duration run_time = sec(300);
-  Duration warmup = sec(60);
-  Duration propagation_delay = msec(20);
-  std::uint64_t seed = 42;
-};
+// Runs `spec` (which must be a single-flow topology) and returns the
+// paper's §5.1 single-flow metrics.
+[[nodiscard]] ExperimentResult run_experiment(const ScenarioSpec& spec,
+                                              ScenarioCache* cache = nullptr);
 
 struct SharedQueueResult {
   std::vector<double> flow_throughput_kbps;   // one per flow
@@ -120,6 +51,24 @@ struct SharedQueueResult {
   double aggregate_utilization = 0.0;
 };
 
-[[nodiscard]] SharedQueueResult run_shared_queue(const SharedQueueConfig& config);
+// Runs `spec` (which must be a shared-queue topology): num_flows identical
+// sender/receiver pairs of one scheme through a SINGLE emulated cellular
+// queue in each direction, reporting per-flow shares, Jain fairness, and
+// the delay everyone pays.
+[[nodiscard]] SharedQueueResult run_shared_queue(const ScenarioSpec& spec,
+                                                 ScenarioCache* cache = nullptr);
+
+struct TunnelContentionResult {
+  double cubic_throughput_kbps = 0.0;
+  double skype_throughput_kbps = 0.0;
+  double skype_delay95_ms = 0.0;  // 95% end-to-end delay of the Skype flow
+  double cubic_delay95_ms = 0.0;
+};
+
+// Runs `spec` (which must be a tunnel-contention topology): Cubic bulk
+// transfer + Skype videoconference sharing the link's downlink, directly
+// or through SproutTunnel.
+[[nodiscard]] TunnelContentionResult run_tunnel_contention(
+    const ScenarioSpec& spec, ScenarioCache* cache = nullptr);
 
 }  // namespace sprout

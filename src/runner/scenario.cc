@@ -1,0 +1,517 @@
+#include "runner/scenario.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "app/video_app.h"
+#include "cc/cubic.h"
+#include "cc/tcp_endpoint.h"
+#include "link/cellsim.h"
+#include "metrics/flow_metrics.h"
+#include "runner/registry.h"
+#include "sim/relay.h"
+#include "sim/simulator.h"
+#include "tunnel/tunnel.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace sprout {
+
+// --- LinkSpec / TopologySpec construction -------------------------------
+
+LinkSpec LinkSpec::preset(const LinkPreset& preset) {
+  LinkSpec spec;
+  spec.source = Source::kPreset;
+  spec.network = preset.network;
+  spec.direction = preset.direction;
+  return spec;
+}
+
+LinkSpec LinkSpec::preset(const std::string& network,
+                          LinkDirection direction) {
+  LinkSpec spec;
+  spec.source = Source::kPreset;
+  spec.network = network;
+  spec.direction = direction;
+  return spec;
+}
+
+LinkSpec LinkSpec::traces(Trace forward, Trace reverse) {
+  LinkSpec spec;
+  spec.source = Source::kTraces;
+  spec.forward_trace = std::move(forward);
+  spec.reverse_trace = std::move(reverse);
+  return spec;
+}
+
+LinkSpec LinkSpec::trace_files(std::string forward_path,
+                               std::string reverse_path) {
+  LinkSpec spec;
+  spec.source = Source::kTraceFiles;
+  spec.forward_path = std::move(forward_path);
+  spec.reverse_path = std::move(reverse_path);
+  return spec;
+}
+
+LinkSpec LinkSpec::synthetic(CellProcessParams forward,
+                             CellProcessParams reverse,
+                             std::uint64_t forward_seed,
+                             std::uint64_t reverse_seed) {
+  LinkSpec spec;
+  spec.source = Source::kSynthetic;
+  spec.forward_process = forward;
+  spec.reverse_process = reverse;
+  spec.forward_process_seed = forward_seed;
+  spec.reverse_process_seed = reverse_seed;
+  return spec;
+}
+
+std::string LinkSpec::name() const {
+  switch (source) {
+    case Source::kPreset:
+      return network + " " + to_string(direction);
+    case Source::kTraces:
+      return "in-memory traces";
+    case Source::kTraceFiles:
+      return forward_path + " / " + reverse_path;
+    case Source::kSynthetic:
+      return "synthetic Cox process";
+  }
+  return "link";
+}
+
+TopologySpec TopologySpec::single_flow() { return TopologySpec{}; }
+
+TopologySpec TopologySpec::shared_queue(int num_flows) {
+  TopologySpec t;
+  t.kind = Kind::kSharedQueue;
+  t.num_flows = num_flows;
+  return t;
+}
+
+TopologySpec TopologySpec::tunnel_contention(bool via_tunnel) {
+  TopologySpec t;
+  t.kind = Kind::kTunnelContention;
+  t.via_tunnel = via_tunnel;
+  return t;
+}
+
+ScenarioSpec single_flow_scenario(SchemeId scheme, const LinkPreset& link) {
+  ScenarioSpec spec;
+  spec.scheme = scheme;
+  spec.link = LinkSpec::preset(link);
+  return spec;
+}
+
+ScenarioSpec shared_queue_scenario(SchemeId scheme, int num_flows,
+                                   const LinkPreset& link) {
+  ScenarioSpec spec;
+  spec.scheme = scheme;
+  spec.link = LinkSpec::preset(link);
+  spec.topology = TopologySpec::shared_queue(num_flows);
+  return spec;
+}
+
+ScenarioSpec tunnel_scenario(const std::string& network, bool via_tunnel) {
+  ScenarioSpec spec;
+  spec.link = LinkSpec::preset(network, LinkDirection::kDownlink);
+  spec.topology = TopologySpec::tunnel_contention(via_tunnel);
+  return spec;
+}
+
+// --- ScenarioResult single-flow views -----------------------------------
+
+double ScenarioResult::throughput_kbps() const {
+  return flows.empty() ? 0.0 : flows.front().throughput_kbps;
+}
+
+double ScenarioResult::delay95_ms() const {
+  return flows.empty() ? 0.0 : flows.front().delay95_ms;
+}
+
+double ScenarioResult::mean_delay_ms() const {
+  return flows.empty() ? 0.0 : flows.front().mean_delay_ms;
+}
+
+double ScenarioResult::utilization() const {
+  return capacity_kbps > 0.0 ? throughput_kbps() / capacity_kbps : 0.0;
+}
+
+double ScenarioResult::self_inflicted_delay_ms() const {
+  return std::max(0.0, delay95_ms() - omniscient_delay95_ms);
+}
+
+// --- ScenarioCache ------------------------------------------------------
+
+std::shared_ptr<const Trace> ScenarioCache::trace(
+    const std::string& key, const std::function<Trace()>& build) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = traces_.find(key);
+    if (it != traces_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Build outside the lock: distinct keys materialize concurrently in a
+  // sweep.  If two threads race on one key the results are identical
+  // (entries are deterministic functions of the key); first insert wins.
+  auto built = std::make_shared<const Trace>(build());
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = traces_.emplace(key, std::move(built));
+  if (inserted) {
+    ++misses_;
+  } else {
+    ++hits_;
+  }
+  return it->second;
+}
+
+std::int64_t ScenarioCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::int64_t ScenarioCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::string synthetic_link_key(const CellProcessParams& params,
+                               std::uint64_t seed, Duration duration) {
+  std::ostringstream os;
+  os << "synthetic|" << params.mean_rate_pps << '|' << params.volatility_pps
+     << '|' << params.reversion_per_s << '|' << params.max_rate_pps << '|'
+     << params.outage_hazard_per_s << '|' << params.outage_min_s << '|'
+     << params.outage_alpha << '|' << params.step.count() << '|' << seed
+     << '|' << duration.count();
+  return os.str();
+}
+
+// --- link resolution ----------------------------------------------------
+
+namespace {
+
+LinkDirection opposite(LinkDirection d) {
+  return d == LinkDirection::kDownlink ? LinkDirection::kUplink
+                                       : LinkDirection::kDownlink;
+}
+
+struct ResolvedLink {
+  std::shared_ptr<const Trace> forward;
+  std::shared_ptr<const Trace> reverse;
+};
+
+std::shared_ptr<const Trace> materialize(ScenarioCache* cache,
+                                         const std::string& key,
+                                         const std::function<Trace()>& build) {
+  if (cache != nullptr) return cache->trace(key, build);
+  return std::make_shared<const Trace>(build());
+}
+
+ResolvedLink resolve_link(const LinkSpec& link, Duration run_time,
+                          ScenarioCache* cache) {
+  // Preset/synthetic traces are generated slightly past the run time so
+  // the final window is fully covered.
+  const Duration needed = run_time + sec(2);
+  ResolvedLink resolved;
+  switch (link.source) {
+    case LinkSpec::Source::kPreset: {
+      const LinkPreset& fwd = find_link_preset(link.network, link.direction);
+      const LinkPreset& rev =
+          find_link_preset(link.network, opposite(link.direction));
+      const auto key = [&](const LinkPreset& p) {
+        return "preset|" + p.name() + "|" + std::to_string(needed.count());
+      };
+      resolved.forward =
+          materialize(cache, key(fwd), [&] { return preset_trace(fwd, needed); });
+      resolved.reverse =
+          materialize(cache, key(rev), [&] { return preset_trace(rev, needed); });
+      break;
+    }
+    case LinkSpec::Source::kTraces:
+      // Non-owning views: the spec outlives the run, so don't copy what
+      // may be hundreds of thousands of opportunities per direction.
+      resolved.forward = std::shared_ptr<const Trace>(
+          std::shared_ptr<const Trace>{}, &link.forward_trace);
+      resolved.reverse = std::shared_ptr<const Trace>(
+          std::shared_ptr<const Trace>{}, &link.reverse_trace);
+      break;
+    case LinkSpec::Source::kTraceFiles:
+      resolved.forward =
+          materialize(cache, "file|" + link.forward_path,
+                      [&] { return read_trace_file(link.forward_path); });
+      resolved.reverse =
+          materialize(cache, "file|" + link.reverse_path,
+                      [&] { return read_trace_file(link.reverse_path); });
+      break;
+    case LinkSpec::Source::kSynthetic:
+      resolved.forward = materialize(
+          cache,
+          synthetic_link_key(link.forward_process, link.forward_process_seed,
+                             needed),
+          [&] {
+            return generate_trace(link.forward_process, needed,
+                                  link.forward_process_seed);
+          });
+      resolved.reverse = materialize(
+          cache,
+          synthetic_link_key(link.reverse_process, link.reverse_process_seed,
+                             needed),
+          [&] {
+            return generate_trace(link.reverse_process, needed,
+                                  link.reverse_process_seed);
+          });
+      break;
+  }
+  return resolved;
+}
+
+// --- generic topology: N registry-built flows over two shared links -----
+
+ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
+  const TopologySpec& topo = spec.topology;
+  const int num_flows =
+      topo.kind == TopologySpec::Kind::kSingleFlow ? 1 : topo.num_flows;
+  if (num_flows < 1) {
+    throw std::invalid_argument("scenario needs >= 1 flow");
+  }
+  const SchemeInfo& scheme = SchemeRegistry::instance().info(spec.scheme);
+  if (topo.kind == TopologySpec::Kind::kSharedQueue &&
+      !scheme.shared_queue_capable) {
+    throw std::invalid_argument("scheme not supported in shared-queue: " +
+                                scheme.name);
+  }
+
+  Simulator sim;
+  Rng seeder(spec.seed);
+
+  CellsimConfig fwd_cfg;
+  fwd_cfg.propagation_delay = spec.propagation_delay;
+  fwd_cfg.loss_rate = spec.loss_rate;
+  fwd_cfg.seed = seeder.fork_seed();
+  CellsimConfig rev_cfg = fwd_cfg;
+  rev_cfg.seed = seeder.fork_seed();
+
+  std::unique_ptr<AqmPolicy> fwd_policy;
+  std::unique_ptr<AqmPolicy> rev_policy;
+  if (scheme.make_link_aqm) {
+    fwd_policy = scheme.make_link_aqm(seeder);
+    rev_policy = scheme.make_link_aqm(seeder);
+  }
+
+  RelaySink fwd_egress;
+  RelaySink rev_egress;
+  CellsimLink fwd_link(sim, Trace(*link.forward), fwd_cfg, fwd_egress,
+                       std::move(fwd_policy));
+  CellsimLink rev_link(sim, Trace(*link.reverse), rev_cfg, rev_egress,
+                       std::move(rev_policy));
+
+  DemuxSink fwd_demux;  // data arriving at the receivers
+  DemuxSink rev_demux;  // feedback arriving at the senders
+  fwd_egress.set_target(fwd_demux);
+  rev_egress.set_target(rev_demux);
+
+  SproutParams sprout_params;
+  sprout_params.confidence_percent = spec.sprout_confidence;
+
+  std::vector<std::unique_ptr<SchemeFlow>> flows;
+  flows.reserve(static_cast<std::size_t>(num_flows));
+  for (int f = 0; f < num_flows; ++f) {
+    const std::int64_t id = f + 1;
+    FlowContext ctx{sim,
+                    sprout_params,
+                    id,
+                    f,
+                    fwd_link,
+                    rev_link,
+                    fwd_link.trace(),
+                    spec.propagation_delay,
+                    spec.run_time};
+    auto flow = scheme.make_flow(ctx);
+    fwd_demux.route(id, flow->data_egress());
+    if (PacketSink* feedback = flow->feedback_egress()) {
+      rev_demux.route(id, *feedback);
+    }
+    flow->start();
+    flows.push_back(std::move(flow));
+  }
+
+  sim.run_until(TimePoint{} + spec.run_time);
+
+  const TimePoint from = TimePoint{} + spec.warmup;
+  const TimePoint to = TimePoint{} + spec.run_time;
+
+  ScenarioResult r;
+  for (const auto& flow : flows) {
+    const FlowMetrics& m = flow->metrics();
+    FlowResult fr;
+    fr.label = scheme.name;
+    fr.throughput_kbps = m.throughput_kbps(from, to);
+    fr.delay95_ms = m.delay_percentile_ms(95.0, from, to);
+    fr.mean_delay_ms = m.mean_delay_ms(from, to);
+    if (spec.capture_series) {
+      fr.series =
+          throughput_delay_series(m, TimePoint{}, to, spec.series_bin);
+    }
+    r.aggregate_throughput_kbps += fr.throughput_kbps;
+    r.max_delay95_ms = std::max(r.max_delay95_ms, fr.delay95_ms);
+    r.flows.push_back(std::move(fr));
+  }
+  std::vector<double> shares;
+  shares.reserve(r.flows.size());
+  for (const FlowResult& fr : r.flows) shares.push_back(fr.throughput_kbps);
+  r.jain_index = jain_fairness(shares);
+  r.capacity_kbps = link_capacity_kbps(fwd_link.trace(), from, to);
+  r.aggregate_utilization =
+      r.capacity_kbps > 0.0 ? r.aggregate_throughput_kbps / r.capacity_kbps
+                            : 0.0;
+  r.omniscient_delay95_ms = omniscient_delay_percentile_ms(
+      fwd_link.trace(), 95.0, from, to, spec.propagation_delay);
+  r.packets_delivered = fwd_link.delivered_packets();
+  r.link_drops = fwd_link.random_drops() + fwd_link.queue_drops();
+  if (spec.capture_series) {
+    r.capacity_series =
+        capacity_series(fwd_link.trace(), TimePoint{}, to, spec.series_bin);
+  }
+  return r;
+}
+
+// --- §5.7 tunnel contention ---------------------------------------------
+
+ScenarioResult run_tunnel(const ScenarioSpec& spec, const ResolvedLink& link) {
+  Simulator sim;
+  Rng seeder(spec.seed);
+
+  CellsimConfig down_cfg;
+  down_cfg.propagation_delay = spec.propagation_delay;
+  down_cfg.loss_rate = spec.loss_rate;
+  down_cfg.seed = seeder.fork_seed();
+  CellsimConfig up_cfg = down_cfg;
+  up_cfg.seed = seeder.fork_seed();
+
+  RelaySink down_egress;
+  RelaySink up_egress;
+  CellsimLink down_link(sim, Trace(*link.forward), down_cfg, down_egress);
+  CellsimLink up_link(sim, Trace(*link.reverse), up_cfg, up_egress);
+
+  constexpr std::int64_t kCubicFlow = 1;
+  constexpr std::int64_t kSkypeFlow = 2;
+
+  // Client endpoints (server side sends; mobile side receives).
+  std::unique_ptr<TunnelEndpoint> server_tunnel;
+  std::unique_ptr<TunnelEndpoint> mobile_tunnel;
+
+  ByteCount client_mtu = kMtuBytes;
+  if (spec.topology.via_tunnel) {
+    SproutParams params;
+    params.confidence_percent = spec.sprout_confidence;
+    server_tunnel = std::make_unique<TunnelEndpoint>(
+        sim, params, SproutVariant::kBayesian, 100);
+    mobile_tunnel = std::make_unique<TunnelEndpoint>(
+        sim, params, SproutVariant::kBayesian, 100);
+    client_mtu = server_tunnel->client_mtu();
+  }
+
+  TcpSender tcp_tx(sim, std::make_unique<CubicCC>(), kCubicFlow, client_mtu);
+  TcpReceiver tcp_rx(sim, kCubicFlow);
+  VideoProfile skype = skype_profile();
+  skype.max_packet_bytes = client_mtu;
+  VideoSender video_tx(sim, skype, kSkypeFlow);
+  VideoReceiver video_rx(sim, kSkypeFlow);
+
+  MeasuredSink measured_cubic(sim, tcp_rx);
+  MeasuredSink measured_skype(sim, video_rx);
+
+  DemuxSink down_demux;  // traffic arriving at the mobile
+  down_demux.route(kCubicFlow, measured_cubic);
+  down_demux.route(kSkypeFlow, measured_skype);
+  DemuxSink up_demux;  // feedback arriving at the server
+  up_demux.route(kCubicFlow, tcp_tx);
+  up_demux.route(kSkypeFlow, video_tx);
+
+  if (spec.topology.via_tunnel) {
+    server_tunnel->attach_network(down_link);
+    mobile_tunnel->attach_network(up_link);
+    down_egress.set_target(mobile_tunnel->network_sink());
+    up_egress.set_target(server_tunnel->network_sink());
+    // Server-side clients feed the tunnel; mobile-side egress demuxes.
+    tcp_tx.attach_network(server_tunnel->ingress());
+    video_tx.attach_network(server_tunnel->ingress());
+    mobile_tunnel->set_egress(kCubicFlow, measured_cubic);
+    mobile_tunnel->set_egress(kSkypeFlow, measured_skype);
+    // Feedback from the mobile side rides the tunnel back.
+    tcp_rx.attach_ack_path(mobile_tunnel->ingress());
+    video_rx.attach_report_path(mobile_tunnel->ingress());
+    server_tunnel->set_egress(kCubicFlow, tcp_tx);
+    server_tunnel->set_egress(kSkypeFlow, video_tx);
+    server_tunnel->start();
+    mobile_tunnel->start();
+  } else {
+    tcp_tx.attach_network(down_link);
+    video_tx.attach_network(down_link);
+    down_egress.set_target(down_demux);
+    tcp_rx.attach_ack_path(up_link);
+    video_rx.attach_report_path(up_link);
+    up_egress.set_target(up_demux);
+  }
+
+  tcp_tx.start();
+  video_tx.start();
+  video_rx.start();
+
+  sim.run_until(TimePoint{} + spec.run_time);
+
+  const TimePoint from = TimePoint{} + spec.warmup;
+  const TimePoint to = TimePoint{} + spec.run_time;
+
+  ScenarioResult r;
+  for (const auto& [label, sink] :
+       {std::pair<const char*, const MeasuredSink*>{"Cubic", &measured_cubic},
+        std::pair<const char*, const MeasuredSink*>{"Skype",
+                                                    &measured_skype}}) {
+    const FlowMetrics& m = sink->metrics();
+    FlowResult fr;
+    fr.label = label;
+    fr.throughput_kbps = m.throughput_kbps(from, to);
+    fr.delay95_ms = m.delay_percentile_ms(95.0, from, to);
+    fr.mean_delay_ms = m.mean_delay_ms(from, to);
+    if (spec.capture_series) {
+      fr.series =
+          throughput_delay_series(m, TimePoint{}, to, spec.series_bin);
+    }
+    r.aggregate_throughput_kbps += fr.throughput_kbps;
+    r.max_delay95_ms = std::max(r.max_delay95_ms, fr.delay95_ms);
+    r.flows.push_back(std::move(fr));
+  }
+  std::vector<double> shares;
+  for (const FlowResult& fr : r.flows) shares.push_back(fr.throughput_kbps);
+  r.jain_index = jain_fairness(shares);
+  r.capacity_kbps = link_capacity_kbps(down_link.trace(), from, to);
+  r.aggregate_utilization =
+      r.capacity_kbps > 0.0 ? r.aggregate_throughput_kbps / r.capacity_kbps
+                            : 0.0;
+  r.omniscient_delay95_ms = omniscient_delay_percentile_ms(
+      down_link.trace(), 95.0, from, to, spec.propagation_delay);
+  r.packets_delivered = down_link.delivered_packets();
+  r.link_drops = down_link.random_drops() + down_link.queue_drops();
+  if (spec.capture_series) {
+    r.capacity_series =
+        capacity_series(down_link.trace(), TimePoint{}, to, spec.series_bin);
+  }
+  return r;
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioSpec& spec, ScenarioCache* cache) {
+  const ResolvedLink link = resolve_link(spec.link, spec.run_time, cache);
+  if (spec.topology.kind == TopologySpec::Kind::kTunnelContention) {
+    return run_tunnel(spec, link);
+  }
+  return run_flows(spec, link);
+}
+
+}  // namespace sprout

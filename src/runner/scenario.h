@@ -1,0 +1,203 @@
+// The unified scenario engine.
+//
+// One ScenarioSpec describes everything the runner can simulate: which
+// scheme, over which link (a named preset, caller-supplied traces, trace
+// files on disk, or a synthetic Cox-process spec), in which topology (one
+// flow on a dedicated queue, N flows commingled in one shared queue, or
+// the §5.7 tunnel-contention scenario), for how long, under what loss and
+// seed.  run_scenario() is the single entry point every bench, example and
+// test builds on; the legacy run_experiment / run_shared_queue /
+// run_tunnel_contention calls in runner/experiment.h are thin views over
+// it.
+//
+// Topology (data flowing in the link's forward direction):
+//
+//   sender endpoint(s) --> Cellsim(fwd trace) --> [demux+metrics] --> rcvr(s)
+//        ^                                                             |
+//        +------------ Cellsim(rev trace) <-- feedback/acks -----------+
+//
+// Both directions use the same network's traces (e.g. "Verizon LTE
+// downlink" carries the data, "Verizon LTE uplink" the feedback), a 20 ms
+// propagation delay each way (40 ms minimum RTT), and optional Bernoulli
+// loss and AQM, exactly as in §4.2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/timeseries.h"
+#include "runner/schemes.h"
+#include "trace/presets.h"
+#include "trace/synthetic.h"
+#include "trace/trace.h"
+#include "util/units.h"
+
+namespace sprout {
+
+// Where the two directions' delivery traces come from.
+struct LinkSpec {
+  enum class Source {
+    kPreset,     // one of the eight traced networks (trace/presets.h)
+    kTraces,     // caller-supplied in-memory traces
+    kTraceFiles, // mahimahi-format files, parsed (and cached) by the engine
+    kSynthetic,  // generate from explicit Cox-process parameters
+  };
+
+  Source source = Source::kPreset;
+
+  // kPreset: data direction; feedback uses the same network's twin.
+  std::string network = "Verizon LTE";
+  LinkDirection direction = LinkDirection::kDownlink;
+
+  // kTraces.
+  Trace forward_trace;
+  Trace reverse_trace;
+
+  // kTraceFiles.
+  std::string forward_path;
+  std::string reverse_path;
+
+  // kSynthetic: per-direction process parameters and generator seeds.
+  CellProcessParams forward_process;
+  CellProcessParams reverse_process;
+  std::uint64_t forward_process_seed = 1;
+  std::uint64_t reverse_process_seed = 2;
+
+  [[nodiscard]] static LinkSpec preset(const LinkPreset& preset);
+  [[nodiscard]] static LinkSpec preset(const std::string& network,
+                                       LinkDirection direction);
+  [[nodiscard]] static LinkSpec traces(Trace forward, Trace reverse);
+  [[nodiscard]] static LinkSpec trace_files(std::string forward_path,
+                                            std::string reverse_path);
+  [[nodiscard]] static LinkSpec synthetic(CellProcessParams forward,
+                                          CellProcessParams reverse,
+                                          std::uint64_t forward_seed = 1,
+                                          std::uint64_t reverse_seed = 2);
+
+  // Human-readable link label ("Verizon LTE downlink", a file path, ...).
+  [[nodiscard]] std::string name() const;
+};
+
+// How many flows, and how they share the emulated queues.
+struct TopologySpec {
+  enum class Kind {
+    kSingleFlow,        // one sender/receiver pair, dedicated queues
+    kSharedQueue,       // num_flows identical pairs through ONE queue (§7)
+    kTunnelContention,  // §5.7: Cubic bulk + Skype call, direct or tunneled
+  };
+
+  Kind kind = Kind::kSingleFlow;
+  int num_flows = 1;        // kSharedQueue
+  bool via_tunnel = false;  // kTunnelContention
+
+  [[nodiscard]] static TopologySpec single_flow();
+  [[nodiscard]] static TopologySpec shared_queue(int num_flows);
+  [[nodiscard]] static TopologySpec tunnel_contention(bool via_tunnel);
+};
+
+// The one scenario description.  Defaults reproduce the paper's §5 setup:
+// 300 s runs, the first minute skipped by all metrics, 20 ms propagation
+// each way, no loss, the 95%-confidence forecast.
+struct ScenarioSpec {
+  SchemeId scheme = SchemeId::kSprout;  // ignored by tunnel contention
+  LinkSpec link;
+  TopologySpec topology;
+  Duration run_time = sec(300);
+  Duration warmup = sec(60);        // skipped by all metrics (§5.1)
+  Duration propagation_delay = msec(20);
+  double loss_rate = 0.0;           // each-way Bernoulli loss (§5.6)
+  double sprout_confidence = 95.0;  // Figure 9 sweeps this
+  std::uint64_t seed = 42;
+  bool capture_series = false;      // fill per-flow series (Fig. 1)
+  Duration series_bin = msec(500);
+};
+
+// Convenience constructors for the three common shapes.
+[[nodiscard]] ScenarioSpec single_flow_scenario(SchemeId scheme,
+                                                const LinkPreset& link);
+[[nodiscard]] ScenarioSpec shared_queue_scenario(SchemeId scheme,
+                                                 int num_flows,
+                                                 const LinkPreset& link);
+[[nodiscard]] ScenarioSpec tunnel_scenario(const std::string& network,
+                                           bool via_tunnel);
+
+// One flow's measured outcome (§5.1 metrics).
+struct FlowResult {
+  std::string label;             // scheme name; "Cubic"/"Skype" in tunnel
+  double throughput_kbps = 0.0;
+  double delay95_ms = 0.0;       // 95% end-to-end delay
+  double mean_delay_ms = 0.0;
+  std::vector<SeriesPoint> series;  // if spec.capture_series
+};
+
+// The unified result: per-flow metrics plus link-level aggregates.  The
+// single-flow accessors mirror the paper's headline metrics for flows[0].
+struct ScenarioResult {
+  std::vector<FlowResult> flows;
+
+  double capacity_kbps = 0.0;            // forward link, measurement window
+  double aggregate_throughput_kbps = 0.0;
+  double aggregate_utilization = 0.0;
+  double jain_index = 1.0;               // fairness of throughput shares
+  double max_delay95_ms = 0.0;
+  double omniscient_delay95_ms = 0.0;    // baseline on the same trace
+  std::int64_t packets_delivered = 0;    // forward link
+  std::int64_t link_drops = 0;           // forward link random + queue drops
+  std::vector<SeriesPoint> capacity_series;  // if spec.capture_series
+
+  // Single-flow views (flows[0]).
+  [[nodiscard]] double throughput_kbps() const;
+  [[nodiscard]] double delay95_ms() const;
+  [[nodiscard]] double mean_delay_ms() const;
+  [[nodiscard]] double utilization() const;
+  // The paper's headline delay metric: max(0, delay95 - omniscient delay95).
+  [[nodiscard]] double self_inflicted_delay_ms() const;
+};
+
+// Shared, immutable cache of resolved link traces (generated presets,
+// parsed trace files, synthetic runs).  A sweep hands one cache to every
+// cell so each distinct trace is materialized once; entries are
+// deterministic functions of their key, so first-writer-wins is safe and
+// results do not depend on thread interleaving.
+//
+// Trace FILES are keyed by path alone: the cache assumes a file's
+// contents do not change during the cache's lifetime.  Rewriting a trace
+// file between runs requires a fresh ScenarioCache/SweepRunner (or a new
+// path), or the old contents will be silently reused.
+class ScenarioCache {
+ public:
+  // Returns the cached trace for `key`, building it with `build` on miss.
+  [[nodiscard]] std::shared_ptr<const Trace> trace(
+      const std::string& key, const std::function<Trace()>& build);
+
+  [[nodiscard]] std::int64_t hits() const;
+  [[nodiscard]] std::int64_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Trace>> traces_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+// Canonical cache key for a synthetic trace: enumerates every
+// CellProcessParams field plus seed and duration.  The sweep's content
+// fingerprint hashes this same string, so a params field added here keeps
+// caching and seed derivation consistent by construction.
+[[nodiscard]] std::string synthetic_link_key(const CellProcessParams& params,
+                                             std::uint64_t seed,
+                                             Duration duration);
+
+// Runs one scenario.  With a cache, expensive per-run precomputation
+// (trace generation/parsing) is shared across calls; without one, each
+// call materializes its own traces.  Throws std::invalid_argument for
+// specs the topology or scheme cannot satisfy.
+[[nodiscard]] ScenarioResult run_scenario(const ScenarioSpec& spec,
+                                          ScenarioCache* cache = nullptr);
+
+}  // namespace sprout

@@ -1,0 +1,160 @@
+#include "runner/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <exception>
+#include <thread>
+
+namespace sprout {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+struct Fnv {
+  std::uint64_t state = kFnvOffset;
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      state ^= p[i];
+      state *= kFnvPrime;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void i64(std::int64_t v) { bytes(&v, sizeof v); }
+  void f64(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+};
+
+void hash_trace(Fnv& h, const Trace& t) {
+  // Sampling keeps fingerprinting giant traces cheap; a collision between
+  // distinct traces only means two cells derive the same seed, which is
+  // harmless (seeds need determinism, not uniqueness).
+  const auto& opp = t.opportunities();
+  h.u64(opp.size());
+  h.i64(t.duration().count());
+  const std::size_t stride = opp.size() > 4096 ? opp.size() / 4096 : 1;
+  for (std::size_t i = 0; i < opp.size(); i += stride) {
+    h.i64(opp[i].time_since_epoch().count());
+  }
+}
+
+}  // namespace
+
+std::uint64_t scenario_fingerprint(const ScenarioSpec& spec) {
+  Fnv h;
+  h.u64(static_cast<std::uint64_t>(spec.scheme));
+  h.u64(static_cast<std::uint64_t>(spec.link.source));
+  switch (spec.link.source) {
+    case LinkSpec::Source::kPreset:
+      h.str(spec.link.network);
+      h.u64(static_cast<std::uint64_t>(spec.link.direction));
+      break;
+    case LinkSpec::Source::kTraces:
+      hash_trace(h, spec.link.forward_trace);
+      hash_trace(h, spec.link.reverse_trace);
+      break;
+    case LinkSpec::Source::kTraceFiles:
+      h.str(spec.link.forward_path);
+      h.str(spec.link.reverse_path);
+      break;
+    case LinkSpec::Source::kSynthetic:
+      // Hash the canonical cache key so field coverage can't drift from
+      // what the trace cache distinguishes.
+      h.str(synthetic_link_key(spec.link.forward_process,
+                               spec.link.forward_process_seed,
+                               spec.run_time));
+      h.str(synthetic_link_key(spec.link.reverse_process,
+                               spec.link.reverse_process_seed,
+                               spec.run_time));
+      break;
+  }
+  h.u64(static_cast<std::uint64_t>(spec.topology.kind));
+  h.i64(spec.topology.num_flows);
+  h.u64(spec.topology.via_tunnel ? 1 : 0);
+  h.i64(spec.run_time.count());
+  h.i64(spec.warmup.count());
+  h.i64(spec.propagation_delay.count());
+  h.f64(spec.loss_rate);
+  h.f64(spec.sprout_confidence);
+  h.u64(spec.seed);
+  h.u64(spec.capture_series ? 1 : 0);
+  h.i64(spec.series_bin.count());
+  return h.state;
+}
+
+std::uint64_t derive_cell_seed(std::uint64_t base_seed,
+                               const ScenarioSpec& spec) {
+  // splitmix64 finalizer over (base ⊕ fingerprint): well-mixed, and a
+  // pure function of sweep seed + cell content — never of cell position.
+  std::uint64_t z = base_seed ^ scenario_fingerprint(spec);
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
+
+std::vector<ScenarioResult> SweepRunner::run(
+    const std::vector<ScenarioSpec>& specs) {
+  // Only reseeding needs a mutable copy (specs can carry large inline
+  // traces; don't duplicate them for nothing).
+  const std::vector<ScenarioSpec>* cells = &specs;
+  std::vector<ScenarioSpec> reseeded;
+  if (options_.base_seed.has_value()) {
+    reseeded = specs;
+    for (ScenarioSpec& spec : reseeded) {
+      spec.seed = derive_cell_seed(*options_.base_seed, spec);
+    }
+    cells = &reseeded;
+  }
+
+  std::vector<ScenarioResult> results(cells->size());
+  std::vector<std::exception_ptr> errors(cells->size());
+
+  int threads = options_.threads > 0
+                    ? options_.threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  if (threads < 1) threads = 1;
+  threads = std::min<int>(threads, static_cast<int>(cells->size()));
+
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < cells->size();
+         i = next.fetch_add(1)) {
+      try {
+        results[i] = run_scenario((*cells)[i], &cache_);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+  return results;
+}
+
+}  // namespace sprout

@@ -10,9 +10,9 @@ namespace {
 
 ExperimentResult run_scheme(SchemeId scheme, const char* network,
                             LinkDirection dir) {
-  ExperimentConfig c;
+  ScenarioSpec c;
   c.scheme = scheme;
-  c.link = find_link_preset(network, dir);
+  c.link = LinkSpec::preset(network, dir);
   c.run_time = sec(100);
   c.warmup = sec(20);
   return run_experiment(c);
@@ -92,11 +92,11 @@ TEST_F(LteDownlink, SkypeModelUnderperformsSprout) {
 TEST(PaperShape, TunnelIsolatesSkypeFromCubic) {
   // §5.7: through SproutTunnel, Skype's delay collapses and its throughput
   // rises; Cubic pays.
-  TunnelContentionConfig direct;
+  ScenarioSpec direct = tunnel_scenario("Verizon LTE", false);
   direct.run_time = sec(100);
   direct.warmup = sec(20);
-  TunnelContentionConfig tunneled = direct;
-  tunneled.via_tunnel = true;
+  ScenarioSpec tunneled = direct;
+  tunneled.topology.via_tunnel = true;
   const TunnelContentionResult d = run_tunnel_contention(direct);
   const TunnelContentionResult t = run_tunnel_contention(tunneled);
   EXPECT_LT(t.skype_delay95_ms, d.skype_delay95_ms / 2.0);
@@ -106,9 +106,9 @@ TEST(PaperShape, TunnelIsolatesSkypeFromCubic) {
 
 TEST(PaperShape, SproutLossResilience) {
   // §5.6: Sprout still provides useful throughput at 5% and 10% loss.
-  ExperimentConfig c;
+  ScenarioSpec c;
   c.scheme = SchemeId::kSprout;
-  c.link = find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  c.link = LinkSpec::preset("Verizon LTE", LinkDirection::kDownlink);
   c.run_time = sec(100);
   c.warmup = sec(20);
   const double clean = run_experiment(c).throughput_kbps;

@@ -28,9 +28,9 @@ std::string case_name(const ::testing::TestParamInfo<Case>& info) {
 class SchemeLinkSweep : public ::testing::TestWithParam<Case> {
  protected:
   static ExperimentResult run(const Case& c, std::uint64_t seed = 42) {
-    ExperimentConfig config;
+    ScenarioSpec config;
     config.scheme = c.scheme;
-    config.link = find_link_preset(c.network, c.direction);
+    config.link = LinkSpec::preset(c.network, c.direction);
     config.run_time = sec(45);
     config.warmup = sec(15);
     config.seed = seed;
@@ -98,8 +98,8 @@ INSTANTIATE_TEST_SUITE_P(
 class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SeedSweep, SproutBeatsCubicOnDelayForEverySeed) {
-  ExperimentConfig config;
-  config.link = find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  ScenarioSpec config;
+  config.link = LinkSpec::preset("Verizon LTE", LinkDirection::kDownlink);
   config.run_time = sec(45);
   config.warmup = sec(15);
   config.seed = GetParam();
@@ -120,8 +120,8 @@ INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
 class VariantSweep : public ::testing::TestWithParam<SchemeId> {};
 
 TEST_P(VariantSweep, KeepsDelayFarBelowCubic) {
-  ExperimentConfig config;
-  config.link = find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  ScenarioSpec config;
+  config.link = LinkSpec::preset("Verizon LTE", LinkDirection::kDownlink);
   config.run_time = sec(30);
   config.warmup = sec(10);
   config.scheme = GetParam();

@@ -2,13 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 namespace sprout {
 namespace {
 
-ExperimentConfig quick(SchemeId scheme) {
-  ExperimentConfig c;
+ScenarioSpec quick(SchemeId scheme) {
+  ScenarioSpec c;
   c.scheme = scheme;
-  c.link = find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  c.link = LinkSpec::preset("Verizon LTE", LinkDirection::kDownlink);
   c.run_time = sec(40);
   c.warmup = sec(10);
   return c;
@@ -46,7 +48,7 @@ TEST(Experiment, OmniscientSchemeHasZeroSelfInflictedDelay) {
 }
 
 TEST(Experiment, SeriesCaptureProducesAlignedSeries) {
-  ExperimentConfig c = quick(SchemeId::kSproutEwma);
+  ScenarioSpec c = quick(SchemeId::kSproutEwma);
   c.capture_series = true;
   const ExperimentResult r = run_experiment(c);
   EXPECT_FALSE(r.series.empty());
@@ -57,8 +59,8 @@ TEST(Experiment, SeriesCaptureProducesAlignedSeries) {
 }
 
 TEST(Experiment, LossConfigReducesThroughput) {
-  ExperimentConfig clean = quick(SchemeId::kSprout);
-  ExperimentConfig lossy = clean;
+  ScenarioSpec clean = quick(SchemeId::kSprout);
+  ScenarioSpec lossy = clean;
   lossy.loss_rate = 0.10;
   const double t_clean = run_experiment(clean).throughput_kbps;
   const double t_lossy = run_experiment(lossy).throughput_kbps;
@@ -67,9 +69,10 @@ TEST(Experiment, LossConfigReducesThroughput) {
 }
 
 TEST(Experiment, ConfidenceSweepTradesDelayForThroughput) {
-  ExperimentConfig cautious = quick(SchemeId::kSprout);
-  cautious.link = find_link_preset("T-Mobile 3G (UMTS)", LinkDirection::kUplink);
-  ExperimentConfig aggressive = cautious;
+  ScenarioSpec cautious = quick(SchemeId::kSprout);
+  cautious.link =
+      LinkSpec::preset("T-Mobile 3G (UMTS)", LinkDirection::kUplink);
+  ScenarioSpec aggressive = cautious;
   aggressive.sprout_confidence = 5.0;
   const ExperimentResult r95 = run_experiment(cautious);
   const ExperimentResult r5 = run_experiment(aggressive);
@@ -79,12 +82,20 @@ TEST(Experiment, ConfidenceSweepTradesDelayForThroughput) {
 }
 
 TEST(Experiment, UplinkAndDownlinkAreDistinct) {
-  ExperimentConfig down = quick(SchemeId::kCubic);
-  ExperimentConfig up = down;
-  up.link = find_link_preset("Verizon LTE", LinkDirection::kUplink);
+  ScenarioSpec down = quick(SchemeId::kCubic);
+  ScenarioSpec up = down;
+  up.link = LinkSpec::preset("Verizon LTE", LinkDirection::kUplink);
   const ExperimentResult rd = run_experiment(down);
   const ExperimentResult ru = run_experiment(up);
   EXPECT_NE(rd.capacity_kbps, ru.capacity_kbps);
+}
+
+TEST(Experiment, RejectsTopologyMismatch) {
+  ScenarioSpec shared = quick(SchemeId::kSprout);
+  shared.topology = TopologySpec::shared_queue(2);
+  EXPECT_THROW((void)run_experiment(shared), std::invalid_argument);
+  EXPECT_THROW((void)run_tunnel_contention(quick(SchemeId::kSprout)),
+               std::invalid_argument);
 }
 
 // --- extension schemes (GCC / FAST / Cubic-PIE), evaluated end-to-end ---
@@ -121,7 +132,7 @@ TEST(ExtensionSchemes, PieControlsCubicDelayLikeCodel) {
 
 TEST(ExtensionSchemes, AllExtensionSchemesAreDeterministic) {
   for (const SchemeId s : extension_schemes()) {
-    ExperimentConfig c = quick(s);
+    ScenarioSpec c = quick(s);
     c.run_time = sec(20);
     c.warmup = sec(5);
     const ExperimentResult a = run_experiment(c);
@@ -134,11 +145,9 @@ TEST(ExtensionSchemes, AllExtensionSchemesAreDeterministic) {
 
 // --- §7 extension: multiple flows sharing one queue ---
 
-SharedQueueConfig shared_quick(SchemeId scheme, int flows) {
-  SharedQueueConfig c;
-  c.scheme = scheme;
-  c.num_flows = flows;
-  c.link = find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+ScenarioSpec shared_quick(SchemeId scheme, int flows) {
+  ScenarioSpec c = shared_queue_scenario(
+      scheme, flows, find_link_preset("Verizon LTE", LinkDirection::kDownlink));
   c.run_time = sec(40);
   c.warmup = sec(10);
   return c;
@@ -188,22 +197,22 @@ TEST(SharedQueue, DeterministicForSeed) {
 }
 
 TEST(SharedQueue, RejectsInvalidConfigs) {
-  EXPECT_THROW(run_shared_queue(shared_quick(SchemeId::kSprout, 0)),
+  EXPECT_THROW((void)run_shared_queue(shared_quick(SchemeId::kSprout, 0)),
                std::invalid_argument);
-  EXPECT_THROW(run_shared_queue(shared_quick(SchemeId::kOmniscient, 2)),
+  EXPECT_THROW((void)run_shared_queue(shared_quick(SchemeId::kOmniscient, 2)),
                std::invalid_argument);
 }
 
 TEST(TunnelContention, RunsBothModes) {
-  TunnelContentionConfig direct;
+  ScenarioSpec direct = tunnel_scenario("Verizon LTE", false);
   direct.run_time = sec(40);
   direct.warmup = sec(10);
   const TunnelContentionResult d = run_tunnel_contention(direct);
   EXPECT_GT(d.cubic_throughput_kbps, 0.0);
   EXPECT_GT(d.skype_throughput_kbps, 0.0);
 
-  TunnelContentionConfig tunneled = direct;
-  tunneled.via_tunnel = true;
+  ScenarioSpec tunneled = direct;
+  tunneled.topology.via_tunnel = true;
   const TunnelContentionResult t = run_tunnel_contention(tunneled);
   EXPECT_GT(t.cubic_throughput_kbps, 0.0);
   EXPECT_GT(t.skype_throughput_kbps, 0.0);

@@ -1,6 +1,6 @@
-// Tests for run_experiment_on_traces (runner/experiment.h): the drop-in
-// path for caller-supplied traces — real captures, PF-cell output, or
-// hand-built fixtures with known-by-construction metrics.
+// Tests for the caller-supplied-trace link sources (LinkSpec::traces and
+// LinkSpec::trace_files): the drop-in path for real captures, PF-cell
+// output, or hand-built fixtures with known-by-construction metrics.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -21,19 +21,18 @@ Trace isochronous(std::int64_t gap_ms, int seconds) {
   return Trace(std::move(opp), sec(seconds));
 }
 
-FileTraceExperimentConfig base_config(SchemeId scheme) {
-  FileTraceExperimentConfig c;
+ScenarioSpec base_spec(SchemeId scheme) {
+  ScenarioSpec c;
   c.scheme = scheme;
-  c.forward_trace = isochronous(2, 45);  // 500 pkt/s = 6 Mbit/s
-  c.reverse_trace = isochronous(2, 45);
+  // 500 pkt/s = 6 Mbit/s each way.
+  c.link = LinkSpec::traces(isochronous(2, 45), isochronous(2, 45));
   c.run_time = sec(40);
   c.warmup = sec(10);
   return c;
 }
 
 TEST(FileTraces, OmniscientSaturatesAConstantLink) {
-  const ExperimentResult r =
-      run_experiment_on_traces(base_config(SchemeId::kOmniscient));
+  const ExperimentResult r = run_experiment(base_spec(SchemeId::kOmniscient));
   EXPECT_GT(r.utilization, 0.97);
   EXPECT_NEAR(r.capacity_kbps, 6000.0, 60.0);
   EXPECT_NEAR(r.self_inflicted_delay_ms, 0.0, 5.0);
@@ -42,60 +41,60 @@ TEST(FileTraces, OmniscientSaturatesAConstantLink) {
 TEST(FileTraces, SproutNearlySaturatesAConstantLink) {
   // On a steady link the cautious forecast converges close to the true
   // rate: most of the caution cost comes from rate *variation*.
-  const ExperimentResult r =
-      run_experiment_on_traces(base_config(SchemeId::kSprout));
+  const ExperimentResult r = run_experiment(base_spec(SchemeId::kSprout));
   EXPECT_GT(r.utilization, 0.6);
   EXPECT_LT(r.self_inflicted_delay_ms, 200.0);
 }
 
 TEST(FileTraces, CubicFillsTheUnboundedQueue) {
-  const ExperimentResult r =
-      run_experiment_on_traces(base_config(SchemeId::kCubic));
+  const ExperimentResult r = run_experiment(base_spec(SchemeId::kCubic));
   EXPECT_GT(r.utilization, 0.9);
   EXPECT_GT(r.self_inflicted_delay_ms, 500.0);
 }
 
 TEST(FileTraces, MatchesPresetPathForIdenticalTraces) {
-  // run_experiment must be exactly run_experiment_on_traces + preset
+  // The preset link source must be exactly the trace link source + preset
   // traces: same seed, same result.
-  ExperimentConfig preset;
+  const LinkPreset& down =
+      find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  ScenarioSpec preset;
   preset.scheme = SchemeId::kSproutEwma;
-  preset.link = find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  preset.link = LinkSpec::preset(down);
   preset.run_time = sec(30);
   preset.warmup = sec(10);
   const ExperimentResult via_preset = run_experiment(preset);
 
-  FileTraceExperimentConfig file;
-  file.scheme = SchemeId::kSproutEwma;
-  file.forward_trace = preset_trace(preset.link, preset.run_time + sec(2));
-  file.reverse_trace = preset_trace(
-      find_link_preset("Verizon LTE", LinkDirection::kUplink),
-      preset.run_time + sec(2));
-  file.run_time = preset.run_time;
-  file.warmup = preset.warmup;
-  const ExperimentResult via_file = run_experiment_on_traces(file);
+  ScenarioSpec file = preset;
+  file.link = LinkSpec::traces(
+      preset_trace(down, preset.run_time + sec(2)),
+      preset_trace(find_link_preset("Verizon LTE", LinkDirection::kUplink),
+                   preset.run_time + sec(2)));
+  const ExperimentResult via_file = run_experiment(file);
 
   EXPECT_DOUBLE_EQ(via_preset.throughput_kbps, via_file.throughput_kbps);
   EXPECT_DOUBLE_EQ(via_preset.delay95_ms, via_file.delay95_ms);
 }
 
 TEST(FileTraces, SurvivesTraceFileRoundTrip) {
-  // write_trace_file -> read_trace_file (ms quantization) must preserve
-  // the experiment's results exactly for ms-aligned traces.
-  const Trace t = isochronous(5, 45);
-  const std::string path = "/tmp/sprout_filetrace_test.trace";
-  write_trace_file(t, path);
-  const Trace reread = read_trace_file(path);
-  std::remove(path.c_str());
-  ASSERT_EQ(reread.size(), t.size());
+  // write_trace_file -> LinkSpec::trace_files (ms quantization) must
+  // preserve the experiment's results exactly for ms-aligned traces.
+  const std::string fwd_path = "/tmp/sprout_filetrace_test_fwd.trace";
+  const std::string rev_path = "/tmp/sprout_filetrace_test_rev.trace";
+  write_trace_file(isochronous(5, 45), fwd_path);
+  write_trace_file(isochronous(2, 45), rev_path);
 
-  FileTraceExperimentConfig a = base_config(SchemeId::kSprout);
-  a.forward_trace = t;
-  FileTraceExperimentConfig b = base_config(SchemeId::kSprout);
-  b.forward_trace = reread;
-  const ExperimentResult ra = run_experiment_on_traces(a);
-  const ExperimentResult rb = run_experiment_on_traces(b);
+  ScenarioSpec a = base_spec(SchemeId::kSprout);
+  a.link = LinkSpec::traces(read_trace_file(fwd_path),
+                            read_trace_file(rev_path));
+  ScenarioSpec b = base_spec(SchemeId::kSprout);
+  b.link = LinkSpec::trace_files(fwd_path, rev_path);
+
+  const ExperimentResult ra = run_experiment(a);
+  const ExperimentResult rb = run_experiment(b);
+  std::remove(fwd_path.c_str());
+  std::remove(rev_path.c_str());
   EXPECT_DOUBLE_EQ(ra.throughput_kbps, rb.throughput_kbps);
+  EXPECT_DOUBLE_EQ(ra.delay95_ms, rb.delay95_ms);
 }
 
 TEST(FileTraces, PfCellTracesDriveTheFullStack) {
@@ -103,13 +102,12 @@ TEST(FileTraces, PfCellTracesDriveTheFullStack) {
   params.num_users = 2;
   PfCell cell(params, 5);
   auto traces = cell.run(sec(45));
-  FileTraceExperimentConfig c;
+  ScenarioSpec c;
   c.scheme = SchemeId::kSprout;
-  c.forward_trace = traces[0];
-  c.reverse_trace = traces[1];
+  c.link = LinkSpec::traces(traces[0], traces[1]);
   c.run_time = sec(40);
   c.warmup = sec(10);
-  const ExperimentResult r = run_experiment_on_traces(c);
+  const ExperimentResult r = run_experiment(c);
   EXPECT_GT(r.packets_delivered, 0);
   EXPECT_GE(r.self_inflicted_delay_ms, 0.0);
   EXPECT_LE(r.throughput_kbps, r.capacity_kbps * 1.001);

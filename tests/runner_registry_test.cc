@@ -1,0 +1,104 @@
+// SchemeRegistry coverage: every SchemeId in schemes.h resolves to a
+// factory, the published scheme lists stay consistent with the registry,
+// and registry metadata matches the scheme names.
+#include "runner/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "runner/scenario.h"
+
+namespace sprout {
+namespace {
+
+// Every SchemeId in schemes.h, by hand: the enum has no reflection, so
+// this list IS the test's claim of completeness.  Adding an enumerator
+// without registering it (or without extending this list) fails here.
+const std::vector<SchemeId>& all_scheme_ids() {
+  static const std::vector<SchemeId> ids = {
+      SchemeId::kSprout,        SchemeId::kSproutEwma,
+      SchemeId::kSkype,         SchemeId::kFacetime,
+      SchemeId::kHangout,       SchemeId::kCubic,
+      SchemeId::kVegas,         SchemeId::kCompound,
+      SchemeId::kLedbat,        SchemeId::kCubicCodel,
+      SchemeId::kOmniscient,    SchemeId::kGcc,
+      SchemeId::kFast,          SchemeId::kCubicPie,
+      SchemeId::kSproutAdaptive, SchemeId::kSproutMmpp,
+      SchemeId::kSproutEmpirical,
+  };
+  return ids;
+}
+
+TEST(SchemeRegistry, EverySchemeIdResolves) {
+  const SchemeRegistry& registry = SchemeRegistry::instance();
+  for (const SchemeId id : all_scheme_ids()) {
+    const SchemeInfo* info = registry.find(id);
+    ASSERT_NE(info, nullptr) << to_string(id);
+    EXPECT_EQ(info->id, id);
+    EXPECT_TRUE(static_cast<bool>(info->make_flow)) << to_string(id);
+  }
+}
+
+TEST(SchemeRegistry, RegisteredMatchesSchemesHeaderExactly) {
+  const std::vector<SchemeId> registered =
+      SchemeRegistry::instance().registered();
+  const std::set<SchemeId> expected(all_scheme_ids().begin(),
+                                    all_scheme_ids().end());
+  const std::set<SchemeId> actual(registered.begin(), registered.end());
+  EXPECT_EQ(actual, expected);
+  // No duplicate registrations.
+  EXPECT_EQ(registered.size(), actual.size());
+}
+
+TEST(SchemeRegistry, NamesMatchToString) {
+  for (const SchemeId id : all_scheme_ids()) {
+    EXPECT_EQ(SchemeRegistry::instance().info(id).name, to_string(id));
+  }
+}
+
+TEST(SchemeRegistry, PublishedListsAreRegistered) {
+  const SchemeRegistry& registry = SchemeRegistry::instance();
+  for (const auto* list : {&figure7_schemes(), &table1_schemes(),
+                           &extension_schemes(), &forecaster_schemes()}) {
+    for (const SchemeId id : *list) {
+      EXPECT_NE(registry.find(id), nullptr) << to_string(id);
+    }
+  }
+}
+
+TEST(SchemeRegistry, ForecasterSchemesAreSproutFamily) {
+  // The forecaster family is the Sprout protocol under different models;
+  // all of its members must support the shared-queue topology (the §7
+  // multi-Sprout extension sweeps them).
+  for (const SchemeId id : forecaster_schemes()) {
+    EXPECT_TRUE(SchemeRegistry::instance().info(id).shared_queue_capable)
+        << to_string(id);
+  }
+}
+
+TEST(SchemeRegistry, OmniscientIsSingleFlowOnly) {
+  EXPECT_FALSE(
+      SchemeRegistry::instance().info(SchemeId::kOmniscient).shared_queue_capable);
+}
+
+TEST(SchemeRegistry, OnlyAqmSchemesRequestLinkPolicies) {
+  const SchemeRegistry& registry = SchemeRegistry::instance();
+  for (const SchemeId id : all_scheme_ids()) {
+    const bool wants_aqm = id == SchemeId::kCubicCodel ||
+                           id == SchemeId::kCubicPie;
+    EXPECT_EQ(static_cast<bool>(registry.info(id).make_link_aqm), wants_aqm)
+        << to_string(id);
+  }
+}
+
+TEST(SchemeRegistry, UnregisteredLookupThrows) {
+  // An id outside the enum range must not silently resolve.
+  const auto bogus = static_cast<SchemeId>(10'000);
+  EXPECT_EQ(SchemeRegistry::instance().find(bogus), nullptr);
+  EXPECT_THROW((void)SchemeRegistry::instance().info(bogus),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sprout
