@@ -47,6 +47,12 @@ inline ScenarioSpec shared_spec(SchemeId scheme, int num_flows,
   return with_bench_times(shared_queue_scenario(scheme, num_flows, link));
 }
 
+// Heterogeneous flows commingled in one queue (the coexistence shape).
+inline ScenarioSpec hetero_spec(std::vector<FlowSpec> flows,
+                                const LinkPreset& link) {
+  return with_bench_times(heterogeneous_scenario(std::move(flows), link));
+}
+
 // Cubic + Skype contending on a network, direct or tunneled (§5.7).
 inline ScenarioSpec tunnel_spec(bool via_tunnel,
                                 const std::string& network = "Verizon LTE") {

@@ -6,7 +6,7 @@
 // MTU-sized delivery opportunity each) — the format the Sprout authors
 // released and mahimahi still uses, so real captures drop in unchanged.
 // Scheme is one of: sprout, ewma, adaptive, mmpp, empirical, skype,
-// facetime, hangout, cubic, vegas, compound, ledbat, fast, gcc,
+// facetime, hangout, cubic, reno, vegas, compound, ledbat, fast, gcc,
 // cubic-codel, cubic-pie, omniscient.
 #include <iostream>
 #include <map>
@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
       {"facetime", SchemeId::kFacetime},
       {"hangout", SchemeId::kHangout},
       {"cubic", SchemeId::kCubic},
+      {"reno", SchemeId::kReno},
       {"vegas", SchemeId::kVegas},
       {"compound", SchemeId::kCompound},
       {"ledbat", SchemeId::kLedbat},

@@ -22,7 +22,7 @@ AdaptiveForecastStrategy::AdaptiveForecastStrategy(const SproutParams& params,
     m.params.sigma_pps_per_sqrt_s = h.sigma_pps_per_sqrt_s;
     m.params.outage_escape_rate_per_s = h.outage_escape_rate_per_s;
     m.filter = std::make_unique<SproutBayesFilter>(m.params);
-    m.transitions = std::make_unique<TransitionMatrix>(m.params);
+    m.transitions = TransitionMatrixCache::get(m.params);
     m.log_weight = 0.0;  // uniform prior over hypotheses
     members_.push_back(std::move(m));
   }

@@ -68,7 +68,8 @@ class AdaptiveForecastStrategy : public ForecastStrategy {
     ModelHypothesis hypothesis;
     SproutParams params;  // base params with σ/λz overridden
     std::unique_ptr<SproutBayesFilter> filter;
-    std::unique_ptr<TransitionMatrix> transitions;  // for forecast evolution
+    // Cache-shared kernel for forecast evolution (TransitionMatrixCache).
+    std::shared_ptr<const TransitionMatrix> transitions;
     double log_weight = 0.0;
   };
 

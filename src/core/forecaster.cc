@@ -110,7 +110,7 @@ ByteCount DeliveryForecast::cumulative_at(int t) const {
 
 DeliveryForecaster::DeliveryForecaster(const SproutParams& params)
     : params_(params),
-      transitions_(params),
+      transitions_(TransitionMatrixCache::get(params)),
       cdf_(ForecastTableCache::get(params)) {}
 
 double DeliveryForecaster::mixture_cdf(const RateDistribution& dist,
@@ -165,7 +165,7 @@ DeliveryForecast DeliveryForecaster::forecast(const RateDistribution& current,
   RateDistribution evolved = current;
   ByteCount floor = 0;
   for (int h = 1; h <= params_.forecast_horizon_ticks; ++h) {
-    transitions_.evolve(evolved);
+    transitions_->evolve(evolved);
     const int packets = quantile_packets(evolved, h);
     ByteCount bytes = static_cast<ByteCount>(packets) * params_.mtu;
     // Cumulative deliveries cannot decrease with a longer horizon.

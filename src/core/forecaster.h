@@ -77,8 +77,8 @@ class DeliveryForecaster {
                                    int count) const;
 
   SproutParams params_;
-  TransitionMatrix transitions_;
-  // Shared, immutable CDF tables from the ForecastTableCache.
+  // Shared, immutable kernel and CDF tables from the process-wide caches.
+  std::shared_ptr<const TransitionMatrix> transitions_;
   std::shared_ptr<const ForecastTableCache::Tables> cdf_;
 };
 

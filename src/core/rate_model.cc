@@ -1,9 +1,13 @@
 #include "core/rate_model.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <numeric>
+#include <tuple>
 
 #include "util/poisson.h"
 
@@ -14,7 +18,63 @@ namespace {
 // Standard normal CDF.
 double phi(double x) { return 0.5 * (1.0 + std::erf(x / std::sqrt(2.0))); }
 
+// The SproutParams fields the transition kernel depends on.  Forecast and
+// sender knobs do NOT appear: a confidence sweep or lookahead ablation
+// shares one matrix.
+using MatrixKey = std::tuple<int, double, std::int64_t, double, double>;
+
+MatrixKey matrix_key(const SproutParams& params) {
+  return {params.num_bins, params.max_rate_pps, params.tick.count(),
+          params.sigma_pps_per_sqrt_s, params.outage_escape_rate_per_s};
+}
+
+std::mutex& matrix_cache_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<MatrixKey, std::shared_ptr<const TransitionMatrix>>&
+matrix_cache_map() {
+  static std::map<MatrixKey, std::shared_ptr<const TransitionMatrix>> m;
+  return m;
+}
+
+std::atomic<std::int64_t> g_matrix_hits{0};
+std::atomic<std::int64_t> g_matrix_misses{0};
+
 }  // namespace
+
+std::shared_ptr<const TransitionMatrix> TransitionMatrixCache::get(
+    const SproutParams& params) {
+  // Building under the lock serializes first construction per key (the
+  // "build once per distinct params" guarantee a parallel sweep wants);
+  // hits only pay a map lookup.
+  std::lock_guard<std::mutex> lock(matrix_cache_mutex());
+  auto& map = matrix_cache_map();
+  const MatrixKey key = matrix_key(params);
+  const auto it = map.find(key);
+  if (it != map.end()) {
+    g_matrix_hits.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  g_matrix_misses.fetch_add(1, std::memory_order_relaxed);
+  auto matrix = std::make_shared<const TransitionMatrix>(params);
+  map.emplace(key, matrix);
+  return matrix;
+}
+
+std::int64_t TransitionMatrixCache::hits() {
+  return g_matrix_hits.load(std::memory_order_relaxed);
+}
+
+std::int64_t TransitionMatrixCache::misses() {
+  return g_matrix_misses.load(std::memory_order_relaxed);
+}
+
+void TransitionMatrixCache::reset_counters() {
+  g_matrix_hits.store(0, std::memory_order_relaxed);
+  g_matrix_misses.store(0, std::memory_order_relaxed);
+}
 
 RateDistribution::RateDistribution(int num_bins)
     : p_(static_cast<std::size_t>(num_bins)) {
@@ -56,9 +116,7 @@ double RateDistribution::quantile(const SproutParams& params,
 }
 
 TransitionMatrix::TransitionMatrix(const SproutParams& params)
-    : n_(static_cast<std::size_t>(params.num_bins)),
-      m_(n_ * n_, 0.0),
-      scratch_(n_) {
+    : n_(static_cast<std::size_t>(params.num_bins)), m_(n_ * n_, 0.0) {
   const double s =
       params.sigma_pps_per_sqrt_s * std::sqrt(params.tick_seconds());
   assert(s > 0.0);
@@ -114,26 +172,29 @@ TransitionMatrix::TransitionMatrix(const SproutParams& params)
 
 void TransitionMatrix::evolve(RateDistribution& dist) const {
   assert(static_cast<std::size_t>(dist.num_bins()) == n_);
-  std::fill(scratch_.begin(), scratch_.end(), 0.0);
+  // Thread-local scratch keeps the matrix itself immutable, so one cached
+  // instance is safely shared across concurrent sweep cells.
+  thread_local std::vector<double> scratch;
+  scratch.assign(n_, 0.0);
   const std::vector<double>& p = dist.probabilities();
   for (std::size_t i = 0; i < n_; ++i) {
     const double pi = p[i];
     if (pi <= 0.0) continue;
     const double* row = &m_[i * n_];
     for (std::size_t j = 0; j < n_; ++j) {
-      scratch_[j] += pi * row[j];
+      scratch[j] += pi * row[j];
     }
   }
-  dist.mutable_probabilities() = scratch_;
+  dist.mutable_probabilities() = scratch;
 }
 
 SproutBayesFilter::SproutBayesFilter(const SproutParams& params)
     : params_(params),
-      transitions_(params),
+      transitions_(TransitionMatrixCache::get(params)),
       dist_(params.num_bins),
       log_prior_(static_cast<std::size_t>(params.num_bins)) {}
 
-void SproutBayesFilter::evolve() { transitions_.evolve(dist_); }
+void SproutBayesFilter::evolve() { transitions_->evolve(dist_); }
 
 void SproutBayesFilter::observe(int packets, double fraction) {
   observe_impl(packets, fraction, /*censored=*/false);

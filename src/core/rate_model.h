@@ -9,6 +9,8 @@
 //   3. normalize: p /= Σ p
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/params.h"
@@ -40,12 +42,15 @@ class RateDistribution {
   std::vector<double> p_;
 };
 
-// Precomputed one-tick evolution kernel.
+// Precomputed one-tick evolution kernel.  Immutable after construction
+// (evolve() works through a thread-local scratch buffer), so one matrix is
+// safely shared across filters, forecasters and sweep threads — see
+// TransitionMatrixCache below.
 class TransitionMatrix {
  public:
   explicit TransitionMatrix(const SproutParams& params);
 
-  // p <- p * M (in place via scratch buffer).
+  // p <- p * M (in place via a thread-local scratch buffer).
   void evolve(RateDistribution& dist) const;
 
   [[nodiscard]] double entry(int from, int to) const {
@@ -56,7 +61,25 @@ class TransitionMatrix {
  private:
   std::size_t n_;
   std::vector<double> m_;  // row-major: m_[from][to]
-  mutable std::vector<double> scratch_;
+};
+
+// Process-wide cache of transition matrices, keyed by the SproutParams
+// fields that determine the kernel (bins, rate grid, tick, σ, λz) — the
+// same pattern as the forecaster's Poisson-CDF ForecastTableCache.
+// Building a matrix is ~num_bins² Gaussian integrals and every simulation
+// constructs at least three (sender filter, receiver filter, forecaster);
+// the cache makes that one build per distinct parameter set per process.
+// Hit/miss counters make the reuse observable in tests and benches.
+class TransitionMatrixCache {
+ public:
+  // Returns the matrix for `params`, building it on first use.
+  // Thread-safe; a given key is only ever built once per process.
+  [[nodiscard]] static std::shared_ptr<const TransitionMatrix> get(
+      const SproutParams& params);
+
+  [[nodiscard]] static std::int64_t hits();
+  [[nodiscard]] static std::int64_t misses();
+  static void reset_counters();
 };
 
 // The full filter: evolve / observe / normalize.
@@ -86,7 +109,7 @@ class SproutBayesFilter {
   void observe_impl(int packets, double fraction, bool censored);
 
   SproutParams params_;
-  TransitionMatrix transitions_;
+  std::shared_ptr<const TransitionMatrix> transitions_;  // cache-shared
   RateDistribution dist_;
   std::vector<double> log_prior_;  // scratch for the log-space update
 };

@@ -38,6 +38,14 @@ ExperimentResult run_experiment(const ScenarioSpec& spec,
 SharedQueueResult run_shared_queue(const ScenarioSpec& spec,
                                    ScenarioCache* cache) {
   require_topology(spec, TopologySpec::Kind::kSharedQueue, "run_shared_queue");
+  // This view narrows to the paper's §7 vocabulary (N identical flows of
+  // one scheme); heterogeneous flow lists carry per-flow schemes and
+  // activity windows that this result shape cannot express.
+  if (!spec.topology.flows.empty()) {
+    throw std::invalid_argument(
+        "run_shared_queue is the homogeneous view; run heterogeneous flow "
+        "lists through run_scenario()");
+  }
   const ScenarioResult s = run_scenario(spec, cache);
   SharedQueueResult r;
   for (const FlowResult& f : s.flows) {

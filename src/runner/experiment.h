@@ -51,10 +51,13 @@ struct SharedQueueResult {
   double aggregate_utilization = 0.0;
 };
 
-// Runs `spec` (which must be a shared-queue topology): num_flows identical
-// sender/receiver pairs of one scheme through a SINGLE emulated cellular
-// queue in each direction, reporting per-flow shares, Jain fairness, and
-// the delay everyone pays.
+// Runs `spec` (which must be a HOMOGENEOUS shared-queue topology):
+// num_flows identical sender/receiver pairs of one scheme through a SINGLE
+// emulated cellular queue in each direction, reporting per-flow shares,
+// Jain fairness, and the delay everyone pays.  Heterogeneous flow lists
+// (TopologySpec::heterogeneous_queue) carry per-flow schemes, parameter
+// overrides and activity windows this result shape cannot express; run
+// them through run_scenario() directly.
 [[nodiscard]] SharedQueueResult run_shared_queue(const ScenarioSpec& spec,
                                                  ScenarioCache* cache = nullptr);
 

@@ -12,6 +12,7 @@
 #include "cc/fast.h"
 #include "cc/gcc_endpoint.h"
 #include "cc/ledbat.h"
+#include "cc/reno.h"
 #include "cc/tcp_endpoint.h"
 #include "cc/vegas.h"
 #include "core/endpoint.h"
@@ -265,6 +266,7 @@ const Registrar kFacetime{video_scheme(SchemeId::kFacetime, facetime_profile)};
 const Registrar kHangout{video_scheme(SchemeId::kHangout, hangout_profile)};
 
 const Registrar kCubic{tcp_scheme<CubicCC>(SchemeId::kCubic)};
+const Registrar kReno{tcp_scheme<RenoCC>(SchemeId::kReno)};
 const Registrar kVegas{tcp_scheme<VegasCC>(SchemeId::kVegas)};
 const Registrar kCompound{tcp_scheme<CompoundCC>(SchemeId::kCompound)};
 const Registrar kLedbat{tcp_scheme<LedbatCC>(SchemeId::kLedbat)};

@@ -1,8 +1,10 @@
 #include "runner/scenario.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <tuple>
 #include <utility>
 
 #include "app/video_app.h"
@@ -82,12 +84,44 @@ std::string LinkSpec::name() const {
   return "link";
 }
 
+FlowSpec FlowSpec::of(SchemeId scheme) {
+  FlowSpec f;
+  f.scheme = scheme;
+  return f;
+}
+
+FlowSpec FlowSpec::with_params(const SproutParams& params) const {
+  FlowSpec f = *this;
+  f.sprout_params = params;
+  return f;
+}
+
+FlowSpec FlowSpec::active(Duration start_time,
+                          std::optional<Duration> stop_time) const {
+  FlowSpec f = *this;
+  f.start = start_time;
+  f.stop = stop_time;
+  return f;
+}
+
 TopologySpec TopologySpec::single_flow() { return TopologySpec{}; }
 
 TopologySpec TopologySpec::shared_queue(int num_flows) {
   TopologySpec t;
   t.kind = Kind::kSharedQueue;
   t.num_flows = num_flows;
+  return t;
+}
+
+TopologySpec TopologySpec::heterogeneous_queue(std::vector<FlowSpec> flows) {
+  if (flows.empty()) {
+    throw std::invalid_argument(
+        "heterogeneous shared queue needs a non-empty flow list");
+  }
+  TopologySpec t;
+  t.kind = Kind::kSharedQueue;
+  t.num_flows = static_cast<int>(flows.size());
+  t.flows = std::move(flows);
   return t;
 }
 
@@ -111,6 +145,15 @@ ScenarioSpec shared_queue_scenario(SchemeId scheme, int num_flows,
   spec.scheme = scheme;
   spec.link = LinkSpec::preset(link);
   spec.topology = TopologySpec::shared_queue(num_flows);
+  return spec;
+}
+
+ScenarioSpec heterogeneous_scenario(std::vector<FlowSpec> flows,
+                                    const LinkPreset& link) {
+  ScenarioSpec spec;
+  if (!flows.empty()) spec.scheme = flows.front().scheme;
+  spec.link = LinkSpec::preset(link);
+  spec.topology = TopologySpec::heterogeneous_queue(std::move(flows));
   return spec;
 }
 
@@ -269,20 +312,74 @@ ResolvedLink resolve_link(const LinkSpec& link, Duration run_time,
   return resolved;
 }
 
-// --- generic topology: N registry-built flows over two shared links -----
+// --- generic topology: registry-built flows over two shared links -------
 
-ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
+// The per-flow specs a topology resolves to: an explicit FlowSpec list as
+// given, the homogeneous shapes as N copies of the scenario's scheme.
+std::vector<FlowSpec> effective_flow_specs(const ScenarioSpec& spec) {
   const TopologySpec& topo = spec.topology;
-  const int num_flows =
-      topo.kind == TopologySpec::Kind::kSingleFlow ? 1 : topo.num_flows;
-  if (num_flows < 1) {
+  if (topo.kind == TopologySpec::Kind::kSingleFlow) {
+    return {FlowSpec::of(spec.scheme)};
+  }
+  if (!topo.flows.empty()) return topo.flows;
+  if (topo.num_flows < 1) {
     throw std::invalid_argument("scenario needs >= 1 flow");
   }
-  const SchemeInfo& scheme = SchemeRegistry::instance().info(spec.scheme);
-  if (topo.kind == TopologySpec::Kind::kSharedQueue &&
+  return std::vector<FlowSpec>(static_cast<std::size_t>(topo.num_flows),
+                               FlowSpec::of(spec.scheme));
+}
+
+// Spec validation for one flow of a (possibly heterogeneous) topology.
+void validate_flow_spec(const ScenarioSpec& spec, const FlowSpec& flow,
+                        const SchemeInfo& scheme) {
+  if (spec.topology.kind == TopologySpec::Kind::kSharedQueue &&
       !scheme.shared_queue_capable) {
     throw std::invalid_argument("scheme not supported in shared-queue: " +
                                 scheme.name);
+  }
+  if (flow.start < Duration::zero() || flow.start >= spec.run_time) {
+    throw std::invalid_argument("flow start outside [0, run_time): " +
+                                scheme.name);
+  }
+  if (flow.stop.has_value() && *flow.stop <= flow.start) {
+    throw std::invalid_argument("flow stop not after its start: " +
+                                scheme.name);
+  }
+  // A flow whose activity window misses the measurement window entirely
+  // would report all-zero metrics that silently poison cross-flow
+  // aggregates; reject the spec instead.
+  const Duration stop = flow.stop.value_or(spec.run_time);
+  if (stop <= spec.warmup) {
+    throw std::invalid_argument(
+        "flow activity window does not overlap the measurement window: " +
+        scheme.name);
+  }
+}
+
+ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
+  const std::vector<FlowSpec> flow_specs = effective_flow_specs(spec);
+
+  std::vector<const SchemeInfo*> schemes;
+  schemes.reserve(flow_specs.size());
+  for (const FlowSpec& f : flow_specs) {
+    const SchemeInfo& scheme = SchemeRegistry::instance().info(f.scheme);
+    validate_flow_spec(spec, f, scheme);
+    schemes.push_back(&scheme);
+  }
+
+  // The in-network queue policy is a property of the LINK, not of any one
+  // flow: apply it when exactly one distinct scheme in the mix requests
+  // one (e.g. Cubic-CoDel alone, or Sprout vs Cubic-CoDel).  Two different
+  // requested policies on one queue is ambiguous — reject the spec.
+  const SchemeInfo* aqm_scheme = nullptr;
+  for (const SchemeInfo* s : schemes) {
+    if (!s->make_link_aqm) continue;
+    if (aqm_scheme != nullptr && aqm_scheme->id != s->id) {
+      throw std::invalid_argument(
+          "conflicting link AQM policies in one shared queue: " +
+          aqm_scheme->name + " vs " + s->name);
+    }
+    aqm_scheme = s;
   }
 
   Simulator sim;
@@ -297,9 +394,9 @@ ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
 
   std::unique_ptr<AqmPolicy> fwd_policy;
   std::unique_ptr<AqmPolicy> rev_policy;
-  if (scheme.make_link_aqm) {
-    fwd_policy = scheme.make_link_aqm(seeder);
-    rev_policy = scheme.make_link_aqm(seeder);
+  if (aqm_scheme != nullptr) {
+    fwd_policy = aqm_scheme->make_link_aqm(seeder);
+    rev_policy = aqm_scheme->make_link_aqm(seeder);
   }
 
   RelaySink fwd_egress;
@@ -314,67 +411,139 @@ ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
   fwd_egress.set_target(fwd_demux);
   rev_egress.set_target(rev_demux);
 
-  SproutParams sprout_params;
-  sprout_params.confidence_percent = spec.sprout_confidence;
+  SproutParams default_params;
+  default_params.confidence_percent = spec.sprout_confidence;
 
+  // Declared before the flows: each SchemeFlow holds references to its
+  // gates, so the gates must outlive the flows at scope exit.
+  std::vector<std::unique_ptr<GateSink>> gates;
   std::vector<std::unique_ptr<SchemeFlow>> flows;
-  flows.reserve(static_cast<std::size_t>(num_flows));
-  for (int f = 0; f < num_flows; ++f) {
-    const std::int64_t id = f + 1;
+  flows.reserve(flow_specs.size());
+  for (std::size_t f = 0; f < flow_specs.size(); ++f) {
+    const FlowSpec& fs = flow_specs[f];
+    const std::int64_t id = static_cast<std::int64_t>(f) + 1;
+    // A stopping flow's traffic is gated at BOTH link ingresses: after the
+    // stop instant neither its data nor its feedback enters a queue.
+    PacketSink* fwd_ingress = &fwd_link;
+    PacketSink* rev_ingress = &rev_link;
+    if (fs.stop.has_value()) {
+      const TimePoint close_at = TimePoint{} + *fs.stop;
+      gates.push_back(std::make_unique<GateSink>(sim, fwd_link, close_at));
+      fwd_ingress = gates.back().get();
+      gates.push_back(std::make_unique<GateSink>(sim, rev_link, close_at));
+      rev_ingress = gates.back().get();
+    }
     FlowContext ctx{sim,
-                    sprout_params,
+                    fs.sprout_params.value_or(default_params),
                     id,
-                    f,
-                    fwd_link,
-                    rev_link,
+                    static_cast<int>(f),
+                    *fwd_ingress,
+                    *rev_ingress,
                     fwd_link.trace(),
                     spec.propagation_delay,
                     spec.run_time};
-    auto flow = scheme.make_flow(ctx);
+    auto flow = schemes[f]->make_flow(ctx);
     fwd_demux.route(id, flow->data_egress());
     if (PacketSink* feedback = flow->feedback_egress()) {
       rev_demux.route(id, *feedback);
     }
-    flow->start();
+    // A flow starting at the origin starts before the event loop runs,
+    // exactly as the homogeneous engine always did; a late joiner's clocks
+    // begin at its start instant.
+    if (fs.start == Duration::zero()) {
+      flow->start();
+    } else {
+      sim.at(TimePoint{} + fs.start, [raw = flow.get()] { raw->start(); });
+    }
     flows.push_back(std::move(flow));
   }
 
   sim.run_until(TimePoint{} + spec.run_time);
 
-  const TimePoint from = TimePoint{} + spec.warmup;
-  const TimePoint to = TimePoint{} + spec.run_time;
+  const TimePoint meas_from = TimePoint{} + spec.warmup;
+  const TimePoint meas_to = TimePoint{} + spec.run_time;
+
+  // Each flow is measured over its own activity window clipped to the
+  // measurement window; cross-flow comparisons use the co-active window,
+  // the interval where EVERY flow was live.
+  std::vector<TimePoint> flow_from(flow_specs.size());
+  std::vector<TimePoint> flow_to(flow_specs.size());
+  TimePoint co_from = meas_from;
+  TimePoint co_to = meas_to;
+  for (std::size_t f = 0; f < flow_specs.size(); ++f) {
+    const FlowSpec& fs = flow_specs[f];
+    flow_from[f] = std::max(meas_from, TimePoint{} + fs.start);
+    flow_to[f] =
+        fs.stop.has_value() ? std::min(meas_to, TimePoint{} + *fs.stop)
+                            : meas_to;
+    co_from = std::max(co_from, flow_from[f]);
+    co_to = std::min(co_to, flow_to[f]);
+  }
+  const bool coactive = co_from < co_to;
 
   ScenarioResult r;
-  for (const auto& flow : flows) {
-    const FlowMetrics& m = flow->metrics();
+  r.coactive_from_s = coactive ? to_seconds(co_from.time_since_epoch()) : 0.0;
+  r.coactive_to_s = coactive ? to_seconds(co_to.time_since_epoch()) : 0.0;
+  r.coactive_capacity_kbps =
+      coactive ? link_capacity_kbps(fwd_link.trace(), co_from, co_to) : 0.0;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    const FlowMetrics& m = flows[f]->metrics();
+    const TimePoint from = flow_from[f];
+    const TimePoint to = flow_to[f];
     FlowResult fr;
-    fr.label = scheme.name;
+    fr.label = schemes[f]->name;
+    fr.scheme = schemes[f]->id;
+    fr.active_from_s = to_seconds(from.time_since_epoch());
+    fr.active_to_s = to_seconds(to.time_since_epoch());
     fr.throughput_kbps = m.throughput_kbps(from, to);
     fr.delay95_ms = m.delay_percentile_ms(95.0, from, to);
     fr.mean_delay_ms = m.mean_delay_ms(from, to);
+    if (coactive) {
+      fr.coactive_throughput_kbps = m.throughput_kbps(co_from, co_to);
+      fr.capacity_share = r.coactive_capacity_kbps > 0.0
+                              ? fr.coactive_throughput_kbps /
+                                    r.coactive_capacity_kbps
+                              : 0.0;
+    }
     if (spec.capture_series) {
       fr.series =
-          throughput_delay_series(m, TimePoint{}, to, spec.series_bin);
+          throughput_delay_series(m, TimePoint{}, meas_to, spec.series_bin);
     }
-    r.aggregate_throughput_kbps += fr.throughput_kbps;
+    // Aggregate as bytes over the MEASUREMENT window: each flow's rate is
+    // weighted by its own window length, so staggered flows contribute
+    // the bytes delivered inside their activity windows and utilization
+    // stays <= 1.  Bytes a stopped flow's standing queue drains after its
+    // stop instant are attributed to no flow (they show up in
+    // packets_delivered only) — see the FlowResult window note.
+    r.aggregate_throughput_kbps +=
+        fr.throughput_kbps * (fr.active_to_s - fr.active_from_s) /
+        to_seconds(meas_to - meas_from);
     r.max_delay95_ms = std::max(r.max_delay95_ms, fr.delay95_ms);
     r.flows.push_back(std::move(fr));
   }
-  std::vector<double> shares;
-  shares.reserve(r.flows.size());
-  for (const FlowResult& fr : r.flows) shares.push_back(fr.throughput_kbps);
-  r.jain_index = jain_fairness(shares);
-  r.capacity_kbps = link_capacity_kbps(fwd_link.trace(), from, to);
+  if (coactive) {
+    std::vector<double> shares;
+    shares.reserve(r.flows.size());
+    for (const FlowResult& fr : r.flows) {
+      shares.push_back(fr.coactive_throughput_kbps);
+    }
+    r.jain_index = jain_fairness(shares);
+  } else {
+    // No instant where all flows were live: cross-flow fairness is
+    // undefined, and any number here would be fabricated.
+    r.jain_index = std::numeric_limits<double>::quiet_NaN();
+  }
+  r.capacity_kbps = link_capacity_kbps(fwd_link.trace(), meas_from, meas_to);
   r.aggregate_utilization =
       r.capacity_kbps > 0.0 ? r.aggregate_throughput_kbps / r.capacity_kbps
                             : 0.0;
   r.omniscient_delay95_ms = omniscient_delay_percentile_ms(
-      fwd_link.trace(), 95.0, from, to, spec.propagation_delay);
+      fwd_link.trace(), 95.0, meas_from, meas_to, spec.propagation_delay);
   r.packets_delivered = fwd_link.delivered_packets();
   r.link_drops = fwd_link.random_drops() + fwd_link.queue_drops();
   if (spec.capture_series) {
-    r.capacity_series =
-        capacity_series(fwd_link.trace(), TimePoint{}, to, spec.series_bin);
+    r.capacity_series = capacity_series(fwd_link.trace(), TimePoint{}, meas_to,
+                                        spec.series_bin);
   }
   return r;
 }
@@ -468,16 +637,23 @@ ScenarioResult run_tunnel(const ScenarioSpec& spec, const ResolvedLink& link) {
   const TimePoint to = TimePoint{} + spec.run_time;
 
   ScenarioResult r;
-  for (const auto& [label, sink] :
-       {std::pair<const char*, const MeasuredSink*>{"Cubic", &measured_cubic},
-        std::pair<const char*, const MeasuredSink*>{"Skype",
-                                                    &measured_skype}}) {
+  r.coactive_from_s = to_seconds(from.time_since_epoch());
+  r.coactive_to_s = to_seconds(to.time_since_epoch());
+  r.coactive_capacity_kbps = link_capacity_kbps(down_link.trace(), from, to);
+  using TunnelFlow = std::tuple<const char*, SchemeId, const MeasuredSink*>;
+  for (const auto& [label, scheme_id, sink] :
+       {TunnelFlow{"Cubic", SchemeId::kCubic, &measured_cubic},
+        TunnelFlow{"Skype", SchemeId::kSkype, &measured_skype}}) {
     const FlowMetrics& m = sink->metrics();
     FlowResult fr;
     fr.label = label;
+    fr.scheme = scheme_id;
+    fr.active_from_s = to_seconds(from.time_since_epoch());
+    fr.active_to_s = to_seconds(to.time_since_epoch());
     fr.throughput_kbps = m.throughput_kbps(from, to);
     fr.delay95_ms = m.delay_percentile_ms(95.0, from, to);
     fr.mean_delay_ms = m.mean_delay_ms(from, to);
+    fr.coactive_throughput_kbps = fr.throughput_kbps;
     if (spec.capture_series) {
       fr.series =
           throughput_delay_series(m, TimePoint{}, to, spec.series_bin);
@@ -489,7 +665,12 @@ ScenarioResult run_tunnel(const ScenarioSpec& spec, const ResolvedLink& link) {
   std::vector<double> shares;
   for (const FlowResult& fr : r.flows) shares.push_back(fr.throughput_kbps);
   r.jain_index = jain_fairness(shares);
-  r.capacity_kbps = link_capacity_kbps(down_link.trace(), from, to);
+  r.capacity_kbps = r.coactive_capacity_kbps;
+  for (FlowResult& fr : r.flows) {
+    fr.capacity_share = r.capacity_kbps > 0.0
+                            ? fr.coactive_throughput_kbps / r.capacity_kbps
+                            : 0.0;
+  }
   r.aggregate_utilization =
       r.capacity_kbps > 0.0 ? r.aggregate_throughput_kbps / r.capacity_kbps
                             : 0.0;
@@ -507,6 +688,22 @@ ScenarioResult run_tunnel(const ScenarioSpec& spec, const ResolvedLink& link) {
 }  // namespace
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, ScenarioCache* cache) {
+  // A flow list only means something to the shared-queue topology, and
+  // must agree with num_flows (heterogeneous_queue keeps them in sync).
+  // Silently ignoring either would let two specs that simulate identically
+  // carry different fingerprints — reject the malformed spec instead.
+  if (!spec.topology.flows.empty()) {
+    if (spec.topology.kind != TopologySpec::Kind::kSharedQueue) {
+      throw std::invalid_argument(
+          "FlowSpec lists are only valid for shared-queue topologies");
+    }
+    if (spec.topology.num_flows !=
+        static_cast<int>(spec.topology.flows.size())) {
+      throw std::invalid_argument(
+          "topology num_flows disagrees with its flow list; build the spec "
+          "with TopologySpec::heterogeneous_queue");
+    }
+  }
   const ResolvedLink link = resolve_link(spec.link, spec.run_time, cache);
   if (spec.topology.kind == TopologySpec::Kind::kTunnelContention) {
     return run_tunnel(spec, link);

@@ -26,10 +26,12 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/params.h"
 #include "metrics/timeseries.h"
 #include "runner/schemes.h"
 #include "trace/presets.h"
@@ -83,20 +85,52 @@ struct LinkSpec {
   [[nodiscard]] std::string name() const;
 };
 
+// One flow of a shared-queue topology.  The default FlowSpec inherits the
+// scenario's scheme and Sprout parameters and is active for the whole run;
+// heterogeneous topologies list one FlowSpec per flow, each with its own
+// scheme, an optional full SproutParams override (ablation sweeps), and a
+// staggered activity window for ramp-up / late-joiner dynamics.
+struct FlowSpec {
+  SchemeId scheme = SchemeId::kSprout;
+  // Full per-flow Sprout parameter override.  When absent the flow uses
+  // the scenario's defaults (SproutParams with spec.sprout_confidence).
+  std::optional<SproutParams> sprout_params;
+  // When the flow's clocks start, relative to the scenario origin.
+  Duration start = Duration::zero();
+  // When the flow leaves the network (its packets stop entering either
+  // queue).  Absent = active until the end of the run.
+  std::optional<Duration> stop;
+
+  // Value-returning builders, safe to chain on temporaries:
+  //   FlowSpec::of(SchemeId::kCubic).active(sec(60), sec(180))
+  [[nodiscard]] static FlowSpec of(SchemeId scheme);
+  [[nodiscard]] FlowSpec with_params(const SproutParams& params) const;
+  [[nodiscard]] FlowSpec active(
+      Duration start, std::optional<Duration> stop = std::nullopt) const;
+};
+
 // How many flows, and how they share the emulated queues.
 struct TopologySpec {
   enum class Kind {
     kSingleFlow,        // one sender/receiver pair, dedicated queues
-    kSharedQueue,       // num_flows identical pairs through ONE queue (§7)
+    kSharedQueue,       // flows commingled in ONE queue (§7, heterogeneous)
     kTunnelContention,  // §5.7: Cubic bulk + Skype call, direct or tunneled
   };
 
   Kind kind = Kind::kSingleFlow;
-  int num_flows = 1;        // kSharedQueue
+  // kSharedQueue with an empty `flows` list: num_flows identical copies of
+  // the scenario's scheme (the paper's §7 homogeneous shape).  A non-empty
+  // `flows` list overrides num_flows and describes each flow explicitly.
+  int num_flows = 1;
+  std::vector<FlowSpec> flows;
   bool via_tunnel = false;  // kTunnelContention
 
   [[nodiscard]] static TopologySpec single_flow();
   [[nodiscard]] static TopologySpec shared_queue(int num_flows);
+  // Heterogeneous shared queue; throws std::invalid_argument for an empty
+  // flow list.
+  [[nodiscard]] static TopologySpec heterogeneous_queue(
+      std::vector<FlowSpec> flows);
   [[nodiscard]] static TopologySpec tunnel_contention(bool via_tunnel);
 };
 
@@ -117,21 +151,40 @@ struct ScenarioSpec {
   Duration series_bin = msec(500);
 };
 
-// Convenience constructors for the three common shapes.
+// Convenience constructors for the common shapes.
 [[nodiscard]] ScenarioSpec single_flow_scenario(SchemeId scheme,
                                                 const LinkPreset& link);
 [[nodiscard]] ScenarioSpec shared_queue_scenario(SchemeId scheme,
                                                  int num_flows,
                                                  const LinkPreset& link);
+// Heterogeneous shared queue: one FlowSpec per flow in one queue.
+[[nodiscard]] ScenarioSpec heterogeneous_scenario(std::vector<FlowSpec> flows,
+                                                  const LinkPreset& link);
 [[nodiscard]] ScenarioSpec tunnel_scenario(const std::string& network,
                                            bool via_tunnel);
 
-// One flow's measured outcome (§5.1 metrics).
+// One flow's measured outcome (§5.1 metrics).  Throughput and delay are
+// measured over the flow's own active window intersected with the
+// scenario's measurement window; the coactive fields are measured over the
+// window where EVERY flow was active (the only interval where cross-flow
+// shares are comparable).
+//
+// Window semantics for a stopping flow: measurement ends at the stop
+// instant.  Packets already queued then still drain through the link (and
+// count in ScenarioResult::packets_delivered) but are attributed to no
+// flow's throughput or delay — extending the delay window past the stop
+// would instead ramp the §5.1 sawtooth without bound once arrivals cease,
+// which is an artifact of departure, not queueing.
 struct FlowResult {
   std::string label;             // scheme name; "Cubic"/"Skype" in tunnel
+  SchemeId scheme = SchemeId::kSprout;
+  double active_from_s = 0.0;    // this flow's measurement window
+  double active_to_s = 0.0;
   double throughput_kbps = 0.0;
   double delay95_ms = 0.0;       // 95% end-to-end delay
   double mean_delay_ms = 0.0;
+  double coactive_throughput_kbps = 0.0;  // over the co-active window
+  double capacity_share = 0.0;   // coactive throughput / coactive capacity
   std::vector<SeriesPoint> series;  // if spec.capture_series
 };
 
@@ -141,9 +194,20 @@ struct ScenarioResult {
   std::vector<FlowResult> flows;
 
   double capacity_kbps = 0.0;            // forward link, measurement window
+  // All flows' delivered bytes over the measurement window, as a rate:
+  // staggered flows contribute weighted by their own activity window, so
+  // aggregate_utilization is a true fraction of the link's capacity.
   double aggregate_throughput_kbps = 0.0;
   double aggregate_utilization = 0.0;
-  double jain_index = 1.0;               // fairness of throughput shares
+  // Cross-flow fairness over the co-active window [coactive_from_s,
+  // coactive_to_s): Jain's index of the flows' coactive throughputs.
+  // NaN when the flows' activity windows are disjoint (no instant where
+  // all flows were live, so no fairness number exists); the coactive_*
+  // fields are 0 in that case.
+  double jain_index = 1.0;
+  double coactive_from_s = 0.0;
+  double coactive_to_s = 0.0;
+  double coactive_capacity_kbps = 0.0;
   double max_delay95_ms = 0.0;
   double omniscient_delay95_ms = 0.0;    // baseline on the same trace
   std::int64_t packets_delivered = 0;    // forward link

@@ -21,6 +21,7 @@ std::string to_string(SchemeId id) {
     case SchemeId::kSproutAdaptive: return "Sprout-Adaptive";
     case SchemeId::kSproutMmpp: return "Sprout-MMPP";
     case SchemeId::kSproutEmpirical: return "Sprout-Empirical";
+    case SchemeId::kReno: return "NewReno";
   }
   return "unknown";
 }
@@ -57,6 +58,16 @@ const std::vector<SchemeId>& forecaster_schemes() {
       SchemeId::kSprout,          SchemeId::kSproutEwma,
       SchemeId::kSproutAdaptive,  SchemeId::kSproutMmpp,
       SchemeId::kSproutEmpirical,
+  };
+  return schemes;
+}
+
+const std::vector<SchemeId>& coexistence_schemes() {
+  static const std::vector<SchemeId> schemes = {
+      SchemeId::kCubic,
+      SchemeId::kReno,
+      SchemeId::kVegas,
+      SchemeId::kGcc,
   };
   return schemes;
 }

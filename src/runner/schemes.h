@@ -26,6 +26,7 @@ enum class SchemeId {
   kSproutAdaptive,   // online model averaging over (σ, λz)
   kSproutMmpp,       // regime-switching (MMPP) link model
   kSproutEmpirical,  // windowed empirical-quantile forecasts
+  kReno,     // NewReno AIMD — the classic loss-based baseline (coexistence)
 };
 
 [[nodiscard]] std::string to_string(SchemeId id);
@@ -43,5 +44,11 @@ enum class SchemeId {
 // The forecaster family: Sprout variants differing only in the stochastic
 // model behind the forecast (bench/ablation_forecaster).
 [[nodiscard]] const std::vector<SchemeId>& forecaster_schemes();
+
+// Competitors paired against Sprout in the heterogeneous shared-queue
+// coexistence sweeps (bench/table_coexistence): the C2TCP-style question
+// of how Sprout fares against loss-based and delay-based TCP plus WebRTC
+// in ONE bottleneck queue.
+[[nodiscard]] const std::vector<SchemeId>& coexistence_schemes();
 
 }  // namespace sprout

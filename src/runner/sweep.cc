@@ -37,6 +37,32 @@ struct Fnv {
   }
 };
 
+void hash_sprout_params(Fnv& h, const SproutParams& p) {
+  h.i64(p.num_bins);
+  h.f64(p.max_rate_pps);
+  h.i64(p.tick.count());
+  h.f64(p.sigma_pps_per_sqrt_s);
+  h.f64(p.outage_escape_rate_per_s);
+  h.i64(p.forecast_horizon_ticks);
+  h.f64(p.confidence_percent);
+  h.i64(p.max_count);
+  h.u64(p.count_noise_in_forecast ? 1 : 0);
+  h.i64(p.sender_lookahead_ticks);
+  h.i64(p.throwaway_window.count());
+  h.i64(p.assumed_propagation.count());
+  h.i64(p.mtu);
+  h.i64(p.heartbeat_bytes);
+}
+
+void hash_flow_spec(Fnv& h, const FlowSpec& f) {
+  h.u64(static_cast<std::uint64_t>(f.scheme));
+  h.u64(f.sprout_params.has_value() ? 1 : 0);
+  if (f.sprout_params.has_value()) hash_sprout_params(h, *f.sprout_params);
+  h.i64(f.start.count());
+  h.u64(f.stop.has_value() ? 1 : 0);
+  if (f.stop.has_value()) h.i64(f.stop->count());
+}
+
 void hash_trace(Fnv& h, const Trace& t) {
   // Sampling keeps fingerprinting giant traces cheap; a collision between
   // distinct traces only means two cells derive the same seed, which is
@@ -82,6 +108,22 @@ std::uint64_t scenario_fingerprint(const ScenarioSpec& spec) {
   }
   h.u64(static_cast<std::uint64_t>(spec.topology.kind));
   h.i64(spec.topology.num_flows);
+  // Canonicalize before hashing: an explicit flow list where every entry
+  // is the homogeneous default of the scenario's scheme SIMULATES
+  // identically to the num_flows shorthand, so it must fingerprint (and
+  // therefore derive seeds) identically too.  Only a list that actually
+  // diverges from the shorthand is hashed.
+  const auto is_default_flow = [&](const FlowSpec& f) {
+    return f.scheme == spec.scheme && !f.sprout_params.has_value() &&
+           f.start == Duration::zero() && !f.stop.has_value();
+  };
+  const bool homogeneous_list =
+      std::all_of(spec.topology.flows.begin(), spec.topology.flows.end(),
+                  is_default_flow);
+  if (!homogeneous_list) {
+    h.u64(spec.topology.flows.size());
+    for (const FlowSpec& f : spec.topology.flows) hash_flow_spec(h, f);
+  }
   h.u64(spec.topology.via_tunnel ? 1 : 0);
   h.i64(spec.run_time.count());
   h.i64(spec.warmup.count());

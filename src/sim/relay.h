@@ -5,6 +5,7 @@
 #include <map>
 
 #include "sim/packet.h"
+#include "sim/simulator.h"
 
 namespace sprout {
 
@@ -28,6 +29,33 @@ class RelaySink : public PacketSink {
  private:
   PacketSink* target_ = nullptr;
   std::int64_t dropped_ = 0;
+};
+
+// Forwards packets until a closing time, then drops them.  Models a flow
+// that leaves the network at a known instant (heterogeneous shared-queue
+// topologies): the gate sits at a link ingress, so a departed flow's
+// traffic never enters the shared queue again even though its endpoints'
+// clocks keep running.
+class GateSink : public PacketSink {
+ public:
+  GateSink(Simulator& sim, PacketSink& next, TimePoint close_at)
+      : sim_(sim), next_(&next), close_at_(close_at) {}
+
+  void receive(Packet&& p) override {
+    if (sim_.now() < close_at_) {
+      next_->receive(std::move(p));
+    } else {
+      ++gated_;
+    }
+  }
+
+  [[nodiscard]] std::int64_t gated() const { return gated_; }
+
+ private:
+  Simulator& sim_;
+  PacketSink* next_;
+  TimePoint close_at_;
+  std::int64_t gated_ = 0;
 };
 
 // Routes packets by flow id (shared-queue experiments, §5.7).

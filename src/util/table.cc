@@ -62,6 +62,48 @@ void TableWriter::print(std::ostream& os) const {
   for (const auto& row : rows_) print_row(row);
 }
 
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        // RFC 8259 forbids raw control characters inside strings.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << std::hex << std::setw(2) << std::setfill('0')
+             << static_cast<int>(static_cast<unsigned char>(c)) << std::dec
+             << std::setfill(' ');
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+void TableWriter::write_json(std::ostream& os) const {
+  os << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    os << "  {";
+    const auto& row = rows_[r];
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) os << ", ";
+      write_json_string(os, headers_[c]);
+      os << ": ";
+      write_json_string(os, c < row.size() ? row[c] : std::string{});
+    }
+    os << (r + 1 < rows_.size() ? "},\n" : "}\n");
+  }
+  os << "]\n";
+}
+
 void TableWriter::write_tsv(std::ostream& os) const {
   auto tsv_row = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {

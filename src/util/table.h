@@ -28,6 +28,10 @@ class TableWriter {
   // Tab-separated dump (header row first); convenient for gnuplot.
   void write_tsv(std::ostream& os) const;
 
+  // JSON dump: an array of objects keyed by header (all values as strings,
+  // exactly as rendered).  Used by the CI bench-smoke artifact.
+  void write_json(std::ostream& os) const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -178,5 +178,51 @@ TEST_P(FilterLockSweep, LocksWithinTwoBins) {
 INSTANTIATE_TEST_SUITE_P(Rates, FilterLockSweep,
                          ::testing::Values(1, 2, 5, 10, 15, 19));
 
+TEST(TransitionMatrixCache, SameParamsShareOneMatrix) {
+  SproutParams p = small_params();
+  p.sigma_pps_per_sqrt_s = 123.0;  // a key no other test uses
+  const auto a = TransitionMatrixCache::get(p);
+  const auto b = TransitionMatrixCache::get(p);
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(a->num_bins(), p.num_bins);
+}
+
+TEST(TransitionMatrixCache, KernelFieldsKeyTheCache) {
+  // Counters are process-global; measure deltas.
+  SproutParams p = small_params();
+  p.sigma_pps_per_sqrt_s = 321.0;
+  const std::int64_t misses_before = TransitionMatrixCache::misses();
+  const auto a = TransitionMatrixCache::get(p);
+  // Forecast/sender knobs do not affect the kernel: still a hit.
+  SproutParams same_kernel = p;
+  same_kernel.confidence_percent = 50.0;
+  same_kernel.sender_lookahead_ticks = 9;
+  const auto b = TransitionMatrixCache::get(same_kernel);
+  EXPECT_EQ(a.get(), b.get());
+  // A kernel field change builds a new matrix.
+  SproutParams different = p;
+  different.outage_escape_rate_per_s = 2.5;
+  const auto c = TransitionMatrixCache::get(different);
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(TransitionMatrixCache::misses() - misses_before, 2);
+}
+
+TEST(TransitionMatrixCache, FiltersAndForecastersReuseTheCachedKernel) {
+  SproutParams p = small_params();
+  p.sigma_pps_per_sqrt_s = 213.0;
+  const std::int64_t misses_before = TransitionMatrixCache::misses();
+  const std::int64_t hits_before = TransitionMatrixCache::hits();
+  SproutBayesFilter f1(p);
+  SproutBayesFilter f2(p);
+  EXPECT_EQ(TransitionMatrixCache::misses() - misses_before, 1);
+  EXPECT_GE(TransitionMatrixCache::hits() - hits_before, 1);
+  // The shared matrix still evolves both filters independently.
+  f1.evolve();
+  f1.observe(10);
+  f2.evolve();
+  f2.observe(2);
+  EXPECT_GT(f1.mean_rate_pps(), f2.mean_rate_pps());
+}
+
 }  // namespace
 }  // namespace sprout

@@ -25,7 +25,7 @@ const std::vector<SchemeId>& all_scheme_ids() {
       SchemeId::kOmniscient,    SchemeId::kGcc,
       SchemeId::kFast,          SchemeId::kCubicPie,
       SchemeId::kSproutAdaptive, SchemeId::kSproutMmpp,
-      SchemeId::kSproutEmpirical,
+      SchemeId::kSproutEmpirical, SchemeId::kReno,
   };
   return ids;
 }
@@ -59,8 +59,9 @@ TEST(SchemeRegistry, NamesMatchToString) {
 
 TEST(SchemeRegistry, PublishedListsAreRegistered) {
   const SchemeRegistry& registry = SchemeRegistry::instance();
-  for (const auto* list : {&figure7_schemes(), &table1_schemes(),
-                           &extension_schemes(), &forecaster_schemes()}) {
+  for (const auto* list :
+       {&figure7_schemes(), &table1_schemes(), &extension_schemes(),
+        &forecaster_schemes(), &coexistence_schemes()}) {
     for (const SchemeId id : *list) {
       EXPECT_NE(registry.find(id), nullptr) << to_string(id);
     }

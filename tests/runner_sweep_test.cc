@@ -155,6 +155,76 @@ TEST(Sweep, ForecasterTablesBuildOncePerDistinctParams) {
   EXPECT_GE(hits, static_cast<std::int64_t>(2 * specs.size()) - 1);
 }
 
+TEST(Sweep, FingerprintCoversHeterogeneousFlowLists) {
+  ScenarioSpec base = grid()[0];
+  base.topology = TopologySpec::heterogeneous_queue(
+      {FlowSpec::of(SchemeId::kSprout), FlowSpec::of(SchemeId::kCubic)});
+  const std::uint64_t fp = scenario_fingerprint(base);
+
+  // Every FlowSpec field must reach the fingerprint: a cell differing only
+  // in a flow's scheme, activity window or params override gets its own
+  // derived seed.
+  ScenarioSpec scheme_changed = base;
+  scheme_changed.topology.flows[1].scheme = SchemeId::kVegas;
+  EXPECT_NE(fp, scenario_fingerprint(scheme_changed));
+
+  ScenarioSpec start_changed = base;
+  start_changed.topology.flows[1].start = sec(5);
+  EXPECT_NE(fp, scenario_fingerprint(start_changed));
+
+  ScenarioSpec stop_changed = base;
+  stop_changed.topology.flows[1].stop = sec(10);
+  EXPECT_NE(fp, scenario_fingerprint(stop_changed));
+
+  ScenarioSpec params_changed = base;
+  SproutParams override_params;
+  override_params.confidence_percent = 75.0;
+  params_changed.topology.flows[0].sprout_params = override_params;
+  EXPECT_NE(fp, scenario_fingerprint(params_changed));
+
+  // The explicit all-default list SIMULATES identically to the num_flows
+  // shorthand, so the two encodings must fingerprint identically: a sweep
+  // derives the same seed either way.
+  ScenarioSpec shorthand = grid()[0];
+  shorthand.topology = TopologySpec::shared_queue(2);
+  ScenarioSpec explicit_list = grid()[0];
+  explicit_list.topology = TopologySpec::heterogeneous_queue(
+      {FlowSpec::of(shorthand.scheme), FlowSpec::of(shorthand.scheme)});
+  EXPECT_EQ(scenario_fingerprint(shorthand),
+            scenario_fingerprint(explicit_list));
+  // But a list that diverges from the shorthand (different scheme) is a
+  // different simulation and hashes differently.
+  ScenarioSpec diverged = explicit_list;
+  diverged.topology.flows[1].scheme = SchemeId::kCubic;
+  EXPECT_NE(scenario_fingerprint(shorthand), scenario_fingerprint(diverged));
+}
+
+TEST(Sweep, TransitionMatricesBuildOncePerDistinctParams) {
+  // Mirror of ForecasterTablesBuildOncePerDistinctParams for the evolution
+  // kernel: each Sprout cell builds several filters/forecasters, but the
+  // default-params matrix is constructed at most once per process.
+  std::vector<ScenarioSpec> specs;
+  for (const std::uint64_t seed : {11ull, 12ull, 13ull, 14ull}) {
+    ScenarioSpec c;
+    c.scheme = SchemeId::kSprout;
+    c.link = LinkSpec::preset("Verizon LTE", LinkDirection::kDownlink);
+    c.run_time = sec(10);
+    c.warmup = sec(2);
+    c.seed = seed;
+    specs.push_back(c);
+  }
+  const std::int64_t misses_before = TransitionMatrixCache::misses();
+  const std::int64_t hits_before = TransitionMatrixCache::hits();
+  SweepRunner runner(SweepOptions{.threads = 4});
+  (void)runner.run(specs);
+  const std::int64_t misses = TransitionMatrixCache::misses() - misses_before;
+  const std::int64_t hits = TransitionMatrixCache::hits() - hits_before;
+  EXPECT_LE(misses, 1);
+  // Two endpoints per cell, each with a filter and a forecaster.
+  EXPECT_GE(hits + misses, static_cast<std::int64_t>(4 * specs.size()));
+  EXPECT_GE(hits, static_cast<std::int64_t>(4 * specs.size()) - 1);
+}
+
 TEST(Sweep, FirstFailureInInputOrderIsRethrown) {
   std::vector<ScenarioSpec> specs = grid();
   specs.resize(3);

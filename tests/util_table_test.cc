@@ -38,6 +38,30 @@ TEST(TableWriter, ShortRowsPadWithEmpty) {
   EXPECT_NE(os.str().find("only"), std::string::npos);
 }
 
+TEST(TableWriter, JsonIsArrayOfObjectsKeyedByHeader) {
+  TableWriter t({"name", "value"});
+  t.row().cell("alpha").cell(std::int64_t{1});
+  t.row().cell("beta").cell(std::int64_t{2});
+  std::ostringstream os;
+  t.write_json(os);
+  EXPECT_EQ(os.str(),
+            "[\n"
+            "  {\"name\": \"alpha\", \"value\": \"1\"},\n"
+            "  {\"name\": \"beta\", \"value\": \"2\"}\n"
+            "]\n");
+}
+
+TEST(TableWriter, JsonEscapesSpecialAndControlCharacters) {
+  TableWriter t({"k"});
+  t.row().cell(std::string("a\"b\\c\nd\te\rf\x01g"));
+  std::ostringstream os;
+  t.write_json(os);
+  // Quote/backslash/newline/tab use short escapes; other control
+  // characters (RFC 8259) become \u00XX.
+  EXPECT_NE(os.str().find("a\\\"b\\\\c\\nd\\te\\u000df\\u0001g"),
+            std::string::npos);
+}
+
 TEST(FormatDouble, Precision) {
   EXPECT_EQ(format_double(3.14159, 2), "3.14");
   EXPECT_EQ(format_double(2.0, 0), "2");
