@@ -1,0 +1,289 @@
+// sweep_shard — run and merge sharded scenario sweeps across OS processes.
+//
+// Each shard process runs an interleaved slice of a named grid and writes a
+// content-addressed JSON shard file; a merge process stitches the shards
+// back into one sweep file, refusing overlaps, gaps, and shards cut from a
+// different grid.  Because per-cell seeds are content-derived, the merged
+// file is byte-identical to the file a single process writes for the whole
+// grid — the ctest `shard_roundtrip` target and the CI shard job diff
+// exactly that.
+//
+//   sweep_shard list
+//   sweep_shard run   --grid coexistence-smoke --shard 1/3 --out s1.json
+//   sweep_shard run   --grid coexistence-smoke --cells 0,2 --out s.json
+//   sweep_shard run   --grid coexistence-smoke --out full.json
+//   sweep_shard merge --grid coexistence-smoke --out merged.json s*.json
+//
+// Shared flags: --seconds N (cell duration scale, default 20), --base-seed S
+// (content-derived per-cell seeds), --threads T (in-process pool).  Flags
+// that shape the grid (--grid, --seconds, --base-seed) must agree across
+// the run and merge invocations of one sweep; the sweep fingerprint turns
+// any disagreement into a hard error instead of a silently different grid.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/shard.h"
+#include "trace/presets.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sprout;
+
+struct GridFlags {
+  std::string name;
+  int seconds = 20;
+  std::optional<std::uint64_t> base_seed;
+};
+
+ScenarioSpec scaled(ScenarioSpec spec, int seconds) {
+  spec.run_time = sec(seconds);
+  spec.warmup = spec.run_time / 4;
+  return spec;
+}
+
+// The CI smoke shape: Sprout against each coexistence rival in ONE shared
+// Verizon LTE downlink queue (bench/table_coexistence's first column).
+SweepSpec coexistence_smoke_grid(const GridFlags& flags) {
+  const LinkPreset& link =
+      find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  SweepSpec sweep;
+  for (const SchemeId rival : coexistence_schemes()) {
+    sweep.cells.push_back(scaled(
+        heterogeneous_scenario(
+            {FlowSpec::of(SchemeId::kSprout), FlowSpec::of(rival)}, link),
+        flags.seconds));
+  }
+  sweep.base_seed = flags.base_seed;
+  return sweep;
+}
+
+// Deliberately unbalanced: long multi-flow cells listed next to short
+// single-flow ones (3:1 duration, up to 3 flows), exercising longest-first
+// scheduling and shard balance.  One cell stops a flow early, so the
+// drain-tail ledger and NaN-free fairness fields cross process boundaries.
+SweepSpec mixed_duration_grid(const GridFlags& flags) {
+  const LinkPreset& verizon =
+      find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  const LinkPreset& att = find_link_preset("AT&T LTE", LinkDirection::kDownlink);
+  const int base = flags.seconds;
+  SweepSpec sweep;
+  sweep.cells.push_back(
+      scaled(single_flow_scenario(SchemeId::kCubic, verizon), base));
+  sweep.cells.push_back(scaled(
+      heterogeneous_scenario({FlowSpec::of(SchemeId::kSprout),
+                              FlowSpec::of(SchemeId::kCubic),
+                              FlowSpec::of(SchemeId::kVegas)},
+                             verizon),
+      3 * base));
+  sweep.cells.push_back(
+      scaled(single_flow_scenario(SchemeId::kSprout, att), base));
+  {
+    ScenarioSpec stopper = scaled(
+        heterogeneous_scenario(
+            {FlowSpec::of(SchemeId::kSprout),
+             FlowSpec::of(SchemeId::kCubic)},
+            att),
+        2 * base);
+    stopper.topology.flows[1].stop = stopper.run_time / 2;
+    sweep.cells.push_back(stopper);
+  }
+  sweep.cells.push_back(
+      scaled(single_flow_scenario(SchemeId::kVegas, verizon), base));
+  sweep.base_seed = flags.base_seed;
+  return sweep;
+}
+
+const std::vector<std::string>& grid_names() {
+  static const std::vector<std::string> names = {"coexistence-smoke",
+                                                 "mixed-duration"};
+  return names;
+}
+
+SweepSpec build_grid(const GridFlags& flags) {
+  if (flags.name == "coexistence-smoke") return coexistence_smoke_grid(flags);
+  if (flags.name == "mixed-duration") return mixed_duration_grid(flags);
+  std::ostringstream os;
+  os << "unknown grid \"" << flags.name << "\" (have:";
+  for (const std::string& n : grid_names()) os << ' ' << n;
+  os << ')';
+  throw std::invalid_argument(os.str());
+}
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  sweep_shard list [--seconds N]\n"
+      "  sweep_shard run   --grid NAME --out PATH [--shard I/N | --cells "
+      "A,B,C]\n"
+      "                    [--seconds N] [--base-seed S] [--threads T]\n"
+      "  sweep_shard merge --out PATH [--grid NAME [--seconds N] "
+      "[--base-seed S]] SHARD.json...\n";
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+template <typename WriteFn>
+void write_file(const std::string& path, WriteFn&& write) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  write(out);
+  // Flush before checking: a full disk surfacing in the destructor's
+  // implicit flush would otherwise exit 0 with a truncated file, and the
+  // orchestrator gating on exit codes would feed it to the merge.
+  out.flush();
+  if (!out) throw std::runtime_error("write to " + path + " failed");
+}
+
+// "I/N" (1-based shard number) -> 0-based indices of that shard's cells.
+std::vector<std::size_t> parse_shard(const std::string& arg,
+                                     std::size_t total_cells) {
+  const std::size_t slash = arg.find('/');
+  if (slash == std::string::npos) {
+    throw std::invalid_argument("--shard wants I/N, got \"" + arg + "\"");
+  }
+  const int number = std::stoi(arg.substr(0, slash));
+  const int count = std::stoi(arg.substr(slash + 1));
+  return shard_cell_indices(total_cells, number - 1, count);
+}
+
+std::vector<std::size_t> parse_cells(const std::string& arg) {
+  std::vector<std::size_t> cells;
+  std::istringstream is(arg);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    if (token.empty()) continue;
+    cells.push_back(static_cast<std::size_t>(std::stoull(token)));
+  }
+  if (cells.empty()) {
+    throw std::invalid_argument("--cells wants A,B,C, got \"" + arg + "\"");
+  }
+  return cells;
+}
+
+int cmd_list(const GridFlags& base) {
+  TableWriter t({"Grid", "Cells", "Est. cost (flow-s)", "Fingerprint"});
+  for (const std::string& name : grid_names()) {
+    GridFlags flags = base;
+    flags.name = name;
+    const SweepSpec sweep = build_grid(flags);
+    double cost = 0.0;
+    for (const ScenarioSpec& cell : sweep.cells) cost += estimated_cost(cell);
+    t.row()
+        .cell(name)
+        .cell(static_cast<std::int64_t>(sweep.cells.size()))
+        .cell(cost, 0)
+        .cell(std::to_string(sweep_fingerprint(sweep)));
+  }
+  t.print(std::cout);
+  return 0;
+}
+
+int cmd_run(const GridFlags& flags, const std::string& shard_arg,
+            const std::string& cells_arg, const std::string& out_path,
+            int threads) {
+  const SweepSpec sweep = build_grid(flags);
+  if (!shard_arg.empty() || !cells_arg.empty()) {
+    const std::vector<std::size_t> cells =
+        !shard_arg.empty() ? parse_shard(shard_arg, sweep.cells.size())
+                           : parse_cells(cells_arg);
+    const ShardResult shard = run_shard(sweep, cells, threads);
+    write_file(out_path, [&](std::ostream& os) { write_shard_json(os, shard); });
+    std::cout << "shard of " << shard.cell_indices.size() << "/"
+              << shard.total_cells << " cells -> " << out_path << "\n";
+  } else {
+    const SweepResult full = run_sweep(sweep, threads);
+    write_file(out_path, [&](std::ostream& os) { write_sweep_json(os, full); });
+    std::cout << "sweep of " << full.cells.size() << " cells -> " << out_path
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_merge(const GridFlags& flags, bool have_grid,
+              const std::vector<std::string>& shard_paths,
+              const std::string& out_path) {
+  std::vector<ShardResult> shards;
+  shards.reserve(shard_paths.size());
+  for (const std::string& path : shard_paths) {
+    try {
+      shards.push_back(read_shard_json(read_file(path)));
+    } catch (const std::exception& e) {
+      throw std::runtime_error(path + ": " + e.what());
+    }
+  }
+  const SweepResult merged = merge_shards(shards);
+  if (have_grid) verify_sweep_result(merged, build_grid(flags));
+  write_file(out_path, [&](std::ostream& os) { write_sweep_json(os, merged); });
+  std::cout << "merged " << shards.size() << " shards, " << merged.cells.size()
+            << " cells -> " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+
+  GridFlags flags;
+  std::string shard_arg;
+  std::string cells_arg;
+  std::string out_path;
+  int threads = 0;
+  std::vector<std::string> positional;
+
+  try {
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          throw std::invalid_argument(arg + " needs a value");
+        }
+        return argv[++i];
+      };
+      if (arg == "--grid") flags.name = value();
+      else if (arg == "--seconds") flags.seconds = std::stoi(value());
+      else if (arg == "--base-seed") flags.base_seed = std::stoull(value());
+      else if (arg == "--threads") threads = std::stoi(value());
+      else if (arg == "--shard") shard_arg = value();
+      else if (arg == "--cells") cells_arg = value();
+      else if (arg == "--out") out_path = value();
+      else if (arg.rfind("--", 0) == 0) return usage();
+      else positional.push_back(arg);
+    }
+    if (flags.seconds < 8) {
+      throw std::invalid_argument("--seconds must be >= 8");
+    }
+
+    if (command == "list") {
+      return cmd_list(flags);
+    }
+    if (command == "run") {
+      if (flags.name.empty() || out_path.empty() || !positional.empty() ||
+          (!shard_arg.empty() && !cells_arg.empty())) {
+        return usage();
+      }
+      return cmd_run(flags, shard_arg, cells_arg, out_path, threads);
+    }
+    if (command == "merge") {
+      if (out_path.empty() || positional.empty()) return usage();
+      return cmd_merge(flags, !flags.name.empty(), positional, out_path);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "sweep_shard: " << e.what() << "\n";
+    return 1;
+  }
+}

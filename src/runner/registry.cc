@@ -5,8 +5,6 @@
 
 #include "app/omniscient.h"
 #include "app/video_app.h"
-#include "aqm/codel.h"
-#include "aqm/pie.h"
 #include "cc/compound.h"
 #include "cc/cubic.h"
 #include "cc/fast.h"
@@ -219,13 +217,11 @@ SchemeInfo sprout_scheme(SchemeId id, SproutVariant variant) {
 }
 
 template <typename Cc>
-SchemeInfo tcp_scheme(
-    SchemeId id,
-    std::function<std::unique_ptr<AqmPolicy>(Rng&)> aqm = nullptr) {
+SchemeInfo tcp_scheme(SchemeId id, LinkAqm aqm = LinkAqm::kAuto) {
   SchemeInfo info;
   info.id = id;
   info.name = to_string(id);
-  info.make_link_aqm = std::move(aqm);
+  info.link_aqm = aqm;
   info.make_flow = [](const FlowContext& ctx) {
     return std::make_unique<TcpFlow>(ctx, std::make_unique<Cc>());
   };
@@ -271,16 +267,10 @@ const Registrar kVegas{tcp_scheme<VegasCC>(SchemeId::kVegas)};
 const Registrar kCompound{tcp_scheme<CompoundCC>(SchemeId::kCompound)};
 const Registrar kLedbat{tcp_scheme<LedbatCC>(SchemeId::kLedbat)};
 const Registrar kFast{tcp_scheme<FastCC>(SchemeId::kFast)};
-const Registrar kCubicCodel{tcp_scheme<CubicCC>(
-    SchemeId::kCubicCodel,
-    [](Rng&) -> std::unique_ptr<AqmPolicy> {
-      return std::make_unique<CodelPolicy>();
-    })};
-const Registrar kCubicPie{tcp_scheme<CubicCC>(
-    SchemeId::kCubicPie,
-    [](Rng& seeder) -> std::unique_ptr<AqmPolicy> {
-      return std::make_unique<PiePolicy>(PieParams{}, seeder.fork_seed());
-    })};
+const Registrar kCubicCodel{
+    tcp_scheme<CubicCC>(SchemeId::kCubicCodel, LinkAqm::kCoDel)};
+const Registrar kCubicPie{
+    tcp_scheme<CubicCC>(SchemeId::kCubicPie, LinkAqm::kPie)};
 
 const Registrar kGcc{[] {
   SchemeInfo info;

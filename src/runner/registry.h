@@ -17,14 +17,12 @@
 #include <string>
 #include <vector>
 
-#include "aqm/aqm.h"
 #include "core/params.h"
 #include "metrics/flow_metrics.h"
 #include "runner/schemes.h"
 #include "sim/packet.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
-#include "util/rng.h"
 #include "util/units.h"
 
 namespace sprout {
@@ -69,10 +67,11 @@ struct SchemeInfo {
   // Whether the scheme is meaningful with N flows commingled in one queue.
   bool shared_queue_capable = true;
   // In-network queue policy the scheme requests on BOTH link directions
-  // (Cubic-CoDel, Cubic-PIE); empty for plain DropTail.  Called once per
-  // direction, forward first, so stochastic policies fork deterministic
-  // per-direction seeds.
-  std::function<std::unique_ptr<AqmPolicy>(Rng& seeder)> make_link_aqm;
+  // (Cubic-CoDel requests kCoDel, Cubic-PIE kPie); kAuto for schemes that
+  // run over whatever the link provides.  The scenario engine reconciles
+  // these requests with ScenarioSpec::link_aqm and builds the policies
+  // itself (make_aqm_policy in scenario.cc).
+  LinkAqm link_aqm = LinkAqm::kAuto;
   // Builds one flow.  Required.
   std::function<std::unique_ptr<SchemeFlow>(const FlowContext&)> make_flow;
 };

@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "app/video_app.h"
+#include "aqm/codel.h"
+#include "aqm/pie.h"
 #include "cc/cubic.h"
 #include "cc/tcp_endpoint.h"
 #include "link/cellsim.h"
@@ -356,6 +358,50 @@ void validate_flow_spec(const ScenarioSpec& spec, const FlowSpec& flow,
   }
 }
 
+// Builds one direction's queue policy.  Called once per direction, forward
+// first, so stochastic policies (PIE) fork deterministic per-direction
+// seeds in a fixed order; DropTail is the absence of a policy.
+std::unique_ptr<AqmPolicy> make_aqm_policy(LinkAqm aqm, Rng& seeder) {
+  switch (aqm) {
+    case LinkAqm::kAuto:
+    case LinkAqm::kDropTail:
+      return nullptr;
+    case LinkAqm::kCoDel:
+      return std::make_unique<CodelPolicy>();
+    case LinkAqm::kPie:
+      return std::make_unique<PiePolicy>(PieParams{}, seeder.fork_seed());
+  }
+  return nullptr;
+}
+
+// Reconciles the spec's explicit link policy with the policies the flows'
+// schemes request.  The queue policy is a property of the LINK, not of any
+// one flow: under kAuto it is inferred from the mix (the unique requesting
+// scheme wins; two different requests are ambiguous and rejected).  An
+// explicit policy wins over silence, but contradicting a flow's own request
+// (kPie under a Cubic-CoDel flow) would silently redefine that scheme — a
+// conflicting request is rejected instead.
+LinkAqm resolve_link_aqm(const ScenarioSpec& spec,
+                         const std::vector<const SchemeInfo*>& schemes) {
+  const SchemeInfo* requester = nullptr;
+  for (const SchemeInfo* s : schemes) {
+    if (s->link_aqm == LinkAqm::kAuto) continue;
+    if (spec.link_aqm != LinkAqm::kAuto && s->link_aqm != spec.link_aqm) {
+      throw std::invalid_argument(
+          "explicit link AQM " + to_string(spec.link_aqm) +
+          " conflicts with the policy requested by " + s->name);
+    }
+    if (requester != nullptr && requester->link_aqm != s->link_aqm) {
+      throw std::invalid_argument(
+          "conflicting link AQM policies in one shared queue: " +
+          requester->name + " vs " + s->name);
+    }
+    requester = s;
+  }
+  if (spec.link_aqm != LinkAqm::kAuto) return spec.link_aqm;
+  return requester != nullptr ? requester->link_aqm : LinkAqm::kDropTail;
+}
+
 ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
   const std::vector<FlowSpec> flow_specs = effective_flow_specs(spec);
 
@@ -367,20 +413,7 @@ ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
     schemes.push_back(&scheme);
   }
 
-  // The in-network queue policy is a property of the LINK, not of any one
-  // flow: apply it when exactly one distinct scheme in the mix requests
-  // one (e.g. Cubic-CoDel alone, or Sprout vs Cubic-CoDel).  Two different
-  // requested policies on one queue is ambiguous — reject the spec.
-  const SchemeInfo* aqm_scheme = nullptr;
-  for (const SchemeInfo* s : schemes) {
-    if (!s->make_link_aqm) continue;
-    if (aqm_scheme != nullptr && aqm_scheme->id != s->id) {
-      throw std::invalid_argument(
-          "conflicting link AQM policies in one shared queue: " +
-          aqm_scheme->name + " vs " + s->name);
-    }
-    aqm_scheme = s;
-  }
+  const LinkAqm link_aqm = resolve_link_aqm(spec, schemes);
 
   Simulator sim;
   Rng seeder(spec.seed);
@@ -392,12 +425,8 @@ ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
   CellsimConfig rev_cfg = fwd_cfg;
   rev_cfg.seed = seeder.fork_seed();
 
-  std::unique_ptr<AqmPolicy> fwd_policy;
-  std::unique_ptr<AqmPolicy> rev_policy;
-  if (aqm_scheme != nullptr) {
-    fwd_policy = aqm_scheme->make_link_aqm(seeder);
-    rev_policy = aqm_scheme->make_link_aqm(seeder);
-  }
+  std::unique_ptr<AqmPolicy> fwd_policy = make_aqm_policy(link_aqm, seeder);
+  std::unique_ptr<AqmPolicy> rev_policy = make_aqm_policy(link_aqm, seeder);
 
   RelaySink fwd_egress;
   RelaySink rev_egress;
@@ -498,6 +527,8 @@ ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
     fr.throughput_kbps = m.throughput_kbps(from, to);
     fr.delay95_ms = m.delay_percentile_ms(95.0, from, to);
     fr.mean_delay_ms = m.mean_delay_ms(from, to);
+    fr.delivered_bytes =
+        fwd_demux.delivered_bytes(static_cast<std::int64_t>(f) + 1);
     if (coactive) {
       fr.coactive_throughput_kbps = m.throughput_kbps(co_from, co_to);
       fr.capacity_share = r.coactive_capacity_kbps > 0.0
@@ -563,8 +594,15 @@ ScenarioResult run_tunnel(const ScenarioSpec& spec, const ResolvedLink& link) {
 
   RelaySink down_egress;
   RelaySink up_egress;
-  CellsimLink down_link(sim, Trace(*link.forward), down_cfg, down_egress);
-  CellsimLink up_link(sim, Trace(*link.reverse), up_cfg, up_egress);
+  // kAuto builds no policy here (the contending Cubic/Skype pair requests
+  // none); an explicit spec pairs the tunnel scenario with any discipline.
+  std::unique_ptr<AqmPolicy> down_policy =
+      make_aqm_policy(spec.link_aqm, seeder);
+  std::unique_ptr<AqmPolicy> up_policy = make_aqm_policy(spec.link_aqm, seeder);
+  CellsimLink down_link(sim, Trace(*link.forward), down_cfg, down_egress,
+                        std::move(down_policy));
+  CellsimLink up_link(sim, Trace(*link.reverse), up_cfg, up_egress,
+                      std::move(up_policy));
 
   constexpr std::int64_t kCubicFlow = 1;
   constexpr std::int64_t kSkypeFlow = 2;
@@ -653,6 +691,9 @@ ScenarioResult run_tunnel(const ScenarioSpec& spec, const ResolvedLink& link) {
     fr.throughput_kbps = m.throughput_kbps(from, to);
     fr.delay95_ms = m.delay_percentile_ms(95.0, from, to);
     fr.mean_delay_ms = m.mean_delay_ms(from, to);
+    // Tunnel flows never stop early, so the measured sink's lifetime total
+    // IS the whole-run ledger the demux keeps in the generic topology.
+    fr.delivered_bytes = m.total_bytes();
     fr.coactive_throughput_kbps = fr.throughput_kbps;
     if (spec.capture_series) {
       fr.series =
@@ -686,6 +727,28 @@ ScenarioResult run_tunnel(const ScenarioSpec& spec, const ResolvedLink& link) {
 }
 
 }  // namespace
+
+double estimated_cost(const ScenarioSpec& spec) {
+  // Simulated work scales with how long the event loop runs and how many
+  // endpoint pairs feed it.  Flow count per topology: the tunnel scenario
+  // always runs its Cubic + Skype pair; shared queues run their flow list
+  // (or num_flows copies); a single flow is one.
+  double flows = 1.0;
+  switch (spec.topology.kind) {
+    case TopologySpec::Kind::kSingleFlow:
+      flows = 1.0;
+      break;
+    case TopologySpec::Kind::kSharedQueue:
+      flows = spec.topology.flows.empty()
+                  ? static_cast<double>(std::max(spec.topology.num_flows, 1))
+                  : static_cast<double>(spec.topology.flows.size());
+      break;
+    case TopologySpec::Kind::kTunnelContention:
+      flows = 2.0;
+      break;
+  }
+  return to_seconds(spec.run_time) * flows;
+}
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, ScenarioCache* cache) {
   // A flow list only means something to the shared-queue topology, and

@@ -141,6 +141,13 @@ struct ScenarioSpec {
   SchemeId scheme = SchemeId::kSprout;  // ignored by tunnel contention
   LinkSpec link;
   TopologySpec topology;
+  // Queue policy on both emulated links.  kAuto infers it from the flow mix
+  // exactly as before this field existed (the unique scheme requesting a
+  // policy wins; two different requests are rejected).  An explicit value
+  // pairs any scheme with any discipline — but a value contradicting a
+  // flow's own request (kPie under a Cubic-CoDel flow) is rejected, since
+  // that flow's identity IS its queue policy.
+  LinkAqm link_aqm = LinkAqm::kAuto;
   Duration run_time = sec(300);
   Duration warmup = sec(60);        // skipped by all metrics (§5.1)
   Duration propagation_delay = msec(20);
@@ -185,6 +192,12 @@ struct FlowResult {
   double mean_delay_ms = 0.0;
   double coactive_throughput_kbps = 0.0;  // over the co-active window
   double capacity_share = 0.0;   // coactive throughput / coactive capacity
+  // Wire bytes delivered to this flow over the WHOLE run, counted at the
+  // forward-link demux — including warmup and any bytes the flow's standing
+  // queue drained after its stop instant.  This is the ledger that closes
+  // the drain-tail gap described above: windowed metrics ignore the tail,
+  // delivered_bytes attributes it to the flow that sent it.
+  ByteCount delivered_bytes = 0;
   std::vector<SeriesPoint> series;  // if spec.capture_series
 };
 
@@ -256,6 +269,12 @@ class ScenarioCache {
 [[nodiscard]] std::string synthetic_link_key(const CellProcessParams& params,
                                              std::uint64_t seed,
                                              Duration duration);
+
+// Relative cost estimate of simulating one cell: simulated seconds times
+// the number of flows sharing the run.  Not a wall-clock prediction — just
+// a stable ordering key, so a sweep can schedule its longest cells first
+// (sweep.h) and a shard planner can balance uneven grids.
+[[nodiscard]] double estimated_cost(const ScenarioSpec& spec);
 
 // Runs one scenario.  With a cache, expensive per-run precomputation
 // (trace generation/parsing) is shared across calls; without one, each

@@ -26,6 +26,38 @@ std::string to_string(SchemeId id) {
   return "unknown";
 }
 
+const std::vector<SchemeId>& all_scheme_ids() {
+  static const std::vector<SchemeId> ids = {
+      SchemeId::kSprout,         SchemeId::kSproutEwma,
+      SchemeId::kSkype,          SchemeId::kFacetime,
+      SchemeId::kHangout,        SchemeId::kCubic,
+      SchemeId::kVegas,          SchemeId::kCompound,
+      SchemeId::kLedbat,         SchemeId::kCubicCodel,
+      SchemeId::kOmniscient,     SchemeId::kGcc,
+      SchemeId::kFast,           SchemeId::kCubicPie,
+      SchemeId::kSproutAdaptive, SchemeId::kSproutMmpp,
+      SchemeId::kSproutEmpirical, SchemeId::kReno,
+  };
+  return ids;
+}
+
+std::optional<SchemeId> scheme_from_name(const std::string& name) {
+  for (const SchemeId id : all_scheme_ids()) {
+    if (to_string(id) == name) return id;
+  }
+  return std::nullopt;
+}
+
+std::string to_string(LinkAqm aqm) {
+  switch (aqm) {
+    case LinkAqm::kAuto: return "auto";
+    case LinkAqm::kDropTail: return "DropTail";
+    case LinkAqm::kCoDel: return "CoDel";
+    case LinkAqm::kPie: return "PIE";
+  }
+  return "unknown";
+}
+
 const std::vector<SchemeId>& figure7_schemes() {
   static const std::vector<SchemeId> schemes = {
       SchemeId::kSprout,  SchemeId::kSproutEwma, SchemeId::kSkype,

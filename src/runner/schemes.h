@@ -1,6 +1,7 @@
 // The scheme registry: every transport the paper evaluates, by id.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,34 @@ enum class SchemeId {
 };
 
 [[nodiscard]] std::string to_string(SchemeId id);
+
+// Every SchemeId, in enum order — the canonical list scheme_from_name
+// searches and the registry test checks registration against, so a newly
+// added scheme that misses this list fails the tier-1 suite instead of
+// becoming unreadable from shard files.
+[[nodiscard]] const std::vector<SchemeId>& all_scheme_ids();
+
+// Parses the exact strings to_string(SchemeId) produces (shard-file and CLI
+// round trips); std::nullopt for anything else.
+[[nodiscard]] std::optional<SchemeId> scheme_from_name(const std::string& name);
+
+// In-network queue policy of the emulated link (both directions).
+//
+// kAuto keeps the historical behavior: the policy is inferred from the flow
+// mix (the unique scheme requesting one wins — e.g. Cubic-CoDel alone, or
+// Sprout vs Cubic-CoDel — and two different requests in one queue are
+// rejected).  Any other value names the policy explicitly, so ANY scheme can
+// be paired with ANY queue discipline; an explicit policy that contradicts a
+// flow's own request (say kPie under a Cubic-CoDel flow) is rejected rather
+// than silently rewriting what that scheme means.
+enum class LinkAqm {
+  kAuto,      // infer from the flow mix (default; pre-existing semantics)
+  kDropTail,  // explicit FIFO tail-drop
+  kCoDel,
+  kPie,
+};
+
+[[nodiscard]] std::string to_string(LinkAqm aqm);
 
 // The nine schemes plotted in Figure 7 (omniscient is the metric baseline,
 // not a plotted point).

@@ -10,11 +10,10 @@ namespace sprout {
 
 namespace {
 
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr std::uint64_t kFnvPrime = 1099511628211ull;
 
 struct Fnv {
-  std::uint64_t state = kFnvOffset;
+  std::uint64_t state = kFnv1aOffsetBasis;
 
   void bytes(const void* data, std::size_t n) {
     const auto* p = static_cast<const unsigned char*>(data);
@@ -23,7 +22,7 @@ struct Fnv {
       state *= kFnvPrime;
     }
   }
-  void u64(std::uint64_t v) { bytes(&v, sizeof v); }
+  void u64(std::uint64_t v) { state = fnv1a_u64(state, v); }
   void i64(std::int64_t v) { bytes(&v, sizeof v); }
   void f64(double v) {
     std::uint64_t bits;
@@ -125,6 +124,12 @@ std::uint64_t scenario_fingerprint(const ScenarioSpec& spec) {
     for (const FlowSpec& f : spec.topology.flows) hash_flow_spec(h, f);
   }
   h.u64(spec.topology.via_tunnel ? 1 : 0);
+  // Canonical encoding again: kAuto is the field's "absent" state, and
+  // hashing it for every pre-existing spec would have shifted every derived
+  // seed when the field was introduced.  Only an explicit policy is hashed.
+  if (spec.link_aqm != LinkAqm::kAuto) {
+    h.u64(static_cast<std::uint64_t>(spec.link_aqm));
+  }
   h.i64(spec.run_time.count());
   h.i64(spec.warmup.count());
   h.i64(spec.propagation_delay.count());
@@ -145,6 +150,21 @@ std::uint64_t derive_cell_seed(std::uint64_t base_seed,
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
   return z ^ (z >> 31);
+}
+
+std::vector<std::size_t> longest_first_order(
+    const std::vector<ScenarioSpec>& specs) {
+  std::vector<std::size_t> order(specs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<double> cost(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    cost[i] = estimated_cost(specs[i]);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return cost[a] > cost[b];
+                   });
+  return order;
 }
 
 SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
@@ -172,10 +192,16 @@ std::vector<ScenarioResult> SweepRunner::run(
   if (threads < 1) threads = 1;
   threads = std::min<int>(threads, static_cast<int>(cells->size()));
 
+  // Longest-first dispatch: workers claim cells in descending estimated
+  // cost so an expensive cell never starts last and tail-blocks the pool.
+  // Execution order cannot affect results (cells are independent; results
+  // land at their input index), so this is purely a wall-clock lever.
+  const std::vector<std::size_t> order = longest_first_order(*cells);
   std::atomic<std::size_t> next{0};
   const auto worker = [&] {
-    for (std::size_t i = next.fetch_add(1); i < cells->size();
-         i = next.fetch_add(1)) {
+    for (std::size_t k = next.fetch_add(1); k < order.size();
+         k = next.fetch_add(1)) {
+      const std::size_t i = order[k];
       try {
         results[i] = run_scenario((*cells)[i], &cache_);
       } catch (...) {

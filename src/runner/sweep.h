@@ -31,6 +31,21 @@ struct SweepOptions {
   std::optional<std::uint64_t> base_seed;
 };
 
+// The one FNV-1a mixing step every content fingerprint chains — the
+// cell fingerprint below and the grid fingerprint in shard.h both build
+// on it, so the two addresses cannot drift apart independently.  Mixes
+// the eight bytes of `v`, least-significant first.
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 1469598103934665603ull;
+[[nodiscard]] constexpr std::uint64_t fnv1a_u64(std::uint64_t state,
+                                                std::uint64_t v) {
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  for (int i = 0; i < 8; ++i) {
+    state ^= (v >> (8 * i)) & 0xffu;
+    state *= kPrime;
+  }
+  return state;
+}
+
 // Stable content fingerprint of a spec (FNV-1a over every field; inline
 // traces are sampled).  Equal specs always collide; unequal specs almost
 // never do, and a collision only means two cells share a seed.
@@ -41,6 +56,15 @@ struct SweepOptions {
 // replicate cells that differ only in seed stay distinct).
 [[nodiscard]] std::uint64_t derive_cell_seed(std::uint64_t base_seed,
                                              const ScenarioSpec& spec);
+
+// Dispatch order for a grid: cell indices sorted by descending
+// estimated_cost (ties broken by input index, so the order is a pure
+// function of the specs).  Starting the longest cells first keeps a 300 s
+// cell from becoming the tail of the pool after all the 10 s cells have
+// drained; results are unaffected — cells are independent and results are
+// returned in input order regardless of execution order.
+[[nodiscard]] std::vector<std::size_t> longest_first_order(
+    const std::vector<ScenarioSpec>& specs);
 
 class SweepRunner {
  public:

@@ -59,6 +59,13 @@ class GateSink : public PacketSink {
 };
 
 // Routes packets by flow id (shared-queue experiments, §5.7).
+//
+// Also the authoritative per-flow delivery ledger: every routed packet's
+// wire bytes are credited to its flow id, whether or not any metrics window
+// is still open.  That closes the drain-tail attribution gap (scenario.h):
+// bytes a stopped flow's standing queue drains after the stop instant are
+// outside every measurement window, but they still left the link as THAT
+// flow's packets, and delivered_bytes() says so.
 class DemuxSink : public PacketSink {
  public:
   void route(std::int64_t flow_id, PacketSink& sink) {
@@ -68,6 +75,7 @@ class DemuxSink : public PacketSink {
   void receive(Packet&& p) override {
     const auto it = routes_.find(p.flow_id);
     if (it != routes_.end()) {
+      delivered_bytes_[p.flow_id] += p.size;
       it->second->receive(std::move(p));
     } else {
       ++unrouted_;
@@ -76,8 +84,15 @@ class DemuxSink : public PacketSink {
 
   [[nodiscard]] std::int64_t unrouted() const { return unrouted_; }
 
+  // Total wire bytes routed for one flow over the demux's whole lifetime.
+  [[nodiscard]] ByteCount delivered_bytes(std::int64_t flow_id) const {
+    const auto it = delivered_bytes_.find(flow_id);
+    return it != delivered_bytes_.end() ? it->second : 0;
+  }
+
  private:
   std::map<std::int64_t, PacketSink*> routes_;
+  std::map<std::int64_t, ByteCount> delivered_bytes_;
   std::int64_t unrouted_ = 0;
 };
 

@@ -1,0 +1,154 @@
+// Golden-metrics regression lock: the paper-facing summary numbers
+// (throughput, 95% delay, Jain index, utilization) for Sprout, Cubic and
+// Vegas on one synthetic preset are pinned to a checked-in JSON file with
+// tight tolerances.  A refactor that changes these numbers is either a bug
+// or a deliberate semantic change — and a deliberate change must leave a
+// diff in tests/golden/golden_metrics.json where a reviewer sees it, not
+// a silent drift in every table the benches print.
+//
+// Regenerate after an INTENDED change with:
+//   SPROUT_UPDATE_GOLDEN=1 ./sprout_tests --gtest_filter='GoldenMetrics.*'
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/shard.h"
+#include "util/table.h"
+
+namespace sprout {
+namespace {
+
+#ifndef SPROUT_SOURCE_DIR
+#error "SPROUT_SOURCE_DIR must name the repo root (set by CMakeLists.txt)"
+#endif
+
+std::string golden_path() {
+  return std::string(SPROUT_SOURCE_DIR) + "/tests/golden/golden_metrics.json";
+}
+
+// Relative tolerance: tight enough that any real metric shift (scheduler
+// change, window change, seed drift — typically percents) trips it, loose
+// enough to absorb libm rounding differences across toolchains.
+constexpr double kRelTol = 5e-4;
+
+struct GoldenCell {
+  std::string scheme;
+  double throughput_kbps = 0.0;
+  double delay95_ms = 0.0;
+  double jain_index = 0.0;
+  double aggregate_utilization = 0.0;
+};
+
+// The pinned grid: each scheme as TWO flows in one shared synthetic-link
+// queue, so throughput, queueing delay AND cross-flow fairness are all
+// exercised by one cell.  Synthetic link == no trace files to drift.
+SweepSpec golden_grid() {
+  CellProcessParams forward;   // defaults: the 400 pps OU process
+  CellProcessParams reverse;
+  reverse.mean_rate_pps = 200.0;
+  SweepSpec sweep;
+  for (const SchemeId scheme :
+       {SchemeId::kSprout, SchemeId::kCubic, SchemeId::kVegas}) {
+    ScenarioSpec cell;
+    cell.scheme = scheme;
+    cell.link = LinkSpec::synthetic(forward, reverse, /*forward_seed=*/11,
+                                    /*reverse_seed=*/12);
+    cell.topology = TopologySpec::shared_queue(2);
+    cell.run_time = sec(12);
+    cell.warmup = sec(3);
+    sweep.cells.push_back(cell);
+  }
+  return sweep;
+}
+
+std::vector<GoldenCell> measure() {
+  const SweepSpec grid = golden_grid();
+  const SweepResult swept = run_sweep(grid);
+  std::vector<GoldenCell> cells;
+  for (std::size_t i = 0; i < swept.cells.size(); ++i) {
+    const ScenarioResult& r = swept.cells[i];
+    GoldenCell g;
+    g.scheme = to_string(grid.cells[i].scheme);
+    g.throughput_kbps = r.throughput_kbps();
+    g.delay95_ms = r.delay95_ms();
+    g.jain_index = r.jain_index;
+    g.aggregate_utilization = r.aggregate_utilization;
+    cells.push_back(g);
+  }
+  return cells;
+}
+
+void write_golden(const std::string& path,
+                  const std::vector<GoldenCell>& cells) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out) << "cannot write " << path;
+  out.precision(17);
+  out << "{\n  \"schema\": \"sprout-golden-metrics-v1\",\n"
+      << "  \"grid_fingerprint\": \""
+      << sweep_fingerprint(golden_grid()) << "\",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const GoldenCell& g = cells[i];
+    out << "    {\"scheme\": \"" << g.scheme << "\", \"throughput_kbps\": "
+        << g.throughput_kbps << ", \"delay95_ms\": " << g.delay95_ms
+        << ", \"jain_index\": " << g.jain_index
+        << ", \"aggregate_utilization\": " << g.aggregate_utilization << "}"
+        << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
+void expect_close(const std::string& what, double golden, double measured) {
+  const double tol = kRelTol * std::max(std::abs(golden), 1e-9);
+  EXPECT_NEAR(measured, golden, tol)
+      << what << " drifted: golden " << golden << ", measured " << measured
+      << " (rel " << (measured - golden) / golden << ")";
+}
+
+TEST(GoldenMetrics, SummaryMetricsMatchCheckedInGolden) {
+  const std::vector<GoldenCell> measured = measure();
+
+  if (std::getenv("SPROUT_UPDATE_GOLDEN") != nullptr) {
+    write_golden(golden_path(), measured);
+    GTEST_SKIP() << "golden file regenerated at " << golden_path();
+  }
+
+  std::ifstream in(golden_path());
+  ASSERT_TRUE(in) << "missing golden file " << golden_path()
+                  << " — run once with SPROUT_UPDATE_GOLDEN=1";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const JsonValue doc = JsonValue::parse(buf.str());
+
+  ASSERT_EQ(doc.at("schema").as_string(), "sprout-golden-metrics-v1");
+  // The grid fingerprint pins the SPEC: if it moved, the measured numbers
+  // are answers to a different question and comparing them is meaningless.
+  EXPECT_EQ(doc.at("grid_fingerprint").as_string(),
+            std::to_string(sweep_fingerprint(golden_grid())))
+      << "the golden grid's spec changed — if intended, regenerate with "
+         "SPROUT_UPDATE_GOLDEN=1";
+
+  const auto& cells = doc.at("cells").as_array();
+  ASSERT_EQ(cells.size(), measured.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const JsonValue& g = cells[i];
+    SCOPED_TRACE(measured[i].scheme);
+    ASSERT_EQ(g.at("scheme").as_string(), measured[i].scheme);
+    expect_close("throughput_kbps", g.at("throughput_kbps").as_number(),
+                 measured[i].throughput_kbps);
+    expect_close("delay95_ms", g.at("delay95_ms").as_number(),
+                 measured[i].delay95_ms);
+    expect_close("jain_index", g.at("jain_index").as_number(),
+                 measured[i].jain_index);
+    expect_close("aggregate_utilization",
+                 g.at("aggregate_utilization").as_number(),
+                 measured[i].aggregate_utilization);
+  }
+}
+
+}  // namespace
+}  // namespace sprout

@@ -237,6 +237,93 @@ TEST(HeterogeneousValidation, SharedAqmMixIsAllowed) {
   EXPECT_EQ(r.flows.size(), 2u);
 }
 
+TEST(LinkAqmField, ExplicitPolicyPairsAnySchemeWithAnyDiscipline) {
+  // Plain Cubic over an explicitly CoDel'd link: no scheme requests a
+  // policy, the spec names one, and the run must differ from DropTail
+  // (CoDel drops head-of-line packets a DropTail queue would deliver).
+  ScenarioSpec droptail = mixed_spec(SchemeId::kCubic);
+  ScenarioSpec codel = droptail;
+  codel.link_aqm = LinkAqm::kCoDel;
+  const ScenarioResult plain = run_scenario(droptail);
+  const ScenarioResult managed = run_scenario(codel);
+  ASSERT_EQ(managed.flows.size(), 2u);
+  EXPECT_NE(plain.packets_delivered, managed.packets_delivered);
+}
+
+TEST(LinkAqmField, ExplicitDropTailMatchesTheAutoDefault) {
+  // For a mix with no AQM requests, kAuto infers DropTail — so naming
+  // DropTail explicitly must change nothing about the simulation.
+  ScenarioSpec auto_spec = mixed_spec(SchemeId::kCubic);
+  ScenarioSpec explicit_spec = auto_spec;
+  explicit_spec.link_aqm = LinkAqm::kDropTail;
+  expect_identical(run_scenario(auto_spec), run_scenario(explicit_spec));
+}
+
+TEST(LinkAqmField, ExplicitPolicyMatchingTheRequestIsValid) {
+  ScenarioSpec spec = mixed_spec(SchemeId::kCubicCodel);
+  spec.link_aqm = LinkAqm::kCoDel;  // agrees with Cubic-CoDel's request
+  const ScenarioResult r = run_scenario(spec);
+  EXPECT_EQ(r.flows.size(), 2u);
+}
+
+TEST(LinkAqmField, ExplicitPolicyContradictingARequestIsRejected) {
+  // Cubic-CoDel's identity IS its queue policy: forcing PIE (or plain
+  // DropTail) under it would silently redefine the scheme.
+  ScenarioSpec spec = mixed_spec(SchemeId::kCubicCodel);
+  spec.link_aqm = LinkAqm::kPie;
+  EXPECT_THROW((void)run_scenario(spec), std::invalid_argument);
+  spec.link_aqm = LinkAqm::kDropTail;
+  EXPECT_THROW((void)run_scenario(spec), std::invalid_argument);
+}
+
+TEST(LinkAqmField, ExplicitPolicyIsCoveredByTheFingerprint) {
+  // Two specs that simulate differently must derive different seeds; the
+  // kAuto default hashes like the field never existed, so every
+  // pre-existing spec keeps its derived seed.
+  const ScenarioSpec auto_spec = mixed_spec(SchemeId::kCubic);
+  ScenarioSpec pie = auto_spec;
+  pie.link_aqm = LinkAqm::kPie;
+  EXPECT_NE(scenario_fingerprint(auto_spec), scenario_fingerprint(pie));
+  ScenarioSpec droptail = auto_spec;
+  droptail.link_aqm = LinkAqm::kDropTail;
+  EXPECT_NE(scenario_fingerprint(droptail), scenario_fingerprint(pie));
+}
+
+TEST(DrainTail, StoppedFlowsDrainedBytesLandInItsOwnLedger) {
+  // Flow 1 (Cubic, the queue-builder) leaves at t = 6 s with a standing
+  // queue behind the link; run with NO warmup so the measurement window
+  // [0, 6) covers everything except the drain tail.  The windowed metrics
+  // ignore bytes delivered after the stop; delivered_bytes must not.
+  ScenarioSpec spec = short_times(heterogeneous_scenario(
+      {FlowSpec::of(SchemeId::kSprout),
+       FlowSpec::of(SchemeId::kCubic).active(sec(0), sec(6))},
+      verizon()));
+  spec.warmup = sec(0);
+  const ScenarioResult r = run_scenario(spec);
+  ASSERT_EQ(r.flows.size(), 2u);
+  const FlowResult& cubic = r.flows[1];
+
+  // Bytes the windowed throughput accounts for: rate * window length.
+  const double window_s = cubic.active_to_s - cubic.active_from_s;
+  const double window_bytes = cubic.throughput_kbps * 1000.0 / 8.0 * window_s;
+  EXPECT_GT(cubic.delivered_bytes, 0);
+  // The drain tail is real for a loss-based flow on an LTE trace: strictly
+  // more bytes reached the receiver than the measurement window credits.
+  EXPECT_GT(static_cast<double>(cubic.delivered_bytes),
+            window_bytes + 0.5 * kMtuBytes);
+
+  // The Sprout flow never stops: its ledger and its window agree (to
+  // formatting noise), so the gap above is the tail, not a bookkeeping
+  // artifact.
+  const FlowResult& sprout_flow = r.flows[0];
+  const double sprout_window_bytes = sprout_flow.throughput_kbps * 1000.0 /
+                                     8.0 *
+                                     (sprout_flow.active_to_s -
+                                      sprout_flow.active_from_s);
+  EXPECT_NEAR(static_cast<double>(sprout_flow.delivered_bytes),
+              sprout_window_bytes, 1.0);
+}
+
 TEST(HeterogeneousValidation, RunSharedQueueViewStaysHomogeneous) {
   ScenarioSpec spec = mixed_spec(SchemeId::kCubic);
   EXPECT_THROW((void)run_shared_queue(spec), std::invalid_argument);

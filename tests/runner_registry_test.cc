@@ -12,22 +12,20 @@
 namespace sprout {
 namespace {
 
-// Every SchemeId in schemes.h, by hand: the enum has no reflection, so
-// this list IS the test's claim of completeness.  Adding an enumerator
-// without registering it (or without extending this list) fails here.
-const std::vector<SchemeId>& all_scheme_ids() {
-  static const std::vector<SchemeId> ids = {
-      SchemeId::kSprout,        SchemeId::kSproutEwma,
-      SchemeId::kSkype,         SchemeId::kFacetime,
-      SchemeId::kHangout,       SchemeId::kCubic,
-      SchemeId::kVegas,         SchemeId::kCompound,
-      SchemeId::kLedbat,        SchemeId::kCubicCodel,
-      SchemeId::kOmniscient,    SchemeId::kGcc,
-      SchemeId::kFast,          SchemeId::kCubicPie,
-      SchemeId::kSproutAdaptive, SchemeId::kSproutMmpp,
-      SchemeId::kSproutEmpirical, SchemeId::kReno,
-  };
-  return ids;
+// all_scheme_ids() (schemes.cc) is the hand-maintained claim of enum
+// completeness: the registration tests below cross-check it against the
+// registry, and scheme_from_name searches the SAME list — so a scheme
+// missing from it cannot register cleanly here AND cannot silently become
+// unreadable from shard files.
+TEST(SchemeRegistry, SchemeNamesRoundTripThroughFromName) {
+  for (const SchemeId id : all_scheme_ids()) {
+    const std::optional<SchemeId> back = scheme_from_name(to_string(id));
+    ASSERT_TRUE(back.has_value()) << to_string(id);
+    EXPECT_EQ(*back, id);
+  }
+  EXPECT_FALSE(scheme_from_name("no such scheme").has_value());
+  EXPECT_FALSE(scheme_from_name("").has_value());
+  EXPECT_FALSE(scheme_from_name("unknown").has_value());  // to_string fallback
 }
 
 TEST(SchemeRegistry, EverySchemeIdResolves) {
@@ -86,10 +84,10 @@ TEST(SchemeRegistry, OmniscientIsSingleFlowOnly) {
 TEST(SchemeRegistry, OnlyAqmSchemesRequestLinkPolicies) {
   const SchemeRegistry& registry = SchemeRegistry::instance();
   for (const SchemeId id : all_scheme_ids()) {
-    const bool wants_aqm = id == SchemeId::kCubicCodel ||
-                           id == SchemeId::kCubicPie;
-    EXPECT_EQ(static_cast<bool>(registry.info(id).make_link_aqm), wants_aqm)
-        << to_string(id);
+    LinkAqm wants = LinkAqm::kAuto;
+    if (id == SchemeId::kCubicCodel) wants = LinkAqm::kCoDel;
+    if (id == SchemeId::kCubicPie) wants = LinkAqm::kPie;
+    EXPECT_EQ(registry.info(id).link_aqm, wants) << to_string(id);
   }
 }
 

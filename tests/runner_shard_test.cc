@@ -1,0 +1,376 @@
+// The sharded sweep subsystem's spine: serial == thread pool == N merged
+// shards, bit for bit — plus the failure modes that keep a merge honest
+// (overlap, gaps, foreign shards, corrupt files) and the longest-first
+// scheduling order.
+#include "runner/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "runner/scenario.h"
+#include "runner/sweep.h"
+
+namespace sprout {
+namespace {
+
+// NaN-aware bitwise equality: jain_index is deliberately NaN for disjoint
+// activity windows, and NaN != NaN under operator==.
+void expect_same_bits(double a, double b) {
+  std::uint64_t ab = 0;
+  std::uint64_t bb = 0;
+  std::memcpy(&ab, &a, sizeof ab);
+  std::memcpy(&bb, &b, sizeof bb);
+  EXPECT_EQ(ab, bb) << a << " vs " << b;
+}
+
+void expect_bit_identical(const ScenarioResult& a, const ScenarioResult& b) {
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t f = 0; f < a.flows.size(); ++f) {
+    SCOPED_TRACE("flow " + std::to_string(f));
+    EXPECT_EQ(a.flows[f].label, b.flows[f].label);
+    EXPECT_EQ(a.flows[f].scheme, b.flows[f].scheme);
+    expect_same_bits(a.flows[f].active_from_s, b.flows[f].active_from_s);
+    expect_same_bits(a.flows[f].active_to_s, b.flows[f].active_to_s);
+    expect_same_bits(a.flows[f].throughput_kbps, b.flows[f].throughput_kbps);
+    expect_same_bits(a.flows[f].delay95_ms, b.flows[f].delay95_ms);
+    expect_same_bits(a.flows[f].mean_delay_ms, b.flows[f].mean_delay_ms);
+    expect_same_bits(a.flows[f].coactive_throughput_kbps,
+                     b.flows[f].coactive_throughput_kbps);
+    expect_same_bits(a.flows[f].capacity_share, b.flows[f].capacity_share);
+    EXPECT_EQ(a.flows[f].delivered_bytes, b.flows[f].delivered_bytes);
+  }
+  expect_same_bits(a.capacity_kbps, b.capacity_kbps);
+  expect_same_bits(a.aggregate_throughput_kbps, b.aggregate_throughput_kbps);
+  expect_same_bits(a.aggregate_utilization, b.aggregate_utilization);
+  expect_same_bits(a.jain_index, b.jain_index);
+  expect_same_bits(a.coactive_from_s, b.coactive_from_s);
+  expect_same_bits(a.coactive_to_s, b.coactive_to_s);
+  expect_same_bits(a.coactive_capacity_kbps, b.coactive_capacity_kbps);
+  expect_same_bits(a.max_delay95_ms, b.max_delay95_ms);
+  expect_same_bits(a.omniscient_delay95_ms, b.omniscient_delay95_ms);
+  EXPECT_EQ(a.packets_delivered, b.packets_delivered);
+  EXPECT_EQ(a.link_drops, b.link_drops);
+}
+
+void expect_bit_identical(const SweepResult& a, const SweepResult& b) {
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  ASSERT_EQ(a.cell_fingerprints, b.cell_fingerprints);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    expect_bit_identical(a.cells[i], b.cells[i]);
+  }
+}
+
+ScenarioSpec short_cell(SchemeId scheme, const char* network, int seconds) {
+  ScenarioSpec spec;
+  spec.scheme = scheme;
+  spec.link = LinkSpec::preset(network, LinkDirection::kDownlink);
+  spec.run_time = sec(seconds);
+  spec.warmup = sec(2);
+  return spec;
+}
+
+// Mixed durations (6 s next to 18 s), mixed flow counts, a heterogeneous
+// shared queue, and one early-stopping flow: the unbalanced shape the
+// longest-first scheduler and the drain-tail ledger exist for.
+SweepSpec mixed_grid() {
+  SweepSpec sweep;
+  sweep.cells.push_back(short_cell(SchemeId::kCubic, "Verizon LTE", 6));
+  {
+    ScenarioSpec cell = short_cell(SchemeId::kSprout, "Verizon LTE", 18);
+    cell.topology = TopologySpec::heterogeneous_queue(
+        {FlowSpec::of(SchemeId::kSprout), FlowSpec::of(SchemeId::kCubic),
+         FlowSpec::of(SchemeId::kVegas)});
+    sweep.cells.push_back(cell);
+  }
+  sweep.cells.push_back(short_cell(SchemeId::kSprout, "AT&T LTE", 6));
+  {
+    ScenarioSpec cell = short_cell(SchemeId::kSprout, "AT&T LTE", 12);
+    cell.topology = TopologySpec::heterogeneous_queue(
+        {FlowSpec::of(SchemeId::kSprout),
+         FlowSpec::of(SchemeId::kCubic).active(sec(0), sec(6))});
+    sweep.cells.push_back(cell);
+  }
+  sweep.cells.push_back(short_cell(SchemeId::kVegas, "Verizon LTE", 6));
+  sweep.base_seed = 0xfeedbeef;
+  return sweep;
+}
+
+TEST(Shard, SerialPoolAndThreeShardMergeAreBitIdentical) {
+  const SweepSpec grid = mixed_grid();
+
+  const SweepResult serial = run_sweep(grid, /*threads=*/1);
+  const SweepResult pooled = run_sweep(grid, /*threads=*/8);
+
+  std::vector<ShardResult> shards;
+  for (int s = 0; s < 3; ++s) {
+    shards.push_back(
+        run_shard(grid, shard_cell_indices(grid.cells.size(), s, 3),
+                  /*threads=*/2));
+  }
+  const SweepResult merged = merge_shards(shards);
+
+  expect_bit_identical(serial, pooled);
+  expect_bit_identical(serial, merged);
+  verify_sweep_result(merged, grid);
+}
+
+TEST(Shard, MergedJsonRoundTripsBitwise) {
+  const SweepSpec grid = mixed_grid();
+  std::vector<ShardResult> shards;
+  for (int s = 0; s < 2; ++s) {
+    shards.push_back(run_shard(
+        grid, shard_cell_indices(grid.cells.size(), s, 2), /*threads=*/4));
+
+    // The shard file itself must round-trip exactly, NaN fairness included.
+    std::ostringstream os;
+    write_shard_json(os, shards.back());
+    const ShardResult reread = read_shard_json(os.str());
+    EXPECT_EQ(reread.sweep_fingerprint, shards.back().sweep_fingerprint);
+    EXPECT_EQ(reread.cell_indices, shards.back().cell_indices);
+    EXPECT_EQ(reread.cell_fingerprints, shards.back().cell_fingerprints);
+    ASSERT_EQ(reread.cells.size(), shards.back().cells.size());
+    for (std::size_t k = 0; k < reread.cells.size(); ++k) {
+      expect_bit_identical(reread.cells[k], shards.back().cells[k]);
+    }
+  }
+
+  const SweepResult merged = merge_shards(shards);
+  std::ostringstream merged_os;
+  write_sweep_json(merged_os, merged);
+  const SweepResult reread = read_sweep_json(merged_os.str());
+  expect_bit_identical(merged, reread);
+
+  // Byte-level determinism: serializing the reread result reproduces the
+  // file, which is what lets CI diff a merged file against a full run.
+  std::ostringstream again;
+  write_sweep_json(again, reread);
+  EXPECT_EQ(merged_os.str(), again.str());
+}
+
+TEST(Shard, ShardCellIndicesDealRoundRobin) {
+  EXPECT_EQ(shard_cell_indices(7, 0, 3), (std::vector<std::size_t>{0, 3, 6}));
+  EXPECT_EQ(shard_cell_indices(7, 1, 3), (std::vector<std::size_t>{1, 4}));
+  EXPECT_EQ(shard_cell_indices(7, 2, 3), (std::vector<std::size_t>{2, 5}));
+  // More shards than cells: the surplus shards are legitimately empty.
+  EXPECT_TRUE(shard_cell_indices(2, 2, 3).empty());
+  EXPECT_THROW((void)shard_cell_indices(7, 3, 3), std::invalid_argument);
+  EXPECT_THROW((void)shard_cell_indices(7, -1, 3), std::invalid_argument);
+  EXPECT_THROW((void)shard_cell_indices(7, 0, 0), std::invalid_argument);
+}
+
+TEST(Shard, RunShardRejectsBadCellLists) {
+  const SweepSpec grid = mixed_grid();
+  EXPECT_THROW((void)run_shard(grid, {0, 99}), std::invalid_argument);
+  EXPECT_THROW((void)run_shard(grid, {1, 1}), std::invalid_argument);
+}
+
+// --- merge failure modes -------------------------------------------------
+
+// A tiny grid the failure-mode tests can afford to run repeatedly.
+SweepSpec tiny_grid() {
+  SweepSpec sweep;
+  sweep.cells.push_back(short_cell(SchemeId::kCubic, "Verizon LTE", 6));
+  sweep.cells.push_back(short_cell(SchemeId::kVegas, "Verizon LTE", 6));
+  sweep.cells.push_back(short_cell(SchemeId::kCubic, "AT&T LTE", 6));
+  return sweep;
+}
+
+class ShardMerge : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    grid_ = new SweepSpec(tiny_grid());
+    shards_ = new std::vector<ShardResult>();
+    for (int s = 0; s < 3; ++s) {
+      shards_->push_back(run_shard(*grid_, {static_cast<std::size_t>(s)}));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete grid_;
+    delete shards_;
+    grid_ = nullptr;
+    shards_ = nullptr;
+  }
+
+  static SweepSpec* grid_;
+  static std::vector<ShardResult>* shards_;
+};
+
+SweepSpec* ShardMerge::grid_ = nullptr;
+std::vector<ShardResult>* ShardMerge::shards_ = nullptr;
+
+void expect_merge_error(const std::vector<ShardResult>& shards,
+                        const std::string& needle) {
+  try {
+    (void)merge_shards(shards);
+    FAIL() << "merge accepted a bad shard set";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(ShardMerge, CleanPartitionMerges) {
+  const SweepResult merged = merge_shards(*shards_);
+  EXPECT_EQ(merged.cells.size(), 3u);
+  verify_sweep_result(merged, *grid_);
+}
+
+TEST_F(ShardMerge, OverlappingShardsAreRejected) {
+  std::vector<ShardResult> shards = *shards_;
+  shards.push_back((*shards_)[1]);  // cell 1 delivered twice
+  expect_merge_error(shards, "more than one shard");
+}
+
+TEST_F(ShardMerge, MissingCellsAreRejected) {
+  std::vector<ShardResult> shards = {(*shards_)[0], (*shards_)[2]};
+  expect_merge_error(shards, "covered by no shard");
+}
+
+TEST_F(ShardMerge, ForeignShardIsRejected) {
+  std::vector<ShardResult> shards = *shards_;
+  shards[2].sweep_fingerprint ^= 1;  // cut from "a different grid"
+  expect_merge_error(shards, "not cut from the same grid");
+}
+
+TEST_F(ShardMerge, DisagreeingTotalsAreRejected) {
+  std::vector<ShardResult> shards = *shards_;
+  shards[1].total_cells = 7;
+  expect_merge_error(shards, "totals disagree");
+}
+
+TEST_F(ShardMerge, InternallyInconsistentShardIsRejected) {
+  std::vector<ShardResult> shards = *shards_;
+  shards[0].cell_fingerprints.push_back(42);  // one fingerprint, no result
+  expect_merge_error(shards, "internally inconsistent");
+}
+
+TEST_F(ShardMerge, OutOfRangeCellIndexIsRejected) {
+  std::vector<ShardResult> shards = *shards_;
+  shards[0].cell_indices[0] = 5;
+  expect_merge_error(shards, "only");
+}
+
+TEST_F(ShardMerge, EmptyMergeIsRejected) {
+  expect_merge_error({}, "zero shards");
+}
+
+TEST_F(ShardMerge, VerifyCatchesCellSubstitution) {
+  // Shards that merge cleanly but whose cells are not this grid's cells:
+  // per-cell fingerprints are the last line of defense.
+  std::vector<ShardResult> shards = *shards_;
+  shards[1].cell_fingerprints[0] ^= 1;
+  const SweepResult merged = merge_shards(shards);
+  EXPECT_THROW(verify_sweep_result(merged, *grid_), std::runtime_error);
+}
+
+TEST_F(ShardMerge, TruncatedShardJsonIsRejected) {
+  std::ostringstream os;
+  write_shard_json(os, (*shards_)[0]);
+  const std::string whole = os.str();
+  // A truncated file (half-written by a dying process) must never parse,
+  // at ANY cut point — not just convenient ones.
+  for (const double frac : {0.25, 0.5, 0.9, 0.99}) {
+    const std::string cut =
+        whole.substr(0, static_cast<std::size_t>(whole.size() * frac));
+    EXPECT_THROW((void)read_shard_json(cut), std::runtime_error) << frac;
+  }
+}
+
+TEST_F(ShardMerge, CorruptShardJsonIsRejected) {
+  std::ostringstream os;
+  write_shard_json(os, (*shards_)[0]);
+  const std::string whole = os.str();
+
+  std::string garbage = whole;
+  garbage[whole.find("sweep_fingerprint") + 25] = 'x';  // inside the number
+  EXPECT_THROW((void)read_shard_json(garbage), std::runtime_error);
+
+  EXPECT_THROW((void)read_shard_json("not json at all"), std::runtime_error);
+  EXPECT_THROW((void)read_shard_json(""), std::runtime_error);
+  EXPECT_THROW((void)read_shard_json(whole + "trailing"), std::runtime_error);
+
+  // Wrong schema tag: a sweep file is not a shard file.
+  const SweepResult merged = merge_shards(*shards_);
+  std::ostringstream sweep_os;
+  write_sweep_json(sweep_os, merged);
+  EXPECT_THROW((void)read_shard_json(sweep_os.str()), std::runtime_error);
+  EXPECT_THROW((void)read_sweep_json(whole), std::runtime_error);
+}
+
+TEST_F(ShardMerge, CounterBeyondDoubleExactRangeIsRejected) {
+  // Integer counters ride as JSON numbers, exact only up to 2^53; a value
+  // past that would round silently in the parse, so the reader refuses it.
+  std::ostringstream os;
+  write_shard_json(os, (*shards_)[0]);
+  std::string text = os.str();
+  const std::string key = "\"packets_delivered\": ";
+  const std::size_t at = text.find(key);
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t digits_at = at + key.size();
+  const std::size_t digits_end = text.find_first_not_of("0123456789", digits_at);
+  text.replace(digits_at, digits_end - digits_at, "9007199254740994");
+  EXPECT_THROW((void)read_shard_json(text), std::runtime_error);
+}
+
+// --- fingerprints and scheduling ----------------------------------------
+
+TEST(Shard, SweepFingerprintCoversEveryCellAndTheSeed) {
+  const SweepSpec grid = tiny_grid();
+  const std::uint64_t fp = sweep_fingerprint(grid);
+
+  SweepSpec reordered = grid;
+  std::swap(reordered.cells[0], reordered.cells[1]);
+  EXPECT_NE(fp, sweep_fingerprint(reordered));  // cells are index-addressed
+
+  SweepSpec cell_changed = grid;
+  cell_changed.cells[2].seed += 1;
+  EXPECT_NE(fp, sweep_fingerprint(cell_changed));
+
+  SweepSpec seeded = grid;
+  seeded.base_seed = 7;
+  EXPECT_NE(fp, sweep_fingerprint(seeded));
+
+  EXPECT_EQ(fp, sweep_fingerprint(tiny_grid()));  // pure function of content
+}
+
+TEST(Shard, EstimatedCostScalesWithDurationAndFlows) {
+  ScenarioSpec single = short_cell(SchemeId::kSprout, "Verizon LTE", 10);
+  EXPECT_DOUBLE_EQ(estimated_cost(single), 10.0);
+
+  ScenarioSpec shared = single;
+  shared.topology = TopologySpec::shared_queue(4);
+  EXPECT_DOUBLE_EQ(estimated_cost(shared), 40.0);
+
+  ScenarioSpec hetero = single;
+  hetero.topology = TopologySpec::heterogeneous_queue(
+      {FlowSpec::of(SchemeId::kSprout), FlowSpec::of(SchemeId::kCubic)});
+  EXPECT_DOUBLE_EQ(estimated_cost(hetero), 20.0);
+
+  ScenarioSpec tunnel = single;
+  tunnel.topology = TopologySpec::tunnel_contention(true);
+  EXPECT_DOUBLE_EQ(estimated_cost(tunnel), 20.0);
+}
+
+TEST(Shard, LongestFirstOrderIsDescendingAndStable) {
+  const SweepSpec grid = mixed_grid();
+  const std::vector<std::size_t> order = longest_first_order(grid.cells);
+  ASSERT_EQ(order.size(), grid.cells.size());
+  for (std::size_t k = 1; k < order.size(); ++k) {
+    const double prev = estimated_cost(grid.cells[order[k - 1]]);
+    const double cur = estimated_cost(grid.cells[order[k]]);
+    EXPECT_GE(prev, cur);
+    if (prev == cur) {
+      EXPECT_LT(order[k - 1], order[k]);  // stable ties
+    }
+  }
+  // The 18 s three-flow cell (index 1) must be dispatched first.
+  EXPECT_EQ(order.front(), 1u);
+}
+
+}  // namespace
+}  // namespace sprout

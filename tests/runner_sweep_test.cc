@@ -41,6 +41,7 @@ void expect_identical(const ScenarioResult& a, const ScenarioResult& b) {
     EXPECT_DOUBLE_EQ(a.flows[f].throughput_kbps, b.flows[f].throughput_kbps);
     EXPECT_DOUBLE_EQ(a.flows[f].delay95_ms, b.flows[f].delay95_ms);
     EXPECT_DOUBLE_EQ(a.flows[f].mean_delay_ms, b.flows[f].mean_delay_ms);
+    EXPECT_EQ(a.flows[f].delivered_bytes, b.flows[f].delivered_bytes);
   }
   EXPECT_DOUBLE_EQ(a.capacity_kbps, b.capacity_kbps);
   EXPECT_DOUBLE_EQ(a.aggregate_throughput_kbps, b.aggregate_throughput_kbps);

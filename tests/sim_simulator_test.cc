@@ -122,5 +122,32 @@ TEST(DemuxSink, RoutesByFlowId) {
   EXPECT_EQ(demux.unrouted(), 1);
 }
 
+TEST(DemuxSink, KeepsAPerFlowByteLedger) {
+  struct Counter : PacketSink {
+    int n = 0;
+    void receive(Packet&&) override { ++n; }
+  } a, b;
+  DemuxSink demux;
+  demux.route(1, a);
+  demux.route(2, b);
+  for (const auto& [flow, size] :
+       {std::pair<std::int64_t, ByteCount>{1, 1500},
+        {2, 200}, {1, 300}, {2, 1500}}) {
+    Packet p;
+    p.flow_id = flow;
+    p.size = size;
+    demux.receive(std::move(p));
+  }
+  Packet stray;  // unrouted bytes are credited to NO flow
+  stray.flow_id = 99;
+  stray.size = 777;
+  demux.receive(std::move(stray));
+
+  EXPECT_EQ(demux.delivered_bytes(1), 1800);
+  EXPECT_EQ(demux.delivered_bytes(2), 1700);
+  EXPECT_EQ(demux.delivered_bytes(99), 0);
+  EXPECT_EQ(demux.delivered_bytes(3), 0);
+}
+
 }  // namespace
 }  // namespace sprout

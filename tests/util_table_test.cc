@@ -1,6 +1,8 @@
 #include "util/table.h"
 
+#include <cstring>
 #include <sstream>
+#include <stdexcept>
 
 #include <gtest/gtest.h>
 
@@ -66,6 +68,105 @@ TEST(FormatDouble, Precision) {
   EXPECT_EQ(format_double(3.14159, 2), "3.14");
   EXPECT_EQ(format_double(2.0, 0), "2");
   EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(JsonValue, ParsesEveryKind) {
+  const JsonValue v = JsonValue::parse(
+      R"({"s": "text", "n": -12.5e1, "t": true, "f": false, "z": null,
+          "a": [1, 2, 3], "o": {"nested": "yes"}})");
+  EXPECT_EQ(v.at("s").as_string(), "text");
+  EXPECT_DOUBLE_EQ(v.at("n").as_number(), -125.0);
+  EXPECT_TRUE(v.at("t").as_bool());
+  EXPECT_FALSE(v.at("f").as_bool());
+  EXPECT_TRUE(v.at("z").is_null());
+  ASSERT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("a").as_array()[1].as_number(), 2.0);
+  EXPECT_EQ(v.at("o").at("nested").as_string(), "yes");
+  EXPECT_TRUE(v.has("s"));
+  EXPECT_FALSE(v.has("missing"));
+}
+
+TEST(JsonValue, RoundTripsWriterOutput) {
+  TableWriter t({"name", "value"});
+  t.row().cell(std::string("a\"b\\c\nd\te\x01")).cell(std::int64_t{7});
+  std::ostringstream os;
+  t.write_json(os);
+  const JsonValue v = JsonValue::parse(os.str());
+  ASSERT_EQ(v.as_array().size(), 1u);
+  EXPECT_EQ(v.as_array()[0].at("name").as_string(), "a\"b\\c\nd\te\x01");
+  EXPECT_EQ(v.as_array()[0].at("value").as_string(), "7");
+}
+
+TEST(JsonValue, SeventeenDigitDoublesRoundTripExactly) {
+  // The shard pipeline's bit-identity rests on this: any double printed
+  // with 17 significant digits parses back to the same bits.
+  for (const double x : {1.0 / 3.0, 0.1, 123456.789e-3, 2.2250738585072014e-308,
+                         9007199254740993.0, -0.0}) {
+    std::ostringstream os;
+    os.precision(17);
+    os << x;
+    const double back = JsonValue::parse(os.str()).as_number();
+    EXPECT_EQ(std::memcmp(&back, &x, sizeof x), 0) << os.str();
+  }
+}
+
+TEST(JsonValue, RejectsTruncationCorruptionAndTrailingGarbage) {
+  EXPECT_THROW((void)JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\": 1"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("[1, 2,"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("nul"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("1.2.3"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse("\"raw\ncontrol\""), std::runtime_error);
+}
+
+TEST(JsonValue, EnforcesTheRfc8259NumberGrammar) {
+  // strtod would happily accept all of these; the strict grammar must not,
+  // because a damaged byte that bends a number out of the grammar is
+  // corruption to report, not a value to reinterpret.
+  for (const char* bad : {"+5", ".5", "5.", "0123", "-.5", "--1", "1e",
+                          "1e+", "1.e3", "infinity", "0x10", "nan"}) {
+    EXPECT_THROW((void)JsonValue::parse(bad), std::runtime_error) << bad;
+  }
+  // ...while every shape the shard writer emits stays parseable.
+  for (const char* good :
+       {"0", "-0", "120", "-12.5e1", "4733.333333333333",
+        "9.9999999999999995e-07", "1e+20", "5.9135930000914277e3"}) {
+    EXPECT_NO_THROW((void)JsonValue::parse(good)) << good;
+  }
+}
+
+TEST(JsonValue, PathologicalNestingThrowsInsteadOfOverflowingTheStack) {
+  // A corrupt (or hostile) file of 100k open brackets must be rejected by
+  // the depth bound, not crash the merge process.
+  EXPECT_THROW((void)JsonValue::parse(std::string(100'000, '[')),
+               std::runtime_error);
+  EXPECT_THROW((void)JsonValue::parse(std::string(100'000, '{')),
+               std::runtime_error);
+  // Sane nesting well under the bound still parses.
+  std::string deep;
+  for (int i = 0; i < 40; ++i) deep += '[';
+  deep += '1';
+  for (int i = 0; i < 40; ++i) deep += ']';
+  const JsonValue v = JsonValue::parse(deep);
+  const JsonValue* p = &v;
+  for (int i = 0; i < 40; ++i) p = &p->as_array()[0];
+  EXPECT_DOUBLE_EQ(p->as_number(), 1.0);
+}
+
+TEST(JsonValue, AccessorsNameTheProblem) {
+  const JsonValue v = JsonValue::parse(R"({"a": 1})");
+  EXPECT_THROW((void)v.at("b"), std::runtime_error);
+  EXPECT_THROW((void)v.at("a").as_string(), std::runtime_error);
+  EXPECT_THROW((void)v.as_array(), std::runtime_error);
+  try {
+    (void)v.at("missing_key");
+    FAIL();
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("missing_key"), std::string::npos);
+  }
 }
 
 }  // namespace
