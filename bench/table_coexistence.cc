@@ -11,15 +11,19 @@
 // of the link capacity actually available while both flows were live.
 //
 // Flags:
-//   --smoke       one tiny cell (Sprout vs Cubic on Verizon LTE) — the CI
-//                 bench-smoke job's shape
-//   --json PATH   also dump the combined table as JSON (CI artifact)
+//   --smoke           one tiny cell (Sprout vs Cubic on Verizon LTE) — the
+//                     CI bench-smoke job's shape
+//   --json PATH       also dump the combined table as JSON (CI artifact)
+//   --dump-spec PATH  write the grid as a declarative experiment spec
+//                     (spec/grid.h) and exit without simulating; the file
+//                     feeds `sweep_shard run --spec` and `spec_lint`
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "bench_common.h"
+#include "spec/grid.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -27,13 +31,17 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   std::string json_path;
+  std::string dump_spec_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--dump-spec") == 0 && i + 1 < argc) {
+      dump_spec_path = argv[++i];
     } else {
-      std::cerr << "usage: table_coexistence [--smoke] [--json PATH]\n";
+      std::cerr << "usage: table_coexistence [--smoke] [--json PATH] "
+                   "[--dump-spec PATH]\n";
       return 2;
     }
   }
@@ -58,6 +66,22 @@ int main(int argc, char** argv) {
           {FlowSpec::of(SchemeId::kSprout), FlowSpec::of(rival)}, link));
     }
   }
+
+  if (!dump_spec_path.empty()) {
+    spec::ExperimentSpec experiment;
+    experiment.name = smoke ? "coexistence-bench-smoke" : "coexistence-bench";
+    experiment.sweep.cells = specs;
+    std::ofstream out(dump_spec_path);
+    if (!out) {
+      std::cerr << "cannot write " << dump_spec_path << "\n";
+      return 1;
+    }
+    spec::write_experiment_json(out, experiment);
+    std::cout << "spec (" << specs.size() << " cells) written to "
+              << dump_spec_path << "\n";
+    return 0;
+  }
+
   const std::vector<ScenarioResult> results = bench::sweep(specs);
 
   TableWriter combined({"Network", "Rival", "Sprout kbps", "Sprout d95 ms",

@@ -17,7 +17,7 @@ int main() {
     const LinkPreset& link = find_link_preset("Verizon LTE", dir);
     for (const double loss : {0.0, 0.05, 0.10}) {
       ScenarioSpec c = bench::base_spec(SchemeId::kSprout, link);
-      c.loss_rate = loss;
+      c.set_loss_rate(loss);
       specs.push_back(c);
     }
   }

@@ -1,0 +1,145 @@
+// spec_lint — validate and pretty-expand a declarative experiment spec.
+//
+// The spec subsystem's reader is strict and path-aware, so linting is just
+// parsing: a clean exit means every cell of the expanded grid passed the
+// same validation the runner applies, and the printed fingerprint is the
+// exact content address `sweep_shard run/merge` will stamp on results.
+//
+//   spec_lint FILE              summary: cells, cost, strategy, fingerprint
+//   spec_lint FILE --expand     per-cell table of the expanded grid
+//   spec_lint FILE --shards N   shard plan preview under the spec's strategy
+//
+// Exit codes: 0 valid, 1 invalid (the SpecError diagnostic goes to
+// stderr), 2 usage.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "spec/grid.h"
+#include "spec/plan.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sprout;
+
+// One line describing a cell's flows: "Sprout" for a single flow,
+// "Sprout + Cubic" for a heterogeneous queue, "4 x Vegas" for a
+// homogeneous fleet, "Cubic + Skype (tunnel)" for tunnel contention.
+std::string flows_summary(const ScenarioSpec& cell) {
+  switch (cell.topology.kind) {
+    case TopologySpec::Kind::kSingleFlow:
+      return to_string(cell.scheme);
+    case TopologySpec::Kind::kSharedQueue: {
+      if (cell.topology.flows.empty()) {
+        return std::to_string(cell.topology.num_flows) + " x " +
+               to_string(cell.scheme);
+      }
+      std::string out;
+      for (const FlowSpec& f : cell.topology.flows) {
+        if (!out.empty()) out += " + ";
+        out += to_string(f.scheme);
+      }
+      return out;
+    }
+    case TopologySpec::Kind::kTunnelContention:
+      return cell.topology.via_tunnel ? "Cubic + Skype (tunnel)"
+                                      : "Cubic + Skype (direct)";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  bool expand = false;
+  int shards = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--expand") {
+      expand = true;
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+      if (shards < 1) {
+        std::cerr << "spec_lint: --shards wants a positive count\n";
+        return 2;
+      }
+    } else if (arg.rfind("--", 0) == 0 || !path.empty()) {
+      std::cerr << "usage: spec_lint FILE [--expand] [--shards N]\n";
+      return 2;
+    } else {
+      path = arg;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: spec_lint FILE [--expand] [--shards N]\n";
+    return 2;
+  }
+
+  spec::ExperimentSpec experiment;
+  try {
+    experiment = spec::parse_experiment_file(path);
+  } catch (const std::exception& e) {
+    std::cerr << "spec_lint: " << e.what() << "\n";
+    return 1;
+  }
+
+  double total_cost = 0.0;
+  for (const ScenarioSpec& cell : experiment.sweep.cells) {
+    total_cost += estimated_cost(cell);
+  }
+  std::cout << "spec:        " << path << "\n"
+            << "name:        "
+            << (experiment.name.empty() ? "(unnamed)" : experiment.name)
+            << "\n"
+            << "cells:       " << experiment.sweep.cells.size() << "\n"
+            << "est. cost:   " << format_double(total_cost, 0)
+            << " Cubic-equivalent seconds\n"
+            << "strategy:    " << spec::to_string(experiment.strategy) << "\n"
+            << "base seed:   "
+            << (experiment.sweep.base_seed.has_value()
+                    ? std::to_string(*experiment.sweep.base_seed)
+                    : std::string("(per-cell seeds)"))
+            << "\n"
+            << "fingerprint: " << sweep_fingerprint(experiment.sweep) << "\n";
+
+  if (expand) {
+    std::cout << "\n";
+    TableWriter t({"Cell", "Flows", "Link", "Run (s)", "Est. cost",
+                   "Fingerprint"});
+    for (std::size_t i = 0; i < experiment.sweep.cells.size(); ++i) {
+      const ScenarioSpec& cell = experiment.sweep.cells[i];
+      t.row()
+          .cell(static_cast<std::int64_t>(i))
+          .cell(flows_summary(cell))
+          .cell(cell.link.name())
+          .cell(to_seconds(cell.run_time), 0)
+          .cell(estimated_cost(cell), 0)
+          .cell(std::to_string(scenario_fingerprint(cell)));
+    }
+    t.print(std::cout);
+  }
+
+  if (shards > 0) {
+    std::cout << "\n";
+    TableWriter t({"Shard", "Cells", "Est. cost"});
+    for (int s = 0; s < shards; ++s) {
+      const std::vector<std::size_t> indices = spec::plan_shard_indices(
+          experiment.sweep, experiment.strategy, s, shards);
+      double cost = 0.0;
+      std::string cells;
+      for (const std::size_t i : indices) {
+        cost += estimated_cost(experiment.sweep.cells[i]);
+        if (!cells.empty()) cells += ",";
+        cells += std::to_string(i);
+      }
+      t.row()
+          .cell(std::to_string(s + 1) + "/" + std::to_string(shards))
+          .cell(cells.empty() ? "(none)" : cells)
+          .cell(cost, 0);
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

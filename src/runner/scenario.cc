@@ -420,9 +420,10 @@ ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
 
   CellsimConfig fwd_cfg;
   fwd_cfg.propagation_delay = spec.propagation_delay;
-  fwd_cfg.loss_rate = spec.loss_rate;
+  fwd_cfg.loss_rate = spec.loss_rate_fwd;
   fwd_cfg.seed = seeder.fork_seed();
   CellsimConfig rev_cfg = fwd_cfg;
+  rev_cfg.loss_rate = spec.loss_rate_rev;
   rev_cfg.seed = seeder.fork_seed();
 
   std::unique_ptr<AqmPolicy> fwd_policy = make_aqm_policy(link_aqm, seeder);
@@ -587,9 +588,10 @@ ScenarioResult run_tunnel(const ScenarioSpec& spec, const ResolvedLink& link) {
 
   CellsimConfig down_cfg;
   down_cfg.propagation_delay = spec.propagation_delay;
-  down_cfg.loss_rate = spec.loss_rate;
+  down_cfg.loss_rate = spec.loss_rate_fwd;
   down_cfg.seed = seeder.fork_seed();
   CellsimConfig up_cfg = down_cfg;
+  up_cfg.loss_rate = spec.loss_rate_rev;
   up_cfg.seed = seeder.fork_seed();
 
   RelaySink down_egress;
@@ -728,26 +730,74 @@ ScenarioResult run_tunnel(const ScenarioSpec& spec, const ResolvedLink& link) {
 
 }  // namespace
 
+double scheme_cost_weight(SchemeId scheme) {
+  // Wall time per simulated second relative to Cubic, measured once on the
+  // 60 s Verizon-LTE-downlink single-flow scenario (best of 3 reps, warm
+  // trace cache, Release -O2, 2026-07).  Raw timings, seconds per 60
+  // simulated seconds: Sprout 0.93, Sprout-EWMA 0.022, Skype 0.005,
+  // Facetime 0.006, Hangout 0.004, Cubic 0.031, Vegas 0.019, Compound
+  // 0.022, LEDBAT 0.021, Cubic-CoDel 0.016, Omniscient 0.011, GCC 0.005,
+  // FAST 0.022, Cubic-PIE 0.018, Sprout-Adaptive 5.81, Sprout-MMPP 0.021,
+  // Sprout-Empirical 0.45, NewReno 0.032.  The forecaster-bearing schemes
+  // dominate (the per-tick Bayesian update is the hot path; Adaptive runs
+  // a model ensemble of them), so treating all flows as equal — the
+  // pre-calibration behaviour — made LPT balance grids by duration while
+  // one Sprout shard did 30x the work of a Cubic shard.  Constants are
+  // rounded: they are ordering keys, not wall-clock predictions.
+  switch (scheme) {
+    case SchemeId::kSprout: return 30.0;
+    case SchemeId::kSproutEwma: return 0.7;
+    case SchemeId::kSkype: return 0.17;
+    case SchemeId::kFacetime: return 0.18;
+    case SchemeId::kHangout: return 0.15;
+    case SchemeId::kCubic: return 1.0;
+    case SchemeId::kVegas: return 0.65;
+    case SchemeId::kCompound: return 0.7;
+    case SchemeId::kLedbat: return 0.7;
+    case SchemeId::kCubicCodel: return 0.5;
+    case SchemeId::kOmniscient: return 0.4;
+    case SchemeId::kGcc: return 0.16;
+    case SchemeId::kFast: return 0.7;
+    case SchemeId::kCubicPie: return 0.6;
+    case SchemeId::kSproutAdaptive: return 190.0;
+    case SchemeId::kSproutMmpp: return 0.7;
+    case SchemeId::kSproutEmpirical: return 15.0;
+    case SchemeId::kReno: return 1.05;
+  }
+  return 1.0;
+}
+
 double estimated_cost(const ScenarioSpec& spec) {
-  // Simulated work scales with how long the event loop runs and how many
-  // endpoint pairs feed it.  Flow count per topology: the tunnel scenario
-  // always runs its Cubic + Skype pair; shared queues run their flow list
-  // (or num_flows copies); a single flow is one.
-  double flows = 1.0;
+  // Simulated work scales with how long the event loop runs and with the
+  // per-scheme weight of every endpoint pair feeding it.  The tunnel
+  // scenario always runs its Cubic + Skype pair, plus a Sprout-weight
+  // surcharge when the pair rides SproutTunnel (measured: the tunnel's
+  // forecaster costs what a Sprout flow costs); shared queues sum their
+  // flow list (or num_flows copies); a single flow is its own weight.
+  double weight = 0.0;
   switch (spec.topology.kind) {
     case TopologySpec::Kind::kSingleFlow:
-      flows = 1.0;
+      weight = scheme_cost_weight(spec.scheme);
       break;
     case TopologySpec::Kind::kSharedQueue:
-      flows = spec.topology.flows.empty()
-                  ? static_cast<double>(std::max(spec.topology.num_flows, 1))
-                  : static_cast<double>(spec.topology.flows.size());
+      if (spec.topology.flows.empty()) {
+        weight = static_cast<double>(std::max(spec.topology.num_flows, 1)) *
+                 scheme_cost_weight(spec.scheme);
+      } else {
+        for (const FlowSpec& f : spec.topology.flows) {
+          weight += scheme_cost_weight(f.scheme);
+        }
+      }
       break;
     case TopologySpec::Kind::kTunnelContention:
-      flows = 2.0;
+      weight = scheme_cost_weight(SchemeId::kCubic) +
+               scheme_cost_weight(SchemeId::kSkype);
+      if (spec.topology.via_tunnel) {
+        weight += scheme_cost_weight(SchemeId::kSprout);
+      }
       break;
   }
-  return to_seconds(spec.run_time) * flows;
+  return to_seconds(spec.run_time) * weight;
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, ScenarioCache* cache) {

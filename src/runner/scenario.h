@@ -151,11 +151,24 @@ struct ScenarioSpec {
   Duration run_time = sec(300);
   Duration warmup = sec(60);        // skipped by all metrics (§5.1)
   Duration propagation_delay = msec(20);
-  double loss_rate = 0.0;           // each-way Bernoulli loss (§5.6)
+  // Bernoulli loss (§5.6), split by direction: _fwd drops packets entering
+  // the data-carrying link, _rev packets entering the feedback link.  The
+  // paper's symmetric "each-way loss" is the fwd == rev case; asymmetric
+  // values model lossy uplinks under clean downlinks (and vice versa).
+  double loss_rate_fwd = 0.0;
+  double loss_rate_rev = 0.0;
   double sprout_confidence = 95.0;  // Figure 9 sweeps this
   std::uint64_t seed = 42;
   bool capture_series = false;      // fill per-flow series (Fig. 1)
   Duration series_bin = msec(500);
+
+  // Legacy symmetric view of the split loss fields: sets both directions,
+  // exactly what assigning the old `loss_rate` field did.
+  ScenarioSpec& set_loss_rate(double each_way) {
+    loss_rate_fwd = each_way;
+    loss_rate_rev = each_way;
+    return *this;
+  }
 };
 
 // Convenience constructors for the common shapes.
@@ -270,10 +283,19 @@ class ScenarioCache {
                                              std::uint64_t seed,
                                              Duration duration);
 
+// Relative wall-clock weight of simulating one flow of `scheme` for one
+// simulated second, normalized to Cubic == 1.  Forecaster-bearing schemes
+// cost one to two orders of magnitude more than window-based TCP (the
+// per-tick Bayesian update dominates); the constants and their provenance
+// are recorded at the definition.
+[[nodiscard]] double scheme_cost_weight(SchemeId scheme);
+
 // Relative cost estimate of simulating one cell: simulated seconds times
-// the number of flows sharing the run.  Not a wall-clock prediction — just
-// a stable ordering key, so a sweep can schedule its longest cells first
-// (sweep.h) and a shard planner can balance uneven grids.
+// the summed scheme_cost_weight of the flows sharing the run (so a Sprout
+// cell correctly outweighs a Cubic cell of the same duration).  Not a
+// wall-clock prediction — just a stable ordering key, so a sweep can
+// schedule its longest cells first (sweep.h) and a shard planner can
+// balance uneven grids (spec/plan.h).
 [[nodiscard]] double estimated_cost(const ScenarioSpec& spec);
 
 // Runs one scenario.  With a cache, expensive per-run precomputation

@@ -101,6 +101,23 @@ SweepResult merge_shards(const std::vector<ShardResult>& shards) {
   }
   const std::uint64_t fingerprint = shards.front().sweep_fingerprint;
   const std::size_t total = shards.front().total_cells;
+  // Shards cut from one grid by different partition strategies cannot
+  // form a clean partition (round-robin's shard 1/3 and LPT's shard 2/3
+  // overlap and orphan cells in data-dependent ways); reject the mix by
+  // its recorded strategies instead of surfacing a baffling
+  // collision/coverage error below.  Unrecorded partitions ("") are
+  // exempt: explicit --cells runs and pre-split shard files carry no
+  // strategy to disagree about.
+  const std::string* strategy = nullptr;
+  for (const ShardResult& s : shards) {
+    if (s.partition.empty() || s.partition == "explicit") continue;
+    if (strategy != nullptr && s.partition != *strategy) {
+      throw std::runtime_error(
+          "shards of one grid mix partition strategies (" + *strategy +
+          " vs " + s.partition + "): re-cut every shard with one strategy");
+    }
+    strategy = &s.partition;
+  }
   for (const ShardResult& s : shards) {
     if (s.sweep_fingerprint != fingerprint) {
       throw std::runtime_error(
@@ -425,8 +442,14 @@ void write_shard_json(std::ostream& os, const ShardResult& shard) {
   os << "{\n  \"schema\": \"" << kShardSchema << "\",\n"
      << "  \"sweep_fingerprint\": ";
   json_u64(os, shard.sweep_fingerprint);
-  os << ",\n  \"total_cells\": " << shard.total_cells
-     << ",\n  \"cells\": [\n";
+  os << ",\n  \"total_cells\": " << shard.total_cells;
+  // Written only when recorded, so pre-split shard files and files from
+  // callers that never set a strategy stay byte-stable.
+  if (!shard.partition.empty()) {
+    os << ",\n  \"partition\": ";
+    write_json_string(os, shard.partition);
+  }
+  os << ",\n  \"cells\": [\n";
   for (std::size_t k = 0; k < shard.cell_indices.size(); ++k) {
     write_cell(os, shard.cell_indices[k], shard.cell_fingerprints[k],
                shard.cells[k]);
@@ -443,6 +466,9 @@ ShardResult read_shard_json(std::string_view text) {
   const std::int64_t total = read_i64(doc.at("total_cells"));
   if (total < 0) throw std::runtime_error("JSON: negative cell total");
   shard.total_cells = static_cast<std::size_t>(total);
+  if (doc.has("partition")) {
+    shard.partition = doc.at("partition").as_string();
+  }
   for (const JsonValue& v : doc.at("cells").as_array()) {
     Cell c = read_cell(v);
     shard.cell_indices.push_back(c.index);

@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -61,6 +62,13 @@ struct SweepSpec {
 struct ShardResult {
   std::uint64_t sweep_fingerprint = 0;
   std::size_t total_cells = 0;
+  // Which partition strategy cut this shard ("round-robin", "lpt",
+  // "explicit" for hand-picked --cells lists; "" when unrecorded, e.g. a
+  // pre-split shard file).  Purely descriptive for a single shard — but
+  // shards of one grid cut by DIFFERENT strategies cannot partition it
+  // cleanly, so merge_shards rejects a mix of recorded strategies up
+  // front instead of failing later with a confusing collision/gap error.
+  std::string partition;
   std::vector<std::size_t> cell_indices;
   std::vector<std::uint64_t> cell_fingerprints;
   std::vector<ScenarioResult> cells;

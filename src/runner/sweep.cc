@@ -133,7 +133,12 @@ std::uint64_t scenario_fingerprint(const ScenarioSpec& spec) {
   h.i64(spec.run_time.count());
   h.i64(spec.warmup.count());
   h.i64(spec.propagation_delay.count());
-  h.f64(spec.loss_rate);
+  h.f64(spec.loss_rate_fwd);
+  // Only an asymmetric split is hashed.  Symmetric specs — the only kind
+  // that could exist before the loss_rate field split — keep their
+  // pre-split fingerprints, so content-derived seeds (and golden results)
+  // stay stable.
+  if (spec.loss_rate_rev != spec.loss_rate_fwd) h.f64(spec.loss_rate_rev);
   h.f64(spec.sprout_confidence);
   h.u64(spec.seed);
   h.u64(spec.capture_series ? 1 : 0);

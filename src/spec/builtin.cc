@@ -1,0 +1,89 @@
+#include "spec/builtin.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "trace/presets.h"
+
+namespace sprout::spec {
+
+namespace {
+
+ScenarioSpec scaled(ScenarioSpec spec, int seconds) {
+  spec.run_time = sec(seconds);
+  spec.warmup = spec.run_time / 4;
+  return spec;
+}
+
+// The CI smoke shape: Sprout against each coexistence rival in ONE shared
+// Verizon LTE downlink queue (bench/table_coexistence's first column).
+SweepSpec coexistence_smoke_grid(const BuiltinGridOptions& options) {
+  const LinkPreset& link =
+      find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  SweepSpec sweep;
+  for (const SchemeId rival : coexistence_schemes()) {
+    sweep.cells.push_back(scaled(
+        heterogeneous_scenario(
+            {FlowSpec::of(SchemeId::kSprout), FlowSpec::of(rival)}, link),
+        options.seconds));
+  }
+  sweep.base_seed = options.base_seed;
+  return sweep;
+}
+
+// Deliberately unbalanced: long multi-flow cells listed next to short
+// single-flow ones (3:1 duration, up to 3 flows), exercising longest-first
+// scheduling and shard balance.  One cell stops a flow early, so the
+// drain-tail ledger and NaN-free fairness fields cross process boundaries.
+SweepSpec mixed_duration_grid(const BuiltinGridOptions& options) {
+  const LinkPreset& verizon =
+      find_link_preset("Verizon LTE", LinkDirection::kDownlink);
+  const LinkPreset& att =
+      find_link_preset("AT&T LTE", LinkDirection::kDownlink);
+  const int base = options.seconds;
+  SweepSpec sweep;
+  sweep.cells.push_back(
+      scaled(single_flow_scenario(SchemeId::kCubic, verizon), base));
+  sweep.cells.push_back(scaled(
+      heterogeneous_scenario({FlowSpec::of(SchemeId::kSprout),
+                              FlowSpec::of(SchemeId::kCubic),
+                              FlowSpec::of(SchemeId::kVegas)},
+                             verizon),
+      3 * base));
+  sweep.cells.push_back(
+      scaled(single_flow_scenario(SchemeId::kSprout, att), base));
+  {
+    ScenarioSpec stopper = scaled(
+        heterogeneous_scenario(
+            {FlowSpec::of(SchemeId::kSprout), FlowSpec::of(SchemeId::kCubic)},
+            att),
+        2 * base);
+    stopper.topology.flows[1].stop = stopper.run_time / 2;
+    sweep.cells.push_back(stopper);
+  }
+  sweep.cells.push_back(
+      scaled(single_flow_scenario(SchemeId::kVegas, verizon), base));
+  sweep.base_seed = options.base_seed;
+  return sweep;
+}
+
+}  // namespace
+
+const std::vector<std::string>& builtin_grid_names() {
+  static const std::vector<std::string> names = {"coexistence-smoke",
+                                                 "mixed-duration"};
+  return names;
+}
+
+SweepSpec build_builtin_grid(const std::string& name,
+                             const BuiltinGridOptions& options) {
+  if (name == "coexistence-smoke") return coexistence_smoke_grid(options);
+  if (name == "mixed-duration") return mixed_duration_grid(options);
+  std::ostringstream os;
+  os << "unknown grid \"" << name << "\" (have:";
+  for (const std::string& n : builtin_grid_names()) os << ' ' << n;
+  os << ')';
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace sprout::spec

@@ -1,0 +1,74 @@
+#include "spec/plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "runner/sweep.h"
+
+namespace sprout::spec {
+
+std::string to_string(PartitionStrategy strategy) {
+  switch (strategy) {
+    case PartitionStrategy::kRoundRobin: return "round-robin";
+    case PartitionStrategy::kLpt: return "lpt";
+  }
+  return "unknown";
+}
+
+std::optional<PartitionStrategy> partition_from_name(const std::string& name) {
+  if (name == "round-robin") return PartitionStrategy::kRoundRobin;
+  if (name == "lpt") return PartitionStrategy::kLpt;
+  return std::nullopt;
+}
+
+std::vector<std::vector<std::size_t>> lpt_partition(
+    const std::vector<ScenarioSpec>& cells, int shard_count) {
+  if (shard_count < 1) {
+    throw std::invalid_argument("shard count must be >= 1, got " +
+                                std::to_string(shard_count));
+  }
+  std::vector<std::vector<std::size_t>> buckets(
+      static_cast<std::size_t>(shard_count));
+  std::vector<double> loads(static_cast<std::size_t>(shard_count), 0.0);
+  // longest_first_order already encodes LPT's visit order: descending
+  // estimated_cost, ties by input index.
+  for (const std::size_t i : longest_first_order(cells)) {
+    std::size_t lightest = 0;
+    for (std::size_t s = 1; s < loads.size(); ++s) {
+      if (loads[s] < loads[lightest]) lightest = s;
+    }
+    buckets[lightest].push_back(i);
+    loads[lightest] += estimated_cost(cells[i]);
+  }
+  for (std::vector<std::size_t>& bucket : buckets) {
+    std::sort(bucket.begin(), bucket.end());
+  }
+  return buckets;
+}
+
+std::vector<std::size_t> plan_shard_indices(const SweepSpec& spec,
+                                            PartitionStrategy strategy,
+                                            int shard_index, int shard_count) {
+  switch (strategy) {
+    case PartitionStrategy::kRoundRobin:
+      return shard_cell_indices(spec.cells.size(), shard_index, shard_count);
+    case PartitionStrategy::kLpt: {
+      // Bounds errors must match round-robin's, so callers see one
+      // diagnostic contract regardless of strategy.
+      if (shard_count < 1) {
+        throw std::invalid_argument("shard count must be >= 1, got " +
+                                    std::to_string(shard_count));
+      }
+      if (shard_index < 0 || shard_index >= shard_count) {
+        throw std::invalid_argument(
+            "shard index " + std::to_string(shard_index) + " outside [0, " +
+            std::to_string(shard_count) + ")");
+      }
+      return lpt_partition(spec.cells,
+                           shard_count)[static_cast<std::size_t>(shard_index)];
+    }
+  }
+  throw std::invalid_argument("unknown partition strategy");
+}
+
+}  // namespace sprout::spec

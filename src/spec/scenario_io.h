@@ -1,0 +1,44 @@
+// ScenarioSpec <-> JSON round trip for the declarative spec subsystem.
+//
+// The writer is deterministic — stable member order, exact
+// 17-significant-digit doubles, the same discipline as the shard result IO
+// in runner/shard.cc — so equal specs serialize to equal bytes, and a
+// dumped grid re-expands to the same content fingerprints.  Scalars equal
+// to the ScenarioSpec defaults are omitted, so dumped cells stay close to
+// what an operator would write by hand.
+//
+// The reader is strict and path-aware (spec/schema.h): unknown members,
+// wrong kinds and out-of-range values throw SpecError naming the full path
+// of the offending field.  Absent fields take the ScenarioSpec defaults.
+// The round-trip invariant, locked by tests:
+//
+//     scenario_fingerprint(read(write(spec))) == scenario_fingerprint(spec)
+//
+// for every serializable spec.  The one non-serializable shape is a
+// LinkSpec::Source::kTraces link (in-memory traces have no JSON form);
+// writing one throws SpecError.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "runner/scenario.h"
+#include "spec/schema.h"
+
+namespace sprout::spec {
+
+// Reads one scenario object rooted at `doc` (whose path prefixes every
+// error message).
+[[nodiscard]] ScenarioSpec scenario_from_field(const Field& doc);
+
+// Convenience: parse + read a whole document as one scenario.
+[[nodiscard]] ScenarioSpec parse_scenario_json(std::string_view text);
+
+// Writes one scenario object, indented by `indent` spaces (members one per
+// line at indent + 2).
+void write_scenario_json(std::ostream& os, const ScenarioSpec& spec,
+                         int indent = 0);
+[[nodiscard]] std::string scenario_to_json(const ScenarioSpec& spec);
+
+}  // namespace sprout::spec

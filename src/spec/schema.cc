@@ -1,0 +1,279 @@
+#include "spec/schema.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace sprout::spec {
+
+Field::Field(const JsonValue& value, std::string path)
+    : value_(&value), path_(std::move(path)) {}
+
+void Field::fail(const std::string& message) const {
+  throw SpecError(path_ + ": " + message);
+}
+
+namespace {
+
+const char* kind_name(JsonValue::Kind kind) {
+  switch (kind) {
+    case JsonValue::Kind::kNull: return "null";
+    case JsonValue::Kind::kBool: return "a boolean";
+    case JsonValue::Kind::kNumber: return "a number";
+    case JsonValue::Kind::kString: return "a string";
+    case JsonValue::Kind::kArray: return "an array";
+    case JsonValue::Kind::kObject: return "an object";
+  }
+  return "an unknown value";
+}
+
+}  // namespace
+
+Field Field::at(const std::string& key) const {
+  if (json().kind() != JsonValue::Kind::kObject) {
+    fail(std::string("expected an object, got ") + kind_name(json().kind()));
+  }
+  for (const auto& [k, v] : json().members()) {
+    if (k == key) {
+      return Field(v, path_.empty() ? key : path_ + "." + key);
+    }
+  }
+  fail("missing required field \"" + key + "\"");
+}
+
+std::optional<Field> Field::get(const std::string& key) const {
+  if (json().kind() != JsonValue::Kind::kObject) {
+    fail(std::string("expected an object, got ") + kind_name(json().kind()));
+  }
+  for (const auto& [k, v] : json().members()) {
+    if (k == key) {
+      return Field(v, path_.empty() ? key : path_ + "." + key);
+    }
+  }
+  return std::nullopt;
+}
+
+bool Field::has(const std::string& key) const {
+  return json().kind() == JsonValue::Kind::kObject && json().has(key);
+}
+
+std::vector<Field> Field::items() const {
+  if (json().kind() != JsonValue::Kind::kArray) {
+    fail(std::string("expected an array, got ") + kind_name(json().kind()));
+  }
+  std::vector<Field> fields;
+  const auto& array = json().as_array();
+  fields.reserve(array.size());
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    fields.emplace_back(array[i], path_ + "[" + std::to_string(i) + "]");
+  }
+  return fields;
+}
+
+void Field::allow_keys(std::initializer_list<std::string_view> allowed) const {
+  if (json().kind() != JsonValue::Kind::kObject) {
+    fail(std::string("expected an object, got ") + kind_name(json().kind()));
+  }
+  for (const auto& [k, v] : json().members()) {
+    bool known = false;
+    for (const std::string_view a : allowed) {
+      if (k == a) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::ostringstream os;
+      os << (path_.empty() ? k : path_ + "." + k)
+         << ": unknown field (this object accepts:";
+      for (const std::string_view a : allowed) os << ' ' << a;
+      os << ')';
+      throw SpecError(os.str());
+    }
+  }
+}
+
+bool Field::as_bool() const {
+  if (json().kind() != JsonValue::Kind::kBool) {
+    fail(std::string("expected a boolean, got ") + kind_name(json().kind()));
+  }
+  return json().as_bool();
+}
+
+const std::string& Field::as_string() const {
+  if (json().kind() != JsonValue::Kind::kString) {
+    fail(std::string("expected a string, got ") + kind_name(json().kind()));
+  }
+  return json().as_string();
+}
+
+double Field::as_finite() const {
+  if (json().kind() != JsonValue::Kind::kNumber) {
+    fail(std::string("expected a number, got ") + kind_name(json().kind()));
+  }
+  const double v = json().as_number();
+  if (!std::isfinite(v)) fail("must be finite");
+  return v;
+}
+
+double Field::positive() const {
+  const double v = as_finite();
+  if (v <= 0.0) {
+    std::ostringstream os;
+    os << "must be > 0, got " << v;
+    fail(os.str());
+  }
+  return v;
+}
+
+double Field::non_negative() const {
+  const double v = as_finite();
+  if (v < 0.0) {
+    std::ostringstream os;
+    os << "must be >= 0, got " << v;
+    fail(os.str());
+  }
+  return v;
+}
+
+double Field::in_range(double lo, double hi) const {
+  const double v = as_finite();
+  if (v < lo || v > hi) {
+    std::ostringstream os;
+    os << "must be in [" << lo << ", " << hi << "], got " << v;
+    fail(os.str());
+  }
+  return v;
+}
+
+std::int64_t Field::as_int() const {
+  const double v = as_finite();
+  const auto i = static_cast<std::int64_t>(v);
+  if (static_cast<double>(i) != v) {
+    std::ostringstream os;
+    os << "expected an integer, got " << v;
+    fail(os.str());
+  }
+  return i;
+}
+
+std::int64_t Field::int_at_least(std::int64_t lo) const {
+  const std::int64_t v = as_int();
+  if (v < lo) {
+    fail("must be >= " + std::to_string(lo) + ", got " + std::to_string(v));
+  }
+  return v;
+}
+
+std::uint64_t Field::as_u64() const {
+  if (json().kind() == JsonValue::Kind::kString) {
+    const std::string& s = json().as_string();
+    if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) {
+      fail("expected an unsigned decimal integer, got \"" + s + "\"");
+    }
+    try {
+      return std::stoull(s);
+    } catch (const std::out_of_range&) {
+      fail("unsigned integer overflow in \"" + s + "\"");
+    }
+  }
+  constexpr double kExactLimit = 9007199254740992.0;  // 2^53
+  const std::int64_t v = as_int();
+  if (v < 0) fail("must be >= 0, got " + std::to_string(v));
+  if (static_cast<double>(v) > kExactLimit) {
+    fail("value exceeds a JSON number's exact integer range; write it as a "
+         "decimal string");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+namespace {
+
+// Seconds -> integer microseconds, rounding to nearest.  from_seconds()
+// truncates, which can lose a microsecond when the double carrying
+// count/1e6 sits one ulp below the true value; round-to-nearest makes
+// write(to_seconds(d)) -> read a exact round trip for every representable
+// duration.
+Duration micros_from_seconds(const Field& f, double s) {
+  constexpr double kMaxSeconds = 9.0e12;  // ~int64 microseconds range
+  if (s > kMaxSeconds || s < -kMaxSeconds) f.fail("duration out of range");
+  return Duration(std::llround(s * 1e6));
+}
+
+}  // namespace
+
+Duration Field::seconds() const {
+  return micros_from_seconds(*this, as_finite());
+}
+
+Duration Field::positive_seconds() const {
+  return micros_from_seconds(*this, positive());
+}
+
+Duration Field::non_negative_seconds() const {
+  return micros_from_seconds(*this, non_negative());
+}
+
+JsonValue parse_spec_document(std::string_view text, const std::string& path) {
+  try {
+    return JsonValue::parse(text);
+  } catch (const std::exception& e) {
+    throw SpecError(path + ": " + e.what());
+  }
+}
+
+JsonValue merge_patch(const JsonValue& base, const JsonValue& patch) {
+  if (patch.kind() != JsonValue::Kind::kObject) return patch;
+  std::vector<std::pair<std::string, JsonValue>> merged;
+  if (base.kind() == JsonValue::Kind::kObject) {
+    for (const auto& [k, v] : base.members()) {
+      if (!patch.has(k)) merged.emplace_back(k, v);
+    }
+  }
+  // Patch members follow base-only members in patch order: deterministic,
+  // and repeated merges of the same patches stay byte-stable.
+  for (const auto& [k, v] : patch.members()) {
+    if (v.is_null()) continue;  // RFC 7386: null deletes the key
+    const JsonValue* base_member = nullptr;
+    if (base.kind() == JsonValue::Kind::kObject && base.has(k)) {
+      base_member = &base.at(k);
+    }
+    // No base counterpart: the member is the patch applied to nothing,
+    // i.e. the patch value with its null members recursively stripped —
+    // which is exactly what merging the value with itself produces.
+    merged.emplace_back(
+        k, base_member ? merge_patch(*base_member, v) : merge_patch(v, v));
+  }
+  return JsonValue::make_object(std::move(merged));
+}
+
+namespace {
+
+void collect_paths(const JsonValue& patch, const std::string& prefix,
+                   std::vector<std::string>& out) {
+  if (patch.kind() != JsonValue::Kind::kObject) {
+    out.push_back(prefix);
+    return;
+  }
+  for (const auto& [k, v] : patch.members()) {
+    collect_paths(v, prefix.empty() ? k : prefix + "." + k, out);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> patch_paths(const JsonValue& patch) {
+  std::vector<std::string> paths;
+  collect_paths(patch, "", paths);
+  return paths;
+}
+
+bool paths_overlap(const std::string& p, const std::string& q) {
+  const std::string& shorter = p.size() <= q.size() ? p : q;
+  const std::string& longer = p.size() <= q.size() ? q : p;
+  if (longer.compare(0, shorter.size(), shorter) != 0) return false;
+  return longer.size() == shorter.size() || longer[shorter.size()] == '.' ||
+         longer[shorter.size()] == '[';
+}
+
+}  // namespace sprout::spec

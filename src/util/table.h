@@ -73,6 +73,18 @@ class JsonValue {
   [[nodiscard]] const JsonValue& at(const std::string& key) const;
   [[nodiscard]] bool has(const std::string& key) const;
 
+  // Builders for programmatic documents (the declarative spec subsystem's
+  // merge-patch expansion composes JSON it never parsed).  Numbers must be
+  // finite — JSON has no NaN/inf literal, so a non-finite build is a bug at
+  // the call site and throws std::invalid_argument.
+  [[nodiscard]] static JsonValue make_null();
+  [[nodiscard]] static JsonValue make_bool(bool b);
+  [[nodiscard]] static JsonValue make_number(double v);
+  [[nodiscard]] static JsonValue make_string(std::string s);
+  [[nodiscard]] static JsonValue make_array(std::vector<JsonValue> items);
+  [[nodiscard]] static JsonValue make_object(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
  private:
   friend class JsonParser;
 

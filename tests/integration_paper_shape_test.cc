@@ -112,9 +112,9 @@ TEST(PaperShape, SproutLossResilience) {
   c.run_time = sec(100);
   c.warmup = sec(20);
   const double clean = run_experiment(c).throughput_kbps;
-  c.loss_rate = 0.05;
+  c.set_loss_rate(0.05);
   const double loss5 = run_experiment(c).throughput_kbps;
-  c.loss_rate = 0.10;
+  c.set_loss_rate(0.10);
   const double loss10 = run_experiment(c).throughput_kbps;
   EXPECT_GT(loss5, 0.3 * clean);
   EXPECT_GT(loss10, 0.15 * clean);

@@ -4,6 +4,8 @@
 
 #include <set>
 
+#include "runner/sweep.h"
+
 namespace sprout {
 namespace {
 
@@ -61,11 +63,45 @@ TEST(Experiment, SeriesCaptureProducesAlignedSeries) {
 TEST(Experiment, LossConfigReducesThroughput) {
   ScenarioSpec clean = quick(SchemeId::kSprout);
   ScenarioSpec lossy = clean;
-  lossy.loss_rate = 0.10;
+  lossy.set_loss_rate(0.10);
   const double t_clean = run_experiment(clean).throughput_kbps;
   const double t_lossy = run_experiment(lossy).throughput_kbps;
   EXPECT_LT(t_lossy, t_clean);
   EXPECT_GT(t_lossy, 0.05 * t_clean);  // degraded, not dead (§5.6)
+}
+
+TEST(Experiment, AsymmetricLossSplitsByDirection) {
+  // Feedback-only loss must be a different experiment than data-only loss:
+  // both fields feed their own Cellsim direction, so fingerprints (and the
+  // seeds a sweep derives from them) must distinguish the two.
+  ScenarioSpec data_lossy = quick(SchemeId::kSprout);
+  data_lossy.loss_rate_fwd = 0.10;
+  ScenarioSpec feedback_lossy = quick(SchemeId::kSprout);
+  feedback_lossy.loss_rate_rev = 0.10;
+  EXPECT_NE(scenario_fingerprint(data_lossy),
+            scenario_fingerprint(feedback_lossy));
+
+  // Data-direction loss starves the measured flow directly; feedback loss
+  // only slows its control loop.  Both hurt, data loss hurts more.
+  const double clean = run_experiment(quick(SchemeId::kSprout)).throughput_kbps;
+  const double fwd = run_experiment(data_lossy).throughput_kbps;
+  const double rev = run_experiment(feedback_lossy).throughput_kbps;
+  EXPECT_LT(fwd, clean);
+  EXPECT_GT(rev, fwd);
+}
+
+TEST(Experiment, LegacyLossSetterKeepsSymmetricFingerprint) {
+  // set_loss_rate() is the pre-split "each-way loss" spelling; a symmetric
+  // split hashes exactly one loss field, so specs written before the split
+  // keep their content addresses.
+  ScenarioSpec symmetric = quick(SchemeId::kSprout);
+  symmetric.set_loss_rate(0.05);
+  EXPECT_DOUBLE_EQ(symmetric.loss_rate_fwd, 0.05);
+  EXPECT_DOUBLE_EQ(symmetric.loss_rate_rev, 0.05);
+  ScenarioSpec by_hand = quick(SchemeId::kSprout);
+  by_hand.loss_rate_fwd = 0.05;
+  by_hand.loss_rate_rev = 0.05;
+  EXPECT_EQ(scenario_fingerprint(symmetric), scenario_fingerprint(by_hand));
 }
 
 TEST(Experiment, ConfidenceSweepTradesDelayForThroughput) {

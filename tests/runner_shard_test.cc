@@ -338,22 +338,35 @@ TEST(Shard, SweepFingerprintCoversEveryCellAndTheSeed) {
   EXPECT_EQ(fp, sweep_fingerprint(tiny_grid()));  // pure function of content
 }
 
-TEST(Shard, EstimatedCostScalesWithDurationAndFlows) {
+TEST(Shard, EstimatedCostScalesWithDurationFlowsAndSchemeWeight) {
+  // Cost = seconds x summed scheme weight (Cubic == 1), so a Sprout cell
+  // outweighs an equal-duration Cubic cell by its calibrated factor.
+  const double w_sprout = scheme_cost_weight(SchemeId::kSprout);
+  const double w_cubic = scheme_cost_weight(SchemeId::kCubic);
+  EXPECT_DOUBLE_EQ(w_cubic, 1.0);  // the normalization anchor
+  EXPECT_GT(w_sprout, 10.0 * w_cubic);
+
   ScenarioSpec single = short_cell(SchemeId::kSprout, "Verizon LTE", 10);
-  EXPECT_DOUBLE_EQ(estimated_cost(single), 10.0);
+  EXPECT_DOUBLE_EQ(estimated_cost(single), 10.0 * w_sprout);
 
   ScenarioSpec shared = single;
   shared.topology = TopologySpec::shared_queue(4);
-  EXPECT_DOUBLE_EQ(estimated_cost(shared), 40.0);
+  EXPECT_DOUBLE_EQ(estimated_cost(shared), 40.0 * w_sprout);
 
   ScenarioSpec hetero = single;
   hetero.topology = TopologySpec::heterogeneous_queue(
       {FlowSpec::of(SchemeId::kSprout), FlowSpec::of(SchemeId::kCubic)});
-  EXPECT_DOUBLE_EQ(estimated_cost(hetero), 20.0);
+  EXPECT_DOUBLE_EQ(estimated_cost(hetero), 10.0 * (w_sprout + w_cubic));
 
+  // The tunnel always runs Cubic + Skype; riding SproutTunnel adds the
+  // forecaster at a Sprout flow's weight.
   ScenarioSpec tunnel = single;
+  tunnel.topology = TopologySpec::tunnel_contention(false);
+  const double direct = estimated_cost(tunnel);
+  EXPECT_DOUBLE_EQ(direct,
+                   10.0 * (w_cubic + scheme_cost_weight(SchemeId::kSkype)));
   tunnel.topology = TopologySpec::tunnel_contention(true);
-  EXPECT_DOUBLE_EQ(estimated_cost(tunnel), 20.0);
+  EXPECT_DOUBLE_EQ(estimated_cost(tunnel), direct + 10.0 * w_sprout);
 }
 
 TEST(Shard, LongestFirstOrderIsDescendingAndStable) {

@@ -1,0 +1,220 @@
+#include "spec/grid.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "spec/builtin.h"
+#include "spec_test_util.h"
+
+namespace sprout::spec {
+namespace {
+
+ExperimentSpec parse(const std::string& text) {
+  return parse_experiment_json(text, "test-spec");
+}
+
+TEST(SpecGrid, CrossExpansionIsRowMajorFirstAxisOutermost) {
+  const ExperimentSpec spec = parse(R"({
+    "spec_version": 1,
+    "base": {"run_time_s": 100, "warmup_s": 10},
+    "axes": [
+      {"name": "scheme", "patches": [{"scheme": "Cubic"},
+                                     {"scheme": "Vegas"}]},
+      {"name": "loss", "patches": [{"loss_rate": 0.0},
+                                   {"loss_rate": 0.05},
+                                   {"loss_rate": 0.1}]}
+    ]
+  })");
+  ASSERT_EQ(spec.sweep.cells.size(), 6u);
+  // cell = scheme_index * 3 + loss_index
+  EXPECT_EQ(spec.sweep.cells[0].scheme, SchemeId::kCubic);
+  EXPECT_DOUBLE_EQ(spec.sweep.cells[1].loss_rate_fwd, 0.05);
+  EXPECT_EQ(spec.sweep.cells[2].scheme, SchemeId::kCubic);
+  EXPECT_DOUBLE_EQ(spec.sweep.cells[2].loss_rate_fwd, 0.1);
+  EXPECT_EQ(spec.sweep.cells[3].scheme, SchemeId::kVegas);
+  EXPECT_DOUBLE_EQ(spec.sweep.cells[3].loss_rate_fwd, 0.0);
+  EXPECT_EQ(spec.sweep.cells[5].scheme, SchemeId::kVegas);
+  EXPECT_DOUBLE_EQ(spec.sweep.cells[5].loss_rate_fwd, 0.1);
+  // Defaults: no name -> "", no plan -> round-robin, no base_seed.
+  EXPECT_EQ(spec.strategy, PartitionStrategy::kRoundRobin);
+  EXPECT_FALSE(spec.sweep.base_seed.has_value());
+}
+
+TEST(SpecGrid, ZipExpansionWalksAxesInLockstep) {
+  const ExperimentSpec spec = parse(R"({
+    "spec_version": 1,
+    "expand": "zip",
+    "base": {"run_time_s": 50, "warmup_s": 5},
+    "axes": [
+      {"name": "scheme", "patches": [{"scheme": "Cubic"},
+                                     {"scheme": "Vegas"}]},
+      {"name": "seed", "patches": [{"seed": 1}, {"seed": 2}]}
+    ]
+  })");
+  ASSERT_EQ(spec.sweep.cells.size(), 2u);
+  EXPECT_EQ(spec.sweep.cells[0].scheme, SchemeId::kCubic);
+  EXPECT_EQ(spec.sweep.cells[0].seed, 1u);
+  EXPECT_EQ(spec.sweep.cells[1].scheme, SchemeId::kVegas);
+  EXPECT_EQ(spec.sweep.cells[1].seed, 2u);
+}
+
+TEST(SpecGrid, ZipLengthMismatchIsRejected) {
+  expect_spec_error(
+      [] {
+        (void)parse(R"({
+          "spec_version": 1,
+          "expand": "zip",
+          "base": {},
+          "axes": [
+            {"name": "a", "patches": [{"seed": 1}, {"seed": 2}]},
+            {"name": "b", "patches": [{"loss_rate": 0.1}]}
+          ]
+        })");
+      },
+      "zip expansion needs equal-length axes (\"a\" has 2 patches, \"b\" "
+      "has 1)");
+}
+
+TEST(SpecGrid, OverlappingAxesAreRejected) {
+  // Both axes patch the flows array (arrays are replaced wholesale by
+  // merge-patch, so they are leaves): in a cross product the second axis
+  // would silently overwrite the first in every cell.
+  expect_spec_error(
+      [] {
+        (void)parse(R"({
+          "spec_version": 1,
+          "base": {},
+          "axes": [
+            {"name": "rival",
+             "patches": [{"topology": {"flows": [{"scheme": "Cubic"}]}}]},
+            {"name": "fleet",
+             "patches": [{"topology": {"flows": [{"scheme": "Vegas"},
+                                                 {"scheme": "Vegas"}]}}]}
+          ]
+        })");
+      },
+      "axes: axes \"rival\" and \"fleet\" overlap: both set topology.flows");
+  // Distinct leaves of one object do NOT overlap.
+  EXPECT_NO_THROW((void)parse(R"({
+    "spec_version": 1,
+    "base": {"run_time_s": 40, "warmup_s": 4},
+    "axes": [
+      {"name": "fwd", "patches": [{"loss_rate_fwd": 0.1}]},
+      {"name": "rev", "patches": [{"loss_rate_rev": 0.2}]}
+    ]
+  })"));
+}
+
+TEST(SpecGrid, SpecVersionIsEnforced) {
+  expect_spec_error([] { (void)parse(R"({"base": {}})"); },
+                    "missing required field \"spec_version\"");
+  expect_spec_error(
+      [] { (void)parse(R"({"spec_version": 2, "base": {}})"); },
+      "spec_version: unsupported spec_version 2 (this build reads 1)");
+}
+
+TEST(SpecGrid, ExplicitCellsAndOverrides) {
+  const ExperimentSpec spec = parse(R"({
+    "spec_version": 1,
+    "name": "explicit",
+    "base_seed": 99,
+    "plan": {"strategy": "lpt"},
+    "cells": [
+      {"scheme": "Cubic", "run_time_s": 30, "warmup_s": 3},
+      {"scheme": "Vegas", "run_time_s": 30, "warmup_s": 3}
+    ],
+    "cell_overrides": [{"cell": 1, "patch": {"loss_rate": 0.07}}]
+  })");
+  EXPECT_EQ(spec.name, "explicit");
+  EXPECT_EQ(spec.strategy, PartitionStrategy::kLpt);
+  ASSERT_TRUE(spec.sweep.base_seed.has_value());
+  EXPECT_EQ(*spec.sweep.base_seed, 99u);
+  ASSERT_EQ(spec.sweep.cells.size(), 2u);
+  EXPECT_DOUBLE_EQ(spec.sweep.cells[0].loss_rate_fwd, 0.0);
+  EXPECT_DOUBLE_EQ(spec.sweep.cells[1].loss_rate_fwd, 0.07);
+  EXPECT_DOUBLE_EQ(spec.sweep.cells[1].loss_rate_rev, 0.07);
+
+  expect_spec_error(
+      [] {
+        (void)parse(R"({
+          "spec_version": 1,
+          "cells": [{"scheme": "Cubic"}],
+          "cell_overrides": [{"cell": 5, "patch": {}}]
+        })");
+      },
+      "cell_overrides[0].cell: cell 5 outside the expanded grid of 1 cells");
+  expect_spec_error(
+      [] {
+        (void)parse(R"({"spec_version": 1, "cells": [{}], "base": {}})");
+      },
+      "cells: an explicit cell list cannot be combined with \"base\"");
+}
+
+TEST(SpecGrid, ExpansionErrorsCarryTheCellIndex) {
+  // The base parses alone; only cell 1's patch makes it invalid — the
+  // error must say which expanded cell broke, then the field inside it.
+  expect_spec_error(
+      [] {
+        (void)parse(R"({
+          "spec_version": 1,
+          "base": {"run_time_s": 50, "warmup_s": 5},
+          "axes": [{"name": "s", "patches": [{"scheme": "Cubic"},
+                                             {"scheme": "nope"}]}]
+        })");
+      },
+      "cells[1].scheme: unknown scheme \"nope\"");
+}
+
+// The acceptance lock: the checked-in example spec and the compiled-in
+// grid it mirrors must expand to the same content address, cell for cell.
+TEST(SpecGrid, CheckedInSpecMatchesCompiledGrid) {
+  const std::string path =
+      std::string(SPROUT_SOURCE_DIR) + "/specs/coexistence_smoke.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "cannot read " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  const ExperimentSpec from_file = parse_experiment_json(text.str(), path);
+
+  BuiltinGridOptions options;
+  options.seconds = 10;
+  options.base_seed = 42;
+  const SweepSpec compiled = build_builtin_grid("coexistence-smoke", options);
+
+  ASSERT_EQ(from_file.sweep.cells.size(), compiled.cells.size());
+  for (std::size_t i = 0; i < compiled.cells.size(); ++i) {
+    EXPECT_EQ(scenario_fingerprint(from_file.sweep.cells[i]),
+              scenario_fingerprint(compiled.cells[i]))
+        << "cell " << i;
+  }
+  EXPECT_EQ(sweep_fingerprint(from_file.sweep), sweep_fingerprint(compiled));
+  EXPECT_EQ(from_file.name, "coexistence-smoke");
+  EXPECT_EQ(from_file.strategy, PartitionStrategy::kLpt);
+}
+
+// Dump -> parse is fingerprint-preserving for every compiled grid, so any
+// grid can be exported to a spec file and rerun without drift.
+TEST(SpecGrid, DumpedBuiltinGridsReparseIdentically) {
+  for (const std::string& name : builtin_grid_names()) {
+    BuiltinGridOptions options;
+    options.seconds = 12;
+    options.base_seed = 7;
+    ExperimentSpec experiment;
+    experiment.name = name;
+    experiment.sweep = build_builtin_grid(name, options);
+
+    std::ostringstream os;
+    write_experiment_json(os, experiment);
+    const ExperimentSpec back = parse_experiment_json(os.str(), name);
+    EXPECT_EQ(sweep_fingerprint(back.sweep),
+              sweep_fingerprint(experiment.sweep))
+        << name << ":\n" << os.str();
+    ASSERT_TRUE(back.sweep.base_seed.has_value());
+    EXPECT_EQ(*back.sweep.base_seed, 7u);
+  }
+}
+
+}  // namespace
+}  // namespace sprout::spec

@@ -1,0 +1,200 @@
+#include "spec/scenario_io.h"
+
+#include <gtest/gtest.h>
+
+#include "runner/sweep.h"
+#include "spec_test_util.h"
+#include "trace/presets.h"
+
+namespace sprout::spec {
+namespace {
+
+// The round-trip invariant: write -> parse preserves the content
+// fingerprint, which hashes every field that can affect a simulation.
+void expect_roundtrip(const ScenarioSpec& spec) {
+  const std::string json = scenario_to_json(spec);
+  ScenarioSpec back;
+  ASSERT_NO_THROW(back = parse_scenario_json(json)) << json;
+  EXPECT_EQ(scenario_fingerprint(back), scenario_fingerprint(spec)) << json;
+  // And the writer is a fixed point: write(parse(write(x))) == write(x).
+  EXPECT_EQ(scenario_to_json(back), json);
+}
+
+TEST(SpecScenarioIo, DefaultSpecRoundTrips) { expect_roundtrip(ScenarioSpec{}); }
+
+TEST(SpecScenarioIo, PresetLinksAndSchemesRoundTrip) {
+  for (const SchemeId scheme :
+       {SchemeId::kSprout, SchemeId::kCubicCodel, SchemeId::kGcc,
+        SchemeId::kReno, SchemeId::kSproutAdaptive}) {
+    ScenarioSpec spec = single_flow_scenario(
+        scheme, find_link_preset("T-Mobile 3G (UMTS)", LinkDirection::kUplink));
+    spec.run_time = sec(77);
+    spec.warmup = sec(11);
+    spec.seed = 1234567;
+    expect_roundtrip(spec);
+  }
+}
+
+TEST(SpecScenarioIo, HeterogeneousTopologyRoundTrips) {
+  SproutParams cautious;
+  cautious.confidence_percent = 75.0;
+  cautious.forecast_horizon_ticks = 12;
+  ScenarioSpec spec = heterogeneous_scenario(
+      {FlowSpec::of(SchemeId::kSprout).with_params(cautious),
+       FlowSpec::of(SchemeId::kCubic).active(sec(5), sec(40)),
+       FlowSpec::of(SchemeId::kVegas).active(sec(1))},
+      find_link_preset("Verizon LTE", LinkDirection::kDownlink));
+  spec.run_time = sec(60);
+  spec.warmup = sec(4);
+  expect_roundtrip(spec);
+
+  ScenarioSpec homogeneous = shared_queue_scenario(
+      SchemeId::kLedbat, 4,
+      find_link_preset("AT&T LTE", LinkDirection::kDownlink));
+  expect_roundtrip(homogeneous);
+}
+
+TEST(SpecScenarioIo, TunnelSyntheticAqmLossAndSeriesRoundTrip) {
+  ScenarioSpec tunnel = tunnel_scenario("Verizon LTE", true);
+  tunnel.link_aqm = LinkAqm::kCoDel;
+  expect_roundtrip(tunnel);
+
+  CellProcessParams fast;
+  fast.mean_rate_pps = 900.0;
+  fast.outage_hazard_per_s = 0.0;
+  CellProcessParams slow;
+  slow.mean_rate_pps = 120.0;
+  slow.step = msec(10);
+  ScenarioSpec synthetic;
+  synthetic.link = LinkSpec::synthetic(fast, slow, 11, 22);
+  synthetic.loss_rate_fwd = 0.05;
+  synthetic.loss_rate_rev = 0.01;  // asymmetric split must survive
+  synthetic.capture_series = true;
+  synthetic.series_bin = msec(250);
+  synthetic.seed = (1ull << 60) + 3;  // exceeds 2^53: travels as a string
+  expect_roundtrip(synthetic);
+
+  ScenarioSpec files;
+  files.link = LinkSpec::trace_files("fwd.trace", "rev.trace");
+  files.set_loss_rate(0.02);
+  expect_roundtrip(files);
+}
+
+TEST(SpecScenarioIo, InMemoryTracesDoNotSerialize) {
+  ScenarioSpec spec;
+  spec.link = LinkSpec::traces(Trace{}, Trace{});
+  expect_spec_error([&] { (void)scenario_to_json(spec); },
+                    "in-memory traces cannot be serialized");
+}
+
+TEST(SpecScenarioIo, ReaderDefaultsMatchScenarioSpecDefaults) {
+  const ScenarioSpec parsed = parse_scenario_json("{}");
+  EXPECT_EQ(scenario_fingerprint(parsed), scenario_fingerprint(ScenarioSpec{}));
+  // A lone flow list adopts its lead flow's scheme, exactly as
+  // heterogeneous_scenario() does.
+  const ScenarioSpec hetero = parse_scenario_json(
+      R"({"topology": {"kind": "shared-queue",
+                       "flows": [{"scheme": "Cubic"}, {"scheme": "Vegas"}]}})");
+  EXPECT_EQ(hetero.scheme, SchemeId::kCubic);
+}
+
+TEST(SpecScenarioIo, UnknownSchemeNamesThePath) {
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"topology": {"kind": "shared-queue",
+                             "flows": [{"scheme": "Sprout"},
+                                       {"scheme": "Cubicc"}]}})");
+      },
+      "topology.flows[1].scheme: unknown scheme \"Cubicc\"");
+  expect_spec_error(
+      [] { (void)parse_scenario_json(R"({"scheme": "TCP"})"); },
+      "scheme: unknown scheme \"TCP\"");
+}
+
+TEST(SpecScenarioIo, FlowWindowErrorsNameThePath) {
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"run_time_s": 300,
+                "topology": {"kind": "shared-queue",
+                             "flows": [{"scheme": "Sprout"},
+                                       {"scheme": "Cubic"},
+                                       {"scheme": "Vegas",
+                                        "start_s": 60, "stop_s": 10}]}})");
+      },
+      "topology.flows[2].stop_s: must be > start_s");
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"run_time_s": 100, "warmup_s": 50,
+                "topology": {"kind": "shared-queue",
+                             "flows": [{"scheme": "Sprout"},
+                                       {"scheme": "Cubic", "stop_s": 20}]}})");
+      },
+      "topology.flows[1]: flow activity window ends inside warmup");
+}
+
+TEST(SpecScenarioIo, NegativeAndNonFiniteDurationsAreRejected) {
+  expect_spec_error(
+      [] { (void)parse_scenario_json(R"({"run_time_s": -5})"); },
+      "run_time_s: must be > 0, got -5");
+  expect_spec_error(
+      [] { (void)parse_scenario_json(R"({"run_time_s": 0})"); },
+      "run_time_s: must be > 0");
+  // JSON has no NaN literal; an overflowing literal is the closest attack.
+  expect_spec_error(
+      [] { (void)parse_scenario_json(R"({"run_time_s": 1e999})"); },
+      "run_time_s: must be finite");
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"topology": {"kind": "shared-queue",
+                             "flows": [{"scheme": "Sprout",
+                                        "start_s": -1}]}})");
+      },
+      "topology.flows[0].start_s: must be >= 0");
+  expect_spec_error(
+      [] { (void)parse_scenario_json(R"({"run_time_s": 10, "warmup_s": 10})"); },
+      "warmup_s: warmup_s must be < run_time_s");
+}
+
+TEST(SpecScenarioIo, StructuralMistakesAreRejected) {
+  expect_spec_error(
+      [] { (void)parse_scenario_json(R"({"run_tim_s": 10})"); },
+      "run_tim_s: unknown field");
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"loss_rate": 0.1, "loss_rate_rev": 0.2})");
+      },
+      "loss_rate: conflicts with loss_rate_fwd/loss_rate_rev");
+  expect_spec_error(
+      [] { (void)parse_scenario_json(R"({"loss_rate": 1.5})"); },
+      "loss_rate: must be in [0, 1]");
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"topology": {"kind": "single-flow", "num_flows": 3}})");
+      },
+      "topology.num_flows: unknown field");
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"topology": {"kind": "shared-queue", "num_flows": 3,
+                             "flows": [{"scheme": "Sprout"}]}})");
+      },
+      "topology.num_flows: disagrees with the flows list");
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"link": {"source": "preset", "network": "Verizon 5G"}})");
+      },
+      "link.network: unknown network \"Verizon 5G\"");
+  expect_spec_error(
+      [] { (void)parse_scenario_json(R"({"link_aqm": "RED"})"); },
+      "link_aqm: unknown link AQM \"RED\"");
+}
+
+}  // namespace
+}  // namespace sprout::spec

@@ -1,0 +1,156 @@
+#include "spec/schema.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "spec_test_util.h"
+
+namespace sprout::spec {
+namespace {
+
+TEST(SpecSchema, NavigationBuildsDottedBracketedPaths) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"topology": {"flows": [{"scheme": "Sprout"}, {"stop_s": 5}]}})");
+  const Field root(doc, "");
+  const Field flows = root.at("topology").at("flows");
+  EXPECT_EQ(flows.path(), "topology.flows");
+  const std::vector<Field> items = flows.items();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[1].path(), "topology.flows[1]");
+  EXPECT_EQ(items[1].at("stop_s").path(), "topology.flows[1].stop_s");
+  EXPECT_EQ(items[0].at("scheme").as_string(), "Sprout");
+}
+
+TEST(SpecSchema, ErrorsNameTheExactPath) {
+  const JsonValue doc =
+      JsonValue::parse(R"({"a": {"b": [{"c": "not a number"}]}})");
+  const Field root(doc, "");
+  const std::string msg = expect_spec_error(
+      [&] { (void)root.at("a").at("b").items()[0].at("c").as_finite(); },
+      "a.b[0].c: expected a number");
+  EXPECT_NE(msg.find("got a string"), std::string::npos);
+  expect_spec_error([&] { (void)root.at("a").at("missing"); },
+                    "a: missing required field \"missing\"");
+}
+
+TEST(SpecSchema, UnknownKeysAreRejectedWithTheAcceptedList) {
+  const JsonValue doc = JsonValue::parse(R"({"good": 1, "typo_key": 2})");
+  const Field root(doc, "spec");
+  const std::string msg = expect_spec_error(
+      [&] { root.allow_keys({"good", "other"}); },
+      "spec.typo_key: unknown field");
+  EXPECT_NE(msg.find("good"), std::string::npos);
+  EXPECT_NE(msg.find("other"), std::string::npos);
+}
+
+TEST(SpecSchema, RangeCheckedReaders) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"neg": -3, "frac": 0.25, "zero": 0, "big": 1e999, "n": 2.5})");
+  const Field root(doc, "");
+  EXPECT_DOUBLE_EQ(root.at("frac").in_range(0.0, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(root.at("zero").non_negative(), 0.0);
+  expect_spec_error([&] { (void)root.at("neg").positive(); },
+                    "neg: must be > 0, got -3");
+  expect_spec_error([&] { (void)root.at("neg").non_negative(); },
+                    "neg: must be >= 0");
+  expect_spec_error([&] { (void)root.at("n").as_int(); },
+                    "n: expected an integer");
+  // 1e999 overflows to inf at parse; the finite check catches it.
+  expect_spec_error([&] { (void)root.at("big").as_finite(); },
+                    "big: must be finite");
+}
+
+TEST(SpecSchema, U64AcceptsNumbersAndDecimalStrings) {
+  const JsonValue doc = JsonValue::parse(
+      R"({"n": 42, "s": "18446744073709551615", "neg": -1, "junk": "12x"})");
+  const Field root(doc, "");
+  EXPECT_EQ(root.at("n").as_u64(), 42u);
+  EXPECT_EQ(root.at("s").as_u64(), 18446744073709551615ull);
+  expect_spec_error([&] { (void)root.at("neg").as_u64(); },
+                    "neg: must be >= 0");
+  expect_spec_error([&] { (void)root.at("junk").as_u64(); },
+                    "junk: expected an unsigned decimal integer");
+}
+
+TEST(SpecSchema, SecondsRoundTripExactly) {
+  // Durations travel as to_seconds() doubles; the reader must recover the
+  // exact microsecond count for every value the writer can emit,
+  // including ones whose decimal form is not exactly representable.
+  for (const std::int64_t micros :
+       {std::int64_t{1}, std::int64_t{3}, std::int64_t{20000},
+        std::int64_t{2500000}, std::int64_t{299999999},
+        std::int64_t{86400000000}}) {
+    const double s = to_seconds(Duration(micros));
+    std::ostringstream os;
+    os.precision(17);
+    os << s;
+    const JsonValue doc = JsonValue::parse("{\"d\": " + os.str() + "}");
+    EXPECT_EQ(Field(doc, "").at("d").seconds().count(), micros)
+        << "for " << micros << " us";
+  }
+}
+
+TEST(SpecSchema, MergePatchFollowsRfc7386) {
+  const JsonValue base = JsonValue::parse(
+      R"({"a": 1, "nested": {"x": 1, "y": 2}, "list": [1, 2, 3]})");
+  const JsonValue patch = JsonValue::parse(
+      R"({"a": 5, "nested": {"y": null, "z": 9}, "list": [7], "new": true})");
+  const JsonValue merged = merge_patch(base, patch);
+  EXPECT_DOUBLE_EQ(merged.at("a").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(merged.at("nested").at("x").as_number(), 1.0);
+  EXPECT_FALSE(merged.at("nested").has("y"));  // null deletes
+  EXPECT_DOUBLE_EQ(merged.at("nested").at("z").as_number(), 9.0);
+  ASSERT_EQ(merged.at("list").as_array().size(), 1u);  // arrays replace
+  EXPECT_DOUBLE_EQ(merged.at("list").as_array()[0].as_number(), 7.0);
+  EXPECT_TRUE(merged.at("new").as_bool());
+  // Null members of a patch with no base counterpart are stripped too.
+  const JsonValue fresh =
+      merge_patch(JsonValue::parse("{}"),
+                  JsonValue::parse(R"({"o": {"keep": 1, "drop": null}})"));
+  EXPECT_TRUE(fresh.at("o").has("keep"));
+  EXPECT_FALSE(fresh.at("o").has("drop"));
+}
+
+TEST(SpecSchema, PatchPathsAndOverlap) {
+  const JsonValue patch = JsonValue::parse(
+      R"({"loss_rate": 0.1, "topology": {"flows": [{"scheme": "Cubic"}]}})");
+  const std::vector<std::string> paths = patch_paths(patch);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], "loss_rate");
+  EXPECT_EQ(paths[1], "topology.flows");
+
+  EXPECT_TRUE(paths_overlap("topology.flows", "topology.flows"));
+  EXPECT_TRUE(paths_overlap("topology", "topology.flows"));
+  EXPECT_TRUE(paths_overlap("topology.flows[1].scheme", "topology.flows"));
+  EXPECT_FALSE(paths_overlap("topology.flows", "topology.flows_extra"));
+  EXPECT_FALSE(paths_overlap("loss_rate", "loss_rate_fwd"));
+  EXPECT_FALSE(paths_overlap("run_time_s", "warmup_s"));
+}
+
+TEST(SpecSchema, JsonValueBuildersComposeParseableDocuments) {
+  const JsonValue doc = JsonValue::make_object(
+      {{"name", JsonValue::make_string("x")},
+       {"n", JsonValue::make_number(2.5)},
+       {"flag", JsonValue::make_bool(true)},
+       {"items", JsonValue::make_array({JsonValue::make_number(1.0),
+                                        JsonValue::make_null()})}});
+  EXPECT_EQ(doc.at("name").as_string(), "x");
+  EXPECT_DOUBLE_EQ(doc.at("n").as_number(), 2.5);
+  EXPECT_TRUE(doc.at("flag").as_bool());
+  ASSERT_EQ(doc.at("items").as_array().size(), 2u);
+  EXPECT_TRUE(doc.at("items").as_array()[1].is_null());
+  EXPECT_THROW((void)JsonValue::make_number(
+                   std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
+TEST(SpecSchema, ParseErrorsArePrefixedWithTheDocumentLabel) {
+  expect_spec_error(
+      [] { (void)parse_spec_document("{\"a\": ", "broken.json"); },
+      "broken.json: ");
+}
+
+}  // namespace
+}  // namespace sprout::spec

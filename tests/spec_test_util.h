@@ -1,0 +1,29 @@
+// Shared assertion helper for the spec subsystem's test suites: the spec
+// reader's contract is its error MESSAGES (path-aware, operator-facing),
+// so tests assert on substrings of SpecError::what().
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "spec/schema.h"
+
+namespace sprout::spec {
+
+// Expects `fn` to throw SpecError whose message contains `needle`, and
+// returns the full message for further checks.
+template <typename Fn>
+std::string expect_spec_error(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+  } catch (const SpecError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "error was: " << e.what() << "\nexpected to contain: " << needle;
+    return e.what();
+  }
+  ADD_FAILURE() << "expected SpecError containing: " << needle;
+  return "";
+}
+
+}  // namespace sprout::spec
