@@ -1,0 +1,160 @@
+// Scheme behaviour across the synthetic channel-model space — the sweep
+// the stochastic-synthesis subsystem (src/synth/) exists for.  Instead of
+// the eight checked-in preset links, each cell runs a single flow over a
+// PARAMETRIC channel: the paper's own Brownian-rate/Poisson-delivery
+// process (Sprout's modeling assumptions, matched), the same process with
+// handover and outage overlays, a Markov-modulated (MMPP) regime switcher
+// at two dwell speeds, and the mean-reverting Cox process with Pareto
+// outages (deliberately mismatched).  Sprout's forecast should look best
+// where the channel matches its model and degrade gracefully where the
+// rate process violates it — this table measures exactly that, for Sprout
+// against Cubic and Vegas.
+//
+// Reported per (channel, scheme): throughput, 95% end-to-end delay,
+// self-inflicted delay (p95 minus the omniscient baseline on the same
+// trace) and link utilization.
+//
+// Flags:
+//   --smoke      two cells (Sprout + Cubic on the matched Brownian
+//                channel) — the CI synth-smoke job's shape
+//   --json PATH  also dump the combined table as JSON (CI artifact)
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace sprout;
+
+struct Channel {
+  std::string name;
+  SynthSpec forward;
+};
+
+// The reverse (feedback) direction for every cell: a calmer, narrower
+// Brownian link on its own seed, so the forward channel under test is the
+// bottleneck.
+SynthSpec feedback_link() {
+  BrownianModelParams p;
+  p.init_rate_pps = 200.0;
+  p.sigma_pps_per_sqrt_s = 50.0;
+  p.max_rate_pps = 400.0;
+  return SynthSpec::brownian_model(p, /*seed=*/99);
+}
+
+std::vector<Channel> channel_space(bool smoke) {
+  std::vector<Channel> channels;
+
+  BrownianModelParams calm;
+  calm.sigma_pps_per_sqrt_s = 100.0;
+  BrownianModelParams paper;  // the paper §4 defaults: sigma = 200
+  BrownianModelParams wild;
+  wild.sigma_pps_per_sqrt_s = 400.0;
+
+  channels.push_back({"brownian sigma=200 (matched)",
+                      SynthSpec::brownian_model(paper, 7)});
+  if (smoke) return channels;
+
+  channels.push_back({"brownian sigma=100", SynthSpec::brownian_model(calm, 7)});
+  channels.push_back({"brownian sigma=400", SynthSpec::brownian_model(wild, 7)});
+  channels.push_back(
+      {"brownian + handover sawtooth",
+       SynthSpec::brownian_model(paper, 7)
+           .with_op(SynthOp::sawtooth(/*period_s=*/15.0, /*depth=*/0.7,
+                                      /*ramp_s=*/3.0))});
+  channels.push_back(
+      {"brownian + on/off outages",
+       SynthSpec::brownian_model(paper, 7)
+           .with_op(SynthOp::outage(/*mean_on_s=*/12.0, /*mean_off_s=*/1.0))});
+
+  MarkovModelParams slow;  // default three-regime cell
+  MarkovModelParams fast = slow;
+  for (MarkovState& s : fast.states) s.mean_dwell_s /= 4.0;
+  channels.push_back({"markov 3-state", SynthSpec::markov_model(slow, 7)});
+  channels.push_back(
+      {"markov 3-state, 4x dwell rate", SynthSpec::markov_model(fast, 7)});
+
+  channels.push_back(
+      {"cox OU+Pareto (mismatched)", SynthSpec::cox_model({}, 7)});
+  return channels;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: table_synth [--smoke] [--json PATH]\n";
+      return 2;
+    }
+  }
+
+  std::cout << "=== Schemes across the synthetic channel-model space ===\n\n";
+
+  const std::vector<Channel> channels = channel_space(smoke);
+  std::vector<SchemeId> schemes = {SchemeId::kSprout, SchemeId::kCubic,
+                                   SchemeId::kVegas};
+  if (smoke) schemes = {SchemeId::kSprout, SchemeId::kCubic};
+
+  std::vector<ScenarioSpec> specs;
+  for (const Channel& channel : channels) {
+    for (const SchemeId scheme : schemes) {
+      ScenarioSpec spec;
+      spec.scheme = scheme;
+      spec.link = LinkSpec::synth(channel.forward, feedback_link());
+      specs.push_back(bench::with_bench_times(std::move(spec)));
+    }
+  }
+
+  const std::vector<ScenarioResult> results = bench::sweep(specs);
+
+  TableWriter t({"Channel", "Scheme", "kbps", "d95 (ms)", "Self-infl. (ms)",
+                 "Util"});
+  std::size_t cell = 0;
+  for (const Channel& channel : channels) {
+    for (const SchemeId scheme : schemes) {
+      const ScenarioResult& r = results[cell++];
+      t.row()
+          .cell(channel.name)
+          .cell(to_string(scheme))
+          .cell(r.throughput_kbps(), 0)
+          .cell(r.delay95_ms(), 0)
+          .cell(r.self_inflicted_delay_ms(), 0)
+          .cell(r.utilization(), 2);
+    }
+  }
+  t.print(std::cout);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    t.write_json(out);
+    std::cout << "\nJSON written to " << json_path << "\n";
+  }
+
+  std::cout
+      << "\nReading: on the matched Brownian channel Sprout rides close to\n"
+         "the omniscient baseline — high utilization, self-inflicted delay\n"
+         "near zero — while the loss-based rival fills the queue.  Overlays\n"
+         "and regime switching (handover dips, on/off outages, MMPP) break\n"
+         "the forecast's assumptions in different ways: delay stays bounded\n"
+         "(the cautious percentile still protects the queue) but throughput\n"
+         "falls further below capacity as the rate process departs from the\n"
+         "Brownian model the filter assumes.\n";
+  return 0;
+}

@@ -8,12 +8,21 @@
 //   spec_lint FILE              summary: cells, cost, strategy, fingerprint
 //   spec_lint FILE --expand     per-cell table of the expanded grid
 //   spec_lint FILE --shards N   shard plan preview under the spec's strategy
+//   spec_lint FILE --wall-clock [--threads T]
+//                               wall-clock estimate: the spec's summed
+//                               estimated_cost (Cubic-equivalent seconds)
+//                               divided by a cells/s rate MEASURED here by
+//                               timing one short Cubic cell, scaled by the
+//                               thread count (default: all cores)
 //
 // Exit codes: 0 valid, 1 invalid (the SpecError diagnostic goes to
 // stderr), 2 usage.
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "spec/grid.h"
 #include "spec/plan.h"
@@ -49,31 +58,65 @@ std::string flows_summary(const ScenarioSpec& cell) {
   return "?";
 }
 
+// Measures how many Cubic-equivalent simulated seconds one thread of THIS
+// machine retires per wall-clock second: one short Cubic cell, timed on
+// its second run so trace generation and table warmup stay out of the
+// number.  estimated_cost is in exactly these units (simulated seconds ×
+// scheme_cost_weight, Cubic ≡ 1), so cost / rate is a wall-clock estimate.
+double measure_cubic_seconds_per_wall_second() {
+  ScenarioSpec probe;
+  probe.scheme = SchemeId::kCubic;
+  probe.link = LinkSpec::preset("Verizon LTE", LinkDirection::kDownlink);
+  probe.run_time = sec(4);
+  probe.warmup = sec(1);
+  ScenarioCache cache;
+  (void)run_scenario(probe, &cache);  // warm the trace cache
+  const auto start = std::chrono::steady_clock::now();
+  (void)run_scenario(probe, &cache);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return to_seconds(probe.run_time) / std::max(wall, 1e-9);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "usage: spec_lint FILE [--expand] [--shards N] [--wall-clock] "
+      "[--threads T]\n";
   std::string path;
   bool expand = false;
+  bool wall_clock = false;
   int shards = 0;
+  int threads = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--expand") {
       expand = true;
+    } else if (arg == "--wall-clock") {
+      wall_clock = true;
     } else if (arg == "--shards" && i + 1 < argc) {
       shards = std::atoi(argv[++i]);
       if (shards < 1) {
         std::cerr << "spec_lint: --shards wants a positive count\n";
         return 2;
       }
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) {
+        std::cerr << "spec_lint: --threads wants a positive count\n";
+        return 2;
+      }
     } else if (arg.rfind("--", 0) == 0 || !path.empty()) {
-      std::cerr << "usage: spec_lint FILE [--expand] [--shards N]\n";
+      std::cerr << kUsage;
       return 2;
     } else {
       path = arg;
     }
   }
   if (path.empty()) {
-    std::cerr << "usage: spec_lint FILE [--expand] [--shards N]\n";
+    std::cerr << kUsage;
     return 2;
   }
 
@@ -103,6 +146,22 @@ int main(int argc, char** argv) {
                     : std::string("(per-cell seeds)"))
             << "\n"
             << "fingerprint: " << sweep_fingerprint(experiment.sweep) << "\n";
+
+  if (wall_clock) {
+    const double rate = measure_cubic_seconds_per_wall_second();
+    if (threads < 1) {
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+      if (threads < 1) threads = 1;
+    }
+    const double serial_s = total_cost / rate;
+    // Ideal speedup: a real run is bounded below by its largest cell and
+    // helped by LPT balance, so this is a planning number, not a promise.
+    std::cout << "wall-clock:  ~" << format_double(serial_s, 1)
+              << " s single-thread, ~"
+              << format_double(serial_s / threads, 1) << " s on " << threads
+              << " threads (measured " << format_double(rate, 0)
+              << " Cubic-s/s per thread)\n";
+  }
 
   if (expand) {
     std::cout << "\n";

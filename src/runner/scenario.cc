@@ -72,6 +72,14 @@ LinkSpec LinkSpec::synthetic(CellProcessParams forward,
   return spec;
 }
 
+LinkSpec LinkSpec::synth(SynthSpec forward, SynthSpec reverse) {
+  LinkSpec spec;
+  spec.source = Source::kSynth;
+  spec.forward_synth = std::move(forward);
+  spec.reverse_synth = std::move(reverse);
+  return spec;
+}
+
 std::string LinkSpec::name() const {
   switch (source) {
     case Source::kPreset:
@@ -82,6 +90,8 @@ std::string LinkSpec::name() const {
       return forward_path + " / " + reverse_path;
     case Source::kSynthetic:
       return "synthetic Cox process";
+    case Source::kSynth:
+      return "synth " + forward_synth.label() + " / " + reverse_synth.label();
   }
   return "link";
 }
@@ -310,6 +320,14 @@ ResolvedLink resolve_link(const LinkSpec& link, Duration run_time,
                                   link.reverse_process_seed);
           });
       break;
+    case LinkSpec::Source::kSynth:
+      resolved.forward = materialize(
+          cache, synth_key(link.forward_synth, needed),
+          [&] { return generate_synth_trace(link.forward_synth, needed); });
+      resolved.reverse = materialize(
+          cache, synth_key(link.reverse_synth, needed),
+          [&] { return generate_synth_trace(link.reverse_synth, needed); });
+      break;
   }
   return resolved;
 }
@@ -419,10 +437,11 @@ ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
   Rng seeder(spec.seed);
 
   CellsimConfig fwd_cfg;
-  fwd_cfg.propagation_delay = spec.propagation_delay;
+  fwd_cfg.propagation_delay = spec.propagation_delay_fwd;
   fwd_cfg.loss_rate = spec.loss_rate_fwd;
   fwd_cfg.seed = seeder.fork_seed();
   CellsimConfig rev_cfg = fwd_cfg;
+  rev_cfg.propagation_delay = spec.propagation_delay_rev;
   rev_cfg.loss_rate = spec.loss_rate_rev;
   rev_cfg.seed = seeder.fork_seed();
 
@@ -443,6 +462,11 @@ ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
 
   SproutParams default_params;
   default_params.confidence_percent = spec.sprout_confidence;
+  // In deployment the sender assumes one-way propagation = min RTT / 2;
+  // under an asymmetric split that is the mean of the two directions.
+  // Symmetric defaults leave this at the historical 20 ms.
+  default_params.assumed_propagation =
+      (spec.propagation_delay_fwd + spec.propagation_delay_rev) / 2;
 
   // Declared before the flows: each SchemeFlow holds references to its
   // gates, so the gates must outlive the flows at scope exit.
@@ -470,7 +494,7 @@ ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
                     *fwd_ingress,
                     *rev_ingress,
                     fwd_link.trace(),
-                    spec.propagation_delay,
+                    spec.propagation_delay_fwd,
                     spec.run_time};
     auto flow = schemes[f]->make_flow(ctx);
     fwd_demux.route(id, flow->data_egress());
@@ -569,8 +593,10 @@ ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
   r.aggregate_utilization =
       r.capacity_kbps > 0.0 ? r.aggregate_throughput_kbps / r.capacity_kbps
                             : 0.0;
+  // The baseline measures the data path only, so it rides the forward
+  // propagation; the reverse direction delays feedback, not deliveries.
   r.omniscient_delay95_ms = omniscient_delay_percentile_ms(
-      fwd_link.trace(), 95.0, meas_from, meas_to, spec.propagation_delay);
+      fwd_link.trace(), 95.0, meas_from, meas_to, spec.propagation_delay_fwd);
   r.packets_delivered = fwd_link.delivered_packets();
   r.link_drops = fwd_link.random_drops() + fwd_link.queue_drops();
   if (spec.capture_series) {
@@ -587,10 +613,11 @@ ScenarioResult run_tunnel(const ScenarioSpec& spec, const ResolvedLink& link) {
   Rng seeder(spec.seed);
 
   CellsimConfig down_cfg;
-  down_cfg.propagation_delay = spec.propagation_delay;
+  down_cfg.propagation_delay = spec.propagation_delay_fwd;
   down_cfg.loss_rate = spec.loss_rate_fwd;
   down_cfg.seed = seeder.fork_seed();
   CellsimConfig up_cfg = down_cfg;
+  up_cfg.propagation_delay = spec.propagation_delay_rev;
   up_cfg.loss_rate = spec.loss_rate_rev;
   up_cfg.seed = seeder.fork_seed();
 
@@ -617,6 +644,8 @@ ScenarioResult run_tunnel(const ScenarioSpec& spec, const ResolvedLink& link) {
   if (spec.topology.via_tunnel) {
     SproutParams params;
     params.confidence_percent = spec.sprout_confidence;
+    params.assumed_propagation =
+        (spec.propagation_delay_fwd + spec.propagation_delay_rev) / 2;
     server_tunnel = std::make_unique<TunnelEndpoint>(
         sim, params, SproutVariant::kBayesian, 100);
     mobile_tunnel = std::make_unique<TunnelEndpoint>(
@@ -718,7 +747,7 @@ ScenarioResult run_tunnel(const ScenarioSpec& spec, const ResolvedLink& link) {
       r.capacity_kbps > 0.0 ? r.aggregate_throughput_kbps / r.capacity_kbps
                             : 0.0;
   r.omniscient_delay95_ms = omniscient_delay_percentile_ms(
-      down_link.trace(), 95.0, from, to, spec.propagation_delay);
+      down_link.trace(), 95.0, from, to, spec.propagation_delay_fwd);
   r.packets_delivered = down_link.delivered_packets();
   r.link_drops = down_link.random_drops() + down_link.queue_drops();
   if (spec.capture_series) {
@@ -801,6 +830,10 @@ double estimated_cost(const ScenarioSpec& spec) {
 }
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, ScenarioCache* cache) {
+  if (spec.propagation_delay_fwd < Duration::zero() ||
+      spec.propagation_delay_rev < Duration::zero()) {
+    throw std::invalid_argument("propagation delays must be >= 0");
+  }
   // A flow list only means something to the shared-queue topology, and
   // must agree with num_flows (heterogeneous_queue keeps them in sync).
   // Silently ignoring either would let two specs that simulate identically

@@ -34,6 +34,7 @@
 #include "core/params.h"
 #include "metrics/timeseries.h"
 #include "runner/schemes.h"
+#include "synth/synth.h"
 #include "trace/presets.h"
 #include "trace/synthetic.h"
 #include "trace/trace.h"
@@ -48,6 +49,7 @@ struct LinkSpec {
     kTraces,     // caller-supplied in-memory traces
     kTraceFiles, // mahimahi-format files, parsed (and cached) by the engine
     kSynthetic,  // generate from explicit Cox-process parameters
+    kSynth,      // full channel-synthesis spec: base model + op chain
   };
 
   Source source = Source::kPreset;
@@ -70,6 +72,12 @@ struct LinkSpec {
   std::uint64_t forward_process_seed = 1;
   std::uint64_t reverse_process_seed = 2;
 
+  // kSynth: per-direction channel-synthesis specs (synth/synth.h) — a base
+  // model or saved trace plus composable overlay/augmentation ops, each
+  // with its own root seed.
+  SynthSpec forward_synth;
+  SynthSpec reverse_synth;
+
   [[nodiscard]] static LinkSpec preset(const LinkPreset& preset);
   [[nodiscard]] static LinkSpec preset(const std::string& network,
                                        LinkDirection direction);
@@ -80,6 +88,7 @@ struct LinkSpec {
                                           CellProcessParams reverse,
                                           std::uint64_t forward_seed = 1,
                                           std::uint64_t reverse_seed = 2);
+  [[nodiscard]] static LinkSpec synth(SynthSpec forward, SynthSpec reverse);
 
   // Human-readable link label ("Verizon LTE downlink", a file path, ...).
   [[nodiscard]] std::string name() const;
@@ -150,7 +159,15 @@ struct ScenarioSpec {
   LinkAqm link_aqm = LinkAqm::kAuto;
   Duration run_time = sec(300);
   Duration warmup = sec(60);        // skipped by all metrics (§5.1)
-  Duration propagation_delay = msec(20);
+  // One-way propagation, split by direction: _fwd delays the data-carrying
+  // link, _rev the feedback link (min RTT = fwd + rev).  The paper's
+  // symmetric 20 ms each way is the fwd == rev case; asymmetric values
+  // model e.g. satellite-backhauled uplinks.  The omniscient delay
+  // baseline rides the forward link only; Sprout's assumed one-way
+  // propagation (min RTT / 2 in deployment) is derived as (fwd + rev) / 2
+  // unless a flow's explicit SproutParams override says otherwise.
+  Duration propagation_delay_fwd = msec(20);
+  Duration propagation_delay_rev = msec(20);
   // Bernoulli loss (§5.6), split by direction: _fwd drops packets entering
   // the data-carrying link, _rev packets entering the feedback link.  The
   // paper's symmetric "each-way loss" is the fwd == rev case; asymmetric
@@ -167,6 +184,14 @@ struct ScenarioSpec {
   ScenarioSpec& set_loss_rate(double each_way) {
     loss_rate_fwd = each_way;
     loss_rate_rev = each_way;
+    return *this;
+  }
+
+  // Legacy symmetric view of the split propagation fields: sets both
+  // directions, exactly what assigning the old `propagation_delay` did.
+  ScenarioSpec& set_propagation_delay(Duration each_way) {
+    propagation_delay_fwd = each_way;
+    propagation_delay_rev = each_way;
     return *this;
   }
 };

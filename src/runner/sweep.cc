@@ -104,6 +104,12 @@ std::uint64_t scenario_fingerprint(const ScenarioSpec& spec) {
                                spec.link.reverse_process_seed,
                                spec.run_time));
       break;
+    case LinkSpec::Source::kSynth:
+      // Same discipline: the canonical key enumerates every SynthSpec
+      // field, so fingerprints and the trace cache agree by construction.
+      h.str(synth_key(spec.link.forward_synth, spec.run_time));
+      h.str(synth_key(spec.link.reverse_synth, spec.run_time));
+      break;
   }
   h.u64(static_cast<std::uint64_t>(spec.topology.kind));
   h.i64(spec.topology.num_flows);
@@ -132,7 +138,13 @@ std::uint64_t scenario_fingerprint(const ScenarioSpec& spec) {
   }
   h.i64(spec.run_time.count());
   h.i64(spec.warmup.count());
-  h.i64(spec.propagation_delay.count());
+  h.i64(spec.propagation_delay_fwd.count());
+  // Mirror the loss split below: only an asymmetric propagation split is
+  // hashed, so symmetric specs — the only kind that predates the split —
+  // keep their fingerprints and content-derived seeds.
+  if (spec.propagation_delay_rev != spec.propagation_delay_fwd) {
+    h.i64(spec.propagation_delay_rev.count());
+  }
   h.f64(spec.loss_rate_fwd);
   // Only an asymmetric split is hashed.  Symmetric specs — the only kind
   // that could exist before the loss_rate field split — keep their

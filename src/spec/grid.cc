@@ -1,8 +1,12 @@
 #include "spec/grid.h"
 
+#include <algorithm>
 #include <fstream>
+#include <functional>
+#include <optional>
 #include <ostream>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 namespace sprout::spec {
@@ -12,14 +16,121 @@ namespace {
 struct Axis {
   std::string name;
   std::vector<const JsonValue*> patches;
+  // Backing store for range-generated patches; `patches` may point here.
+  // (Moving an Axis moves the vector's heap buffer, so the pointers stay
+  // valid.)
+  std::vector<JsonValue> owned;
 };
+
+// --- numeric range axes --------------------------------------------------
+//
+// An axis may declare its patches as a numeric range instead of a list:
+//
+//   {"name": "loss", "range": {"loss_rate": {"from": 0, "to": 0.1,
+//                                            "step": 0.02}}}
+//
+// expands to the six merge-patches {"loss_rate": 0}, ..., {"loss_rate":
+// 0.1}.  The range object is shaped like the patch it generates: nested
+// objects address deep fields ({"link": {"forward": {"brownian": {...}}}}),
+// and exactly ONE leaf must be a {from, to, step} descriptor — two swept
+// fields are two axes, not one.
+
+bool is_range_descriptor(const JsonValue& v) {
+  if (v.kind() != JsonValue::Kind::kObject) return false;
+  return v.has("from") && v.has("to") && v.has("step") &&
+         v.members().size() == 3;
+}
+
+// Counts descriptor leaves and checks everything else is a plain object.
+int count_descriptors(const Field& f) {
+  if (is_range_descriptor(f.json())) return 1;
+  if (f.json().kind() != JsonValue::Kind::kObject) {
+    f.fail("range values must be objects ending in one "
+           "{\"from\", \"to\", \"step\"} descriptor");
+  }
+  int count = 0;
+  for (const auto& [key, value] : f.json().members()) {
+    (void)value;
+    count += count_descriptors(f.at(key));
+  }
+  return count;
+}
+
+std::vector<double> descriptor_values(const Field& f) {
+  const Field from = f.at("from");
+  const Field to = f.at("to");
+  const Field step = f.at("step");
+  const double lo = from.as_finite();
+  const double hi = to.as_finite();
+  const double by = step.positive();
+  if (hi < lo) to.fail("must be >= from");
+  // Values are from + i*step (never accumulated), with a half-ulp-ish
+  // slack so 0..0.1 by 0.02 includes 0.1 despite binary rounding.
+  const double slack = by * 1e-9;
+  std::vector<double> values;
+  for (int i = 0;; ++i) {
+    const double v = lo + by * i;
+    if (v > hi + slack) break;
+    values.push_back(std::min(v, hi));
+    if (values.size() > 10000) {
+      step.fail("range expands to more than 10000 values");
+    }
+  }
+  return values;
+}
+
+// Clones the range shape with the descriptor leaf replaced by `value`.
+JsonValue range_patch(const JsonValue& shape, double value) {
+  if (is_range_descriptor(shape)) return JsonValue::make_number(value);
+  std::vector<std::pair<std::string, JsonValue>> members;
+  for (const auto& [key, child] : shape.members()) {
+    members.emplace_back(key, range_patch(child, value));
+  }
+  return JsonValue::make_object(std::move(members));
+}
+
+std::vector<JsonValue> expand_range(const Field& range) {
+  const int descriptors = count_descriptors(range);
+  if (descriptors == 0) {
+    range.fail("needs exactly one {\"from\", \"to\", \"step\"} descriptor");
+  }
+  if (descriptors > 1) {
+    range.fail("sweeps more than one field; use one axis per swept field");
+  }
+  // Locate the descriptor to read its bounds (depth-first; unique).
+  std::function<std::optional<Field>(const Field&)> find =
+      [&](const Field& f) -> std::optional<Field> {
+    if (is_range_descriptor(f.json())) return f;
+    for (const auto& [key, value] : f.json().members()) {
+      (void)value;
+      if (auto hit = find(f.at(key))) return hit;
+    }
+    return std::nullopt;
+  };
+  const Field descriptor = *find(range);
+  std::vector<JsonValue> patches;
+  for (const double v : descriptor_values(descriptor)) {
+    patches.push_back(range_patch(range.json(), v));
+  }
+  return patches;
+}
 
 std::vector<Axis> read_axes(const Field& axes_field) {
   std::vector<Axis> axes;
   for (const Field& a : axes_field.items()) {
-    a.allow_keys({"name", "patches"});
+    a.allow_keys({"name", "patches", "range"});
     Axis axis;
     axis.name = a.at("name").as_string();
+    if (a.has("patches") == a.has("range")) {
+      a.fail("needs exactly one of \"patches\" or \"range\"");
+    }
+    if (const auto range = a.get("range")) {
+      axis.owned = expand_range(*range);
+      axis.patches.reserve(axis.owned.size());
+      for (const JsonValue& p : axis.owned) axis.patches.push_back(&p);
+      axes.push_back(std::move(axis));
+      continue;
+    }
     const Field patches = a.at("patches");
     for (const Field& p : patches.items()) {
       if (p.json().kind() != JsonValue::Kind::kObject) {

@@ -19,7 +19,12 @@
 //     "axes": [
 //       {"name": "rival", "patches": [ { ...merge-patch... }, ... ]},
 //       {"name": "loss",  "patches": [ {"loss_rate": 0.0},
-//                                      {"loss_rate": 0.05} ]}
+//                                      {"loss_rate": 0.05} ]},
+//       // or a numeric range instead of a patch list — nested objects
+//       // address deep fields; exactly one {from, to, step} leaf:
+//       {"name": "sigma", "range": {"link": {"forward": {"brownian":
+//           {"sigma_pps_per_sqrt_s":
+//               {"from": 100, "to": 300, "step": 100}}}}}}
 //     ],
 //
 //     // optional per-cell tweaks applied after expansion:

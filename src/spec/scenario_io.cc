@@ -4,6 +4,8 @@
 #include <sstream>
 
 #include "runner/registry.h"
+#include "spec/json_writer.h"
+#include "spec/synth_io.h"
 #include "trace/presets.h"
 
 namespace sprout::spec {
@@ -20,14 +22,6 @@ SchemeId read_scheme(const Field& f) {
     f.fail("scheme \"" + name + "\" is not registered in this build");
   }
   return *id;
-}
-
-LinkDirection read_direction(const Field& f) {
-  const std::string& name = f.as_string();
-  if (name == "downlink") return LinkDirection::kDownlink;
-  if (name == "uplink") return LinkDirection::kUplink;
-  f.fail("unknown direction \"" + name +
-         "\" (expected \"downlink\" or \"uplink\")");
 }
 
 LinkAqm read_link_aqm(const Field& f) {
@@ -66,22 +60,6 @@ SproutParams read_sprout_params(const Field& doc) {
   return p;
 }
 
-CellProcessParams read_process(const Field& doc) {
-  doc.allow_keys({"mean_rate_pps", "volatility_pps", "reversion_per_s",
-                  "max_rate_pps", "outage_hazard_per_s", "outage_min_s",
-                  "outage_alpha", "step_s"});
-  CellProcessParams p;
-  if (const auto f = doc.get("mean_rate_pps")) p.mean_rate_pps = f->positive();
-  if (const auto f = doc.get("volatility_pps")) p.volatility_pps = f->non_negative();
-  if (const auto f = doc.get("reversion_per_s")) p.reversion_per_s = f->non_negative();
-  if (const auto f = doc.get("max_rate_pps")) p.max_rate_pps = f->positive();
-  if (const auto f = doc.get("outage_hazard_per_s")) p.outage_hazard_per_s = f->non_negative();
-  if (const auto f = doc.get("outage_min_s")) p.outage_min_s = f->positive();
-  if (const auto f = doc.get("outage_alpha")) p.outage_alpha = f->positive();
-  if (const auto f = doc.get("step_s")) p.step = f->positive_seconds();
-  return p;
-}
-
 LinkSpec read_link(const Field& doc) {
   const std::string source =
       doc.has("source") ? doc.at("source").as_string() : "preset";
@@ -90,7 +68,7 @@ LinkSpec read_link(const Field& doc) {
     std::string network = "Verizon LTE";
     LinkDirection direction = LinkDirection::kDownlink;
     if (const auto f = doc.get("network")) network = f->as_string();
-    if (const auto f = doc.get("direction")) direction = read_direction(*f);
+    if (const auto f = doc.get("direction")) direction = direction_from_field(*f);
     // Resolve now so a typo'd network name fails at lint time with the
     // spec path, not at run time deep inside a shard process.
     try {
@@ -113,17 +91,31 @@ LinkSpec read_link(const Field& doc) {
                     "forward_seed", "reverse_seed"});
     CellProcessParams forward;
     CellProcessParams reverse;
-    if (const auto f = doc.get("forward_process")) forward = read_process(*f);
-    if (const auto f = doc.get("reverse_process")) reverse = read_process(*f);
+    if (const auto f = doc.get("forward_process")) {
+      forward = cell_process_from_field(*f);
+    }
+    if (const auto f = doc.get("reverse_process")) {
+      reverse = cell_process_from_field(*f);
+    }
     std::uint64_t forward_seed = 1;
     std::uint64_t reverse_seed = 2;
     if (const auto f = doc.get("forward_seed")) forward_seed = f->as_u64();
     if (const auto f = doc.get("reverse_seed")) reverse_seed = f->as_u64();
     return LinkSpec::synthetic(forward, reverse, forward_seed, reverse_seed);
   }
+  if (source == "synth") {
+    doc.allow_keys({"source", "forward", "reverse"});
+    SynthSpec forward;
+    if (const auto f = doc.get("forward")) forward = synth_from_field(*f);
+    // An absent reverse direction mirrors the "synthetic" source's default
+    // seeds: the default model on its own stream (seed 2, vs forward's 1).
+    SynthSpec reverse = SynthSpec{}.with_seed(2);
+    if (const auto f = doc.get("reverse")) reverse = synth_from_field(*f);
+    return LinkSpec::synth(std::move(forward), std::move(reverse));
+  }
   doc.at("source").fail("unknown link source \"" + source +
-                        "\" (expected \"preset\", \"trace-files\" or "
-                        "\"synthetic\")");
+                        "\" (expected \"preset\", \"trace-files\", "
+                        "\"synthetic\" or \"synth\")");
 }
 
 FlowSpec read_flow(const Field& doc) {
@@ -187,9 +179,10 @@ TopologySpec read_topology(const Field& doc) {
 
 ScenarioSpec scenario_from_field(const Field& doc) {
   doc.allow_keys({"scheme", "link", "topology", "link_aqm", "run_time_s",
-                  "warmup_s", "propagation_delay_s", "loss_rate",
-                  "loss_rate_fwd", "loss_rate_rev", "sprout_confidence",
-                  "seed", "capture_series", "series_bin_s"});
+                  "warmup_s", "propagation_delay_s", "propagation_delay_fwd_s",
+                  "propagation_delay_rev_s", "loss_rate", "loss_rate_fwd",
+                  "loss_rate_rev", "sprout_confidence", "seed",
+                  "capture_series", "series_bin_s"});
   ScenarioSpec spec;
   if (const auto f = doc.get("link")) spec.link = read_link(*f);
   if (const auto f = doc.get("topology")) spec.topology = read_topology(*f);
@@ -211,7 +204,18 @@ ScenarioSpec scenario_from_field(const Field& doc) {
               "would be empty)");
   }
   if (const auto f = doc.get("propagation_delay_s")) {
-    spec.propagation_delay = f->non_negative_seconds();
+    if (doc.has("propagation_delay_fwd_s") ||
+        doc.has("propagation_delay_rev_s")) {
+      f->fail("conflicts with propagation_delay_fwd_s/propagation_delay_rev_s;"
+              " use either the symmetric or the split spelling, not both");
+    }
+    spec.set_propagation_delay(f->non_negative_seconds());
+  }
+  if (const auto f = doc.get("propagation_delay_fwd_s")) {
+    spec.propagation_delay_fwd = f->non_negative_seconds();
+  }
+  if (const auto f = doc.get("propagation_delay_rev_s")) {
+    spec.propagation_delay_rev = f->non_negative_seconds();
   }
   if (const auto f = doc.get("loss_rate")) {
     if (doc.has("loss_rate_fwd") || doc.has("loss_rate_rev")) {
@@ -266,56 +270,6 @@ ScenarioSpec parse_scenario_json(std::string_view text) {
 
 namespace {
 
-// Exact 17-significant-digit doubles, as in runner/shard.cc: strtod reads
-// them back bit-identically, so write -> parse -> write is a fixed point.
-void write_double(std::ostream& os, double v) {
-  std::ostringstream tmp;
-  tmp.precision(17);
-  tmp << v;
-  os << tmp.str();
-}
-
-class ObjectWriter {
- public:
-  ObjectWriter(std::ostream& os, int indent) : os_(os), indent_(indent) {
-    os_ << "{";
-  }
-
-  std::ostream& key(const std::string& k) {
-    os_ << (first_ ? "\n" : ",\n");
-    first_ = false;
-    for (int i = 0; i < indent_ + 2; ++i) os_ << ' ';
-    write_json_string(os_, k);
-    os_ << ": ";
-    return os_;
-  }
-
-  void number(const std::string& k, double v) { write_double(key(k), v); }
-  void integer(const std::string& k, std::int64_t v) { key(k) << v; }
-  void str(const std::string& k, const std::string& v) {
-    write_json_string(key(k), v);
-  }
-  void boolean(const std::string& k, bool v) {
-    key(k) << (v ? "true" : "false");
-  }
-  void seconds(const std::string& k, Duration d) {
-    number(k, to_seconds(d));
-  }
-
-  void close() {
-    if (!first_) {
-      os_ << "\n";
-      for (int i = 0; i < indent_; ++i) os_ << ' ';
-    }
-    os_ << "}";
-  }
-
- private:
-  std::ostream& os_;
-  int indent_;
-  bool first_ = true;
-};
-
 void write_sprout_params(std::ostream& os, const SproutParams& p, int indent) {
   const SproutParams d;
   ObjectWriter w(os, indent);
@@ -354,22 +308,6 @@ void write_sprout_params(std::ostream& os, const SproutParams& p, int indent) {
   w.close();
 }
 
-void write_process(std::ostream& os, const CellProcessParams& p, int indent) {
-  const CellProcessParams d;
-  ObjectWriter w(os, indent);
-  if (p.mean_rate_pps != d.mean_rate_pps) w.number("mean_rate_pps", p.mean_rate_pps);
-  if (p.volatility_pps != d.volatility_pps) w.number("volatility_pps", p.volatility_pps);
-  if (p.reversion_per_s != d.reversion_per_s) w.number("reversion_per_s", p.reversion_per_s);
-  if (p.max_rate_pps != d.max_rate_pps) w.number("max_rate_pps", p.max_rate_pps);
-  if (p.outage_hazard_per_s != d.outage_hazard_per_s) {
-    w.number("outage_hazard_per_s", p.outage_hazard_per_s);
-  }
-  if (p.outage_min_s != d.outage_min_s) w.number("outage_min_s", p.outage_min_s);
-  if (p.outage_alpha != d.outage_alpha) w.number("outage_alpha", p.outage_alpha);
-  if (p.step != d.step) w.seconds("step_s", p.step);
-  w.close();
-}
-
 void write_link(std::ostream& os, const LinkSpec& link, int indent) {
   ObjectWriter w(os, indent);
   switch (link.source) {
@@ -389,14 +327,19 @@ void write_link(std::ostream& os, const LinkSpec& link, int indent) {
       break;
     case LinkSpec::Source::kSynthetic:
       w.str("source", "synthetic");
-      write_process(w.key("forward_process"), link.forward_process,
-                    indent + 2);
-      write_process(w.key("reverse_process"), link.reverse_process,
-                    indent + 2);
+      write_cell_process_json(w.key("forward_process"), link.forward_process,
+                              indent + 2);
+      write_cell_process_json(w.key("reverse_process"), link.reverse_process,
+                              indent + 2);
       w.integer("forward_seed",
                 static_cast<std::int64_t>(link.forward_process_seed));
       w.integer("reverse_seed",
                 static_cast<std::int64_t>(link.reverse_process_seed));
+      break;
+    case LinkSpec::Source::kSynth:
+      w.str("source", "synth");
+      write_synth_json(w.key("forward"), link.forward_synth, indent + 2);
+      write_synth_json(w.key("reverse"), link.reverse_synth, indent + 2);
       break;
   }
   w.close();
@@ -462,8 +405,13 @@ void write_scenario_json(std::ostream& os, const ScenarioSpec& spec,
   }
   w.seconds("run_time_s", spec.run_time);
   w.seconds("warmup_s", spec.warmup);
-  if (spec.propagation_delay != defaults.propagation_delay) {
-    w.seconds("propagation_delay_s", spec.propagation_delay);
+  if (spec.propagation_delay_fwd == spec.propagation_delay_rev) {
+    if (spec.propagation_delay_fwd != defaults.propagation_delay_fwd) {
+      w.seconds("propagation_delay_s", spec.propagation_delay_fwd);
+    }
+  } else {
+    w.seconds("propagation_delay_fwd_s", spec.propagation_delay_fwd);
+    w.seconds("propagation_delay_rev_s", spec.propagation_delay_rev);
   }
   if (spec.loss_rate_fwd == spec.loss_rate_rev) {
     if (spec.loss_rate_fwd != 0.0) w.number("loss_rate", spec.loss_rate_fwd);

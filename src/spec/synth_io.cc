@@ -1,0 +1,367 @@
+#include "spec/synth_io.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "spec/json_writer.h"
+
+namespace sprout::spec {
+
+LinkDirection direction_from_field(const Field& f) {
+  const std::string& name = f.as_string();
+  if (name == "downlink") return LinkDirection::kDownlink;
+  if (name == "uplink") return LinkDirection::kUplink;
+  f.fail("unknown direction \"" + name +
+         "\" (expected \"downlink\" or \"uplink\")");
+}
+
+CellProcessParams cell_process_from_field(const Field& doc) {
+  doc.allow_keys({"mean_rate_pps", "volatility_pps", "reversion_per_s",
+                  "max_rate_pps", "outage_hazard_per_s", "outage_min_s",
+                  "outage_alpha", "step_s"});
+  CellProcessParams p;
+  if (const auto f = doc.get("mean_rate_pps")) p.mean_rate_pps = f->positive();
+  if (const auto f = doc.get("volatility_pps")) p.volatility_pps = f->non_negative();
+  if (const auto f = doc.get("reversion_per_s")) p.reversion_per_s = f->non_negative();
+  if (const auto f = doc.get("max_rate_pps")) p.max_rate_pps = f->positive();
+  if (const auto f = doc.get("outage_hazard_per_s")) p.outage_hazard_per_s = f->non_negative();
+  if (const auto f = doc.get("outage_min_s")) p.outage_min_s = f->positive();
+  if (const auto f = doc.get("outage_alpha")) p.outage_alpha = f->positive();
+  if (const auto f = doc.get("step_s")) p.step = f->positive_seconds();
+  return p;
+}
+
+void write_cell_process_json(std::ostream& os, const CellProcessParams& p,
+                             int indent) {
+  const CellProcessParams d;
+  ObjectWriter w(os, indent);
+  if (p.mean_rate_pps != d.mean_rate_pps) w.number("mean_rate_pps", p.mean_rate_pps);
+  if (p.volatility_pps != d.volatility_pps) w.number("volatility_pps", p.volatility_pps);
+  if (p.reversion_per_s != d.reversion_per_s) w.number("reversion_per_s", p.reversion_per_s);
+  if (p.max_rate_pps != d.max_rate_pps) w.number("max_rate_pps", p.max_rate_pps);
+  if (p.outage_hazard_per_s != d.outage_hazard_per_s) {
+    w.number("outage_hazard_per_s", p.outage_hazard_per_s);
+  }
+  if (p.outage_min_s != d.outage_min_s) w.number("outage_min_s", p.outage_min_s);
+  if (p.outage_alpha != d.outage_alpha) w.number("outage_alpha", p.outage_alpha);
+  if (p.step != d.step) w.seconds("step_s", p.step);
+  w.close();
+}
+
+namespace {
+
+BrownianModelParams read_brownian(const Field& doc) {
+  doc.allow_keys({"init_rate_pps", "sigma_pps_per_sqrt_s", "max_rate_pps",
+                  "outage_escape_rate_per_s", "resume_rate_pps", "step_s"});
+  BrownianModelParams p;
+  if (const auto f = doc.get("init_rate_pps")) p.init_rate_pps = f->positive();
+  if (const auto f = doc.get("sigma_pps_per_sqrt_s")) {
+    p.sigma_pps_per_sqrt_s = f->non_negative();
+  }
+  if (const auto f = doc.get("max_rate_pps")) p.max_rate_pps = f->positive();
+  if (const auto f = doc.get("outage_escape_rate_per_s")) {
+    p.outage_escape_rate_per_s = f->positive();
+  }
+  if (const auto f = doc.get("resume_rate_pps")) p.resume_rate_pps = f->positive();
+  if (const auto f = doc.get("step_s")) p.step = f->positive_seconds();
+  if (p.max_rate_pps < p.init_rate_pps) {
+    doc.fail("max_rate_pps must be >= init_rate_pps");
+  }
+  return p;
+}
+
+MarkovModelParams read_markov(const Field& doc) {
+  doc.allow_keys({"states", "step_s"});
+  MarkovModelParams p;
+  if (const auto states = doc.get("states")) {
+    p.states.clear();
+    for (const Field& s : states->items()) {
+      s.allow_keys({"rate_pps", "mean_dwell_s"});
+      MarkovState state;
+      if (const auto f = s.get("rate_pps")) state.rate_pps = f->non_negative();
+      if (const auto f = s.get("mean_dwell_s")) state.mean_dwell_s = f->positive();
+      p.states.push_back(state);
+    }
+    if (p.states.empty()) states->fail("needs at least one state");
+  }
+  if (const auto f = doc.get("step_s")) p.step = f->positive_seconds();
+  return p;
+}
+
+SynthOp read_op_fields(const Field& doc);
+
+// Reads one op and runs the library's own range validation, so every
+// bound (including the overflow guards on seconds fields and the scale
+// factor) fails at parse time with the op's spec path, not at generation
+// time inside a shard process.
+SynthOp read_op(const Field& doc) {
+  const SynthOp op = read_op_fields(doc);
+  try {
+    validate_synth_op(op);
+  } catch (const std::invalid_argument& e) {
+    doc.fail(e.what());
+  }
+  return op;
+}
+
+SynthOp read_op_fields(const Field& doc) {
+  const std::string name = doc.at("op").as_string();
+  if (name == "outage") {
+    doc.allow_keys({"op", "mean_on_s", "mean_off_s"});
+    SynthOp op = SynthOp::outage(10.0, 0.5);
+    if (const auto f = doc.get("mean_on_s")) op.mean_on_s = f->positive();
+    if (const auto f = doc.get("mean_off_s")) op.mean_off_s = f->positive();
+    return op;
+  }
+  if (name == "sawtooth") {
+    doc.allow_keys({"op", "period_s", "depth", "ramp_s"});
+    SynthOp op = SynthOp::sawtooth(15.0, 0.8, 3.0);
+    if (const auto f = doc.get("period_s")) op.period_s = f->positive();
+    if (const auto f = doc.get("depth")) op.depth = f->in_range(0.0, 1.0);
+    if (const auto f = doc.get("ramp_s")) op.ramp_s = f->positive();
+    if (op.ramp_s > op.period_s) {
+      (doc.has("ramp_s") ? doc.at("ramp_s") : doc.at("op"))
+          .fail("ramp_s must be <= period_s");
+    }
+    return op;
+  }
+  if (name == "scale") {
+    doc.allow_keys({"op", "factor"});
+    SynthOp op = SynthOp::scale(1.0);
+    if (const auto f = doc.get("factor")) op.factor = f->positive();
+    return op;
+  }
+  if (name == "jitter") {
+    doc.allow_keys({"op", "jitter_s"});
+    SynthOp op = SynthOp::jitter(0.005);
+    if (const auto f = doc.get("jitter_s")) op.jitter_s = f->non_negative();
+    return op;
+  }
+  if (name == "splice") {
+    doc.allow_keys({"op", "segments"});
+    const Field segments = doc.at("segments");
+    std::vector<SpliceSegment> list;
+    for (const Field& s : segments.items()) {
+      s.allow_keys({"from_s", "to_s"});
+      SpliceSegment seg;
+      seg.from_s = s.at("from_s").non_negative();
+      seg.to_s = s.at("to_s").positive();
+      if (seg.to_s <= seg.from_s) s.at("to_s").fail("must be > from_s");
+      list.push_back(seg);
+    }
+    if (list.empty()) segments.fail("needs at least one segment");
+    return SynthOp::splice(std::move(list));
+  }
+  doc.at("op").fail("unknown synth op \"" + name +
+                    "\" (expected \"outage\", \"sawtooth\", \"scale\", "
+                    "\"jitter\" or \"splice\")");
+}
+
+SynthSpec::Base base_from_name(const Field& f) {
+  const std::string& name = f.as_string();
+  for (const SynthSpec::Base base :
+       {SynthSpec::Base::kBrownian, SynthSpec::Base::kMarkov,
+        SynthSpec::Base::kCox, SynthSpec::Base::kPreset,
+        SynthSpec::Base::kTraceFile}) {
+    if (name == to_string(base)) return base;
+  }
+  f.fail("unknown synth base \"" + name +
+         "\" (expected \"brownian\", \"markov\", \"cox\", \"preset\" or "
+         "\"trace-file\")");
+}
+
+// The model/base keys a synth object may carry, given its base tag: a
+// stray "markov" object next to "base": "brownian" would be silently dead
+// weight, so it is rejected like any other typo.
+void check_base_keys(const Field& doc, SynthSpec::Base base) {
+  switch (base) {
+    case SynthSpec::Base::kBrownian:
+      doc.allow_keys({"base", "brownian", "ops", "seed"});
+      return;
+    case SynthSpec::Base::kMarkov:
+      doc.allow_keys({"base", "markov", "ops", "seed"});
+      return;
+    case SynthSpec::Base::kCox:
+      doc.allow_keys({"base", "cox", "ops", "seed"});
+      return;
+    case SynthSpec::Base::kPreset:
+      doc.allow_keys({"base", "network", "direction", "ops", "seed"});
+      return;
+    case SynthSpec::Base::kTraceFile:
+      doc.allow_keys({"base", "path", "ops", "seed"});
+      return;
+  }
+}
+
+}  // namespace
+
+SynthSpec synth_from_field(const Field& doc) {
+  SynthSpec spec;
+  if (const auto f = doc.get("base")) spec.base = base_from_name(*f);
+  check_base_keys(doc, spec.base);
+  switch (spec.base) {
+    case SynthSpec::Base::kBrownian:
+      if (const auto f = doc.get("brownian")) spec.brownian = read_brownian(*f);
+      break;
+    case SynthSpec::Base::kMarkov:
+      if (const auto f = doc.get("markov")) spec.markov = read_markov(*f);
+      break;
+    case SynthSpec::Base::kCox:
+      if (const auto f = doc.get("cox")) spec.cox = cell_process_from_field(*f);
+      break;
+    case SynthSpec::Base::kPreset: {
+      if (const auto f = doc.get("network")) spec.network = f->as_string();
+      if (const auto f = doc.get("direction")) {
+        spec.direction = direction_from_field(*f);
+      }
+      // Resolve now so a typo'd network fails at lint time with the spec
+      // path, not at run time deep inside a shard process.
+      try {
+        (void)find_link_preset(spec.network, spec.direction);
+      } catch (const std::exception&) {
+        (doc.has("network") ? doc.at("network") : doc.at("base"))
+            .fail("unknown network \"" + spec.network + "\"");
+      }
+      break;
+    }
+    case SynthSpec::Base::kTraceFile:
+      spec.path = doc.at("path").as_string();
+      if (spec.path.empty()) doc.at("path").fail("must not be empty");
+      break;
+  }
+  if (const auto ops = doc.get("ops")) {
+    for (const Field& o : ops->items()) spec.ops.push_back(read_op(o));
+  }
+  if (const auto f = doc.get("seed")) spec.seed = f->as_u64();
+  return spec;
+}
+
+SynthSpec parse_synth_json(std::string_view text) {
+  const JsonValue doc = parse_spec_document(text, "synth");
+  return synth_from_field(Field(doc, ""));
+}
+
+namespace {
+
+void write_brownian(std::ostream& os, const BrownianModelParams& p,
+                    int indent) {
+  const BrownianModelParams d;
+  ObjectWriter w(os, indent);
+  if (p.init_rate_pps != d.init_rate_pps) w.number("init_rate_pps", p.init_rate_pps);
+  if (p.sigma_pps_per_sqrt_s != d.sigma_pps_per_sqrt_s) {
+    w.number("sigma_pps_per_sqrt_s", p.sigma_pps_per_sqrt_s);
+  }
+  if (p.max_rate_pps != d.max_rate_pps) w.number("max_rate_pps", p.max_rate_pps);
+  if (p.outage_escape_rate_per_s != d.outage_escape_rate_per_s) {
+    w.number("outage_escape_rate_per_s", p.outage_escape_rate_per_s);
+  }
+  if (p.resume_rate_pps != d.resume_rate_pps) {
+    w.number("resume_rate_pps", p.resume_rate_pps);
+  }
+  if (p.step != d.step) w.seconds("step_s", p.step);
+  w.close();
+}
+
+void write_markov(std::ostream& os, const MarkovModelParams& p, int indent) {
+  const MarkovModelParams d;
+  ObjectWriter w(os, indent);
+  std::ostream& ss = w.key("states");
+  ss << "[";
+  for (std::size_t i = 0; i < p.states.size(); ++i) {
+    if (i > 0) ss << ", ";
+    ObjectWriter sw(ss, indent + 2);
+    sw.number("rate_pps", p.states[i].rate_pps);
+    sw.number("mean_dwell_s", p.states[i].mean_dwell_s);
+    sw.close();
+  }
+  ss << "]";
+  if (p.step != d.step) w.seconds("step_s", p.step);
+  w.close();
+}
+
+void write_op(std::ostream& os, const SynthOp& op, int indent) {
+  ObjectWriter w(os, indent);
+  w.str("op", to_string(op.kind));
+  switch (op.kind) {
+    case SynthOp::Kind::kOutage:
+      w.number("mean_on_s", op.mean_on_s);
+      w.number("mean_off_s", op.mean_off_s);
+      break;
+    case SynthOp::Kind::kSawtooth:
+      w.number("period_s", op.period_s);
+      w.number("depth", op.depth);
+      w.number("ramp_s", op.ramp_s);
+      break;
+    case SynthOp::Kind::kScale:
+      w.number("factor", op.factor);
+      break;
+    case SynthOp::Kind::kJitter:
+      w.number("jitter_s", op.jitter_s);
+      break;
+    case SynthOp::Kind::kSplice: {
+      std::ostream& ss = w.key("segments");
+      ss << "[";
+      for (std::size_t i = 0; i < op.segments.size(); ++i) {
+        if (i > 0) ss << ", ";
+        ObjectWriter sw(ss, indent + 2);
+        sw.number("from_s", op.segments[i].from_s);
+        sw.number("to_s", op.segments[i].to_s);
+        sw.close();
+      }
+      ss << "]";
+      break;
+    }
+  }
+  w.close();
+}
+
+}  // namespace
+
+void write_synth_json(std::ostream& os, const SynthSpec& spec, int indent) {
+  constexpr std::uint64_t kExactLimit = 1ull << 53;
+  ObjectWriter w(os, indent);
+  w.str("base", to_string(spec.base));
+  switch (spec.base) {
+    case SynthSpec::Base::kBrownian:
+      write_brownian(w.key("brownian"), spec.brownian, indent + 2);
+      break;
+    case SynthSpec::Base::kMarkov:
+      write_markov(w.key("markov"), spec.markov, indent + 2);
+      break;
+    case SynthSpec::Base::kCox:
+      write_cell_process_json(w.key("cox"), spec.cox, indent + 2);
+      break;
+    case SynthSpec::Base::kPreset:
+      w.str("network", spec.network);
+      w.str("direction", to_string(spec.direction));
+      break;
+    case SynthSpec::Base::kTraceFile:
+      w.str("path", spec.path);
+      break;
+  }
+  if (!spec.ops.empty()) {
+    std::ostream& ops = w.key("ops");
+    ops << "[";
+    for (std::size_t i = 0; i < spec.ops.size(); ++i) {
+      if (i > 0) ops << ", ";
+      write_op(ops, spec.ops[i], indent + 2);
+    }
+    ops << "]";
+  }
+  // Seeds follow the scenario writer's spelling rule: exact as a number,
+  // a decimal string past 2^53.
+  if (spec.seed < kExactLimit) {
+    w.integer("seed", static_cast<std::int64_t>(spec.seed));
+  } else {
+    w.str("seed", std::to_string(spec.seed));
+  }
+  w.close();
+}
+
+std::string synth_to_json(const SynthSpec& spec) {
+  std::ostringstream os;
+  write_synth_json(os, spec);
+  return os.str();
+}
+
+}  // namespace sprout::spec

@@ -1,0 +1,63 @@
+// SynthSpec <-> JSON for the declarative spec subsystem.
+//
+// One synth object describes one direction of a channel-synthesis link
+// (synth/synth.h): a base model tag, the live model's parameter object,
+// an optional op chain, and a seed.  The shape, with every member
+// optional except what the chosen base requires:
+//
+//   {
+//     "base": "brownian",            // "markov" | "cox" | "preset" |
+//                                    // "trace-file"; default "brownian"
+//     "brownian": {"init_rate_pps": 300, "sigma_pps_per_sqrt_s": 150, ...},
+//     "markov":   {"states": [{"rate_pps": 50, "mean_dwell_s": 4}, ...],
+//                  "step_s": 0.02},
+//     "cox":      {"mean_rate_pps": 400, ...},
+//     "network": "Verizon LTE", "direction": "downlink",  // preset base
+//     "path": "captures/verizon_down.tr",                 // trace-file base
+//     "ops": [{"op": "outage", "mean_on_s": 8, "mean_off_s": 1},
+//             {"op": "sawtooth", "period_s": 4, "depth": 0.6, "ramp_s": 1},
+//             {"op": "scale", "factor": 0.5},
+//             {"op": "jitter", "jitter_s": 0.005},
+//             {"op": "splice", "segments": [{"from_s": 0, "to_s": 5}]}],
+//     "seed": 7
+//   }
+//
+// Reader and writer follow the scenario_io discipline: strict path-aware
+// reads (unknown members, wrong kinds and out-of-range values throw
+// SpecError naming the field), deterministic writes (defaults omitted,
+// 17-digit doubles), and the roundtrip invariant that write -> parse
+// preserves synth_key for every spec.
+//
+// This header also exposes the shared readers/writers for the vocabulary
+// scenario_io and synth_io have in common (LinkDirection, the Cox
+// CellProcessParams object), so the two cannot drift apart.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "spec/schema.h"
+#include "synth/synth.h"
+
+namespace sprout::spec {
+
+// Reads one synth object rooted at `doc`.
+[[nodiscard]] SynthSpec synth_from_field(const Field& doc);
+
+// Convenience: parse + read a whole document as one synth spec (the
+// trace_synth CLI's --synth input).
+[[nodiscard]] SynthSpec parse_synth_json(std::string_view text);
+
+// Writes one synth object, indented by `indent` spaces.
+void write_synth_json(std::ostream& os, const SynthSpec& spec,
+                      int indent = 0);
+[[nodiscard]] std::string synth_to_json(const SynthSpec& spec);
+
+// Shared vocabulary with scenario_io.
+[[nodiscard]] LinkDirection direction_from_field(const Field& f);
+[[nodiscard]] CellProcessParams cell_process_from_field(const Field& doc);
+void write_cell_process_json(std::ostream& os, const CellProcessParams& p,
+                             int indent);
+
+}  // namespace sprout::spec

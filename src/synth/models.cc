@@ -1,0 +1,125 @@
+#include "synth/models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sprout {
+
+BrownianRateProcess::BrownianRateProcess(const BrownianModelParams& params,
+                                         std::uint64_t seed)
+    : params_(params), rng_(seed), rate_(params.init_rate_pps) {
+  if (params_.init_rate_pps <= 0.0) {
+    throw std::invalid_argument("brownian model: init_rate_pps must be > 0");
+  }
+  if (params_.max_rate_pps < params_.init_rate_pps) {
+    throw std::invalid_argument(
+        "brownian model: max_rate_pps must be >= init_rate_pps");
+  }
+  if (params_.sigma_pps_per_sqrt_s < 0.0) {
+    throw std::invalid_argument(
+        "brownian model: sigma_pps_per_sqrt_s must be >= 0");
+  }
+  if (params_.outage_escape_rate_per_s <= 0.0) {
+    throw std::invalid_argument(
+        "brownian model: outage_escape_rate_per_s must be > 0");
+  }
+  if (params_.resume_rate_pps <= 0.0) {
+    throw std::invalid_argument("brownian model: resume_rate_pps must be > 0");
+  }
+  if (params_.step <= Duration::zero()) {
+    throw std::invalid_argument("brownian model: step must be > 0");
+  }
+}
+
+double BrownianRateProcess::advance() {
+  const double dt = to_seconds(params_.step);
+  if (in_outage_) {
+    outage_left_s_ -= dt;
+    if (outage_left_s_ <= 0.0) {
+      in_outage_ = false;
+      rate_ = params_.resume_rate_pps;
+    }
+    return current_pps();
+  }
+  // Free Brownian step — no drift, no mean reversion (the paper's model).
+  rate_ += params_.sigma_pps_per_sqrt_s * std::sqrt(dt) * rng_.normal(0.0, 1.0);
+  if (rate_ > params_.max_rate_pps) {
+    rate_ = 2.0 * params_.max_rate_pps - rate_;  // reflect at the ceiling
+  }
+  if (rate_ <= 0.0) {
+    // The walk hit zero: the link is in a sticky outage it escapes at the
+    // exponential rate λz — the distribution Sprout's filter assumes.
+    in_outage_ = true;
+    outage_left_s_ = rng_.exponential(params_.outage_escape_rate_per_s);
+    rate_ = 0.0;
+    return 0.0;
+  }
+  rate_ = std::clamp(rate_, 0.0, params_.max_rate_pps);
+  return current_pps();
+}
+
+MarkovRateProcess::MarkovRateProcess(const MarkovModelParams& params,
+                                     std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  if (params_.states.empty()) {
+    throw std::invalid_argument("markov model: needs at least one state");
+  }
+  for (const MarkovState& s : params_.states) {
+    if (s.rate_pps < 0.0) {
+      throw std::invalid_argument("markov model: state rate_pps must be >= 0");
+    }
+    if (s.mean_dwell_s <= 0.0) {
+      throw std::invalid_argument(
+          "markov model: state mean_dwell_s must be > 0");
+    }
+  }
+  if (params_.step <= Duration::zero()) {
+    throw std::invalid_argument("markov model: step must be > 0");
+  }
+  dwell_left_s_ = rng_.exponential(1.0 / params_.states[0].mean_dwell_s);
+}
+
+double MarkovRateProcess::advance() {
+  const double dt = to_seconds(params_.step);
+  dwell_left_s_ -= dt;
+  while (dwell_left_s_ <= 0.0) {
+    const std::size_t n = params_.states.size();
+    if (n > 1) {
+      // Jump uniformly to one of the OTHER states.
+      std::size_t next = static_cast<std::size_t>(
+          rng_.uniform_int(0, static_cast<std::int64_t>(n) - 2));
+      if (next >= state_) ++next;
+      state_ = next;
+    }
+    dwell_left_s_ += rng_.exponential(1.0 / params_.states[state_].mean_dwell_s);
+  }
+  return current_pps();
+}
+
+Trace poisson_trace_from_rate(const std::function<double()>& advance_pps,
+                              Duration step, Duration duration,
+                              std::uint64_t placement_seed) {
+  Rng rng(placement_seed);
+  std::vector<TimePoint> opportunities;
+  const double dt = to_seconds(step);
+  std::vector<double> offsets;
+  for (TimePoint t{}; t < TimePoint{} + duration; t += step) {
+    const double rate = advance_pps();
+    const std::int64_t count = rng.poisson(rate * dt);
+    if (count == 0) continue;
+    offsets.clear();
+    for (std::int64_t i = 0; i < count; ++i) {
+      offsets.push_back(rng.uniform(0.0, dt));
+    }
+    std::sort(offsets.begin(), offsets.end());
+    for (const double off : offsets) {
+      const TimePoint at = t + from_seconds(off);
+      // A draw in the final, clipped step could land past the duration.
+      if (at.time_since_epoch() < duration) opportunities.push_back(at);
+    }
+  }
+  return Trace{std::move(opportunities), duration};
+}
+
+}  // namespace sprout

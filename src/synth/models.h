@@ -1,0 +1,127 @@
+// Parametric hidden-rate models for synthetic cellular channels.
+//
+// The trace layer's Cox generator (trace/synthetic.h) deliberately
+// MISMATCHES Sprout's inference model (mean reversion, Pareto outages).
+// This header adds the two families the generator subsystem needs on top:
+//
+//  * BrownianRateProcess — the paper's own §4 model, exactly as Sprout
+//    assumes it: λ(t) wanders in free Brownian motion (no mean reversion),
+//    reflects at a rate ceiling, and sticks at zero in outages it escapes
+//    at an exponential rate λz.  Testing Sprout against this process is
+//    the matched-model experiment; against the Cox process, the
+//    mismatched one.
+//
+//  * MarkovRateProcess — a Markov-modulated (MMPP) rate: a small set of
+//    states, each with its own delivery rate and exponential mean dwell
+//    time, jumping uniformly among the other states.  This is the
+//    regime-switching channel of the SproutMMPP forecaster variant and of
+//    stochastic-geometry cellular models (Danufane & Di Renzo), where the
+//    SHAPE of the rate process — not its mean — drives delay.
+//
+// Both processes advance in fixed steps and are deterministic functions of
+// (params, seed); poisson_trace_from_rate turns any of them into a
+// delivery-opportunity Trace by the same conditional-Poisson placement the
+// Cox generator uses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace sprout {
+
+// The paper's §4 channel: Brownian rate, reflective ceiling, sticky outage
+// with exponential escape — Sprout's modeling assumptions made literal.
+struct BrownianModelParams {
+  // Rate the hidden process starts from, MTU-sized packets per second.
+  double init_rate_pps = 400.0;
+  // Brownian noise power, packets/s per sqrt(s) (the paper's σ = 200).
+  double sigma_pps_per_sqrt_s = 200.0;
+  // Hard ceiling (reflection) on the hidden rate.
+  double max_rate_pps = 1000.0;
+  // Escape rate λz out of the zero-rate outage state, per second: outage
+  // durations are exponential with mean 1/λz, exactly as Sprout assumes.
+  double outage_escape_rate_per_s = 1.0;
+  // Rate the link resumes at when an outage ends.  Too small a value
+  // traps the walk at the zero boundary (a free Brownian walk at r
+  // re-hits 0 on the (r/σ)² timescale), turning every outage into a
+  // flicker storm; the default resumes far enough out that outages stay
+  // sticky-but-escapable, as in the paper's captures.
+  double resume_rate_pps = 150.0;
+  // Simulation step for the hidden-rate process.
+  Duration step = msec(20);
+};
+
+class BrownianRateProcess {
+ public:
+  // Throws std::invalid_argument for non-positive rates/step or a ceiling
+  // below the initial rate.
+  BrownianRateProcess(const BrownianModelParams& params, std::uint64_t seed);
+
+  // Advances one `params.step` and returns the rate holding in that step.
+  double advance();
+
+  [[nodiscard]] double current_pps() const { return in_outage_ ? 0.0 : rate_; }
+  [[nodiscard]] bool in_outage() const { return in_outage_; }
+  [[nodiscard]] const BrownianModelParams& params() const { return params_; }
+
+ private:
+  BrownianModelParams params_;
+  Rng rng_;
+  double rate_;
+  bool in_outage_ = false;
+  double outage_left_s_ = 0.0;
+};
+
+// One regime of a Markov-modulated channel.
+struct MarkovState {
+  double rate_pps = 0.0;     // delivery rate while in this state
+  double mean_dwell_s = 1.0; // exponential mean time spent per visit
+};
+
+struct MarkovModelParams {
+  // Default: a weak/typical/burst three-regime cell.
+  std::vector<MarkovState> states = {
+      {50.0, 4.0}, {300.0, 8.0}, {800.0, 2.0}};
+  // Granularity at which state changes take effect (and at which the
+  // emitted Poisson counts are drawn).
+  Duration step = msec(20);
+};
+
+class MarkovRateProcess {
+ public:
+  // Throws std::invalid_argument for an empty state list, a negative rate,
+  // a non-positive dwell time, or a non-positive step.
+  MarkovRateProcess(const MarkovModelParams& params, std::uint64_t seed);
+
+  // Advances one `params.step` and returns the rate holding in that step.
+  double advance();
+
+  [[nodiscard]] double current_pps() const {
+    return params_.states[state_].rate_pps;
+  }
+  [[nodiscard]] std::size_t state() const { return state_; }
+  [[nodiscard]] const MarkovModelParams& params() const { return params_; }
+
+ private:
+  MarkovModelParams params_;
+  Rng rng_;
+  std::size_t state_ = 0;
+  double dwell_left_s_ = 0.0;
+};
+
+// Samples a delivery-opportunity trace from any stepwise rate process:
+// per step, a Poisson count of opportunities placed uniformly within the
+// step (the exact conditional law of a Poisson process given its count —
+// the same placement trace/synthetic.cc uses).  `advance_pps` is called
+// once per step and must return the rate holding in that step.  The
+// returned trace may be empty; callers guarantee non-emptiness themselves.
+[[nodiscard]] Trace poisson_trace_from_rate(
+    const std::function<double()>& advance_pps, Duration step,
+    Duration duration, std::uint64_t placement_seed);
+
+}  // namespace sprout

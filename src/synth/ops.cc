@@ -1,0 +1,247 @@
+#include "synth/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace sprout {
+
+SynthOp SynthOp::outage(double mean_on_s, double mean_off_s) {
+  SynthOp op;
+  op.kind = Kind::kOutage;
+  op.mean_on_s = mean_on_s;
+  op.mean_off_s = mean_off_s;
+  return op;
+}
+
+SynthOp SynthOp::sawtooth(double period_s, double depth, double ramp_s) {
+  SynthOp op;
+  op.kind = Kind::kSawtooth;
+  op.period_s = period_s;
+  op.depth = depth;
+  op.ramp_s = ramp_s;
+  return op;
+}
+
+SynthOp SynthOp::scale(double factor) {
+  SynthOp op;
+  op.kind = Kind::kScale;
+  op.factor = factor;
+  return op;
+}
+
+SynthOp SynthOp::jitter(double jitter_s) {
+  SynthOp op;
+  op.kind = Kind::kJitter;
+  op.jitter_s = jitter_s;
+  return op;
+}
+
+SynthOp SynthOp::splice(std::vector<SpliceSegment> segments) {
+  SynthOp op;
+  op.kind = Kind::kSplice;
+  op.segments = std::move(segments);
+  return op;
+}
+
+std::string to_string(SynthOp::Kind kind) {
+  switch (kind) {
+    case SynthOp::Kind::kOutage: return "outage";
+    case SynthOp::Kind::kSawtooth: return "sawtooth";
+    case SynthOp::Kind::kScale: return "scale";
+    case SynthOp::Kind::kJitter: return "jitter";
+    case SynthOp::Kind::kSplice: return "splice";
+  }
+  return "?";
+}
+
+namespace {
+
+// Seconds fields must stay convertible to the simulator's integer
+// microseconds: an absurd value (1e18 s) would overflow from_seconds and
+// wrap a cursor negative — a hang, not an error — so bound them here.
+void check_seconds(const char* what, double v) {
+  if (!(v <= kMaxSynthOpSeconds)) {  // catches NaN too
+    throw std::invalid_argument(std::string(what) + " must be <= " +
+                                std::to_string(kMaxSynthOpSeconds) +
+                                " seconds");
+  }
+}
+
+}  // namespace
+
+void validate_synth_op(const SynthOp& op) {
+  switch (op.kind) {
+    case SynthOp::Kind::kOutage:
+      if (op.mean_on_s <= 0.0 || op.mean_off_s <= 0.0) {
+        throw std::invalid_argument(
+            "outage op: mean_on_s and mean_off_s must be > 0");
+      }
+      check_seconds("outage op: mean_on_s", op.mean_on_s);
+      check_seconds("outage op: mean_off_s", op.mean_off_s);
+      return;
+    case SynthOp::Kind::kSawtooth:
+      if (op.period_s <= 0.0) {
+        throw std::invalid_argument("sawtooth op: period_s must be > 0");
+      }
+      if (op.depth < 0.0 || op.depth > 1.0) {
+        throw std::invalid_argument("sawtooth op: depth must be in [0, 1]");
+      }
+      if (op.ramp_s <= 0.0 || op.ramp_s > op.period_s) {
+        throw std::invalid_argument(
+            "sawtooth op: ramp_s must be in (0, period_s]");
+      }
+      check_seconds("sawtooth op: period_s", op.period_s);
+      return;
+    case SynthOp::Kind::kScale:
+      if (op.factor <= 0.0 || !std::isfinite(op.factor)) {
+        throw std::invalid_argument("scale op: factor must be finite and > 0");
+      }
+      if (op.factor > kMaxSynthScaleFactor) {
+        throw std::invalid_argument("scale op: factor must be <= " +
+                                    std::to_string(kMaxSynthScaleFactor));
+      }
+      return;
+    case SynthOp::Kind::kJitter:
+      if (op.jitter_s < 0.0) {
+        throw std::invalid_argument("jitter op: jitter_s must be >= 0");
+      }
+      check_seconds("jitter op: jitter_s", op.jitter_s);
+      return;
+    case SynthOp::Kind::kSplice:
+      if (op.segments.empty()) {
+        throw std::invalid_argument("splice op: needs at least one segment");
+      }
+      for (const SpliceSegment& s : op.segments) {
+        if (s.from_s < 0.0 || s.to_s <= s.from_s) {
+          throw std::invalid_argument(
+              "splice op: each segment needs 0 <= from_s < to_s");
+        }
+        check_seconds("splice op: to_s", s.to_s);
+      }
+      return;
+  }
+  throw std::invalid_argument("unknown synth op kind");
+}
+
+namespace {
+
+Trace apply_outage(const SynthOp& op, const Trace& base, std::uint64_t seed) {
+  Rng rng(seed);
+  // Walk the on/off alternation across the whole duration, collecting the
+  // off windows; the link starts "on".
+  std::vector<std::pair<TimePoint, TimePoint>> off;
+  const TimePoint end = TimePoint{} + base.duration();
+  TimePoint cursor{};
+  while (cursor < end) {
+    cursor += from_seconds(rng.exponential(1.0 / op.mean_on_s));
+    if (cursor >= end) break;
+    const TimePoint resume =
+        cursor + from_seconds(rng.exponential(1.0 / op.mean_off_s));
+    off.emplace_back(cursor, std::min(resume, end));
+    cursor = resume;
+  }
+  std::vector<TimePoint> kept;
+  kept.reserve(base.size());
+  std::size_t w = 0;
+  for (const TimePoint t : base.opportunities()) {
+    while (w < off.size() && off[w].second <= t) ++w;
+    const bool dark = w < off.size() && off[w].first <= t && t < off[w].second;
+    if (!dark) kept.push_back(t);
+  }
+  return Trace{std::move(kept), base.duration()};
+}
+
+Trace apply_sawtooth(const SynthOp& op, const Trace& base,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<TimePoint> kept;
+  kept.reserve(base.size());
+  for (const TimePoint t : base.opportunities()) {
+    const double phase = std::fmod(to_seconds(t.time_since_epoch()),
+                                   op.period_s);
+    // Dip to (1 - depth) at each period boundary, linear recovery.
+    const double envelope =
+        phase < op.ramp_s
+            ? (1.0 - op.depth) + op.depth * phase / op.ramp_s
+            : 1.0;
+    if (rng.uniform() < envelope) kept.push_back(t);
+  }
+  return Trace{std::move(kept), base.duration()};
+}
+
+Trace apply_scale(const SynthOp& op, const Trace& base, std::uint64_t seed) {
+  Rng rng(seed);
+  const double whole = std::floor(op.factor);
+  const double frac = op.factor - whole;
+  const auto copies = static_cast<std::int64_t>(whole);
+  std::vector<TimePoint> out;
+  out.reserve(static_cast<std::size_t>(
+      static_cast<double>(base.size()) * op.factor) + 1);
+  for (const TimePoint t : base.opportunities()) {
+    std::int64_t n = copies;
+    if (frac > 0.0 && rng.bernoulli(frac)) ++n;
+    for (std::int64_t i = 0; i < n; ++i) out.push_back(t);
+  }
+  return Trace{std::move(out), base.duration()};
+}
+
+Trace apply_jitter(const SynthOp& op, const Trace& base, std::uint64_t seed) {
+  Rng rng(seed);
+  const Duration max_at = base.duration() - usec(1);
+  std::vector<TimePoint> out;
+  out.reserve(base.size());
+  for (const TimePoint t : base.opportunities()) {
+    const double shift = rng.uniform(-op.jitter_s, op.jitter_s);
+    TimePoint moved = t + from_seconds(shift);
+    moved = std::max(moved, TimePoint{});
+    moved = std::min(moved, TimePoint{} + max_at);
+    out.push_back(moved);
+  }
+  std::sort(out.begin(), out.end());
+  return Trace{std::move(out), base.duration()};
+}
+
+Trace apply_splice(const SynthOp& op, const Trace& base) {
+  // Rebuild the timeline by tiling the listed windows of the base, in
+  // order, until the base duration is filled.  Purely deterministic.
+  const auto& opportunities = base.opportunities();
+  const Duration duration = base.duration();
+  std::vector<TimePoint> out;
+  out.reserve(base.size());
+  Duration cursor = Duration::zero();
+  for (std::size_t i = 0; cursor < duration; i = (i + 1) % op.segments.size()) {
+    const SpliceSegment& seg = op.segments[i];
+    const TimePoint from = TimePoint{} + from_seconds(seg.from_s);
+    const TimePoint to = TimePoint{} + from_seconds(seg.to_s);
+    const auto lo = std::lower_bound(opportunities.begin(),
+                                     opportunities.end(), from);
+    const auto hi = std::lower_bound(opportunities.begin(),
+                                     opportunities.end(), to);
+    for (auto it = lo; it != hi; ++it) {
+      const Duration at = cursor + (*it - from);
+      if (at < duration) out.push_back(TimePoint{} + at);
+    }
+    cursor += to - from;
+  }
+  return Trace{std::move(out), duration};
+}
+
+}  // namespace
+
+Trace apply_synth_op(const SynthOp& op, const Trace& base,
+                     std::uint64_t seed) {
+  validate_synth_op(op);
+  switch (op.kind) {
+    case SynthOp::Kind::kOutage: return apply_outage(op, base, seed);
+    case SynthOp::Kind::kSawtooth: return apply_sawtooth(op, base, seed);
+    case SynthOp::Kind::kScale: return apply_scale(op, base, seed);
+    case SynthOp::Kind::kJitter: return apply_jitter(op, base, seed);
+    case SynthOp::Kind::kSplice: return apply_splice(op, base);
+  }
+  return base;
+}
+
+}  // namespace sprout

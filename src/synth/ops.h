@@ -1,0 +1,94 @@
+// Composable transforms over delivery-opportunity traces.
+//
+// A SynthOp rewrites one Trace into another of the SAME duration, so any
+// chain of ops stays a drop-in channel for the emulator.  Two families:
+//
+//  * Overlays — stochastic structure layered on top of any base channel
+//    (a generated model, a preset, a saved capture):
+//      - outage:   alternating on/off windows with exponential lengths;
+//                  every opportunity inside an off window is dropped.
+//      - sawtooth: periodic handover dips — at each period boundary the
+//                  deliverable fraction drops to (1 - depth) and ramps
+//                  linearly back to 1 over ramp_s (thinning).
+//
+//  * Augmentations — dataset-style ops over saved traces:
+//      - scale:    rate scaling by superposition/thinning — each
+//                  opportunity contributes floor(f) copies plus a
+//                  Bernoulli(frac(f)) extra, so E[rate] scales exactly.
+//      - jitter:   each opportunity moves by uniform(±jitter_s), clamped
+//                  to the trace window and re-sorted.
+//      - splice:   rebuilds the timeline from [from_s, to_s) windows of
+//                  the base, tiled in order until the duration is filled.
+//
+// Ops are deterministic functions of (op, base trace, seed); the generator
+// (synth/synth.h) derives one fixed sub-seed per position in the chain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace sprout {
+
+struct SpliceSegment {
+  double from_s = 0.0;
+  double to_s = 0.0;
+};
+
+struct SynthOp {
+  enum class Kind { kOutage, kSawtooth, kScale, kJitter, kSplice };
+
+  Kind kind = Kind::kScale;
+
+  // kOutage: exponential on/off alternation (means in seconds).
+  double mean_on_s = 10.0;
+  double mean_off_s = 0.5;
+
+  // kSawtooth: handover period, dip depth in [0, 1], linear recovery time.
+  double period_s = 15.0;
+  double depth = 0.8;
+  double ramp_s = 3.0;
+
+  // kScale: rate multiplier (> 0; 1.0 is the identity).
+  double factor = 1.0;
+
+  // kJitter: uniform per-opportunity displacement bound (>= 0 seconds).
+  double jitter_s = 0.005;
+
+  // kSplice: windows of the base trace, tiled in list order.
+  std::vector<SpliceSegment> segments;
+
+  // Value-returning builders, safe to chain on temporaries.
+  [[nodiscard]] static SynthOp outage(double mean_on_s, double mean_off_s);
+  [[nodiscard]] static SynthOp sawtooth(double period_s, double depth,
+                                        double ramp_s);
+  [[nodiscard]] static SynthOp scale(double factor);
+  [[nodiscard]] static SynthOp jitter(double jitter_s);
+  [[nodiscard]] static SynthOp splice(std::vector<SpliceSegment> segments);
+};
+
+// "outage", "sawtooth", "scale", "jitter", "splice" — the spec JSON tags.
+[[nodiscard]] std::string to_string(SynthOp::Kind kind);
+
+// Upper bounds keeping every op parameter inside the simulator's integer
+// microsecond range: seconds fields (~116 days) can never overflow a
+// Duration, and a scale factor can never overflow an opportunity count.
+inline constexpr double kMaxSynthOpSeconds = 1e7;
+inline constexpr double kMaxSynthScaleFactor = 1e6;
+
+// Throws std::invalid_argument (message names the op) for out-of-range
+// parameters: non-positive on/off means, period, ramp, or factor; depth
+// outside [0, 1]; negative jitter; an empty or unordered segment list;
+// any seconds field beyond kMaxSynthOpSeconds or a factor beyond
+// kMaxSynthScaleFactor.
+void validate_synth_op(const SynthOp& op);
+
+// Applies one validated op.  The result keeps the base's duration; it may
+// be empty (e.g. an outage that swallowed everything) — the generator adds
+// the non-emptiness guard once, after the whole chain.
+[[nodiscard]] Trace apply_synth_op(const SynthOp& op, const Trace& base,
+                                   std::uint64_t seed);
+
+}  // namespace sprout

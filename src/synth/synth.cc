@@ -1,0 +1,256 @@
+#include "synth/synth.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace sprout {
+
+SynthSpec SynthSpec::brownian_model(BrownianModelParams params,
+                                    std::uint64_t seed) {
+  SynthSpec spec;
+  spec.base = Base::kBrownian;
+  spec.brownian = params;
+  spec.seed = seed;
+  return spec;
+}
+
+SynthSpec SynthSpec::markov_model(MarkovModelParams params,
+                                  std::uint64_t seed) {
+  SynthSpec spec;
+  spec.base = Base::kMarkov;
+  spec.markov = std::move(params);
+  spec.seed = seed;
+  return spec;
+}
+
+SynthSpec SynthSpec::cox_model(CellProcessParams params, std::uint64_t seed) {
+  SynthSpec spec;
+  spec.base = Base::kCox;
+  spec.cox = params;
+  spec.seed = seed;
+  return spec;
+}
+
+SynthSpec SynthSpec::preset_base(std::string network,
+                                 LinkDirection direction) {
+  SynthSpec spec;
+  spec.base = Base::kPreset;
+  spec.network = std::move(network);
+  spec.direction = direction;
+  return spec;
+}
+
+SynthSpec SynthSpec::trace_file(std::string path) {
+  SynthSpec spec;
+  spec.base = Base::kTraceFile;
+  spec.path = std::move(path);
+  return spec;
+}
+
+SynthSpec SynthSpec::with_op(SynthOp op) const {
+  SynthSpec spec = *this;
+  spec.ops.push_back(std::move(op));
+  return spec;
+}
+
+SynthSpec SynthSpec::with_seed(std::uint64_t new_seed) const {
+  SynthSpec spec = *this;
+  spec.seed = new_seed;
+  return spec;
+}
+
+std::string SynthSpec::label() const {
+  std::string out = to_string(base);
+  if (!ops.empty()) {
+    out += '+';
+    out += std::to_string(ops.size());
+    out += ops.size() == 1 ? "op" : "ops";
+  }
+  return out;
+}
+
+std::string to_string(SynthSpec::Base base) {
+  switch (base) {
+    case SynthSpec::Base::kBrownian: return "brownian";
+    case SynthSpec::Base::kMarkov: return "markov";
+    case SynthSpec::Base::kCox: return "cox";
+    case SynthSpec::Base::kPreset: return "preset";
+    case SynthSpec::Base::kTraceFile: return "trace-file";
+  }
+  return "?";
+}
+
+namespace {
+
+// Cheap constructor-only validation of the model families (the process
+// constructors own the real checks; building one runs them).
+void validate_base(const SynthSpec& spec) {
+  switch (spec.base) {
+    case SynthSpec::Base::kBrownian:
+      (void)BrownianRateProcess(spec.brownian, 1);
+      return;
+    case SynthSpec::Base::kMarkov:
+      (void)MarkovRateProcess(spec.markov, 1);
+      return;
+    case SynthSpec::Base::kCox:
+      if (spec.cox.mean_rate_pps <= 0.0 ||
+          spec.cox.max_rate_pps < spec.cox.mean_rate_pps ||
+          spec.cox.volatility_pps < 0.0 || spec.cox.outage_min_s <= 0.0 ||
+          spec.cox.outage_alpha <= 0.0 || spec.cox.step <= Duration::zero()) {
+        throw std::invalid_argument("cox model: invalid process parameters");
+      }
+      return;
+    case SynthSpec::Base::kPreset:
+      // Throws std::out_of_range for an unknown network, surfaced as
+      // invalid_argument so all spec failures share one type.
+      try {
+        (void)find_link_preset(spec.network, spec.direction);
+      } catch (const std::out_of_range&) {
+        throw std::invalid_argument("synth preset base: unknown network \"" +
+                                    spec.network + "\"");
+      }
+      return;
+    case SynthSpec::Base::kTraceFile:
+      if (spec.path.empty()) {
+        throw std::invalid_argument("synth trace-file base: empty path");
+      }
+      return;
+  }
+  throw std::invalid_argument("unknown synth base");
+}
+
+// splitmix64 finalizer: the op chain's sub-seed for position `index`.
+// Pure mixing (never the raw seed), so op draws are independent of the
+// base model's stream and of each other.
+std::uint64_t op_seed(std::uint64_t seed, std::size_t index) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (index + 2);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Trace base_trace(const SynthSpec& spec, Duration duration) {
+  switch (spec.base) {
+    case SynthSpec::Base::kBrownian: {
+      BrownianRateProcess process(spec.brownian, spec.seed);
+      // Placement draws ride a forked stream, mirroring generate_trace.
+      return poisson_trace_from_rate([&] { return process.advance(); },
+                                     spec.brownian.step, duration,
+                                     spec.seed ^ 0x9e3779b97f4a7c15ull);
+    }
+    case SynthSpec::Base::kMarkov: {
+      MarkovRateProcess process(spec.markov, spec.seed);
+      return poisson_trace_from_rate([&] { return process.advance(); },
+                                     spec.markov.step, duration,
+                                     spec.seed ^ 0x9e3779b97f4a7c15ull);
+    }
+    case SynthSpec::Base::kCox:
+      return generate_trace(spec.cox, duration, spec.seed);
+    case SynthSpec::Base::kPreset:
+      return preset_trace(find_link_preset(spec.network, spec.direction),
+                          duration);
+    case SynthSpec::Base::kTraceFile: {
+      // Saved captures keep their recorded length; re-base onto the
+      // requested duration so ops and the emulator see one window (the
+      // trace's own wraparound covers a shorter capture).
+      Trace loaded = read_trace_file(spec.path);
+      std::vector<TimePoint> opportunities;
+      const std::size_t n = loaded.size();
+      for (std::size_t i = 0; n > 0; ++i) {
+        const TimePoint at = loaded.opportunity(i);
+        if (at.time_since_epoch() >= duration) break;
+        opportunities.push_back(at);
+      }
+      return Trace{std::move(opportunities), duration};
+    }
+  }
+  throw std::invalid_argument("unknown synth base");
+}
+
+}  // namespace
+
+void validate_synth_spec(const SynthSpec& spec) {
+  validate_base(spec);
+  for (const SynthOp& op : spec.ops) validate_synth_op(op);
+}
+
+Trace generate_synth_trace(const SynthSpec& spec, Duration duration) {
+  if (duration <= Duration::zero()) {
+    throw std::invalid_argument("synth trace duration must be > 0");
+  }
+  validate_synth_spec(spec);
+  Trace trace = base_trace(spec, duration);
+  for (std::size_t i = 0; i < spec.ops.size(); ++i) {
+    trace = apply_synth_op(spec.ops[i], trace, op_seed(spec.seed, i));
+  }
+  if (trace.empty()) {
+    // Mirror generate_trace's guarantee: downstream consumers need no
+    // special case, and an all-outage channel is not a useful experiment.
+    return Trace{{TimePoint{} + duration / 2}, duration};
+  }
+  return trace;
+}
+
+std::string synth_key(const SynthSpec& spec, Duration duration) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "synthspec|" << to_string(spec.base);
+  switch (spec.base) {
+    case SynthSpec::Base::kBrownian:
+      os << '|' << spec.brownian.init_rate_pps << '|'
+         << spec.brownian.sigma_pps_per_sqrt_s << '|'
+         << spec.brownian.max_rate_pps << '|'
+         << spec.brownian.outage_escape_rate_per_s << '|'
+         << spec.brownian.resume_rate_pps << '|'
+         << spec.brownian.step.count();
+      break;
+    case SynthSpec::Base::kMarkov:
+      os << '|' << spec.markov.states.size();
+      for (const MarkovState& s : spec.markov.states) {
+        os << '|' << s.rate_pps << ',' << s.mean_dwell_s;
+      }
+      os << '|' << spec.markov.step.count();
+      break;
+    case SynthSpec::Base::kCox:
+      os << '|' << spec.cox.mean_rate_pps << '|' << spec.cox.volatility_pps
+         << '|' << spec.cox.reversion_per_s << '|' << spec.cox.max_rate_pps
+         << '|' << spec.cox.outage_hazard_per_s << '|' << spec.cox.outage_min_s
+         << '|' << spec.cox.outage_alpha << '|' << spec.cox.step.count();
+      break;
+    case SynthSpec::Base::kPreset:
+      os << '|' << spec.network << '|' << to_string(spec.direction);
+      break;
+    case SynthSpec::Base::kTraceFile:
+      os << '|' << spec.path;
+      break;
+  }
+  os << "|ops=" << spec.ops.size();
+  for (const SynthOp& op : spec.ops) {
+    os << '|' << to_string(op.kind) << ':';
+    switch (op.kind) {
+      case SynthOp::Kind::kOutage:
+        os << op.mean_on_s << ',' << op.mean_off_s;
+        break;
+      case SynthOp::Kind::kSawtooth:
+        os << op.period_s << ',' << op.depth << ',' << op.ramp_s;
+        break;
+      case SynthOp::Kind::kScale:
+        os << op.factor;
+        break;
+      case SynthOp::Kind::kJitter:
+        os << op.jitter_s;
+        break;
+      case SynthOp::Kind::kSplice:
+        for (std::size_t i = 0; i < op.segments.size(); ++i) {
+          os << (i == 0 ? "" : ";") << op.segments[i].from_s << ','
+             << op.segments[i].to_s;
+        }
+        break;
+    }
+  }
+  os << "|seed=" << spec.seed << "|dur=" << duration.count();
+  return os.str();
+}
+
+}  // namespace sprout

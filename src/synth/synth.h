@@ -1,0 +1,99 @@
+// Stochastic channel synthesis — parametric cellular traces on demand.
+//
+// The reproduction used to be able to exercise only the eight checked-in
+// preset links plus one Cox-process family; scenario diversity was capped
+// by what was committed.  A SynthSpec instead DESCRIBES a channel — a base
+// rate process (or a saved trace) plus a chain of composable ops — and the
+// generator materializes a delivery-opportunity Trace of any duration from
+// it, deterministically, from a single seed:
+//
+//     base ∈ { brownian   (the paper's §4 model, matched to Sprout),
+//              markov     (MMPP regime switching),
+//              cox        (OU + Pareto outages; the mismatched family),
+//              preset     (one of the eight traced networks),
+//              trace-file (a mahimahi capture on disk) }
+//     ops  =  [ outage | sawtooth | scale | jitter | splice, ... ]
+//
+// Everything is a pure function of (spec, duration): synth_key() spells
+// every field into a canonical string, the per-sweep trace cache
+// materializes each distinct key once, and scenario fingerprints hash the
+// same string — so caching, seed derivation and content addressing cannot
+// drift apart.  ScenarioSpec links declare one of these per direction
+// (LinkSpec::synth), and the spec subsystem serializes them to JSON, which
+// makes whole channel-model parameter spaces grid-sweepable from a spec
+// file with no recompile.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/models.h"
+#include "synth/ops.h"
+#include "trace/presets.h"
+#include "trace/synthetic.h"
+#include "trace/trace.h"
+
+namespace sprout {
+
+struct SynthSpec {
+  enum class Base { kBrownian, kMarkov, kCox, kPreset, kTraceFile };
+
+  Base base = Base::kBrownian;
+
+  // Exactly one of these is live, selected by `base`.
+  BrownianModelParams brownian;
+  MarkovModelParams markov;
+  CellProcessParams cox;
+  std::string network = "Verizon LTE";              // kPreset
+  LinkDirection direction = LinkDirection::kDownlink;
+  std::string path;                                 // kTraceFile
+
+  // Applied to the base trace in order; op i uses a sub-seed derived from
+  // (seed, i), so inserting an op never reshuffles the others' draws.
+  std::vector<SynthOp> ops;
+
+  // Root seed for the base model and the op chain.
+  std::uint64_t seed = 1;
+
+  // Value-returning builders, safe to chain on temporaries:
+  //   SynthSpec::markov_model({...}).with_op(SynthOp::scale(0.5))
+  [[nodiscard]] static SynthSpec brownian_model(BrownianModelParams params,
+                                                std::uint64_t seed = 1);
+  [[nodiscard]] static SynthSpec markov_model(MarkovModelParams params,
+                                              std::uint64_t seed = 1);
+  [[nodiscard]] static SynthSpec cox_model(CellProcessParams params,
+                                           std::uint64_t seed = 1);
+  [[nodiscard]] static SynthSpec preset_base(std::string network,
+                                             LinkDirection direction);
+  [[nodiscard]] static SynthSpec trace_file(std::string path);
+  [[nodiscard]] SynthSpec with_op(SynthOp op) const;
+  [[nodiscard]] SynthSpec with_seed(std::uint64_t seed) const;
+
+  // Short human-readable label ("brownian", "markov+2ops", ...).
+  [[nodiscard]] std::string label() const;
+};
+
+// "brownian", "markov", "cox", "preset", "trace-file" — the spec JSON tags.
+[[nodiscard]] std::string to_string(SynthSpec::Base base);
+
+// Throws std::invalid_argument for invalid model parameters, an unknown
+// preset network, an empty trace-file path, or an invalid op.
+void validate_synth_spec(const SynthSpec& spec);
+
+// Materializes the channel: generates (or loads) the base trace over
+// `duration`, applies the op chain, and guarantees a non-empty result.
+// Deterministic: equal (spec, duration) pairs yield byte-identical traces
+// in any process on any thread.  Throws on validation failure or an
+// unreadable trace file.
+[[nodiscard]] Trace generate_synth_trace(const SynthSpec& spec,
+                                         Duration duration);
+
+// Canonical cache/fingerprint key: enumerates every live field of the spec
+// (17-significant-digit doubles) plus the duration.  The per-sweep trace
+// cache stores one entry per distinct key, and scenario fingerprints hash
+// this same string — a field added to SynthSpec must appear here, which
+// keeps caching and seed derivation consistent by construction.
+[[nodiscard]] std::string synth_key(const SynthSpec& spec, Duration duration);
+
+}  // namespace sprout

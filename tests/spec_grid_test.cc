@@ -107,6 +107,134 @@ TEST(SpecGrid, OverlappingAxesAreRejected) {
   })"));
 }
 
+TEST(SpecGrid, RangeAxisExpandsInclusiveNumericSteps) {
+  const ExperimentSpec spec = parse(R"({
+    "spec_version": 1,
+    "base": {"run_time_s": 100, "warmup_s": 10},
+    "axes": [
+      {"name": "loss", "range": {"loss_rate": {"from": 0, "to": 0.1,
+                                               "step": 0.02}}}
+    ]
+  })");
+  ASSERT_EQ(spec.sweep.cells.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(spec.sweep.cells[i].loss_rate_fwd, 0.02 * i) << i;
+    EXPECT_DOUBLE_EQ(spec.sweep.cells[i].loss_rate_rev, 0.02 * i) << i;
+  }
+}
+
+TEST(SpecGrid, RangeAxisReachesNestedFieldsAndCombinesWithPatchAxes) {
+  const ExperimentSpec spec = parse(R"({
+    "spec_version": 1,
+    "base": {
+      "link": {"source": "synth"},
+      "run_time_s": 40, "warmup_s": 4
+    },
+    "axes": [
+      {"name": "scheme", "patches": [{"scheme": "Cubic"},
+                                     {"scheme": "Vegas"}]},
+      {"name": "sigma", "range": {"link": {"forward": {"brownian":
+          {"sigma_pps_per_sqrt_s": {"from": 100, "to": 300,
+                                    "step": 100}}}}}}
+    ]
+  })");
+  ASSERT_EQ(spec.sweep.cells.size(), 6u);
+  EXPECT_EQ(spec.sweep.cells[0].scheme, SchemeId::kCubic);
+  EXPECT_EQ(spec.sweep.cells[3].scheme, SchemeId::kVegas);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(
+        spec.sweep.cells[i].link.forward_synth.brownian.sigma_pps_per_sqrt_s,
+        100.0 * (i % 3) + 100.0)
+        << i;
+  }
+  // Two ranged cells differing only in sigma carry different fingerprints.
+  EXPECT_NE(scenario_fingerprint(spec.sweep.cells[0]),
+            scenario_fingerprint(spec.sweep.cells[1]));
+}
+
+TEST(SpecGrid, RangeAxisMistakesAreRejectedWithPaths) {
+  expect_spec_error(
+      [] {
+        (void)parse(R"({
+          "spec_version": 1, "base": {},
+          "axes": [{"name": "a",
+                    "patches": [{"seed": 1}],
+                    "range": {"loss_rate": {"from": 0, "to": 1,
+                                            "step": 0.5}}}]
+        })");
+      },
+      "axes[0]: needs exactly one of \"patches\" or \"range\"");
+  expect_spec_error(
+      [] {
+        (void)parse(R"({
+          "spec_version": 1, "base": {},
+          "axes": [{"name": "a", "range": {"loss_rate": {"from": 0.2,
+                                                         "to": 0.1,
+                                                         "step": 0.05}}}]
+        })");
+      },
+      "axes[0].range.loss_rate.to: must be >= from");
+  expect_spec_error(
+      [] {
+        (void)parse(R"({
+          "spec_version": 1, "base": {},
+          "axes": [{"name": "a", "range": {"loss_rate": {"from": 0,
+                                                         "to": 0.1,
+                                                         "step": 0}}}]
+        })");
+      },
+      "axes[0].range.loss_rate.step: must be > 0");
+  expect_spec_error(
+      [] {
+        (void)parse(R"({
+          "spec_version": 1, "base": {},
+          "axes": [{"name": "a",
+                    "range": {"loss_rate_fwd": {"from": 0, "to": 0.1,
+                                                "step": 0.05},
+                              "loss_rate_rev": {"from": 0, "to": 0.1,
+                                                "step": 0.05}}}]
+        })");
+      },
+      "axes[0].range: sweeps more than one field");
+  expect_spec_error(
+      [] {
+        (void)parse(R"({
+          "spec_version": 1, "base": {},
+          "axes": [{"name": "a", "range": {"loss_rate": 0.5}}]
+        })");
+      },
+      "range values must be objects");
+  // A range axis and a patch axis writing the same field still overlap.
+  expect_spec_error(
+      [] {
+        (void)parse(R"({
+          "spec_version": 1, "base": {},
+          "axes": [
+            {"name": "a", "range": {"loss_rate": {"from": 0, "to": 0.1,
+                                                  "step": 0.05}}},
+            {"name": "b", "patches": [{"loss_rate": 0.2}]}
+          ]
+        })");
+      },
+      "axes \"a\" and \"b\" overlap: both set loss_rate");
+}
+
+TEST(SpecGrid, RangeAxesZipInLockstep) {
+  const ExperimentSpec spec = parse(R"({
+    "spec_version": 1,
+    "expand": "zip",
+    "base": {"run_time_s": 50, "warmup_s": 5},
+    "axes": [
+      {"name": "loss", "range": {"loss_rate": {"from": 0, "to": 0.04,
+                                               "step": 0.02}}},
+      {"name": "seed", "patches": [{"seed": 1}, {"seed": 2}, {"seed": 3}]}
+    ]
+  })");
+  ASSERT_EQ(spec.sweep.cells.size(), 3u);
+  EXPECT_DOUBLE_EQ(spec.sweep.cells[2].loss_rate_fwd, 0.04);
+  EXPECT_EQ(spec.sweep.cells[2].seed, 3u);
+}
+
 TEST(SpecGrid, SpecVersionIsEnforced) {
   expect_spec_error([] { (void)parse(R"({"base": {}})"); },
                     "missing required field \"spec_version\"");

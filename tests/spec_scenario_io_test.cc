@@ -80,6 +80,125 @@ TEST(SpecScenarioIo, TunnelSyntheticAqmLossAndSeriesRoundTrip) {
   expect_roundtrip(files);
 }
 
+TEST(SpecScenarioIo, SynthLinksRoundTrip) {
+  BrownianModelParams brownian;
+  brownian.init_rate_pps = 300.0;
+  brownian.sigma_pps_per_sqrt_s = 150.0;
+  MarkovModelParams markov;
+  markov.states = {{120.0, 2.0}, {600.0, 5.0}};
+  ScenarioSpec spec;
+  spec.scheme = SchemeId::kCubic;
+  spec.link = LinkSpec::synth(
+      SynthSpec::brownian_model(brownian, 7)
+          .with_op(SynthOp::sawtooth(4.0, 0.6, 1.0))
+          .with_op(SynthOp::splice({{0.0, 2.5}, {5.0, 7.5}})),
+      SynthSpec::markov_model(markov, 8).with_op(SynthOp::jitter(0.004)));
+  expect_roundtrip(spec);
+
+  // Every base family serializes, including preset/cox/trace-file bases
+  // under an op chain.
+  ScenarioSpec preset;
+  preset.link = LinkSpec::synth(
+      SynthSpec::preset_base("AT&T LTE", LinkDirection::kUplink)
+          .with_op(SynthOp::scale(0.5)),
+      SynthSpec::cox_model({}, 4).with_op(SynthOp::outage(8.0, 1.0)));
+  expect_roundtrip(preset);
+
+  ScenarioSpec file;
+  file.link = LinkSpec::synth(SynthSpec::trace_file("captures/fwd.tr"),
+                              SynthSpec{}.with_seed(2));
+  expect_roundtrip(file);
+}
+
+TEST(SpecScenarioIo, SynthReaderRejectsMistakesWithPaths) {
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"link": {"source": "synth",
+                         "forward": {"base": "gaussian"}}})");
+      },
+      "link.forward.base: unknown synth base \"gaussian\"");
+  // A model object that contradicts the base tag is dead weight — typo'd
+  // or leftover — and is rejected like any stray key.
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"link": {"source": "synth",
+                         "forward": {"base": "brownian",
+                                     "markov": {"states": []}}}})");
+      },
+      "link.forward.markov: unknown field");
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"link": {"source": "synth",
+                         "forward": {"base": "trace-file"}}})");
+      },
+      "link.forward: missing required field \"path\"");
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"link": {"source": "synth",
+                         "forward": {"ops": [{"op": "smooth"}]}}})");
+      },
+      "link.forward.ops[0].op: unknown synth op \"smooth\"");
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"link": {"source": "synth",
+                         "forward": {"ops": [{"op": "sawtooth",
+                                              "period_s": 2,
+                                              "ramp_s": 5}]}}})");
+      },
+      "link.forward.ops[0].ramp_s: ramp_s must be <= period_s");
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"link": {"source": "synth",
+                         "forward": {"base": "preset",
+                                     "network": "Nope LTE"}}})");
+      },
+      "link.forward.network: unknown network \"Nope LTE\"");
+}
+
+TEST(SpecScenarioIo, PropagationSplitRoundTripsAndKeepsLegacyFingerprints) {
+  // Asymmetric: both spellings written, split survives the round trip.
+  ScenarioSpec split;
+  split.propagation_delay_fwd = msec(30);
+  split.propagation_delay_rev = msec(80);
+  expect_roundtrip(split);
+  const std::string json = scenario_to_json(split);
+  EXPECT_NE(json.find("propagation_delay_fwd_s"), std::string::npos);
+  EXPECT_NE(json.find("propagation_delay_rev_s"), std::string::npos);
+
+  // Symmetric non-default: the legacy spelling, reading back into both.
+  ScenarioSpec sym;
+  sym.set_propagation_delay(msec(50));
+  expect_roundtrip(sym);
+  const std::string sym_json = scenario_to_json(sym);
+  EXPECT_NE(sym_json.find("\"propagation_delay_s\""), std::string::npos);
+  EXPECT_EQ(sym_json.find("propagation_delay_fwd_s"), std::string::npos);
+  const ScenarioSpec back = parse_scenario_json(sym_json);
+  EXPECT_EQ(back.propagation_delay_fwd, msec(50));
+  EXPECT_EQ(back.propagation_delay_rev, msec(50));
+
+  // A symmetric split fingerprints exactly like the legacy single field
+  // did (the split is only hashed when asymmetric), and asymmetry changes
+  // the fingerprint.
+  ScenarioSpec asym = sym;
+  asym.propagation_delay_rev = msec(60);
+  EXPECT_NE(scenario_fingerprint(sym), scenario_fingerprint(asym));
+
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"propagation_delay_s": 0.02,
+                "propagation_delay_rev_s": 0.05})");
+      },
+      "propagation_delay_s: conflicts with propagation_delay_fwd_s/"
+      "propagation_delay_rev_s");
+}
+
 TEST(SpecScenarioIo, InMemoryTracesDoNotSerialize) {
   ScenarioSpec spec;
   spec.link = LinkSpec::traces(Trace{}, Trace{});

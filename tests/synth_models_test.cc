@@ -1,0 +1,175 @@
+#include "synth/models.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "synth/synth.h"
+
+namespace sprout {
+namespace {
+
+TEST(BrownianRateProcess, ZeroSigmaHoldsInitialRate) {
+  BrownianModelParams p;
+  p.init_rate_pps = 250.0;
+  p.sigma_pps_per_sqrt_s = 0.0;
+  BrownianRateProcess proc(p, 1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(proc.advance(), 250.0);
+  }
+}
+
+TEST(BrownianRateProcess, StaysWithinBounds) {
+  BrownianModelParams p;
+  p.init_rate_pps = 300.0;
+  p.max_rate_pps = 500.0;
+  p.sigma_pps_per_sqrt_s = 600.0;  // violent
+  BrownianRateProcess proc(p, 7);
+  for (int i = 0; i < 20000; ++i) {
+    const double r = proc.advance();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 500.0);
+  }
+}
+
+TEST(BrownianRateProcess, OutagesAreEnteredAtZeroAndEscaped) {
+  BrownianModelParams p;
+  p.init_rate_pps = 50.0;   // starts near the floor: outages are likely
+  p.sigma_pps_per_sqrt_s = 300.0;
+  p.outage_escape_rate_per_s = 4.0;
+  p.resume_rate_pps = 25.0;
+  BrownianRateProcess proc(p, 11);
+  bool saw_outage = false;
+  bool saw_resume = false;
+  bool was_in_outage = false;
+  for (int i = 0; i < 50000; ++i) {
+    const double r = proc.advance();
+    if (proc.in_outage()) {
+      saw_outage = true;
+      EXPECT_DOUBLE_EQ(r, 0.0);
+    } else if (was_in_outage) {
+      saw_resume = true;
+      EXPECT_DOUBLE_EQ(r, 25.0);  // links come back at the resume rate
+    }
+    was_in_outage = proc.in_outage();
+  }
+  EXPECT_TRUE(saw_outage);
+  EXPECT_TRUE(saw_resume);
+}
+
+TEST(BrownianRateProcess, InvalidParamsAreRejected) {
+  BrownianModelParams bad;
+  bad.init_rate_pps = 0.0;
+  EXPECT_THROW(BrownianRateProcess(bad, 1), std::invalid_argument);
+  bad = {};
+  bad.max_rate_pps = 10.0;  // below init
+  EXPECT_THROW(BrownianRateProcess(bad, 1), std::invalid_argument);
+  bad = {};
+  bad.outage_escape_rate_per_s = 0.0;
+  EXPECT_THROW(BrownianRateProcess(bad, 1), std::invalid_argument);
+  bad = {};
+  bad.step = Duration::zero();
+  EXPECT_THROW(BrownianRateProcess(bad, 1), std::invalid_argument);
+}
+
+TEST(MarkovRateProcess, SingleStateIsConstant) {
+  MarkovModelParams p;
+  p.states = {{123.0, 1.0}};
+  MarkovRateProcess proc(p, 5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(proc.advance(), 123.0);
+  }
+}
+
+TEST(MarkovRateProcess, VisitsEveryStateAndOnlyListedRates) {
+  MarkovModelParams p;  // default three-regime cell
+  MarkovRateProcess proc(p, 9);
+  std::vector<int> visits(p.states.size(), 0);
+  for (int i = 0; i < 200000; ++i) {  // 4000 simulated seconds
+    const double r = proc.advance();
+    bool listed = false;
+    for (std::size_t s = 0; s < p.states.size(); ++s) {
+      if (r == p.states[s].rate_pps) {
+        ++visits[s];
+        listed = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(listed) << "rate " << r << " is not any state's rate";
+  }
+  for (std::size_t s = 0; s < visits.size(); ++s) {
+    EXPECT_GT(visits[s], 0) << "state " << s << " never visited";
+  }
+}
+
+TEST(MarkovRateProcess, DwellTimesScaleOccupancy) {
+  // State 1 dwells 10x longer than state 0, so it should dominate.
+  MarkovModelParams p;
+  p.states = {{100.0, 0.5}, {700.0, 5.0}};
+  MarkovRateProcess proc(p, 13);
+  int high = 0;
+  const int steps = 100000;
+  for (int i = 0; i < steps; ++i) {
+    if (proc.advance() == 700.0) ++high;
+  }
+  EXPECT_GT(static_cast<double>(high) / steps, 0.75);
+}
+
+TEST(MarkovRateProcess, InvalidParamsAreRejected) {
+  MarkovModelParams bad;
+  bad.states.clear();
+  EXPECT_THROW(MarkovRateProcess(bad, 1), std::invalid_argument);
+  bad = {};
+  bad.states[0].mean_dwell_s = 0.0;
+  EXPECT_THROW(MarkovRateProcess(bad, 1), std::invalid_argument);
+  bad = {};
+  bad.states[0].rate_pps = -1.0;
+  EXPECT_THROW(MarkovRateProcess(bad, 1), std::invalid_argument);
+}
+
+TEST(PoissonTraceFromRate, MatchesConstantRateAndStaysSorted) {
+  double rate = 400.0;
+  const Trace trace = poisson_trace_from_rate([&] { return rate; }, msec(20),
+                                              sec(60), /*placement_seed=*/21);
+  EXPECT_TRUE(std::is_sorted(trace.opportunities().begin(),
+                             trace.opportunities().end()));
+  // 24000 expected opportunities; 5 sigma ~ 775.
+  EXPECT_NEAR(static_cast<double>(trace.size()), 24000.0, 800.0);
+  EXPECT_EQ(trace.duration(), sec(60));
+  for (const TimePoint t : trace.opportunities()) {
+    EXPECT_LT(t.time_since_epoch(), sec(60));
+  }
+}
+
+TEST(GenerateSynthTrace, EveryBaseFamilyProducesAUsableTrace) {
+  const Duration duration = sec(20);
+  for (const SynthSpec& spec :
+       {SynthSpec::brownian_model({}, 3), SynthSpec::markov_model({}, 3),
+        SynthSpec::cox_model({}, 3),
+        SynthSpec::preset_base("Verizon LTE", LinkDirection::kDownlink)}) {
+    const Trace trace = generate_synth_trace(spec, duration);
+    EXPECT_FALSE(trace.empty()) << spec.label();
+    EXPECT_EQ(trace.duration(), duration) << spec.label();
+    EXPECT_TRUE(std::is_sorted(trace.opportunities().begin(),
+                               trace.opportunities().end()))
+        << spec.label();
+  }
+}
+
+TEST(GenerateSynthTrace, ValidationSurfacesBadSpecs) {
+  SynthSpec bad = SynthSpec::preset_base("No Such Network",
+                                         LinkDirection::kDownlink);
+  EXPECT_THROW(generate_synth_trace(bad, sec(5)), std::invalid_argument);
+  SynthSpec empty_path = SynthSpec::trace_file("");
+  EXPECT_THROW(generate_synth_trace(empty_path, sec(5)),
+               std::invalid_argument);
+  SynthSpec bad_op = SynthSpec::brownian_model({}, 1)
+                         .with_op(SynthOp::scale(-1.0));
+  EXPECT_THROW(generate_synth_trace(bad_op, sec(5)), std::invalid_argument);
+  EXPECT_THROW(generate_synth_trace(SynthSpec{}, Duration::zero()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sprout

@@ -1,0 +1,165 @@
+#include "synth/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "synth/models.h"
+
+namespace sprout {
+namespace {
+
+// A dense, featureless base: constant 400 pkt/s over 30 s.
+Trace base_trace() {
+  double rate = 400.0;
+  return poisson_trace_from_rate([&] { return rate; }, msec(20), sec(30),
+                                 /*placement_seed=*/17);
+}
+
+TEST(SynthOps, IntegralScaleMultipliesCountsExactly) {
+  const Trace base = base_trace();
+  const Trace doubled = apply_synth_op(SynthOp::scale(2.0), base, 1);
+  EXPECT_EQ(doubled.size(), 2 * base.size());
+  EXPECT_EQ(doubled.duration(), base.duration());
+  EXPECT_TRUE(std::is_sorted(doubled.opportunities().begin(),
+                             doubled.opportunities().end()));
+}
+
+TEST(SynthOps, FractionalScaleThinsProportionally) {
+  const Trace base = base_trace();
+  const Trace halved = apply_synth_op(SynthOp::scale(0.5), base, 1);
+  const double ratio =
+      static_cast<double>(halved.size()) / static_cast<double>(base.size());
+  EXPECT_NEAR(ratio, 0.5, 0.05);
+  // Thinning keeps a subset: every kept instant exists in the base.
+  EXPECT_TRUE(std::includes(base.opportunities().begin(),
+                            base.opportunities().end(),
+                            halved.opportunities().begin(),
+                            halved.opportunities().end()));
+}
+
+TEST(SynthOps, OutageOverlayCreatesLongGaps) {
+  const Trace base = base_trace();
+  // ~3 s of every ~10 s dark: removes a large fraction and leaves gaps far
+  // beyond anything a constant 400 pkt/s Poisson stream produces.
+  const Trace dark =
+      apply_synth_op(SynthOp::outage(/*mean_on_s=*/7.0, /*mean_off_s=*/3.0),
+                     base, 5);
+  EXPECT_LT(dark.size(), base.size());
+  Duration longest = Duration::zero();
+  for (const Duration g : dark.interarrivals()) longest = std::max(longest, g);
+  EXPECT_GT(longest, msec(500));
+}
+
+TEST(SynthOps, SawtoothThinsOnlyInsideTheRamp) {
+  const Trace base = base_trace();
+  const SynthOp op = SynthOp::sawtooth(/*period_s=*/10.0, /*depth=*/0.9,
+                                       /*ramp_s=*/2.0);
+  const Trace dipped = apply_synth_op(op, base, 9);
+  EXPECT_LT(dipped.size(), base.size());
+  // Outside the ramp the envelope is 1: every opportunity with phase in
+  // [ramp, period) survives.
+  std::size_t base_outside = 0;
+  std::size_t dipped_outside = 0;
+  const auto outside = [&](TimePoint t) {
+    const double phase =
+        std::fmod(to_seconds(t.time_since_epoch()), op.period_s);
+    return phase >= op.ramp_s;
+  };
+  for (const TimePoint t : base.opportunities()) {
+    if (outside(t)) ++base_outside;
+  }
+  for (const TimePoint t : dipped.opportunities()) {
+    if (outside(t)) ++dipped_outside;
+  }
+  EXPECT_EQ(base_outside, dipped_outside);
+}
+
+TEST(SynthOps, ZeroDepthSawtoothIsIdentity) {
+  const Trace base = base_trace();
+  const Trace same =
+      apply_synth_op(SynthOp::sawtooth(10.0, 0.0, 2.0), base, 9);
+  EXPECT_EQ(same.opportunities(), base.opportunities());
+}
+
+TEST(SynthOps, JitterPreservesCountAndWindow) {
+  const Trace base = base_trace();
+  const Trace moved = apply_synth_op(SynthOp::jitter(0.05), base, 3);
+  EXPECT_EQ(moved.size(), base.size());
+  EXPECT_EQ(moved.duration(), base.duration());
+  EXPECT_TRUE(std::is_sorted(moved.opportunities().begin(),
+                             moved.opportunities().end()));
+  for (const TimePoint t : moved.opportunities()) {
+    EXPECT_GE(t.time_since_epoch(), Duration::zero());
+    EXPECT_LT(t.time_since_epoch(), moved.duration());
+  }
+  EXPECT_NE(moved.opportunities(), base.opportunities());
+}
+
+TEST(SynthOps, SpliceTilesTheListedWindows) {
+  const Trace base = base_trace();
+  // Tile the first five seconds over the whole 30 s window.
+  const Trace tiled = apply_synth_op(
+      SynthOp::splice({{0.0, 5.0}}), base, 1);
+  EXPECT_EQ(tiled.duration(), base.duration());
+  // Six copies of a 5 s window: within Poisson noise of 6x the window's
+  // own count, and exactly periodic across copies.
+  const auto in_window = [&](const Trace& t, double from_s, double to_s) {
+    std::size_t n = 0;
+    for (const TimePoint p : t.opportunities()) {
+      const double s = to_seconds(p.time_since_epoch());
+      if (s >= from_s && s < to_s) ++n;
+    }
+    return n;
+  };
+  const std::size_t first = in_window(base, 0.0, 5.0);
+  EXPECT_EQ(tiled.size(), 6 * first);
+  EXPECT_EQ(in_window(tiled, 5.0, 10.0), first);
+}
+
+TEST(SynthOps, OpsAreDeterministicPerSeed) {
+  const Trace base = base_trace();
+  for (const SynthOp& op :
+       {SynthOp::outage(5.0, 1.0), SynthOp::sawtooth(8.0, 0.7, 2.0),
+        SynthOp::scale(1.5), SynthOp::jitter(0.01)}) {
+    const Trace a = apply_synth_op(op, base, 42);
+    const Trace b = apply_synth_op(op, base, 42);
+    EXPECT_EQ(a.opportunities(), b.opportunities()) << to_string(op.kind);
+    const Trace c = apply_synth_op(op, base, 43);
+    EXPECT_NE(c.opportunities(), a.opportunities()) << to_string(op.kind);
+  }
+}
+
+TEST(SynthOps, ValidationRejectsBadParameters) {
+  const Trace base = base_trace();
+  EXPECT_THROW(apply_synth_op(SynthOp::scale(0.0), base, 1),
+               std::invalid_argument);
+  EXPECT_THROW(apply_synth_op(SynthOp::outage(0.0, 1.0), base, 1),
+               std::invalid_argument);
+  EXPECT_THROW(apply_synth_op(SynthOp::sawtooth(10.0, 1.5, 2.0), base, 1),
+               std::invalid_argument);
+  EXPECT_THROW(apply_synth_op(SynthOp::sawtooth(10.0, 0.5, 20.0), base, 1),
+               std::invalid_argument);
+  EXPECT_THROW(apply_synth_op(SynthOp::jitter(-0.1), base, 1),
+               std::invalid_argument);
+  EXPECT_THROW(apply_synth_op(SynthOp::splice({}), base, 1),
+               std::invalid_argument);
+  EXPECT_THROW(apply_synth_op(SynthOp::splice({{3.0, 2.0}}), base, 1),
+               std::invalid_argument);
+  // Overflow guards: seconds beyond the integer-microsecond range would
+  // wrap a cursor negative (an infinite loop, not an error), and a huge
+  // scale factor would overflow the copy count.
+  EXPECT_THROW(apply_synth_op(SynthOp::splice({{0.0, 1e18}}), base, 1),
+               std::invalid_argument);
+  EXPECT_THROW(apply_synth_op(SynthOp::outage(1e18, 1.0), base, 1),
+               std::invalid_argument);
+  EXPECT_THROW(apply_synth_op(SynthOp::scale(1e30), base, 1),
+               std::invalid_argument);
+  EXPECT_THROW(apply_synth_op(SynthOp::jitter(1e18), base, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sprout
