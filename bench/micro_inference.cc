@@ -6,6 +6,8 @@
 // well under 1 ms; these benchmarks verify the headroom.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "cc/gcc.h"
 #include "core/adaptive.h"
 #include "core/alt_models.h"
@@ -56,6 +58,101 @@ void BM_FilterObserve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FilterObserve);
+
+// --- the PR-6 fast paths, measured against their exact references ---
+
+// Banded evolve (the default) vs the dense bins² pass, at the paper's 256
+// bins and a coarser grid.  A realistic non-degenerate posterior: the
+// filter locked near 500 pps, so the banded path's row skipping and the
+// kernel dispatch both engage as in production.
+void evolve_bench_dist(const SproutParams& params, RateDistribution& d) {
+  SproutBayesFilter filter(params);
+  for (int t = 0; t < 50; ++t) {
+    filter.evolve();
+    filter.observe(10);
+  }
+  d = filter.distribution();
+}
+
+void BM_EvolveBanded(benchmark::State& state) {
+  SproutParams params;
+  params.num_bins = static_cast<int>(state.range(0));
+  TransitionMatrix m(params);
+  RateDistribution d(params.num_bins);
+  evolve_bench_dist(params, d);
+  for (auto _ : state) {
+    m.evolve(d);
+  }
+  state.counters["mean_bandwidth"] = m.mean_bandwidth();
+}
+BENCHMARK(BM_EvolveBanded)->Arg(64)->Arg(256);
+
+void BM_EvolveDense(benchmark::State& state) {
+  SproutParams params;
+  params.num_bins = static_cast<int>(state.range(0));
+  TransitionMatrix m(params);
+  RateDistribution d(params.num_bins);
+  evolve_bench_dist(params, d);
+  for (auto _ : state) {
+    m.evolve_dense(d);
+  }
+}
+BENCHMARK(BM_EvolveDense)->Arg(64)->Arg(256);
+
+// Batched multi-flow evolve vs N serial banded evolves at the same states.
+void BM_EvolveBatch(benchmark::State& state) {
+  SproutParams params;
+  const int flows = static_cast<int>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  TransitionMatrix m(params);
+  std::vector<RateDistribution> dists;
+  for (int f = 0; f < flows; ++f) {
+    RateDistribution d(params.num_bins);
+    SproutParams p = params;
+    SproutBayesFilter filter(p);
+    for (int t = 0; t < 30 + f; ++t) {
+      filter.evolve();
+      filter.observe(4 + (f % 12));
+    }
+    dists.push_back(filter.distribution());
+  }
+  std::vector<RateDistribution*> ptrs;
+  for (auto& d : dists) ptrs.push_back(&d);
+  for (auto _ : state) {
+    if (batched) {
+      m.evolve_batch(ptrs);
+    } else {
+      for (auto* d : ptrs) m.evolve(*d);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_EvolveBatch)
+    ->Args({8, 0})   // 8 flows, serial
+    ->Args({8, 1})   // 8 flows, batched
+    ->Args({32, 0})  // heavier fleets
+    ->Args({32, 1});
+
+// The fused quantile scan: one forecast() at the paper's config, with the
+// Poisson-mixture tables engaged (the path the transposed layout and the
+// monotone-floor short-circuit accelerate).
+void BM_ForecastMixtureQuantile(benchmark::State& state) {
+  SproutParams params;
+  params.count_noise_in_forecast = true;
+  SproutBayesFilter filter(params);
+  DeliveryForecaster forecaster(params);
+  for (int t = 0; t < 50; ++t) {
+    filter.evolve();
+    filter.observe(10);
+  }
+  TimePoint now{};
+  for (auto _ : state) {
+    now += params.tick;
+    DeliveryForecast f = forecaster.forecast(filter.distribution(), now);
+    benchmark::DoNotOptimize(f.cumulative_at(8));
+  }
+}
+BENCHMARK(BM_ForecastMixtureQuantile);
 
 void BM_FullTickWithForecast(benchmark::State& state) {
   // One complete receiver tick: evolve + observe + 8-tick forecast.

@@ -1,0 +1,236 @@
+// Perf-trajectory tracker for the inference fast paths (PR 6 onward).
+//
+// Measures the banded evolve kernel against the exact dense reference and
+// the batched multi-flow evolve against N serial evolves, then emits one
+// machine-readable BENCH_<n>.json artifact.  Checked-in artifacts form the
+// repo's perf trajectory: each perf PR adds a BENCH_<n>.json, and CI's
+// bench-smoke job re-measures the current tree against the floors recorded
+// here (--check), so a regression that erases a claimed speedup fails the
+// build instead of rotting silently.
+//
+// Unlike bench/micro_inference (google-benchmark, interactive tables), this
+// tool is plain chrono: fixed minimum measurement time, no statistics
+// framework, stable JSON keys.
+//
+// Usage:
+//   perf_trajectory [--json FILE] [--min-time S] [--bins N] [--flows N]
+//                   [--check]
+//   --check exits 1 if banded < 2x dense at the configured bins or batched
+//   < 1.5x serial at the configured flows.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/forecaster.h"
+#include "core/params.h"
+#include "core/rate_model.h"
+#include "util/kernels.h"
+
+namespace sprout {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Runs `op` repeatedly for at least `min_time_s` (after one warmup batch)
+// and returns nanoseconds per call.
+template <typename Op>
+double time_ns(double min_time_s, Op&& op) {
+  // Warmup: touch caches, settle the branch predictors.
+  for (int i = 0; i < 32; ++i) op();
+  std::int64_t iters = 0;
+  const Clock::time_point t0 = Clock::now();
+  double elapsed = 0.0;
+  do {
+    for (int i = 0; i < 64; ++i) op();
+    iters += 64;
+    elapsed = seconds_since(t0);
+  } while (elapsed < min_time_s);
+  return elapsed * 1e9 / static_cast<double>(iters);
+}
+
+// A realistic locked-on posterior (filter run against a steady 500 pps
+// link): engages the banded row skipping exactly as production does.
+RateDistribution locked_posterior(const SproutParams& params, int per_tick) {
+  SproutBayesFilter filter(params);
+  for (int t = 0; t < 50; ++t) {
+    filter.evolve();
+    filter.observe(per_tick);
+  }
+  return filter.distribution();
+}
+
+struct Options {
+  std::string json_path;
+  double min_time_s = 0.5;
+  int bins = 256;
+  int flows = 8;
+  bool check = false;
+};
+
+[[noreturn]] void usage_and_exit(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--json FILE] [--min-time S] [--bins N] "
+               "[--flows N] [--check]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--json") {
+      opt.json_path = value();
+    } else if (arg == "--min-time") {
+      opt.min_time_s = std::atof(value());
+    } else if (arg == "--bins") {
+      opt.bins = std::atoi(value());
+    } else if (arg == "--flows") {
+      opt.flows = std::atoi(value());
+    } else if (arg == "--check") {
+      opt.check = true;
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  if (opt.min_time_s <= 0.0 || opt.bins < 2 || opt.flows < 1) {
+    usage_and_exit(argv[0]);
+  }
+  return opt;
+}
+
+int run(const Options& opt) {
+  SproutParams params;
+  params.num_bins = opt.bins;
+  const TransitionMatrix matrix(params);
+
+  // --- banded vs dense, single posterior ---
+  RateDistribution banded_dist = locked_posterior(params, 10);
+  RateDistribution dense_dist = banded_dist;
+  const double banded_ns =
+      time_ns(opt.min_time_s, [&] { matrix.evolve(banded_dist); });
+  const double dense_ns =
+      time_ns(opt.min_time_s, [&] { matrix.evolve_dense(dense_dist); });
+  const double banded_speedup = dense_ns / banded_ns;
+
+  // --- batched vs serial, a fleet of distinct posteriors ---
+  std::vector<RateDistribution> serial_dists;
+  std::vector<RateDistribution> batch_dists;
+  for (int f = 0; f < opt.flows; ++f) {
+    const RateDistribution d = locked_posterior(params, 2 + (f % 15));
+    serial_dists.push_back(d);
+    batch_dists.push_back(d);
+  }
+  std::vector<RateDistribution*> serial_ptrs;
+  std::vector<RateDistribution*> batch_ptrs;
+  for (auto& d : serial_dists) serial_ptrs.push_back(&d);
+  for (auto& d : batch_dists) batch_ptrs.push_back(&d);
+  const double serial_ns = time_ns(opt.min_time_s, [&] {
+    for (RateDistribution* d : serial_ptrs) matrix.evolve(*d);
+  });
+  const double batch_ns =
+      time_ns(opt.min_time_s, [&] { matrix.evolve_batch(batch_ptrs); });
+  const double batch_speedup = serial_ns / batch_ns;
+
+  // --- the fused mixture-quantile forecast (transposed tables + floor) ---
+  SproutParams mixture_params = params;
+  mixture_params.count_noise_in_forecast = true;
+  const DeliveryForecaster forecaster(mixture_params);
+  const RateDistribution posterior = locked_posterior(mixture_params, 10);
+  TimePoint now{};
+  const double forecast_ns = time_ns(opt.min_time_s, [&] {
+    now += mixture_params.tick;
+    DeliveryForecast f = forecaster.forecast(posterior, now);
+    if (f.cumulative_at(8) < 0) std::abort();  // keep the result live
+  });
+
+  const std::string json = [&] {
+    char buf[2048];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"artifact\": \"perf_trajectory\",\n"
+        "  \"pr\": 6,\n"
+        "  \"config\": {\n"
+        "    \"bins\": %d,\n"
+        "    \"flows\": %d,\n"
+        "    \"band_epsilon\": %.3g,\n"
+        "    \"kernel_backend\": \"%s\",\n"
+        "    \"mean_bandwidth\": %.2f,\n"
+        "    \"max_bandwidth\": %d,\n"
+        "    \"min_time_s\": %.3g\n"
+        "  },\n"
+        "  \"timings_ns\": {\n"
+        "    \"evolve_dense\": %.1f,\n"
+        "    \"evolve_banded\": %.1f,\n"
+        "    \"evolve_serial_fleet\": %.1f,\n"
+        "    \"evolve_batch_fleet\": %.1f,\n"
+        "    \"forecast_mixture_8h\": %.1f\n"
+        "  },\n"
+        "  \"speedups\": {\n"
+        "    \"banded_vs_dense\": %.3f,\n"
+        "    \"batched_vs_serial\": %.3f\n"
+        "  },\n"
+        "  \"floors\": {\n"
+        "    \"banded_vs_dense\": 2.0,\n"
+        "    \"batched_vs_serial\": 1.5\n"
+        "  }\n"
+        "}\n",
+        opt.bins, opt.flows, params.band_epsilon, kernels::active_backend(),
+        matrix.mean_bandwidth(), matrix.max_bandwidth(), opt.min_time_s,
+        dense_ns, banded_ns, serial_ns, batch_ns, forecast_ns, banded_speedup,
+        batch_speedup);
+    return std::string(buf);
+  }();
+
+  std::fputs(json.c_str(), stdout);
+  if (!opt.json_path.empty()) {
+    std::FILE* f = std::fopen(opt.json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", opt.json_path.c_str());
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+  }
+
+  if (opt.check) {
+    bool ok = true;
+    if (banded_speedup < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: banded evolve only %.2fx dense at %d bins "
+                   "(floor 2.0x)\n",
+                   banded_speedup, opt.bins);
+      ok = false;
+    }
+    if (batch_speedup < 1.5) {
+      std::fprintf(stderr,
+                   "FAIL: batched evolve only %.2fx serial at %d flows "
+                   "(floor 1.5x)\n",
+                   batch_speedup, opt.flows);
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::fprintf(stderr, "perf floors hold: banded %.2fx, batched %.2fx\n",
+                 banded_speedup, batch_speedup);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sprout
+
+int main(int argc, char** argv) {
+  return sprout::run(sprout::parse_options(argc, argv));
+}

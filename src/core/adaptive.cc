@@ -33,6 +33,11 @@ void AdaptiveForecastStrategy::advance_tick() {
   for (Member& m : members_) m.filter->evolve();
 }
 
+void AdaptiveForecastStrategy::collect_batch_filters(
+    std::vector<SproutBayesFilter*>& out) {
+  for (Member& m : members_) out.push_back(m.filter.get());
+}
+
 double AdaptiveForecastStrategy::marginal_log_likelihood(const Member& member,
                                                          int packets,
                                                          bool censored) const {
@@ -126,23 +131,23 @@ DeliveryForecast AdaptiveForecastStrategy::make_forecast(TimePoint now) const {
   for (const Member& m : members_) evolved.push_back(m.filter->distribution());
   const std::vector<double> w = hypothesis_weights();
 
-  ByteCount floor = 0;
+  int floor_packets = 0;
   for (int h = 1; h <= base_params_.forecast_horizon_ticks; ++h) {
     RateDistribution mix(base_params_.num_bins);
     std::vector<double>& p = mix.mutable_probabilities();
     std::fill(p.begin(), p.end(), 0.0);
     for (std::size_t k = 0; k < members_.size(); ++k) {
-      members_[k].transitions->evolve(evolved[k]);
+      evolve_dist(*members_[k].transitions, members_[k].params, evolved[k]);
       for (int i = 0; i < base_params_.num_bins; ++i) {
         p[static_cast<std::size_t>(i)] += w[k] * evolved[k].probability(i);
       }
     }
     mix.normalize();
-    const int packets = forecaster_.quantile_packets(mix, h);
-    ByteCount bytes = static_cast<ByteCount>(packets) * base_params_.mtu;
-    bytes = std::max(bytes, floor);
-    floor = bytes;
-    f.cumulative_bytes.push_back(bytes);
+    // Cumulative deliveries cannot decrease with a longer horizon; the
+    // previous horizon's count seeds this one's quantile search.
+    floor_packets = forecaster_.quantile_packets(mix, h, floor_packets);
+    f.cumulative_bytes.push_back(static_cast<ByteCount>(floor_packets) *
+                                 base_params_.mtu);
   }
   return f;
 }

@@ -18,6 +18,7 @@
 #include "core/sender.h"
 #include "core/source.h"
 #include "core/strategy.h"
+#include "core/tick_batcher.h"
 #include "sim/packet.h"
 #include "sim/simulator.h"
 
@@ -44,6 +45,11 @@ class SproutEndpoint : public PacketSink {
   // Where outgoing packets go (the link ingress).  Must be set before
   // start().
   void attach_network(PacketSink& out) { network_ = &out; }
+
+  // Optional cross-flow evolution batcher (scenario-owned; must outlive the
+  // endpoint).  If set before start(), this endpoint's Bayes filters join
+  // the scenario-wide per-instant batch evolve.
+  void set_evolve_batcher(TickEvolveBatcher* batcher) { batcher_ = batcher; }
 
   // Begins the 20 ms tick loop.  `phase` offsets this endpoint's tick
   // boundaries; real peers' clocks are never phase-locked, and a simulated
@@ -74,6 +80,7 @@ class SproutEndpoint : public PacketSink {
   SproutSender sender_;
   DataSource* source_;
   PacketSink* network_ = nullptr;
+  TickEvolveBatcher* batcher_ = nullptr;
   std::function<void(Packet&&)> tunnel_delivery_;
   std::int64_t flow_id_;
   std::int64_t malformed_ = 0;

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <tuple>
 
+#include "util/kernels.h"
 #include "util/poisson.h"
 
 namespace sprout {
@@ -28,25 +29,25 @@ std::shared_ptr<const ForecastTableCache::Tables> build_tables(
     const SproutParams& params) {
   auto tables = std::make_shared<ForecastTableCache::Tables>();
   const int counts = params.max_count + 1;
+  const auto bins = static_cast<std::size_t>(params.num_bins);
   tables->resize(static_cast<std::size_t>(params.forecast_horizon_ticks));
   for (int h = 1; h <= params.forecast_horizon_ticks; ++h) {
     std::vector<double>& table = (*tables)[static_cast<std::size_t>(h - 1)];
-    table.resize(static_cast<std::size_t>(params.num_bins) *
-                 static_cast<std::size_t>(counts));
+    table.resize(bins * static_cast<std::size_t>(counts));
     for (int bin = 0; bin < params.num_bins; ++bin) {
       const double mean =
           params.bin_rate(bin) * params.tick_seconds() * static_cast<double>(h);
-      double* row = &table[static_cast<std::size_t>(bin) *
-                           static_cast<std::size_t>(counts)];
       // Forward recurrence over n; identical math to poisson_cdf but filling
-      // the whole row in one pass.
+      // the whole column in one pass.  Writes stride by num_bins (the table
+      // is count-major for the hot read path); the build is a cold path.
       double term = std::exp(-mean);
       double sum = term;
-      row[0] = std::min(sum, 1.0);
+      table[static_cast<std::size_t>(bin)] = std::min(sum, 1.0);
       for (int n = 1; n < counts; ++n) {
         term *= mean / static_cast<double>(n);
         sum += term;
-        row[n] = std::min(sum, 1.0);
+        table[static_cast<std::size_t>(n) * bins +
+              static_cast<std::size_t>(bin)] = std::min(sum, 1.0);
       }
     }
   }
@@ -67,6 +68,22 @@ cache_map() {
 
 std::atomic<std::int64_t> g_table_hits{0};
 std::atomic<std::int64_t> g_table_misses{0};
+
+// Nonzero support [lo, hi) of a posterior.  Interior zeros stay in the dot
+// span (they contribute exactly +0.0); only the tails are clipped, which is
+// where log-space observations actually zero mass out.
+struct Support {
+  std::size_t lo;
+  std::size_t hi;
+};
+
+Support support_of(const std::vector<double>& p) {
+  std::size_t lo = 0;
+  std::size_t hi = p.size();
+  while (lo < hi && p[lo] <= 0.0) ++lo;
+  while (hi > lo && p[hi - 1] <= 0.0) --hi;
+  return {lo, hi};
+}
 
 }  // namespace
 
@@ -115,38 +132,53 @@ DeliveryForecaster::DeliveryForecaster(const SproutParams& params)
 
 double DeliveryForecaster::mixture_cdf(const RateDistribution& dist,
                                        int horizon, int count) const {
-  const int counts = params_.max_count + 1;
-  const std::vector<double>& table = (*cdf_)[static_cast<std::size_t>(horizon - 1)];
-  double acc = 0.0;
-  for (int bin = 0; bin < params_.num_bins; ++bin) {
-    const double p = dist.probability(bin);
-    if (p <= 0.0) continue;
-    acc += p * table[static_cast<std::size_t>(bin) *
-                         static_cast<std::size_t>(counts) +
-                     static_cast<std::size_t>(count)];
-  }
-  return acc;
+  const auto bins = static_cast<std::size_t>(params_.num_bins);
+  const std::vector<double>& table =
+      (*cdf_)[static_cast<std::size_t>(horizon - 1)];
+  const std::vector<double>& p = dist.probabilities();
+  const Support s = support_of(p);
+  const double* col = &table[static_cast<std::size_t>(count) * bins];
+  return kernels::dot(p.data() + s.lo, col + s.lo, s.hi - s.lo);
 }
 
 int DeliveryForecaster::quantile_packets(const RateDistribution& dist,
-                                         int horizon) const {
+                                         int horizon, int floor) const {
   assert(horizon >= 1 && horizon <= params_.forecast_horizon_ticks);
+  assert(floor >= 0 && floor <= params_.max_count);
   const double target = params_.forecast_percentile() / 100.0;
   if (!params_.count_noise_in_forecast) {
     // Quantile over the rate posterior alone: the cautious rate times the
-    // horizon.  See SproutParams::count_noise_in_forecast.
+    // horizon.  See SproutParams::count_noise_in_forecast.  The caller's
+    // max-with-floor clamp makes applying the floor here equivalent.
     const double rate = dist.quantile(params_, params_.forecast_percentile());
-    return static_cast<int>(rate * params_.tick_seconds() *
-                            static_cast<double>(horizon));
+    const int packets = static_cast<int>(rate * params_.tick_seconds() *
+                                         static_cast<double>(horizon));
+    return std::max(packets, floor);
   }
-  // Smallest n with mixture CDF >= target.  The CDF is nondecreasing in n,
-  // so binary search over [0, max_count].
-  int lo = 0;
+  // Smallest n >= floor with mixture CDF >= target.  One probe at the floor
+  // doubles as the early-out (quantile at or below the floor: the caller
+  // clamps there anyway) and the search's lower bracket, so every endpoint
+  // is evaluated exactly once.  The per-probe work is a contiguous dot over
+  // the posterior's nonzero support against one count-major table row.
+  const auto bins = static_cast<std::size_t>(params_.num_bins);
+  const std::vector<double>& table =
+      (*cdf_)[static_cast<std::size_t>(horizon - 1)];
+  const std::vector<double>& p = dist.probabilities();
+  const Support s = support_of(p);
+  const double* pp = p.data() + s.lo;
+  const std::size_t len = s.hi - s.lo;
+  auto cdf_at = [&](int count) {
+    const double* col = &table[static_cast<std::size_t>(count) * bins];
+    return kernels::dot(pp, col + s.lo, len);
+  };
+  if (cdf_at(floor) >= target) return floor;
+  // Invariant: cdf(lo) < target <= cdf(hi) (hi = max_count acts as the
+  // clamp when even the full table row falls short).
+  int lo = floor;
   int hi = params_.max_count;
-  if (mixture_cdf(dist, horizon, 0) >= target) return 0;
   while (lo + 1 < hi) {
     const int mid = lo + (hi - lo) / 2;
-    if (mixture_cdf(dist, horizon, mid) >= target) {
+    if (cdf_at(mid) >= target) {
       hi = mid;
     } else {
       lo = mid;
@@ -163,17 +195,52 @@ DeliveryForecast DeliveryForecaster::forecast(const RateDistribution& current,
   f.cumulative_bytes.reserve(
       static_cast<std::size_t>(params_.forecast_horizon_ticks));
   RateDistribution evolved = current;
-  ByteCount floor = 0;
+  int floor_packets = 0;
   for (int h = 1; h <= params_.forecast_horizon_ticks; ++h) {
-    transitions_->evolve(evolved);
-    const int packets = quantile_packets(evolved, h);
-    ByteCount bytes = static_cast<ByteCount>(packets) * params_.mtu;
-    // Cumulative deliveries cannot decrease with a longer horizon.
-    bytes = std::max(bytes, floor);
-    floor = bytes;
-    f.cumulative_bytes.push_back(bytes);
+    evolve_dist(*transitions_, params_, evolved);
+    // Cumulative deliveries cannot decrease with a longer horizon; the
+    // previous horizon's count seeds this one's quantile search.
+    floor_packets = quantile_packets(evolved, h, floor_packets);
+    f.cumulative_bytes.push_back(static_cast<ByteCount>(floor_packets) *
+                                 params_.mtu);
   }
   return f;
+}
+
+std::vector<DeliveryForecast> DeliveryForecaster::forecast_batch(
+    std::span<const RateDistribution* const> dists, TimePoint now) const {
+  std::vector<DeliveryForecast> out(dists.size());
+  if (dists.empty()) return out;
+  if (dists.size() == 1 || params_.dense_inference) {
+    // The dense reference path has no batch kernel; fall back to serial.
+    for (std::size_t f = 0; f < dists.size(); ++f) {
+      out[f] = forecast(*dists[f], now);
+    }
+    return out;
+  }
+  std::vector<RateDistribution> evolved(dists.size(),
+                                        RateDistribution(params_.num_bins));
+  std::vector<RateDistribution*> ptrs(dists.size());
+  std::vector<int> floors(dists.size(), 0);
+  for (std::size_t f = 0; f < dists.size(); ++f) {
+    evolved[f] = *dists[f];
+    ptrs[f] = &evolved[f];
+    out[f].origin = now;
+    out[f].tick = params_.tick;
+    out[f].cumulative_bytes.reserve(
+        static_cast<std::size_t>(params_.forecast_horizon_ticks));
+  }
+  for (int h = 1; h <= params_.forecast_horizon_ticks; ++h) {
+    // One matrix pass evolves every flow's private copy (bit-identical to
+    // the serial per-flow evolve); quantiles stay per-flow.
+    transitions_->evolve_batch(ptrs);
+    for (std::size_t f = 0; f < dists.size(); ++f) {
+      floors[f] = quantile_packets(evolved[f], h, floors[f]);
+      out[f].cumulative_bytes.push_back(static_cast<ByteCount>(floors[f]) *
+                                        params_.mtu);
+    }
+  }
+  return out;
 }
 
 }  // namespace sprout

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/params.h"
@@ -30,7 +31,12 @@ namespace sprout {
 // make the reuse observable in tests and benches.
 class ForecastTableCache {
  public:
-  // cdf[h-1][bin * (max_count+1) + n] = P[Poisson(λ_bin · h·τ) <= n]
+  // cdf[h-1][n * num_bins + bin] = P[Poisson(λ_bin · h·τ) <= n]
+  //
+  // Count-major ("transposed") layout: the mixture CDF at a fixed count n
+  // is a weighted sum over ALL bins, so the hot access pattern is one
+  // contiguous row per CDF probe — a straight dot product against the
+  // posterior vector (util/kernels.h) instead of a bins-strided gather.
   using Tables = std::vector<std::vector<double>>;
 
   // Returns the table set for `params`, building it on first use.
@@ -67,10 +73,25 @@ class DeliveryForecaster {
   [[nodiscard]] DeliveryForecast forecast(const RateDistribution& current,
                                           TimePoint now) const;
 
+  // Forecasts several posteriors in one pass: the per-horizon evolution of
+  // all private copies runs through TransitionMatrix::evolve_batch, so N
+  // co-active flows pay each horizon's matrix traversal once.  Entry f is
+  // bit-identical to forecast(*dists[f], now).
+  [[nodiscard]] std::vector<DeliveryForecast> forecast_batch(
+      std::span<const RateDistribution* const> dists, TimePoint now) const;
+
   // The (100-confidence)th percentile of the cumulative-delivery mixture at
   // horizon h (1-based), in packets.  Exposed for tests and ablations.
-  [[nodiscard]] int quantile_packets(const RateDistribution& dist,
-                                     int horizon) const;
+  //
+  // `floor` is the monotone-floor hint: a count already known to lower-bound
+  // nothing below the answer's use site (the previous horizon's forecast —
+  // cumulative deliveries cannot decrease with a longer horizon).  One CDF
+  // probe at the floor both answers "is the quantile at or below the floor"
+  // (return the floor: the caller clamps there anyway) and establishes the
+  // lower bracket of the binary search, so no endpoint is evaluated twice.
+  // floor = 0 recovers the plain quantile.
+  [[nodiscard]] int quantile_packets(const RateDistribution& dist, int horizon,
+                                     int floor = 0) const;
 
  private:
   [[nodiscard]] double mixture_cdf(const RateDistribution& dist, int horizon,

@@ -36,6 +36,19 @@ struct SproutParams {
   // Kept as a switch for the ablation bench.
   bool count_noise_in_forecast = false;
 
+  // --- inference fast path ---
+  // The Brownian transition matrix is near-banded: one tick's σ spans a few
+  // bins, so each row keeps ≥ 1−ε of its mass in a short [lo, hi) span.
+  // The evolve kernel stores that span packed and renormalized and skips
+  // the rest, making evolution O(bins · bandwidth) instead of O(bins²).
+  // ε bounds the per-tick model perturbation (the golden-metrics lock
+  // verifies the end-to-end effect stays inside its tolerance).
+  double band_epsilon = 1e-12;
+  // Exact-reference escape hatch: evolve through the full dense matrix,
+  // exactly the pre-banding arithmetic, for golden regeneration and
+  // banded-vs-dense equivalence tests.
+  bool dense_inference = false;
+
   // --- sender (§3.4-3.5) ---
   int sender_lookahead_ticks = 5;       // 100 ms delay tolerance
   Duration throwaway_window = msec(10); // reorder horizon for the throwaway no.

@@ -9,6 +9,7 @@
 #include <numeric>
 #include <tuple>
 
+#include "util/kernels.h"
 #include "util/poisson.h"
 
 namespace sprout {
@@ -20,12 +21,15 @@ double phi(double x) { return 0.5 * (1.0 + std::erf(x / std::sqrt(2.0))); }
 
 // The SproutParams fields the transition kernel depends on.  Forecast and
 // sender knobs do NOT appear: a confidence sweep or lookahead ablation
-// shares one matrix.
-using MatrixKey = std::tuple<int, double, std::int64_t, double, double>;
+// shares one matrix.  band_epsilon does — it shapes the packed band — but
+// dense_inference does not: the dense rows are identical either way, so an
+// exact-reference run shares the banded run's matrix build.
+using MatrixKey = std::tuple<int, double, std::int64_t, double, double, double>;
 
 MatrixKey matrix_key(const SproutParams& params) {
-  return {params.num_bins, params.max_rate_pps, params.tick.count(),
-          params.sigma_pps_per_sqrt_s, params.outage_escape_rate_per_s};
+  return {params.num_bins,          params.max_rate_pps,
+          params.tick.count(),      params.sigma_pps_per_sqrt_s,
+          params.outage_escape_rate_per_s, params.band_epsilon};
 }
 
 std::mutex& matrix_cache_mutex() {
@@ -120,6 +124,7 @@ TransitionMatrix::TransitionMatrix(const SproutParams& params)
   const double s =
       params.sigma_pps_per_sqrt_s * std::sqrt(params.tick_seconds());
   assert(s > 0.0);
+  assert(params.band_epsilon >= 0.0 && params.band_epsilon < 0.1);
   const double bin_width = params.bin_rate(1) - params.bin_rate(0);
 
   // Gaussian step discretized over bin cells, with a REFLECTING boundary at
@@ -168,14 +173,143 @@ TransitionMatrix::TransitionMatrix(const SproutParams& params)
     assert(std::abs(sum - 1.0) < 1e-9);
     for (std::size_t j = 0; j < n_; ++j) m_[i * n_ + j] /= sum;
   }
+
+  build_band(params.band_epsilon);
 }
+
+void TransitionMatrix::build_band(double epsilon) {
+  band_epsilon_ = epsilon;
+  band_lo_.resize(n_);
+  band_hi_.resize(n_);
+  band_off_.resize(n_ + 1);
+  std::size_t packed = 0;
+  std::int64_t total_width = 0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double* row = &m_[i * n_];
+    // Greedy tail trim: drop the smaller end entry while the total dropped
+    // mass stays within ε.  Rows are unimodal up to the outage column, so
+    // end entries are the smallest; trimming them first loses the least.
+    std::size_t lo = 0;
+    std::size_t hi = n_;
+    double dropped = 0.0;
+    while (hi - lo > 1) {
+      const double left = row[lo];
+      const double right = row[hi - 1];
+      const double smaller = std::min(left, right);
+      if (dropped + smaller > epsilon) break;
+      dropped += smaller;
+      if (left <= right) {
+        ++lo;
+      } else {
+        --hi;
+      }
+    }
+    band_lo_[i] = static_cast<int>(lo);
+    band_hi_[i] = static_cast<int>(hi);
+    band_off_[i] = packed;
+    packed += hi - lo;
+    total_width += static_cast<std::int64_t>(hi - lo);
+  }
+  band_off_[n_] = packed;
+  band_.resize(packed);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double* row = &m_[i * n_];
+    const auto lo = static_cast<std::size_t>(band_lo_[i]);
+    const auto hi = static_cast<std::size_t>(band_hi_[i]);
+    // Renormalize the retained span so every band row is still a
+    // probability distribution (evolution must conserve mass exactly, not
+    // leak ε per tick).  A trim that only removed EXACT zeros (always the
+    // case at ε = 0: far Gaussian tails underflow) must copy the row
+    // verbatim — dividing by a summed "kept" that is not exactly 1.0 would
+    // perturb bits the dense path keeps.
+    double dropped = 0.0;
+    for (std::size_t j = 0; j < lo; ++j) dropped += row[j];
+    for (std::size_t j = hi; j < n_; ++j) dropped += row[j];
+    double* out = &band_[band_off_[i]];
+    if (dropped == 0.0) {
+      for (std::size_t j = lo; j < hi; ++j) out[j - lo] = row[j];
+    } else {
+      double kept = 0.0;
+      for (std::size_t j = lo; j < hi; ++j) kept += row[j];
+      assert(kept > 0.0);
+      for (std::size_t j = lo; j < hi; ++j) out[j - lo] = row[j] / kept;
+    }
+    max_bandwidth_ = std::max(max_bandwidth_, static_cast<int>(hi - lo));
+  }
+  mean_bandwidth_ =
+      static_cast<double>(total_width) / static_cast<double>(n_);
+  build_blocks();
+}
+
+void TransitionMatrix::build_blocks() {
+  const std::size_t nblocks = (n_ + 3) / 4;
+  block_off_.resize(nblocks);
+  block_row_begin_.resize(nblocks);
+  block_row_end_.resize(nblocks);
+  block_vals_.clear();
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const std::size_t j0 = 4 * b;
+    // Rows whose band overlaps columns [j0, j0+4).  Bands are intervals, so
+    // we scan for the first and last overlapping row; rows in between
+    // without overlap (possible only if extents were non-monotone) simply
+    // contribute an all-zero tile.
+    std::size_t begin = n_;
+    std::size_t end = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const auto lo = static_cast<std::size_t>(band_lo_[i]);
+      const auto hi = static_cast<std::size_t>(band_hi_[i]);
+      if (lo < j0 + 4 && hi > j0) {
+        begin = std::min(begin, i);
+        end = std::max(end, i + 1);
+      }
+    }
+    if (begin >= end) {
+      begin = end = 0;
+    }
+    block_row_begin_[b] = static_cast<int>(begin);
+    block_row_end_[b] = static_cast<int>(end);
+    block_off_[b] = block_vals_.size();
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto lo = static_cast<std::size_t>(band_lo_[i]);
+      const auto hi = static_cast<std::size_t>(band_hi_[i]);
+      for (std::size_t l = 0; l < 4; ++l) {
+        const std::size_t j = j0 + l;
+        const bool covered = j < n_ && j >= lo && j < hi;
+        block_vals_.push_back(covered ? band_[band_off_[i] + j - lo] : 0.0);
+      }
+    }
+  }
+}
+
+namespace {
+
+// Thread-local scratch keeps the matrix itself immutable, so one cached
+// instance is safely shared across concurrent sweep cells.
+std::vector<double>& evolve_scratch(std::size_t n) {
+  thread_local std::vector<double> scratch;
+  scratch.assign(n, 0.0);
+  return scratch;
+}
+
+}  // namespace
 
 void TransitionMatrix::evolve(RateDistribution& dist) const {
   assert(static_cast<std::size_t>(dist.num_bins()) == n_);
-  // Thread-local scratch keeps the matrix itself immutable, so one cached
-  // instance is safely shared across concurrent sweep cells.
-  thread_local std::vector<double> scratch;
-  scratch.assign(n_, 0.0);
+  std::vector<double>& scratch = evolve_scratch(n_);
+  const std::vector<double>& p = dist.probabilities();
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double pi = p[i];
+    if (pi <= 0.0) continue;
+    const auto lo = static_cast<std::size_t>(band_lo_[i]);
+    const auto width = static_cast<std::size_t>(band_hi_[i]) - lo;
+    kernels::axpy(scratch.data() + lo, &band_[band_off_[i]], pi, width);
+  }
+  dist.mutable_probabilities() = scratch;
+}
+
+void TransitionMatrix::evolve_dense(RateDistribution& dist) const {
+  assert(static_cast<std::size_t>(dist.num_bins()) == n_);
+  std::vector<double>& scratch = evolve_scratch(n_);
   const std::vector<double>& p = dist.probabilities();
   for (std::size_t i = 0; i < n_; ++i) {
     const double pi = p[i];
@@ -188,13 +322,107 @@ void TransitionMatrix::evolve(RateDistribution& dist) const {
   dist.mutable_probabilities() = scratch;
 }
 
+void TransitionMatrix::evolve_batch(
+    std::span<RateDistribution* const> dists) const {
+  if (dists.empty()) return;
+  if (dists.size() == 1) {
+    evolve(*dists[0]);
+    return;
+  }
+  const std::size_t flows = dists.size();
+  // Block-column sweep over the precomputed tiles (build_blocks): for each
+  // 4-column output block, every flow's accumulator lives in a register
+  // across the block's whole row range while the value tiles stream once
+  // for all flows — no scratch traffic in the inner loop at all.
+  //
+  // Bit-identity with serial evolve(): per output column the kernel adds
+  // pi[i] * value in ascending-row order from +0.0, the same sequence the
+  // row-by-row axpy accumulation produces.  Rows the serial path skips
+  // (pi = 0) or does not cover (zero-padded tile lanes) contribute exactly
+  // +0.0, which cannot change the bits of a non-negative accumulator.
+  const std::size_t nblocks = block_row_begin_.size();
+  const std::size_t npad = nblocks * 4;  // stripes padded to the block grid
+  thread_local std::vector<double> scratch;
+  thread_local std::vector<const double*> coeffs;
+  thread_local std::vector<double*> outs;
+  scratch.resize(flows * npad);  // every stripe block is overwritten below
+  coeffs.resize(flows);
+  outs.resize(flows);
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    const auto begin = static_cast<std::size_t>(block_row_begin_[b]);
+    const std::size_t rows =
+        static_cast<std::size_t>(block_row_end_[b]) - begin;
+    for (std::size_t f = 0; f < flows; ++f) {
+      outs[f] = scratch.data() + f * npad + 4 * b;
+    }
+    if (rows == 0) {
+      // No row reaches these columns; a serial evolve leaves them zero.
+      for (std::size_t f = 0; f < flows; ++f) {
+        outs[f][0] = outs[f][1] = outs[f][2] = outs[f][3] = 0.0;
+      }
+      continue;
+    }
+    for (std::size_t f = 0; f < flows; ++f) {
+      coeffs[f] = dists[f]->probabilities().data() + begin;
+    }
+    kernels::weighted_sum4(&block_vals_[block_off_[b]], rows, coeffs.data(),
+                           flows, outs.data());
+  }
+  for (std::size_t f = 0; f < flows; ++f) {
+    std::vector<double>& p = dists[f]->mutable_probabilities();
+    std::copy(scratch.begin() + static_cast<std::ptrdiff_t>(f * npad),
+              scratch.begin() + static_cast<std::ptrdiff_t>(f * npad + n_),
+              p.begin());
+  }
+}
+
 SproutBayesFilter::SproutBayesFilter(const SproutParams& params)
     : params_(params),
       transitions_(TransitionMatrixCache::get(params)),
       dist_(params.num_bins),
       log_prior_(static_cast<std::size_t>(params.num_bins)) {}
 
-void SproutBayesFilter::evolve() { transitions_->evolve(dist_); }
+void SproutBayesFilter::evolve() {
+  if (batch_evolved_) {
+    // This tick's evolution already ran through evolve_batch.
+    batch_evolved_ = false;
+    return;
+  }
+  evolve_dist(*transitions_, params_, dist_);
+}
+
+void SproutBayesFilter::evolve_batch(
+    std::span<SproutBayesFilter* const> filters) {
+  // Group by shared kernel; order within a group follows caller order, and
+  // per-flow arithmetic is order-independent across flows anyway.
+  std::vector<SproutBayesFilter*> pending(filters.begin(), filters.end());
+  std::vector<RateDistribution*> group;
+  for (std::size_t g = 0; g < pending.size(); ++g) {
+    SproutBayesFilter* lead = pending[g];
+    if (lead == nullptr) continue;
+    assert(!lead->batch_evolved_);
+    if (lead->params_.dense_inference) {
+      // Exact-reference filters keep the historical dense pass.
+      lead->transitions_->evolve_dense(lead->dist_);
+      lead->batch_evolved_ = true;
+      continue;
+    }
+    group.clear();
+    group.push_back(&lead->dist_);
+    for (std::size_t o = g + 1; o < pending.size(); ++o) {
+      SproutBayesFilter* other = pending[o];
+      if (other == nullptr || other->params_.dense_inference) continue;
+      if (other->transitions_.get() == lead->transitions_.get()) {
+        assert(!other->batch_evolved_);
+        group.push_back(&other->dist_);
+        other->batch_evolved_ = true;
+        pending[o] = nullptr;
+      }
+    }
+    lead->transitions_->evolve_batch(group);
+    lead->batch_evolved_ = true;
+  }
+}
 
 void SproutBayesFilter::observe(int packets, double fraction) {
   observe_impl(packets, fraction, /*censored=*/false);

@@ -11,6 +11,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/params.h"
@@ -46,26 +48,89 @@ class RateDistribution {
 // (evolve() works through a thread-local scratch buffer), so one matrix is
 // safely shared across filters, forecasters and sweep threads — see
 // TransitionMatrixCache below.
+//
+// Two evolution paths are built from the same Gaussian rows:
+//  * banded (default): per-row [lo, hi) extents retaining ≥ 1−ε of the
+//    row's mass (ε = SproutParams::band_epsilon), packed contiguously and
+//    renormalized, evolved in O(bins · bandwidth) with vectorized
+//    accumulation (util/kernels.h);
+//  * dense: the full bins² pass, bit-for-bit the historical arithmetic,
+//    kept as the exact-reference path (SproutParams::dense_inference).
+// ε = 0 trims only entries that are EXACTLY zero (underflowed Gaussian
+// tails) and skips renormalization, making the banded path bit-identical
+// to the dense one.
 class TransitionMatrix {
  public:
   explicit TransitionMatrix(const SproutParams& params);
 
-  // p <- p * M (in place via a thread-local scratch buffer).
+  // p <- p * M through the banded kernel (in place via thread-local
+  // scratch).
   void evolve(RateDistribution& dist) const;
+
+  // p <- p * M through the full dense matrix: the exact-reference path.
+  void evolve_dense(RateDistribution& dist) const;
+
+  // Pushes every distribution through one banded matrix pass: rows stream
+  // once and are applied to all flows (GEMM-shaped loop order), so N
+  // co-active Sprout flows pay the matrix traversal once instead of N
+  // times.  Bit-identical to calling evolve() on each entry in order.
+  void evolve_batch(std::span<RateDistribution* const> dists) const;
 
   [[nodiscard]] double entry(int from, int to) const {
     return m_[static_cast<std::size_t>(from) * n_ + static_cast<std::size_t>(to)];
   }
   [[nodiscard]] int num_bins() const { return static_cast<int>(n_); }
 
+  // Band introspection (tests, benches, perf trajectory).
+  [[nodiscard]] std::pair<int, int> row_extent(int row) const {
+    return {band_lo_[static_cast<std::size_t>(row)],
+            band_hi_[static_cast<std::size_t>(row)]};
+  }
+  [[nodiscard]] int max_bandwidth() const { return max_bandwidth_; }
+  [[nodiscard]] double mean_bandwidth() const { return mean_bandwidth_; }
+  [[nodiscard]] double band_epsilon() const { return band_epsilon_; }
+
  private:
+  void build_band(double epsilon);
+  void build_blocks();
+
   std::size_t n_;
-  std::vector<double> m_;  // row-major: m_[from][to]
+  std::vector<double> m_;  // row-major: m_[from][to], exact rows
+  // Packed band: row i's entries for columns [band_lo_[i], band_hi_[i])
+  // live at band_[band_off_[i]...], renormalized to unit row mass.
+  std::vector<double> band_;
+  std::vector<std::size_t> band_off_;
+  std::vector<int> band_lo_;
+  std::vector<int> band_hi_;
+  int max_bandwidth_ = 0;
+  double mean_bandwidth_ = 0.0;
+  double band_epsilon_ = 0.0;
+  // Block-column layout for evolve_batch: for each 4-column output block b
+  // (columns [4b, 4b+4)), the range of rows whose band overlaps the block
+  // and a repacked (rows × 4) tile of their band values at those columns,
+  // zero where a row's band does not cover a column.  Lets the batched
+  // kernel keep per-flow accumulators in registers for a whole block while
+  // streaming each tile once for all flows.
+  std::vector<double> block_vals_;
+  std::vector<std::size_t> block_off_;
+  std::vector<int> block_row_begin_;
+  std::vector<int> block_row_end_;
 };
 
+// Routes one evolve through the path `params` selects: the banded fast
+// kernel by default, the dense exact-reference pass under dense_inference.
+inline void evolve_dist(const TransitionMatrix& m, const SproutParams& params,
+                        RateDistribution& dist) {
+  if (params.dense_inference) {
+    m.evolve_dense(dist);
+  } else {
+    m.evolve(dist);
+  }
+}
+
 // Process-wide cache of transition matrices, keyed by the SproutParams
-// fields that determine the kernel (bins, rate grid, tick, σ, λz) — the
-// same pattern as the forecaster's Poisson-CDF ForecastTableCache.
+// fields that determine the kernel (bins, rate grid, tick, σ, λz, band ε) —
+// the same pattern as the forecaster's Poisson-CDF ForecastTableCache.
 // Building a matrix is ~num_bins² Gaussian integrals and every simulation
 // constructs at least three (sender filter, receiver filter, forecaster);
 // the cache makes that one build per distinct parameter set per process.
@@ -87,8 +152,19 @@ class SproutBayesFilter {
  public:
   explicit SproutBayesFilter(const SproutParams& params);
 
-  // Step 1: Brownian evolution across one tick.
+  // Step 1: Brownian evolution across one tick.  A no-op consuming the
+  // pending-batch mark if this tick's evolution already ran through
+  // evolve_batch (see below).
   void evolve();
+
+  // Evolves several filters in one matrix pass per shared kernel.  Filters
+  // are grouped by their (cache-shared) TransitionMatrix; each group runs
+  // TransitionMatrix::evolve_batch, and each batched filter's next evolve()
+  // call becomes a no-op, so callers that cannot reorder the per-filter
+  // tick logic (the scenario event loop) can hoist just the evolution.
+  // Filters under dense_inference evolve individually (exact reference).
+  // Bit-identical to calling evolve() on each filter in order.
+  static void evolve_batch(std::span<SproutBayesFilter* const> filters);
 
   // Steps 2+3: Bayesian update on `packets` observed during a tick covering
   // `fraction` of the tick length (1.0 = full tick), then renormalize.
@@ -102,6 +178,10 @@ class SproutBayesFilter {
   [[nodiscard]] const RateDistribution& distribution() const { return dist_; }
   [[nodiscard]] const SproutParams& params() const { return params_; }
   [[nodiscard]] double mean_rate_pps() const { return dist_.mean(params_); }
+  // Identity of the cache-shared kernel (the evolve_batch grouping key).
+  [[nodiscard]] const TransitionMatrix* transition_matrix() const {
+    return transitions_.get();
+  }
 
   void reset() { dist_.reset_uniform(); }
 
@@ -112,6 +192,7 @@ class SproutBayesFilter {
   std::shared_ptr<const TransitionMatrix> transitions_;  // cache-shared
   RateDistribution dist_;
   std::vector<double> log_prior_;  // scratch for the log-space update
+  bool batch_evolved_ = false;     // evolve_batch already ran this tick
 };
 
 }  // namespace sprout

@@ -1,0 +1,39 @@
+#include "core/tick_batcher.h"
+
+#include <cassert>
+
+namespace sprout {
+
+void TickEvolveBatcher::add(std::vector<SproutBayesFilter*> filters,
+                            TimePoint first_tick, Duration period) {
+  assert(period > Duration::zero());
+  if (filters.empty()) return;  // strategy has nothing batchable
+  Entry e;
+  e.filters = std::move(filters);
+  e.next = first_tick;
+  e.period = period;
+  entries_.push_back(std::move(e));
+}
+
+void TickEvolveBatcher::on_tick(TimePoint now) {
+  due_.clear();
+  for (Entry& e : entries_) {
+    // Schedules are exact: endpoints reschedule at now + period with the
+    // same integer arithmetic, so equality comparison is safe.
+    if (e.next == now) {
+      e.next = now + e.period;
+      for (SproutBayesFilter* f : e.filters) due_.push_back(f);
+    }
+  }
+  if (due_.empty()) return;
+  if (due_.size() == 1) {
+    // A lone due filter gains nothing from the batch path; leave its own
+    // evolve() to run normally inside its endpoint's tick.
+    return;
+  }
+  SproutBayesFilter::evolve_batch(due_);
+  batched_evolves_ += static_cast<std::int64_t>(due_.size());
+  ++batch_passes_;
+}
+
+}  // namespace sprout

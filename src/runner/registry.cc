@@ -73,6 +73,10 @@ class SproutFlow : public SchemeFlow {
         measured_(std::make_unique<MeasuredSink>(ctx.sim, *rx_)) {
     tx_->attach_network(ctx.forward_link);
     rx_->attach_network(ctx.reverse_link);
+    if (ctx.evolve_batcher != nullptr) {
+      tx_->set_evolve_batcher(ctx.evolve_batcher);
+      rx_->set_evolve_batcher(ctx.evolve_batcher);
+    }
   }
 
   PacketSink& data_egress() override { return *measured_; }

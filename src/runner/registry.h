@@ -27,6 +27,8 @@
 
 namespace sprout {
 
+class TickEvolveBatcher;
+
 // Everything a scheme needs to wire one flow into a running scenario.
 struct FlowContext {
   Simulator& sim;
@@ -38,6 +40,10 @@ struct FlowContext {
   const Trace& forward_trace;   // ground truth (omniscient baseline scheme)
   Duration propagation_delay;
   Duration run_time;
+  // Scenario-wide cross-flow evolution batcher (core/tick_batcher.h); null
+  // when the scenario runs without one.  Sprout-family flows register their
+  // endpoints so same-instant Bayes-filter evolutions merge.
+  TickEvolveBatcher* evolve_batcher = nullptr;
 };
 
 // An instantiated flow: owns its endpoints and metrics for one scenario.

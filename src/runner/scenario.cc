@@ -12,6 +12,7 @@
 #include "aqm/pie.h"
 #include "cc/cubic.h"
 #include "cc/tcp_endpoint.h"
+#include "core/tick_batcher.h"
 #include "link/cellsim.h"
 #include "metrics/flow_metrics.h"
 #include "runner/registry.h"
@@ -469,7 +470,9 @@ ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
       (spec.propagation_delay_fwd + spec.propagation_delay_rev) / 2;
 
   // Declared before the flows: each SchemeFlow holds references to its
-  // gates, so the gates must outlive the flows at scope exit.
+  // gates and (Sprout family) the batcher, so both must outlive the flows
+  // at scope exit.
+  TickEvolveBatcher evolve_batcher;
   std::vector<std::unique_ptr<GateSink>> gates;
   std::vector<std::unique_ptr<SchemeFlow>> flows;
   flows.reserve(flow_specs.size());
@@ -495,7 +498,8 @@ ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
                     *rev_ingress,
                     fwd_link.trace(),
                     spec.propagation_delay_fwd,
-                    spec.run_time};
+                    spec.run_time,
+                    &evolve_batcher};
     auto flow = schemes[f]->make_flow(ctx);
     fwd_demux.route(id, flow->data_egress());
     if (PacketSink* feedback = flow->feedback_egress()) {
@@ -760,38 +764,39 @@ ScenarioResult run_tunnel(const ScenarioSpec& spec, const ResolvedLink& link) {
 }  // namespace
 
 double scheme_cost_weight(SchemeId scheme) {
-  // Wall time per simulated second relative to Cubic, measured once on the
-  // 60 s Verizon-LTE-downlink single-flow scenario (best of 3 reps, warm
-  // trace cache, Release -O2, 2026-07).  Raw timings, seconds per 60
-  // simulated seconds: Sprout 0.93, Sprout-EWMA 0.022, Skype 0.005,
-  // Facetime 0.006, Hangout 0.004, Cubic 0.031, Vegas 0.019, Compound
-  // 0.022, LEDBAT 0.021, Cubic-CoDel 0.016, Omniscient 0.011, GCC 0.005,
-  // FAST 0.022, Cubic-PIE 0.018, Sprout-Adaptive 5.81, Sprout-MMPP 0.021,
-  // Sprout-Empirical 0.45, NewReno 0.032.  The forecaster-bearing schemes
-  // dominate (the per-tick Bayesian update is the hot path; Adaptive runs
-  // a model ensemble of them), so treating all flows as equal — the
-  // pre-calibration behaviour — made LPT balance grids by duration while
-  // one Sprout shard did 30x the work of a Cubic shard.  Constants are
-  // rounded: they are ordering keys, not wall-clock predictions.
+  // Wall time per simulated second relative to Cubic, measured on the 60 s
+  // Verizon-LTE-downlink single-flow scenario (best of 3 reps, warm trace
+  // cache, Release -O2, 2026-08, banded + SIMD inference as shipped).  Raw
+  // timings, seconds per 60 simulated seconds: Sprout 0.42, Sprout-EWMA
+  // 0.028, Skype 0.009, Facetime 0.010, Hangout 0.010, Cubic 0.040, Vegas
+  // 0.025, Compound 0.029, LEDBAT 0.028, Cubic-CoDel 0.022, Omniscient
+  // 0.017, GCC 0.010, FAST 0.032, Cubic-PIE 0.027, Sprout-Adaptive 2.41,
+  // Sprout-MMPP 0.027, Sprout-Empirical 0.44, NewReno 0.035.  The banded
+  // evolve compressed the forecaster-bearing schemes' lead: Sprout fell
+  // from 30x Cubic to ~11x and the Adaptive ensemble from 190x to ~60x
+  // (Empirical barely moved — its windowed quantiles were never
+  // matrix-bound).  They still dominate shard makespans, so LPT plans keyed
+  // on these weights remain far better than cell-count balance.  Constants
+  // are rounded: they are ordering keys, not wall-clock predictions.
   switch (scheme) {
-    case SchemeId::kSprout: return 30.0;
+    case SchemeId::kSprout: return 10.5;
     case SchemeId::kSproutEwma: return 0.7;
-    case SchemeId::kSkype: return 0.17;
-    case SchemeId::kFacetime: return 0.18;
-    case SchemeId::kHangout: return 0.15;
+    case SchemeId::kSkype: return 0.24;
+    case SchemeId::kFacetime: return 0.26;
+    case SchemeId::kHangout: return 0.24;
     case SchemeId::kCubic: return 1.0;
     case SchemeId::kVegas: return 0.65;
-    case SchemeId::kCompound: return 0.7;
+    case SchemeId::kCompound: return 0.75;
     case SchemeId::kLedbat: return 0.7;
-    case SchemeId::kCubicCodel: return 0.5;
-    case SchemeId::kOmniscient: return 0.4;
-    case SchemeId::kGcc: return 0.16;
-    case SchemeId::kFast: return 0.7;
-    case SchemeId::kCubicPie: return 0.6;
-    case SchemeId::kSproutAdaptive: return 190.0;
+    case SchemeId::kCubicCodel: return 0.55;
+    case SchemeId::kOmniscient: return 0.45;
+    case SchemeId::kGcc: return 0.25;
+    case SchemeId::kFast: return 0.8;
+    case SchemeId::kCubicPie: return 0.65;
+    case SchemeId::kSproutAdaptive: return 61.0;
     case SchemeId::kSproutMmpp: return 0.7;
-    case SchemeId::kSproutEmpirical: return 15.0;
-    case SchemeId::kReno: return 1.05;
+    case SchemeId::kSproutEmpirical: return 11.0;
+    case SchemeId::kReno: return 0.9;
   }
   return 1.0;
 }

@@ -51,6 +51,11 @@ void hash_sprout_params(Fnv& h, const SproutParams& p) {
   h.i64(p.assumed_propagation.count());
   h.i64(p.mtu);
   h.i64(p.heartbeat_bytes);
+  // Fast-path knobs are hashed only when moved off their defaults, so every
+  // fingerprint (and the content-derived seeds built from them) from before
+  // the knobs existed stays stable.
+  if (p.band_epsilon != 1e-12) h.f64(p.band_epsilon);
+  if (p.dense_inference) h.u64(2);
 }
 
 void hash_flow_spec(Fnv& h, const FlowSpec& f) {

@@ -40,6 +40,7 @@ SproutParams read_sprout_params(const Field& doc) {
   doc.allow_keys({"num_bins", "max_rate_pps", "tick_s", "sigma_pps_per_sqrt_s",
                   "outage_escape_rate_per_s", "forecast_horizon_ticks",
                   "confidence_percent", "max_count", "count_noise_in_forecast",
+                  "band_epsilon", "dense_inference",
                   "sender_lookahead_ticks", "throwaway_window_s",
                   "assumed_propagation_s", "mtu_bytes", "heartbeat_bytes"});
   SproutParams p;
@@ -52,6 +53,8 @@ SproutParams read_sprout_params(const Field& doc) {
   if (const auto f = doc.get("confidence_percent")) p.confidence_percent = f->in_range(0.0, 100.0);
   if (const auto f = doc.get("max_count")) p.max_count = static_cast<int>(f->int_at_least(1));
   if (const auto f = doc.get("count_noise_in_forecast")) p.count_noise_in_forecast = f->as_bool();
+  if (const auto f = doc.get("band_epsilon")) p.band_epsilon = f->in_range(0.0, 1e-3);
+  if (const auto f = doc.get("dense_inference")) p.dense_inference = f->as_bool();
   if (const auto f = doc.get("sender_lookahead_ticks")) p.sender_lookahead_ticks = static_cast<int>(f->int_at_least(0));
   if (const auto f = doc.get("throwaway_window_s")) p.throwaway_window = f->non_negative_seconds();
   if (const auto f = doc.get("assumed_propagation_s")) p.assumed_propagation = f->non_negative_seconds();
@@ -291,6 +294,10 @@ void write_sprout_params(std::ostream& os, const SproutParams& p, int indent) {
   if (p.max_count != d.max_count) w.integer("max_count", p.max_count);
   if (p.count_noise_in_forecast != d.count_noise_in_forecast) {
     w.boolean("count_noise_in_forecast", p.count_noise_in_forecast);
+  }
+  if (p.band_epsilon != d.band_epsilon) w.number("band_epsilon", p.band_epsilon);
+  if (p.dense_inference != d.dense_inference) {
+    w.boolean("dense_inference", p.dense_inference);
   }
   if (p.sender_lookahead_ticks != d.sender_lookahead_ticks) {
     w.integer("sender_lookahead_ticks", p.sender_lookahead_ticks);

@@ -1,5 +1,8 @@
 #include "core/forecaster.h"
 
+#include <algorithm>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/strategy.h"
@@ -111,6 +114,52 @@ TEST(Forecast, QuantilePacketsInvertsMixtureCdf) {
   const int q = fc.quantile_packets(d, 5);
   EXPECT_GT(q, 10);   // not absurdly small
   EXPECT_LT(q, 60);   // and below the ~50 mean
+}
+
+TEST(Forecast, FloorHintNeverChangesTheForecast) {
+  // The monotone-floor short-circuit: seeding horizon h's quantile search
+  // with horizon h-1's answer must reproduce the plain (floorless) search
+  // after the caller's max-with-floor clamp — for both quantile variants.
+  for (const bool noise : {false, true}) {
+    SproutParams p;
+    p.count_noise_in_forecast = noise;
+    DeliveryForecaster fc(p);
+    const auto kernel = TransitionMatrixCache::get(p);
+    for (const int per_tick : {0, 2, 10, 18}) {
+      const RateDistribution d = locked_at(p, per_tick);
+      RateDistribution evolved = d;
+      int floor = 0;
+      for (int h = 1; h <= p.forecast_horizon_ticks; ++h) {
+        evolve_dist(*kernel, p, evolved);
+        const int plain = std::max(fc.quantile_packets(evolved, h), floor);
+        const int hinted = fc.quantile_packets(evolved, h, floor);
+        EXPECT_EQ(hinted, plain)
+            << "noise=" << noise << " rate=" << per_tick << " h=" << h;
+        floor = hinted;
+      }
+    }
+  }
+}
+
+TEST(Forecast, BatchBitIdenticalToSerialForecasts) {
+  SproutParams p;
+  DeliveryForecaster fc(p);
+  std::vector<RateDistribution> dists;
+  for (const int per_tick : {0, 3, 10, 14, 19}) {
+    dists.push_back(locked_at(p, per_tick));
+  }
+  std::vector<const RateDistribution*> ptrs;
+  for (const auto& d : dists) ptrs.push_back(&d);
+  const TimePoint now = TimePoint{} + sec(2);
+  const std::vector<DeliveryForecast> batch = fc.forecast_batch(ptrs, now);
+  ASSERT_EQ(batch.size(), dists.size());
+  for (std::size_t f = 0; f < dists.size(); ++f) {
+    const DeliveryForecast serial = fc.forecast(dists[f], now);
+    ASSERT_EQ(batch[f].ticks(), serial.ticks()) << "flow " << f;
+    EXPECT_EQ(batch[f].origin, serial.origin);
+    EXPECT_EQ(batch[f].cumulative_bytes, serial.cumulative_bytes)
+        << "flow " << f;
+  }
 }
 
 TEST(EwmaStrategy, FlatExtrapolationAtEstimatedRate) {

@@ -224,5 +224,171 @@ TEST(TransitionMatrixCache, FiltersAndForecastersReuseTheCachedKernel) {
   EXPECT_GT(f1.mean_rate_pps(), f2.mean_rate_pps());
 }
 
+TEST(TransitionMatrixCache, BandEpsilonKeysTheCache) {
+  SproutParams p = small_params();
+  p.sigma_pps_per_sqrt_s = 231.0;  // a key no other test uses
+  const auto a = TransitionMatrixCache::get(p);
+  SproutParams tighter = p;
+  tighter.band_epsilon = 1e-15;
+  const auto b = TransitionMatrixCache::get(tighter);
+  EXPECT_NE(a.get(), b.get());
+  // dense_inference is NOT part of the key: the matrix stores both paths.
+  SproutParams dense = p;
+  dense.dense_inference = true;
+  const auto c = TransitionMatrixCache::get(dense);
+  EXPECT_EQ(a.get(), c.get());
+}
+
+// --- banded fast path ----------------------------------------------------
+
+TEST(BandedEvolve, BandsRetainTheRowMassBudget) {
+  const SproutParams p = small_params();
+  TransitionMatrix m(p);
+  EXPECT_DOUBLE_EQ(m.band_epsilon(), p.band_epsilon);
+  EXPECT_GT(m.max_bandwidth(), 0);
+  // Banding must actually trim: a per-tick σ of a few bins leaves most of
+  // each row negligible.
+  EXPECT_LT(m.mean_bandwidth(), 0.8 * p.num_bins);
+  for (int i = 0; i < p.num_bins; ++i) {
+    const auto [lo, hi] = m.row_extent(i);
+    ASSERT_LT(lo, hi) << "row " << i;
+    double kept = 0.0;
+    for (int j = lo; j < hi; ++j) kept += m.entry(i, j);
+    EXPECT_GE(kept, 1.0 - p.band_epsilon - 1e-15) << "row " << i;
+  }
+}
+
+TEST(BandedEvolve, MatchesDenseWithinEpsilonBudget) {
+  // One banded step vs one dense step from assorted starting beliefs: the
+  // per-element deviation is bounded by a small multiple of ε (trim plus
+  // renormalization, each ≤ ε of relocated mass).
+  for (const double eps : {1e-8, 1e-12, 1e-15}) {
+    SproutParams p = small_params();
+    p.band_epsilon = eps;
+    TransitionMatrix m(p);
+    for (const int start : {0, 1, 17, 32, 62, 63}) {
+      RateDistribution banded(p.num_bins);
+      auto& probs = banded.mutable_probabilities();
+      std::fill(probs.begin(), probs.end(), 0.0);
+      probs[static_cast<std::size_t>(start)] = 1.0;
+      RateDistribution dense = banded;
+      m.evolve(banded);
+      m.evolve_dense(dense);
+      for (int j = 0; j < p.num_bins; ++j) {
+        EXPECT_NEAR(banded.probability(j), dense.probability(j), 4.0 * eps)
+            << "eps=" << eps << " start=" << start << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(BandedEvolve, SteadyStateStaysClosedToDense) {
+  // Closed-loop divergence check: run a full filter (evolve + observe) down
+  // both paths for many ticks and compare the posteriors.
+  SproutParams banded_params;  // full 256 bins, default ε
+  SproutParams dense_params = banded_params;
+  dense_params.dense_inference = true;
+  SproutBayesFilter banded(banded_params);
+  SproutBayesFilter dense(dense_params);
+  for (int t = 0; t < 300; ++t) {
+    const int obs = t < 150 ? 10 : 0;  // steady rate, then an outage
+    banded.evolve();
+    banded.observe(obs);
+    dense.evolve();
+    dense.observe(obs);
+  }
+  EXPECT_NEAR(banded.mean_rate_pps(), dense.mean_rate_pps(), 1e-6);
+  for (int j = 0; j < banded_params.num_bins; ++j) {
+    EXPECT_NEAR(banded.distribution().probability(j),
+                dense.distribution().probability(j), 1e-9)
+        << "bin " << j;
+  }
+}
+
+TEST(BandedEvolve, ZeroEpsilonIsBitIdenticalToDense) {
+  SproutParams p = small_params();
+  p.band_epsilon = 0.0;
+  TransitionMatrix m(p);
+  // ε = 0 may still trim EXACT zeros (underflowed tails) but must keep
+  // every nonzero entry unscaled.
+  EXPECT_LE(m.max_bandwidth(), p.num_bins);
+  RateDistribution banded(p.num_bins);
+  RateDistribution dense(p.num_bins);
+  for (int t = 0; t < 20; ++t) {
+    m.evolve(banded);
+    m.evolve_dense(dense);
+  }
+  for (int j = 0; j < p.num_bins; ++j) {
+    EXPECT_EQ(banded.probability(j), dense.probability(j)) << "bin " << j;
+  }
+}
+
+TEST(BatchedEvolve, BitIdenticalToSerialEvolves) {
+  const SproutParams p = small_params();
+  TransitionMatrix m(p);
+  constexpr int kFlows = 8;
+  std::vector<RateDistribution> serial;
+  std::vector<RateDistribution> batched;
+  for (int f = 0; f < kFlows; ++f) {
+    RateDistribution d(p.num_bins);
+    auto& probs = d.mutable_probabilities();
+    std::fill(probs.begin(), probs.end(), 0.0);
+    // Distinct concentrated beliefs per flow.
+    probs[static_cast<std::size_t>((f * 9 + 3) % p.num_bins)] = 0.75;
+    probs[static_cast<std::size_t>((f * 9 + 4) % p.num_bins)] = 0.25;
+    serial.push_back(d);
+    batched.push_back(d);
+  }
+  std::vector<RateDistribution*> ptrs;
+  for (auto& d : batched) ptrs.push_back(&d);
+  for (int t = 0; t < 10; ++t) {
+    for (auto& d : serial) m.evolve(d);
+    m.evolve_batch(ptrs);
+  }
+  for (int f = 0; f < kFlows; ++f) {
+    for (int j = 0; j < p.num_bins; ++j) {
+      EXPECT_EQ(serial[static_cast<std::size_t>(f)].probability(j),
+                batched[static_cast<std::size_t>(f)].probability(j))
+          << "flow " << f << " bin " << j;
+    }
+  }
+}
+
+TEST(BatchedEvolve, FilterBatchGroupsByKernelAndMarksTicks) {
+  SproutParams pa = small_params();
+  pa.sigma_pps_per_sqrt_s = 217.0;
+  SproutParams pb = small_params();
+  pb.sigma_pps_per_sqrt_s = 433.0;  // different kernel
+  SproutBayesFilter a1(pa), a2(pa), b1(pb), serial_a1(pa), serial_a2(pa),
+      serial_b1(pb);
+  ASSERT_EQ(a1.transition_matrix(), a2.transition_matrix());
+  ASSERT_NE(a1.transition_matrix(), b1.transition_matrix());
+  // Make states distinct before batching.
+  for (auto* f : {&a1, &serial_a1}) { f->evolve(); f->observe(10); }
+  for (auto* f : {&a2, &serial_a2}) { f->evolve(); f->observe(3); }
+  for (auto* f : {&b1, &serial_b1}) { f->evolve(); f->observe(7); }
+  std::vector<SproutBayesFilter*> group{&a1, &a2, &b1};
+  SproutBayesFilter::evolve_batch(group);
+  // The next evolve() consumes the mark: states must equal ONE serial
+  // evolve, not two.
+  a1.evolve();
+  a2.evolve();
+  b1.evolve();
+  serial_a1.evolve();
+  serial_a2.evolve();
+  serial_b1.evolve();
+  const auto expect_same = [&](const SproutBayesFilter& got,
+                               const SproutBayesFilter& want) {
+    for (int j = 0; j < pa.num_bins; ++j) {
+      ASSERT_EQ(got.distribution().probability(j),
+                want.distribution().probability(j))
+          << "bin " << j;
+    }
+  };
+  expect_same(a1, serial_a1);
+  expect_same(a2, serial_a2);
+  expect_same(b1, serial_b1);
+}
+
 }  // namespace
 }  // namespace sprout

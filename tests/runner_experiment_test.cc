@@ -43,6 +43,47 @@ TEST(Experiment, MetricsAreInternallyConsistent) {
   EXPECT_GT(r.packets_delivered, 0);
 }
 
+TEST(Experiment, BandedInferenceMatchesDenseReferenceEndToEnd) {
+  // The banded evolve kernel perturbs the model by at most ε = 1e-12 per
+  // tick; over a full closed-loop run on BOTH a recorded preset and a
+  // synthetic link, the headline metrics must stay within the golden lock's
+  // tolerance of the exact dense-inference reference.
+  SproutParams dense;
+  dense.dense_inference = true;
+  std::vector<ScenarioSpec> cells;
+  {
+    ScenarioSpec preset = quick(SchemeId::kSprout);
+    preset.run_time = sec(30);
+    preset.warmup = sec(5);
+    cells.push_back(preset);
+  }
+  {
+    ScenarioSpec synth;
+    synth.scheme = SchemeId::kSprout;
+    synth.link = LinkSpec::synthetic({}, {}, /*forward_seed=*/21,
+                                     /*reverse_seed=*/22);
+    synth.run_time = sec(30);
+    synth.warmup = sec(5);
+    cells.push_back(synth);
+  }
+  for (ScenarioSpec& cell : cells) {
+    // Both runs use the identical explicit-flow topology so the only
+    // difference is the evolve path.
+    ScenarioSpec banded_cell = cell;
+    banded_cell.topology = TopologySpec::heterogeneous_queue(
+        {FlowSpec::of(SchemeId::kSprout)});
+    const ScenarioResult banded = run_scenario(banded_cell);
+    ScenarioSpec dense_cell = cell;
+    dense_cell.topology = TopologySpec::heterogeneous_queue(
+        {FlowSpec::of(SchemeId::kSprout).with_params(dense)});
+    const ScenarioResult exact = run_scenario(dense_cell);
+    EXPECT_NEAR(banded.throughput_kbps(), exact.throughput_kbps(),
+                5e-4 * exact.throughput_kbps() + 1e-9);
+    EXPECT_NEAR(banded.delay95_ms(), exact.delay95_ms(),
+                5e-4 * exact.delay95_ms() + 1e-9);
+  }
+}
+
 TEST(Experiment, OmniscientSchemeHasZeroSelfInflictedDelay) {
   const ExperimentResult r = run_experiment(quick(SchemeId::kOmniscient));
   EXPECT_NEAR(r.self_inflicted_delay_ms, 0.0, 3.0);
