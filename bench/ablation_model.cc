@@ -14,7 +14,7 @@
 #include "sim/simulator.h"
 #include "util/table.h"
 
-// run_experiment() does not expose every model knob; this ablation harness
+// run_scenario() does not expose every model knob; this ablation harness
 // rebuilds the Sprout topology directly for full control.
 namespace {
 

@@ -13,7 +13,6 @@
 
 #include "bench_common.h"
 #include "link/pf_cell.h"
-#include "runner/experiment.h"
 #include "trace/analysis.h"
 #include "util/table.h"
 

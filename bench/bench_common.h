@@ -15,8 +15,9 @@
 #include <string>
 #include <vector>
 
-#include "runner/experiment.h"
 #include "runner/scenario.h"
+#include "runner/schemes.h"
+#include "trace/presets.h"
 #include "runner/sweep.h"
 
 namespace sprout::bench {

@@ -23,23 +23,24 @@ int main() {
     c.run_time = std::max(c.run_time, sec(80));
     c.warmup = sec(10);
     c.capture_series = true;
-    const ExperimentResult r = run_experiment(c);
+    const ScenarioResult r = run_scenario(c);
+    const std::vector<SeriesPoint>& series = r.flows.front().series;
 
     std::cout << "--- " << to_string(scheme) << " ---\n";
     TableWriter t({"time (s)", "capacity (kbps)", "throughput (kbps)",
                    "max delay in bin (ms)"});
     // The paper's figure shows a 60-second section; start after warmup.
-    for (std::size_t i = 20; i < r.series.size() && i < 140; ++i) {
+    for (std::size_t i = 20; i < series.size() && i < 140; ++i) {
       t.row()
-          .cell(r.series[i].time_s, 1)
+          .cell(series[i].time_s, 1)
           .cell(r.capacity_series[i].throughput_kbps, 0)
-          .cell(r.series[i].throughput_kbps, 0)
-          .cell(r.series[i].max_delay_ms, 0);
+          .cell(series[i].throughput_kbps, 0)
+          .cell(series[i].max_delay_ms, 0);
     }
     t.print(std::cout);
-    std::cout << "summary: throughput " << format_double(r.throughput_kbps, 0)
-              << " kbps, 95% delay " << format_double(r.delay95_ms, 0)
-              << " ms, self-inflicted " << format_double(r.self_inflicted_delay_ms, 0)
+    std::cout << "summary: throughput " << format_double(r.throughput_kbps(), 0)
+              << " kbps, 95% delay " << format_double(r.delay95_ms(), 0)
+              << " ms, self-inflicted " << format_double(r.self_inflicted_delay_ms(), 0)
               << " ms\n\n";
   }
   std::cout << "Expected shape (paper): Skype overshoots capacity drops and "

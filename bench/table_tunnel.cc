@@ -11,10 +11,13 @@ int main() {
   std::cout << "=== §5.7: SproutTunnel isolating competing flows (Verizon "
                "LTE) ===\n\n";
 
-  const TunnelContentionResult direct =
-      run_tunnel_contention(bench::tunnel_spec(false));
-  const TunnelContentionResult tunneled =
-      run_tunnel_contention(bench::tunnel_spec(true));
+  // flows[0] is the Cubic download, flows[1] the Skype call.
+  const ScenarioResult direct = run_scenario(bench::tunnel_spec(false));
+  const ScenarioResult tunneled = run_scenario(bench::tunnel_spec(true));
+  const FlowResult& d_cubic = direct.flows.at(0);
+  const FlowResult& d_skype = direct.flows.at(1);
+  const FlowResult& t_cubic = tunneled.flows.at(0);
+  const FlowResult& t_skype = tunneled.flows.at(1);
 
   auto pct_change = [](double from, double to) {
     return from > 0 ? 100.0 * (to - from) / from : 0.0;
@@ -23,28 +26,28 @@ int main() {
   TableWriter t({"Metric", "Direct", "via Sprout", "Change"});
   t.row()
       .cell("Cubic throughput (kbps)")
-      .cell(direct.cubic_throughput_kbps, 0)
-      .cell(tunneled.cubic_throughput_kbps, 0)
+      .cell(d_cubic.throughput_kbps, 0)
+      .cell(t_cubic.throughput_kbps, 0)
       .cell(format_double(
-                pct_change(direct.cubic_throughput_kbps,
-                           tunneled.cubic_throughput_kbps),
+                pct_change(d_cubic.throughput_kbps,
+                           t_cubic.throughput_kbps),
                 0) +
             "%");
   t.row()
       .cell("Skype throughput (kbps)")
-      .cell(direct.skype_throughput_kbps, 0)
-      .cell(tunneled.skype_throughput_kbps, 0)
+      .cell(d_skype.throughput_kbps, 0)
+      .cell(t_skype.throughput_kbps, 0)
       .cell(format_double(
-                pct_change(direct.skype_throughput_kbps,
-                           tunneled.skype_throughput_kbps),
+                pct_change(d_skype.throughput_kbps,
+                           t_skype.throughput_kbps),
                 0) +
             "%");
   t.row()
       .cell("Skype 95% delay (s)")
-      .cell(direct.skype_delay95_ms / 1000.0, 2)
-      .cell(tunneled.skype_delay95_ms / 1000.0, 2)
+      .cell(d_skype.delay95_ms / 1000.0, 2)
+      .cell(t_skype.delay95_ms / 1000.0, 2)
       .cell(format_double(
-                pct_change(direct.skype_delay95_ms, tunneled.skype_delay95_ms),
+                pct_change(d_skype.delay95_ms, t_skype.delay95_ms),
                 0) +
             "%");
   t.print(std::cout);

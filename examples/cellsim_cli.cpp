@@ -13,7 +13,9 @@
 #include <string>
 #include <utility>
 
-#include "runner/experiment.h"
+#include "runner/scenario.h"
+#include "runner/schemes.h"
+#include "trace/presets.h"
 
 int main(int argc, char** argv) {
   using namespace sprout;
@@ -73,13 +75,13 @@ int main(int argc, char** argv) {
             << " s over " << argv[1] << " (" << forward_avg_kbps
             << " kbps avg) with feedback over " << argv[2] << "\n\n";
 
-  const ExperimentResult r = run_experiment(config);
-  std::cout << "  throughput            " << r.throughput_kbps << " kbit/s\n"
+  const ScenarioResult r = run_scenario(config);
+  std::cout << "  throughput            " << r.throughput_kbps() << " kbit/s\n"
             << "  link capacity         " << r.capacity_kbps << " kbit/s  ("
-            << 100.0 * r.utilization << "% utilized)\n"
-            << "  95% end-to-end delay  " << r.delay95_ms << " ms\n"
+            << 100.0 * r.utilization() << "% utilized)\n"
+            << "  95% end-to-end delay  " << r.delay95_ms() << " ms\n"
             << "  omniscient baseline   " << r.omniscient_delay95_ms << " ms\n"
-            << "  self-inflicted delay  " << r.self_inflicted_delay_ms
+            << "  self-inflicted delay  " << r.self_inflicted_delay_ms()
             << " ms   <- the paper's headline metric (§5.1)\n"
             << "  packets delivered     " << r.packets_delivered << "\n"
             << "  link drops            " << r.link_drops << "\n";

@@ -5,11 +5,11 @@
 //   $ ./quickstart [seconds]
 //
 // This is the smallest end-to-end use of the library: pick a link preset,
-// fill in a ScenarioSpec, call run_experiment().
+// fill in a ScenarioSpec, call run_scenario().
 #include <cstdlib>
 #include <iostream>
 
-#include "runner/experiment.h"
+#include "runner/scenario.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -32,13 +32,13 @@ int main(int argc, char** argv) {
        {SchemeId::kSprout, SchemeId::kSproutEwma, SchemeId::kCubic,
         SchemeId::kCubicCodel}) {
     config.scheme = scheme;
-    const ExperimentResult r = run_experiment(config);
+    const ScenarioResult r = run_scenario(config);
     table.row()
         .cell(to_string(scheme))
-        .cell(r.throughput_kbps, 0)
-        .cell(r.self_inflicted_delay_ms, 0)
-        .cell(r.delay95_ms, 0)
-        .cell(r.utilization, 2);
+        .cell(r.throughput_kbps(), 0)
+        .cell(r.self_inflicted_delay_ms(), 0)
+        .cell(r.delay95_ms(), 0)
+        .cell(r.utilization(), 2);
   }
   table.print(std::cout);
   std::cout << "\nHigher throughput and lower delay are better; Sprout should"

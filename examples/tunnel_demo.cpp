@@ -10,7 +10,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "runner/experiment.h"
+#include "runner/scenario.h"
+#include "runner/schemes.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -26,27 +27,28 @@ int main(int argc, char** argv) {
                "(synthetic) link, "
             << seconds << " s\n\n";
 
-  const TunnelContentionResult direct = run_tunnel_contention(config);
+  // flows[0] is the Cubic download, flows[1] the Skype call.
+  const ScenarioResult direct = run_scenario(config);
   config.topology.via_tunnel = true;
-  const TunnelContentionResult tunneled = run_tunnel_contention(config);
+  const ScenarioResult tunneled = run_scenario(config);
 
   TableWriter t({"Metric", "Direct", "via SproutTunnel"});
   t.row()
       .cell("Cubic throughput (kbps)")
-      .cell(direct.cubic_throughput_kbps, 0)
-      .cell(tunneled.cubic_throughput_kbps, 0);
+      .cell(direct.flows.at(0).throughput_kbps, 0)
+      .cell(tunneled.flows.at(0).throughput_kbps, 0);
   t.row()
       .cell("Skype throughput (kbps)")
-      .cell(direct.skype_throughput_kbps, 0)
-      .cell(tunneled.skype_throughput_kbps, 0);
+      .cell(direct.flows.at(1).throughput_kbps, 0)
+      .cell(tunneled.flows.at(1).throughput_kbps, 0);
   t.row()
       .cell("Skype 95% delay (ms)")
-      .cell(direct.skype_delay95_ms, 0)
-      .cell(tunneled.skype_delay95_ms, 0);
+      .cell(direct.flows.at(1).delay95_ms, 0)
+      .cell(tunneled.flows.at(1).delay95_ms, 0);
   t.row()
       .cell("Cubic 95% delay (ms)")
-      .cell(direct.cubic_delay95_ms, 0)
-      .cell(tunneled.cubic_delay95_ms, 0);
+      .cell(direct.flows.at(0).delay95_ms, 0)
+      .cell(tunneled.flows.at(0).delay95_ms, 0);
   t.print(std::cout);
   std::cout << "\nThe tunnel should rescue the call's delay (paper: 6.0 s -> "
                "0.17 s) at a cost to bulk throughput.\n";

@@ -12,7 +12,8 @@
 #include <iostream>
 #include <vector>
 
-#include "runner/experiment.h"
+#include "runner/scenario.h"
+#include "runner/schemes.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -34,15 +35,16 @@ int main(int argc, char** argv) {
 
   struct Row {
     SchemeId scheme;
-    ExperimentResult result;
+    ScenarioResult result;
   };
   std::vector<Row> rows;
   for (const SchemeId scheme : figure7_schemes()) {
     config.scheme = scheme;
-    rows.push_back({scheme, run_experiment(config)});
+    rows.push_back({scheme, run_scenario(config)});
   }
   std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-    return a.result.self_inflicted_delay_ms < b.result.self_inflicted_delay_ms;
+    return a.result.self_inflicted_delay_ms() <
+           b.result.self_inflicted_delay_ms();
   });
 
   TableWriter t({"Rank", "Scheme", "Self-inflicted delay (ms)",
@@ -52,9 +54,9 @@ int main(int argc, char** argv) {
     t.row()
         .cell(rank++)
         .cell(to_string(row.scheme))
-        .cell(row.result.self_inflicted_delay_ms, 0)
-        .cell(row.result.throughput_kbps, 0)
-        .cell(row.result.utilization, 2);
+        .cell(row.result.self_inflicted_delay_ms(), 0)
+        .cell(row.result.throughput_kbps(), 0)
+        .cell(row.result.utilization(), 2);
   }
   t.print(std::cout);
   std::cout << "\nFor a usable call you want the top of this table to also "

@@ -87,7 +87,10 @@ void SproutEndpoint::emit(SproutWireMessage&& msg, ByteCount wire_size) {
   p.flow_id = flow_id_;
   p.size = wire_size;
   p.sent_at = sim_.now();
-  p.payload = serialize(msg);
+  // Pooled payload: reuse a recycled buffer's capacity instead of a fresh
+  // heap allocation per packet (sim/packet_pool.h).
+  p.payload = sim_.pool().acquire();
+  serialize_into(msg, p.payload);
   if (msg.header.payload_bytes > 0 && source_ != nullptr) {
     source_->fill(p, msg.header.payload_bytes);
   }
@@ -96,6 +99,9 @@ void SproutEndpoint::emit(SproutWireMessage&& msg, ByteCount wire_size) {
 
 void SproutEndpoint::receive(Packet&& p) {
   const std::optional<SproutWireMessage> msg = parse(p.payload);
+  // The payload dies here either way; hand its capacity back to the pool
+  // for the next emit().
+  sim_.pool().recycle(std::move(p.payload));
   if (!msg.has_value()) {
     ++malformed_;
     return;

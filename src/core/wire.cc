@@ -65,6 +65,13 @@ ByteCount serialized_size(const SproutWireMessage& msg) {
 
 std::vector<std::uint8_t> serialize(const SproutWireMessage& msg) {
   std::vector<std::uint8_t> out;
+  serialize_into(msg, out);
+  return out;
+}
+
+void serialize_into(const SproutWireMessage& msg,
+                    std::vector<std::uint8_t>& out) {
+  out.clear();
   out.reserve(static_cast<std::size_t>(serialized_size(msg)));
   put_le<std::uint32_t>(out, SproutHeader::kMagic);
   put_u8(out, SproutHeader::kVersion);
@@ -89,7 +96,6 @@ std::vector<std::uint8_t> serialize(const SproutWireMessage& msg) {
       put_le<std::uint32_t>(out, v);
     }
   }
-  return out;
 }
 
 std::optional<SproutWireMessage> parse(std::span<const std::uint8_t> bytes) {

@@ -60,6 +60,12 @@ struct SproutWireMessage {
 
 [[nodiscard]] std::vector<std::uint8_t> serialize(const SproutWireMessage& msg);
 
+// Serializes into a caller-provided buffer (cleared first, capacity kept) —
+// the allocation-free spelling the packet pool (sim/packet_pool.h) builds
+// on.  serialize() above is serialize_into() on a fresh vector.
+void serialize_into(const SproutWireMessage& msg,
+                    std::vector<std::uint8_t>& out);
+
 // Bounds-checked parse; nullopt on truncation, bad magic/version, or an
 // oversized forecast.
 [[nodiscard]] std::optional<SproutWireMessage> parse(

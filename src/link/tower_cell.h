@@ -1,0 +1,99 @@
+// A cell tower serving a churning population of users — the §2.1 scheduler
+// generalized to synth-driven per-user channels and live attach/detach.
+//
+// PfCell (link/pf_cell.h) models the proportional-fair downlink for a
+// fixed fleet of OU-faded users.  TowerCell keeps the scheduler — serve
+// argmax(instantaneous rate / PF-average rate) each slot, credit the
+// winner's bytes, emit one delivery opportunity per completed MTU — but
+// draws each user's instantaneous rate from its own synth/ rate process
+// (Brownian or Markov, the live models) and lets users arrive and depart
+// mid-run.  Departed users cost nothing: their state is erased, and the
+// scheduler's per-slot work is O(active users).
+//
+// Determinism: users are stored in id order and every tie in the PF metric
+// breaks toward the smallest id, so a tower run is a pure function of its
+// channel seeds and churn timeline, bit-identical on any thread count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "synth/synth.h"
+#include "trace/trace.h"
+#include "util/units.h"
+
+namespace sprout {
+
+// One user's radio channel: a stepwise rate process the cell advances
+// lazily (a user's rate holds for one model step, typically 20 ms, across
+// many scheduler slots).
+class TowerChannel {
+ public:
+  virtual ~TowerChannel() = default;
+
+  // Advances one model step and returns the rate holding in it, in
+  // MTU-sized packets per second.
+  virtual double advance() = 0;
+
+  // The model step the returned rate holds for.
+  [[nodiscard]] virtual Duration step() const = 0;
+};
+
+// Builds a live channel from a synth spec with `seed` substituted for the
+// spec's own.  Throws std::invalid_argument unless the spec is a pure live
+// model (brownian or markov, no op chain) — the tower never materializes a
+// trace to apply ops to.
+[[nodiscard]] std::unique_ptr<TowerChannel> make_tower_channel(
+    const SynthSpec& channel, std::uint64_t seed);
+
+struct TowerCellParams {
+  Duration slot = msec(2);          // scheduler TTI: one user served per slot
+  Duration pf_window = msec(1500);  // EWMA horizon of the PF average
+};
+
+class TowerCell {
+ public:
+  explicit TowerCell(TowerCellParams params);
+
+  // Attaches a user; the channel's first step begins at the current slot.
+  // Throws std::invalid_argument on a duplicate id.
+  void add_user(std::int64_t user_id, std::unique_ptr<TowerChannel> channel);
+
+  // Detaches a user, returning the delivery opportunities it accumulated.
+  // Throws std::invalid_argument for an unknown id.
+  std::vector<TimePoint> remove_user(std::int64_t user_id);
+
+  // Advances one slot: lazily advances channels whose model step elapsed,
+  // serves the PF winner, updates every active user's PF average.  Returns
+  // the served user's id, or -1 when no user is attached.
+  std::int64_t step();
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+  [[nodiscard]] int active_users() const {
+    return static_cast<int>(users_.size());
+  }
+  [[nodiscard]] std::int64_t slots_served() const { return slots_served_; }
+
+  // Current PF-average rate of an attached user (tests).
+  [[nodiscard]] double avg_rate_pps(std::int64_t user_id) const;
+
+ private:
+  struct User {
+    std::unique_ptr<TowerChannel> channel;
+    TimePoint next_advance{};  // when the held rate expires
+    double rate_pps = 0.0;
+    double avg_pps = 1.0;  // PF average, floored away from zero
+    ByteCount byte_credit = 0;
+    std::vector<TimePoint> opportunities;
+  };
+
+  TowerCellParams params_;
+  // id-ordered so iteration (and PF tie-breaking) is deterministic.
+  std::map<std::int64_t, User> users_;
+  TimePoint now_{};
+  std::int64_t slots_served_ = 0;
+};
+
+}  // namespace sprout

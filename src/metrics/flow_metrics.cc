@@ -8,14 +8,36 @@
 namespace sprout {
 
 void FlowMetrics::record(const Packet& p, TimePoint received_at) {
-  records_.push_back(DeliveryRecord{p.sent_at, received_at, p.size});
+  record(DeliveryRecord{p.sent_at, received_at, p.size});
 }
 
-ByteCount FlowMetrics::total_bytes() const {
-  ByteCount total = 0;
-  for (const DeliveryRecord& r : records_) total += r.size;
-  return total;
+void FlowMetrics::record(DeliveryRecord r) {
+  total_bytes_ += r.size;
+  if (!streaming_) {
+    records_.push_back(r);
+    return;
+  }
+  if (r.received_at >= window_from_ && r.received_at < window_to_) {
+    window_bytes_ += r.size;
+    hist_.add(r.received_at - r.sent_at);
+  }
 }
+
+void FlowMetrics::enable_streaming(Duration hist_bin, Duration hist_max,
+                                   TimePoint from, TimePoint to) {
+  assert(records_.empty() && "enable_streaming before any delivery");
+  streaming_ = true;
+  window_from_ = from;
+  window_to_ = to;
+  hist_ = DelayHistogram(hist_bin, hist_max);
+}
+
+double FlowMetrics::window_throughput_kbps() const {
+  if (window_to_ <= window_from_) return 0.0;
+  return kbps(window_bytes_, window_to_ - window_from_);
+}
+
+ByteCount FlowMetrics::total_bytes() const { return total_bytes_; }
 
 double FlowMetrics::throughput_kbps(TimePoint from, TimePoint to) const {
   assert(to > from);

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "metrics/histogram.h"
 #include "sim/packet.h"
 #include "trace/trace.h"
 #include "util/stats.h"
@@ -28,7 +29,25 @@ struct DeliveryRecord {
 class FlowMetrics {
  public:
   void record(const Packet& p, TimePoint received_at);
-  void record(DeliveryRecord r) { records_.push_back(r); }
+  void record(DeliveryRecord r);
+
+  // Streaming mode — population-scale aggregation without retention.
+  //
+  // Once enabled, record() folds each delivery into O(1) state instead of
+  // appending to records_: total bytes, plus — inside [from, to) — windowed
+  // bytes and a fixed-bin histogram of per-packet one-way delay.  The
+  // retained-record analyses (delay_percentile_ms and friends) are
+  // unavailable in this mode (they would see an empty record list); use
+  // histogram()/window_* instead.  A tower's thousand flows each cost a
+  // histogram, not a packet log.
+  void enable_streaming(Duration hist_bin, Duration hist_max, TimePoint from,
+                        TimePoint to);
+  [[nodiscard]] bool streaming() const { return streaming_; }
+  // The streaming delay histogram (unconfigured unless streaming).
+  [[nodiscard]] const DelayHistogram& histogram() const { return hist_; }
+  // Bytes received inside the streaming window [from, to).
+  [[nodiscard]] ByteCount window_bytes() const { return window_bytes_; }
+  [[nodiscard]] double window_throughput_kbps() const;
 
   [[nodiscard]] const std::vector<DeliveryRecord>& records() const {
     return records_;
@@ -57,6 +76,12 @@ class FlowMetrics {
                                                     TimePoint to) const;
 
   std::vector<DeliveryRecord> records_;
+  ByteCount total_bytes_ = 0;
+  bool streaming_ = false;
+  TimePoint window_from_{};
+  TimePoint window_to_{};
+  ByteCount window_bytes_ = 0;
+  DelayHistogram hist_;  // unconfigured unless streaming
 };
 
 // A transparent sink that records deliveries, then forwards.

@@ -1,0 +1,104 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sprout {
+
+DelayHistogram::DelayHistogram(Duration bin, Duration max) {
+  if (bin <= Duration::zero()) {
+    throw std::invalid_argument("histogram bin width must be > 0");
+  }
+  if (max < bin) {
+    throw std::invalid_argument("histogram max must be >= one bin width");
+  }
+  bin_ms_ = to_millis(bin);
+  const auto num_bins = static_cast<std::size_t>(
+      std::ceil(to_millis(max) / bin_ms_));
+  max_ms_ = bin_ms_ * static_cast<double>(num_bins);
+  counts_.assign(num_bins + 1, 0);  // + overflow
+}
+
+void DelayHistogram::add(Duration delay) {
+  if (!configured()) {
+    throw std::logic_error("add() on an unconfigured DelayHistogram");
+  }
+  const double ms = std::max(0.0, to_millis(delay));
+  std::size_t bin = static_cast<std::size_t>(ms / bin_ms_);
+  if (bin >= counts_.size() - 1) bin = counts_.size() - 1;  // overflow
+  ++counts_[bin];
+  ++samples_;
+  sum_ms_ += ms;
+}
+
+void DelayHistogram::merge(const DelayHistogram& other) {
+  if (other.empty() && !other.configured()) return;
+  if (!configured()) {
+    *this = other;
+    return;
+  }
+  if (other.bin_ms_ != bin_ms_ || other.counts_.size() != counts_.size()) {
+    throw std::invalid_argument(
+        "DelayHistogram::merge of mismatched bin geometries");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  samples_ += other.samples_;
+  sum_ms_ += other.sum_ms_;
+}
+
+double DelayHistogram::percentile_ms(double pct) const {
+  if (samples_ == 0) return 0.0;
+  // Rank of the percentile sample, 1-based: the smallest rank such that
+  // rank/samples >= pct/100 (the nearest-rank quantile definition).
+  const double target = pct / 100.0 * static_cast<double>(samples_);
+  const auto rank =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(std::ceil(target)));
+  std::int64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= rank) {
+      // Upper edge of bin i; the overflow bin reports max + bin as an
+      // out-of-range sentinel.
+      return bin_ms_ * static_cast<double>(i + 1);
+    }
+  }
+  return max_ms_ + bin_ms_;
+}
+
+double DelayHistogram::mean_ms() const {
+  return samples_ == 0 ? 0.0 : sum_ms_ / static_cast<double>(samples_);
+}
+
+DelayStats DelayHistogram::stats() const {
+  DelayStats s;
+  s.p50_ms = percentile_ms(50.0);
+  s.p95_ms = percentile_ms(95.0);
+  s.p99_ms = percentile_ms(99.0);
+  s.p999_ms = percentile_ms(99.9);
+  s.mean_ms = mean_ms();
+  s.samples = samples_;
+  return s;
+}
+
+DelayHistogram DelayHistogram::from_parts(double bin_ms, double max_ms,
+                                          double sum_ms,
+                                          std::vector<std::int64_t> counts) {
+  if (bin_ms <= 0.0 || counts.size() < 2) {
+    throw std::invalid_argument("malformed DelayHistogram parts");
+  }
+  DelayHistogram h;
+  h.bin_ms_ = bin_ms;
+  h.max_ms_ = max_ms;
+  h.sum_ms_ = sum_ms;
+  h.counts_ = std::move(counts);
+  for (const std::int64_t c : h.counts_) {
+    if (c < 0) throw std::invalid_argument("negative DelayHistogram count");
+    h.samples_ += c;
+  }
+  return h;
+}
+
+}  // namespace sprout

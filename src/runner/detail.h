@@ -1,0 +1,32 @@
+// Internal seams of the scenario engine, shared with the tower runner
+// (runner/tower.cc).  Not part of the public API: signatures here may
+// change without notice.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "aqm/aqm.h"
+#include "runner/registry.h"
+#include "runner/scenario.h"
+#include "util/rng.h"
+
+namespace sprout::detail {
+
+// Builds one direction's queue policy.  Called once per direction (or per
+// tower user), in a fixed order, so stochastic policies (PIE) fork
+// deterministic seeds; DropTail is the absence of a policy.
+[[nodiscard]] std::unique_ptr<AqmPolicy> make_aqm_policy(LinkAqm aqm,
+                                                         Rng& seeder);
+
+// Reconciles the spec's explicit link policy with the policies the given
+// schemes request (kAuto infers; contradictions are rejected).  See the
+// definition in scenario.cc for the full rule.
+[[nodiscard]] LinkAqm resolve_link_aqm(
+    const ScenarioSpec& spec, const std::vector<const SchemeInfo*>& schemes);
+
+// The §5.1-style measurement engine over registry-built flows; the tower
+// runner lives in runner/tower.cc and is dispatched by run_scenario().
+[[nodiscard]] ScenarioResult run_tower(const ScenarioSpec& spec);
+
+}  // namespace sprout::detail

@@ -1,3 +1,5 @@
+// The definitions themselves may not warn about their own declarations.
+#define SPROUT_ALLOW_DEPRECATED_EXPERIMENT_API
 #include "runner/experiment.h"
 
 #include <stdexcept>

@@ -56,6 +56,18 @@ std::vector<SchemeId> SchemeRegistry::registered() const {
   return ids;
 }
 
+std::unique_ptr<MeasuredSink> make_measured(const FlowContext& ctx,
+                                            PacketSink* next) {
+  auto sink = next != nullptr ? std::make_unique<MeasuredSink>(ctx.sim, *next)
+                              : std::make_unique<MeasuredSink>(ctx.sim);
+  if (ctx.streaming_metrics != nullptr) {
+    const StreamingMetricsConfig& cfg = *ctx.streaming_metrics;
+    sink->metrics().enable_streaming(cfg.hist_bin, cfg.hist_max, cfg.from,
+                                     cfg.to);
+  }
+  return sink;
+}
+
 namespace {
 
 // --- Sprout family -----------------------------------------------------
@@ -70,7 +82,7 @@ class SproutFlow : public SchemeFlow {
                                              ctx.flow_id, bulk_.get())),
         rx_(std::make_unique<SproutEndpoint>(ctx.sim, params_, variant,
                                              ctx.flow_id, nullptr)),
-        measured_(std::make_unique<MeasuredSink>(ctx.sim, *rx_)) {
+        measured_(make_measured(ctx, rx_.get())) {
     tx_->attach_network(ctx.forward_link);
     rx_->attach_network(ctx.reverse_link);
     if (ctx.evolve_batcher != nullptr) {
@@ -109,7 +121,7 @@ class TcpFlow : public SchemeFlow {
   TcpFlow(const FlowContext& ctx, std::unique_ptr<CongestionControl> cc)
       : tx_(std::make_unique<TcpSender>(ctx.sim, std::move(cc), ctx.flow_id)),
         rx_(std::make_unique<TcpReceiver>(ctx.sim, ctx.flow_id)),
-        measured_(std::make_unique<MeasuredSink>(ctx.sim, *rx_)) {
+        measured_(make_measured(ctx, rx_.get())) {
     tx_->attach_network(ctx.forward_link);
     rx_->attach_ack_path(ctx.reverse_link);
   }
@@ -132,7 +144,7 @@ class VideoFlow : public SchemeFlow {
   VideoFlow(const FlowContext& ctx, const VideoProfile& profile)
       : tx_(std::make_unique<VideoSender>(ctx.sim, profile, ctx.flow_id)),
         rx_(std::make_unique<VideoReceiver>(ctx.sim, ctx.flow_id)),
-        measured_(std::make_unique<MeasuredSink>(ctx.sim, *rx_)) {
+        measured_(make_measured(ctx, rx_.get())) {
     tx_->attach_network(ctx.forward_link);
     rx_->attach_report_path(ctx.reverse_link);
   }
@@ -160,7 +172,7 @@ class GccFlow : public SchemeFlow {
   explicit GccFlow(const FlowContext& ctx)
       : tx_(std::make_unique<GccSender>(ctx.sim, GccProfile{}, ctx.flow_id)),
         rx_(std::make_unique<GccReceiver>(ctx.sim, GccProfile{}, ctx.flow_id)),
-        measured_(std::make_unique<MeasuredSink>(ctx.sim, *rx_)) {
+        measured_(make_measured(ctx, rx_.get())) {
     tx_->attach_network(ctx.forward_link);
     rx_->attach_feedback_path(ctx.reverse_link);
   }
@@ -189,7 +201,7 @@ class OmniscientFlow : public SchemeFlow {
       : run_time_(ctx.run_time),
         tx_(std::make_unique<OmniscientSender>(
             ctx.sim, ctx.forward_trace, ctx.propagation_delay, ctx.flow_id)),
-        measured_(std::make_unique<MeasuredSink>(ctx.sim)) {
+        measured_(make_measured(ctx, nullptr)) {
     tx_->attach_network(ctx.forward_link);
   }
 

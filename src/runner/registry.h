@@ -29,6 +29,18 @@ namespace sprout {
 
 class TickEvolveBatcher;
 
+// When set on a FlowContext, the flow's MeasuredSink runs FlowMetrics in
+// streaming mode: per-packet delays fold into a fixed-bin histogram over
+// [from, to) instead of a retained delivery log.  Tower scenarios set this
+// so a thousand flows cost a thousand histograms, not a thousand packet
+// logs.
+struct StreamingMetricsConfig {
+  Duration hist_bin{};
+  Duration hist_max{};
+  TimePoint from{};
+  TimePoint to{};
+};
+
 // Everything a scheme needs to wire one flow into a running scenario.
 struct FlowContext {
   Simulator& sim;
@@ -44,7 +56,16 @@ struct FlowContext {
   // when the scenario runs without one.  Sprout-family flows register their
   // endpoints so same-instant Bayes-filter evolutions merge.
   TickEvolveBatcher* evolve_batcher = nullptr;
+  // Non-null => the flow's measured sink aggregates streaming metrics
+  // instead of retaining delivery records (tower scenarios).
+  const StreamingMetricsConfig* streaming_metrics = nullptr;
 };
+
+// Builds the flow's measured receiver sink, honouring
+// FlowContext::streaming_metrics.  Every scheme's factory should construct
+// its recorder through this helper so streaming mode applies uniformly.
+[[nodiscard]] std::unique_ptr<MeasuredSink> make_measured(
+    const FlowContext& ctx, PacketSink* next);
 
 // An instantiated flow: owns its endpoints and metrics for one scenario.
 class SchemeFlow {

@@ -1,6 +1,7 @@
 #include "runner/scenario.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
@@ -15,6 +16,7 @@
 #include "core/tick_batcher.h"
 #include "link/cellsim.h"
 #include "metrics/flow_metrics.h"
+#include "runner/detail.h"
 #include "runner/registry.h"
 #include "sim/relay.h"
 #include "sim/simulator.h"
@@ -123,6 +125,7 @@ TopologySpec TopologySpec::shared_queue(int num_flows) {
   TopologySpec t;
   t.kind = Kind::kSharedQueue;
   t.num_flows = num_flows;
+  validate_topology(t);
   return t;
 }
 
@@ -135,6 +138,7 @@ TopologySpec TopologySpec::heterogeneous_queue(std::vector<FlowSpec> flows) {
   t.kind = Kind::kSharedQueue;
   t.num_flows = static_cast<int>(flows.size());
   t.flows = std::move(flows);
+  validate_topology(t);
   return t;
 }
 
@@ -142,7 +146,106 @@ TopologySpec TopologySpec::tunnel_contention(bool via_tunnel) {
   TopologySpec t;
   t.kind = Kind::kTunnelContention;
   t.via_tunnel = via_tunnel;
+  validate_topology(t);
   return t;
+}
+
+TopologySpec TopologySpec::tower(TowerSpec spec) {
+  TopologySpec t;
+  t.kind = Kind::kTower;
+  t.tower_spec = std::move(spec);
+  validate_topology(t);
+  return t;
+}
+
+void validate_topology(const TopologySpec& topology) {
+  using Kind = TopologySpec::Kind;
+  // The precedence rule, uniformly: a non-empty flow list is only
+  // meaningful to the shared-queue topology, and num_flows must agree with
+  // it.  Silently ignoring either field would let two specs that simulate
+  // identically carry different fingerprints — contradictions are
+  // rejected, never resolved.
+  if (!topology.flows.empty()) {
+    if (topology.kind != Kind::kSharedQueue) {
+      throw std::invalid_argument(
+          "FlowSpec lists are only valid for shared-queue topologies");
+    }
+    if (topology.num_flows != static_cast<int>(topology.flows.size())) {
+      throw std::invalid_argument(
+          "topology num_flows disagrees with its flow list; build the spec "
+          "with TopologySpec::heterogeneous_queue");
+    }
+  }
+  if (topology.via_tunnel && topology.kind != Kind::kTunnelContention) {
+    throw std::invalid_argument(
+        "via_tunnel is only valid for tunnel-contention topologies");
+  }
+  switch (topology.kind) {
+    case Kind::kSingleFlow:
+      if (topology.num_flows != 1) {
+        throw std::invalid_argument("single-flow topology with num_flows != 1");
+      }
+      break;
+    case Kind::kSharedQueue:
+      if (topology.num_flows < 1) {
+        throw std::invalid_argument("scenario needs >= 1 flow");
+      }
+      break;
+    case Kind::kTunnelContention:
+      if (topology.num_flows != 1) {
+        throw std::invalid_argument(
+            "tunnel contention ignores num_flows; leave it at 1");
+      }
+      break;
+    case Kind::kTower: {
+      const TowerSpec& t = topology.tower_spec;
+      if (topology.num_flows != 1) {
+        throw std::invalid_argument(
+            "tower topology ignores num_flows; leave it at 1");
+      }
+      if (t.num_users < 1) {
+        throw std::invalid_argument("tower needs >= 1 initial user");
+      }
+      if (!(t.arrival_rate_per_s >= 0.0)) {
+        throw std::invalid_argument("tower arrival rate must be >= 0");
+      }
+      if (!(t.mean_session_s >= 0.0)) {
+        throw std::invalid_argument("tower mean session must be >= 0");
+      }
+      if (t.slot <= Duration::zero()) {
+        throw std::invalid_argument("tower scheduler slot must be > 0");
+      }
+      if (t.pf_window < t.slot) {
+        throw std::invalid_argument("tower pf_window must be >= slot");
+      }
+      if (t.hist_bin <= Duration::zero() || t.hist_max < t.hist_bin) {
+        throw std::invalid_argument(
+            "tower histogram needs bin > 0 and max >= bin");
+      }
+      if (t.channel.base != SynthSpec::Base::kBrownian &&
+          t.channel.base != SynthSpec::Base::kMarkov) {
+        throw std::invalid_argument(
+            "tower channels must be live models (brownian or markov)");
+      }
+      if (!t.channel.ops.empty()) {
+        throw std::invalid_argument(
+            "tower channels take no op chain: the tower steps each user's "
+            "rate process live, never materializing a trace");
+      }
+      validate_synth_spec(t.channel);
+      if (t.mix.empty()) {
+        throw std::invalid_argument("tower user mix must be non-empty");
+      }
+      for (const UserMixEntry& e : t.mix) {
+        if (!(e.weight > 0.0) || !std::isfinite(e.weight)) {
+          throw std::invalid_argument(
+              "tower mix weights must be positive and finite: " +
+              to_string(e.scheme));
+        }
+      }
+      break;
+    }
+  }
 }
 
 ScenarioSpec single_flow_scenario(SchemeId scheme, const LinkPreset& link) {
@@ -197,6 +300,27 @@ double ScenarioResult::utilization() const {
 
 double ScenarioResult::self_inflicted_delay_ms() const {
   return std::max(0.0, delay95_ms() - omniscient_delay95_ms);
+}
+
+double FlowMetricsView::delay95_ms() const {
+  if (flow_->delay95_ms > 0.0 || !flow_->delay_hist.configured()) {
+    return flow_->delay95_ms;
+  }
+  return flow_->delay_hist.percentile_ms(95.0);
+}
+
+DelayStats FlowMetricsView::delay_stats() const {
+  return flow_->delay_hist.configured() ? flow_->delay_hist.stats()
+                                        : DelayStats{};
+}
+
+FlowMetricsView ScenarioResult::flow_metrics(std::size_t i) const {
+  return FlowMetricsView(flows.at(i));
+}
+
+DelayStats ScenarioResult::population_delay() const {
+  return population_delay_hist.configured() ? population_delay_hist.stats()
+                                            : DelayStats{};
 }
 
 // --- ScenarioCache ------------------------------------------------------
@@ -377,6 +501,10 @@ void validate_flow_spec(const ScenarioSpec& spec, const FlowSpec& flow,
   }
 }
 
+}  // namespace
+
+namespace detail {
+
 // Builds one direction's queue policy.  Called once per direction, forward
 // first, so stochastic policies (PIE) fork deterministic per-direction
 // seeds in a fixed order; DropTail is the absence of a policy.
@@ -421,6 +549,10 @@ LinkAqm resolve_link_aqm(const ScenarioSpec& spec,
   return requester != nullptr ? requester->link_aqm : LinkAqm::kDropTail;
 }
 
+}  // namespace detail
+
+namespace {
+
 ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
   const std::vector<FlowSpec> flow_specs = effective_flow_specs(spec);
 
@@ -432,7 +564,7 @@ ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
     schemes.push_back(&scheme);
   }
 
-  const LinkAqm link_aqm = resolve_link_aqm(spec, schemes);
+  const LinkAqm link_aqm = detail::resolve_link_aqm(spec, schemes);
 
   Simulator sim;
   Rng seeder(spec.seed);
@@ -446,8 +578,10 @@ ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
   rev_cfg.loss_rate = spec.loss_rate_rev;
   rev_cfg.seed = seeder.fork_seed();
 
-  std::unique_ptr<AqmPolicy> fwd_policy = make_aqm_policy(link_aqm, seeder);
-  std::unique_ptr<AqmPolicy> rev_policy = make_aqm_policy(link_aqm, seeder);
+  std::unique_ptr<AqmPolicy> fwd_policy =
+      detail::make_aqm_policy(link_aqm, seeder);
+  std::unique_ptr<AqmPolicy> rev_policy =
+      detail::make_aqm_policy(link_aqm, seeder);
 
   RelaySink fwd_egress;
   RelaySink rev_egress;
@@ -630,8 +764,9 @@ ScenarioResult run_tunnel(const ScenarioSpec& spec, const ResolvedLink& link) {
   // kAuto builds no policy here (the contending Cubic/Skype pair requests
   // none); an explicit spec pairs the tunnel scenario with any discipline.
   std::unique_ptr<AqmPolicy> down_policy =
-      make_aqm_policy(spec.link_aqm, seeder);
-  std::unique_ptr<AqmPolicy> up_policy = make_aqm_policy(spec.link_aqm, seeder);
+      detail::make_aqm_policy(spec.link_aqm, seeder);
+  std::unique_ptr<AqmPolicy> up_policy =
+      detail::make_aqm_policy(spec.link_aqm, seeder);
   CellsimLink down_link(sim, Trace(*link.forward), down_cfg, down_egress,
                         std::move(down_policy));
   CellsimLink up_link(sim, Trace(*link.reverse), up_cfg, up_egress,
@@ -830,6 +965,27 @@ double estimated_cost(const ScenarioSpec& spec) {
         weight += scheme_cost_weight(SchemeId::kSprout);
       }
       break;
+    case TopologySpec::Kind::kTower: {
+      // Expected user-seconds: each of the expected arrivals (initial
+      // population plus Poisson newcomers) contributes its expected session
+      // length, clamped to the run; weight each user-second by the mix's
+      // mean scheme weight.
+      const TowerSpec& t = spec.topology.tower_spec;
+      const double run_s = to_seconds(spec.run_time);
+      const double session_s = t.mean_session_s > 0.0
+                                   ? std::min(t.mean_session_s, run_s)
+                                   : run_s;
+      const double expected_users =
+          static_cast<double>(t.num_users) + t.arrival_rate_per_s * run_s;
+      double mean_weight = 0.0;
+      double total = 0.0;
+      for (const UserMixEntry& e : t.mix) {
+        mean_weight += e.weight * scheme_cost_weight(e.scheme);
+        total += e.weight;
+      }
+      mean_weight = total > 0.0 ? mean_weight / total : 1.0;
+      return expected_users * session_s * mean_weight;
+    }
   }
   return to_seconds(spec.run_time) * weight;
 }
@@ -839,21 +995,21 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, ScenarioCache* cache) {
       spec.propagation_delay_rev < Duration::zero()) {
     throw std::invalid_argument("propagation delays must be >= 0");
   }
-  // A flow list only means something to the shared-queue topology, and
-  // must agree with num_flows (heterogeneous_queue keeps them in sync).
-  // Silently ignoring either would let two specs that simulate identically
-  // carry different fingerprints — reject the malformed spec instead.
-  if (!spec.topology.flows.empty()) {
-    if (spec.topology.kind != TopologySpec::Kind::kSharedQueue) {
+  // All topology-internal consistency rules (flow-list-vs-num_flows
+  // precedence, per-kind field constraints) live in validate_topology —
+  // the builders ran it at construction, this re-checks hand-assembled
+  // specs.
+  validate_topology(spec.topology);
+  if (spec.topology.kind == TopologySpec::Kind::kTower) {
+    if (spec.capture_series) {
       throw std::invalid_argument(
-          "FlowSpec lists are only valid for shared-queue topologies");
+          "capture_series is not supported by the tower topology (streaming "
+          "metrics only)");
     }
-    if (spec.topology.num_flows !=
-        static_cast<int>(spec.topology.flows.size())) {
-      throw std::invalid_argument(
-          "topology num_flows disagrees with its flow list; build the spec "
-          "with TopologySpec::heterogeneous_queue");
+    if (spec.warmup >= spec.run_time) {
+      throw std::invalid_argument("tower warmup must be < run_time");
     }
+    return detail::run_tower(spec);
   }
   const ResolvedLink link = resolve_link(spec.link, spec.run_time, cache);
   if (spec.topology.kind == TopologySpec::Kind::kTunnelContention) {

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/params.h"
+#include "metrics/histogram.h"
 #include "metrics/timeseries.h"
 #include "runner/schemes.h"
 #include "synth/synth.h"
@@ -118,21 +119,66 @@ struct FlowSpec {
       Duration start, std::optional<Duration> stop = std::nullopt) const;
 };
 
+// One entry of a tower's user mix: a scheme and its sampling weight.
+// Each arriving user draws its scheme from the mix, weights normalized
+// over the list (so {Cubic:3, Sprout:1} is 75% / 25%).
+struct UserMixEntry {
+  SchemeId scheme = SchemeId::kCubic;
+  double weight = 1.0;
+};
+
+// A cell tower serving a churning population: N per-user downlink queues
+// scheduled by the proportional-fair rule, each user's radio channel an
+// independent synth-model rate process, users arriving under a Poisson
+// process and departing after exponentially-distributed sessions.  Every
+// random draw derives from the scenario seed, so tower sweeps stay
+// bit-identical serial vs thread-pool vs process-sharded.
+struct TowerSpec {
+  // Users attached at t = 0 (ids 1..num_users).
+  int num_users = 64;
+  // Poisson arrival rate of NEW users after t = 0; 0 = closed population.
+  double arrival_rate_per_s = 0.0;
+  // Mean exponential session length; 0 = users stay until the end.
+  double mean_session_s = 0.0;
+  // PF scheduler slot (one user served per slot).
+  Duration slot = msec(2);
+  // EWMA horizon of the PF rule's per-user average-rate estimate.
+  Duration pf_window = msec(1500);
+  // Per-user channel process.  Must be a live model (brownian/markov) with
+  // no op chain: the tower steps each user's process lazily as scheduled,
+  // never materializing whole traces.  Each user's process forks its own
+  // seed from channel.seed and the user id.
+  SynthSpec channel;
+  // Scheme mix sampled per arriving user; must be non-empty with positive
+  // weights.
+  std::vector<UserMixEntry> mix = {UserMixEntry{}};
+  // Streaming delay-histogram geometry (per-user and population CDFs).
+  Duration hist_bin = msec(5);
+  Duration hist_max = sec(20);
+};
+
 // How many flows, and how they share the emulated queues.
 struct TopologySpec {
   enum class Kind {
     kSingleFlow,        // one sender/receiver pair, dedicated queues
     kSharedQueue,       // flows commingled in ONE queue (§7, heterogeneous)
     kTunnelContention,  // §5.7: Cubic bulk + Skype call, direct or tunneled
+    kTower,             // PF cell tower, per-user queues, Poisson churn
   };
 
   Kind kind = Kind::kSingleFlow;
   // kSharedQueue with an empty `flows` list: num_flows identical copies of
   // the scenario's scheme (the paper's §7 homogeneous shape).  A non-empty
-  // `flows` list overrides num_flows and describes each flow explicitly.
+  // `flows` list describes each flow explicitly and num_flows must equal
+  // flows.size(); validate_topology() rejects any other combination as a
+  // contradiction rather than silently preferring one field.
   int num_flows = 1;
   std::vector<FlowSpec> flows;
   bool via_tunnel = false;  // kTunnelContention
+  // kTower.  The tower owns its own link model (the PF cell), scheme
+  // choice (the mix) and metrics geometry, so a tower scenario ignores
+  // ScenarioSpec::scheme / link / capture_series.
+  TowerSpec tower_spec;
 
   [[nodiscard]] static TopologySpec single_flow();
   [[nodiscard]] static TopologySpec shared_queue(int num_flows);
@@ -141,7 +187,18 @@ struct TopologySpec {
   [[nodiscard]] static TopologySpec heterogeneous_queue(
       std::vector<FlowSpec> flows);
   [[nodiscard]] static TopologySpec tunnel_contention(bool via_tunnel);
+  [[nodiscard]] static TopologySpec tower(TowerSpec spec);
 };
+
+// Validates a topology's internal consistency — the ONE place the
+// num_flows-vs-flows precedence rule and the per-kind field constraints
+// live.  Every builder above funnels through it, and run_scenario()
+// re-checks hand-assembled specs.  Throws std::invalid_argument.
+//
+// The precedence rule: a non-empty `flows` list is authoritative for what
+// each flow runs, and `num_flows` must equal flows.size().  Any other
+// combination is a contradiction and is rejected, never silently resolved.
+void validate_topology(const TopologySpec& topology);
 
 // The one scenario description.  Defaults reproduce the paper's §5 setup:
 // 300 s runs, the first minute skipped by all metrics, 20 ms propagation
@@ -236,7 +293,45 @@ struct FlowResult {
   // the drain-tail gap described above: windowed metrics ignore the tail,
   // delivered_bytes attributes it to the flow that sent it.
   ByteCount delivered_bytes = 0;
+  // Streaming per-packet one-way delay histogram over the flow's
+  // measurement window.  Configured only by topologies that run streaming
+  // metrics (tower); default-constructed (unconfigured) elsewhere.
+  DelayHistogram delay_hist;
   std::vector<SeriesPoint> series;  // if spec.capture_series
+};
+
+// Uniform read-only view over one flow's metrics: the one accessor story
+// for per-flow delay (histogram-backed when streaming, sawtooth-derived
+// otherwise), throughput and fairness inputs.  FlowResult's plain fields
+// remain readable for now; new call sites should go through the view.
+class FlowMetricsView {
+ public:
+  explicit FlowMetricsView(const FlowResult& flow) : flow_(&flow) {}
+
+  [[nodiscard]] const std::string& label() const { return flow_->label; }
+  [[nodiscard]] SchemeId scheme() const { return flow_->scheme; }
+  [[nodiscard]] double throughput_kbps() const {
+    return flow_->throughput_kbps;
+  }
+  [[nodiscard]] double capacity_share() const { return flow_->capacity_share; }
+  [[nodiscard]] ByteCount delivered_bytes() const {
+    return flow_->delivered_bytes;
+  }
+  // 95% delay: the §5.1 sawtooth value when recorded, else the streaming
+  // histogram's p95.
+  [[nodiscard]] double delay95_ms() const;
+  // Streaming-histogram percentile summary (p50/p95/p99/p999/mean); all
+  // zeros when the flow has no histogram.
+  [[nodiscard]] DelayStats delay_stats() const;
+  [[nodiscard]] bool has_histogram() const {
+    return flow_->delay_hist.configured();
+  }
+  [[nodiscard]] const DelayHistogram& delay_histogram() const {
+    return flow_->delay_hist;
+  }
+
+ private:
+  const FlowResult* flow_;
 };
 
 // The unified result: per-flow metrics plus link-level aggregates.  The
@@ -264,6 +359,9 @@ struct ScenarioResult {
   std::int64_t packets_delivered = 0;    // forward link
   std::int64_t link_drops = 0;           // forward link random + queue drops
   std::vector<SeriesPoint> capacity_series;  // if spec.capture_series
+  // Population-wide per-packet delay histogram: the exact merge of every
+  // flow's delay_hist.  Configured only for streaming topologies (tower).
+  DelayHistogram population_delay_hist;
 
   // Single-flow views (flows[0]).
   [[nodiscard]] double throughput_kbps() const;
@@ -272,6 +370,12 @@ struct ScenarioResult {
   [[nodiscard]] double utilization() const;
   // The paper's headline delay metric: max(0, delay95 - omniscient delay95).
   [[nodiscard]] double self_inflicted_delay_ms() const;
+
+  // Uniform per-flow accessor view; throws std::out_of_range.
+  [[nodiscard]] FlowMetricsView flow_metrics(std::size_t i) const;
+  // Population delay summary (p50/p95/p99/p999/mean) from the merged
+  // histogram; all zeros when no streaming topology ran.
+  [[nodiscard]] DelayStats population_delay() const;
 };
 
 // Shared, immutable cache of resolved link traces (generated presets,

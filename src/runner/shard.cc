@@ -305,6 +305,58 @@ std::vector<SeriesPoint> read_series(const JsonValue& v) {
   return series;
 }
 
+// Histograms travel as geometry + sparse [bin, count] pairs: a tower
+// user's delays cluster in a handful of bins out of thousands, so the
+// dense count vector would be almost all zeros.  Written only when the
+// histogram is configured, so every pre-histogram result file — and every
+// non-tower result today — stays byte-stable.
+void write_hist(std::ostream& os, const DelayHistogram& h) {
+  os << "{\"bin_ms\": ";
+  json_double(os, h.bin_width_ms());
+  os << ", \"max_ms\": ";
+  json_double(os, h.max_ms());
+  os << ", \"sum_ms\": ";
+  json_double(os, h.sum_ms());
+  os << ", \"counts\": [";
+  bool first = true;
+  const auto& counts = h.counts();
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '[' << b << ',' << counts[b] << ']';
+  }
+  os << "]}";
+}
+
+DelayHistogram read_hist(const JsonValue& v) {
+  const double bin_ms = read_double(v.at("bin_ms"));
+  const double max_ms = read_double(v.at("max_ms"));
+  const double sum_ms = read_double(v.at("sum_ms"));
+  if (bin_ms <= 0.0 || max_ms < bin_ms) {
+    throw std::runtime_error("JSON: malformed histogram geometry");
+  }
+  // The writer's max_ms is always an exact bin multiple (the histogram
+  // ctor rounds it up), so the bin count round-trips through llround.
+  const auto num_bins =
+      static_cast<std::size_t>(std::llround(max_ms / bin_ms));
+  std::vector<std::int64_t> counts(num_bins + 1, 0);
+  for (const JsonValue& e : v.at("counts").as_array()) {
+    const auto& pair = e.as_array();
+    if (pair.size() != 2) {
+      throw std::runtime_error("JSON: histogram count is not a [bin, n] pair");
+    }
+    const std::int64_t b = read_i64(pair[0]);
+    const std::int64_t n = read_i64(pair[1]);
+    if (b < 0 || static_cast<std::size_t>(b) >= counts.size() || n < 0) {
+      throw std::runtime_error("JSON: histogram bin out of range");
+    }
+    counts[static_cast<std::size_t>(b)] = n;
+  }
+  return DelayHistogram::from_parts(bin_ms, max_ms, sum_ms,
+                                    std::move(counts));
+}
+
 void write_flow(std::ostream& os, const FlowResult& f) {
   os << "{\"label\": ";
   write_json_string(os, f.label);
@@ -325,6 +377,10 @@ void write_flow(std::ostream& os, const FlowResult& f) {
   os << ", \"capacity_share\": ";
   json_double(os, f.capacity_share);
   os << ", \"delivered_bytes\": " << f.delivered_bytes;
+  if (f.delay_hist.configured()) {
+    os << ", \"delay_hist\": ";
+    write_hist(os, f.delay_hist);
+  }
   os << ", \"series\": ";
   write_series(os, f.series);
   os << '}';
@@ -347,6 +403,7 @@ FlowResult read_flow(const JsonValue& v) {
   f.coactive_throughput_kbps = read_double(v.at("coactive_throughput_kbps"));
   f.capacity_share = read_double(v.at("capacity_share"));
   f.delivered_bytes = read_i64(v.at("delivered_bytes"));
+  if (v.has("delay_hist")) f.delay_hist = read_hist(v.at("delay_hist"));
   f.series = read_series(v.at("series"));
   return f;
 }
@@ -377,6 +434,10 @@ void write_result(std::ostream& os, const ScenarioResult& r) {
   json_double(os, r.omniscient_delay95_ms);
   os << ", \"packets_delivered\": " << r.packets_delivered;
   os << ", \"link_drops\": " << r.link_drops;
+  if (r.population_delay_hist.configured()) {
+    os << ", \"population_delay_hist\": ";
+    write_hist(os, r.population_delay_hist);
+  }
   os << ", \"capacity_series\": ";
   write_series(os, r.capacity_series);
   os << '}';
@@ -399,6 +460,9 @@ ScenarioResult read_result(const JsonValue& v) {
   r.omniscient_delay95_ms = read_double(v.at("omniscient_delay95_ms"));
   r.packets_delivered = read_i64(v.at("packets_delivered"));
   r.link_drops = read_i64(v.at("link_drops"));
+  if (v.has("population_delay_hist")) {
+    r.population_delay_hist = read_hist(v.at("population_delay_hist"));
+  }
   r.capacity_series = read_series(v.at("capacity_series"));
   return r;
 }

@@ -84,6 +84,44 @@ void hash_trace(Fnv& h, const Trace& t) {
 
 std::uint64_t scenario_fingerprint(const ScenarioSpec& spec) {
   Fnv h;
+  if (spec.topology.kind == TopologySpec::Kind::kTower) {
+    // Tower cells ignore spec.scheme, spec.link, the flow list, via_tunnel
+    // and the series-capture knobs — every simulated input lives in the
+    // TowerSpec — so only what the runner actually consumes is hashed.
+    // Hashing ignored fields would make equivalent cells (same tower, any
+    // leftover link config) derive different seeds.
+    h.u64(static_cast<std::uint64_t>(spec.topology.kind));
+    const TowerSpec& t = spec.topology.tower_spec;
+    h.i64(t.num_users);
+    h.f64(t.arrival_rate_per_s);
+    h.f64(t.mean_session_s);
+    h.i64(t.slot.count());
+    h.i64(t.pf_window.count());
+    // Canonical cache key, same discipline as kSynth links: enumerates
+    // every SynthSpec field, so fingerprint coverage can't drift.
+    h.str(synth_key(t.channel, spec.run_time));
+    h.u64(t.mix.size());
+    for (const UserMixEntry& e : t.mix) {
+      h.u64(static_cast<std::uint64_t>(e.scheme));
+      h.f64(e.weight);
+    }
+    h.i64(t.hist_bin.count());
+    h.i64(t.hist_max.count());
+    if (spec.link_aqm != LinkAqm::kAuto) {
+      h.u64(static_cast<std::uint64_t>(spec.link_aqm));
+    }
+    h.i64(spec.run_time.count());
+    h.i64(spec.warmup.count());
+    h.i64(spec.propagation_delay_fwd.count());
+    if (spec.propagation_delay_rev != spec.propagation_delay_fwd) {
+      h.i64(spec.propagation_delay_rev.count());
+    }
+    h.f64(spec.loss_rate_fwd);
+    if (spec.loss_rate_rev != spec.loss_rate_fwd) h.f64(spec.loss_rate_rev);
+    h.f64(spec.sprout_confidence);
+    h.u64(spec.seed);
+    return h.state;
+  }
   h.u64(static_cast<std::uint64_t>(spec.scheme));
   h.u64(static_cast<std::uint64_t>(spec.link.source));
   switch (spec.link.source) {

@@ -1,0 +1,40 @@
+// Tower churn timeline — the deterministic user-lifetime derivation the
+// tower runner (runner/tower.cc, dispatched by run_scenario) builds on.
+//
+// A tower scenario's population is decided BEFORE the event loop runs: one
+// pass over a dedicated churn RNG stream yields every user's arrival,
+// departure, scheme (drawn from the weighted mix) and channel seed.  The
+// timeline is a pure function of (tower spec, run_time, churn_seed), so
+// serial, thread-pool and process-sharded sweeps reproduce the same
+// population bit-for-bit — the same discipline the sweep fingerprint
+// applies to link seeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runner/scenario.h"
+#include "util/units.h"
+
+namespace sprout {
+
+// One user's lifetime at the tower.
+struct TowerUserSession {
+  std::int64_t user_id = 0;  // 1-based; also the flow id on both links
+  Duration arrival{};
+  Duration departure{};  // clamped to run_time
+  SchemeId scheme = SchemeId::kCubic;
+  // Seed of this user's channel process, derived from the tower channel
+  // spec's seed and the user id (stable under mix/churn parameter edits).
+  std::uint64_t channel_seed = 0;
+};
+
+// Derives the full churn timeline: ids 1..num_users attach at t = 0, then
+// Poisson arrivals (rate arrival_rate_per_s) until run_time, each session
+// exponentially distributed with mean mean_session_s (0 = stay to the
+// end), departures clamped to run_time.  Sessions are returned in user-id
+// order, which is also arrival order.
+[[nodiscard]] std::vector<TowerUserSession> derive_tower_sessions(
+    const TowerSpec& tower, Duration run_time, std::uint64_t churn_seed);
+
+}  // namespace sprout

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <map>
+#include <utility>
 
 #include "sim/packet.h"
 #include "sim/simulator.h"
+#include "util/rng.h"
 
 namespace sprout {
 
@@ -56,6 +58,48 @@ class GateSink : public PacketSink {
   PacketSink* next_;
   TimePoint close_at_;
   std::int64_t gated_ = 0;
+};
+
+// A fixed-delay, optionally lossy pipe with no queueing dynamics: every
+// accepted packet arrives exactly `delay` later.  The tower topology's
+// shared uplink feedback path uses this instead of a full CellsimLink —
+// per-user feedback is tiny and uncontended, and a simple pipe keeps the
+// reverse direction O(1) per packet for thousands of users.
+//
+// Scope note: the delivery event is scheduled from receive(), so it
+// inherits the SENDER's event scope (sim/simulator.h).  A departed tower
+// user's in-flight feedback is therefore cancelled with the rest of its
+// causal chain — exactly the "departed users cost nothing" contract.
+class DelayLink : public PacketSink {
+ public:
+  DelayLink(Simulator& sim, Duration delay, double loss_rate,
+            std::uint64_t seed)
+      : sim_(sim), delay_(delay), loss_rate_(loss_rate), rng_(seed) {}
+
+  void set_target(PacketSink& target) { target_ = &target; }
+
+  void receive(Packet&& p) override {
+    if (loss_rate_ > 0.0 && rng_.bernoulli(loss_rate_)) {
+      ++dropped_;
+      return;
+    }
+    ++accepted_;
+    sim_.after(delay_, [this, pkt = std::move(p)]() mutable {
+      if (target_ != nullptr) target_->receive(std::move(pkt));
+    });
+  }
+
+  [[nodiscard]] std::int64_t accepted() const { return accepted_; }
+  [[nodiscard]] std::int64_t dropped() const { return dropped_; }
+
+ private:
+  Simulator& sim_;
+  Duration delay_;
+  double loss_rate_;
+  Rng rng_;
+  PacketSink* target_ = nullptr;
+  std::int64_t accepted_ = 0;
+  std::int64_t dropped_ = 0;
 };
 
 // Routes packets by flow id (shared-queue experiments, §5.7).

@@ -1,6 +1,7 @@
 #include "sim/simulator.h"
 
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 namespace sprout {
@@ -8,10 +9,33 @@ namespace sprout {
 void Simulator::at(TimePoint t, Callback fn) {
   assert(t >= now_ && "cannot schedule events in the past");
   assert(fn && "null event callback");
-  events_.push(Event{t, next_order_++, std::move(fn)});
+  events_.push(Event{t, next_order_++, current_scope_, std::move(fn)});
+}
+
+Simulator::ScopeId Simulator::new_scope() {
+  cancelled_.push_back(false);
+  return static_cast<ScopeId>(cancelled_.size() - 1);
+}
+
+void Simulator::cancel_scope(ScopeId scope) {
+  if (scope == kRootScope) {
+    throw std::invalid_argument("the root scope cannot be cancelled");
+  }
+  if (scope >= cancelled_.size()) {
+    throw std::invalid_argument("cancel of an unknown scope");
+  }
+  cancelled_[scope] = true;
+}
+
+void Simulator::prune_cancelled() {
+  while (!events_.empty() && cancelled_[events_.top().scope]) {
+    events_.pop();
+    ++cancelled_events_;
+  }
 }
 
 bool Simulator::step() {
+  prune_cancelled();
   if (events_.empty()) return false;
   // priority_queue::top returns const&; the callback must be moved out
   // before pop, so copy the small fields and move the function.
@@ -20,12 +44,19 @@ bool Simulator::step() {
   assert(ev.time >= now_);
   now_ = ev.time;
   ++processed_;
+  // Events scheduled by this callback inherit its scope, so a flow's whole
+  // causal chain stays cancellable without the flow knowing about scopes.
+  const ScopeId prev = current_scope_;
+  current_scope_ = ev.scope;
   ev.fn();
+  current_scope_ = prev;
   return true;
 }
 
 void Simulator::run_until(TimePoint t) {
-  while (!events_.empty() && events_.top().time <= t) {
+  for (;;) {
+    prune_cancelled();
+    if (events_.empty() || events_.top().time > t) break;
     step();
   }
   if (now_ < t) now_ = t;

@@ -137,7 +137,7 @@ FlowSpec read_flow(const Field& doc) {
 }
 
 TopologySpec read_topology(const Field& doc) {
-  doc.allow_keys({"kind", "num_flows", "flows", "via_tunnel"});
+  doc.allow_keys({"kind", "num_flows", "flows", "via_tunnel", "tower"});
   const std::string kind =
       doc.has("kind") ? doc.at("kind").as_string() : "single-flow";
 
@@ -173,9 +173,58 @@ TopologySpec read_topology(const Field& doc) {
     if (const auto f = doc.get("via_tunnel")) via_tunnel = f->as_bool();
     return TopologySpec::tunnel_contention(via_tunnel);
   }
+  if (kind == "tower") {
+    doc.allow_keys({"kind", "tower"});
+    TowerSpec t;
+    if (const auto tf = doc.get("tower")) {
+      tf->allow_keys({"num_users", "arrival_rate_per_s", "mean_session_s",
+                      "slot_s", "pf_window_s", "channel", "mix", "hist_bin_s",
+                      "hist_max_s"});
+      if (const auto f = tf->get("num_users")) {
+        t.num_users = static_cast<int>(f->int_at_least(1));
+      }
+      if (const auto f = tf->get("arrival_rate_per_s")) {
+        t.arrival_rate_per_s = f->non_negative();
+      }
+      if (const auto f = tf->get("mean_session_s")) {
+        t.mean_session_s = f->non_negative();
+      }
+      if (const auto f = tf->get("slot_s")) t.slot = f->positive_seconds();
+      if (const auto f = tf->get("pf_window_s")) {
+        t.pf_window = f->positive_seconds();
+      }
+      if (const auto f = tf->get("channel")) t.channel = synth_from_field(*f);
+      if (const auto mix = tf->get("mix")) {
+        std::vector<UserMixEntry> entries;
+        for (const Field& e : mix->items()) {
+          e.allow_keys({"scheme", "weight"});
+          UserMixEntry entry;
+          if (const auto s = e.get("scheme")) entry.scheme = read_scheme(*s);
+          if (const auto wf = e.get("weight")) entry.weight = wf->positive();
+          entries.push_back(entry);
+        }
+        if (entries.empty()) mix->fail("needs at least one mix entry");
+        t.mix = std::move(entries);
+      }
+      if (const auto f = tf->get("hist_bin_s")) {
+        t.hist_bin = f->positive_seconds();
+      }
+      if (const auto f = tf->get("hist_max_s")) {
+        t.hist_max = f->positive_seconds();
+      }
+    }
+    // The builder runs the full cross-field validation (channel base, PF
+    // window vs slot, histogram geometry); rewrap its error with the spec
+    // path so `spec_lint` points at the file, not a C++ call site.
+    try {
+      return TopologySpec::tower(std::move(t));
+    } catch (const std::invalid_argument& e) {
+      doc.fail(e.what());
+    }
+  }
   doc.at("kind").fail("unknown topology kind \"" + kind +
-                      "\" (expected \"single-flow\", \"shared-queue\" or "
-                      "\"tunnel-contention\")");
+                      "\" (expected \"single-flow\", \"shared-queue\", "
+                      "\"tunnel-contention\" or \"tower\")");
 }
 
 }  // namespace
@@ -187,8 +236,29 @@ ScenarioSpec scenario_from_field(const Field& doc) {
                   "loss_rate_rev", "sprout_confidence", "seed",
                   "capture_series", "series_bin_s"});
   ScenarioSpec spec;
-  if (const auto f = doc.get("link")) spec.link = read_link(*f);
   if (const auto f = doc.get("topology")) spec.topology = read_topology(*f);
+  if (spec.topology.kind == TopologySpec::Kind::kTower) {
+    // A tower cell draws every scheme from the mix and every channel from
+    // the tower's synth spec; a scenario-level scheme/link would be
+    // silently ignored (and is deliberately not fingerprinted), so reject
+    // it at lint time rather than let a spec lie about what it runs.
+    if (doc.has("scheme")) {
+      doc.at("scheme").fail(
+          "tower topologies draw schemes from topology.tower.mix; remove "
+          "scheme");
+    }
+    if (doc.has("link")) {
+      doc.at("link").fail(
+          "tower topologies draw channels from topology.tower.channel; "
+          "remove link");
+    }
+    if (doc.has("capture_series")) {
+      doc.at("capture_series").fail(
+          "tower scenarios report streaming histograms, not time series; "
+          "remove capture_series");
+    }
+  }
+  if (const auto f = doc.get("link")) spec.link = read_link(*f);
   if (const auto f = doc.get("scheme")) {
     spec.scheme = read_scheme(*f);
   } else if (!spec.topology.flows.empty()) {
@@ -388,6 +458,41 @@ void write_topology(std::ostream& os, const TopologySpec& topo, int indent) {
       w.str("kind", "tunnel-contention");
       if (topo.via_tunnel) w.boolean("via_tunnel", true);
       break;
+    case TopologySpec::Kind::kTower: {
+      w.str("kind", "tower");
+      const TowerSpec d;
+      const TowerSpec& t = topo.tower_spec;
+      ObjectWriter tw(w.key("tower"), indent + 2);
+      if (t.num_users != d.num_users) tw.integer("num_users", t.num_users);
+      if (t.arrival_rate_per_s != d.arrival_rate_per_s) {
+        tw.number("arrival_rate_per_s", t.arrival_rate_per_s);
+      }
+      if (t.mean_session_s != d.mean_session_s) {
+        tw.number("mean_session_s", t.mean_session_s);
+      }
+      if (t.slot != d.slot) tw.seconds("slot_s", t.slot);
+      if (t.pf_window != d.pf_window) tw.seconds("pf_window_s", t.pf_window);
+      write_synth_json(tw.key("channel"), t.channel, indent + 4);
+      const bool default_mix =
+          t.mix.size() == 1 && t.mix.front().scheme == d.mix.front().scheme &&
+          t.mix.front().weight == d.mix.front().weight;
+      if (!default_mix) {
+        std::ostream& ms = tw.key("mix");
+        ms << "[";
+        for (std::size_t i = 0; i < t.mix.size(); ++i) {
+          if (i > 0) ms << ", ";
+          ObjectWriter ew(ms, indent + 4);
+          ew.str("scheme", to_string(t.mix[i].scheme));
+          if (t.mix[i].weight != 1.0) ew.number("weight", t.mix[i].weight);
+          ew.close();
+        }
+        ms << "]";
+      }
+      if (t.hist_bin != d.hist_bin) tw.seconds("hist_bin_s", t.hist_bin);
+      if (t.hist_max != d.hist_max) tw.seconds("hist_max_s", t.hist_max);
+      tw.close();
+      break;
+    }
   }
   w.close();
 }
@@ -402,8 +507,12 @@ void write_scenario_json(std::ostream& os, const ScenarioSpec& spec,
   const ScenarioSpec defaults;
 
   ObjectWriter w(os, indent);
-  w.str("scheme", to_string(spec.scheme));
-  write_link(w.key("link"), spec.link, indent + 2);
+  // Tower cells carry their schemes and channel inside the topology; the
+  // scenario-level fields are ignored there, and the reader rejects them.
+  if (spec.topology.kind != TopologySpec::Kind::kTower) {
+    w.str("scheme", to_string(spec.scheme));
+    write_link(w.key("link"), spec.link, indent + 2);
+  }
   if (spec.topology.kind != TopologySpec::Kind::kSingleFlow) {
     write_topology(w.key("topology"), spec.topology, indent + 2);
   }

@@ -109,6 +109,89 @@ void expect_close(const std::string& what, double golden, double measured) {
       << " (rel " << (measured - golden) / golden << ")";
 }
 
+// --- Tower population lock.  One churning PF cell, pinned the same way:
+// the population delay CDF (p50/p95/p99/p999/mean from the streaming
+// histograms), the exact sample and user counts, and the aggregate
+// throughput.  Regenerates under the same SPROUT_UPDATE_GOLDEN=1 switch.
+
+std::string tower_golden_path() {
+  return std::string(SPROUT_SOURCE_DIR) + "/tests/golden/golden_tower.json";
+}
+
+SweepSpec tower_grid() {
+  TowerSpec t;
+  t.num_users = 24;
+  t.arrival_rate_per_s = 1.0;
+  t.mean_session_s = 10.0;
+  t.mix = {{SchemeId::kCubic, 3.0}, {SchemeId::kSprout, 1.0}};
+  ScenarioSpec cell;
+  cell.topology = TopologySpec::tower(std::move(t));
+  cell.run_time = sec(20);
+  cell.warmup = sec(4);
+  cell.seed = 5;
+  SweepSpec sweep;
+  sweep.cells.push_back(cell);
+  sweep.base_seed = 9;
+  return sweep;
+}
+
+void write_tower_golden(const std::string& path, const ScenarioResult& r) {
+  const DelayStats pop = r.population_delay();
+  std::ofstream out(path);
+  ASSERT_TRUE(out) << "cannot write " << path;
+  out.precision(17);
+  out << "{\n  \"schema\": \"sprout-golden-tower-v1\",\n"
+      << "  \"grid_fingerprint\": \"" << sweep_fingerprint(tower_grid())
+      << "\",\n"
+      << "  \"users\": " << r.flows.size() << ",\n"
+      << "  \"samples\": " << pop.samples << ",\n"
+      << "  \"p50_ms\": " << pop.p50_ms << ",\n"
+      << "  \"p95_ms\": " << pop.p95_ms << ",\n"
+      << "  \"p99_ms\": " << pop.p99_ms << ",\n"
+      << "  \"p999_ms\": " << pop.p999_ms << ",\n"
+      << "  \"mean_ms\": " << pop.mean_ms << ",\n"
+      << "  \"aggregate_throughput_kbps\": " << r.aggregate_throughput_kbps
+      << "\n}\n";
+}
+
+TEST(GoldenMetrics, TowerPopulationCdfMatchesCheckedInGolden) {
+  const SweepResult swept = run_sweep(tower_grid());
+  ASSERT_EQ(swept.cells.size(), 1u);
+  const ScenarioResult& r = swept.cells[0];
+
+  if (std::getenv("SPROUT_UPDATE_GOLDEN") != nullptr) {
+    write_tower_golden(tower_golden_path(), r);
+    GTEST_SKIP() << "golden file regenerated at " << tower_golden_path();
+  }
+
+  std::ifstream in(tower_golden_path());
+  ASSERT_TRUE(in) << "missing golden file " << tower_golden_path()
+                  << " — run once with SPROUT_UPDATE_GOLDEN=1";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const JsonValue doc = JsonValue::parse(buf.str());
+
+  ASSERT_EQ(doc.at("schema").as_string(), "sprout-golden-tower-v1");
+  EXPECT_EQ(doc.at("grid_fingerprint").as_string(),
+            std::to_string(sweep_fingerprint(tower_grid())))
+      << "the golden tower's spec changed — if intended, regenerate with "
+         "SPROUT_UPDATE_GOLDEN=1";
+
+  const DelayStats pop = r.population_delay();
+  // Population size and sample counts are integer-exact by determinism.
+  EXPECT_EQ(doc.at("users").as_number(),
+            static_cast<double>(r.flows.size()));
+  EXPECT_EQ(doc.at("samples").as_number(), static_cast<double>(pop.samples));
+  expect_close("p50_ms", doc.at("p50_ms").as_number(), pop.p50_ms);
+  expect_close("p95_ms", doc.at("p95_ms").as_number(), pop.p95_ms);
+  expect_close("p99_ms", doc.at("p99_ms").as_number(), pop.p99_ms);
+  expect_close("p999_ms", doc.at("p999_ms").as_number(), pop.p999_ms);
+  expect_close("mean_ms", doc.at("mean_ms").as_number(), pop.mean_ms);
+  expect_close("aggregate_throughput_kbps",
+               doc.at("aggregate_throughput_kbps").as_number(),
+               r.aggregate_throughput_kbps);
+}
+
 TEST(GoldenMetrics, SummaryMetricsMatchCheckedInGolden) {
   const std::vector<GoldenCell> measured = measure();
 

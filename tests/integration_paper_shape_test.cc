@@ -3,45 +3,46 @@
 // behavioral app models); the shape must hold (§5.2-§5.7).
 #include <gtest/gtest.h>
 
-#include "runner/experiment.h"
+#include "runner/scenario.h"
+#include "trace/presets.h"
 
 namespace sprout {
 namespace {
 
-ExperimentResult run_scheme(SchemeId scheme, const char* network,
+ScenarioResult run_scheme(SchemeId scheme, const char* network,
                             LinkDirection dir) {
   ScenarioSpec c;
   c.scheme = scheme;
   c.link = LinkSpec::preset(network, dir);
   c.run_time = sec(100);
   c.warmup = sec(20);
-  return run_experiment(c);
+  return run_scenario(c);
 }
 
 class LteDownlink : public ::testing::Test {
  protected:
-  static const ExperimentResult& sprout() {
-    static const ExperimentResult r =
+  static const ScenarioResult& sprout() {
+    static const ScenarioResult r =
         run_scheme(SchemeId::kSprout, "Verizon LTE", LinkDirection::kDownlink);
     return r;
   }
-  static const ExperimentResult& ewma() {
-    static const ExperimentResult r = run_scheme(
+  static const ScenarioResult& ewma() {
+    static const ScenarioResult r = run_scheme(
         SchemeId::kSproutEwma, "Verizon LTE", LinkDirection::kDownlink);
     return r;
   }
-  static const ExperimentResult& cubic() {
-    static const ExperimentResult r =
+  static const ScenarioResult& cubic() {
+    static const ScenarioResult r =
         run_scheme(SchemeId::kCubic, "Verizon LTE", LinkDirection::kDownlink);
     return r;
   }
-  static const ExperimentResult& cubic_codel() {
-    static const ExperimentResult r = run_scheme(
+  static const ScenarioResult& cubic_codel() {
+    static const ScenarioResult r = run_scheme(
         SchemeId::kCubicCodel, "Verizon LTE", LinkDirection::kDownlink);
     return r;
   }
-  static const ExperimentResult& skype() {
-    static const ExperimentResult r =
+  static const ScenarioResult& skype() {
+    static const ScenarioResult r =
         run_scheme(SchemeId::kSkype, "Verizon LTE", LinkDirection::kDownlink);
     return r;
   }
@@ -49,44 +50,44 @@ class LteDownlink : public ::testing::Test {
 
 TEST_F(LteDownlink, SproutDelayFarBelowCubic) {
   // Intro table: Cubic's self-inflicted delay is ~79x Sprout's.
-  EXPECT_LT(sprout().self_inflicted_delay_ms * 10.0,
-            cubic().self_inflicted_delay_ms);
+  EXPECT_LT(sprout().self_inflicted_delay_ms() * 10.0,
+            cubic().self_inflicted_delay_ms());
 }
 
 TEST_F(LteDownlink, CubicBufferbloatsIntoSeconds) {
-  EXPECT_GT(cubic().self_inflicted_delay_ms, 2000.0);
-  EXPECT_GT(cubic().utilization, 0.9);  // it does fill the pipe
+  EXPECT_GT(cubic().self_inflicted_delay_ms(), 2000.0);
+  EXPECT_GT(cubic().utilization(), 0.9);  // it does fill the pipe
 }
 
 TEST_F(LteDownlink, SproutKeepsSubSecondDelay) {
-  EXPECT_LT(sprout().self_inflicted_delay_ms, 500.0);
-  EXPECT_GT(sprout().utilization, 0.3);
+  EXPECT_LT(sprout().self_inflicted_delay_ms(), 500.0);
+  EXPECT_GT(sprout().utilization(), 0.3);
 }
 
 TEST_F(LteDownlink, EwmaTradesDelayForThroughput) {
   // §5.3: Sprout-EWMA gets more throughput than Sprout but more delay.
-  EXPECT_GE(ewma().throughput_kbps, sprout().throughput_kbps);
-  EXPECT_GE(ewma().self_inflicted_delay_ms, sprout().self_inflicted_delay_ms);
+  EXPECT_GE(ewma().throughput_kbps(), sprout().throughput_kbps());
+  EXPECT_GE(ewma().self_inflicted_delay_ms(), sprout().self_inflicted_delay_ms());
 }
 
 TEST_F(LteDownlink, CodelTamesCubic) {
   // §5.4: CoDel dramatically reduces Cubic's delay at some throughput cost.
-  EXPECT_LT(cubic_codel().self_inflicted_delay_ms,
-            cubic().self_inflicted_delay_ms / 10.0);
-  EXPECT_LT(cubic_codel().throughput_kbps, cubic().throughput_kbps);
+  EXPECT_LT(cubic_codel().self_inflicted_delay_ms(),
+            cubic().self_inflicted_delay_ms() / 10.0);
+  EXPECT_LT(cubic_codel().throughput_kbps(), cubic().throughput_kbps());
 }
 
 TEST_F(LteDownlink, SproutDelayCompetitiveWithInNetworkCodel) {
   // §5.4: end-to-end Sprout matches/undercuts Cubic-over-CoDel on delay.
-  EXPECT_LT(sprout().self_inflicted_delay_ms,
-            cubic_codel().self_inflicted_delay_ms * 1.5);
+  EXPECT_LT(sprout().self_inflicted_delay_ms(),
+            cubic_codel().self_inflicted_delay_ms() * 1.5);
 }
 
 TEST_F(LteDownlink, SkypeModelUnderperformsSprout) {
   // Intro table: Sprout beats Skype on BOTH axes.
-  EXPECT_GT(sprout().throughput_kbps, skype().throughput_kbps);
-  EXPECT_LT(sprout().self_inflicted_delay_ms,
-            skype().self_inflicted_delay_ms);
+  EXPECT_GT(sprout().throughput_kbps(), skype().throughput_kbps());
+  EXPECT_LT(sprout().self_inflicted_delay_ms(),
+            skype().self_inflicted_delay_ms());
 }
 
 TEST(PaperShape, TunnelIsolatesSkypeFromCubic) {
@@ -97,11 +98,13 @@ TEST(PaperShape, TunnelIsolatesSkypeFromCubic) {
   direct.warmup = sec(20);
   ScenarioSpec tunneled = direct;
   tunneled.topology.via_tunnel = true;
-  const TunnelContentionResult d = run_tunnel_contention(direct);
-  const TunnelContentionResult t = run_tunnel_contention(tunneled);
-  EXPECT_LT(t.skype_delay95_ms, d.skype_delay95_ms / 2.0);
-  EXPECT_LT(t.cubic_throughput_kbps, d.cubic_throughput_kbps);
-  EXPECT_GT(t.skype_throughput_kbps, d.skype_throughput_kbps * 0.8);
+  // flows[0] is the Cubic download, flows[1] the Skype call.
+  const ScenarioResult d = run_scenario(direct);
+  const ScenarioResult t = run_scenario(tunneled);
+  EXPECT_LT(t.flows.at(1).delay95_ms, d.flows.at(1).delay95_ms / 2.0);
+  EXPECT_LT(t.flows.at(0).throughput_kbps, d.flows.at(0).throughput_kbps);
+  EXPECT_GT(t.flows.at(1).throughput_kbps,
+            d.flows.at(1).throughput_kbps * 0.8);
 }
 
 TEST(PaperShape, SproutLossResilience) {
@@ -111,26 +114,26 @@ TEST(PaperShape, SproutLossResilience) {
   c.link = LinkSpec::preset("Verizon LTE", LinkDirection::kDownlink);
   c.run_time = sec(100);
   c.warmup = sec(20);
-  const double clean = run_experiment(c).throughput_kbps;
+  const double clean = run_scenario(c).throughput_kbps();
   c.set_loss_rate(0.05);
-  const double loss5 = run_experiment(c).throughput_kbps;
+  const double loss5 = run_scenario(c).throughput_kbps();
   c.set_loss_rate(0.10);
-  const double loss10 = run_experiment(c).throughput_kbps;
+  const double loss10 = run_scenario(c).throughput_kbps();
   EXPECT_GT(loss5, 0.3 * clean);
   EXPECT_GT(loss10, 0.15 * clean);
   EXPECT_LE(loss10, loss5 * 1.1);
 }
 
 TEST(PaperShape, VegasSitsBetweenSproutAndCubicOnDelay) {
-  const ExperimentResult sprout =
+  const ScenarioResult sprout =
       run_scheme(SchemeId::kSprout, "AT&T LTE", LinkDirection::kDownlink);
-  const ExperimentResult vegas =
+  const ScenarioResult vegas =
       run_scheme(SchemeId::kVegas, "AT&T LTE", LinkDirection::kDownlink);
-  const ExperimentResult cubic =
+  const ScenarioResult cubic =
       run_scheme(SchemeId::kCubic, "AT&T LTE", LinkDirection::kDownlink);
-  EXPECT_LT(vegas.self_inflicted_delay_ms, cubic.self_inflicted_delay_ms);
-  EXPECT_GT(vegas.self_inflicted_delay_ms,
-            sprout.self_inflicted_delay_ms * 0.5);
+  EXPECT_LT(vegas.self_inflicted_delay_ms(), cubic.self_inflicted_delay_ms());
+  EXPECT_GT(vegas.self_inflicted_delay_ms(),
+            sprout.self_inflicted_delay_ms() * 0.5);
 }
 
 }  // namespace

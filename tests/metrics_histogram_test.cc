@@ -1,0 +1,127 @@
+// DelayHistogram: the streaming quantile substrate under tower population
+// metrics.  The contract under test: percentiles land within one bin width
+// ABOVE the exact sorted-sample quantile (never below), merging is exact,
+// and serialization round-trips through from_parts.
+#include "metrics/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace sprout {
+namespace {
+
+// Exact nearest-rank quantile of a sorted sample, in ms.
+double exact_quantile_ms(std::vector<double> sorted_ms, double pct) {
+  const auto n = static_cast<double>(sorted_ms.size());
+  const auto rank = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(pct / 100.0 * n)));
+  return sorted_ms[rank - 1];
+}
+
+TEST(DelayHistogram, DefaultIsUnconfigured) {
+  DelayHistogram h;
+  EXPECT_FALSE(h.configured());
+  EXPECT_TRUE(h.empty());
+  EXPECT_THROW(h.add(msec(5)), std::logic_error);
+}
+
+TEST(DelayHistogram, RejectsBadGeometry) {
+  EXPECT_THROW(DelayHistogram(Duration::zero(), sec(1)),
+               std::invalid_argument);
+  EXPECT_THROW(DelayHistogram(msec(10), msec(5)), std::invalid_argument);
+}
+
+TEST(DelayHistogram, PercentilesWithinOneBinOfExactQuantiles) {
+  // A lognormal-ish delay population, the shape real per-packet delays
+  // take: bulk around 40-80 ms with a long tail.
+  Rng rng(7);
+  std::vector<double> samples_ms;
+  DelayHistogram h(msec(5), sec(20));
+  for (int i = 0; i < 200'000; ++i) {
+    const double ms = std::min(19'000.0, 40.0 * std::exp(rng.normal(0.0, 0.8)));
+    const Duration d = from_seconds(ms / 1000.0);
+    samples_ms.push_back(to_millis(d));  // compare against what was added
+    h.add(d);
+  }
+  std::sort(samples_ms.begin(), samples_ms.end());
+  for (const double pct : {50.0, 95.0, 99.0, 99.9}) {
+    const double exact = exact_quantile_ms(samples_ms, pct);
+    const double approx = h.percentile_ms(pct);
+    // Never under-reports, and overshoots by at most one bin width.
+    EXPECT_GE(approx, exact) << "p" << pct;
+    EXPECT_LE(approx, exact + h.bin_width_ms() + 1e-9) << "p" << pct;
+  }
+  EXPECT_EQ(h.samples(), 200'000);
+}
+
+TEST(DelayHistogram, MeanIsExactNotBinned) {
+  DelayHistogram h(msec(100), sec(1));
+  h.add(msec(1));
+  h.add(msec(2));
+  h.add(msec(6));
+  EXPECT_DOUBLE_EQ(h.mean_ms(), 3.0);
+}
+
+TEST(DelayHistogram, OverflowBinReportsSentinelAboveMax) {
+  DelayHistogram h(msec(10), msec(100));
+  h.add(sec(5));  // far past max
+  EXPECT_DOUBLE_EQ(h.percentile_ms(50.0), h.max_ms() + h.bin_width_ms());
+}
+
+TEST(DelayHistogram, MergeIsExactAndCommutative) {
+  Rng rng(21);
+  DelayHistogram a(msec(5), sec(20));
+  DelayHistogram b(msec(5), sec(20));
+  DelayHistogram all(msec(5), sec(20));
+  for (int i = 0; i < 5'000; ++i) {
+    const Duration d = msec(rng.uniform_int(0, 25'000));
+    (i % 2 == 0 ? a : b).add(d);
+    all.add(d);
+  }
+  DelayHistogram ab = a;
+  ab.merge(b);
+  DelayHistogram ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.counts(), all.counts());
+  EXPECT_EQ(ba.counts(), all.counts());
+  EXPECT_DOUBLE_EQ(ab.sum_ms(), ba.sum_ms());
+  EXPECT_EQ(ab.samples(), all.samples());
+}
+
+TEST(DelayHistogram, MergeIntoUnconfiguredAdopts) {
+  DelayHistogram a(msec(5), sec(20));
+  a.add(msec(42));
+  DelayHistogram pop;  // how ScenarioResult accumulates users
+  pop.merge(a);
+  EXPECT_TRUE(pop.configured());
+  EXPECT_EQ(pop.samples(), 1);
+}
+
+TEST(DelayHistogram, MergeRejectsMismatchedGeometry) {
+  DelayHistogram a(msec(5), sec(20));
+  DelayHistogram b(msec(10), sec(20));
+  a.add(msec(1));
+  b.add(msec(1));
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(DelayHistogram, FromPartsRoundTrips) {
+  DelayHistogram h(msec(5), sec(20));
+  Rng rng(3);
+  for (int i = 0; i < 1'000; ++i) h.add(msec(rng.uniform_int(0, 30'000)));
+  const DelayHistogram back = DelayHistogram::from_parts(
+      h.bin_width_ms(), h.max_ms(), h.sum_ms(), h.counts());
+  EXPECT_EQ(back.counts(), h.counts());
+  EXPECT_EQ(back.samples(), h.samples());
+  EXPECT_DOUBLE_EQ(back.percentile_ms(99.0), h.percentile_ms(99.0));
+  EXPECT_DOUBLE_EQ(back.mean_ms(), h.mean_ms());
+}
+
+}  // namespace
+}  // namespace sprout

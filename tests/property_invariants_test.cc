@@ -4,7 +4,7 @@
 
 #include <gtest/gtest.h>
 
-#include "runner/experiment.h"
+#include "runner/scenario.h"
 
 namespace sprout {
 namespace {
@@ -27,37 +27,37 @@ std::string case_name(const ::testing::TestParamInfo<Case>& info) {
 
 class SchemeLinkSweep : public ::testing::TestWithParam<Case> {
  protected:
-  static ExperimentResult run(const Case& c, std::uint64_t seed = 42) {
+  static ScenarioResult run(const Case& c, std::uint64_t seed = 42) {
     ScenarioSpec config;
     config.scheme = c.scheme;
     config.link = LinkSpec::preset(c.network, c.direction);
     config.run_time = sec(45);
     config.warmup = sec(15);
     config.seed = seed;
-    return run_experiment(config);
+    return run_scenario(config);
   }
 };
 
 TEST_P(SchemeLinkSweep, InvariantsHold) {
-  const ExperimentResult r = run(GetParam());
+  const ScenarioResult r = run(GetParam());
   // Conservation: cannot beat the link's capacity.
-  EXPECT_LE(r.throughput_kbps, r.capacity_kbps * 1.001);
-  EXPECT_GE(r.throughput_kbps, 0.0);
+  EXPECT_LE(r.throughput_kbps(), r.capacity_kbps * 1.001);
+  EXPECT_GE(r.throughput_kbps(), 0.0);
   // Physics: cannot beat the omniscient delay baseline.
-  EXPECT_GE(r.delay95_ms, r.omniscient_delay95_ms - 1e-6);
-  EXPECT_GE(r.self_inflicted_delay_ms, 0.0);
+  EXPECT_GE(r.delay95_ms(), r.omniscient_delay95_ms - 1e-6);
+  EXPECT_GE(r.self_inflicted_delay_ms(), 0.0);
   // Omniscient baseline itself must be at least the propagation delay.
   EXPECT_GE(r.omniscient_delay95_ms, 20.0);
   // Liveness: every scheme moves SOME data on every link.
   EXPECT_GT(r.packets_delivered, 0);
-  EXPECT_GT(r.throughput_kbps, 5.0);
+  EXPECT_GT(r.throughput_kbps(), 5.0);
 }
 
 TEST_P(SchemeLinkSweep, DeterministicAcrossRuns) {
-  const ExperimentResult a = run(GetParam());
-  const ExperimentResult b = run(GetParam());
-  EXPECT_DOUBLE_EQ(a.throughput_kbps, b.throughput_kbps);
-  EXPECT_DOUBLE_EQ(a.delay95_ms, b.delay95_ms);
+  const ScenarioResult a = run(GetParam());
+  const ScenarioResult b = run(GetParam());
+  EXPECT_DOUBLE_EQ(a.throughput_kbps(), b.throughput_kbps());
+  EXPECT_DOUBLE_EQ(a.delay95_ms(), b.delay95_ms());
   EXPECT_EQ(a.packets_delivered, b.packets_delivered);
 }
 
@@ -104,11 +104,11 @@ TEST_P(SeedSweep, SproutBeatsCubicOnDelayForEverySeed) {
   config.warmup = sec(15);
   config.seed = GetParam();
   config.scheme = SchemeId::kSprout;
-  const ExperimentResult sprout = run_experiment(config);
+  const ScenarioResult sprout = run_scenario(config);
   config.scheme = SchemeId::kCubic;
-  const ExperimentResult cubic = run_experiment(config);
-  EXPECT_LT(sprout.self_inflicted_delay_ms,
-            cubic.self_inflicted_delay_ms / 5.0);
+  const ScenarioResult cubic = run_scenario(config);
+  EXPECT_LT(sprout.self_inflicted_delay_ms(),
+            cubic.self_inflicted_delay_ms() / 5.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
@@ -125,13 +125,13 @@ TEST_P(VariantSweep, KeepsDelayFarBelowCubic) {
   config.run_time = sec(30);
   config.warmup = sec(10);
   config.scheme = GetParam();
-  const ExperimentResult variant = run_experiment(config);
+  const ScenarioResult variant = run_scenario(config);
   config.scheme = SchemeId::kCubic;
-  const ExperimentResult cubic = run_experiment(config);
-  EXPECT_LT(variant.self_inflicted_delay_ms,
-            cubic.self_inflicted_delay_ms / 4.0)
+  const ScenarioResult cubic = run_scenario(config);
+  EXPECT_LT(variant.self_inflicted_delay_ms(),
+            cubic.self_inflicted_delay_ms() / 4.0)
       << to_string(GetParam());
-  EXPECT_GT(variant.throughput_kbps, 5.0);
+  EXPECT_GT(variant.throughput_kbps(), 5.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,4 +1,7 @@
-#include "runner/experiment.h"
+#include "runner/scenario.h"
+
+#include "runner/schemes.h"
+#include "trace/presets.h"
 
 #include <gtest/gtest.h>
 
@@ -26,20 +29,20 @@ TEST(Schemes, NamesAreUnique) {
 }
 
 TEST(Experiment, ResultsAreDeterministicForSeed) {
-  const ExperimentResult a = run_experiment(quick(SchemeId::kSprout));
-  const ExperimentResult b = run_experiment(quick(SchemeId::kSprout));
-  EXPECT_DOUBLE_EQ(a.throughput_kbps, b.throughput_kbps);
-  EXPECT_DOUBLE_EQ(a.delay95_ms, b.delay95_ms);
+  const ScenarioResult a = run_scenario(quick(SchemeId::kSprout));
+  const ScenarioResult b = run_scenario(quick(SchemeId::kSprout));
+  EXPECT_DOUBLE_EQ(a.throughput_kbps(), b.throughput_kbps());
+  EXPECT_DOUBLE_EQ(a.delay95_ms(), b.delay95_ms());
 }
 
 TEST(Experiment, MetricsAreInternallyConsistent) {
-  const ExperimentResult r = run_experiment(quick(SchemeId::kSprout));
-  EXPECT_GT(r.throughput_kbps, 0.0);
-  EXPECT_GT(r.capacity_kbps, r.throughput_kbps * 0.9);
-  EXPECT_NEAR(r.utilization, r.throughput_kbps / r.capacity_kbps, 1e-9);
-  EXPECT_GE(r.delay95_ms, r.omniscient_delay95_ms - 1e-6);
-  EXPECT_NEAR(r.self_inflicted_delay_ms,
-              r.delay95_ms - r.omniscient_delay95_ms, 1e-6);
+  const ScenarioResult r = run_scenario(quick(SchemeId::kSprout));
+  EXPECT_GT(r.throughput_kbps(), 0.0);
+  EXPECT_GT(r.capacity_kbps, r.throughput_kbps() * 0.9);
+  EXPECT_NEAR(r.utilization(), r.throughput_kbps() / r.capacity_kbps, 1e-9);
+  EXPECT_GE(r.delay95_ms(), r.omniscient_delay95_ms - 1e-6);
+  EXPECT_NEAR(r.self_inflicted_delay_ms(),
+              r.delay95_ms() - r.omniscient_delay95_ms, 1e-6);
   EXPECT_GT(r.packets_delivered, 0);
 }
 
@@ -85,19 +88,20 @@ TEST(Experiment, BandedInferenceMatchesDenseReferenceEndToEnd) {
 }
 
 TEST(Experiment, OmniscientSchemeHasZeroSelfInflictedDelay) {
-  const ExperimentResult r = run_experiment(quick(SchemeId::kOmniscient));
-  EXPECT_NEAR(r.self_inflicted_delay_ms, 0.0, 3.0);
-  EXPECT_GT(r.utilization, 0.97);
+  const ScenarioResult r = run_scenario(quick(SchemeId::kOmniscient));
+  EXPECT_NEAR(r.self_inflicted_delay_ms(), 0.0, 3.0);
+  EXPECT_GT(r.utilization(), 0.97);
 }
 
 TEST(Experiment, SeriesCaptureProducesAlignedSeries) {
   ScenarioSpec c = quick(SchemeId::kSproutEwma);
   c.capture_series = true;
-  const ExperimentResult r = run_experiment(c);
-  EXPECT_FALSE(r.series.empty());
-  EXPECT_EQ(r.series.size(), r.capacity_series.size());
+  const ScenarioResult r = run_scenario(c);
+  const std::vector<SeriesPoint>& series = r.flows.front().series;
+  EXPECT_FALSE(series.empty());
+  EXPECT_EQ(series.size(), r.capacity_series.size());
   double series_sum = 0.0;
-  for (const SeriesPoint& p : r.series) series_sum += p.throughput_kbps;
+  for (const SeriesPoint& p : series) series_sum += p.throughput_kbps;
   EXPECT_GT(series_sum, 0.0);
 }
 
@@ -105,8 +109,8 @@ TEST(Experiment, LossConfigReducesThroughput) {
   ScenarioSpec clean = quick(SchemeId::kSprout);
   ScenarioSpec lossy = clean;
   lossy.set_loss_rate(0.10);
-  const double t_clean = run_experiment(clean).throughput_kbps;
-  const double t_lossy = run_experiment(lossy).throughput_kbps;
+  const double t_clean = run_scenario(clean).throughput_kbps();
+  const double t_lossy = run_scenario(lossy).throughput_kbps();
   EXPECT_LT(t_lossy, t_clean);
   EXPECT_GT(t_lossy, 0.05 * t_clean);  // degraded, not dead (§5.6)
 }
@@ -124,9 +128,9 @@ TEST(Experiment, AsymmetricLossSplitsByDirection) {
 
   // Data-direction loss starves the measured flow directly; feedback loss
   // only slows its control loop.  Both hurt, data loss hurts more.
-  const double clean = run_experiment(quick(SchemeId::kSprout)).throughput_kbps;
-  const double fwd = run_experiment(data_lossy).throughput_kbps;
-  const double rev = run_experiment(feedback_lossy).throughput_kbps;
+  const double clean = run_scenario(quick(SchemeId::kSprout)).throughput_kbps();
+  const double fwd = run_scenario(data_lossy).throughput_kbps();
+  const double rev = run_scenario(feedback_lossy).throughput_kbps();
   EXPECT_LT(fwd, clean);
   EXPECT_GT(rev, fwd);
 }
@@ -151,60 +155,68 @@ TEST(Experiment, ConfidenceSweepTradesDelayForThroughput) {
       LinkSpec::preset("T-Mobile 3G (UMTS)", LinkDirection::kUplink);
   ScenarioSpec aggressive = cautious;
   aggressive.sprout_confidence = 5.0;
-  const ExperimentResult r95 = run_experiment(cautious);
-  const ExperimentResult r5 = run_experiment(aggressive);
+  const ScenarioResult r95 = run_scenario(cautious);
+  const ScenarioResult r5 = run_scenario(aggressive);
   // Figure 9: lower confidence => more throughput, more delay.
-  EXPECT_GE(r5.throughput_kbps, r95.throughput_kbps * 0.95);
-  EXPECT_GE(r5.delay95_ms, r95.delay95_ms * 0.8);
+  EXPECT_GE(r5.throughput_kbps(), r95.throughput_kbps() * 0.95);
+  EXPECT_GE(r5.delay95_ms(), r95.delay95_ms() * 0.8);
 }
 
 TEST(Experiment, UplinkAndDownlinkAreDistinct) {
   ScenarioSpec down = quick(SchemeId::kCubic);
   ScenarioSpec up = down;
   up.link = LinkSpec::preset("Verizon LTE", LinkDirection::kUplink);
-  const ExperimentResult rd = run_experiment(down);
-  const ExperimentResult ru = run_experiment(up);
+  const ScenarioResult rd = run_scenario(down);
+  const ScenarioResult ru = run_scenario(up);
   EXPECT_NE(rd.capacity_kbps, ru.capacity_kbps);
 }
 
-TEST(Experiment, RejectsTopologyMismatch) {
-  ScenarioSpec shared = quick(SchemeId::kSprout);
-  shared.topology = TopologySpec::shared_queue(2);
-  EXPECT_THROW((void)run_experiment(shared), std::invalid_argument);
-  EXPECT_THROW((void)run_tunnel_contention(quick(SchemeId::kSprout)),
-               std::invalid_argument);
+TEST(Experiment, ValidateTopologyRejectsContradictions) {
+  // The builders and run_scenario share ONE validator; contradictions are
+  // rejected, never silently resolved.
+  EXPECT_THROW((void)TopologySpec::shared_queue(0), std::invalid_argument);
+  TopologySpec contradicted = TopologySpec::heterogeneous_queue(
+      {FlowSpec::of(SchemeId::kSprout), FlowSpec::of(SchemeId::kCubic)});
+  contradicted.num_flows = 3;  // disagrees with the 2-entry flow list
+  EXPECT_THROW(validate_topology(contradicted), std::invalid_argument);
+  TopologySpec stray_tunnel = TopologySpec::single_flow();
+  stray_tunnel.via_tunnel = true;  // only tunnel topologies take this
+  EXPECT_THROW(validate_topology(stray_tunnel), std::invalid_argument);
+  TopologySpec stray_flows = TopologySpec::single_flow();
+  stray_flows.flows = {FlowSpec::of(SchemeId::kSprout)};
+  EXPECT_THROW(validate_topology(stray_flows), std::invalid_argument);
 }
 
 // --- extension schemes (GCC / FAST / Cubic-PIE), evaluated end-to-end ---
 
 TEST(ExtensionSchemes, GccMovesTrafficWithBoundedDelay) {
-  const ExperimentResult r = run_experiment(quick(SchemeId::kGcc));
+  const ScenarioResult r = run_scenario(quick(SchemeId::kGcc));
   // GCC is reactive (delay-gradient): it should move real traffic but is
   // expected to trail Sprout on both axes over a fast-varying link.
-  EXPECT_GT(r.throughput_kbps, 100.0);
-  EXPECT_LT(r.self_inflicted_delay_ms, 10'000.0);
+  EXPECT_GT(r.throughput_kbps(), 100.0);
+  EXPECT_LT(r.self_inflicted_delay_ms(), 10'000.0);
 }
 
 TEST(ExtensionSchemes, GccTrailsSproutOnDelay) {
-  const ExperimentResult gcc = run_experiment(quick(SchemeId::kGcc));
-  const ExperimentResult sprout = run_experiment(quick(SchemeId::kSprout));
-  EXPECT_GT(gcc.self_inflicted_delay_ms, sprout.self_inflicted_delay_ms);
+  const ScenarioResult gcc = run_scenario(quick(SchemeId::kGcc));
+  const ScenarioResult sprout = run_scenario(quick(SchemeId::kSprout));
+  EXPECT_GT(gcc.self_inflicted_delay_ms(), sprout.self_inflicted_delay_ms());
 }
 
 TEST(ExtensionSchemes, FastSaturatesTheLink) {
-  const ExperimentResult r = run_experiment(quick(SchemeId::kFast));
-  EXPECT_GT(r.utilization, 0.7);
+  const ScenarioResult r = run_scenario(quick(SchemeId::kFast));
+  EXPECT_GT(r.utilization(), 0.7);
   // Delay-based: far below Cubic's tens of seconds.
-  EXPECT_LT(r.self_inflicted_delay_ms, 5'000.0);
+  EXPECT_LT(r.self_inflicted_delay_ms(), 5'000.0);
 }
 
 TEST(ExtensionSchemes, PieControlsCubicDelayLikeCodel) {
-  const ExperimentResult cubic = run_experiment(quick(SchemeId::kCubic));
-  const ExperimentResult pie = run_experiment(quick(SchemeId::kCubicPie));
+  const ScenarioResult cubic = run_scenario(quick(SchemeId::kCubic));
+  const ScenarioResult pie = run_scenario(quick(SchemeId::kCubicPie));
   // In-network delay control: PIE must cut Cubic's delay by a large factor
   // (the §5.4 story, with PIE standing in for CoDel).
-  EXPECT_LT(pie.self_inflicted_delay_ms, cubic.self_inflicted_delay_ms / 4.0);
-  EXPECT_GT(pie.throughput_kbps, cubic.throughput_kbps * 0.3);
+  EXPECT_LT(pie.self_inflicted_delay_ms(), cubic.self_inflicted_delay_ms() / 4.0);
+  EXPECT_GT(pie.throughput_kbps(), cubic.throughput_kbps() * 0.3);
 }
 
 TEST(ExtensionSchemes, AllExtensionSchemesAreDeterministic) {
@@ -212,11 +224,11 @@ TEST(ExtensionSchemes, AllExtensionSchemesAreDeterministic) {
     ScenarioSpec c = quick(s);
     c.run_time = sec(20);
     c.warmup = sec(5);
-    const ExperimentResult a = run_experiment(c);
-    const ExperimentResult b = run_experiment(c);
-    EXPECT_DOUBLE_EQ(a.throughput_kbps, b.throughput_kbps)
+    const ScenarioResult a = run_scenario(c);
+    const ScenarioResult b = run_scenario(c);
+    EXPECT_DOUBLE_EQ(a.throughput_kbps(), b.throughput_kbps())
         << to_string(s);
-    EXPECT_DOUBLE_EQ(a.delay95_ms, b.delay95_ms) << to_string(s);
+    EXPECT_DOUBLE_EQ(a.delay95_ms(), b.delay95_ms()) << to_string(s);
   }
 }
 
@@ -231,52 +243,51 @@ ScenarioSpec shared_quick(SchemeId scheme, int flows) {
 }
 
 TEST(SharedQueue, SingleFlowMatchesShapeOfDedicatedRun) {
-  const SharedQueueResult shared =
-      run_shared_queue(shared_quick(SchemeId::kSprout, 1));
-  ASSERT_EQ(shared.flow_throughput_kbps.size(), 1u);
-  EXPECT_GT(shared.flow_throughput_kbps[0], 100.0);
+  const ScenarioResult shared =
+      run_scenario(shared_quick(SchemeId::kSprout, 1));
+  ASSERT_EQ(shared.flows.size(), 1u);
+  EXPECT_GT(shared.flow_metrics(0).throughput_kbps(), 100.0);
   EXPECT_NEAR(shared.jain_index, 1.0, 1e-9);
 }
 
 TEST(SharedQueue, SymmetricSproutsShareFairly) {
-  const SharedQueueResult r =
-      run_shared_queue(shared_quick(SchemeId::kSprout, 4));
-  ASSERT_EQ(r.flow_throughput_kbps.size(), 4u);
-  for (const double tput : r.flow_throughput_kbps) EXPECT_GT(tput, 0.0);
+  const ScenarioResult r = run_scenario(shared_quick(SchemeId::kSprout, 4));
+  ASSERT_EQ(r.flows.size(), 4u);
+  for (std::size_t i = 0; i < r.flows.size(); ++i) {
+    EXPECT_GT(r.flow_metrics(i).throughput_kbps(), 0.0);
+  }
   EXPECT_GT(r.jain_index, 0.75);
 }
 
 TEST(SharedQueue, SproutsKeepDelayFarBelowCubics) {
-  const SharedQueueResult sprouts =
-      run_shared_queue(shared_quick(SchemeId::kSprout, 2));
-  const SharedQueueResult cubics =
-      run_shared_queue(shared_quick(SchemeId::kCubic, 2));
+  const ScenarioResult sprouts =
+      run_scenario(shared_quick(SchemeId::kSprout, 2));
+  const ScenarioResult cubics =
+      run_scenario(shared_quick(SchemeId::kCubic, 2));
   EXPECT_LT(sprouts.max_delay95_ms, cubics.max_delay95_ms / 4.0);
 }
 
 TEST(SharedQueue, AggregateNeverExceedsCapacity) {
   for (const int n : {1, 2, 4}) {
-    const SharedQueueResult r =
-        run_shared_queue(shared_quick(SchemeId::kSproutEwma, n));
+    const ScenarioResult r =
+        run_scenario(shared_quick(SchemeId::kSproutEwma, n));
     EXPECT_LE(r.aggregate_utilization, 1.02) << n << " flows";
   }
 }
 
 TEST(SharedQueue, DeterministicForSeed) {
-  const SharedQueueResult a =
-      run_shared_queue(shared_quick(SchemeId::kSprout, 2));
-  const SharedQueueResult b =
-      run_shared_queue(shared_quick(SchemeId::kSprout, 2));
-  ASSERT_EQ(a.flow_throughput_kbps.size(), b.flow_throughput_kbps.size());
-  for (std::size_t i = 0; i < a.flow_throughput_kbps.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a.flow_throughput_kbps[i], b.flow_throughput_kbps[i]);
+  const ScenarioResult a = run_scenario(shared_quick(SchemeId::kSprout, 2));
+  const ScenarioResult b = run_scenario(shared_quick(SchemeId::kSprout, 2));
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.flows[i].throughput_kbps, b.flows[i].throughput_kbps);
   }
 }
 
 TEST(SharedQueue, RejectsInvalidConfigs) {
-  EXPECT_THROW((void)run_shared_queue(shared_quick(SchemeId::kSprout, 0)),
+  EXPECT_THROW((void)run_scenario(shared_quick(SchemeId::kSprout, 0)),
                std::invalid_argument);
-  EXPECT_THROW((void)run_shared_queue(shared_quick(SchemeId::kOmniscient, 2)),
+  EXPECT_THROW((void)run_scenario(shared_quick(SchemeId::kOmniscient, 2)),
                std::invalid_argument);
 }
 
@@ -284,15 +295,16 @@ TEST(TunnelContention, RunsBothModes) {
   ScenarioSpec direct = tunnel_scenario("Verizon LTE", false);
   direct.run_time = sec(40);
   direct.warmup = sec(10);
-  const TunnelContentionResult d = run_tunnel_contention(direct);
-  EXPECT_GT(d.cubic_throughput_kbps, 0.0);
-  EXPECT_GT(d.skype_throughput_kbps, 0.0);
+  // flows[0] is the Cubic download, flows[1] the Skype call.
+  const ScenarioResult d = run_scenario(direct);
+  EXPECT_GT(d.flows.at(0).throughput_kbps, 0.0);
+  EXPECT_GT(d.flows.at(1).throughput_kbps, 0.0);
 
   ScenarioSpec tunneled = direct;
   tunneled.topology.via_tunnel = true;
-  const TunnelContentionResult t = run_tunnel_contention(tunneled);
-  EXPECT_GT(t.cubic_throughput_kbps, 0.0);
-  EXPECT_GT(t.skype_throughput_kbps, 0.0);
+  const ScenarioResult t = run_scenario(tunneled);
+  EXPECT_GT(t.flows.at(0).throughput_kbps, 0.0);
+  EXPECT_GT(t.flows.at(1).throughput_kbps, 0.0);
 }
 
 }  // namespace

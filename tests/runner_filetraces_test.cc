@@ -6,7 +6,8 @@
 #include <cstdio>
 
 #include "link/pf_cell.h"
-#include "runner/experiment.h"
+#include "runner/scenario.h"
+#include "trace/presets.h"
 #include "trace/trace.h"
 
 namespace sprout {
@@ -32,24 +33,24 @@ ScenarioSpec base_spec(SchemeId scheme) {
 }
 
 TEST(FileTraces, OmniscientSaturatesAConstantLink) {
-  const ExperimentResult r = run_experiment(base_spec(SchemeId::kOmniscient));
-  EXPECT_GT(r.utilization, 0.97);
+  const ScenarioResult r = run_scenario(base_spec(SchemeId::kOmniscient));
+  EXPECT_GT(r.utilization(), 0.97);
   EXPECT_NEAR(r.capacity_kbps, 6000.0, 60.0);
-  EXPECT_NEAR(r.self_inflicted_delay_ms, 0.0, 5.0);
+  EXPECT_NEAR(r.self_inflicted_delay_ms(), 0.0, 5.0);
 }
 
 TEST(FileTraces, SproutNearlySaturatesAConstantLink) {
   // On a steady link the cautious forecast converges close to the true
   // rate: most of the caution cost comes from rate *variation*.
-  const ExperimentResult r = run_experiment(base_spec(SchemeId::kSprout));
-  EXPECT_GT(r.utilization, 0.6);
-  EXPECT_LT(r.self_inflicted_delay_ms, 200.0);
+  const ScenarioResult r = run_scenario(base_spec(SchemeId::kSprout));
+  EXPECT_GT(r.utilization(), 0.6);
+  EXPECT_LT(r.self_inflicted_delay_ms(), 200.0);
 }
 
 TEST(FileTraces, CubicFillsTheUnboundedQueue) {
-  const ExperimentResult r = run_experiment(base_spec(SchemeId::kCubic));
-  EXPECT_GT(r.utilization, 0.9);
-  EXPECT_GT(r.self_inflicted_delay_ms, 500.0);
+  const ScenarioResult r = run_scenario(base_spec(SchemeId::kCubic));
+  EXPECT_GT(r.utilization(), 0.9);
+  EXPECT_GT(r.self_inflicted_delay_ms(), 500.0);
 }
 
 TEST(FileTraces, MatchesPresetPathForIdenticalTraces) {
@@ -62,17 +63,17 @@ TEST(FileTraces, MatchesPresetPathForIdenticalTraces) {
   preset.link = LinkSpec::preset(down);
   preset.run_time = sec(30);
   preset.warmup = sec(10);
-  const ExperimentResult via_preset = run_experiment(preset);
+  const ScenarioResult via_preset = run_scenario(preset);
 
   ScenarioSpec file = preset;
   file.link = LinkSpec::traces(
       preset_trace(down, preset.run_time + sec(2)),
       preset_trace(find_link_preset("Verizon LTE", LinkDirection::kUplink),
                    preset.run_time + sec(2)));
-  const ExperimentResult via_file = run_experiment(file);
+  const ScenarioResult via_file = run_scenario(file);
 
-  EXPECT_DOUBLE_EQ(via_preset.throughput_kbps, via_file.throughput_kbps);
-  EXPECT_DOUBLE_EQ(via_preset.delay95_ms, via_file.delay95_ms);
+  EXPECT_DOUBLE_EQ(via_preset.throughput_kbps(), via_file.throughput_kbps());
+  EXPECT_DOUBLE_EQ(via_preset.delay95_ms(), via_file.delay95_ms());
 }
 
 TEST(FileTraces, SurvivesTraceFileRoundTrip) {
@@ -89,12 +90,12 @@ TEST(FileTraces, SurvivesTraceFileRoundTrip) {
   ScenarioSpec b = base_spec(SchemeId::kSprout);
   b.link = LinkSpec::trace_files(fwd_path, rev_path);
 
-  const ExperimentResult ra = run_experiment(a);
-  const ExperimentResult rb = run_experiment(b);
+  const ScenarioResult ra = run_scenario(a);
+  const ScenarioResult rb = run_scenario(b);
   std::remove(fwd_path.c_str());
   std::remove(rev_path.c_str());
-  EXPECT_DOUBLE_EQ(ra.throughput_kbps, rb.throughput_kbps);
-  EXPECT_DOUBLE_EQ(ra.delay95_ms, rb.delay95_ms);
+  EXPECT_DOUBLE_EQ(ra.throughput_kbps(), rb.throughput_kbps());
+  EXPECT_DOUBLE_EQ(ra.delay95_ms(), rb.delay95_ms());
 }
 
 TEST(FileTraces, PfCellTracesDriveTheFullStack) {
@@ -107,10 +108,10 @@ TEST(FileTraces, PfCellTracesDriveTheFullStack) {
   c.link = LinkSpec::traces(traces[0], traces[1]);
   c.run_time = sec(40);
   c.warmup = sec(10);
-  const ExperimentResult r = run_experiment(c);
+  const ScenarioResult r = run_scenario(c);
   EXPECT_GT(r.packets_delivered, 0);
-  EXPECT_GE(r.self_inflicted_delay_ms, 0.0);
-  EXPECT_LE(r.throughput_kbps, r.capacity_kbps * 1.001);
+  EXPECT_GE(r.self_inflicted_delay_ms(), 0.0);
+  EXPECT_LE(r.throughput_kbps(), r.capacity_kbps * 1.001);
 }
 
 }  // namespace

@@ -8,7 +8,6 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "runner/experiment.h"
 #include "runner/scenario.h"
 #include "runner/sweep.h"
 
@@ -322,11 +321,6 @@ TEST(DrainTail, StoppedFlowsDrainedBytesLandInItsOwnLedger) {
                                       sprout_flow.active_from_s);
   EXPECT_NEAR(static_cast<double>(sprout_flow.delivered_bytes),
               sprout_window_bytes, 1.0);
-}
-
-TEST(HeterogeneousValidation, RunSharedQueueViewStaysHomogeneous) {
-  ScenarioSpec spec = mixed_spec(SchemeId::kCubic);
-  EXPECT_THROW((void)run_shared_queue(spec), std::invalid_argument);
 }
 
 TEST(HeterogeneousValidation, FlowListOnNonSharedQueueKindIsRejected) {

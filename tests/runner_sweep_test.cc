@@ -229,7 +229,10 @@ TEST(Sweep, TransitionMatricesBuildOncePerDistinctParams) {
 TEST(Sweep, FirstFailureInInputOrderIsRethrown) {
   std::vector<ScenarioSpec> specs = grid();
   specs.resize(3);
-  specs[1].topology = TopologySpec::shared_queue(0);  // invalid
+  // The builders validate eagerly, so an invalid cell has to be assembled
+  // field-by-field; run_scenario re-validates and throws inside the pool.
+  specs[1].topology.kind = TopologySpec::Kind::kSharedQueue;
+  specs[1].topology.num_flows = 0;  // invalid
   SweepRunner runner(SweepOptions{.threads = 4});
   EXPECT_THROW((void)runner.run(specs), std::invalid_argument);
 }

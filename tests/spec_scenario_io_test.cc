@@ -315,5 +315,95 @@ TEST(SpecScenarioIo, StructuralMistakesAreRejected) {
       "link_aqm: unknown link AQM \"RED\"");
 }
 
+TEST(SpecScenarioIo, TowerTopologyRoundTrips) {
+  // The all-defaults tower: only the kind is written.
+  ScenarioSpec plain;
+  plain.topology = TopologySpec::tower(TowerSpec{});
+  expect_roundtrip(plain);
+  EXPECT_EQ(scenario_to_json(plain).find("\"mix\""), std::string::npos);
+
+  // Every tower knob off-default, including a weighted mix and a custom
+  // markov channel.
+  TowerSpec t;
+  t.num_users = 200;
+  t.arrival_rate_per_s = 1.5;
+  t.mean_session_s = 45.0;
+  t.slot = msec(4);
+  t.pf_window = sec(2);
+  MarkovModelParams markov;
+  markov.states = {{120.0, 2.0}, {600.0, 5.0}};
+  t.channel = SynthSpec::markov_model(markov, 17);
+  t.mix = {{SchemeId::kSprout, 1.0}, {SchemeId::kCubic, 3.0}};
+  t.hist_bin = msec(2);
+  t.hist_max = sec(30);
+  ScenarioSpec spec;
+  spec.topology = TopologySpec::tower(std::move(t));
+  spec.run_time = sec(120);
+  spec.warmup = sec(10);
+  spec.seed = 77;
+  expect_roundtrip(spec);
+}
+
+TEST(SpecScenarioIo, TowerRejectsSchemeLinkAndSeriesKeys) {
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"scheme": "Cubic", "topology": {"kind": "tower"}})");
+      },
+      "scheme: tower topologies draw schemes from topology.tower.mix");
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"link": {"source": "preset", "network": "Verizon LTE"},
+                "topology": {"kind": "tower"}})");
+      },
+      "link: tower topologies draw channels from topology.tower.channel");
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"capture_series": true, "topology": {"kind": "tower"}})");
+      },
+      "capture_series: tower scenarios report streaming histograms");
+}
+
+TEST(SpecScenarioIo, TowerReaderValidatesWithPaths) {
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"topology": {"kind": "tower", "tower": {"num_users": 0}}})");
+      },
+      "topology.tower.num_users: must be >= 1");
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"topology": {"kind": "tower",
+                             "tower": {"mix": [{"scheme": "Cubic",
+                                                "weight": -1}]}}})");
+      },
+      "topology.tower.mix[0].weight: must be > 0");
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"topology": {"kind": "tower", "tower": {"mix": []}}})");
+      },
+      "topology.tower.mix: needs at least one mix entry");
+  // Cross-field validation surfaces through the builder with the spec path.
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"topology": {"kind": "tower",
+                             "tower": {"slot_s": 0.01,
+                                       "pf_window_s": 0.005}}})");
+      },
+      "topology:");
+  // The stray-key sweep applies inside the tower object too.
+  expect_spec_error(
+      [] {
+        (void)parse_scenario_json(
+            R"({"topology": {"kind": "tower", "tower": {"users": 5}}})");
+      },
+      "topology.tower.users: unknown field");
+}
+
 }  // namespace
 }  // namespace sprout::spec
