@@ -23,6 +23,8 @@
 // stderr), 2 usage.
 #include <algorithm>
 #include <chrono>
+#include <climits>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <iostream>
@@ -69,6 +71,26 @@ std::string flows_summary(const ScenarioSpec& cell) {
 // its second run so trace generation and table warmup stay out of the
 // number.  estimated_cost is in exactly these units (simulated seconds ×
 // scheme_cost_weight, Cubic ≡ 1), so cost / rate is a wall-clock estimate.
+// Strict positive-int flag parse.  std::atoi reads "4x" as 4, parses "-2"
+// happily, and overflows silently — a zero/negative or garbage count here
+// used to flow straight into the makespan bound as a worker count.  A bad
+// value exits 2 with a path-style diagnostic instead.
+int parse_positive_int(const std::string& flag, const std::string& text) {
+  std::size_t pos = 0;
+  long v = 0;
+  try {
+    v = std::stol(text, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  if (pos != text.size() || v < 1 || v > INT_MAX) {
+    std::cerr << "spec_lint: " << flag
+              << ": must be a positive integer, got \"" << text << "\"\n";
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
 double measure_cubic_seconds_per_wall_second() {
   ScenarioSpec probe;
   probe.scheme = SchemeId::kCubic;
@@ -103,17 +125,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--wall-clock") {
       wall_clock = true;
     } else if (arg == "--shards" && i + 1 < argc) {
-      shards = std::atoi(argv[++i]);
-      if (shards < 1) {
-        std::cerr << "spec_lint: --shards wants a positive count\n";
-        return 2;
-      }
+      shards = parse_positive_int(arg, argv[++i]);
     } else if (arg == "--threads" && i + 1 < argc) {
-      threads = std::atoi(argv[++i]);
-      if (threads < 1) {
-        std::cerr << "spec_lint: --threads wants a positive count\n";
-        return 2;
-      }
+      threads = parse_positive_int(arg, argv[++i]);
     } else if (arg.rfind("--", 0) == 0 || !path.empty()) {
       std::cerr << kUsage;
       return 2;

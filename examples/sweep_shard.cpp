@@ -17,7 +17,7 @@
 //   sweep_shard list
 //   sweep_shard list shard1.json shard2.json      (strategy per shard file)
 //   sweep_shard run   --grid coexistence-smoke --shard 1/3 --out s1.json
-//   sweep_shard run   --spec specs/coexistence_smoke.json --shard 1/3 \
+//   sweep_shard run   --spec specs/coexistence_smoke.json --shard 1/3
 //                     --strategy lpt --out s1.json
 //   sweep_shard run   --grid coexistence-smoke --cells 0,2 --out s.json
 //   sweep_shard run   --spec specs/coexistence_smoke.json --out full.json
@@ -310,7 +310,23 @@ int main(int argc, char** argv) {
                                       "got \"" + name + "\"");
         }
       }
-      else if (arg == "--threads") threads = std::stoi(value());
+      else if (arg == "--threads") {
+        // Strict parse: "--threads 0" means the hardware pool
+        // (SweepOptions), but a negative count or trailing garbage
+        // ("4x") must not reach the thread pool as a plausible number.
+        const std::string text = value();
+        std::size_t pos = 0;
+        try {
+          threads = std::stoi(text, &pos);
+        } catch (const std::exception&) {
+          pos = std::string::npos;
+        }
+        if (pos != text.size() || threads < 0) {
+          std::cerr << "sweep_shard: --threads: must be a non-negative "
+                       "integer (0 = all cores), got \"" << text << "\"\n";
+          return 2;
+        }
+      }
       else if (arg == "--shard") shard_arg = value();
       else if (arg == "--cells") cells_arg = value();
       else if (arg == "--out") out_path = value();

@@ -50,6 +50,16 @@ void DelayHistogram::merge(const DelayHistogram& other) {
 }
 
 double DelayHistogram::percentile_ms(double pct) const {
+  // An out-of-range pct used to be answered with a plausible number (0 ms
+  // or the overflow sentinel) — garbage in a golden file instead of a
+  // failure at the call site.
+  if (!(pct > 0.0) || pct > 100.0) {
+    throw std::invalid_argument("percentile_ms: pct must be in (0, 100], got " +
+                                std::to_string(pct));
+  }
+  // Empty histogram: 0.0 by convention, distinguishable from a real 0 ms
+  // percentile only via samples()/DelayStats::samples — comparisons that
+  // must not pass vacuously check samples > 0 first.
   if (samples_ == 0) return 0.0;
   // Rank of the percentile sample, 1-based: the smallest rank such that
   // rank/samples >= pct/100 (the nearest-rank quantile definition).

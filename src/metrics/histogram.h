@@ -25,6 +25,11 @@ namespace sprout {
 
 // Point summary of a delay distribution, in milliseconds.  p50/p95/p99/p999
 // come from a histogram (bin-upper-edge quantiles); the mean is exact.
+// `samples` is load-bearing, not informational: an empty distribution
+// reports every quantile as 0.0, indistinguishable from a real 0 ms
+// percentile, so any comparison against expected delays (golden tests
+// especially) must assert samples > 0 first or it can pass vacuously on
+// an empty CDF.
 struct DelayStats {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
@@ -59,7 +64,8 @@ class DelayHistogram {
 
   // Upper edge of the bin where the pct-th percentile sample falls: within
   // one bin width above the exact sorted-sample quantile, never below it.
-  // 0 when empty.
+  // Throws std::invalid_argument unless 0 < pct <= 100.  0 when empty —
+  // check empty()/samples() before trusting a 0 (see DelayStats::samples).
   [[nodiscard]] double percentile_ms(double pct) const;
 
   // Exact streaming mean (not binned).  0 when empty.

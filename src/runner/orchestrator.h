@@ -1,0 +1,164 @@
+// Fault-tolerant sweep orchestration: a coordinator that forks workers,
+// hands out cells by work-stealing, and checkpoints every completed cell
+// to an append-only journal so nothing is ever computed twice.
+//
+// `sweep_shard` (runner/shard.h) distributes a grid by cutting it into
+// static slices up front; a worker that dies takes its whole slice's
+// progress with it, and a killed job recomputes everything on restart.
+// The orchestrator closes both holes:
+//
+//   * Work-stealing dispatch.  Pending cells sit in one longest-first
+//     queue (descending estimated_cost, ties by index); an idle worker
+//     steals the most expensive remaining cell.  On lumpy grids — a tower
+//     cell next to a pile of single-flow cells — this beats any static
+//     LPT cut, because no worker is ever idle while cells remain.
+//   * Append-only journals.  Each worker slot streams completed cells as
+//     fingerprint-stamped records into `shard_<i>.journal.jsonl`.  A
+//     `kill -9` loses at most the record being written; restarting the
+//     same command scans the journals, truncates a half-written tail,
+//     and resumes from the last completed cell.
+//   * Retry with backoff + a poison list.  A cell whose worker crashes is
+//     re-queued with doubling backoff; after `max_attempts` failures it
+//     is quarantined and reported instead of sinking the sweep or being
+//     re-queued forever.  A `cell_timeout_s` reclaims cells from hung
+//     workers the same way (SIGKILL, then the crash path).
+//
+// The invariant of PR 3 carries over, byte for byte: per-cell seeds are
+// content-derived, journal records reuse the exact per-cell result
+// serialization of shard files (write_scenario_result_json), and journal
+// replay reconstructs ShardResults the existing merge_shards path
+// accepts.  So
+//
+//     orchestrated (killed + resumed) == sweep_shard merge == serial
+//
+// is enforced by the `orchestrate_roundtrip` ctest target and the CI
+// `orchestrate-smoke` job, both of which SIGKILL workers mid-run and diff
+// the resumed merge against the single-process file.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "runner/shard.h"
+
+namespace sprout {
+
+struct OrchestratorOptions {
+  // Worker processes; 0 means std::thread::hardware_concurrency().  The
+  // coordinator never forks more workers than there are cells to run.
+  int workers = 0;
+  // A cell is poisoned after this many failed attempts (>= 1).
+  int max_attempts = 3;
+  // Backoff before attempt k+1 of a failed cell: retry_backoff_s * 2^(k-1).
+  double retry_backoff_s = 0.25;
+  // Reclaim a cell from its worker after this many seconds (SIGKILL + the
+  // ordinary crash/retry path); 0 disables the timeout.
+  double cell_timeout_s = 0.0;
+  // Directory holding the per-worker journals (created if missing).
+  // Journals from a previous run of the SAME grid are resumed; journals
+  // from a different grid are rejected loudly.
+  std::string journal_dir;
+  // Progress + ETA lines (completed/total, poison count, LPT-aware
+  // remaining-makespan estimate) to `progress_out` (default std::cerr).
+  bool progress = true;
+  std::ostream* progress_out = nullptr;
+
+  // --- fault injection, for tests and the CI smoke job only ------------
+  // {index, n}: the worker _exit(70)s when dispatched cell `index` on its
+  // first n attempts (n < 0: every attempt — the poison path).
+  std::vector<std::pair<std::size_t, int>> crash_cells;
+  // {index, n}: the worker hangs on cell `index` for its first n attempts
+  // (n < 0: always) — exercises the cell_timeout_s reclaim.
+  std::vector<std::pair<std::size_t, int>> hang_cells;
+  // After this many completions in THIS invocation, SIGKILL every worker
+  // and stop — simulates `kill -9` of the whole job mid-run.  0 disables.
+  std::size_t halt_after_cells = 0;
+};
+
+// One quarantined cell: it crashed/hung its worker on every attempt.
+struct PoisonedCell {
+  std::size_t index = 0;
+  int attempts = 0;
+  std::string last_error;
+};
+
+struct OrchestrateOutcome {
+  // True when every cell of the grid is journaled; `merged` then holds the
+  // full sweep (verified against the grid) and serializes byte-identically
+  // to a serial run_sweep of the same spec.
+  bool complete = false;
+  // True when halt_after_cells stopped the run (merged is not populated).
+  bool halted = false;
+  std::size_t resumed_cells = 0;   // recovered from pre-existing journals
+  std::size_t executed_cells = 0;  // run (and journaled) by this invocation
+  std::vector<PoisonedCell> poisoned;
+  SweepResult merged;
+};
+
+// Runs `spec` to completion under the coordinator described above,
+// resuming from any journals already in options.journal_dir.  Throws
+// std::invalid_argument for bad options and std::runtime_error for
+// unusable journals (foreign grid, duplicate coverage, corrupt records).
+[[nodiscard]] OrchestrateOutcome orchestrate_sweep(
+    const SweepSpec& spec, const OrchestratorOptions& options);
+
+// --- journal files ------------------------------------------------------
+//
+// `shard_<id>.journal.jsonl`: line 1 is a header stamping the grid's
+// content address, every further line is one completed cell:
+//
+//   {"schema": "sprout-journal-v1", "sweep_fingerprint": "...",
+//    "total_cells": N, "journal": id}
+//   {"index": 3, "fingerprint": "...", "result": { ...exact shard
+//    per-cell result JSON... }}
+//
+// Records are append-only and self-delimiting (one line each), so the
+// only damage a kill can do is a truncated final line.
+
+struct JournalRecord {
+  std::size_t index = 0;
+  std::uint64_t fingerprint = 0;
+  ScenarioResult result;
+};
+
+struct JournalScan {
+  std::uint64_t sweep_fingerprint = 0;
+  std::size_t total_cells = 0;
+  int journal_id = 0;
+  std::vector<JournalRecord> records;
+  // Bytes of a half-written trailing record dropped by a recovery scan
+  // (always 0 in strict mode, which throws instead).
+  std::size_t dropped_bytes = 0;
+};
+
+// Parses one journal.  `label` prefixes error messages (usually the file
+// name).  With allow_truncated_tail, a final line cut mid-record — the
+// expected wound of a kill -9 — is dropped and counted in dropped_bytes;
+// without it (the strict replay/merge path) the same wound throws.  A
+// malformed line anywhere ELSE, a duplicate or out-of-range cell index,
+// or a missing/foreign header always throws std::runtime_error.
+[[nodiscard]] JournalScan read_journal(std::string_view text,
+                                       const std::string& label,
+                                       bool allow_truncated_tail);
+[[nodiscard]] JournalScan read_journal_file(const std::string& path,
+                                            bool allow_truncated_tail);
+
+// Replays a scan into the ShardResult shape merge_shards accepts
+// (partition = "orchestrated", cells sorted by grid index).
+[[nodiscard]] ShardResult shard_from_journal(const JournalScan& scan);
+
+// Journal paths in `dir` (shard_*.journal.jsonl), sorted by id; the name
+// for a given worker slot.
+[[nodiscard]] std::vector<std::string> list_journal_files(
+    const std::string& dir);
+[[nodiscard]] std::string journal_file_name(int journal_id);
+
+void write_journal_header(std::ostream& os, const SweepSpec& spec,
+                          int journal_id);
+void write_journal_record(std::ostream& os, const JournalRecord& record);
+
+}  // namespace sprout

@@ -6,9 +6,8 @@
 // flow on a dedicated queue, N flows commingled in one shared queue, or
 // the §5.7 tunnel-contention scenario), for how long, under what loss and
 // seed.  run_scenario() is the single entry point every bench, example and
-// test builds on; the legacy run_experiment / run_shared_queue /
-// run_tunnel_contention calls in runner/experiment.h are thin views over
-// it.
+// test builds on (the legacy per-topology views were deleted once their
+// last in-repo callers moved here).
 //
 // Topology (data flowing in the link's forward direction):
 //

@@ -502,6 +502,14 @@ void check_schema(const JsonValue& doc, const char* expected) {
 
 }  // namespace
 
+void write_scenario_result_json(std::ostream& os, const ScenarioResult& r) {
+  write_result(os, r);
+}
+
+ScenarioResult scenario_result_from_json(const JsonValue& v) {
+  return read_result(v);
+}
+
 void write_shard_json(std::ostream& os, const ShardResult& shard) {
   os << "{\n  \"schema\": \"" << kShardSchema << "\",\n"
      << "  \"sweep_fingerprint\": ";

@@ -35,6 +35,8 @@
 
 namespace sprout {
 
+class JsonValue;
+
 // An ordered grid of independent cells — what a sharded sweep distributes.
 struct SweepSpec {
   std::vector<ScenarioSpec> cells;
@@ -112,5 +114,14 @@ void write_shard_json(std::ostream& os, const ShardResult& shard);
 [[nodiscard]] ShardResult read_shard_json(std::string_view text);
 void write_sweep_json(std::ostream& os, const SweepResult& sweep);
 [[nodiscard]] SweepResult read_sweep_json(std::string_view text);
+
+// One ScenarioResult, serialized with the exact writer/reader every shard
+// and sweep file uses for its per-cell "result" object.  Exposed so the
+// orchestrator's append-only journals (runner/orchestrator.h) carry
+// byte-identical result records: journal replay reconstructs the same
+// ShardResult JSON merge_shards accepts, and orchestrated == sharded ==
+// serial stays a byte-level invariant.
+void write_scenario_result_json(std::ostream& os, const ScenarioResult& r);
+[[nodiscard]] ScenarioResult scenario_result_from_json(const JsonValue& v);
 
 }  // namespace sprout

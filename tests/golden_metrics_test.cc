@@ -178,6 +178,10 @@ TEST(GoldenMetrics, TowerPopulationCdfMatchesCheckedInGolden) {
          "SPROUT_UPDATE_GOLDEN=1";
 
   const DelayStats pop = r.population_delay();
+  // An empty CDF reports every quantile as 0.0; without this guard the
+  // percentile comparisons below could pass vacuously against a golden
+  // file that was itself generated from an empty population.
+  ASSERT_GT(pop.samples, 0);
   // Population size and sample counts are integer-exact by determinism.
   EXPECT_EQ(doc.at("users").as_number(),
             static_cast<double>(r.flows.size()));

@@ -60,6 +60,34 @@ TEST(DelayHistogram, PercentilesWithinOneBinOfExactQuantiles) {
   EXPECT_EQ(h.samples(), 200'000);
 }
 
+TEST(DelayHistogram, RejectsOutOfRangePercentile) {
+  DelayHistogram h(msec(10), sec(1));
+  h.add(msec(25));
+  // An out-of-range pct used to come back as a plausible delay (0 ms or
+  // the overflow sentinel); it must fail at the call site instead.
+  EXPECT_THROW((void)h.percentile_ms(0.0), std::invalid_argument);
+  EXPECT_THROW((void)h.percentile_ms(-5.0), std::invalid_argument);
+  EXPECT_THROW((void)h.percentile_ms(100.1), std::invalid_argument);
+  const double nan = std::nan("");
+  EXPECT_THROW((void)h.percentile_ms(nan), std::invalid_argument);
+  // Both boundaries of (0, 100] are usable.
+  EXPECT_DOUBLE_EQ(h.percentile_ms(100.0), 30.0);
+  EXPECT_GT(h.percentile_ms(0.001), 0.0);
+}
+
+TEST(DelayHistogram, EmptyHistogramIsExplicitlyEmptyNotZeroDelay) {
+  DelayHistogram h(msec(10), sec(1));
+  // percentile_ms(50) == 0.0 on an empty CDF is a sentinel, not a real
+  // 0 ms percentile; the distinction is carried by samples == 0, which
+  // golden comparisons must check before trusting any quantile.
+  EXPECT_TRUE(h.empty());
+  EXPECT_DOUBLE_EQ(h.percentile_ms(50.0), 0.0);
+  const DelayStats s = h.stats();
+  EXPECT_EQ(s.samples, 0);
+  h.add(msec(1));
+  EXPECT_EQ(h.stats().samples, 1);
+}
+
 TEST(DelayHistogram, MeanIsExactNotBinned) {
   DelayHistogram h(msec(100), sec(1));
   h.add(msec(1));
