@@ -23,6 +23,14 @@
 // a byte-level invariant (the orchestrate_roundtrip ctest and the CI
 // orchestrate-smoke job diff exactly that).
 //
+// Telemetry: --metrics-out streams a JSONL event feed (header, per-cell
+// wall/RSS, retries, poisons, throttled progress, worker + coordinator
+// registry snapshots) and stamps each journaled result with a "runtime"
+// field; --trace-out writes a Chrome trace (chrome://tracing /
+// ui.perfetto.dev) with one lane per worker slot.  `obs_report` renders
+// and validates both.  --quiet suppresses the stderr progress/ETA line
+// only; it does not affect telemetry files.
+//
 // Fault hooks for tests and CI only: --halt-after N (SIGKILL every worker
 // after N completions — a simulated kill -9 of the job), --crash-cell
 // I[:N] (worker _exit(70)s on cell I, first N attempts; no :N = every
@@ -169,6 +177,7 @@ int usage() {
       "                           [--cell-timeout S] [--seconds N]"
       " [--base-seed S]\n"
       "                           [--poison-report PATH] [--quiet]\n"
+      "                           [--metrics-out PATH] [--trace-out PATH]\n"
       "                           [--halt-after N] [--crash-cell I[:N]]"
       " [--hang-cell I[:N]]\n"
       "  sweep_orchestrate status (--grid NAME | --spec FILE)"
@@ -338,6 +347,14 @@ int main(int argc, char** argv) {
         options.cell_timeout_s = parse_nonneg_double(arg, value());
       }
       else if (arg == "--quiet") options.progress = false;
+      else if (arg == "--metrics-out") {
+        // Telemetry implies runtime stamping: every journaled cell gains a
+        // "runtime" field (wall seconds, peak RSS, attempt).  Strip it with
+        // `obs_report strip-runtime` before byte-diffing against a plain run.
+        options.metrics_out = value();
+        options.record_runtime = true;
+      }
+      else if (arg == "--trace-out") options.trace_out = value();
       else if (arg == "--halt-after") {
         options.halt_after_cells =
             static_cast<std::size_t>(parse_positive_int(arg, value()));

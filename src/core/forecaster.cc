@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <mutex>
 #include <tuple>
 
+#include "obs/metrics.h"
 #include "util/kernels.h"
 #include "util/poisson.h"
 
@@ -66,9 +68,6 @@ cache_map() {
   return m;
 }
 
-std::atomic<std::int64_t> g_table_hits{0};
-std::atomic<std::int64_t> g_table_misses{0};
-
 // Nonzero support [lo, hi) of a posterior.  Interior zeros stay in the dot
 // span (they contribute exactly +0.0); only the tails are clipped, which is
 // where log-space observations actually zero mass out.
@@ -85,6 +84,19 @@ Support support_of(const std::vector<double>& p) {
   return {lo, hi};
 }
 
+// Per-query dot-dispatch tally.  The kernels::dot wrapper itself carries no
+// instrumentation (hottest call sites), so each CDF query counts its probes
+// in a local and flushes here when obs is on.
+void tally_dot_calls(std::int64_t calls) {
+  if (calls == 0) return;
+  static obs::Counter& scalar =
+      obs::Registry::instance().counter("kernels.dot.scalar");
+  static obs::Counter& simd =
+      obs::Registry::instance().counter("kernels.dot.avx2");
+  (std::strcmp(kernels::active_backend(), "scalar") == 0 ? scalar : simd)
+      .add(calls);
+}
+
 }  // namespace
 
 std::shared_ptr<const ForecastTableCache::Tables> ForecastTableCache::get(
@@ -95,28 +107,21 @@ std::shared_ptr<const ForecastTableCache::Tables> ForecastTableCache::get(
   std::lock_guard<std::mutex> lock(cache_mutex());
   auto& map = cache_map();
   const TableKey key = table_key(params);
+  // Cache traffic counts unconditionally (cold path; tests assert exact
+  // deltas through the registry with obs export on or off).
+  static obs::Counter& hits =
+      obs::Registry::instance().counter("cache.forecast_tables.hits");
+  static obs::Counter& misses =
+      obs::Registry::instance().counter("cache.forecast_tables.misses");
   const auto it = map.find(key);
   if (it != map.end()) {
-    g_table_hits.fetch_add(1, std::memory_order_relaxed);
+    hits.add();
     return it->second;
   }
-  g_table_misses.fetch_add(1, std::memory_order_relaxed);
+  misses.add();
   auto tables = build_tables(params);
   map.emplace(key, tables);
   return tables;
-}
-
-std::int64_t ForecastTableCache::hits() {
-  return g_table_hits.load(std::memory_order_relaxed);
-}
-
-std::int64_t ForecastTableCache::misses() {
-  return g_table_misses.load(std::memory_order_relaxed);
-}
-
-void ForecastTableCache::reset_counters() {
-  g_table_hits.store(0, std::memory_order_relaxed);
-  g_table_misses.store(0, std::memory_order_relaxed);
 }
 
 ByteCount DeliveryForecast::cumulative_at(int t) const {
@@ -138,6 +143,7 @@ double DeliveryForecaster::mixture_cdf(const RateDistribution& dist,
   const std::vector<double>& p = dist.probabilities();
   const Support s = support_of(p);
   const double* col = &table[static_cast<std::size_t>(count) * bins];
+  if (obs::enabled()) tally_dot_calls(1);
   return kernels::dot(p.data() + s.lo, col + s.lo, s.hi - s.lo);
 }
 
@@ -167,11 +173,19 @@ int DeliveryForecaster::quantile_packets(const RateDistribution& dist,
   const Support s = support_of(p);
   const double* pp = p.data() + s.lo;
   const std::size_t len = s.hi - s.lo;
+  std::int64_t probes = 0;
   auto cdf_at = [&](int count) {
+    ++probes;
     const double* col = &table[static_cast<std::size_t>(count) * bins];
     return kernels::dot(pp, col + s.lo, len);
   };
-  if (cdf_at(floor) >= target) return floor;
+  const auto flush_probes = [&] {
+    if (obs::enabled()) tally_dot_calls(probes);
+  };
+  if (cdf_at(floor) >= target) {
+    flush_probes();
+    return floor;
+  }
   // Invariant: cdf(lo) < target <= cdf(hi) (hi = max_count acts as the
   // clamp when even the full table row falls short).
   int lo = floor;
@@ -184,11 +198,17 @@ int DeliveryForecaster::quantile_packets(const RateDistribution& dist,
       lo = mid;
     }
   }
+  flush_probes();
   return hi;
 }
 
 DeliveryForecast DeliveryForecaster::forecast(const RateDistribution& current,
                                               TimePoint now) const {
+  if (obs::enabled()) {
+    static obs::Counter& forecasts =
+        obs::Registry::instance().counter("forecast.single");
+    forecasts.add();
+  }
   DeliveryForecast f;
   f.origin = now;
   f.tick = params_.tick;
@@ -211,6 +231,14 @@ std::vector<DeliveryForecast> DeliveryForecaster::forecast_batch(
     std::span<const RateDistribution* const> dists, TimePoint now) const {
   std::vector<DeliveryForecast> out(dists.size());
   if (dists.empty()) return out;
+  if (obs::enabled()) {
+    static obs::Counter& passes =
+        obs::Registry::instance().counter("forecast.batch_passes");
+    static obs::Counter& flows =
+        obs::Registry::instance().counter("forecast.batched_flows");
+    passes.add();
+    flows.add(static_cast<std::int64_t>(dists.size()));
+  }
   if (dists.size() == 1 || params_.dense_inference) {
     // The dense reference path has no batch kernel; fall back to serial.
     for (std::size_t f = 0; f < dists.size(); ++f) {

@@ -27,8 +27,9 @@ namespace sprout {
 // table size).  The tables are immutable once built and safely shared
 // across endpoints and threads, so a sweep of N simulations with the same
 // parameters builds the tables once instead of 2N times (each run has at
-// least a sender-side and a receiver-side forecaster).  Hit/miss counters
-// make the reuse observable in tests and benches.
+// least a sender-side and a receiver-side forecaster).  Reuse is observable
+// through the obs registry counters "cache.forecast_tables.hits" /
+// ".misses" (src/obs/metrics.h).
 class ForecastTableCache {
  public:
   // cdf[h-1][n * num_bins + bin] = P[Poisson(λ_bin · h·τ) <= n]
@@ -43,10 +44,6 @@ class ForecastTableCache {
   // Thread-safe; a given key is only ever built once per process.
   [[nodiscard]] static std::shared_ptr<const Tables> get(
       const SproutParams& params);
-
-  [[nodiscard]] static std::int64_t hits();
-  [[nodiscard]] static std::int64_t misses();
-  static void reset_counters();
 };
 
 // A cumulative delivery forecast: entry h-1 is the cautious cumulative

@@ -4,11 +4,13 @@
 #include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <mutex>
 #include <numeric>
 #include <tuple>
 
+#include "obs/metrics.h"
 #include "util/kernels.h"
 #include "util/poisson.h"
 
@@ -43,9 +45,6 @@ matrix_cache_map() {
   return m;
 }
 
-std::atomic<std::int64_t> g_matrix_hits{0};
-std::atomic<std::int64_t> g_matrix_misses{0};
-
 }  // namespace
 
 std::shared_ptr<const TransitionMatrix> TransitionMatrixCache::get(
@@ -56,28 +55,33 @@ std::shared_ptr<const TransitionMatrix> TransitionMatrixCache::get(
   std::lock_guard<std::mutex> lock(matrix_cache_mutex());
   auto& map = matrix_cache_map();
   const MatrixKey key = matrix_key(params);
+  // Cache traffic counts unconditionally (cold path; tests assert exact
+  // deltas through the registry with obs export on or off).
+  static obs::Counter& hits =
+      obs::Registry::instance().counter("cache.transition_matrix.hits");
+  static obs::Counter& misses =
+      obs::Registry::instance().counter("cache.transition_matrix.misses");
   const auto it = map.find(key);
   if (it != map.end()) {
-    g_matrix_hits.fetch_add(1, std::memory_order_relaxed);
+    hits.add();
     return it->second;
   }
-  g_matrix_misses.fetch_add(1, std::memory_order_relaxed);
+  misses.add();
   auto matrix = std::make_shared<const TransitionMatrix>(params);
+  // Band occupancy of the most recently built kernel (gauges: last build
+  // wins; a sweep over one parameter set sees its own kernel's numbers).
+  obs::Registry::instance()
+      .gauge("filter.band.mean_bandwidth")
+      .set(matrix->mean_bandwidth());
+  obs::Registry::instance()
+      .gauge("filter.band.max_bandwidth")
+      .set(static_cast<double>(matrix->max_bandwidth()));
+  obs::Registry::instance()
+      .gauge("filter.band.occupancy")
+      .set(matrix->mean_bandwidth() /
+           static_cast<double>(matrix->num_bins()));
   map.emplace(key, matrix);
   return matrix;
-}
-
-std::int64_t TransitionMatrixCache::hits() {
-  return g_matrix_hits.load(std::memory_order_relaxed);
-}
-
-std::int64_t TransitionMatrixCache::misses() {
-  return g_matrix_misses.load(std::memory_order_relaxed);
-}
-
-void TransitionMatrixCache::reset_counters() {
-  g_matrix_hits.store(0, std::memory_order_relaxed);
-  g_matrix_misses.store(0, std::memory_order_relaxed);
 }
 
 RateDistribution::RateDistribution(int num_bins)
@@ -291,24 +295,54 @@ std::vector<double>& evolve_scratch(std::size_t n) {
   return scratch;
 }
 
+// Per-pass kernel dispatch tally.  The wrappers in util/kernels.cc carry no
+// instrumentation (they are the hottest call sites in the tree), so each
+// evolve pass counts its own kernel invocations in a local and flushes once
+// here when obs is on.
+void tally_kernel_calls(obs::Counter& scalar, obs::Counter& simd,
+                        std::int64_t calls) {
+  if (calls == 0) return;
+  (std::strcmp(kernels::active_backend(), "scalar") == 0 ? scalar : simd)
+      .add(calls);
+}
+
 }  // namespace
 
 void TransitionMatrix::evolve(RateDistribution& dist) const {
   assert(static_cast<std::size_t>(dist.num_bins()) == n_);
+  if (obs::enabled()) {
+    static obs::Counter& evolves =
+        obs::Registry::instance().counter("filter.evolve.banded");
+    evolves.add();
+  }
   std::vector<double>& scratch = evolve_scratch(n_);
   const std::vector<double>& p = dist.probabilities();
+  std::int64_t axpy_calls = 0;
   for (std::size_t i = 0; i < n_; ++i) {
     const double pi = p[i];
     if (pi <= 0.0) continue;
     const auto lo = static_cast<std::size_t>(band_lo_[i]);
     const auto width = static_cast<std::size_t>(band_hi_[i]) - lo;
     kernels::axpy(scratch.data() + lo, &band_[band_off_[i]], pi, width);
+    ++axpy_calls;
+  }
+  if (obs::enabled()) {
+    static obs::Counter& scalar =
+        obs::Registry::instance().counter("kernels.axpy.scalar");
+    static obs::Counter& simd =
+        obs::Registry::instance().counter("kernels.axpy.avx2");
+    tally_kernel_calls(scalar, simd, axpy_calls);
   }
   dist.mutable_probabilities() = scratch;
 }
 
 void TransitionMatrix::evolve_dense(RateDistribution& dist) const {
   assert(static_cast<std::size_t>(dist.num_bins()) == n_);
+  if (obs::enabled()) {
+    static obs::Counter& evolves =
+        obs::Registry::instance().counter("filter.evolve.dense");
+    evolves.add();
+  }
   std::vector<double>& scratch = evolve_scratch(n_);
   const std::vector<double>& p = dist.probabilities();
   for (std::size_t i = 0; i < n_; ++i) {
@@ -329,6 +363,14 @@ void TransitionMatrix::evolve_batch(
     evolve(*dists[0]);
     return;
   }
+  if (obs::enabled()) {
+    static obs::Counter& passes =
+        obs::Registry::instance().counter("filter.evolve.batch_passes");
+    static obs::Counter& flows_evolved =
+        obs::Registry::instance().counter("filter.evolve.batched_flows");
+    passes.add();
+    flows_evolved.add(static_cast<std::int64_t>(dists.size()));
+  }
   const std::size_t flows = dists.size();
   // Block-column sweep over the precomputed tiles (build_blocks): for each
   // 4-column output block, every flow's accumulator lives in a register
@@ -348,6 +390,7 @@ void TransitionMatrix::evolve_batch(
   scratch.resize(flows * npad);  // every stripe block is overwritten below
   coeffs.resize(flows);
   outs.resize(flows);
+  std::int64_t ws4_calls = 0;
   for (std::size_t b = 0; b < nblocks; ++b) {
     const auto begin = static_cast<std::size_t>(block_row_begin_[b]);
     const std::size_t rows =
@@ -367,6 +410,14 @@ void TransitionMatrix::evolve_batch(
     }
     kernels::weighted_sum4(&block_vals_[block_off_[b]], rows, coeffs.data(),
                            flows, outs.data());
+    ++ws4_calls;
+  }
+  if (obs::enabled()) {
+    static obs::Counter& scalar =
+        obs::Registry::instance().counter("kernels.weighted_sum4.scalar");
+    static obs::Counter& simd =
+        obs::Registry::instance().counter("kernels.weighted_sum4.avx2");
+    tally_kernel_calls(scalar, simd, ws4_calls);
   }
   for (std::size_t f = 0; f < flows; ++f) {
     std::vector<double>& p = dists[f]->mutable_probabilities();
@@ -436,6 +487,14 @@ void SproutBayesFilter::observe_impl(int packets, double fraction,
                                      bool censored) {
   assert(packets >= 0);
   assert(fraction > 0.0 && fraction <= 1.0);
+  if (obs::enabled()) {
+    static obs::Counter& observes =
+        obs::Registry::instance().counter("filter.observe");
+    static obs::Counter& censored_observes =
+        obs::Registry::instance().counter("filter.observe.censored");
+    observes.add();
+    if (censored) censored_observes.add();
+  }
   const double tau = params_.tick_seconds() * fraction;
   std::vector<double>& p = dist_.mutable_probabilities();
   // Log-space update avoids underflow when the observation is far from a

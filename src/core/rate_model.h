@@ -134,17 +134,14 @@ inline void evolve_dist(const TransitionMatrix& m, const SproutParams& params,
 // Building a matrix is ~num_bins² Gaussian integrals and every simulation
 // constructs at least three (sender filter, receiver filter, forecaster);
 // the cache makes that one build per distinct parameter set per process.
-// Hit/miss counters make the reuse observable in tests and benches.
+// Reuse is observable through the obs registry counters
+// "cache.transition_matrix.hits" / ".misses" (src/obs/metrics.h).
 class TransitionMatrixCache {
  public:
   // Returns the matrix for `params`, building it on first use.
   // Thread-safe; a given key is only ever built once per process.
   [[nodiscard]] static std::shared_ptr<const TransitionMatrix> get(
       const SproutParams& params);
-
-  [[nodiscard]] static std::int64_t hits();
-  [[nodiscard]] static std::int64_t misses();
-  static void reset_counters();
 };
 
 // The full filter: evolve / observe / normalize.

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace sprout {
 
 void TickEvolveBatcher::add(std::vector<SproutBayesFilter*> filters,
@@ -34,6 +36,19 @@ void TickEvolveBatcher::on_tick(TimePoint now) {
   SproutBayesFilter::evolve_batch(due_);
   batched_evolves_ += static_cast<std::int64_t>(due_.size());
   ++batch_passes_;
+  if (obs::enabled()) {
+    // Registry mirror: mean group size = batched_flows / batch_passes,
+    // plus the largest group seen (utilization for obs_report).
+    static obs::Counter& flows =
+        obs::Registry::instance().counter("batcher.batched_flows");
+    static obs::Counter& passes =
+        obs::Registry::instance().counter("batcher.batch_passes");
+    flows.add(static_cast<std::int64_t>(due_.size()));
+    passes.add();
+    obs::Registry::instance()
+        .gauge("batcher.max_group_size")
+        .set_max(static_cast<double>(due_.size()));
+  }
 }
 
 }  // namespace sprout

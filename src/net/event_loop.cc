@@ -6,6 +6,8 @@
 #include <cerrno>
 #include <system_error>
 
+#include "obs/metrics.h"
+
 namespace sprout::net {
 
 EventLoop::EventLoop() : epoch_(std::chrono::steady_clock::now()) {}
@@ -33,11 +35,23 @@ void EventLoop::cancel(TimerId id) { timer_callbacks_.erase(id); }
 
 void EventLoop::fire_due_timers() {
   const TimePoint t = now();
+  const bool obs_on = obs::enabled();
   while (!timers_.empty() && timers_.top().at <= t) {
     const Timer timer = timers_.top();
     timers_.pop();
     const auto it = timer_callbacks_.find(timer.id);
     if (it == timer_callbacks_.end()) continue;  // cancelled
+    if (obs_on) {
+      // Tick lag: how late past its deadline a timer actually fired —
+      // the loop's scheduling health under real-socket load.
+      static obs::Counter& fired =
+          obs::Registry::instance().counter("event_loop.timers_fired");
+      static obs::LatencyHistogram& lag = obs::Registry::instance().histogram(
+          "event_loop.tick_lag", std::chrono::milliseconds(1),
+          std::chrono::milliseconds(250));
+      fired.add();
+      lag.record(t - timer.at);
+    }
     Callback cb = std::move(it->second);
     timer_callbacks_.erase(it);
     cb();
@@ -69,6 +83,14 @@ void EventLoop::run_until(TimePoint deadline, bool bounded) {
     const int timeout = poll_timeout_ms(deadline, bounded);
     const int rc = ::poll(fds.data(), fds.size(), timeout);
     ++iterations_;
+    if (obs::enabled()) {
+      static obs::Counter& iters =
+          obs::Registry::instance().counter("event_loop.iterations");
+      iters.add();
+      obs::Registry::instance()
+          .gauge("event_loop.timer_queue_depth")
+          .set(static_cast<double>(timers_.size()));
+    }
     if (rc < 0) {
       if (errno == EINTR) continue;
       throw std::system_error(errno, std::generic_category(), "poll");

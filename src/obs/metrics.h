@@ -1,0 +1,162 @@
+// Process-wide metrics registry: named relaxed-atomic counters, gauges,
+// and DelayHistogram-backed latency distributions.
+//
+// Two usage tiers, one invariant:
+//
+//  * Cold paths (cache lookups, per-cell bookkeeping, worker lifecycle)
+//    count UNCONDITIONALLY — the cost is one relaxed fetch_add on a
+//    pre-resolved reference, and tests that assert exact hit/miss deltas
+//    stay exact whether or not export is enabled.
+//  * Hot paths (per-tick filter math, kernel dispatch) guard on
+//    obs::enabled() and cache the Counter reference in a function-local
+//    static, so the disabled cost is one relaxed bool load.
+//
+// The invariant: metrics NEVER feed back into simulation state.  Counters
+// observe; nothing reads them on any result-producing path, so every
+// fingerprint, golden, and byte-identity roundtrip holds with obs on or
+// off (enforced by tests/obs_metrics_test.cc and the obs_roundtrip ctest).
+//
+// Export is opt-in at runtime: SPROUT_OBS=1 (or set_enabled(true)) turns
+// on hot-path counting; --metrics-out / --trace-out on the CLIs pick
+// where snapshots land.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "metrics/histogram.h"
+
+namespace sprout::obs {
+
+namespace detail {
+// Exposed only so enabled() inlines: the hot paths' disabled cost must be
+// one relaxed load and an untaken branch, not an out-of-line call (the
+// perf-trajectory obs-overhead guard measures exactly this).
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+// True when SPROUT_OBS=1 was in the environment at startup or
+// set_enabled(true) ran.  Hot-path instrumentation gates on this; cold
+// paths ignore it.
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on);
+
+// Monotone event count.  add() is a relaxed fetch_add: safe from any
+// thread, never ordered against simulation state.
+class Counter {
+ public:
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Last-written level (queue depth, band occupancy, worker count).
+// set_max keeps a running high-water mark instead.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void set_max(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Latency distribution: a mutex-guarded DelayHistogram.  Not for per-tick
+// hot paths — record() takes a lock; use it for per-cell / per-batch
+// durations where the lock is noise.
+class LatencyHistogram {
+ public:
+  LatencyHistogram(Duration bin, Duration max) : hist_(bin, max) {}
+
+  void record(Duration d) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.add(d);
+  }
+  void record_ms(double ms);
+
+  // Copy out under the lock (snapshot safety).
+  [[nodiscard]] DelayHistogram histogram() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  DelayHistogram hist_;
+};
+
+// One registry row, flattened for export.  Histograms export their
+// DelayStats percentiles rather than raw bins.
+struct MetricSample {
+  std::string name;
+  enum class Kind { kCounter, kGauge, kHistogram } kind;
+  double value = 0.0;           // counter/gauge value; histogram mean_ms
+  std::int64_t count = 0;       // counter value exact; histogram samples
+  DelayStats stats{};           // histogram only
+};
+
+// The process-wide registry.  counter()/gauge()/histogram() return
+// references that stay valid for the life of the process (std::map nodes
+// never move); registration takes a mutex, increments do not.  Callers on
+// hot paths resolve once into a function-local static.
+class Registry {
+ public:
+  static Registry& instance();
+
+  [[nodiscard]] Counter& counter(const std::string& name);
+  [[nodiscard]] Gauge& gauge(const std::string& name);
+  [[nodiscard]] LatencyHistogram& histogram(const std::string& name,
+                                            Duration bin, Duration max);
+
+  // Deterministic (name-sorted) flat view of every registered metric.
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  // One JSON object: {"counters": {...}, "gauges": {...},
+  // "histograms": {...}}, name-sorted, 17-digit doubles, stable bytes for
+  // equal states.  `indent` is the opening brace's column.
+  void write_json(std::ostream& os, int indent = 0) const;
+  // Same object on a single line (JSONL embedding: metrics.jsonl summary).
+  void write_json_compact(std::ostream& os) const;
+
+  // Zero every metric (tests; names stay registered).
+  void reset();
+
+ private:
+  Registry() = default;
+
+  void write_json_impl(std::ostream& os, int indent, bool compact) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+// Shorthand for cold-path sites: resolve-and-add in one line.
+inline void count(const std::string& name, std::int64_t n = 1) {
+  Registry::instance().counter(name).add(n);
+}
+
+}  // namespace sprout::obs

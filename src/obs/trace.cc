@@ -1,0 +1,98 @@
+#include "obs/trace.h"
+
+#include "util/table.h"
+
+namespace sprout::obs {
+
+Tracer& Tracer::instance() {
+  static Tracer t;
+  return t;
+}
+
+void Tracer::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_.load(std::memory_order_relaxed)) return;
+  t0_ = std::chrono::steady_clock::now();
+  active_.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop() { active_.store(false, std::memory_order_relaxed); }
+
+std::int64_t Tracer::now_us() const {
+  if (!active()) return 0;
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0_)
+      .count();
+}
+
+std::int64_t Tracer::current_lane() {
+  static std::atomic<std::int64_t> next{0};
+  thread_local const std::int64_t lane =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return lane;
+}
+
+void Tracer::complete(std::string name, std::string category,
+                      std::int64_t begin_us, std::int64_t dur_us,
+                      std::int64_t lane) {
+  if (!active()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.phase = 'X';
+  e.ts_us = begin_us;
+  e.dur_us = dur_us;
+  e.tid = lane;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::instant(std::string name, std::string category,
+                     std::int64_t lane) {
+  if (!active()) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.phase = 'i';
+  e.ts_us = now_us();
+  e.tid = lane;
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::write_json(std::ostream& os) {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events.swap(events_);
+  }
+  os << "{\n  \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"name\": ";
+    write_json_string(os, e.name);
+    os << ", \"cat\": ";
+    write_json_string(os, e.category);
+    os << ", \"ph\": \"" << e.phase << "\", \"ts\": " << e.ts_us;
+    if (e.phase == 'X') os << ", \"dur\": " << e.dur_us;
+    os << ", \"pid\": 1, \"tid\": " << e.tid;
+    if (e.phase == 'i') os << ", \"s\": \"t\"";
+    os << "}";
+  }
+  if (!first) os << "\n  ";
+  os << "]\n}\n";
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+}  // namespace sprout::obs

@@ -1,0 +1,103 @@
+// Span/event tracer emitting Chrome trace-event-format JSON
+// (chrome://tracing, Perfetto, speedscope all read it).
+//
+// The tracer is a process-wide buffer of complete ("ph":"X") and instant
+// ("ph":"i") events with microsecond timestamps relative to start().
+// When inactive — the default — every emit is one relaxed bool load and a
+// branch; nothing allocates, nothing locks, and (the repo invariant)
+// nothing feeds back into simulation state, so traced and untraced runs
+// produce byte-identical results.
+//
+// Wall-clock timestamps are inherently nondeterministic, so trace files
+// are schema-validated in CI, never byte-diffed.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sprout::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';          // 'X' complete, 'i' instant
+  std::int64_t ts_us = 0;    // since Tracer::start()
+  std::int64_t dur_us = 0;   // complete events only
+  std::int64_t tid = 0;      // logical lane (thread, worker slot, cell)
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  // Arms the tracer and stamps the t=0 reference.  Idempotent.
+  void start();
+  void stop();
+  [[nodiscard]] bool active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  // Microseconds since start(); 0 when inactive.
+  [[nodiscard]] std::int64_t now_us() const;
+
+  // Logical lane for the calling thread: a small dense id assigned on
+  // first use (readable in the viewer, unlike hashed native ids).
+  [[nodiscard]] static std::int64_t current_lane();
+
+  // Emit a complete event covering [begin_us, begin_us + dur_us).
+  void complete(std::string name, std::string category, std::int64_t begin_us,
+                std::int64_t dur_us, std::int64_t lane);
+  // Emit an instant event at now.
+  void instant(std::string name, std::string category, std::int64_t lane);
+
+  // Writes the buffered events as {"traceEvents": [...]} and clears the
+  // buffer.  pid is constant 1 (single logical process per file).
+  void write_json(std::ostream& os);
+
+  [[nodiscard]] std::size_t event_count() const;
+  void reset();
+
+ private:
+  Tracer() = default;
+
+  std::atomic<bool> active_{false};
+  std::chrono::steady_clock::time_point t0_{};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+// RAII span: records a complete event for the enclosing scope when the
+// tracer is active.  Construction when inactive is one bool load.
+class Span {
+ public:
+  Span(const char* name, const char* category = "sprout")
+      : name_(name), category_(category) {
+    Tracer& t = Tracer::instance();
+    if (t.active()) {
+      active_ = true;
+      begin_us_ = t.now_us();
+    }
+  }
+  ~Span() {
+    if (active_) {
+      Tracer& t = Tracer::instance();
+      t.complete(name_, category_, begin_us_, t.now_us() - begin_us_,
+                 Tracer::current_lane());
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  bool active_ = false;
+  std::int64_t begin_us_ = 0;
+};
+
+}  // namespace sprout::obs

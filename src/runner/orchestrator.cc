@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -18,6 +19,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/table.h"
 
 namespace sprout {
@@ -52,6 +55,14 @@ std::size_t parse_size(const JsonValue& v, const std::string& label) {
     throw std::runtime_error(label + ": expected a non-negative integer");
   }
   return static_cast<std::size_t>(i);
+}
+
+// 17-significant-digit doubles, the repo-wide JSON discipline.
+void json_number(std::ostream& os, double v) {
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << v;
+  os << tmp.str();
 }
 
 // Matches a fault-injection entry: n attempts affected, n < 0 = always.
@@ -115,7 +126,20 @@ std::string one_line(std::string msg) {
 
   for (;;) {
     const std::string line = read_line_fd(cmd_fd);
-    if (line.empty() || line[0] == 'Q') _exit(0);
+    if (line.empty() || line[0] == 'Q') {
+      if (options.record_runtime) {
+        // Parting snapshot: this worker's whole obs registry (cache
+        // hit/miss tallies always; filter/kernel counters when SPROUT_OBS
+        // was on) — compact JSON is single-line, so it rides the ack
+        // protocol as one "S" record.
+        std::ostringstream snap;
+        snap << "S ";
+        obs::Registry::instance().write_json_compact(snap);
+        snap << "\n";
+        write_all_fd(ack_fd, snap.str());
+      }
+      _exit(0);
+    }
     std::size_t index = 0;
     int attempt = 1;
     {
@@ -135,11 +159,28 @@ std::string one_line(std::string msg) {
     try {
       // One-cell shard: the exact seed derivation and execution path of a
       // static shard, so orchestrated == sharded == serial, bit for bit.
+      const Clock::time_point cell_start = Clock::now();
       ShardResult one = run_shard(spec, {index}, /*threads=*/1);
       JournalRecord record;
       record.index = index;
       record.fingerprint = one.cell_fingerprints.at(0);
       record.result = std::move(one.cells.at(0));
+      if (options.record_runtime) {
+        // Execution telemetry, stamped before journaling so the record —
+        // and every merge of it — carries the numbers.  Gated by an
+        // explicit option (NOT the SPROUT_OBS env), so env-enabled obs
+        // runs stay byte-identical to obs-off runs.
+        record.result.runtime.recorded = true;
+        record.result.runtime.wall_s =
+            std::chrono::duration<double>(Clock::now() - cell_start).count();
+        struct rusage usage {};
+        if (getrusage(RUSAGE_SELF, &usage) == 0) {
+          // ru_maxrss is KiB on Linux.
+          record.result.runtime.peak_rss_bytes =
+              static_cast<std::int64_t>(usage.ru_maxrss) * 1024;
+        }
+        record.result.runtime.attempt = attempt;
+      }
       write_journal_record(journal, record);
       journal.flush();
       if (!journal) {
@@ -147,7 +188,18 @@ std::string one_line(std::string msg) {
                                  " journal append failed (disk full?)\n");
         continue;
       }
-      write_all_fd(ack_fd, "D " + std::to_string(index) + "\n");
+      if (options.record_runtime) {
+        // Extended ack: the coordinator streams these into metrics_out
+        // without re-reading the journal.
+        std::ostringstream ack;
+        ack << "D " << index << ' ';
+        ack.precision(17);
+        ack << record.result.runtime.wall_s << ' '
+            << record.result.runtime.peak_rss_bytes << "\n";
+        write_all_fd(ack_fd, ack.str());
+      } else {
+        write_all_fd(ack_fd, "D " + std::to_string(index) + "\n");
+      }
     } catch (const std::exception& e) {
       write_all_fd(ack_fd,
                    "F " + std::to_string(index) + " " + one_line(e.what()) +
@@ -223,11 +275,28 @@ class Coordinator {
         poisoned_flag_(spec.cells.size(), false),
         fingerprint_(sweep_fingerprint(spec)),
         out_(options.progress_out != nullptr ? *options.progress_out
-                                             : std::cerr) {}
+                                             : std::cerr),
+        // \r-rewriting is for humans at real terminals only: an explicit
+        // progress_out (tests) or a redirected/CI stderr gets sparse plain
+        // lines instead of carriage-return spam.
+        tty_(options.progress_out == nullptr &&
+             isatty(STDERR_FILENO) == 1) {}
 
   OrchestrateOutcome run() {
     validate_options();
     fs::create_directories(options_.journal_dir);
+    if (!options_.trace_out.empty()) obs::Tracer::instance().start();
+    if (!options_.metrics_out.empty()) {
+      metrics_.open(options_.metrics_out, std::ios::binary | std::ios::trunc);
+      if (!metrics_) {
+        throw std::runtime_error("cannot write metrics file " +
+                                 options_.metrics_out);
+      }
+      metrics_ << "{\"schema\": \"sprout-metrics-v1\", \"sweep_fingerprint\": "
+                  "\""
+               << fingerprint_ << "\", \"total_cells\": " << total_ << "}\n";
+      metrics_.flush();
+    }
     resume_from_journals();
 
     std::vector<std::size_t> todo;
@@ -266,6 +335,28 @@ class Coordinator {
       outcome.complete = true;
     }
     progress_line(/*final_line=*/true);
+    if (metrics_.is_open()) {
+      metrics_ << "{\"event\": \"summary\", \"completed\": "
+               << completed_count_ << ", \"total\": " << total_
+               << ", \"resumed\": " << resumed_
+               << ", \"executed\": " << executed_
+               << ", \"poisoned\": " << poisoned_.size()
+               << ", \"halted\": " << (halted_ ? "true" : "false")
+               << ", \"elapsed_s\": ";
+      json_number(metrics_,
+                  std::chrono::duration<double>(Clock::now() - start_).count());
+      metrics_ << ", \"registry\": ";
+      obs::Registry::instance().write_json_compact(metrics_);
+      metrics_ << "}\n";
+      metrics_.flush();
+    }
+    if (!options_.trace_out.empty()) {
+      obs::Tracer& tracer = obs::Tracer::instance();
+      std::ofstream trace(options_.trace_out,
+                          std::ios::binary | std::ios::trunc);
+      if (trace) tracer.write_json(trace);
+      tracer.stop();
+    }
     return outcome;
   }
 
@@ -364,6 +455,11 @@ class Coordinator {
     w.slot = slot;
     w.alive = true;
     workers_.push_back(w);
+    obs::count("orchestrator.workers_spawned");
+    obs::Tracer& tracer = obs::Tracer::instance();
+    if (tracer.active()) {
+      tracer.instant("spawn worker " + std::to_string(slot), "worker", slot);
+    }
   }
 
   // The most expensive cell that is ready to run right now, if any.
@@ -401,6 +497,7 @@ class Coordinator {
       w.attempt = attempts_[*cell] + 1;
       w.started = now;
       w.timed_out = false;
+      obs::count("orchestrator.dispatches");
       const std::string msg = "R " + std::to_string(w.cell) + " " +
                               std::to_string(w.attempt) + "\n";
       std::size_t off = 0;
@@ -413,7 +510,8 @@ class Coordinator {
     }
   }
 
-  void on_done(Worker& w, std::size_t index) {
+  void on_done(Worker& w, std::size_t index, double wall_s,
+               std::int64_t peak_rss_bytes) {
     w.busy = false;
     attempts_.erase(index);
     if (!completed_[index]) {
@@ -421,6 +519,29 @@ class Coordinator {
       ++completed_count_;
       ++executed_;
       executed_cost_ += estimated_cost(spec_.cells[index]);
+      obs::count("orchestrator.cells_completed");
+      if (metrics_.is_open()) {
+        metrics_ << "{\"event\": \"cell\", \"index\": " << index
+                 << ", \"worker\": " << w.slot
+                 << ", \"attempt\": " << w.attempt << ", \"wall_s\": ";
+        json_number(metrics_, wall_s);
+        metrics_ << ", \"peak_rss_bytes\": " << peak_rss_bytes << "}\n";
+        metrics_.flush();
+      }
+      obs::Tracer& tracer = obs::Tracer::instance();
+      if (tracer.active()) {
+        // The cell's span occupies its worker slot's lane, from dispatch
+        // to ack.
+        const auto begin_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(w.started -
+                                                                  start_)
+                .count();
+        const auto end_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                                Clock::now() - start_)
+                                .count();
+        tracer.complete("cell " + std::to_string(index), "cell", begin_us,
+                        end_us - begin_us, w.slot);
+      }
     }
     progress_line(false);
     if (options_.halt_after_cells > 0 &&
@@ -434,9 +555,30 @@ class Coordinator {
     if (tries >= options_.max_attempts) {
       poisoned_.push_back({index, tries, error});
       poisoned_flag_[index] = true;
+      obs::count("orchestrator.cells_poisoned");
+      if (metrics_.is_open()) {
+        metrics_ << "{\"event\": \"poison\", \"index\": " << index
+                 << ", \"attempts\": " << tries << ", \"error\": ";
+        write_json_string(metrics_, error);
+        metrics_ << "}\n";
+        metrics_.flush();
+      }
       note("cell " + std::to_string(index) + " poisoned after " +
            std::to_string(tries) + " attempts: " + error);
       return;
+    }
+    obs::count("orchestrator.retries");
+    if (metrics_.is_open()) {
+      metrics_ << "{\"event\": \"retry\", \"index\": " << index
+               << ", \"attempt\": " << tries << ", \"error\": ";
+      write_json_string(metrics_, error);
+      metrics_ << "}\n";
+      metrics_.flush();
+    }
+    obs::Tracer& tracer = obs::Tracer::instance();
+    if (tracer.active()) {
+      tracer.instant("retry cell " + std::to_string(index), "fault",
+                     obs::Tracer::current_lane());
     }
     const double backoff =
         options_.retry_backoff_s * static_cast<double>(1 << (tries - 1));
@@ -457,13 +599,26 @@ class Coordinator {
       const std::string line = w.buffer.substr(0, at);
       w.buffer.erase(0, at + 1);
       if (line.empty()) continue;
+      if (line[0] == 'S') {
+        // Worker's parting registry snapshot (already compact JSON).
+        if (metrics_.is_open() && line.size() > 2) {
+          metrics_ << "{\"event\": \"worker_summary\", \"worker\": " << w.slot
+                   << ", \"registry\": " << line.substr(2) << "}\n";
+          metrics_.flush();
+        }
+        continue;
+      }
       std::istringstream is(line);
       char tag = 0;
       std::size_t index = 0;
       is >> tag >> index;
       if (!is || (tag != 'D' && tag != 'F')) continue;
       if (tag == 'D') {
-        on_done(w, index);
+        // Extended ack under record_runtime: "D <idx> <wall_s> <rss>".
+        double wall_s = 0.0;
+        std::int64_t peak_rss_bytes = 0;
+        is >> wall_s >> peak_rss_bytes;
+        on_done(w, index, wall_s, peak_rss_bytes);
         if (halted_) return;
       } else {
         std::string error;
@@ -484,6 +639,12 @@ class Coordinator {
     close(w.cmd_fd);
     close(w.ack_fd);
     w.cmd_fd = w.ack_fd = -1;
+    obs::count("orchestrator.worker_deaths");
+    obs::Tracer& tracer = obs::Tracer::instance();
+    if (tracer.active()) {
+      tracer.instant("worker " + std::to_string(w.slot) + " died", "worker",
+                     w.slot);
+    }
 
     const std::string path =
         options_.journal_dir + "/" + journal_file_name(w.slot);
@@ -620,6 +781,17 @@ class Coordinator {
     }
     for (Worker& w : workers_) {
       if (!w.alive) continue;
+      // Drain the ack pipe to EOF before reaping: a quitting worker's last
+      // write is its "S" registry snapshot (record_runtime runs).
+      if (w.ack_fd >= 0) {
+        char buf[4096];
+        for (;;) {
+          const ssize_t n = read(w.ack_fd, buf, sizeof buf);
+          if (n <= 0) break;
+          w.buffer.append(buf, static_cast<std::size_t>(n));
+        }
+        process_acks(w);
+      }
       int status = 0;
       waitpid(w.pid, &status, 0);
       w.alive = false;
@@ -664,15 +836,40 @@ class Coordinator {
   }
 
   void note(const std::string& message) {
-    if (options_.progress) out_ << "orchestrate: " << message << "\n";
+    if (!options_.progress) return;
+    if (line_active_) {
+      // A \r-rewritten progress line is on the terminal row; move past it
+      // so the note does not splice into it.
+      out_ << "\n";
+      line_active_ = false;
+    }
+    out_ << "orchestrate: " << message << "\n";
   }
 
   void progress_line(bool final_line) {
-    if (!options_.progress) return;
+    // The metrics stream gets its own throttled progress events even when
+    // terminal progress is off.
     const Clock::time_point now = Clock::now();
-    if (!final_line && now - last_progress_ < std::chrono::milliseconds(500)) {
-      return;
+    if (metrics_.is_open() &&
+        (final_line ||
+         now - last_metrics_progress_ >= std::chrono::milliseconds(500))) {
+      last_metrics_progress_ = now;
+      metrics_ << "{\"event\": \"progress\", \"completed\": "
+               << completed_count_ << ", \"total\": " << total_
+               << ", \"poisoned\": " << poisoned_.size()
+               << ", \"elapsed_s\": ";
+      json_number(metrics_,
+                  std::chrono::duration<double>(now - start_).count());
+      metrics_ << "}\n";
+      metrics_.flush();
     }
+    if (!options_.progress) return;
+    // A real terminal gets a \r-rewritten live line twice a second; a
+    // redirected stderr (CI) gets a plain line every few seconds so logs
+    // stay readable instead of accumulating carriage-return spam.
+    const auto throttle = tty_ ? std::chrono::milliseconds(500)
+                               : std::chrono::milliseconds(5000);
+    if (!final_line && now - last_progress_ < throttle) return;
     last_progress_ = now;
     std::ostringstream line;
     line << "orchestrate: " << completed_count_ << "/" << total_ << " cells";
@@ -698,7 +895,16 @@ class Coordinator {
              << " worker" << (live == 1 ? "" : "s");
       }
     }
-    out_ << line.str() << "\n";
+    if (tty_) {
+      // Rewrite in place; \x1b[K clears the stale tail of a longer
+      // previous line.  The final line is committed with a newline.
+      out_ << '\r' << line.str() << "\x1b[K";
+      if (final_line) out_ << '\n';
+      out_.flush();
+      line_active_ = !final_line;
+    } else {
+      out_ << line.str() << "\n";
+    }
   }
 
   const SweepSpec& spec_;
@@ -708,6 +914,9 @@ class Coordinator {
   std::vector<bool> poisoned_flag_;
   const std::uint64_t fingerprint_;
   std::ostream& out_;
+  const bool tty_;
+  bool line_active_ = false;  // a \r-rewritten line is on the terminal row
+  std::ofstream metrics_;
 
   std::vector<Worker> workers_;
   std::vector<std::size_t> pending_;  // longest-first
@@ -721,6 +930,7 @@ class Coordinator {
   bool halted_ = false;
   Clock::time_point start_ = Clock::now();
   Clock::time_point last_progress_ = Clock::time_point::min();
+  Clock::time_point last_metrics_progress_ = Clock::time_point::min();
 };
 
 }  // namespace

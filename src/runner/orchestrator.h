@@ -64,8 +64,29 @@ struct OrchestratorOptions {
   std::string journal_dir;
   // Progress + ETA lines (completed/total, poison count, LPT-aware
   // remaining-makespan estimate) to `progress_out` (default std::cerr).
+  // When progress_out is unset and stderr is a TTY, the line rewrites in
+  // place (\r); otherwise sparse plain lines are emitted so CI logs do not
+  // fill with carriage-return spam.
   bool progress = true;
   std::ostream* progress_out = nullptr;
+
+  // --- observability ----------------------------------------------------
+  // Stamp every journaled cell's result with a CellRuntime (wall seconds,
+  // worker peak RSS, landing attempt).  The field rides the ordinary
+  // result serialization — merge preserves it, fingerprints (which hash
+  // specs) ignore it — and `obs_report strip-runtime` removes it for
+  // byte-diffs against untelemetered runs.  Set by the CLI whenever
+  // --metrics-out is given.
+  bool record_runtime = false;
+  // Streaming telemetry JSONL ("" = off): a header line, one "cell" event
+  // per completed cell (index, worker slot, attempt, wall, RSS), "retry"/
+  // "poison" events, throttled "progress" events, and a final "summary"
+  // carrying the coordinator's obs-registry snapshot.
+  std::string metrics_out;
+  // Chrome-trace-event JSON ("" = off): one complete event per cell
+  // occupying its worker slot's lane, instants for spawns/deaths/retries.
+  // Wall-clock timestamps — schema-checked in CI, never byte-diffed.
+  std::string trace_out;
 
   // --- fault injection, for tests and the CI smoke job only ------------
   // {index, n}: the worker _exit(70)s when dispatched cell `index` on its

@@ -16,6 +16,7 @@
 #include "core/tick_batcher.h"
 #include "link/cellsim.h"
 #include "metrics/flow_metrics.h"
+#include "obs/metrics.h"
 #include "runner/detail.h"
 #include "runner/registry.h"
 #include "sim/relay.h"
@@ -327,11 +328,17 @@ DelayStats ScenarioResult::population_delay() const {
 
 std::shared_ptr<const Trace> ScenarioCache::trace(
     const std::string& key, const std::function<Trace()>& build) {
+  // Counts unconditionally (cold path; tests assert exact deltas through
+  // the registry with obs export on or off).
+  static obs::Counter& hits =
+      obs::Registry::instance().counter("cache.traces.hits");
+  static obs::Counter& misses =
+      obs::Registry::instance().counter("cache.traces.misses");
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = traces_.find(key);
     if (it != traces_.end()) {
-      ++hits_;
+      hits.add();
       return it->second;
     }
   }
@@ -342,21 +349,11 @@ std::shared_ptr<const Trace> ScenarioCache::trace(
   std::lock_guard<std::mutex> lock(mu_);
   const auto [it, inserted] = traces_.emplace(key, std::move(built));
   if (inserted) {
-    ++misses_;
+    misses.add();
   } else {
-    ++hits_;
+    hits.add();
   }
   return it->second;
-}
-
-std::int64_t ScenarioCache::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
-}
-
-std::int64_t ScenarioCache::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
 }
 
 std::string synthetic_link_key(const CellProcessParams& params,

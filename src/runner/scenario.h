@@ -333,6 +333,19 @@ class FlowMetricsView {
   const FlowResult* flow_;
 };
 
+// Per-cell execution telemetry, stamped by the orchestrator's workers when
+// --metrics-out asks for it (OrchestratorOptions::record_runtime).  Pure
+// observability: scenario fingerprints hash SPECS, never results, so the
+// field is fingerprint-invisible by construction, merge carries it along
+// untouched, and the JSON writer emits it only when `recorded` — an
+// untelemetered run's bytes are unchanged.
+struct CellRuntime {
+  bool recorded = false;
+  double wall_s = 0.0;               // wall time of the cell's run_shard
+  std::int64_t peak_rss_bytes = 0;   // getrusage RU_MAXRSS of the worker
+  int attempt = 0;                   // 1-based dispatch attempt that landed
+};
+
 // The unified result: per-flow metrics plus link-level aggregates.  The
 // single-flow accessors mirror the paper's headline metrics for flows[0].
 struct ScenarioResult {
@@ -361,6 +374,10 @@ struct ScenarioResult {
   // Population-wide per-packet delay histogram: the exact merge of every
   // flow's delay_hist.  Configured only for streaming topologies (tower).
   DelayHistogram population_delay_hist;
+  // Execution telemetry (orchestrator --metrics-out runs only; see
+  // CellRuntime).  Not a simulation output — excluded from fingerprints
+  // and from the obs_roundtrip byte diff via obs_report strip-runtime.
+  CellRuntime runtime;
 
   // Single-flow views (flows[0]).
   [[nodiscard]] double throughput_kbps() const;
@@ -390,17 +407,14 @@ struct ScenarioResult {
 class ScenarioCache {
  public:
   // Returns the cached trace for `key`, building it with `build` on miss.
+  // Lookups feed the process-wide obs registry counters
+  // "cache.traces.hits" / "cache.traces.misses" (src/obs/metrics.h).
   [[nodiscard]] std::shared_ptr<const Trace> trace(
       const std::string& key, const std::function<Trace()>& build);
-
-  [[nodiscard]] std::int64_t hits() const;
-  [[nodiscard]] std::int64_t misses() const;
 
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<const Trace>> traces_;
-  std::int64_t hits_ = 0;
-  std::int64_t misses_ = 0;
 };
 
 // Canonical cache key for a synthetic trace: enumerates every

@@ -438,6 +438,16 @@ void write_result(std::ostream& os, const ScenarioResult& r) {
     os << ", \"population_delay_hist\": ";
     write_hist(os, r.population_delay_hist);
   }
+  if (r.runtime.recorded) {
+    // Execution telemetry, present only on orchestrator --metrics-out
+    // runs: fingerprints hash specs so this never perturbs them, and
+    // obs_report strip-runtime removes it for byte-diffs against
+    // untelemetered runs.
+    os << ", \"runtime\": {\"wall_s\": ";
+    json_double(os, r.runtime.wall_s);
+    os << ", \"peak_rss_bytes\": " << r.runtime.peak_rss_bytes
+       << ", \"attempt\": " << r.runtime.attempt << '}';
+  }
   os << ", \"capacity_series\": ";
   write_series(os, r.capacity_series);
   os << '}';
@@ -462,6 +472,13 @@ ScenarioResult read_result(const JsonValue& v) {
   r.link_drops = read_i64(v.at("link_drops"));
   if (v.has("population_delay_hist")) {
     r.population_delay_hist = read_hist(v.at("population_delay_hist"));
+  }
+  if (v.has("runtime")) {
+    const JsonValue& rt = v.at("runtime");
+    r.runtime.recorded = true;
+    r.runtime.wall_s = read_double(rt.at("wall_s"));
+    r.runtime.peak_rss_bytes = read_i64(rt.at("peak_rss_bytes"));
+    r.runtime.attempt = static_cast<int>(read_i64(rt.at("attempt")));
   }
   r.capacity_series = read_series(v.at("capacity_series"));
   return r;

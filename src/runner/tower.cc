@@ -11,6 +11,7 @@
 #include "link/cellsim.h"
 #include "link/tower_cell.h"
 #include "metrics/flow_metrics.h"
+#include "obs/metrics.h"
 #include "runner/detail.h"
 #include "runner/registry.h"
 #include "sim/relay.h"
@@ -143,6 +144,8 @@ ScenarioResult run_tower(const ScenarioSpec& spec) {
   std::vector<bool> detached(sessions.size(), false);
   std::size_t next_churn = 0;
   const TimePoint sim_end = TimePoint{} + spec.run_time;
+  const bool obs_on = obs::enabled();
+  std::int64_t attached = 0;
   while (cell.now() < sim_end) {
     while (next_churn < churn.size() &&
            TimePoint{} + churn[next_churn].time <= cell.now()) {
@@ -151,12 +154,33 @@ ScenarioResult run_tower(const ScenarioSpec& spec) {
       if (ev.departure) {
         user_opps[ev.session] = cell.remove_user(s.user_id);
         detached[ev.session] = true;
+        if (obs_on) {
+          static obs::Counter& departures =
+              obs::Registry::instance().counter("tower.churn.departures");
+          departures.add();
+          --attached;
+        }
       } else {
         cell.add_user(s.user_id,
                       make_tower_channel(tower.channel, s.channel_seed));
+        if (obs_on) {
+          static obs::Counter& arrivals =
+              obs::Registry::instance().counter("tower.churn.arrivals");
+          arrivals.add();
+          obs::Registry::instance()
+              .gauge("tower.attached_users.peak")
+              .set_max(static_cast<double>(++attached));
+        }
       }
     }
     cell.step();
+  }
+  if (obs_on) {
+    // One PF decision per elapsed slot; slots_served() excludes the slots
+    // where no user was attached, so the pair exposes idle airtime too.
+    static obs::Counter& slots =
+        obs::Registry::instance().counter("tower.pf.slots_served");
+    slots.add(cell.slots_served());
   }
   for (std::size_t i = 0; i < sessions.size(); ++i) {
     if (!detached[i]) user_opps[i] = cell.remove_user(sessions[i].user_id);

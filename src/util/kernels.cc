@@ -192,6 +192,13 @@ Backend g_backend = resolve_startup();
 
 }  // namespace
 
+// NOTE: these wrappers are the hottest call sites in the tree and carry NO
+// instrumentation — not even a disabled-branch check.  The per-backend
+// dispatch tallies ("kernels.axpy.avx2", ...) are counted per PASS at the
+// call sites (TransitionMatrix::evolve and friends), which know how many
+// kernel invocations a pass makes; the perf trajectory's obs-overhead
+// guard (< 1% on the banded-evolve bench) exists to keep it that way.
+
 void axpy(double* dst, const double* src, double a, std::size_t n) {
   g_backend.axpy(dst, src, a, n);
 }

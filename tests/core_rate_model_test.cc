@@ -4,8 +4,21 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 namespace sprout {
 namespace {
+
+// Cache hit/miss tallies live in the process-global obs registry now;
+// tests measure deltas around the calls they care about.
+std::int64_t matrix_hits() {
+  return obs::Registry::instance().counter("cache.transition_matrix.hits")
+      .value();
+}
+std::int64_t matrix_misses() {
+  return obs::Registry::instance().counter("cache.transition_matrix.misses")
+      .value();
+}
 
 SproutParams small_params() {
   SproutParams p;
@@ -191,7 +204,7 @@ TEST(TransitionMatrixCache, KernelFieldsKeyTheCache) {
   // Counters are process-global; measure deltas.
   SproutParams p = small_params();
   p.sigma_pps_per_sqrt_s = 321.0;
-  const std::int64_t misses_before = TransitionMatrixCache::misses();
+  const std::int64_t misses_before = matrix_misses();
   const auto a = TransitionMatrixCache::get(p);
   // Forecast/sender knobs do not affect the kernel: still a hit.
   SproutParams same_kernel = p;
@@ -204,18 +217,18 @@ TEST(TransitionMatrixCache, KernelFieldsKeyTheCache) {
   different.outage_escape_rate_per_s = 2.5;
   const auto c = TransitionMatrixCache::get(different);
   EXPECT_NE(a.get(), c.get());
-  EXPECT_EQ(TransitionMatrixCache::misses() - misses_before, 2);
+  EXPECT_EQ(matrix_misses() - misses_before, 2);
 }
 
 TEST(TransitionMatrixCache, FiltersAndForecastersReuseTheCachedKernel) {
   SproutParams p = small_params();
   p.sigma_pps_per_sqrt_s = 213.0;
-  const std::int64_t misses_before = TransitionMatrixCache::misses();
-  const std::int64_t hits_before = TransitionMatrixCache::hits();
+  const std::int64_t misses_before = matrix_misses();
+  const std::int64_t hits_before = matrix_hits();
   SproutBayesFilter f1(p);
   SproutBayesFilter f2(p);
-  EXPECT_EQ(TransitionMatrixCache::misses() - misses_before, 1);
-  EXPECT_GE(TransitionMatrixCache::hits() - hits_before, 1);
+  EXPECT_EQ(matrix_misses() - misses_before, 1);
+  EXPECT_GE(matrix_hits() - hits_before, 1);
   // The shared matrix still evolves both filters independently.
   f1.evolve();
   f1.observe(10);

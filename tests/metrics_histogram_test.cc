@@ -139,6 +139,55 @@ TEST(DelayHistogram, MergeRejectsMismatchedGeometry) {
   EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
+TEST(DelayHistogram, OverflowCountsSurviveMergeExactly) {
+  // Overflow samples are the tail that matters most (a tower cell in an
+  // outage); merge must carry the overflow bin like any other, not clamp
+  // or drop it.
+  DelayHistogram a(msec(10), msec(100));
+  DelayHistogram b(msec(10), msec(100));
+  for (int i = 0; i < 7; ++i) a.add(sec(2));   // 7 overflows
+  for (int i = 0; i < 11; ++i) b.add(sec(9));  // 11 overflows
+  a.add(msec(42));                             // one in-range sample
+  DelayHistogram ab = a;
+  ab.merge(b);
+  EXPECT_EQ(ab.counts().back(), 18);
+  EXPECT_EQ(ab.samples(), 19);
+  // The exact sum survives too: overflow samples keep their real values
+  // in the mean even though the bins cap their percentile resolution.
+  EXPECT_DOUBLE_EQ(ab.sum_ms(), 7 * 2000.0 + 11 * 9000.0 + 42.0);
+}
+
+TEST(DelayHistogram, PercentilesOverOverflowNeverUnderReport) {
+  // 10 in-range samples at 5 ms plus 10 overflows: every percentile that
+  // lands in the overflow bin must report the max+bin sentinel — an
+  // UNDER-estimate of a tail delay would fabricate a good result.
+  DelayHistogram h(msec(10), msec(100));
+  for (int i = 0; i < 10; ++i) h.add(msec(5));
+  for (int i = 0; i < 10; ++i) h.add(sec(3));
+  const double sentinel = h.max_ms() + h.bin_width_ms();
+  EXPECT_DOUBLE_EQ(h.percentile_ms(50.0), 10.0);  // in-range bin edge
+  for (const double pct : {50.1, 75.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile_ms(pct), sentinel) << "p" << pct;
+    EXPECT_GE(h.percentile_ms(pct), h.max_ms()) << "p" << pct;
+  }
+}
+
+TEST(DelayHistogram, FromPartsCarriesOverflow) {
+  // The shard JSON roundtrip writes sparse [bin, count] pairs; the
+  // overflow bin is counts().back() and must survive from_parts intact.
+  DelayHistogram h(msec(10), msec(100));
+  h.add(msec(15));
+  h.add(sec(1));
+  h.add(sec(2));
+  const DelayHistogram back = DelayHistogram::from_parts(
+      h.bin_width_ms(), h.max_ms(), h.sum_ms(), h.counts());
+  EXPECT_EQ(back.counts().back(), 2);
+  EXPECT_EQ(back.counts(), h.counts());
+  EXPECT_DOUBLE_EQ(back.percentile_ms(99.0),
+                   back.max_ms() + back.bin_width_ms());
+  EXPECT_DOUBLE_EQ(back.mean_ms(), h.mean_ms());
+}
+
 TEST(DelayHistogram, FromPartsRoundTrips) {
   DelayHistogram h(msec(5), sec(20));
   Rng rng(3);

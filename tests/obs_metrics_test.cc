@@ -1,0 +1,163 @@
+// The obs registry's contract: counters/gauges/histograms are cheap,
+// stable-referenced, deterministically serialized — and above all,
+// instrumentation NEVER perturbs results.  The last part is locked here
+// in-process (obs-on and obs-off sweeps serialize to identical bytes) and
+// cross-process by the obs_roundtrip ctest target.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "runner/shard.h"
+
+namespace sprout {
+namespace {
+
+TEST(ObsCounter, AddsAndResets) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(ObsCounter, ConcurrentAddsAreLossless) {
+  obs::Counter c;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < 10'000; ++i) c.add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), 80'000);
+}
+
+TEST(ObsGauge, SetAndHighWaterMark) {
+  obs::Gauge g;
+  g.set(3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.5);
+  g.set(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  g.set_max(4.0);
+  g.set_max(2.0);  // below the mark: ignored
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+}
+
+TEST(ObsLatencyHistogram, RecordsAndSnapshots) {
+  obs::LatencyHistogram h(msec(1), msec(100));
+  h.record(msec(5));
+  h.record_ms(7.0);
+  const DelayHistogram snap = h.histogram();
+  EXPECT_EQ(snap.samples(), 2);
+  EXPECT_DOUBLE_EQ(snap.mean_ms(), 6.0);
+  h.reset();
+  EXPECT_EQ(h.histogram().samples(), 0);
+}
+
+TEST(ObsRegistry, ReturnsStableReferences) {
+  auto& reg = obs::Registry::instance();
+  obs::Counter& a = reg.counter("test.stable");
+  obs::Counter& b = reg.counter("test.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(&reg.gauge("test.stable.g"), &reg.gauge("test.stable.g"));
+  EXPECT_EQ(&reg.histogram("test.stable.h", msec(1), msec(10)),
+            &reg.histogram("test.stable.h", msec(1), msec(10)));
+}
+
+TEST(ObsRegistry, CountShorthandResolvesByName) {
+  auto& reg = obs::Registry::instance();
+  const std::int64_t before = reg.counter("test.shorthand").value();
+  obs::count("test.shorthand");
+  obs::count("test.shorthand", 4);
+  EXPECT_EQ(reg.counter("test.shorthand").value() - before, 5);
+}
+
+TEST(ObsRegistry, SnapshotIsNameSortedPerSection) {
+  auto& reg = obs::Registry::instance();
+  reg.counter("test.snap.b").add();
+  reg.counter("test.snap.a").add();
+  reg.gauge("test.snap.g").set(1.0);
+  const std::vector<obs::MetricSample> snap = reg.snapshot();
+  // Counters first (sorted), then gauges, then histograms.
+  std::size_t a_at = snap.size();
+  std::size_t b_at = snap.size();
+  std::size_t g_at = snap.size();
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    if (snap[i].name == "test.snap.a") a_at = i;
+    if (snap[i].name == "test.snap.b") b_at = i;
+    if (snap[i].name == "test.snap.g") g_at = i;
+  }
+  ASSERT_LT(a_at, snap.size());
+  ASSERT_LT(b_at, snap.size());
+  ASSERT_LT(g_at, snap.size());
+  EXPECT_LT(a_at, b_at);
+  EXPECT_LT(b_at, g_at);
+  EXPECT_EQ(snap[a_at].kind, obs::MetricSample::Kind::kCounter);
+  EXPECT_EQ(snap[g_at].kind, obs::MetricSample::Kind::kGauge);
+}
+
+TEST(ObsRegistry, JsonIsDeterministicAndCompactIsOneLine) {
+  auto& reg = obs::Registry::instance();
+  reg.counter("test.json.c").add(3);
+  reg.gauge("test.json.g").set(2.5);
+  reg.histogram("test.json.h", msec(1), msec(10)).record_ms(4.0);
+  std::ostringstream a;
+  std::ostringstream b;
+  reg.write_json(a);
+  reg.write_json(b);
+  EXPECT_EQ(a.str(), b.str());  // equal state -> equal bytes
+  EXPECT_NE(a.str().find("\"test.json.c\": 3"), std::string::npos);
+  std::ostringstream compact;
+  reg.write_json_compact(compact);
+  EXPECT_EQ(compact.str().find('\n'), std::string::npos);
+  EXPECT_NE(compact.str().find("\"counters\": {"), std::string::npos);
+  EXPECT_NE(compact.str().find("\"p50_ms\":"), std::string::npos);
+}
+
+TEST(ObsRegistry, ResetZeroesButKeepsNames) {
+  auto& reg = obs::Registry::instance();
+  reg.counter("test.reset").add(9);
+  reg.reset();
+  EXPECT_EQ(reg.counter("test.reset").value(), 0);
+}
+
+TEST(ObsEnabled, ToggleIsObservable) {
+  const bool before = obs::enabled();
+  obs::set_enabled(!before);
+  EXPECT_EQ(obs::enabled(), !before);
+  obs::set_enabled(before);
+  EXPECT_EQ(obs::enabled(), before);
+}
+
+// The invariant everything above exists to protect: turning the hot-path
+// instrumentation on must not change a single result byte.
+TEST(ObsInvariant, EnabledSweepIsByteIdenticalToDisabled) {
+  SweepSpec grid;
+  for (const std::uint64_t seed : {1ull, 2ull}) {
+    ScenarioSpec c;
+    c.scheme = SchemeId::kSprout;
+    c.link = LinkSpec::preset("Verizon LTE", LinkDirection::kDownlink);
+    c.run_time = sec(6);
+    c.warmup = sec(2);
+    c.seed = seed;
+    grid.cells.push_back(c);
+  }
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(false);
+  std::ostringstream off;
+  write_sweep_json(off, run_sweep(grid, /*threads=*/2));
+  obs::set_enabled(true);
+  std::ostringstream on;
+  write_sweep_json(on, run_sweep(grid, /*threads=*/2));
+  obs::set_enabled(was_enabled);
+  EXPECT_EQ(off.str(), on.str());
+}
+
+}  // namespace
+}  // namespace sprout

@@ -12,6 +12,7 @@
 #include <stdexcept>
 
 #include "runner/scenario.h"
+#include "util/table.h"
 
 namespace sprout {
 namespace {
@@ -149,6 +150,80 @@ TEST(Orchestrator, HungCellIsReclaimedByTimeout) {
   const OrchestrateOutcome outcome = orchestrate_sweep(grid, options);
   ASSERT_TRUE(outcome.complete);
   EXPECT_EQ(sweep_bytes(outcome.merged), sweep_bytes(run_sweep(grid)));
+}
+
+TEST(Orchestrator, RecordRuntimeStampsCellsWithoutPerturbingResults) {
+  const SweepSpec grid = tiny_grid();
+  const std::string dir = fresh_dir("runtime");
+  OrchestratorOptions options = quiet_options(dir);
+  options.record_runtime = true;
+  options.metrics_out = dir + "/metrics.jsonl";
+  options.trace_out = dir + "/trace.json";
+  const OrchestrateOutcome outcome = orchestrate_sweep(grid, options);
+  ASSERT_TRUE(outcome.complete);
+
+  // Every merged cell carries an execution stamp (merge preserved it).
+  for (const ScenarioResult& cell : outcome.merged.cells) {
+    EXPECT_TRUE(cell.runtime.recorded);
+    EXPECT_GE(cell.runtime.wall_s, 0.0);
+    EXPECT_GT(cell.runtime.peak_rss_bytes, 0);
+    EXPECT_GE(cell.runtime.attempt, 1);
+  }
+  // The stamp is the ONLY divergence from an untelemetered run: clearing
+  // it restores the serial bytes exactly.
+  SweepResult scrubbed = outcome.merged;
+  for (ScenarioResult& cell : scrubbed.cells) cell.runtime = CellRuntime{};
+  EXPECT_EQ(sweep_bytes(scrubbed), sweep_bytes(run_sweep(grid)));
+
+  // The metrics feed: v1 header, one cell event per cell, a summary with
+  // the registry snapshot.
+  std::ifstream metrics(options.metrics_out);
+  ASSERT_TRUE(metrics.is_open());
+  std::string line;
+  ASSERT_TRUE(std::getline(metrics, line));
+  const JsonValue header = JsonValue::parse(line);
+  EXPECT_EQ(header.at("schema").as_string(), "sprout-metrics-v1");
+  EXPECT_EQ(header.at("total_cells").as_number(), 3.0);
+  std::size_t cell_events = 0;
+  bool saw_summary = false;
+  while (std::getline(metrics, line)) {
+    const JsonValue v = JsonValue::parse(line);
+    const std::string& event = v.at("event").as_string();
+    if (event == "cell") {
+      EXPECT_GE(v.at("wall_s").as_number(), 0.0);
+      EXPECT_GT(v.at("peak_rss_bytes").as_number(), 0.0);
+      ++cell_events;
+    } else if (event == "summary") {
+      EXPECT_EQ(v.at("completed").as_number(), 3.0);
+      EXPECT_TRUE(v.at("registry").has("counters"));
+      saw_summary = true;
+    }
+  }
+  EXPECT_EQ(cell_events, 3u);
+  EXPECT_TRUE(saw_summary);
+
+  // The trace: parseable Chrome trace-event JSON with one span per cell.
+  std::ifstream trace_in(options.trace_out);
+  ASSERT_TRUE(trace_in.is_open());
+  std::stringstream trace_text;
+  trace_text << trace_in.rdbuf();
+  const JsonValue trace = JsonValue::parse(trace_text.str());
+  std::size_t spans = 0;
+  for (const JsonValue& e : trace.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() == "X") ++spans;
+  }
+  EXPECT_EQ(spans, 3u);
+
+  // Resuming from these journals keeps the stamps: the runtime field
+  // survives the journal write/read roundtrip even when the resuming run
+  // records nothing itself.
+  const OrchestrateOutcome resumed =
+      orchestrate_sweep(grid, quiet_options(dir));
+  ASSERT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.resumed_cells, 3u);
+  for (const ScenarioResult& cell : resumed.merged.cells) {
+    EXPECT_TRUE(cell.runtime.recorded);
+  }
 }
 
 TEST(Orchestrator, RejectsBadOptions) {

@@ -8,11 +8,17 @@
 
 #include <algorithm>
 
-#include "core/forecaster.h"
+#include "obs/metrics.h"
 #include "runner/scenario.h"
 
 namespace sprout {
 namespace {
+
+// Cache tallies moved into the process-global obs registry (PR 9); every
+// assertion below is a delta around the run under test.
+std::int64_t obs_counter(const char* name) {
+  return obs::Registry::instance().counter(name).value();
+}
 
 std::vector<ScenarioSpec> grid() {
   // 3 schemes x 2 presets x 2 seeds = 12 cells, kept short: the point is
@@ -118,12 +124,15 @@ TEST(Sweep, DerivedSeedResultsAreOrderIndependent) {
 
 TEST(Sweep, TraceCacheMaterializesEachPresetOnce) {
   const std::vector<ScenarioSpec> specs = grid();
+  const std::int64_t misses_before = obs_counter("cache.traces.misses");
+  const std::int64_t hits_before = obs_counter("cache.traces.hits");
   SweepRunner runner(SweepOptions{.threads = 8});
   (void)runner.run(specs);
   // 12 cells over 2 networks -> 4 distinct (network, direction, duration)
   // trace keys (each network contributes its downlink + uplink twin).
-  EXPECT_EQ(runner.cache().misses(), 4);
-  EXPECT_EQ(runner.cache().hits(),
+  // The runner's cache is fresh, so the deltas are exact.
+  EXPECT_EQ(obs_counter("cache.traces.misses") - misses_before, 4);
+  EXPECT_EQ(obs_counter("cache.traces.hits") - hits_before,
             static_cast<std::int64_t>(2 * specs.size()) - 4);
 }
 
@@ -142,12 +151,14 @@ TEST(Sweep, ForecasterTablesBuildOncePerDistinctParams) {
     c.seed = seed;
     specs.push_back(c);
   }
-  const std::int64_t misses_before = ForecastTableCache::misses();
-  const std::int64_t hits_before = ForecastTableCache::hits();
+  const std::int64_t misses_before = obs_counter("cache.forecast_tables.misses");
+  const std::int64_t hits_before = obs_counter("cache.forecast_tables.hits");
   SweepRunner runner(SweepOptions{.threads = 4});
   (void)runner.run(specs);
-  const std::int64_t misses = ForecastTableCache::misses() - misses_before;
-  const std::int64_t hits = ForecastTableCache::hits() - hits_before;
+  const std::int64_t misses =
+      obs_counter("cache.forecast_tables.misses") - misses_before;
+  const std::int64_t hits =
+      obs_counter("cache.forecast_tables.hits") - hits_before;
   // At most one build for the default-params key (zero if an earlier test
   // in this process already built it).
   EXPECT_LE(misses, 1);
@@ -214,12 +225,15 @@ TEST(Sweep, TransitionMatricesBuildOncePerDistinctParams) {
     c.seed = seed;
     specs.push_back(c);
   }
-  const std::int64_t misses_before = TransitionMatrixCache::misses();
-  const std::int64_t hits_before = TransitionMatrixCache::hits();
+  const std::int64_t misses_before =
+      obs_counter("cache.transition_matrix.misses");
+  const std::int64_t hits_before = obs_counter("cache.transition_matrix.hits");
   SweepRunner runner(SweepOptions{.threads = 4});
   (void)runner.run(specs);
-  const std::int64_t misses = TransitionMatrixCache::misses() - misses_before;
-  const std::int64_t hits = TransitionMatrixCache::hits() - hits_before;
+  const std::int64_t misses =
+      obs_counter("cache.transition_matrix.misses") - misses_before;
+  const std::int64_t hits =
+      obs_counter("cache.transition_matrix.hits") - hits_before;
   EXPECT_LE(misses, 1);
   // Two endpoints per cell, each with a filter and a forecaster.
   EXPECT_GE(hits + misses, static_cast<std::int64_t>(4 * specs.size()));

@@ -18,6 +18,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/metrics.h"
 #include "runner/shard.h"
 #include "spec/synth_io.h"
 #include "synth/synth.h"
@@ -93,12 +94,18 @@ TEST(SynthDeterminism, SweepCacheMaterializesEachChannelOnce) {
   const SweepSpec grid = synth_grid();
   SweepOptions options;
   options.base_seed = grid.base_seed;
+  // Trace-cache tallies live in the process-global obs registry; the
+  // runner's cache is fresh, so deltas around this run are exact.
+  auto& reg = obs::Registry::instance();
+  const std::int64_t misses_before =
+      reg.counter("cache.traces.misses").value();
+  const std::int64_t hits_before = reg.counter("cache.traces.hits").value();
   SweepRunner runner(options);
   (void)runner.run(grid.cells);
   // 4 cells x 2 directions = 8 trace lookups over 3 distinct channels
   // (two forwards + the shared reverse).
-  EXPECT_EQ(runner.cache().misses(), 3);
-  EXPECT_EQ(runner.cache().hits(), 5);
+  EXPECT_EQ(reg.counter("cache.traces.misses").value() - misses_before, 3);
+  EXPECT_EQ(reg.counter("cache.traces.hits").value() - hits_before, 5);
 }
 
 TEST(SynthKey, DistinguishesEveryKnob) {
