@@ -19,12 +19,18 @@
 // e.g. per-call counters in the kernel wrappers — shows up in every round
 // of every attempt).
 //
+// PR 10 adds the same guard for the flight recorder's DISABLED state: the
+// engine's tap sites are one null-check per event when record_timeline is
+// off, and the banded evolve guarded by a volatile null recorder pointer
+// (the exact production branch shape) must cost under 1% over the bare
+// evolve, measured and floored identically to the obs guard.
+//
 // Usage:
 //   perf_trajectory [--json FILE] [--min-time S] [--bins N] [--flows N]
 //                   [--check]
 //   --check exits 1 if banded < 2x dense at the configured bins, batched
-//   < 1.5x serial at the configured flows, or obs-on overhead >= 1% on the
-//   banded evolve in all three attempts.
+//   < 1.5x serial at the configured flows, or obs-on / recorder-off
+//   overhead >= 1% on the banded evolve in all three attempts.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -36,6 +42,7 @@
 #include "core/forecaster.h"
 #include "core/params.h"
 #include "core/rate_model.h"
+#include "metrics/recorder.h"
 #include "obs/metrics.h"
 #include "util/kernels.h"
 
@@ -103,6 +110,29 @@ double obs_overhead_ratio(Op&& op) {
     ratios.push_back(on_ns / off_ns);
   }
   obs::set_enabled(was_enabled);
+  std::sort(ratios.begin(), ratios.end());
+  return ratios[ratios.size() / 2];
+}
+
+// Relative cost of one arm over another: the same paired-round median as
+// obs_overhead_ratio, for two arbitrary op shapes (the recorder guard
+// compares a bare evolve against an evolve carrying the production
+// null-recorder branch, so the two arms are different closures).
+template <typename Base, typename Guarded>
+double paired_overhead_ratio(Base&& base, Guarded&& guarded) {
+  std::vector<double> ratios;
+  for (int round = 0; round < 33; ++round) {
+    double base_ns = 0.0;
+    double guarded_ns = 0.0;
+    if (round % 2 != 0) {
+      guarded_ns = min_batch_ns(6, 64, guarded);
+      base_ns = min_batch_ns(6, 64, base);
+    } else {
+      base_ns = min_batch_ns(6, 64, base);
+      guarded_ns = min_batch_ns(6, 64, guarded);
+    }
+    ratios.push_back(guarded_ns / base_ns);
+  }
   std::sort(ratios.begin(), ratios.end());
   return ratios[ratios.size() / 2];
 }
@@ -190,6 +220,28 @@ int run(const Options& opt) {
     if (obs_overhead < 0.01) break;
   }
 
+  // --- recorder-off overhead on the banded evolve (best of three) ---
+  // Production tap shape: a raw recorder pointer, null when
+  // record_timeline is off, checked once per event.  The volatile load
+  // keeps the optimizer from proving the branch dead the way it could
+  // never prove it for the engine's per-flow pointers.
+  RateDistribution rec_dist = locked_posterior(params, 10);
+  FlowTimelineRecorder* volatile rec_tap = nullptr;
+  double rec_overhead = 1e18;
+  int rec_attempts = 0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    ++rec_attempts;
+    const double ratio = paired_overhead_ratio(
+        [&] { matrix.evolve(rec_dist); },
+        [&] {
+          FlowTimelineRecorder* r = rec_tap;
+          if (r != nullptr) r->record_forecast(TimePoint{}, 0.0);
+          matrix.evolve(rec_dist);
+        });
+    rec_overhead = std::min(rec_overhead, ratio - 1.0);
+    if (rec_overhead < 0.01) break;
+  }
+
   // --- batched vs serial, a fleet of distinct posteriors ---
   std::vector<RateDistribution> serial_dists;
   std::vector<RateDistribution> batch_dists;
@@ -227,7 +279,7 @@ int run(const Options& opt) {
         buf, sizeof(buf),
         "{\n"
         "  \"artifact\": \"perf_trajectory\",\n"
-        "  \"pr\": 9,\n"
+        "  \"pr\": 10,\n"
         "  \"config\": {\n"
         "    \"bins\": %d,\n"
         "    \"flows\": %d,\n"
@@ -252,16 +304,22 @@ int run(const Options& opt) {
         "    \"on_overhead_banded\": %.4f,\n"
         "    \"attempts\": %d\n"
         "  },\n"
+        "  \"recorder\": {\n"
+        "    \"off_overhead_banded\": %.4f,\n"
+        "    \"attempts\": %d\n"
+        "  },\n"
         "  \"floors\": {\n"
         "    \"banded_vs_dense\": 2.0,\n"
         "    \"batched_vs_serial\": 1.5,\n"
-        "    \"obs_on_overhead_banded_max\": 0.01\n"
+        "    \"obs_on_overhead_banded_max\": 0.01,\n"
+        "    \"recorder_off_overhead_banded_max\": 0.01\n"
         "  }\n"
         "}\n",
         opt.bins, opt.flows, params.band_epsilon, kernels::active_backend(),
         matrix.mean_bandwidth(), matrix.max_bandwidth(), opt.min_time_s,
         dense_ns, banded_ns, serial_ns, batch_ns, forecast_ns, banded_speedup,
-        batch_speedup, obs_overhead, obs_attempts);
+        batch_speedup, obs_overhead, obs_attempts, rec_overhead,
+        rec_attempts);
     return std::string(buf);
   }();
 
@@ -299,11 +357,19 @@ int run(const Options& opt) {
                    obs_overhead * 100.0, obs_attempts);
       ok = false;
     }
+    if (rec_overhead >= 0.01) {
+      std::fprintf(stderr,
+                   "FAIL: recorder-off overhead %.2f%% on banded evolve "
+                   "(floor 1%%, best of %d attempts)\n",
+                   rec_overhead * 100.0, rec_attempts);
+      ok = false;
+    }
     if (!ok) return 1;
     std::fprintf(stderr,
                  "perf floors hold: banded %.2fx, batched %.2fx, "
-                 "obs overhead %.2f%%\n",
-                 banded_speedup, batch_speedup, obs_overhead * 100.0);
+                 "obs overhead %.2f%%, recorder-off overhead %.2f%%\n",
+                 banded_speedup, batch_speedup, obs_overhead * 100.0,
+                 rec_overhead * 100.0);
   }
   return 0;
 }

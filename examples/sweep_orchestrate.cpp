@@ -132,6 +132,7 @@ struct GridSource {
   std::string spec_path;  // --spec
   int seconds = 20;
   bool seconds_given = false;
+  bool timeline = false;  // --timeline: flight-record every cell
   std::optional<std::uint64_t> base_seed;
 };
 
@@ -164,6 +165,12 @@ ResolvedGrid resolve_grid(const GridSource& source) {
     grid.label = source.grid_name;
     grid.sweep = spec::build_builtin_grid(source.grid_name, options);
   }
+  // --timeline flight-records every cell.  record_timeline is excluded
+  // from scenario fingerprints, so journals written with and without it
+  // resume, export, and merge against the same grid.
+  if (source.timeline) {
+    for (ScenarioSpec& cell : grid.sweep.cells) cell.record_timeline = true;
+  }
   return grid;
 }
 
@@ -176,7 +183,8 @@ int usage() {
       " [--retry-backoff S]\n"
       "                           [--cell-timeout S] [--seconds N]"
       " [--base-seed S]\n"
-      "                           [--poison-report PATH] [--quiet]\n"
+      "                           [--poison-report PATH] [--quiet]"
+      " [--timeline]\n"
       "                           [--metrics-out PATH] [--trace-out PATH]\n"
       "                           [--halt-after N] [--crash-cell I[:N]]"
       " [--hang-cell I[:N]]\n"
@@ -347,6 +355,7 @@ int main(int argc, char** argv) {
         options.cell_timeout_s = parse_nonneg_double(arg, value());
       }
       else if (arg == "--quiet") options.progress = false;
+      else if (arg == "--timeline") source.timeline = true;
       else if (arg == "--metrics-out") {
         // Telemetry implies runtime stamping: every journaled cell gains a
         // "runtime" field (wall seconds, peak RSS, attempt).  Strip it with

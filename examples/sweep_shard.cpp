@@ -75,6 +75,7 @@ struct GridSource {
   std::string spec_path;  // --spec
   int seconds = 20;
   bool seconds_given = false;
+  bool timeline = false;  // --timeline: flight-record every cell
   std::optional<std::uint64_t> base_seed;
   std::optional<spec::PartitionStrategy> strategy;  // --strategy
 };
@@ -112,6 +113,12 @@ ResolvedGrid resolve_grid(const GridSource& source) {
     grid.sweep = spec::build_builtin_grid(source.grid_name, options);
   }
   if (source.strategy.has_value()) grid.strategy = *source.strategy;
+  // --timeline flight-records every cell.  record_timeline is excluded
+  // from scenario fingerprints, so shards cut with and without it merge
+  // and verify against the same grid.
+  if (source.timeline) {
+    for (ScenarioSpec& cell : grid.sweep.cells) cell.record_timeline = true;
+  }
   return grid;
 }
 
@@ -122,7 +129,8 @@ int usage() {
       "  sweep_shard run   (--grid NAME | --spec FILE) --out PATH\n"
       "                    [--shard I/N [--strategy round-robin|lpt] |"
       " --cells A,B,C]\n"
-      "                    [--seconds N] [--base-seed S] [--threads T]\n"
+      "                    [--seconds N] [--base-seed S] [--threads T]"
+      " [--timeline]\n"
       "  sweep_shard merge --out PATH [--grid NAME [--seconds N]"
       " [--base-seed S] | --spec FILE]\n"
       "                    SHARD.json...\n"
@@ -327,6 +335,7 @@ int main(int argc, char** argv) {
           return 2;
         }
       }
+      else if (arg == "--timeline") source.timeline = true;
       else if (arg == "--shard") shard_arg = value();
       else if (arg == "--cells") cells_arg = value();
       else if (arg == "--out") out_path = value();

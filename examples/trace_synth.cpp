@@ -24,6 +24,7 @@
 
 #include "spec/synth_io.h"
 #include "synth/synth.h"
+#include "util/ascii_plot.h"
 #include "util/table.h"
 
 namespace {
@@ -47,31 +48,28 @@ std::string read_file(const std::string& path) {
 }
 
 // Delivered rate per bin, as an ASCII timeline: one row per bin, bar
-// length proportional to the bin's average rate.
+// length proportional to the bin's average rate (util/ascii_plot.h, the
+// renderer timeline_report's charts share).
 void plot(const Trace& trace, Duration bin) {
   const double bin_s = to_seconds(bin);
   const auto& opportunities = trace.opportunities();
   const std::size_t bins = static_cast<std::size_t>(
       to_seconds(trace.duration()) / bin_s);
   if (bins == 0) return;
-  std::vector<std::size_t> counts(bins, 0);
+  std::vector<double> counts(bins, 0.0);
   for (const TimePoint t : opportunities) {
     const auto b = static_cast<std::size_t>(
         to_seconds(t.time_since_epoch()) / bin_s);
-    if (b < bins) ++counts[b];
+    if (b < bins) counts[b] += 1.0;
   }
-  const std::size_t peak = *std::max_element(counts.begin(), counts.end());
-  constexpr int kWidth = 60;
+  const double peak = *std::max_element(counts.begin(), counts.end());
   std::cout << "\nrate over time (one row per " << format_double(bin_s, 1)
             << " s, full bar = " << format_double(
-                   peak > 0 ? static_cast<double>(peak) / bin_s : 0.0, 0)
+                   peak > 0.0 ? peak / bin_s : 0.0, 0)
             << " pkt/s):\n";
-  for (std::size_t b = 0; b < bins; ++b) {
-    const int width =
-        peak > 0 ? static_cast<int>(kWidth * counts[b] / peak) : 0;
-    std::cout << format_double(static_cast<double>(b) * bin_s, 1) << "s\t|"
-              << std::string(static_cast<std::size_t>(width), '#') << "\n";
-  }
+  AsciiPlotOptions opt;
+  opt.bin_s = bin_s;
+  render_ascii_plot(std::cout, counts, opt);
 }
 
 }  // namespace

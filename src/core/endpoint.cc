@@ -62,6 +62,13 @@ void SproutEndpoint::tick() {
   // Receiver first so the forecast piggybacked on this tick's packets is
   // computed from everything that has arrived so far.
   receiver_.tick(sim_.now());
+  if (forecast_tap_ != nullptr) {
+    const DeliveryForecast& f = receiver_.latest_forecast();
+    if (f.ticks() > 0) {
+      forecast_tap_->record_forecast(
+          sim_.now(), kbps(f.cumulative_bytes.back(), f.tick * f.ticks()));
+    }
+  }
   sender_.tick(sim_.now(), [this](ByteCount max) {
     return source_ != nullptr ? source_->pull(max) : 0;
   });

@@ -19,6 +19,7 @@
 #include "core/source.h"
 #include "core/strategy.h"
 #include "core/tick_batcher.h"
+#include "metrics/recorder.h"
 #include "sim/packet.h"
 #include "sim/simulator.h"
 
@@ -51,6 +52,15 @@ class SproutEndpoint : public PacketSink {
   // the scenario-wide per-instant batch evolve.
   void set_evolve_batcher(TickEvolveBatcher* batcher) { batcher_ = batcher; }
 
+  // Optional flight-recorder tap (metrics/recorder.h; scenario-owned, must
+  // outlive the endpoint).  After every receiver tick the cautious
+  // estimate's horizon-average delivery rate is recorded, so timelines can
+  // plot "what the forecast believed" against what the channel delivered.
+  // Pure observation: the forecast is read, never altered.
+  void set_forecast_tap(FlowTimelineRecorder* recorder) {
+    forecast_tap_ = recorder;
+  }
+
   // Begins the 20 ms tick loop.  `phase` offsets this endpoint's tick
   // boundaries; real peers' clocks are never phase-locked, and a simulated
   // metronome alignment creates knife-edge observation artifacts.
@@ -81,6 +91,7 @@ class SproutEndpoint : public PacketSink {
   DataSource* source_;
   PacketSink* network_ = nullptr;
   TickEvolveBatcher* batcher_ = nullptr;
+  FlowTimelineRecorder* forecast_tap_ = nullptr;
   std::function<void(Packet&&)> tunnel_delivery_;
   std::int64_t flow_id_;
   std::int64_t malformed_ = 0;

@@ -27,14 +27,20 @@ void CellsimLink::receive(Packet&& p) {
 void CellsimLink::arrive_at_queue(Packet&& p) {
   if (config_.loss_rate > 0.0 && loss_rng_.bernoulli(config_.loss_rate)) {
     ++random_drops_;
+    if (timeline_ != nullptr) timeline_->record_drop(sim_.now());
     return;
   }
   if (!policy_->admit(queue_, p, sim_.now())) {
     queue_.count_rejected_arrival();
+    if (timeline_ != nullptr) timeline_->record_drop(sim_.now());
     return;
   }
   p.enqueued_at = sim_.now();
   queue_.push(std::move(p));
+  if (timeline_ != nullptr) {
+    timeline_->record_queue_sample(sim_.now(), queue_.packets(),
+                                   queue_.bytes());
+  }
 }
 
 void CellsimLink::schedule_next_opportunity() {
@@ -68,6 +74,13 @@ void CellsimLink::run_opportunity() {
     out_.receive(std::move(*p));
   }
   if (!delivered_any) ++wasted_opportunities_;
+  if (timeline_ != nullptr) {
+    // Post-drain sample: together with the enqueue-side sample this
+    // brackets the bin's true peak (depth only changes at these two
+    // events, plus dequeue-side AQM drops which this sample also covers).
+    timeline_->record_queue_sample(sim_.now(), queue_.packets(),
+                                   queue_.bytes());
+  }
 }
 
 }  // namespace sprout

@@ -15,6 +15,7 @@
 
 #include "aqm/aqm.h"
 #include "aqm/queue.h"
+#include "metrics/recorder.h"
 #include "sim/packet.h"
 #include "sim/simulator.h"
 #include "trace/trace.h"
@@ -49,6 +50,15 @@ class CellsimLink : public PacketSink {
   [[nodiscard]] std::size_t queue_packets() const { return queue_.packets(); }
   [[nodiscard]] const Trace& trace() const { return trace_; }
 
+  // Flight-recorder tap (metrics/recorder.h): queue-depth samples after
+  // every enqueue and every delivery opportunity, plus drop events.  Null
+  // (the default) records nothing; each tap site costs one branch, so an
+  // untapped link is byte-identical to a pre-recorder one.  The recorder
+  // must outlive the link.
+  void set_timeline_recorder(FlowTimelineRecorder* recorder) {
+    timeline_ = recorder;
+  }
+
  private:
   void arrive_at_queue(Packet&& p);
   void schedule_next_opportunity();
@@ -62,6 +72,7 @@ class CellsimLink : public PacketSink {
   Rng loss_rng_;
   LinkQueue queue_;
   std::size_t next_opportunity_ = 0;
+  FlowTimelineRecorder* timeline_ = nullptr;
 
   ByteCount delivered_bytes_ = 0;
   std::int64_t delivered_packets_ = 0;

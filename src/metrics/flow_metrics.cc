@@ -13,8 +13,15 @@ void FlowMetrics::record(const Packet& p, TimePoint received_at) {
 
 void FlowMetrics::record(DeliveryRecord r) {
   total_bytes_ += r.size;
+  if (timeline_ != nullptr) {
+    timeline_->record_delivery(r.sent_at, r.received_at, r.size);
+  }
   if (!streaming_) {
     records_.push_back(r);
+    if (hist_.configured() && r.received_at >= window_from_ &&
+        r.received_at < window_to_) {
+      hist_.add(r.received_at - r.sent_at);
+    }
     return;
   }
   if (r.received_at >= window_from_ && r.received_at < window_to_) {
@@ -27,6 +34,15 @@ void FlowMetrics::enable_streaming(Duration hist_bin, Duration hist_max,
                                    TimePoint from, TimePoint to) {
   assert(records_.empty() && "enable_streaming before any delivery");
   streaming_ = true;
+  window_from_ = from;
+  window_to_ = to;
+  hist_ = DelayHistogram(hist_bin, hist_max);
+}
+
+void FlowMetrics::enable_histogram(Duration hist_bin, Duration hist_max,
+                                   TimePoint from, TimePoint to) {
+  assert(records_.empty() && "enable_histogram before any delivery");
+  assert(!streaming_ && "enable_streaming already covers the histogram");
   window_from_ = from;
   window_to_ = to;
   hist_ = DelayHistogram(hist_bin, hist_max);

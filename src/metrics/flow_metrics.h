@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "metrics/histogram.h"
+#include "metrics/recorder.h"
 #include "sim/packet.h"
 #include "trace/trace.h"
 #include "util/stats.h"
@@ -43,7 +44,24 @@ class FlowMetrics {
   void enable_streaming(Duration hist_bin, Duration hist_max, TimePoint from,
                         TimePoint to);
   [[nodiscard]] bool streaming() const { return streaming_; }
-  // The streaming delay histogram (unconfigured unless streaming).
+
+  // Streaming delay histogram ALONGSIDE the retained record list: unlike
+  // enable_streaming, record() keeps appending to records_ (the §5.1
+  // sawtooth analyses stay available) and ALSO folds each in-window
+  // delivery into the histogram.  This is how the non-streaming topologies
+  // (single-flow, shared-queue, tunnel) report p50/p95/p99/p999 through
+  // the same DelayHistogram the tower streams — ROADMAP 5(b).
+  void enable_histogram(Duration hist_bin, Duration hist_max, TimePoint from,
+                        TimePoint to);
+
+  // Flight-recorder tap (metrics/recorder.h); null detaches.  Every
+  // delivery record is forwarded to the recorder, which bins it.  The
+  // recorder must outlive this object.
+  void set_timeline_recorder(FlowTimelineRecorder* recorder) {
+    timeline_ = recorder;
+  }
+  // The delay histogram (unconfigured unless enable_streaming or
+  // enable_histogram ran).
   [[nodiscard]] const DelayHistogram& histogram() const { return hist_; }
   // Bytes received inside the streaming window [from, to).
   [[nodiscard]] ByteCount window_bytes() const { return window_bytes_; }
@@ -81,7 +99,8 @@ class FlowMetrics {
   TimePoint window_from_{};
   TimePoint window_to_{};
   ByteCount window_bytes_ = 0;
-  DelayHistogram hist_;  // unconfigured unless streaming
+  DelayHistogram hist_;  // unconfigured unless streaming/enable_histogram
+  FlowTimelineRecorder* timeline_ = nullptr;
 };
 
 // A transparent sink that records deliveries, then forwards.

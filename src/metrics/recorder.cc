@@ -1,0 +1,110 @@
+#include "metrics/recorder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sprout {
+
+FlowTimelineRecorder::FlowTimelineRecorder(Duration bin, TimePoint from,
+                                           TimePoint to)
+    : bin_(bin), from_(from), to_(to) {
+  if (bin <= Duration::zero()) {
+    throw std::invalid_argument("timeline bin must be > 0");
+  }
+  if (to <= from) {
+    throw std::invalid_argument("timeline window must be non-empty");
+  }
+  // Ceil: a partial trailing bin still collects its events.
+  const auto span = (to - from).count();
+  const auto width = bin.count();
+  bins_.resize(static_cast<std::size_t>((span + width - 1) / width));
+}
+
+std::size_t FlowTimelineRecorder::bin_index(TimePoint t) const {
+  if (t < from_ || t >= to_) return bins_.size();
+  const auto idx = static_cast<std::size_t>((t - from_).count() / bin_.count());
+  return idx < bins_.size() ? idx : bins_.size();
+}
+
+void FlowTimelineRecorder::record_forecast(TimePoint now,
+                                           double forecast_kbps) {
+  const std::size_t b = bin_index(now);
+  if (b >= bins_.size()) return;
+  bins_[b].forecast_kbps_sum += forecast_kbps;
+  ++bins_[b].forecast_ticks;
+}
+
+void FlowTimelineRecorder::record_delivery(TimePoint sent_at,
+                                           TimePoint received_at,
+                                           ByteCount bytes) {
+  const std::size_t b = bin_index(received_at);
+  if (b >= bins_.size()) return;
+  BinState& s = bins_[b];
+  s.delivered_bytes += bytes;
+  ++s.delivered_packets;
+  const double delay_ms = to_millis(received_at - sent_at);
+  s.delay_ms_sum += delay_ms;
+  s.delay_ms_max = std::max(s.delay_ms_max, delay_ms);
+}
+
+void FlowTimelineRecorder::record_queue_sample(TimePoint now,
+                                               std::size_t packets,
+                                               ByteCount bytes) {
+  const std::size_t b = bin_index(now);
+  if (b >= bins_.size()) return;
+  BinState& s = bins_[b];
+  s.queue_max_packets =
+      std::max(s.queue_max_packets, static_cast<std::int64_t>(packets));
+  s.queue_max_bytes =
+      std::max(s.queue_max_bytes, static_cast<std::int64_t>(bytes));
+}
+
+void FlowTimelineRecorder::record_drop(TimePoint now) {
+  const std::size_t b = bin_index(now);
+  if (b >= bins_.size()) return;
+  ++bins_[b].drops;
+}
+
+FlowTimeline FlowTimelineRecorder::finalize(
+    const Trace* capacity_trace, const FlowTimelineRecorder* link) const {
+  FlowTimeline t;
+  if (!active()) return t;
+  t.bin_s = to_seconds(bin_);
+  t.from_s = to_seconds(from_.time_since_epoch());
+  t.points.reserve(bins_.size());
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    const BinState& s = bins_[b];
+    TimelinePoint p;
+    const TimePoint bin_from = from_ + bin_ * static_cast<std::int64_t>(b);
+    // The last bin may be partial; rates are averaged over its true width
+    // so a short tail doesn't read as a rate collapse.
+    const TimePoint bin_to = std::min(bin_from + bin_, to_);
+    const Duration width = bin_to - bin_from;
+    p.time_s = to_seconds(bin_from.time_since_epoch());
+    if (s.forecast_ticks > 0) {
+      p.forecast_kbps =
+          s.forecast_kbps_sum / static_cast<double>(s.forecast_ticks);
+    }
+    p.throughput_kbps = kbps(s.delivered_bytes, width);
+    if (capacity_trace != nullptr) {
+      p.capacity_kbps =
+          kbps(capacity_trace->deliverable_bytes(bin_from, bin_to), width);
+    }
+    if (s.delivered_packets > 0) {
+      p.mean_delay_ms = s.delay_ms_sum / static_cast<double>(s.delivered_packets);
+      p.max_delay_ms = s.delay_ms_max;
+    }
+    // Queue/drop columns come from the recorder watching the flow's QUEUE,
+    // which is a different object when several flows share one link.
+    if (link != nullptr && b < link->bins_.size()) {
+      const BinState& q = link->bins_[b];
+      p.queue_max_packets = q.queue_max_packets;
+      p.queue_max_bytes = q.queue_max_bytes;
+      p.drops = q.drops;
+    }
+    t.points.push_back(p);
+  }
+  return t;
+}
+
+}  // namespace sprout

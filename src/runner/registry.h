@@ -59,6 +59,14 @@ struct FlowContext {
   // Non-null => the flow's measured sink aggregates streaming metrics
   // instead of retaining delivery records (tower scenarios).
   const StreamingMetricsConfig* streaming_metrics = nullptr;
+  // Non-null => the flow's measured sink ALSO maintains a streaming delay
+  // histogram alongside its retained records (non-streaming topologies;
+  // ignored when streaming_metrics is set, which already configures one).
+  const StreamingMetricsConfig* delay_histogram = nullptr;
+  // Non-null => the flow records a timeline (metrics/recorder.h): the
+  // measured sink feeds deliveries and Sprout-family receivers feed their
+  // forecasts.  Scenario-owned; must outlive the flow.
+  FlowTimelineRecorder* timeline = nullptr;
 };
 
 // Builds the flow's measured receiver sink, honouring

@@ -498,6 +498,19 @@ void validate_flow_spec(const ScenarioSpec& spec, const FlowSpec& flow,
   }
 }
 
+// Non-tower topologies maintain their streaming delay histogram alongside
+// the retained record list (ROADMAP 5(b)) with the tower's default
+// geometry, so flow_metrics(i).delay_stats() reports the same fixed-bin
+// p50/p95/p99/p999 on every topology.
+StreamingMetricsConfig delay_hist_config(TimePoint from, TimePoint to) {
+  StreamingMetricsConfig cfg;
+  cfg.hist_bin = msec(5);
+  cfg.hist_max = sec(20);
+  cfg.from = from;
+  cfg.to = to;
+  return cfg;
+}
+
 }  // namespace
 
 namespace detail {
@@ -600,6 +613,51 @@ ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
   default_params.assumed_propagation =
       (spec.propagation_delay_fwd + spec.propagation_delay_rev) / 2;
 
+  const TimePoint meas_from = TimePoint{} + spec.warmup;
+  const TimePoint meas_to = TimePoint{} + spec.run_time;
+
+  // Each flow is measured over its own activity window clipped to the
+  // measurement window; cross-flow comparisons use the co-active window,
+  // the interval where EVERY flow was live.  Pure functions of the spec,
+  // so computable before the run — the streaming histograms and timeline
+  // recorders need the windows up front.
+  std::vector<TimePoint> flow_from(flow_specs.size());
+  std::vector<TimePoint> flow_to(flow_specs.size());
+  TimePoint co_from = meas_from;
+  TimePoint co_to = meas_to;
+  for (std::size_t f = 0; f < flow_specs.size(); ++f) {
+    const FlowSpec& fs = flow_specs[f];
+    flow_from[f] = std::max(meas_from, TimePoint{} + fs.start);
+    flow_to[f] =
+        fs.stop.has_value() ? std::min(meas_to, TimePoint{} + *fs.stop)
+                            : meas_to;
+    co_from = std::max(co_from, flow_from[f]);
+    co_to = std::min(co_to, flow_to[f]);
+  }
+  const bool coactive = co_from < co_to;
+
+  std::vector<StreamingMetricsConfig> delay_cfgs(flow_specs.size());
+  for (std::size_t f = 0; f < flow_specs.size(); ++f) {
+    delay_cfgs[f] = delay_hist_config(flow_from[f], flow_to[f]);
+  }
+
+  // Flight recorders (if asked): one per flow for forecast + delivery
+  // columns, plus one link-level recorder whose queue-depth and drop
+  // columns finalize() grafts onto every flow's timeline (the queue is a
+  // property of the shared link, not of any one flow).
+  std::vector<std::unique_ptr<FlowTimelineRecorder>> flow_recs;
+  std::unique_ptr<FlowTimelineRecorder> link_rec;
+  if (spec.record_timeline) {
+    flow_recs.reserve(flow_specs.size());
+    for (std::size_t f = 0; f < flow_specs.size(); ++f) {
+      flow_recs.push_back(std::make_unique<FlowTimelineRecorder>(
+          spec.timeline_bin, TimePoint{}, meas_to));
+    }
+    link_rec = std::make_unique<FlowTimelineRecorder>(spec.timeline_bin,
+                                                      TimePoint{}, meas_to);
+    fwd_link.set_timeline_recorder(link_rec.get());
+  }
+
   // Declared before the flows: each SchemeFlow holds references to its
   // gates and (Sprout family) the batcher, so both must outlive the flows
   // at scope exit.
@@ -630,7 +688,10 @@ ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
                     fwd_link.trace(),
                     spec.propagation_delay_fwd,
                     spec.run_time,
-                    &evolve_batcher};
+                    &evolve_batcher,
+                    /*streaming_metrics=*/nullptr,
+                    &delay_cfgs[f],
+                    spec.record_timeline ? flow_recs[f].get() : nullptr};
     auto flow = schemes[f]->make_flow(ctx);
     fwd_demux.route(id, flow->data_egress());
     if (PacketSink* feedback = flow->feedback_egress()) {
@@ -648,27 +709,6 @@ ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
   }
 
   sim.run_until(TimePoint{} + spec.run_time);
-
-  const TimePoint meas_from = TimePoint{} + spec.warmup;
-  const TimePoint meas_to = TimePoint{} + spec.run_time;
-
-  // Each flow is measured over its own activity window clipped to the
-  // measurement window; cross-flow comparisons use the co-active window,
-  // the interval where EVERY flow was live.
-  std::vector<TimePoint> flow_from(flow_specs.size());
-  std::vector<TimePoint> flow_to(flow_specs.size());
-  TimePoint co_from = meas_from;
-  TimePoint co_to = meas_to;
-  for (std::size_t f = 0; f < flow_specs.size(); ++f) {
-    const FlowSpec& fs = flow_specs[f];
-    flow_from[f] = std::max(meas_from, TimePoint{} + fs.start);
-    flow_to[f] =
-        fs.stop.has_value() ? std::min(meas_to, TimePoint{} + *fs.stop)
-                            : meas_to;
-    co_from = std::max(co_from, flow_from[f]);
-    co_to = std::min(co_to, flow_to[f]);
-  }
-  const bool coactive = co_from < co_to;
 
   ScenarioResult r;
   r.coactive_from_s = coactive ? to_seconds(co_from.time_since_epoch()) : 0.0;
@@ -689,6 +729,10 @@ ScenarioResult run_flows(const ScenarioSpec& spec, const ResolvedLink& link) {
     fr.mean_delay_ms = m.mean_delay_ms(from, to);
     fr.delivered_bytes =
         fwd_demux.delivered_bytes(static_cast<std::int64_t>(f) + 1);
+    fr.delay_hist = m.histogram();
+    if (spec.record_timeline) {
+      fr.timeline = flow_recs[f]->finalize(&fwd_link.trace(), link_rec.get());
+    }
     if (coactive) {
       fr.coactive_throughput_kbps = m.throughput_kbps(co_from, co_to);
       fr.capacity_share = r.coactive_capacity_kbps > 0.0
@@ -796,8 +840,38 @@ ScenarioResult run_tunnel(const ScenarioSpec& spec, const ResolvedLink& link) {
   VideoSender video_tx(sim, skype, kSkypeFlow);
   VideoReceiver video_rx(sim, kSkypeFlow);
 
+  const TimePoint from = TimePoint{} + spec.warmup;
+  const TimePoint to = TimePoint{} + spec.run_time;
+
   MeasuredSink measured_cubic(sim, tcp_rx);
   MeasuredSink measured_skype(sim, video_rx);
+  {
+    const StreamingMetricsConfig cfg = delay_hist_config(from, to);
+    measured_cubic.metrics().enable_histogram(cfg.hist_bin, cfg.hist_max,
+                                              cfg.from, cfg.to);
+    measured_skype.metrics().enable_histogram(cfg.hist_bin, cfg.hist_max,
+                                              cfg.from, cfg.to);
+  }
+
+  // Flight recorders (if asked): the contending pair shares the downlink
+  // queue, so the link-level recorder's columns are grafted onto both
+  // flows' timelines.  Neither flow runs a forecaster, so the forecast
+  // column stays zero (via_tunnel's Sprout forecaster belongs to the
+  // tunnel, not to either client flow).
+  std::unique_ptr<FlowTimelineRecorder> cubic_rec;
+  std::unique_ptr<FlowTimelineRecorder> skype_rec;
+  std::unique_ptr<FlowTimelineRecorder> tunnel_link_rec;
+  if (spec.record_timeline) {
+    cubic_rec = std::make_unique<FlowTimelineRecorder>(spec.timeline_bin,
+                                                       TimePoint{}, to);
+    skype_rec = std::make_unique<FlowTimelineRecorder>(spec.timeline_bin,
+                                                       TimePoint{}, to);
+    tunnel_link_rec = std::make_unique<FlowTimelineRecorder>(
+        spec.timeline_bin, TimePoint{}, to);
+    measured_cubic.metrics().set_timeline_recorder(cubic_rec.get());
+    measured_skype.metrics().set_timeline_recorder(skype_rec.get());
+    down_link.set_timeline_recorder(tunnel_link_rec.get());
+  }
 
   DemuxSink down_demux;  // traffic arriving at the mobile
   down_demux.route(kCubicFlow, measured_cubic);
@@ -838,17 +912,17 @@ ScenarioResult run_tunnel(const ScenarioSpec& spec, const ResolvedLink& link) {
 
   sim.run_until(TimePoint{} + spec.run_time);
 
-  const TimePoint from = TimePoint{} + spec.warmup;
-  const TimePoint to = TimePoint{} + spec.run_time;
-
   ScenarioResult r;
   r.coactive_from_s = to_seconds(from.time_since_epoch());
   r.coactive_to_s = to_seconds(to.time_since_epoch());
   r.coactive_capacity_kbps = link_capacity_kbps(down_link.trace(), from, to);
-  using TunnelFlow = std::tuple<const char*, SchemeId, const MeasuredSink*>;
-  for (const auto& [label, scheme_id, sink] :
-       {TunnelFlow{"Cubic", SchemeId::kCubic, &measured_cubic},
-        TunnelFlow{"Skype", SchemeId::kSkype, &measured_skype}}) {
+  using TunnelFlow = std::tuple<const char*, SchemeId, const MeasuredSink*,
+                                const FlowTimelineRecorder*>;
+  for (const auto& [label, scheme_id, sink, rec] :
+       {TunnelFlow{"Cubic", SchemeId::kCubic, &measured_cubic,
+                   cubic_rec.get()},
+        TunnelFlow{"Skype", SchemeId::kSkype, &measured_skype,
+                   skype_rec.get()}}) {
     const FlowMetrics& m = sink->metrics();
     FlowResult fr;
     fr.label = label;
@@ -861,6 +935,10 @@ ScenarioResult run_tunnel(const ScenarioSpec& spec, const ResolvedLink& link) {
     // Tunnel flows never stop early, so the measured sink's lifetime total
     // IS the whole-run ledger the demux keeps in the generic topology.
     fr.delivered_bytes = m.total_bytes();
+    fr.delay_hist = m.histogram();
+    if (rec != nullptr) {
+      fr.timeline = rec->finalize(&down_link.trace(), tunnel_link_rec.get());
+    }
     fr.coactive_throughput_kbps = fr.throughput_kbps;
     if (spec.capture_series) {
       fr.series =
@@ -991,6 +1069,10 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, ScenarioCache* cache) {
   if (spec.propagation_delay_fwd < Duration::zero() ||
       spec.propagation_delay_rev < Duration::zero()) {
     throw std::invalid_argument("propagation delays must be >= 0");
+  }
+  if (spec.record_timeline && spec.timeline_bin <= Duration::zero()) {
+    throw std::invalid_argument(
+        "record_timeline needs a positive timeline_bin");
   }
   // All topology-internal consistency rules (flow-list-vs-num_flows
   // precedence, per-kind field constraints) live in validate_topology —

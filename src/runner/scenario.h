@@ -32,6 +32,7 @@
 
 #include "core/params.h"
 #include "metrics/histogram.h"
+#include "metrics/recorder.h"
 #include "metrics/timeseries.h"
 #include "runner/schemes.h"
 #include "synth/synth.h"
@@ -234,6 +235,17 @@ struct ScenarioSpec {
   std::uint64_t seed = 42;
   bool capture_series = false;      // fill per-flow series (Fig. 1)
   Duration series_bin = msec(500);
+  // Flight recorder (metrics/recorder.h): when set, every flow in every
+  // topology — tower included — records a fixed-bin timeline (forecast vs
+  // realized capacity, queue depth, drops, per-bin delay) into
+  // FlowResult::timeline.  Pure observability: these two fields are
+  // EXCLUDED from scenario_fingerprint (unlike capture_series), so a
+  // timeline-on cell shares its fingerprint, derived seed and simulated
+  // bytes with the timeline-off cell — which is what lets the
+  // timeline_roundtrip ctest byte-diff a stripped timeline-on sweep
+  // against a timeline-off one.
+  bool record_timeline = false;
+  Duration timeline_bin = msec(500);
 
   // Legacy symmetric view of the split loss fields: sets both directions,
   // exactly what assigning the old `loss_rate` field did.
@@ -293,10 +305,16 @@ struct FlowResult {
   // delivered_bytes attributes it to the flow that sent it.
   ByteCount delivered_bytes = 0;
   // Streaming per-packet one-way delay histogram over the flow's
-  // measurement window.  Configured only by topologies that run streaming
-  // metrics (tower); default-constructed (unconfigured) elsewhere.
+  // measurement window.  The tower streams it (no retained records); the
+  // other topologies maintain it alongside their retained records, so
+  // flow_metrics(i).delay_stats() reports p50/p95/p99/p999 on EVERY
+  // topology.
   DelayHistogram delay_hist;
   std::vector<SeriesPoint> series;  // if spec.capture_series
+  // Flight-recorder timeline (if spec.record_timeline).  Fingerprint-
+  // ignored, merge-preserved, omitted from JSON when unconfigured, and
+  // erasable via timeline_report strip-timeline.
+  FlowTimeline timeline;
 };
 
 // Uniform read-only view over one flow's metrics: the one accessor story

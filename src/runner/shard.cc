@@ -357,6 +357,67 @@ DelayHistogram read_hist(const JsonValue& v) {
                                     std::move(counts));
 }
 
+// Flight-recorder timelines travel as geometry + flat 9-tuples
+// [time_s, forecast_kbps, capacity_kbps, throughput_kbps,
+//  queue_max_packets, queue_max_bytes, drops, mean_delay_ms, max_delay_ms].
+// Written only when configured (record_timeline), so timeline-off results
+// stay byte-stable; the tuples are arrays, never objects, so the timeline
+// value contains no nested braces and timeline_report strip-timeline can
+// erase it textually exactly as obs_report strip-runtime does.
+void write_timeline(std::ostream& os, const FlowTimeline& t) {
+  os << "{\"bin_s\": ";
+  json_double(os, t.bin_s);
+  os << ", \"from_s\": ";
+  json_double(os, t.from_s);
+  os << ", \"points\": [";
+  for (std::size_t i = 0; i < t.points.size(); ++i) {
+    const TimelinePoint& p = t.points[i];
+    if (i > 0) os << ", ";
+    os << '[';
+    json_double(os, p.time_s);
+    os << ", ";
+    json_double(os, p.forecast_kbps);
+    os << ", ";
+    json_double(os, p.capacity_kbps);
+    os << ", ";
+    json_double(os, p.throughput_kbps);
+    os << ", " << p.queue_max_packets << ", " << p.queue_max_bytes << ", "
+       << p.drops << ", ";
+    json_double(os, p.mean_delay_ms);
+    os << ", ";
+    json_double(os, p.max_delay_ms);
+    os << ']';
+  }
+  os << "]}";
+}
+
+FlowTimeline read_timeline(const JsonValue& v) {
+  FlowTimeline t;
+  t.bin_s = read_double(v.at("bin_s"));
+  t.from_s = read_double(v.at("from_s"));
+  if (!(t.bin_s > 0.0)) {
+    throw std::runtime_error("JSON: malformed timeline geometry");
+  }
+  for (const JsonValue& e : v.at("points").as_array()) {
+    const auto& tuple = e.as_array();
+    if (tuple.size() != 9) {
+      throw std::runtime_error("JSON: timeline point is not a 9-tuple");
+    }
+    TimelinePoint p;
+    p.time_s = read_double(tuple[0]);
+    p.forecast_kbps = read_double(tuple[1]);
+    p.capacity_kbps = read_double(tuple[2]);
+    p.throughput_kbps = read_double(tuple[3]);
+    p.queue_max_packets = read_i64(tuple[4]);
+    p.queue_max_bytes = read_i64(tuple[5]);
+    p.drops = read_i64(tuple[6]);
+    p.mean_delay_ms = read_double(tuple[7]);
+    p.max_delay_ms = read_double(tuple[8]);
+    t.points.push_back(p);
+  }
+  return t;
+}
+
 void write_flow(std::ostream& os, const FlowResult& f) {
   os << "{\"label\": ";
   write_json_string(os, f.label);
@@ -381,6 +442,10 @@ void write_flow(std::ostream& os, const FlowResult& f) {
     os << ", \"delay_hist\": ";
     write_hist(os, f.delay_hist);
   }
+  if (f.timeline.configured()) {
+    os << ", \"timeline\": ";
+    write_timeline(os, f.timeline);
+  }
   os << ", \"series\": ";
   write_series(os, f.series);
   os << '}';
@@ -404,6 +469,7 @@ FlowResult read_flow(const JsonValue& v) {
   f.capacity_share = read_double(v.at("capacity_share"));
   f.delivered_bytes = read_i64(v.at("delivered_bytes"));
   if (v.has("delay_hist")) f.delay_hist = read_hist(v.at("delay_hist"));
+  if (v.has("timeline")) f.timeline = read_timeline(v.at("timeline"));
   f.series = read_series(v.at("series"));
   return f;
 }

@@ -215,6 +215,17 @@ ScenarioResult run_tower(const ScenarioSpec& spec) {
   std::vector<UserRun> users;
   users.reserve(sessions.size());
 
+  // Flight recorders (if asked): each user owns a dedicated downlink, so
+  // its flow recorder pairs with its own link-level recorder (queue depth
+  // and drops), indexed in session order.  Declared before `users` so the
+  // taps outlive the flows that feed them.
+  std::vector<std::unique_ptr<FlowTimelineRecorder>> flow_recs;
+  std::vector<std::unique_ptr<FlowTimelineRecorder>> link_recs;
+  if (spec.record_timeline) {
+    flow_recs.reserve(sessions.size());
+    link_recs.reserve(sessions.size());
+  }
+
   for (std::size_t i = 0; i < sessions.size(); ++i) {
     const TowerUserSession& s = sessions[i];
 
@@ -249,6 +260,13 @@ ScenarioResult run_tower(const ScenarioSpec& spec) {
       u.egress = std::make_unique<RelaySink>();
       u.link = std::make_unique<CellsimLink>(sim, std::move(trace), cfg,
                                              *u.egress, std::move(policy));
+      if (spec.record_timeline) {
+        flow_recs.push_back(std::make_unique<FlowTimelineRecorder>(
+            spec.timeline_bin, TimePoint{}, meas_to));
+        link_recs.push_back(std::make_unique<FlowTimelineRecorder>(
+            spec.timeline_bin, TimePoint{}, meas_to));
+        u.link->set_timeline_recorder(link_recs.back().get());
+      }
       FlowContext ctx{sim,
                       default_params,
                       s.user_id,
@@ -259,7 +277,9 @@ ScenarioResult run_tower(const ScenarioSpec& spec) {
                       spec.propagation_delay_fwd,
                       spec.run_time,
                       &evolve_batcher,
-                      &streaming};
+                      &streaming,
+                      /*delay_histogram=*/nullptr,
+                      spec.record_timeline ? flow_recs.back().get() : nullptr};
       u.flow = SchemeRegistry::instance().info(s.scheme).make_flow(ctx);
       u.egress->set_target(u.flow->data_egress());
       if (PacketSink* feedback = u.flow->feedback_egress()) {
@@ -327,6 +347,10 @@ ScenarioResult run_tower(const ScenarioSpec& spec) {
                                      to_seconds(to - from) /
                                      to_seconds(meas_to - meas_from);
       r.max_delay95_ms = std::max(r.max_delay95_ms, fr.delay95_ms);
+    }
+    if (spec.record_timeline) {
+      fr.timeline =
+          flow_recs[i]->finalize(&u.link->trace(), link_recs[i].get());
     }
     capacity_bytes += u.link->trace().deliverable_bytes(meas_from, meas_to);
     r.packets_delivered += u.link->delivered_packets();

@@ -234,7 +234,8 @@ ScenarioSpec scenario_from_field(const Field& doc) {
                   "warmup_s", "propagation_delay_s", "propagation_delay_fwd_s",
                   "propagation_delay_rev_s", "loss_rate", "loss_rate_fwd",
                   "loss_rate_rev", "sprout_confidence", "seed",
-                  "capture_series", "series_bin_s"});
+                  "capture_series", "series_bin_s", "record_timeline",
+                  "timeline_bin_s"});
   ScenarioSpec spec;
   if (const auto f = doc.get("topology")) spec.topology = read_topology(*f);
   if (spec.topology.kind == TopologySpec::Kind::kTower) {
@@ -312,6 +313,14 @@ ScenarioSpec scenario_from_field(const Field& doc) {
   }
   if (const auto f = doc.get("series_bin_s")) {
     spec.series_bin = f->positive_seconds();
+  }
+  // Unlike capture_series, the flight recorder streams fixed-bin state on
+  // EVERY topology, towers included.
+  if (const auto f = doc.get("record_timeline")) {
+    spec.record_timeline = f->as_bool();
+  }
+  if (const auto f = doc.get("timeline_bin_s")) {
+    spec.timeline_bin = f->positive_seconds();
   }
 
   // Cross-field checks run_scenario would reject anyway, surfaced here
@@ -549,6 +558,12 @@ void write_scenario_json(std::ostream& os, const ScenarioSpec& spec,
     w.boolean("capture_series", true);
     if (spec.series_bin != defaults.series_bin) {
       w.seconds("series_bin_s", spec.series_bin);
+    }
+  }
+  if (spec.record_timeline) {
+    w.boolean("record_timeline", true);
+    if (spec.timeline_bin != defaults.timeline_bin) {
+      w.seconds("timeline_bin_s", spec.timeline_bin);
     }
   }
   w.close();

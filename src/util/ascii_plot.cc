@@ -1,0 +1,54 @@
+#include "util/ascii_plot.h"
+
+#include <algorithm>
+
+#include "util/table.h"
+
+namespace sprout {
+
+namespace {
+
+double series_peak(const std::vector<double>& bar,
+                   const std::vector<double>& overlay) {
+  double peak = 0.0;
+  for (const double v : bar) peak = std::max(peak, v);
+  for (const double v : overlay) peak = std::max(peak, v);
+  return peak;
+}
+
+int scaled_column(double value, double peak, int width) {
+  if (peak <= 0.0 || value <= 0.0) return 0;
+  const int col = static_cast<int>(static_cast<double>(width) * value / peak);
+  return std::min(col, width);
+}
+
+}  // namespace
+
+void render_ascii_plot(std::ostream& os, const std::vector<double>& bar,
+                       const std::vector<double>& overlay,
+                       const AsciiPlotOptions& opt) {
+  const double peak = series_peak(bar, overlay);
+  for (std::size_t b = 0; b < bar.size(); ++b) {
+    const int bar_w = scaled_column(bar[b], peak, opt.width);
+    std::string row(static_cast<std::size_t>(bar_w), opt.bar);
+    if (b < overlay.size()) {
+      const int mark_at = scaled_column(overlay[b], peak, opt.width);
+      // The marker overwrites the bar (or extends past it) at its own
+      // column, so one row shows both signals on one scale.
+      if (static_cast<std::size_t>(mark_at) >= row.size()) {
+        row.resize(static_cast<std::size_t>(mark_at) + 1, ' ');
+      }
+      row[static_cast<std::size_t>(mark_at)] = opt.mark;
+    }
+    os << format_double(static_cast<double>(b) * opt.bin_s,
+                        opt.time_precision)
+       << "s\t|" << row << "\n";
+  }
+}
+
+void render_ascii_plot(std::ostream& os, const std::vector<double>& bar,
+                       const AsciiPlotOptions& opt) {
+  render_ascii_plot(os, bar, {}, opt);
+}
+
+}  // namespace sprout

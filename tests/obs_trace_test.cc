@@ -6,7 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "util/table.h"
 
@@ -83,6 +87,62 @@ TEST_F(ObsTrace, LanesAreSmallAndStablePerThread) {
   const std::int64_t lane = obs::Tracer::current_lane();
   EXPECT_GE(lane, 0);
   EXPECT_EQ(obs::Tracer::current_lane(), lane);
+}
+
+// Concurrent emission: the thread-pool sweep path has every worker emit
+// spans into the shared buffer.  No event may be lost or corrupted, each
+// thread keeps one stable dense lane, and the drained JSON must still
+// parse as Chrome trace shape.  (Runs under the ASan/TSan CI jobs, which
+// is where a data race in the buffer or the lane table would surface.)
+TEST_F(ObsTrace, ConcurrentSpanEmissionKeepsLanesAndEvents) {
+  obs::Tracer& t = obs::Tracer::instance();
+  t.start();
+
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::int64_t> lane_of_thread(kThreads, -1);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([i, &lane_of_thread] {
+      const std::int64_t lane = obs::Tracer::current_lane();
+      lane_of_thread[static_cast<std::size_t>(i)] = lane;
+      std::string name = "t";
+      name += std::to_string(i);
+      for (int s = 0; s < kSpansPerThread; ++s) {
+        // Lane must stay stable across every emit from this thread.
+        ASSERT_EQ(obs::Tracer::current_lane(), lane);
+        obs::Span span(name.c_str(), "mt");
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(t.event_count(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread);
+
+  std::ostringstream os;
+  t.write_json(os);
+  const JsonValue doc = JsonValue::parse(os.str());
+  const auto& events = doc.at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads) * kSpansPerThread);
+
+  // Dense lane assignment: each thread owns exactly one lane, no two
+  // threads share one, and every event landed on its emitter's lane.
+  std::set<std::int64_t> lanes(lane_of_thread.begin(), lane_of_thread.end());
+  EXPECT_EQ(lanes.size(), static_cast<std::size_t>(kThreads));
+  for (const std::int64_t lane : lanes) EXPECT_GE(lane, 0);
+  for (const JsonValue& e : events) {
+    ASSERT_EQ(e.at("ph").as_string(), "X");
+    ASSERT_EQ(e.at("cat").as_string(), "mt");
+    const std::string name = e.at("name").as_string();
+    ASSERT_EQ(name.size(), 2u);
+    const int emitter = name[1] - '0';
+    ASSERT_GE(emitter, 0);
+    ASSERT_LT(emitter, kThreads);
+    ASSERT_EQ(static_cast<std::int64_t>(e.at("tid").as_number()),
+              lane_of_thread[static_cast<std::size_t>(emitter)]);
+  }
 }
 
 TEST_F(ObsTrace, StopPreservesBufferUntilReset) {
